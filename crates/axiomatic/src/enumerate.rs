@@ -1,0 +1,368 @@
+//! Enumerating the consistent executions of a program (§6): all rf and co
+//! choices over the generated event graphs, filtered by the consistency
+//! axioms, together with outcome extraction.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bdrst_core::loc::Val;
+use bdrst_core::relation::Relation;
+use bdrst_lang::{Observation, Program};
+
+use crate::exec::{CandidateExecution, EventSet};
+use crate::generate::{generate, GenError, GenLimits, ThreadAlternative};
+
+/// Limits for execution enumeration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EnumLimits {
+    /// Generation limits (free-read alternatives, domain fixpoint).
+    pub gen: GenLimits,
+    /// Maximum candidate executions examined before giving up.
+    pub max_candidates: usize,
+}
+
+impl Default for EnumLimits {
+    fn default() -> EnumLimits {
+        EnumLimits { gen: GenLimits::default(), max_candidates: 10_000_000 }
+    }
+}
+
+/// Errors of execution enumeration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EnumError {
+    /// Event-graph generation failed.
+    Gen(GenError),
+    /// Too many rf/co candidates.
+    TooManyCandidates,
+}
+
+impl fmt::Display for EnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumError::Gen(g) => write!(f, "{g}"),
+            EnumError::TooManyCandidates => write!(f, "too many candidate executions"),
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+impl From<GenError> for EnumError {
+    fn from(g: GenError) -> EnumError {
+        EnumError::Gen(g)
+    }
+}
+
+/// A consistent execution together with the final register file of every
+/// thread (recorded during generation), from which outcomes are read off.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProgramExecution {
+    /// The consistent candidate execution.
+    pub exec: CandidateExecution,
+    /// Final registers, indexed `[thread][reg]`.
+    pub final_regs: Vec<Vec<Val>>,
+}
+
+impl ProgramExecution {
+    /// The observation of this execution: final registers plus the
+    /// co-maximal write value per location.
+    pub fn observation(&self) -> Observation {
+        let base = &self.exec.base;
+        let memory = base
+            .locs
+            .iter()
+            .map(|l| {
+                let ws = base.writes_to(l);
+                let co_max = ws
+                    .iter()
+                    .copied()
+                    .find(|&w| ws.iter().all(|&x| x == w || self.exec.co.contains(x, w)))
+                    .expect("nonempty write set (initial write exists)");
+                base.events[co_max].value()
+            })
+            .collect();
+        Observation { regs: self.final_regs.clone(), memory }
+    }
+}
+
+/// Enumerates every *candidate* execution of `program` (well-formed rf/co
+/// choices over every generated event graph), consistent or not, invoking
+/// `visit` on each. The hardware-soundness checkers use this to test the
+/// compilation theorems on inconsistent candidates too.
+///
+/// # Errors
+///
+/// Returns [`EnumError`] on generation failure or combinatorial blow-up.
+pub fn for_each_candidate(
+    program: &Program,
+    limits: EnumLimits,
+    mut visit: impl FnMut(&ProgramExecution),
+) -> Result<(), EnumError> {
+    let generated = generate(program, limits.gen)?;
+    let mut budget = limits.max_candidates;
+    let mut choice = vec![0usize; generated.per_thread.len()];
+    loop {
+        let alts: Vec<&ThreadAlternative> = choice
+            .iter()
+            .zip(&generated.per_thread)
+            .map(|(&c, alts)| &alts[c])
+            .collect();
+        enumerate_for_alternative(program, &alts, &mut visit, &mut budget)?;
+        // Next combination (odometer).
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                return Ok(());
+            }
+            choice[i] += 1;
+            if choice[i] < generated.per_thread[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Enumerates every *consistent* execution of `program`.
+///
+/// # Errors
+///
+/// Returns [`EnumError`] on generation failure or combinatorial blow-up.
+pub fn consistent_executions(
+    program: &Program,
+    limits: EnumLimits,
+) -> Result<Vec<ProgramExecution>, EnumError> {
+    let mut out = Vec::new();
+    for_each_candidate(program, limits, |pe| {
+        if pe.exec.is_consistent() {
+            out.push(pe.clone());
+        }
+    })?;
+    Ok(out)
+}
+
+fn enumerate_for_alternative(
+    program: &Program,
+    alts: &[&ThreadAlternative],
+    visit: &mut impl FnMut(&ProgramExecution),
+    budget: &mut usize,
+) -> Result<(), EnumError> {
+    let base = EventSet::new(
+        program.locs.clone(),
+        alts.iter().map(|a| a.actions.clone()).collect(),
+    );
+    let final_regs: Vec<Vec<Val>> = alts.iter().map(|a| a.final_regs.clone()).collect();
+
+    // rf candidates per read: same-location same-value writes.
+    let reads = base.reads();
+    let mut rf_choices: Vec<Vec<usize>> = Vec::with_capacity(reads.len());
+    for &r in &reads {
+        let er = base.events[r];
+        let sources: Vec<usize> = base
+            .writes_to(er.loc)
+            .into_iter()
+            .filter(|&w| base.events[w].value() == er.value())
+            .collect();
+        if sources.is_empty() {
+            return Ok(()); // this alternative's read value is unwritable
+        }
+        rf_choices.push(sources);
+    }
+
+    // co candidates per location: permutations of non-initial writes, with
+    // the initial write first (any other placement violates CoWW, since
+    // initial writes happen-before everything).
+    let mut co_choices: Vec<Vec<Vec<usize>>> = Vec::new();
+    for l in program.locs.iter() {
+        let ws: Vec<usize> = base
+            .writes_to(l)
+            .into_iter()
+            .filter(|&w| !base.events[w].is_init())
+            .collect();
+        co_choices.push(permutations(&ws));
+    }
+
+    // Iterate the cartesian product of rf and co choices.
+    let mut rf_idx = vec![0usize; rf_choices.len()];
+    loop {
+        let mut co_idx = vec![0usize; co_choices.len()];
+        loop {
+            if *budget == 0 {
+                return Err(EnumError::TooManyCandidates);
+            }
+            *budget -= 1;
+
+            let mut rf = Relation::new(base.len());
+            for (k, &r) in reads.iter().enumerate() {
+                rf.insert(rf_choices[k][rf_idx[k]], r);
+            }
+            let mut co = Relation::new(base.len());
+            for (li, l) in program.locs.iter().enumerate() {
+                let perm = &co_choices[li][co_idx[li]];
+                let init = l.index(); // initial events occupy 0..nlocs
+                for (x, &a) in perm.iter().enumerate() {
+                    co.insert(init, a);
+                    for &b in &perm[x + 1..] {
+                        co.insert(a, b);
+                    }
+                }
+            }
+            let cand = CandidateExecution { base: base.clone(), rf, co };
+            debug_assert!(cand.validate().is_ok(), "{:?}", cand.validate());
+            visit(&ProgramExecution { exec: cand, final_regs: final_regs.clone() });
+
+            if !advance(&mut co_idx, |i| co_choices[i].len()) {
+                break;
+            }
+        }
+        if !advance(&mut rf_idx, |i| rf_choices[i].len()) {
+            return Ok(());
+        }
+    }
+}
+
+/// Odometer increment; returns false when the odometer wraps to all-zero.
+fn advance(idx: &mut [usize], len_of: impl Fn(usize) -> usize) -> bool {
+    for i in 0..idx.len() {
+        idx[i] += 1;
+        if idx[i] < len_of(i) {
+            return true;
+        }
+        idx[i] = 0;
+    }
+    false
+}
+
+/// All permutations of a slice (n! of them; litmus write counts are tiny).
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest: Vec<usize> = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// The observation set of a program under the axiomatic semantics.
+///
+/// # Errors
+///
+/// Returns [`EnumError`] on generation failure or blow-up.
+pub fn axiomatic_outcomes(
+    program: &Program,
+    limits: EnumLimits,
+) -> Result<BTreeSet<Observation>, EnumError> {
+    Ok(consistent_executions(program, limits)?
+        .iter()
+        .map(ProgramExecution::observation)
+        .collect())
+}
+
+/// Convenience: true if some consistent execution's observation satisfies
+/// the predicate (used pervasively by the litmus runner).
+///
+/// # Errors
+///
+/// Returns [`EnumError`] on generation failure or blow-up.
+pub fn observable(
+    program: &Program,
+    limits: EnumLimits,
+    mut pred: impl FnMut(&Observation) -> bool,
+) -> Result<bool, EnumError> {
+    Ok(axiomatic_outcomes(program, limits)?.iter().any(|o| pred(o)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrst_core::loc::LocKind;
+
+    fn outcomes(src: &str) -> BTreeSet<Observation> {
+        let p = Program::parse(src).unwrap();
+        axiomatic_outcomes(&p, EnumLimits::default()).unwrap()
+    }
+
+    fn reg(p: &Program, o: &Observation, thread: &str, r: &str) -> i64 {
+        let ti = p.thread_by_name(thread).unwrap();
+        let ri = p.threads[ti].reg_by_name(r).unwrap();
+        o.reg(ti, ri).unwrap().0
+    }
+
+    #[test]
+    fn store_buffering_allows_all_four() {
+        let src = "nonatomic a b;
+             thread P0 { a = 1; r0 = b; }
+             thread P1 { b = 1; r1 = a; }";
+        let p = Program::parse(src).unwrap();
+        let os = outcomes(src);
+        let pairs: BTreeSet<(i64, i64)> = os
+            .iter()
+            .map(|o| (reg(&p, o, "P0", "r0"), reg(&p, o, "P1", "r1")))
+            .collect();
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn message_passing_forbidden_outcome_absent() {
+        let src = "nonatomic a; atomic f;
+             thread P0 { a = 1; f = 1; }
+             thread P1 { r0 = f; r1 = a; }";
+        let p = Program::parse(src).unwrap();
+        let os = outcomes(src);
+        assert!(os
+            .iter()
+            .all(|o| !(reg(&p, o, "P1", "r0") == 1 && reg(&p, o, "P1", "r1") == 0)));
+        // But the other three outcomes exist.
+        assert!(os.len() >= 3);
+    }
+
+    #[test]
+    fn load_buffering_forbidden() {
+        // LB: r0 = a; b = 1 || r1 = b; a = 1 — the model bans load
+        // buffering (poRW is preserved), so r0 = r1 = 1 is impossible.
+        let src = "nonatomic a b;
+             thread P0 { r0 = a; b = 1; }
+             thread P1 { r1 = b; a = 1; }";
+        let p = Program::parse(src).unwrap();
+        let os = outcomes(src);
+        assert!(os
+            .iter()
+            .all(|o| !(reg(&p, o, "P0", "r0") == 1 && reg(&p, o, "P1", "r1") == 1)));
+    }
+
+    #[test]
+    fn coherence_single_thread() {
+        // a = 1; a = 2; r = a must read 2.
+        let src = "nonatomic a; thread P0 { a = 1; a = 2; r0 = a; }";
+        let p = Program::parse(src).unwrap();
+        let os = outcomes(src);
+        assert_eq!(os.len(), 1);
+        assert!(os.iter().all(|o| reg(&p, o, "P0", "r0") == 2));
+    }
+
+    #[test]
+    fn final_memory_is_co_maximal() {
+        let src = "nonatomic a; thread P0 { a = 1; } thread P1 { a = 2; }";
+        let p = Program::parse(src).unwrap();
+        let a = p.locs.by_name("a").unwrap();
+        assert_eq!(p.locs.kind(a), LocKind::Nonatomic);
+        let finals: BTreeSet<i64> =
+            outcomes(src).iter().map(|o| o.memory(a).unwrap().0).collect();
+        assert_eq!(finals, [1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(&[]).len(), 1);
+        assert_eq!(permutations(&[1]).len(), 1);
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+    }
+}

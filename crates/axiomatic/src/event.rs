@@ -1,0 +1,114 @@
+//! Events and event graphs (§6).
+//!
+//! The axiomatic semantics represents behaviour by sets of events
+//! `E = (k, ℓ, ϕ)` where `k` is an event identifier — either `(i, n)` (the
+//! `n`-th event of thread `i`) or `IWℓ` (the initial write to `ℓ`).
+
+use std::fmt;
+
+use bdrst_core::loc::{Action, Loc, Val};
+use bdrst_core::machine::ThreadId;
+
+/// An event identifier `k`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EventId {
+    /// `IWℓ`: the initial write of `v₀` to `ℓ`, before program start.
+    Init(Loc),
+    /// `(i, n)`: the `n`-th event performed in program order by thread `i`.
+    Thread(ThreadId, u32),
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventId::Init(l) => write!(f, "IW{l}"),
+            EventId::Thread(t, n) => write!(f, "({t},{n})"),
+        }
+    }
+}
+
+/// An event `(k, ℓ, ϕ)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Event {
+    /// The event identifier.
+    pub id: EventId,
+    /// The location accessed.
+    pub loc: Loc,
+    /// The action performed (`read x` or `write x`).
+    pub action: Action,
+}
+
+impl Event {
+    /// The initial-write event for a location.
+    pub fn initial(loc: Loc) -> Event {
+        Event { id: EventId::Init(loc), loc, action: Action::Write(Val::INIT) }
+    }
+
+    /// True for initial writes `IWℓ`.
+    pub fn is_init(&self) -> bool {
+        matches!(self.id, EventId::Init(_))
+    }
+
+    /// True for read events.
+    pub fn is_read(&self) -> bool {
+        self.action.is_read()
+    }
+
+    /// True for write events.
+    pub fn is_write(&self) -> bool {
+        self.action.is_write()
+    }
+
+    /// The value read or written.
+    pub fn value(&self) -> Val {
+        self.action.value()
+    }
+
+    /// The thread of a non-initial event.
+    pub fn thread(&self) -> Option<ThreadId> {
+        match self.id {
+            EventId::Thread(t, _) => Some(t),
+            EventId::Init(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}:{}", self.id, self.loc, self.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_event_shape() {
+        let e = Event::initial(Loc(3));
+        assert!(e.is_init());
+        assert!(e.is_write());
+        assert_eq!(e.value(), Val::INIT);
+        assert_eq!(e.thread(), None);
+    }
+
+    #[test]
+    fn thread_event_shape() {
+        let e = Event {
+            id: EventId::Thread(ThreadId(1), 4),
+            loc: Loc(0),
+            action: Action::Read(Val(7)),
+        };
+        assert!(!e.is_init());
+        assert!(e.is_read());
+        assert_eq!(e.thread(), Some(ThreadId(1)));
+        assert_eq!(format!("{e}"), "(P1,4): ℓ0:read 7");
+    }
+
+    #[test]
+    fn event_id_ordering_groups_inits_first() {
+        let a = EventId::Init(Loc(0));
+        let b = EventId::Thread(ThreadId(0), 0);
+        assert!(a < b);
+    }
+}

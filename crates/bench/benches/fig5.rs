@@ -1,0 +1,45 @@
+//! Criterion benches for the §8 performance simulation: one benchmark per
+//! figure (5b AArch64, 5c POWER) measuring a full 29-workload sweep, and
+//! single-workload probes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bdrst_sim::schemes::Scheme;
+use bdrst_sim::{figure5b, figure5c, harness, THUNDERX, WORKLOADS};
+
+const N: usize = 300;
+
+fn bench_fig5b(c: &mut Criterion) {
+    c.bench_function("fig5b_aarch64_sweep", |b| {
+        b.iter(|| {
+            let fig = figure5b(N);
+            // The paper's ordering must hold in every measured sweep.
+            assert!(fig.mean_overhead(Scheme::Fbs) < fig.mean_overhead(Scheme::Bal));
+            black_box(fig.mean_overhead(Scheme::Sra))
+        })
+    });
+}
+
+fn bench_fig5c(c: &mut Criterion) {
+    c.bench_function("fig5c_power_sweep", |b| {
+        b.iter(|| {
+            let fig = figure5c(N);
+            assert!(fig.mean_overhead(Scheme::Bal) < fig.mean_overhead(Scheme::Fbs));
+            black_box(fig.mean_overhead(Scheme::Sra))
+        })
+    });
+}
+
+fn bench_single_workload(c: &mut Criterion) {
+    let w = &WORKLOADS[0];
+    c.bench_function("simulate_almabench_sra", |b| {
+        b.iter(|| black_box(harness::run_workload(w, Scheme::Sra, THUNDERX, false, N)))
+    });
+}
+
+criterion_group!(
+    name = fig5;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_fig5b, bench_fig5c, bench_single_workload);
+criterion_main!(fig5);

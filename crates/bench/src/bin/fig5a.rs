@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5a: memory-access characteristics of the 29 workloads.
+
+fn main() {
+    println!("Figure 5a. Memory access characteristics (model inputs)");
+    print!("{}", bdrst_sim::format_figure5a());
+}

@@ -1,0 +1,25 @@
+//! Runs the whole litmus corpus against the operational and axiomatic
+//! semantics, printing the verdict table (§2 Examples 1–3, §5, §9).
+
+use bdrst_litmus::{all_tests, format_reports, run_test, RunConfig};
+
+fn main() {
+    let mut reports = Vec::new();
+    let mut ok = true;
+    for t in all_tests() {
+        match run_test(t, RunConfig::default()) {
+            Ok(rep) => {
+                ok &= rep.passes();
+                reports.push((t.description.to_string(), rep));
+            }
+            Err(e) => {
+                ok = false;
+                eprintln!("{}: ERROR {e}", t.name);
+            }
+        }
+    }
+    print!("{}", format_reports(&reports));
+    println!();
+    println!("corpus verdict: {}", if ok { "ALL MATCH THE MODEL" } else { "MISMATCHES FOUND" });
+    std::process::exit(if ok { 0 } else { 1 });
+}

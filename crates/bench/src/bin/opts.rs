@@ -1,0 +1,60 @@
+//! Regenerates the §7.1 optimisation catalogue: which transformations the
+//! model permits (with their derivations) and which it rejects.
+
+use bdrst_lang::Program;
+use bdrst_opt::passes;
+
+fn main() {
+    println!("§7.1 — compiler optimisations under the local-DRF model\n");
+
+    let cse = Program::parse(
+        "nonatomic a b; thread P0 { r1 = a * 2; r2 = b; r3 = a * 2; }",
+    )
+    .unwrap();
+    println!(
+        "CSE                      [r1=a*2; r2=b; r3=a*2]   {}",
+        verdict(passes::cse_loads(&cse.locs, &cse.threads[0].body).is_some())
+    );
+
+    let cp = Program::parse("nonatomic a b c; thread P0 { a = 1; b = c; r = a; }").unwrap();
+    println!(
+        "Constant propagation     [a=1; b=c; r=a]           {}",
+        verdict(passes::constant_propagation(&cp.locs, &cp.threads[0].body).is_some())
+    );
+
+    let dse = Program::parse("nonatomic a b c; thread P0 { a = 1; b = c; a = 2; }").unwrap();
+    println!(
+        "Dead store elimination   [a=1; b=c; a=2]           {}",
+        verdict(passes::dead_store_elimination(&dse.locs, &dse.threads[0].body).is_some())
+    );
+
+    let licm = Program::parse(
+        "nonatomic a c; thread P0 { while (k < 3) { a = k; r1 = c + 1; k = k + 1; } }",
+    )
+    .unwrap();
+    let w = licm.threads[0].body.iter().find(|s| matches!(s, bdrst_lang::Stmt::While(..))).unwrap();
+    println!(
+        "LICM                     [while {{ …; r1=c+1 }}]     {}",
+        verdict(passes::hoist_loop_invariant_load(&licm.locs, w).is_some())
+    );
+
+    let seq = Program::parse(
+        "nonatomic a b; thread P0 { a = 1; } thread P1 { b = 1; }",
+    )
+    .unwrap();
+    let merged = passes::sequentialise(&seq, 0, 1);
+    println!(
+        "Sequentialisation        [P ∥ Q] ⇒ [P; Q]          {}",
+        verdict(merged.threads.len() == 1)
+    );
+
+    let rse = Program::parse("nonatomic a b c; thread P0 { r1 = a; b = c; a = r1; }").unwrap();
+    match passes::attempt_redundant_store_elimination(&rse.locs, &rse.threads[0].body) {
+        Err(v) => println!("Redundant store elim.    [r1=a; b=c; a=r1]         REJECTED ({v})"),
+        Ok(()) => println!("Redundant store elim.    pattern not found?!"),
+    }
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok { "VALID (derivation found)" } else { "rejected" }
+}

@@ -1,0 +1,41 @@
+//! Empirically checks Theorems 19/20 (compilation soundness) over the
+//! litmus corpus, for the sound schemes and the two deliberately unsound
+//! ones (§7.3's naive mapping and §9.2's bare-stlr mapping).
+
+use bdrst_axiomatic::EnumLimits;
+use bdrst_hw::{check_compilation, SoundnessVerdict, Target, BAL, FBS, NAIVE, SRA, STLR_SC};
+use bdrst_lang::Program;
+use bdrst_litmus::all_tests;
+
+fn main() {
+    let targets: [(&str, Target); 6] = [
+        ("x86 (Table 1)", Target::X86),
+        ("ARM BAL (Table 2a)", Target::Arm(BAL)),
+        ("ARM FBS (Table 2b)", Target::Arm(FBS)),
+        ("ARM SRA (§8.2)", Target::Arm(SRA)),
+        ("ARM naive (unsound)", Target::Arm(NAIVE)),
+        ("ARM stlr-SC (§9.2, unsound)", Target::Arm(STLR_SC)),
+    ];
+    println!("{:<30} {:<10} {:>11} {:>7}", "target", "test", "candidates", "sound?");
+    for (name, target) in targets {
+        let mut all_sound = true;
+        for t in all_tests() {
+            let p = Program::parse(t.source).expect("corpus parses");
+            match check_compilation(&p, target, EnumLimits::default()) {
+                Ok(SoundnessVerdict::Sound(stats)) => {
+                    println!("{name:<30} {:<10} {:>11} {:>7}", t.name, stats.candidates, "yes");
+                }
+                Ok(SoundnessVerdict::Unsound(u)) => {
+                    all_sound = false;
+                    println!("{name:<30} {:<10} {:>11} {:>7}", t.name, u.stats.candidates, "NO");
+                }
+                Err(e) => println!("{name:<30} {:<10} error: {e}", t.name),
+            }
+        }
+        println!(
+            "  => {name}: {}",
+            if all_sound { "sound on the whole corpus" } else { "UNSOUND (counterexample above)" }
+        );
+        println!();
+    }
+}

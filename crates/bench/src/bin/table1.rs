@@ -1,0 +1,12 @@
+//! Regenerates Table 1: compilation of the four access kinds to x86-TSO.
+
+use bdrst_hw::{x86_sequence, AccessKind};
+
+fn main() {
+    println!("Table 1. Compilation to x86-TSO");
+    println!("{:<18} {}", "Operation", "Implementation");
+    for kind in AccessKind::ALL {
+        let seq: Vec<String> = x86_sequence(kind).iter().map(|i| i.to_string()).collect();
+        println!("{:<18} {}", kind.to_string(), seq.join("; "));
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Tables 2a/2b: compilation of the four access kinds to
+//! ARMv8 under the BAL and FBS schemes (plus SRA for §8.2).
+
+use bdrst_hw::{AccessKind, ArmMapping, BAL, FBS, SRA};
+
+fn print_scheme(title: &str, m: ArmMapping) {
+    println!("{title}");
+    println!("{:<18} {}", "Operation", "Implementation");
+    for kind in AccessKind::ALL {
+        let seq: Vec<String> = m.sequence(kind).iter().map(|i| i.to_string()).collect();
+        println!("{:<18} {}", kind.to_string(), seq.join("; "));
+    }
+    println!();
+}
+
+fn main() {
+    print_scheme("Table 2a. Compilation to ARMv8 — scheme 1 (BAL)", BAL);
+    print_scheme("Table 2b. Compilation to ARMv8 — scheme 2 (FBS)", FBS);
+    print_scheme("§8.2. Strong release/acquire (SRA)", SRA);
+}

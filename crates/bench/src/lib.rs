@@ -1,0 +1,8 @@
+//! # bdrst-bench — the benchmark harness
+//!
+//! Binaries regenerate each table and figure of the paper:
+//! `table1`, `table2` (compilation schemes), `litmus` (the §2/§5/§9
+//! example verdicts), `soundness` (Theorems 19/20 across the corpus),
+//! `opts` (the §7.1 optimisation catalogue), `fig5a`, `fig5b`, `fig5c`
+//! (the §8 evaluation). Criterion benches measure the cost of the
+//! checkers and the simulator; see `benches/`.

@@ -1,0 +1,341 @@
+//! Exhaustive exploration of the operational semantics.
+//!
+//! Two modes:
+//!
+//! * **State-space exploration** ([`reachable_terminals`], [`reachable_states`])
+//!   deduplicates machines up to *timestamp renaming*: two stores that
+//!   differ only in the rational representatives of their timestamps are
+//!   observationally identical, so each location's timestamps are replaced
+//!   by their rank before hashing. Used for outcome enumeration.
+//!
+//! * **Trace enumeration** ([`for_each_trace`]) walks every trace (up to a
+//!   configurable budget) carrying the [`TraceLabels`]; data races and
+//!   happens-before are trace-dependent, so the DRF checkers use this mode.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::loc::{LocKind, LocSet, Val};
+use crate::machine::{Expr, Machine, Transition};
+use crate::trace::TraceLabels;
+
+/// Budgets for exploration. The defaults are generous for litmus-scale
+/// programs while guaranteeing termination on accidental state explosions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExploreConfig {
+    /// Maximum number of distinct canonical states to visit.
+    pub max_states: usize,
+    /// Maximum number of trace prefixes to enumerate in trace mode.
+    pub max_traces: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig { max_states: 1_000_000, max_traces: 10_000_000 }
+    }
+}
+
+/// Error returned when an exploration exceeds its [`ExploreConfig`] budget.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BudgetExceeded {
+    /// The number of states or traces visited before giving up.
+    pub visited: usize,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exploration budget exceeded after {} items", self.visited)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// The canonical (timestamp-renamed) form of a location's contents.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum CanonLoc {
+    /// Nonatomic: history values in timestamp order.
+    Na(Vec<Val>),
+    /// Atomic: current value plus the location frontier as per-location ranks.
+    At(Val, Vec<u32>),
+}
+
+/// A machine up to timestamp renaming; hashable for dedup.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonState<E> {
+    store: Vec<CanonLoc>,
+    threads: Vec<(Vec<u32>, E)>,
+}
+
+/// Computes the canonical form of a machine: all timestamps are replaced by
+/// their rank within the owning location's history.
+pub fn canonicalize<E: Expr>(locs: &LocSet, m: &Machine<E>) -> CanonState<E> {
+    let rank_frontier = |f: &crate::frontier::Frontier| -> Vec<u32> {
+        locs.iter()
+            .map(|l| match locs.kind(l) {
+                LocKind::Nonatomic => m
+                    .store
+                    .history(l)
+                    .rank_of(f.get(l))
+                    .expect("frontier timestamp must be in history") as u32,
+                LocKind::Atomic => 0,
+            })
+            .collect()
+    };
+    let store = locs
+        .iter()
+        .map(|l| match locs.kind(l) {
+            LocKind::Nonatomic => {
+                CanonLoc::Na(m.store.history(l).iter().map(|(_, v)| v).collect())
+            }
+            LocKind::Atomic => {
+                let (f, v) = m.store.atomic(l);
+                CanonLoc::At(v, rank_frontier(f))
+            }
+        })
+        .collect();
+    let threads = m
+        .threads
+        .iter()
+        .map(|t| (rank_frontier(&t.frontier), t.expr.clone()))
+        .collect();
+    CanonState { store, threads }
+}
+
+/// Statistics of a finished exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Distinct canonical states visited (state mode) or trace prefixes
+    /// enumerated (trace mode).
+    pub visited: usize,
+    /// Transitions examined.
+    pub transitions: usize,
+}
+
+/// Explores the full state space from `m0`, returning all *terminal*
+/// machines (no thread can step), deduplicated canonically.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if more than `config.max_states` canonical
+/// states are reachable.
+pub fn reachable_terminals<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: ExploreConfig,
+) -> Result<Vec<Machine<E>>, BudgetExceeded> {
+    let mut terminals = Vec::new();
+    let mut terminal_keys = HashSet::new();
+    reachable_states(locs, m0, config, |m| {
+        if m.is_terminal() && terminal_keys.insert(canonicalize(locs, m)) {
+            terminals.push(m.clone());
+        }
+    })?;
+    Ok(terminals)
+}
+
+/// Explores the full state space from `m0`, invoking `visit` once per
+/// distinct canonical state (including `m0` and terminals).
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if the state budget is exhausted.
+pub fn reachable_states<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: ExploreConfig,
+    mut visit: impl FnMut(&Machine<E>),
+) -> Result<ExploreStats, BudgetExceeded> {
+    let mut seen: HashSet<CanonState<E>> = HashSet::new();
+    let mut stack = vec![m0];
+    let mut stats = ExploreStats::default();
+    while let Some(m) = stack.pop() {
+        if !seen.insert(canonicalize(locs, &m)) {
+            continue;
+        }
+        if seen.len() > config.max_states {
+            return Err(BudgetExceeded { visited: seen.len() });
+        }
+        stats.visited += 1;
+        visit(&m);
+        for t in m.transitions(locs) {
+            stats.transitions += 1;
+            stack.push(t.target);
+        }
+    }
+    Ok(stats)
+}
+
+/// What a [`for_each_trace`] visitor asks the explorer to do next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Visit {
+    /// Keep extending this trace.
+    Continue,
+    /// Do not extend this trace (but keep exploring siblings).
+    Prune,
+    /// Abort the whole exploration.
+    Stop,
+}
+
+/// Enumerates traces from `m0` in depth-first order.
+///
+/// `step_filter` selects which transitions may be taken (e.g. only
+/// L-sequential ones); `visit` is called after each extension with the
+/// current trace labels, the transition just taken, and the machine
+/// reached. Every prefix of a trace is itself a trace (Definition 5), so
+/// the visitor sees each prefix exactly once.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if more than `config.max_traces` trace
+/// extensions are made.
+pub fn for_each_trace<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: ExploreConfig,
+    mut step_filter: impl FnMut(&Transition<E>) -> bool,
+    mut visit: impl FnMut(&TraceLabels, &Transition<E>) -> Visit,
+) -> Result<ExploreStats, BudgetExceeded> {
+    let mut stats = ExploreStats::default();
+    let mut trace = TraceLabels::new();
+    let stopped = dfs(locs, &m0, config, &mut trace, &mut step_filter, &mut visit, &mut stats)?;
+    let _ = stopped;
+    Ok(stats)
+}
+
+fn dfs<E: Expr>(
+    locs: &LocSet,
+    m: &Machine<E>,
+    config: ExploreConfig,
+    trace: &mut TraceLabels,
+    step_filter: &mut impl FnMut(&Transition<E>) -> bool,
+    visit: &mut impl FnMut(&TraceLabels, &Transition<E>) -> Visit,
+    stats: &mut ExploreStats,
+) -> Result<bool, BudgetExceeded> {
+    for t in m.transitions(locs) {
+        stats.transitions += 1;
+        if !step_filter(&t) {
+            continue;
+        }
+        stats.visited += 1;
+        if stats.visited > config.max_traces {
+            return Err(BudgetExceeded { visited: stats.visited });
+        }
+        trace.push(t.label);
+        let verdict = visit(trace, &t);
+        let stop = match verdict {
+            Visit::Stop => true,
+            Visit::Prune => false,
+            Visit::Continue => dfs(locs, &t.target, config, trace, step_filter, visit, stats)?,
+        };
+        trace.pop();
+        if stop {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::Loc;
+    use crate::machine::{RecordedExpr, StepLabel};
+
+    fn locs_ab() -> (LocSet, Loc, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        let b = l.fresh("b", LocKind::Nonatomic);
+        (l, a, b)
+    }
+
+    #[test]
+    fn store_buffering_all_four_outcomes() {
+        // SB: P0: a=1; r0=b   P1: b=1; r1=a — all four outcomes are
+        // sequentially explicable here? Under SC only 3; under this model
+        // r0=0, r1=0 requires weak reads... actually both reads CAN be
+        // stale: each reader's frontier knows nothing of the other's write.
+        let (locs, a, b) = locs_ab();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(b)]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(b, Val(1)), StepLabel::Read(a)]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let terms = reachable_terminals(&locs, m0, ExploreConfig::default()).unwrap();
+        let outcomes: HashSet<(Val, Val)> = terms
+            .iter()
+            .map(|m| (m.threads[0].expr.reads[0], m.threads[1].expr.reads[0]))
+            .collect();
+        // Racy programs admit all four outcomes (weak reads allowed).
+        for o in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            assert!(outcomes.contains(&(Val(o.0), Val(o.1))), "missing {o:?}");
+        }
+    }
+
+    #[test]
+    fn canonicalization_merges_timestamp_variants() {
+        // Two threads writing to the same location in either order reach
+        // stores with different rationals but (for the same value order)
+        // identical canonical forms.
+        let (locs, a, _) = locs_ab();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let terms = reachable_terminals(&locs, m0, ExploreConfig::default()).unwrap();
+        // Terminal stores: histories [0,1,2] or [0,2,1] — exactly two
+        // canonical classes.
+        assert_eq!(terms.len(), 2);
+    }
+
+    #[test]
+    fn trace_enumeration_sees_all_interleavings() {
+        let (locs, a, b) = locs_ab();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(b, Val(1))]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let mut complete = 0;
+        for_each_trace(
+            &locs,
+            m0,
+            ExploreConfig::default(),
+            |_| true,
+            |tr, t| {
+                if tr.len() == 2 && t.target.is_terminal() {
+                    complete += 1;
+                }
+                Visit::Continue
+            },
+        )
+        .unwrap();
+        // Independent writes to different locations: 2 interleavings.
+        assert_eq!(complete, 2);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (locs, a, _) = locs_ab();
+        let mk = || RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 6]);
+        let m0 = Machine::initial(&locs, [mk(), mk(), mk()]);
+        let tiny = ExploreConfig { max_states: 10, max_traces: 10 };
+        assert!(reachable_terminals(&locs, m0.clone(), tiny).is_err());
+        let r = for_each_trace(&locs, m0, tiny, |_| true, |_, _| Visit::Continue);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn visit_stop_aborts() {
+        let (locs, a, _) = locs_ab();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 4]);
+        let m0 = Machine::initial(&locs, [p0]);
+        let mut seen = 0;
+        for_each_trace(
+            &locs,
+            m0,
+            ExploreConfig::default(),
+            |_| true,
+            |_, _| {
+                seen += 1;
+                Visit::Stop
+            },
+        )
+        .unwrap();
+        assert_eq!(seen, 1);
+    }
+}

@@ -1,0 +1,455 @@
+//! L-stability, the local DRF theorem (Theorem 13) and the derived global
+//! DRF theorem (Theorem 14), as executable checkers.
+//!
+//! * [`is_l_stable`] — Definition 12: `M` is L-stable if no trace through
+//!   `M` has a data race between a transition before `M` and an
+//!   L-sequential transition after it.
+//! * [`check_local_drf`] — Theorem 13: from an L-stable `M`, after any
+//!   L-sequential transition sequence, either every enabled transition is
+//!   L-sequential, or some enabled *non-weak* transition on a location in
+//!   `L` races with one of the transitions taken since `M`.
+//! * [`check_global_drf`] — Theorem 14: if every sequentially consistent
+//!   trace of a program is race-free, then every trace of the program is
+//!   sequentially consistent.
+//!
+//! These checkers exhaustively verify the theorems on bounded state spaces;
+//! they are used by the test suite across the whole litmus corpus, and by
+//! the failure-injection tests, which check that deliberately broken
+//! semantics (e.g. non-synchronising atomics) are caught.
+
+use crate::explore::{for_each_trace, BudgetExceeded, ExploreConfig, ExploreStats, Visit};
+use crate::loc::LocSet;
+use crate::machine::{Expr, Machine, TransitionLabel};
+use crate::trace::{conflicting, is_l_sequential, LocPredicate, TraceLabels};
+
+/// A counterexample to Theorem 13 found by [`check_local_drf`]: an
+/// L-sequential suffix after which a non-L-sequential transition is enabled
+/// yet no racing non-weak transition on `L` exists.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LocalDrfViolation {
+    /// The L-sequential transitions taken since the checked state.
+    pub suffix: Vec<TransitionLabel>,
+    /// The enabled transition that is not L-sequential.
+    pub offending: TransitionLabel,
+}
+
+impl std::fmt::Display for LocalDrfViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "local DRF violated after L-sequential suffix:")?;
+        for t in &self.suffix {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "offending non-L-sequential transition: {}", self.offending)
+    }
+}
+
+/// The outcome of a DRF-style check that can also run out of budget.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckError<V> {
+    /// The property was violated, with a witness.
+    Violation(V),
+    /// The exploration budget was exhausted before a verdict.
+    Budget(BudgetExceeded),
+}
+
+impl<V: std::fmt::Debug> std::fmt::Display for CheckError<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Violation(v) => write!(f, "property violated: {v:?}"),
+            CheckError::Budget(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl<V: std::fmt::Debug> std::error::Error for CheckError<V> {}
+
+impl<V> From<BudgetExceeded> for CheckError<V> {
+    fn from(b: BudgetExceeded) -> CheckError<V> {
+        CheckError::Budget(b)
+    }
+}
+
+/// Checks Definition 12 for the state reached by `prefix_machine` via the
+/// transitions `prefix`: explores every L-sequential suffix and reports
+/// whether any suffix transition races with any prefix transition.
+///
+/// (Definition 12 quantifies over *all* traces through `M`; callers that
+/// need full generality enumerate prefixes reaching `M` and invoke this per
+/// prefix. For the paper's reasoning patterns — "no concurrent accesses to
+/// `L` before the fragment" — the given-prefix form is the one used.)
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if the suffix exploration exceeds the budget.
+pub fn is_l_stable_for_prefix<E: Expr>(
+    locs: &LocSet,
+    prefix: &[TransitionLabel],
+    prefix_machine: Machine<E>,
+    l_set: &LocPredicate,
+    config: ExploreConfig,
+) -> Result<bool, BudgetExceeded> {
+    let mut stable = true;
+    for_each_trace(
+        locs,
+        prefix_machine,
+        config,
+        |t| is_l_sequential(&t.label, l_set),
+        |suffix, _t| {
+            // Race between some prefix Ti and the transition just taken?
+            let mut all = TraceLabels::from_labels(prefix.to_vec());
+            for l in suffix.labels() {
+                all.push(*l);
+            }
+            let n = all.len() - 1;
+            let hb = all.happens_before(locs);
+            let last = all.labels()[n];
+            for (i, ti) in all.labels()[..prefix.len()].iter().enumerate() {
+                if conflicting(ti, &last, locs) && !hb.contains(i, n) {
+                    stable = false;
+                    return Visit::Stop;
+                }
+            }
+            Visit::Continue
+        },
+    )?;
+    Ok(stable)
+}
+
+/// Checks Theorem 13 from the machine state `m`, assumed L-stable.
+///
+/// Explores every L-sequential transition sequence from `m` (within
+/// budget). At each reached state, if some enabled transition is *not*
+/// L-sequential, verifies the theorem's guarantee: an enabled non-weak
+/// transition on a location in `L` exists that has a data race with one of
+/// the suffix transitions. Returns statistics on success.
+///
+/// # Errors
+///
+/// * [`CheckError::Violation`] with a [`LocalDrfViolation`] witness if the
+///   theorem fails (impossible for the paper semantics; reachable with the
+///   failure-injection semantics).
+/// * [`CheckError::Budget`] if exploration exceeds the budget.
+pub fn check_local_drf<E: Expr>(
+    locs: &LocSet,
+    m: Machine<E>,
+    l_set: &LocPredicate,
+    config: ExploreConfig,
+) -> Result<ExploreStats, CheckError<LocalDrfViolation>> {
+    let mut violation: Option<LocalDrfViolation> = None;
+
+    // Check the theorem's conclusion at one state, reached via `suffix`.
+    let check_state = |suffix: &TraceLabels, machine: &Machine<E>| -> Option<LocalDrfViolation> {
+        let transitions = machine.transitions(locs);
+        let non_l_seq: Vec<_> = transitions
+            .iter()
+            .filter(|t| !is_l_sequential(&t.label, l_set))
+            .collect();
+        if non_l_seq.is_empty() {
+            return None; // first disjunct: all transitions L-sequential
+        }
+        // Second disjunct: find a non-weak transition on L racing with a Ti.
+        let witness_exists = transitions.iter().any(|t| {
+            if t.label.weak {
+                return false;
+            }
+            let Some(action) = t.label.action else { return false };
+            if !l_set.contains(&action.loc) {
+                return false;
+            }
+            // Race between some suffix Ti and this transition?
+            let mut all = suffix.clone();
+            all.push(t.label);
+            let n = all.len() - 1;
+            let hb = all.happens_before(locs);
+            (0..n).any(|i| conflicting(&all.labels()[i], &t.label, locs) && !hb.contains(i, n))
+        });
+        if witness_exists {
+            None
+        } else {
+            Some(LocalDrfViolation {
+                suffix: suffix.labels().to_vec(),
+                offending: non_l_seq[0].label,
+            })
+        }
+    };
+
+    // The empty suffix (state `m` itself) must also satisfy the theorem.
+    if let Some(v) = check_state(&TraceLabels::new(), &m) {
+        return Err(CheckError::Violation(v));
+    }
+
+    let stats = for_each_trace(
+        locs,
+        m,
+        config,
+        |t| is_l_sequential(&t.label, l_set),
+        |suffix, t| {
+            if let Some(v) = check_state(suffix, &t.target) {
+                violation = Some(v);
+                return Visit::Stop;
+            }
+            Visit::Continue
+        },
+    )?;
+    match violation {
+        Some(v) => Err(CheckError::Violation(v)),
+        None => Ok(stats),
+    }
+}
+
+/// A witness that a program is not data-race-free: a sequentially
+/// consistent trace containing a data race.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RaceWitness {
+    /// The racy sequentially consistent trace.
+    pub trace: Vec<TransitionLabel>,
+    /// Indices of the racing pair within `trace`.
+    pub pair: (usize, usize),
+}
+
+/// Classification of a program by [`sc_race_freedom`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DrfStatus {
+    /// Every sequentially consistent trace is race-free.
+    RaceFree,
+    /// Some sequentially consistent trace has a race.
+    Racy(RaceWitness),
+}
+
+/// Determines whether the program starting at `m0` is data-race-free in the
+/// sense of Theorem 14's hypothesis: all sequentially consistent traces
+/// contain no data races.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] on budget exhaustion.
+pub fn sc_race_freedom<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: ExploreConfig,
+) -> Result<DrfStatus, BudgetExceeded> {
+    let mut status = DrfStatus::RaceFree;
+    for_each_trace(
+        locs,
+        m0,
+        config,
+        |t| !t.label.weak,
+        |trace, _t| {
+            // Only the freshly appended transition needs checking: earlier
+            // pairs were checked on earlier prefixes.
+            let n = trace.len() - 1;
+            let hb = trace.happens_before(locs);
+            let last = trace.labels()[n];
+            for i in 0..n {
+                if conflicting(&trace.labels()[i], &last, locs) && !hb.contains(i, n) {
+                    status = DrfStatus::Racy(RaceWitness {
+                        trace: trace.labels().to_vec(),
+                        pair: (i, n),
+                    });
+                    return Visit::Stop;
+                }
+            }
+            Visit::Continue
+        },
+    )?;
+    Ok(status)
+}
+
+/// Determines whether *every* trace of the program is sequentially
+/// consistent, i.e. no weak transition is ever enabled along a
+/// sequentially consistent trace. (The first weak transition of any trace
+/// is preceded by an SC prefix, so SC-reachability suffices.)
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] on budget exhaustion.
+pub fn all_traces_sequentially_consistent<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: ExploreConfig,
+) -> Result<bool, BudgetExceeded> {
+    let mut all_sc = true;
+    for_each_trace(
+        locs,
+        m0,
+        config,
+        |_| true,
+        |trace, _t| {
+            // Enumerate all transitions but prune below any weak one: we
+            // only need SC-reachable states, plus the weak transitions
+            // enabled at them.
+            if trace.labels().iter().any(|l| l.weak) {
+                all_sc = false;
+                return Visit::Stop;
+            }
+            Visit::Continue
+        },
+    )?;
+    Ok(all_sc)
+}
+
+/// A counterexample to Theorem 14: the program is data-race-free under
+/// sequential consistency, yet admits a non-SC trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GlobalDrfViolation {
+    /// The weak transition that should have been impossible.
+    pub weak_transition: TransitionLabel,
+}
+
+/// Checks Theorem 14 on the program starting at `m0`: if the program is
+/// data-race-free (per [`sc_race_freedom`]), verifies that all traces are
+/// sequentially consistent. Racy programs satisfy the theorem vacuously.
+///
+/// # Errors
+///
+/// * [`CheckError::Violation`] if the theorem fails (never, for the paper
+///   semantics).
+/// * [`CheckError::Budget`] on budget exhaustion.
+pub fn check_global_drf<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: ExploreConfig,
+) -> Result<DrfStatus, CheckError<GlobalDrfViolation>> {
+    let status = sc_race_freedom(locs, m0.clone(), config)?;
+    if let DrfStatus::RaceFree = status {
+        let mut witness = None;
+        for_each_trace(
+            locs,
+            m0,
+            config,
+            |_| true,
+            |trace, _t| {
+                let last = *trace.labels().last().expect("non-empty");
+                if last.weak {
+                    witness = Some(last);
+                    return Visit::Stop;
+                }
+                Visit::Continue
+            },
+        )
+        .map_err(CheckError::from)?;
+        if let Some(weak_transition) = witness {
+            return Err(CheckError::Violation(GlobalDrfViolation { weak_transition }));
+        }
+    }
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::{Loc, LocKind, Val};
+    use crate::machine::{RecordedExpr, StepLabel};
+
+    fn cfg() -> ExploreConfig {
+        ExploreConfig::default()
+    }
+
+    fn locs_abf() -> (LocSet, Loc, Loc, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        let b = l.fresh("b", LocKind::Nonatomic);
+        let f = l.fresh("F", LocKind::Atomic);
+        (l, a, b, f)
+    }
+
+    #[test]
+    fn drf_program_is_globally_sc() {
+        // Message passing through an atomic is data-race-free... only if
+        // the reader's access to `a` is conditional on the flag. A reader
+        // that accesses `a` unconditionally races. Here: both threads write
+        // disjoint locations with atomic flag sync — race-free.
+        let (locs, a, _b, f) = locs_abf();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Write(f, Val(1))]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Read(f)]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let status = check_global_drf(&locs, m0, cfg()).unwrap();
+        assert_eq!(status, DrfStatus::RaceFree);
+    }
+
+    #[test]
+    fn racy_program_detected() {
+        let (locs, a, _, _) = locs_abf();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        match sc_race_freedom(&locs, m0, cfg()).unwrap() {
+            DrfStatus::Racy(w) => {
+                assert_eq!(w.pair.0 < w.pair.1, true);
+            }
+            DrfStatus::RaceFree => panic!("expected a race"),
+        }
+    }
+
+    #[test]
+    fn racy_program_has_weak_traces() {
+        let (locs, a, _, _) = locs_abf();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(a)]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        assert!(!all_traces_sequentially_consistent(&locs, m0, cfg()).unwrap());
+    }
+
+    #[test]
+    fn theorem13_holds_from_initial_state() {
+        // Initial states are trivially L-stable; the theorem must hold for
+        // any L. Use the SB shape, L = {a}.
+        let (locs, a, b, _) = locs_abf();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(b)]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(b, Val(1)), StepLabel::Read(a)]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let l: LocPredicate = [a].into_iter().collect();
+        check_local_drf(&locs, m0, &l, cfg()).unwrap();
+    }
+
+    #[test]
+    fn theorem13_holds_all_locations() {
+        // L = all nonatomic locations: local DRF specialises to the global
+        // guarantee (Theorem 14's proof uses exactly this instance).
+        let (locs, a, b, f) = locs_abf();
+        let p0 = RecordedExpr::new(vec![
+            StepLabel::Write(a, Val(1)),
+            StepLabel::Write(f, Val(1)),
+            StepLabel::Read(b),
+        ]);
+        let p1 = RecordedExpr::new(vec![
+            StepLabel::Read(f),
+            StepLabel::Write(b, Val(1)),
+            StepLabel::Read(a),
+        ]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let l: LocPredicate = [a, b].into_iter().collect();
+        check_local_drf(&locs, m0, &l, cfg()).unwrap();
+    }
+
+    #[test]
+    fn initial_state_is_l_stable() {
+        let (locs, a, _, _) = locs_abf();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let l: LocPredicate = [a].into_iter().collect();
+        // Empty prefix: nothing to race with.
+        assert!(is_l_stable_for_prefix(&locs, &[], m0, &l, cfg()).unwrap());
+    }
+
+    #[test]
+    fn mid_race_state_is_not_l_stable() {
+        // After P0's write to `a` (the prefix), P1's conflicting write is
+        // still to come: the state is not {a}-stable.
+        let (locs, a, _, _) = locs_abf();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        // Take P0's write.
+        let t = m0
+            .transitions(&locs)
+            .into_iter()
+            .find(|t| t.label.thread.index() == 0)
+            .unwrap();
+        let l: LocPredicate = [a].into_iter().collect();
+        let stable =
+            is_l_stable_for_prefix(&locs, &[t.label], t.target, &l, cfg()).unwrap();
+        assert!(!stable);
+    }
+}

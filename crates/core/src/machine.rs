@@ -1,0 +1,391 @@
+//! Machine configurations and the small-step relation (Fig. 1a/1b).
+//!
+//! A machine `M = ⟨S, P⟩` pairs a store with a program: a finite map from
+//! thread identifiers to `(frontier, expression)` pairs. The semantics of
+//! memory does not fix the form of expressions; this module captures the
+//! required interface as the [`Expr`] trait (whose read transitions must
+//! satisfy Proposition 4: a read accepts any value).
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::frontier::Frontier;
+use crate::loc::{LabeledAction, Loc, LocSet, Val};
+use crate::memop::{perform_read, perform_write};
+use crate::store::Store;
+use crate::timestamp::Timestamp;
+
+/// A thread identifier `i`: index into the machine's thread vector.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The thread's raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The label of one enabled expression step.
+///
+/// For [`StepLabel::Read`] the value is *not* part of the label: per
+/// Proposition 4 the expression must accept whatever value memory supplies,
+/// via [`Expr::apply_step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepLabel {
+    /// A silent step `e —ϵ→ e′`: no memory access.
+    Silent,
+    /// A read step `e —ℓ:read x→ e_x` for every value `x`.
+    Read(Loc),
+    /// A write step `e —ℓ:write x→ e′`.
+    Write(Loc, Val),
+}
+
+/// The expression language interface required by the memory semantics.
+///
+/// Implementations enumerate their enabled steps with [`Expr::steps`] and
+/// produce the successor expression with [`Expr::apply_step`]. Proposition 4
+/// ("read transitions are not picky about the value being read") must hold:
+/// `apply_step` must succeed for a `Read` step with *any* value.
+///
+/// # Examples
+///
+/// See [`bdrst-lang`'s `ThreadState`](https://docs.rs/bdrst-lang) for the
+/// litmus-language implementation, or [`RecordedExpr`] in this module for a
+/// trivial straight-line one.
+pub trait Expr: Clone + Eq + Hash + fmt::Debug {
+    /// All enabled steps of this expression.
+    ///
+    /// An empty vector means the thread is terminated (or stuck).
+    fn steps(&self) -> Vec<StepLabel>;
+
+    /// The successor expression after taking `steps()[index]`.
+    ///
+    /// For `Read` steps, `read_value` is the value memory supplied; for
+    /// `Silent` and `Write` steps it is ignored (pass anything).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index` is out of range of [`Expr::steps`].
+    fn apply_step(&self, index: usize, read_value: Val) -> Self;
+}
+
+/// The per-thread component of a program: `i ↦ (F, e)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ThreadState<E> {
+    /// The thread's frontier.
+    pub frontier: Frontier,
+    /// The thread's current expression.
+    pub expr: E,
+}
+
+/// A machine configuration `M = ⟨S, P⟩`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Machine<E> {
+    /// The shared store.
+    pub store: Store,
+    /// The threads (thread `i` is `threads[i]`).
+    pub threads: Vec<ThreadState<E>>,
+}
+
+/// The record of one machine transition, as needed by traces: which thread
+/// stepped, what memory action (if any) it performed, and the metadata used
+/// by the weak-transition and happens-before machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TransitionLabel {
+    /// The thread that stepped.
+    pub thread: ThreadId,
+    /// The memory action, or `None` for rule Silent.
+    pub action: Option<LabeledAction>,
+    /// The nonatomic history timestamp read or written, if applicable.
+    pub timestamp: Option<Timestamp>,
+    /// Whether the transition is weak (Definition 6).
+    pub weak: bool,
+}
+
+impl TransitionLabel {
+    /// True if this transition performed a memory operation.
+    pub fn is_memory(&self) -> bool {
+        self.action.is_some()
+    }
+}
+
+impl fmt::Display for TransitionLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.action {
+            None => write!(f, "{}: ϵ", self.thread),
+            Some(a) => {
+                write!(f, "{}: {}", self.thread, a)?;
+                if self.weak {
+                    write!(f, " (weak)")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One enabled machine transition: its label and the successor machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transition<E> {
+    /// The transition's observable label.
+    pub label: TransitionLabel,
+    /// The machine after the transition.
+    pub target: Machine<E>,
+}
+
+impl<E: Expr> Machine<E> {
+    /// The initial machine `M₀` for the given thread expressions (§3.1):
+    /// initial store, and every thread at the initial frontier.
+    pub fn initial(locs: &LocSet, exprs: impl IntoIterator<Item = E>) -> Machine<E> {
+        let f0 = Frontier::initial(locs);
+        Machine {
+            store: Store::initial(locs),
+            threads: exprs
+                .into_iter()
+                .map(|e| ThreadState { frontier: f0.clone(), expr: e })
+                .collect(),
+        }
+    }
+
+    /// The number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// True if no thread has an enabled step.
+    pub fn is_terminal(&self) -> bool {
+        self.threads.iter().all(|t| t.expr.steps().is_empty())
+    }
+
+    /// Enumerates every enabled machine transition (rules Silent and
+    /// Memory, Fig. 1b), including every nondeterministic memory outcome.
+    pub fn transitions(&self, locs: &LocSet) -> Vec<Transition<E>> {
+        let mut out = Vec::new();
+        for (ti, thread) in self.threads.iter().enumerate() {
+            let tid = ThreadId(ti as u32);
+            for (si, step) in thread.expr.steps().into_iter().enumerate() {
+                match step {
+                    StepLabel::Silent => {
+                        let mut m = self.clone();
+                        m.threads[ti].expr = thread.expr.apply_step(si, Val::INIT);
+                        out.push(Transition {
+                            label: TransitionLabel {
+                                thread: tid,
+                                action: None,
+                                timestamp: None,
+                                weak: false,
+                            },
+                            target: m,
+                        });
+                    }
+                    StepLabel::Read(loc) => {
+                        for r in perform_read(locs, &self.store, &thread.frontier, loc) {
+                            let mut m = self.clone();
+                            m.store = r.store;
+                            m.threads[ti].frontier = r.frontier;
+                            m.threads[ti].expr =
+                                thread.expr.apply_step(si, r.label.action.value());
+                            out.push(Transition {
+                                label: TransitionLabel {
+                                    thread: tid,
+                                    action: Some(r.label),
+                                    timestamp: r.timestamp,
+                                    weak: r.weak,
+                                },
+                                target: m,
+                            });
+                        }
+                    }
+                    StepLabel::Write(loc, x) => {
+                        for w in perform_write(locs, &self.store, &thread.frontier, loc, x) {
+                            let mut m = self.clone();
+                            m.store = w.store;
+                            m.threads[ti].frontier = w.frontier;
+                            m.threads[ti].expr = thread.expr.apply_step(si, Val::INIT);
+                            out.push(Transition {
+                                label: TransitionLabel {
+                                    thread: tid,
+                                    action: Some(w.label),
+                                    timestamp: w.timestamp,
+                                    weak: w.weak,
+                                },
+                                target: m,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A minimal [`Expr`] for tests and documentation: a fixed list of labelled
+/// steps executed in order, recording values read.
+///
+/// # Examples
+///
+/// ```
+/// use bdrst_core::loc::{LocSet, LocKind, Val};
+/// use bdrst_core::machine::{Machine, RecordedExpr, StepLabel, Expr};
+///
+/// let mut locs = LocSet::new();
+/// let a = locs.fresh("a", LocKind::Nonatomic);
+/// let writer = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
+/// let reader = RecordedExpr::new(vec![StepLabel::Read(a)]);
+/// let m = Machine::initial(&locs, [writer, reader]);
+/// assert_eq!(m.transitions(&locs).len(), 2); // write (1 gap) + read (init)
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RecordedExpr {
+    program: Vec<StepLabelOwned>,
+    pc: usize,
+    /// Values observed by the read steps executed so far.
+    pub reads: Vec<Val>,
+}
+
+// StepLabel is Copy and non-hashable only because of Val? All fields are
+// hashable; we store an owned mirror to derive Hash for the whole expr.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum StepLabelOwned {
+    Silent,
+    Read(Loc),
+    Write(Loc, Val),
+}
+
+impl From<StepLabel> for StepLabelOwned {
+    fn from(s: StepLabel) -> StepLabelOwned {
+        match s {
+            StepLabel::Silent => StepLabelOwned::Silent,
+            StepLabel::Read(l) => StepLabelOwned::Read(l),
+            StepLabel::Write(l, v) => StepLabelOwned::Write(l, v),
+        }
+    }
+}
+
+impl RecordedExpr {
+    /// A straight-line program over the given steps.
+    pub fn new(steps: Vec<StepLabel>) -> RecordedExpr {
+        RecordedExpr {
+            program: steps.into_iter().map(StepLabelOwned::from).collect(),
+            pc: 0,
+            reads: Vec::new(),
+        }
+    }
+}
+
+impl Expr for RecordedExpr {
+    fn steps(&self) -> Vec<StepLabel> {
+        match self.program.get(self.pc) {
+            None => vec![],
+            Some(StepLabelOwned::Silent) => vec![StepLabel::Silent],
+            Some(StepLabelOwned::Read(l)) => vec![StepLabel::Read(*l)],
+            Some(StepLabelOwned::Write(l, v)) => vec![StepLabel::Write(*l, *v)],
+        }
+    }
+
+    fn apply_step(&self, index: usize, read_value: Val) -> RecordedExpr {
+        assert_eq!(index, 0, "straight-line programs have one enabled step");
+        let mut next = self.clone();
+        if matches!(self.program[self.pc], StepLabelOwned::Read(_)) {
+            next.reads.push(read_value);
+        }
+        next.pc += 1;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::{Action, LocKind};
+
+    fn locs2() -> (LocSet, Loc, Loc) {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        (locs, a, f)
+    }
+
+    #[test]
+    fn initial_machine_is_not_terminal() {
+        let (locs, a, _) = locs2();
+        let m = Machine::initial(&locs, [RecordedExpr::new(vec![StepLabel::Read(a)])]);
+        assert!(!m.is_terminal());
+        assert_eq!(m.thread_count(), 1);
+    }
+
+    #[test]
+    fn empty_program_is_terminal() {
+        let (locs, _, _) = locs2();
+        let m = Machine::initial(&locs, [RecordedExpr::new(vec![])]);
+        assert!(m.is_terminal());
+        assert!(m.transitions(&locs).is_empty());
+    }
+
+    #[test]
+    fn read_of_initial_value() {
+        let (locs, a, _) = locs2();
+        let m = Machine::initial(&locs, [RecordedExpr::new(vec![StepLabel::Read(a)])]);
+        let ts = m.transitions(&locs);
+        assert_eq!(ts.len(), 1);
+        let l = ts[0].label;
+        assert_eq!(l.thread, ThreadId(0));
+        assert_eq!(l.action.unwrap().action, Action::Read(Val::INIT));
+        assert!(!l.weak);
+        assert!(ts[0].target.is_terminal());
+        assert_eq!(ts[0].target.threads[0].expr.reads, vec![Val::INIT]);
+    }
+
+    #[test]
+    fn message_passing_via_atomic() {
+        // P0: a = 1; F = 1        P1: r0 = F; r1 = a
+        // If P1 reads F == 1 then it must read a == 1.
+        let (locs, a, f) = locs2();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Write(f, Val(1))]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Read(f), StepLabel::Read(a)]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+
+        // Exhaustive DFS collecting terminal read pairs.
+        let mut terminals = Vec::new();
+        let mut stack = vec![m0];
+        while let Some(m) = stack.pop() {
+            if m.is_terminal() {
+                terminals.push(m.threads[1].expr.reads.clone());
+                continue;
+            }
+            for t in m.transitions(&locs) {
+                stack.push(t.target);
+            }
+        }
+        // flag=1 ⇒ a=1: the outcome [1, 0] must be absent.
+        assert!(terminals.contains(&vec![Val(1), Val(1)]));
+        assert!(terminals.contains(&vec![Val(0), Val(0)]));
+        assert!(terminals.contains(&vec![Val(0), Val(1)]));
+        assert!(!terminals.contains(&vec![Val(1), Val(0)]), "MP violation");
+    }
+
+    #[test]
+    fn transition_label_display() {
+        let l = TransitionLabel {
+            thread: ThreadId(1),
+            action: None,
+            timestamp: None,
+            weak: false,
+        };
+        assert_eq!(format!("{l}"), "P1: ϵ");
+    }
+}

@@ -1,0 +1,271 @@
+//! The memory-operation relation `C; F —ℓ:ϕ→ C′; F′` (Fig. 1c).
+//!
+//! Four rules:
+//!
+//! * **Read-NA** — `H; F —a:read H(t)→ H; F` if `F(a) ≤ t`, `t ∈ dom(H)`:
+//!   a nonatomic read may return any history entry not older than the
+//!   thread's frontier. Neither the store nor the frontier changes.
+//! * **Write-NA** — `H; F —a:write x→ H[t ↦ x]; F[a ↦ t]` if `F(a) < t`,
+//!   `t ∉ dom(H)`: a nonatomic write picks a fresh timestamp later than the
+//!   writer's frontier (*not* necessarily later than the whole history).
+//! * **Read-AT** — `(F_A, x); F —A:read x→ (F_A, x); F_A ⊔ F`: atomic reads
+//!   are coherent and merge the location's frontier into the thread's.
+//! * **Write-AT** — `(F_A, y); F —A:write x→ (F_A ⊔ F, x); F_A ⊔ F`: atomic
+//!   writes merge both frontiers and publish the merge at the location.
+//!
+//! Because Read-NA and Write-NA are nondeterministic, this module returns
+//! *all* outcomes (with Write-NA quotiented to one representative timestamp
+//! per history gap — see [`History::write_gaps`]). Each outcome also records
+//! whether the transition is *weak* (Definition 6), the raw material of
+//! sequential consistency and the local-DRF theorem.
+
+use crate::frontier::Frontier;
+use crate::history::History;
+use crate::loc::{Action, LabeledAction, Loc, LocKind, LocSet, Val};
+use crate::store::{LocContents, Store};
+use crate::timestamp::Timestamp;
+
+/// One outcome of applying a memory operation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpResult {
+    /// The store after the operation (`S[ℓ ↦ C′]`).
+    pub store: Store,
+    /// The acting thread's frontier after the operation (`F′`).
+    pub frontier: Frontier,
+    /// The labelled action `ℓ : ϕ` that was performed.
+    pub label: LabeledAction,
+    /// For nonatomic operations, the history timestamp read or written.
+    pub timestamp: Option<Timestamp>,
+    /// Whether this is a *weak transition* (Definition 6): a nonatomic read
+    /// that does not witness the latest value, or a nonatomic write whose
+    /// timestamp is not the new maximum.
+    pub weak: bool,
+}
+
+/// All outcomes of reading `loc` with thread frontier `frontier`.
+///
+/// For a nonatomic location this is one outcome per readable history entry
+/// (Read-NA); for an atomic location it is the single coherent outcome
+/// (Read-AT).
+///
+/// # Panics
+///
+/// Panics if `loc` is not declared in `locs` or the store is malformed.
+pub fn perform_read(locs: &LocSet, store: &Store, frontier: &Frontier, loc: Loc) -> Vec<OpResult> {
+    match locs.kind(loc) {
+        LocKind::Nonatomic => {
+            let h = store.history(loc);
+            let (latest_t, latest_v) = h.latest();
+            debug_assert!(frontier.get(loc) <= latest_t, "frontier beyond history");
+            h.readable_from(frontier.get(loc))
+                .map(|(t, v)| OpResult {
+                    store: store.clone(),
+                    frontier: frontier.clone(),
+                    label: LabeledAction { loc, action: Action::Read(v) },
+                    timestamp: Some(t),
+                    // Definition 6: weak iff the read does not witness the
+                    // latest write's *value*.
+                    weak: v != latest_v,
+                })
+                .collect()
+        }
+        LocKind::Atomic => {
+            let (floc, v) = store.atomic(loc);
+            let merged = floc.join(frontier);
+            vec![OpResult {
+                store: store.clone(),
+                frontier: merged,
+                label: LabeledAction { loc, action: Action::Read(v) },
+                timestamp: None,
+                weak: false,
+            }]
+        }
+    }
+}
+
+/// All outcomes of writing `x` to `loc` with thread frontier `frontier`.
+///
+/// For a nonatomic location this is one outcome per fresh-timestamp gap
+/// (Write-NA); for an atomic location it is the single outcome of Write-AT.
+///
+/// # Panics
+///
+/// Panics if `loc` is not declared in `locs` or the store is malformed.
+pub fn perform_write(
+    locs: &LocSet,
+    store: &Store,
+    frontier: &Frontier,
+    loc: Loc,
+    x: Val,
+) -> Vec<OpResult> {
+    match locs.kind(loc) {
+        LocKind::Nonatomic => {
+            let h = store.history(loc);
+            let (latest_t, _) = h.latest();
+            h.write_gaps(frontier.get(loc))
+                .into_iter()
+                .map(|t| {
+                    let mut h2: History = h.clone();
+                    h2.insert(t, x);
+                    let mut st = store.clone();
+                    st.update(loc, LocContents::Nonatomic(h2));
+                    let mut f2 = frontier.clone();
+                    f2.advance(loc, t);
+                    OpResult {
+                        store: st,
+                        frontier: f2,
+                        label: LabeledAction { loc, action: Action::Write(x) },
+                        timestamp: Some(t),
+                        // Definition 6: weak iff not the latest write.
+                        weak: t < latest_t,
+                    }
+                })
+                .collect()
+        }
+        LocKind::Atomic => {
+            let (floc, _) = store.atomic(loc);
+            let merged = floc.join(frontier);
+            let mut st = store.clone();
+            st.update(loc, LocContents::Atomic { frontier: merged.clone(), value: x });
+            vec![OpResult {
+                store: st,
+                frontier: merged,
+                label: LabeledAction { loc, action: Action::Write(x) },
+                timestamp: None,
+                weak: false,
+            }]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    struct Fixture {
+        locs: LocSet,
+        a: Loc,
+        flag: Loc,
+        store: Store,
+        f0: Frontier,
+    }
+
+    fn fixture() -> Fixture {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let flag = locs.fresh("FLAG", LocKind::Atomic);
+        let store = Store::initial(&locs);
+        let f0 = Frontier::initial(&locs);
+        Fixture { locs, a, flag, store, f0 }
+    }
+
+    #[test]
+    fn na_read_initial_is_strong() {
+        let fx = fixture();
+        let outs = perform_read(&fx.locs, &fx.store, &fx.f0, fx.a);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].label.action, Action::Read(Val::INIT));
+        assert!(!outs[0].weak);
+        // Read-NA leaves store and frontier unchanged.
+        assert_eq!(outs[0].store, fx.store);
+        assert_eq!(outs[0].frontier, fx.f0);
+    }
+
+    #[test]
+    fn na_write_then_stale_read_is_weak() {
+        let fx = fixture();
+        // Write 1 to `a` (single gap: after the initial write).
+        let w = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
+        assert_eq!(w.len(), 1);
+        assert!(!w[0].weak);
+        let store = w[0].store.clone();
+        // A thread still at the initial frontier can read both entries.
+        let outs = perform_read(&fx.locs, &store, &fx.f0, fx.a);
+        assert_eq!(outs.len(), 2);
+        let stale = outs.iter().find(|o| o.label.action == Action::Read(Val::INIT)).unwrap();
+        let fresh = outs.iter().find(|o| o.label.action == Action::Read(Val(1))).unwrap();
+        assert!(stale.weak, "missing the latest write is weak");
+        assert!(!fresh.weak);
+        // The writer itself can only see its own write.
+        let outs = perform_read(&fx.locs, &store, &w[0].frontier, fx.a);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].label.action, Action::Read(Val(1)));
+    }
+
+    #[test]
+    fn na_write_behind_is_weak() {
+        let fx = fixture();
+        // Thread 1 writes 1; thread 2 (frontier still initial) writes 2.
+        let w1 = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
+        let store = w1[0].store.clone();
+        let w2 = perform_write(&fx.locs, &store, &fx.f0, fx.a, Val(2));
+        // Two gaps: before thread 1's write (weak), after it (strong).
+        assert_eq!(w2.len(), 2);
+        let weak: Vec<bool> = w2.iter().map(|o| o.weak).collect();
+        assert_eq!(weak.iter().filter(|w| **w).count(), 1);
+        let weak_out = w2.iter().find(|o| o.weak).unwrap();
+        let strong_out = w2.iter().find(|o| !o.weak).unwrap();
+        assert!(weak_out.timestamp.unwrap() < w1[0].timestamp.unwrap());
+        assert!(strong_out.timestamp.unwrap() > w1[0].timestamp.unwrap());
+    }
+
+    #[test]
+    fn weak_read_same_value_not_weak() {
+        // Definition 6 is value-based: reading an old entry whose value
+        // equals the latest write's value is NOT weak.
+        let fx = fixture();
+        let w1 = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(7));
+        let w2 = perform_write(&fx.locs, &w1[0].store, &w1[0].frontier, fx.a, Val(7));
+        let outs = perform_read(&fx.locs, &w2[0].store, &fx.f0, fx.a);
+        for o in &outs {
+            if o.label.action == Action::Read(Val(7)) {
+                assert!(!o.weak);
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_read_merges_frontier() {
+        let fx = fixture();
+        // Thread 1 writes a=1 then FLAG=1 (publishing its frontier).
+        let w = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
+        let wf = perform_write(&fx.locs, &w[0].store, &w[0].frontier, fx.flag, Val(1));
+        assert_eq!(wf.len(), 1);
+        let store = wf[0].store.clone();
+        // Thread 2 reads FLAG: its frontier must now include a's write.
+        let r = perform_read(&fx.locs, &store, &fx.f0, fx.flag);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].label.action, Action::Read(Val(1)));
+        assert_eq!(r[0].frontier.get(fx.a), w[0].timestamp.unwrap());
+        // So a subsequent read of `a` must see 1 (message passing!).
+        let ra = perform_read(&fx.locs, &store, &r[0].frontier, fx.a);
+        assert_eq!(ra.len(), 1);
+        assert_eq!(ra[0].label.action, Action::Read(Val(1)));
+    }
+
+    #[test]
+    fn atomic_write_publishes_join() {
+        let fx = fixture();
+        let w = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
+        let wf = perform_write(&fx.locs, &w[0].store, &w[0].frontier, fx.flag, Val(9));
+        let (floc, v) = wf[0].store.atomic(fx.flag);
+        assert_eq!(v, Val(9));
+        assert_eq!(floc.get(fx.a), w[0].timestamp.unwrap());
+        // Atomic ops are never weak.
+        assert!(!wf[0].weak);
+    }
+
+    #[test]
+    fn na_write_gap_count_grows_with_history() {
+        let fx = fixture();
+        let mut store = fx.store.clone();
+        for i in 1..=3 {
+            // Each write from a fresh frontier can land in any gap; take the
+            // last (newest) to build a 4-entry history.
+            let outs = perform_write(&fx.locs, &store, &fx.f0, fx.a, Val(i));
+            assert_eq!(outs.len(), i as usize);
+            store = outs.last().unwrap().store.clone();
+        }
+        assert_eq!(store.history(fx.a).len(), 4);
+    }
+}

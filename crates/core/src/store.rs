@@ -1,0 +1,195 @@
+//! Stores: the shared-memory component of a machine configuration.
+//!
+//! `S ≜ a ↦ H ⊎ A ↦ (F, x)` (§3, Fig. 1a): nonatomic locations map to
+//! histories, atomic locations map to a frontier/value pair.
+
+use std::fmt;
+
+use crate::frontier::Frontier;
+use crate::history::History;
+use crate::loc::{Loc, LocKind, LocSet, Val};
+
+/// The contents of a single location in a [`Store`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LocContents {
+    /// A nonatomic location's timestamped write history.
+    Nonatomic(History),
+    /// An atomic location's frontier and current value.
+    Atomic {
+        /// The frontier published at this location.
+        frontier: Frontier,
+        /// The location's (single, coherent) current value.
+        value: Val,
+    },
+}
+
+impl LocContents {
+    /// The history of a nonatomic location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is atomic.
+    pub fn history(&self) -> &History {
+        match self {
+            LocContents::Nonatomic(h) => h,
+            LocContents::Atomic { .. } => panic!("atomic location has no history"),
+        }
+    }
+
+    /// The `(frontier, value)` pair of an atomic location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is nonatomic.
+    pub fn atomic(&self) -> (&Frontier, Val) {
+        match self {
+            LocContents::Atomic { frontier, value } => (frontier, *value),
+            LocContents::Nonatomic(_) => panic!("nonatomic location has no atomic pair"),
+        }
+    }
+}
+
+/// A store `S`: per-location contents for every declared location.
+///
+/// # Examples
+///
+/// ```
+/// use bdrst_core::loc::{LocSet, LocKind, Val};
+/// use bdrst_core::store::Store;
+/// use bdrst_core::timestamp::Timestamp;
+///
+/// let mut locs = LocSet::new();
+/// let a = locs.fresh("a", LocKind::Nonatomic);
+/// let store = Store::initial(&locs);
+/// assert_eq!(store.history(a).latest(), (Timestamp::ZERO, Val::INIT));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Store {
+    contents: Vec<LocContents>,
+}
+
+impl Store {
+    /// The initial store `M₀`'s memory: every nonatomic location holds the
+    /// single initial write `0 ↦ v₀`; every atomic location holds
+    /// `(F₀, v₀)` (§3.1).
+    pub fn initial(locs: &LocSet) -> Store {
+        let f0 = Frontier::initial(locs);
+        let contents = locs
+            .iter()
+            .map(|l| match locs.kind(l) {
+                LocKind::Nonatomic => LocContents::Nonatomic(History::initial(Val::INIT)),
+                LocKind::Atomic => LocContents::Atomic { frontier: f0.clone(), value: Val::INIT },
+            })
+            .collect();
+        Store { contents }
+    }
+
+    /// The contents of `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is out of range.
+    pub fn contents(&self, loc: Loc) -> &LocContents {
+        &self.contents[loc.index()]
+    }
+
+    /// The history of nonatomic `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is atomic or out of range.
+    pub fn history(&self, loc: Loc) -> &History {
+        self.contents(loc).history()
+    }
+
+    /// The `(frontier, value)` pair of atomic `loc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` is nonatomic or out of range.
+    pub fn atomic(&self, loc: Loc) -> (&Frontier, Val) {
+        self.contents(loc).atomic()
+    }
+
+    /// Replaces the contents of `loc` (the `S[ℓ ↦ C′]` of rule Memory).
+    pub fn update(&mut self, loc: Loc, contents: LocContents) {
+        self.contents[loc.index()] = contents;
+    }
+
+    /// Number of locations.
+    pub fn len(&self) -> usize {
+        self.contents.len()
+    }
+
+    /// True if there are no locations.
+    pub fn is_empty(&self) -> bool {
+        self.contents.is_empty()
+    }
+
+    /// Iterates over `(loc, contents)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, &LocContents)> + '_ {
+        self.contents
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (Loc(i as u32), c))
+    }
+}
+
+impl fmt::Display for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "store {{")?;
+        for (l, c) in self.iter() {
+            match c {
+                LocContents::Nonatomic(h) => writeln!(f, "  {l} ↦ {h}")?,
+                LocContents::Atomic { value, .. } => writeln!(f, "  {l} ↦ (F, {value})")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::Timestamp;
+
+    #[test]
+    fn initial_store_layout() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        let s = Store::initial(&locs);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.history(a).latest(), (Timestamp::ZERO, Val::INIT));
+        let (fr, v) = s.atomic(f);
+        assert_eq!(v, Val::INIT);
+        assert_eq!(fr.get(a), Timestamp::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no history")]
+    fn history_of_atomic_panics() {
+        let mut locs = LocSet::new();
+        let f = locs.fresh("F", LocKind::Atomic);
+        Store::initial(&locs).history(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "no atomic pair")]
+    fn atomic_of_nonatomic_panics() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        Store::initial(&locs).atomic(a);
+    }
+
+    #[test]
+    fn update_replaces_contents() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let mut s = Store::initial(&locs);
+        let mut h = History::initial(Val::INIT);
+        h.insert(Timestamp::ZERO.succ(), Val(5));
+        s.update(a, LocContents::Nonatomic(h));
+        assert_eq!(s.history(a).latest().1, Val(5));
+    }
+}

@@ -1,0 +1,280 @@
+//! Traces, happens-before, data races and L-sequentiality (§3.2, §4).
+//!
+//! A trace `Σ = M₀ —T₁→ M₁ —T₂→ … —Tₙ→ Mₙ` is a finite sequence of machine
+//! transitions from the initial state (Definition 5); every prefix of a
+//! trace is a trace. Over a trace we define:
+//!
+//! * **happens-before** (Definition 8): the smallest transitive relation
+//!   relating `Tᵢ, Tⱼ` (`i < j`) when they are on the same thread, or when
+//!   `Tᵢ` is a write and `Tⱼ` a read or write to the same atomic location;
+//! * **conflicting transitions** (Definition 9): same nonatomic location,
+//!   at least one write;
+//! * **data race** (Definition 10): conflicting and unordered by
+//!   happens-before;
+//! * **sequential consistency** (Definition 7): no weak transitions;
+//! * **L-sequentiality** (Definition 11): weak only outside `L`.
+
+use std::collections::BTreeSet;
+
+use crate::loc::{Loc, LocKind, LocSet};
+use crate::machine::TransitionLabel;
+use crate::relation::Relation;
+
+/// A set of locations `L`, the parameter of the local-DRF machinery.
+pub type LocPredicate = BTreeSet<Loc>;
+
+/// The label sequence of a trace (the machines themselves are not needed
+/// for happens-before or race analysis).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TraceLabels {
+    labels: Vec<TransitionLabel>,
+}
+
+impl TraceLabels {
+    /// An empty trace.
+    pub fn new() -> TraceLabels {
+        TraceLabels::default()
+    }
+
+    /// Builds from a label sequence.
+    pub fn from_labels(labels: Vec<TransitionLabel>) -> TraceLabels {
+        TraceLabels { labels }
+    }
+
+    /// Appends one transition.
+    pub fn push(&mut self, label: TransitionLabel) {
+        self.labels.push(label);
+    }
+
+    /// Removes and returns the last transition.
+    pub fn pop(&mut self) -> Option<TransitionLabel> {
+        self.labels.pop()
+    }
+
+    /// The transitions in order.
+    pub fn labels(&self) -> &[TransitionLabel] {
+        &self.labels
+    }
+
+    /// The number of transitions.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no transitions have been taken.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Definition 7: a trace is sequentially consistent iff it contains no
+    /// weak transitions.
+    pub fn is_sequentially_consistent(&self) -> bool {
+        self.labels.iter().all(|l| !l.weak)
+    }
+
+    /// Definition 11 lifted to traces: every transition is L-sequential.
+    pub fn is_l_sequential(&self, l_set: &LocPredicate) -> bool {
+        self.labels.iter().all(|t| is_l_sequential(t, l_set))
+    }
+
+    /// The happens-before relation of Definition 8, as a relation over
+    /// transition indices `0..len()`.
+    ///
+    /// `locs` is needed to distinguish atomic locations.
+    pub fn happens_before(&self, locs: &LocSet) -> Relation {
+        let n = self.labels.len();
+        let mut hb = Relation::new(n);
+        for j in 0..n {
+            for i in 0..j {
+                let ti = &self.labels[i];
+                let tj = &self.labels[j];
+                let same_thread = ti.thread == tj.thread;
+                let atomic_edge = match (ti.action, tj.action) {
+                    (Some(ai), Some(aj)) => {
+                        ai.loc == aj.loc
+                            && locs.kind(ai.loc) == LocKind::Atomic
+                            && ai.action.is_write()
+                    }
+                    _ => false,
+                };
+                if same_thread || atomic_edge {
+                    hb.insert(i, j);
+                }
+            }
+        }
+        hb.transitive_closure()
+    }
+
+    /// Definition 9: indices of every conflicting pair `(i, j)`, `i < j`.
+    pub fn conflicting_pairs(&self, locs: &LocSet) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for j in 0..self.labels.len() {
+            for i in 0..j {
+                if conflicting(&self.labels[i], &self.labels[j], locs) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Definition 10: all data races `(i, j)` — conflicting pairs with
+    /// `i < j` where `Tᵢ` does not happen-before `Tⱼ`.
+    pub fn data_races(&self, locs: &LocSet) -> Vec<(usize, usize)> {
+        let hb = self.happens_before(locs);
+        self.conflicting_pairs(locs)
+            .into_iter()
+            .filter(|(i, j)| !hb.contains(*i, *j))
+            .collect()
+    }
+
+    /// True if the trace contains at least one data race.
+    pub fn has_data_race(&self, locs: &LocSet) -> bool {
+        !self.data_races(locs).is_empty()
+    }
+}
+
+/// Definition 9 on two labels: both access the same nonatomic location and
+/// at least one is a write.
+pub fn conflicting(t1: &TransitionLabel, t2: &TransitionLabel, locs: &LocSet) -> bool {
+    match (t1.action, t2.action) {
+        (Some(a1), Some(a2)) => {
+            a1.loc == a2.loc
+                && locs.kind(a1.loc) == LocKind::Nonatomic
+                && (a1.action.is_write() || a2.action.is_write())
+        }
+        _ => false,
+    }
+}
+
+/// Definition 11: a transition is L-sequential if it is not weak, or if it
+/// is weak on a location outside `L`.
+pub fn is_l_sequential(t: &TransitionLabel, l_set: &LocPredicate) -> bool {
+    if !t.weak {
+        return true;
+    }
+    match t.action {
+        Some(a) => !l_set.contains(&a.loc),
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::{Action, LabeledAction, Val};
+    use crate::machine::ThreadId;
+
+    fn locs3() -> (LocSet, Loc, Loc, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        let b = l.fresh("b", LocKind::Nonatomic);
+        let f = l.fresh("F", LocKind::Atomic);
+        (l, a, b, f)
+    }
+
+    fn lbl(thread: u32, loc: Loc, action: Action, weak: bool) -> TransitionLabel {
+        TransitionLabel {
+            thread: ThreadId(thread),
+            action: Some(LabeledAction { loc, action }),
+            timestamp: None,
+            weak,
+        }
+    }
+
+    #[test]
+    fn same_thread_is_ordered() {
+        let (locs, a, b, _) = locs3();
+        let tr = TraceLabels::from_labels(vec![
+            lbl(0, a, Action::Write(Val(1)), false),
+            lbl(0, b, Action::Write(Val(1)), false),
+        ]);
+        let hb = tr.happens_before(&locs);
+        assert!(hb.contains(0, 1));
+        assert!(!hb.contains(1, 0));
+    }
+
+    #[test]
+    fn atomic_write_orders_later_reads() {
+        let (locs, a, _, f) = locs3();
+        let tr = TraceLabels::from_labels(vec![
+            lbl(0, a, Action::Write(Val(1)), false), // T0
+            lbl(0, f, Action::Write(Val(1)), false), // T1 release
+            lbl(1, f, Action::Read(Val(1)), false),  // T2 acquire
+            lbl(1, a, Action::Read(Val(1)), false),  // T3
+        ]);
+        let hb = tr.happens_before(&locs);
+        // Transitivity: T0 hb T3 via the atomic edge T1→T2.
+        assert!(hb.contains(0, 3));
+        assert!(hb.contains(1, 2));
+        // No data race: the conflicting pair (0,3) is ordered.
+        assert!(tr.data_races(&locs).is_empty());
+    }
+
+    #[test]
+    fn atomic_read_does_not_order_later_write() {
+        // Definition 8 only has write→(read|write) atomic edges.
+        let (locs, _, _, f) = locs3();
+        let tr = TraceLabels::from_labels(vec![
+            lbl(0, f, Action::Read(Val(0)), false),
+            lbl(1, f, Action::Write(Val(1)), false),
+        ]);
+        let hb = tr.happens_before(&locs);
+        assert!(!hb.contains(0, 1));
+        assert!(!hb.contains(1, 0));
+        // But not a data race: f is atomic.
+        assert!(tr.data_races(&locs).is_empty());
+    }
+
+    #[test]
+    fn unsynchronised_writes_race() {
+        let (locs, a, _, _) = locs3();
+        let tr = TraceLabels::from_labels(vec![
+            lbl(0, a, Action::Write(Val(1)), false),
+            lbl(1, a, Action::Write(Val(2)), false),
+        ]);
+        assert_eq!(tr.data_races(&locs), vec![(0, 1)]);
+        assert!(tr.has_data_race(&locs));
+    }
+
+    #[test]
+    fn reads_do_not_race_with_reads() {
+        let (locs, a, _, _) = locs3();
+        let tr = TraceLabels::from_labels(vec![
+            lbl(0, a, Action::Read(Val(0)), false),
+            lbl(1, a, Action::Read(Val(0)), false),
+        ]);
+        assert!(tr.conflicting_pairs(&locs).is_empty());
+        assert!(tr.data_races(&locs).is_empty());
+    }
+
+    #[test]
+    fn sc_and_l_sequential() {
+        let (locs, a, b, _) = locs3();
+        let weak_on_a = lbl(0, a, Action::Read(Val(0)), true);
+        let strong_on_b = lbl(1, b, Action::Write(Val(1)), false);
+        let tr = TraceLabels::from_labels(vec![weak_on_a, strong_on_b]);
+        assert!(!tr.is_sequentially_consistent());
+        // L = {b}: the weak transition is on a ∉ L, so the trace is
+        // L-sequential.
+        let l_b: LocPredicate = [b].into_iter().collect();
+        assert!(tr.is_l_sequential(&l_b));
+        let l_a: LocPredicate = [a].into_iter().collect();
+        assert!(!tr.is_l_sequential(&l_a));
+        let _ = locs;
+    }
+
+    #[test]
+    fn silent_transitions_are_never_racy() {
+        let (locs, _, _, _) = locs3();
+        let silent = TransitionLabel {
+            thread: ThreadId(0),
+            action: None,
+            timestamp: None,
+            weak: false,
+        };
+        let tr = TraceLabels::from_labels(vec![silent, silent]);
+        assert!(tr.conflicting_pairs(&locs).is_empty());
+        assert!(tr.is_sequentially_consistent());
+    }
+}

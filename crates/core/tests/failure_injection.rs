@@ -1,0 +1,138 @@
+//! Failure injection: a deliberately broken semantics variant where
+//! atomic operations do not merge frontiers (no release/acquire
+//! synchronisation). The checkers built on the *paper's* semantics
+//! guarantee message passing; the broken variant must violate it — and
+//! the tests here prove our test oracles have the teeth to notice.
+
+use bdrst_core::frontier::Frontier;
+use bdrst_core::loc::{LocKind, LocSet, Val};
+use bdrst_core::memop::{perform_read, perform_write, OpResult};
+use bdrst_core::store::{LocContents, Store};
+
+/// Which semantics to run the hand-rolled explorer under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Semantics {
+    /// The paper's rules (Fig. 1c).
+    Paper,
+    /// Write-AT publishes its value but *not* its frontier: releases are
+    /// broken.
+    NoRelease,
+    /// Read-AT returns the value but does not merge the location frontier
+    /// into the thread: acquires are broken.
+    NoAcquire,
+}
+
+/// One step of a straight-line thread: read or write a location.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    R(usize),      // read location by index
+    W(usize, i64), // write constant
+}
+
+fn step(
+    sem: Semantics,
+    locs: &LocSet,
+    store: &Store,
+    frontier: &Frontier,
+    op: Op,
+) -> Vec<(Store, Frontier, Val)> {
+    let loc = |i: usize| locs.iter().nth(i).unwrap();
+    let outs: Vec<OpResult> = match op {
+        Op::R(l) => perform_read(locs, store, frontier, loc(l)),
+        Op::W(l, v) => perform_write(locs, store, frontier, loc(l), Val(v)),
+    };
+    outs.into_iter()
+        .map(|mut o| {
+            // Inject the breakage on atomic operations.
+            if let Op::R(l) = op {
+                if locs.kind(loc(l)) == LocKind::Atomic && sem == Semantics::NoAcquire {
+                    o.frontier = frontier.clone(); // drop the merge
+                }
+            }
+            if let Op::W(l, _) = op {
+                if locs.kind(loc(l)) == LocKind::Atomic && sem == Semantics::NoRelease {
+                    // Re-publish only the value; keep the location's old
+                    // frontier (drop the release half).
+                    let (old_frontier, _) = store.atomic(loc(l));
+                    let mut st = o.store.clone();
+                    let v = o.label.action.value();
+                    st.update(
+                        loc(l),
+                        LocContents::Atomic { frontier: old_frontier.clone(), value: v },
+                    );
+                    o.store = st;
+                }
+            }
+            (o.store, o.frontier, o.label.action.value())
+        })
+        .collect()
+}
+
+/// Exhaustively explores MP (P0: a=1; F=1 — P1: r0=F; r1=a) under the
+/// given semantics and returns the set of (r0, r1) observations.
+fn mp_outcomes(sem: Semantics) -> std::collections::BTreeSet<(i64, i64)> {
+    let mut locs = LocSet::new();
+    locs.fresh("a", LocKind::Nonatomic);
+    locs.fresh("F", LocKind::Atomic);
+    let p0 = [Op::W(0, 1), Op::W(1, 1)];
+    let p1 = [Op::R(1), Op::R(0)];
+
+    let mut outcomes = std::collections::BTreeSet::new();
+    // State: (store, f0, f1, pc0, pc1, r0, r1)
+    let init = (
+        Store::initial(&locs),
+        Frontier::initial(&locs),
+        Frontier::initial(&locs),
+        0usize,
+        0usize,
+        0i64,
+        0i64,
+    );
+    let mut stack = vec![init];
+    while let Some((store, f0, f1, pc0, pc1, r0, r1)) = stack.pop() {
+        let mut terminal = true;
+        if pc0 < p0.len() {
+            terminal = false;
+            for (st, fr, _) in step(sem, &locs, &store, &f0, p0[pc0]) {
+                stack.push((st, fr, f1.clone(), pc0 + 1, pc1, r0, r1));
+            }
+        }
+        if pc1 < p1.len() {
+            terminal = false;
+            for (st, fr, v) in step(sem, &locs, &store, &f1, p1[pc1]) {
+                let (nr0, nr1) = if pc1 == 0 { (v.0, r1) } else { (r0, v.0) };
+                stack.push((st, f0.clone(), fr, pc0, pc1 + 1, nr0, nr1));
+            }
+        }
+        if terminal {
+            outcomes.insert((r0, r1));
+        }
+    }
+    outcomes
+}
+
+#[test]
+fn paper_semantics_guarantees_message_passing() {
+    let outcomes = mp_outcomes(Semantics::Paper);
+    assert!(!outcomes.contains(&(1, 0)), "MP violated under the paper semantics: {outcomes:?}");
+    assert!(outcomes.contains(&(1, 1)));
+    assert!(outcomes.contains(&(0, 0)));
+}
+
+#[test]
+fn broken_release_violates_message_passing() {
+    let outcomes = mp_outcomes(Semantics::NoRelease);
+    assert!(
+        outcomes.contains(&(1, 0)),
+        "the broken-release semantics should leak the stale read: {outcomes:?}"
+    );
+}
+
+#[test]
+fn broken_acquire_violates_message_passing() {
+    let outcomes = mp_outcomes(Semantics::NoAcquire);
+    assert!(
+        outcomes.contains(&(1, 0)),
+        "the broken-acquire semantics should leak the stale read: {outcomes:?}"
+    );
+}

@@ -1,0 +1,175 @@
+//! The ARMv8 (AArch64) axiomatic model (Fig. 4) — the abridged
+//! multi-copy-atomic presentation the paper uses for its soundness proof.
+//!
+//! ```text
+//! obs = rfe ∪ fre ∪ coe
+//! dob = (ctrl ∩ (M × W))                      (addr omitted: no address deps)
+//! aob = rmw
+//! bob = (po ∩ (Acq × M)) ∪ (po ∩ (M × Rel))
+//!     ∪ (dmbld ∩ (R × M)) ∪ (dmbst ∩ (W × W))
+//!     ∪ (po ∩ (Rel × Acq))
+//! ob  = obs ∪ dob ∪ aob ∪ bob
+//!
+//! consistent ⇔ acyclic(poloc ∪ rf ∪ fr ∪ co)
+//!            ∧ acyclic(ob)
+//!            ∧ rmw ∩ (fre; coe) = ∅
+//! ```
+
+use bdrst_core::relation::Relation;
+
+use crate::exec::HwExecution;
+
+/// `obs`: observed external communication.
+pub fn obs(h: &HwExecution) -> Relation {
+    h.rfe().union(&h.fre()).union(&h.coe())
+}
+
+/// `dob`: dependency-ordered-before. Our compiled code has no address
+/// dependencies, so this is control dependencies into writes.
+pub fn dob(h: &HwExecution) -> Relation {
+    h.ctrl.filter(|_, b| h.base.events[b].is_write())
+}
+
+/// `aob`: atomic-ordered-before (the rmw pairs).
+pub fn aob(h: &HwExecution) -> Relation {
+    h.rmw.clone()
+}
+
+/// `bob`: barrier-ordered-before.
+pub fn bob(h: &HwExecution) -> Relation {
+    let acq_m = h.base.po.filter(|a, _| h.acq[a]);
+    let m_rel = h.base.po.filter(|_, b| h.rel[b]);
+    let rel_acq = h.base.po.filter(|a, b| h.rel[a] && h.acq[b]);
+    let dmbld_r = h.dmbld.filter(|a, _| h.base.events[a].is_read());
+    let dmbst_w = h
+        .dmbst
+        .filter(|a, b| h.base.events[a].is_write() && h.base.events[b].is_write());
+    acq_m.union(&m_rel).union(&rel_acq).union(&dmbld_r).union(&dmbst_w)
+}
+
+/// `ob`: ordered-before, the ARMv8 global order.
+pub fn ob(h: &HwExecution) -> Relation {
+    obs(h).union(&dob(h)).union(&aob(h)).union(&bob(h))
+}
+
+/// The ARMv8 consistency predicate of Fig. 4.
+pub fn arm_consistent(h: &HwExecution) -> bool {
+    h.sc_per_location() && ob(h).is_acyclic() && h.rmw_atomic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_candidate, Target};
+    use crate::isa::{ArmMapping, BAL, FBS, NAIVE, SRA, STLR_SC};
+    use bdrst_axiomatic::{CandidateExecution, EventSet};
+    use bdrst_core::loc::{Action, LocKind, LocSet, Val};
+
+    /// LB with the relaxed outcome r0 = r1 = 1 (§7.3's classic example).
+    fn lb_relaxed() -> CandidateExecution {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let b = locs.fresh("b", LocKind::Nonatomic);
+        let base = EventSet::new(
+            locs,
+            vec![
+                vec![(a, Action::Read(Val(1))), (b, Action::Write(Val(1)))],
+                vec![(b, Action::Read(Val(1))), (a, Action::Write(Val(1)))],
+            ],
+        );
+        // 0=IWa, 1=IWb, 2=Ra1, 3=Wb1, 4=Rb1, 5=Wa1
+        let rf = Relation::from_edges(base.len(), [(5, 2), (3, 4)]);
+        let co = Relation::from_edges(base.len(), [(0, 5), (1, 3)]);
+        CandidateExecution { base, rf, co }
+    }
+
+    fn lb_allowed_under(m: ArmMapping) -> bool {
+        let c = compile_candidate(&lb_relaxed(), Target::Arm(m));
+        c.variants.iter().any(arm_consistent)
+    }
+
+    #[test]
+    fn naive_arm_allows_load_buffering() {
+        // The whole reason the paper needs BAL/FBS (§7.3): bare ldr/str
+        // lets ARMv8 execute the stores ahead of the loads.
+        assert!(lb_allowed_under(NAIVE));
+        // But the software model forbids it: unsound compilation.
+        assert!(!lb_relaxed().is_consistent());
+    }
+
+    #[test]
+    fn bal_forbids_load_buffering() {
+        assert!(!lb_allowed_under(BAL));
+    }
+
+    #[test]
+    fn fbs_forbids_load_buffering() {
+        assert!(!lb_allowed_under(FBS));
+    }
+
+    #[test]
+    fn sra_forbids_load_buffering() {
+        assert!(!lb_allowed_under(SRA));
+    }
+
+    /// The §9.2 example: P0: x = b; A = 1   P1: A = 2; b = 1, with final
+    /// A = 2 and x = 1 — forbidden by the model, allowed by C++ SC atomics
+    /// compiled with bare stlr.
+    fn sec92_candidate() -> CandidateExecution {
+        let mut locs = LocSet::new();
+        let b = locs.fresh("b", LocKind::Nonatomic);
+        let big_a = locs.fresh("A", LocKind::Atomic);
+        let base = EventSet::new(
+            locs,
+            vec![
+                vec![(b, Action::Read(Val(1))), (big_a, Action::Write(Val(1)))],
+                vec![(big_a, Action::Write(Val(2))), (b, Action::Write(Val(1)))],
+            ],
+        );
+        // 0=IWb, 1=IWA, 2=Rb1, 3=WA1, 4=WA2, 5=Wb1
+        let rf = Relation::from_edges(base.len(), [(5, 2)]);
+        // Final A = 2: WA1 co WA2.
+        let co = Relation::from_edges(base.len(), [(0, 5), (1, 3), (1, 4), (3, 4)]);
+        CandidateExecution { base, rf, co }
+    }
+
+    #[test]
+    fn model_forbids_sec92_outcome() {
+        assert!(!sec92_candidate().is_consistent());
+    }
+
+    #[test]
+    fn stlr_scheme_admits_sec92_outcome() {
+        // Compiling atomic stores as bare stlr is too weak for this model:
+        // the hardware admits the A=2 ∧ x=1 execution. This is why the
+        // paper uses exchanges for atomic stores (§9.2).
+        let c = compile_candidate(&sec92_candidate(), Target::Arm(STLR_SC));
+        assert!(c.variants.iter().any(arm_consistent));
+    }
+
+    #[test]
+    fn exchange_scheme_forbids_sec92_outcome() {
+        let c = compile_candidate(&sec92_candidate(), Target::Arm(BAL));
+        assert!(!c.variants.iter().any(arm_consistent));
+    }
+
+    #[test]
+    fn mp_with_atomic_flag_sound_under_bal() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        let base = EventSet::new(
+            locs,
+            vec![
+                vec![(a, Action::Write(Val(1))), (f, Action::Write(Val(1)))],
+                vec![(f, Action::Read(Val(1))), (a, Action::Read(Val(0)))],
+            ],
+        );
+        let rf = Relation::from_edges(base.len(), [(3, 4), (0, 5)]);
+        let co = Relation::from_edges(base.len(), [(0, 2), (1, 3)]);
+        let sw = CandidateExecution { base, rf, co };
+        assert!(!sw.is_consistent());
+        let c = compile_candidate(&sw, Target::Arm(BAL));
+        assert!(!c.variants.iter().any(arm_consistent));
+    }
+}

@@ -1,0 +1,401 @@
+//! Compiling software candidate executions to hardware candidate
+//! executions (§7.2–7.3).
+//!
+//! The compilation witnesses of Theorems 19/20 are functions `ϕ` embedding
+//! the software events into the hardware events, preserving `po`, `rf` and
+//! `co`, with each atomic write mapped to an exchange (a `rmw`-paired
+//! pseudo-read plus write) when the scheme says so. The pseudo-read's `rf`
+//! source is *not* determined by the software execution — the hardware may
+//! let the exchange read any write — so [`compile_candidate`] returns one
+//! hardware execution per pseudo-read `rf` choice; the RMW-atomicity axiom
+//! rejects the non-adjacent ones.
+
+use bdrst_axiomatic::{CandidateExecution, EventSet};
+use bdrst_core::loc::{Action, LocKind};
+use bdrst_core::relation::Relation;
+
+use crate::exec::HwExecution;
+use crate::isa::ArmMapping;
+
+/// A compilation target.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Target {
+    /// x86-TSO with the Table 1 scheme (atomic writes are `xchg`).
+    X86,
+    /// ARMv8 with a given mapping (Tables 2a/2b, SRA, or the unsound ones).
+    Arm(ArmMapping),
+}
+
+/// Per-hardware-event construction data.
+#[derive(Clone, Copy, Debug)]
+struct HwSpec {
+    /// Source software event, or `None` for a pseudo-read.
+    sw: Option<usize>,
+    /// The paired software atomic write, for pseudo-reads.
+    pseudo_for: Option<usize>,
+    acq: bool,
+    rel: bool,
+    branch_after: bool,
+    dmbld_before: bool,
+    dmbst_after: bool,
+}
+
+/// The result of compiling one software candidate execution: all hardware
+/// candidate executions it maps to (one per pseudo-read `rf` choice), plus
+/// the event embedding.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// Hardware executions, one per pseudo-read rf assignment.
+    pub variants: Vec<HwExecution>,
+    /// `hw_of[sw_index] = hw_index` — the embedding `ϕ`.
+    pub hw_of: Vec<usize>,
+}
+
+/// Compiles a software candidate execution for `target`.
+///
+/// Returns every hardware candidate execution whose real events mirror the
+/// software `rf`/`co` (as Theorems 19/20's compilation relation requires)
+/// and whose pseudo-reads read from any write to their location other than
+/// their own write half.
+pub fn compile_candidate(sw: &CandidateExecution, target: Target) -> Compiled {
+    let locs = &sw.base.locs;
+    let nlocs = locs.len();
+    let nthreads = sw
+        .base
+        .events
+        .iter()
+        .filter_map(|e| e.thread())
+        .map(|t| t.index() + 1)
+        .max()
+        .unwrap_or(0);
+
+    // Build per-thread hardware event specs, in software po order (software
+    // events are laid out per thread contiguously by EventSet::new).
+    let mut specs_per_thread: Vec<Vec<HwSpec>> = vec![Vec::new(); nthreads];
+    let mut actions_per_thread: Vec<Vec<(bdrst_core::loc::Loc, Action)>> =
+        vec![Vec::new(); nthreads];
+    for (i, e) in sw.base.events.iter().enumerate() {
+        let Some(t) = e.thread() else { continue };
+        let t = t.index();
+        let atomic = locs.kind(e.loc) == LocKind::Atomic;
+        let plain = HwSpec {
+            sw: Some(i),
+            pseudo_for: None,
+            acq: false,
+            rel: false,
+            branch_after: false,
+            dmbld_before: false,
+            dmbst_after: false,
+        };
+        match target {
+            Target::X86 => {
+                if atomic && e.is_write() {
+                    // xchg = pseudo-read + write, rmw-paired.
+                    specs_per_thread[t].push(HwSpec {
+                        sw: None,
+                        pseudo_for: Some(i),
+                        ..plain
+                    });
+                    actions_per_thread[t].push((e.loc, Action::Read(e.value())));
+                }
+                specs_per_thread[t].push(plain);
+                actions_per_thread[t].push((e.loc, e.action));
+            }
+            Target::Arm(m) => {
+                let spec = match (atomic, e.is_write()) {
+                    (false, false) => HwSpec {
+                        acq: m.na_load_acquire,
+                        branch_after: m.branch_after_na_load && !m.na_load_acquire,
+                        ..plain
+                    },
+                    (false, true) => HwSpec {
+                        rel: m.na_store_release,
+                        dmbld_before: m.dmbld_before_na_store && !m.na_store_release,
+                        ..plain
+                    },
+                    (true, false) => HwSpec {
+                        acq: true,
+                        dmbld_before: m.dmbld_before_at_load,
+                        ..plain
+                    },
+                    (true, true) => {
+                        if m.at_store_exchange {
+                            // ldaxr pseudo-read...
+                            specs_per_thread[t].push(HwSpec {
+                                sw: None,
+                                pseudo_for: Some(i),
+                                acq: true,
+                                ..plain
+                            });
+                            actions_per_thread[t].push((e.loc, Action::Read(e.value())));
+                            // ...then the stlxr write half.
+                            HwSpec {
+                                rel: true,
+                                dmbst_after: m.dmbst_after_at_store,
+                                ..plain
+                            }
+                        } else {
+                            HwSpec {
+                                rel: true,
+                                dmbst_after: m.dmbst_after_at_store,
+                                ..plain
+                            }
+                        }
+                    }
+                };
+                specs_per_thread[t].push(spec);
+                actions_per_thread[t].push((e.loc, e.action));
+            }
+        }
+    }
+
+    // Hardware event layout mirrors EventSet::new: init events first, then
+    // thread blocks.
+    let mut hw_index_of_slot: Vec<Vec<usize>> = Vec::with_capacity(nthreads);
+    let mut acc = nlocs;
+    for specs in &specs_per_thread {
+        hw_index_of_slot.push((acc..acc + specs.len()).collect());
+        acc += specs.len();
+    }
+    let n_hw = acc;
+
+    let mut hw_of = vec![usize::MAX; sw.base.len()];
+    for l in 0..nlocs {
+        hw_of[l] = l; // initial writes map to themselves
+    }
+    let mut pseudo_pairs: Vec<(usize, usize)> = Vec::new(); // (pseudo hw, sw write)
+    let mut flat_specs: Vec<Option<HwSpec>> = vec![None; n_hw];
+    for (t, specs) in specs_per_thread.iter().enumerate() {
+        for (k, spec) in specs.iter().enumerate() {
+            let hw = hw_index_of_slot[t][k];
+            flat_specs[hw] = Some(*spec);
+            if let Some(swi) = spec.sw {
+                hw_of[swi] = hw;
+            }
+            if let Some(swi) = spec.pseudo_for {
+                pseudo_pairs.push((hw, swi));
+            }
+        }
+    }
+
+    // Mirror rf and co through the embedding.
+    let mut rf = Relation::new(n_hw);
+    for (a, b) in sw.rf.iter() {
+        rf.insert(hw_of[a], hw_of[b]);
+    }
+    let mut co = Relation::new(n_hw);
+    for (a, b) in sw.co.iter() {
+        co.insert(hw_of[a], hw_of[b]);
+    }
+
+    // rmw pairs and the per-event annotation vectors.
+    let mut rmw = Relation::new(n_hw);
+    for &(pseudo, sw_write) in &pseudo_pairs {
+        rmw.insert(pseudo, hw_of[sw_write]);
+    }
+    let mut acq = vec![false; n_hw];
+    let mut rel = vec![false; n_hw];
+    let mut ctrl = Relation::new(n_hw);
+    let mut dmbld = Relation::new(n_hw);
+    let mut dmbst = Relation::new(n_hw);
+    for (t, specs) in specs_per_thread.iter().enumerate() {
+        for (k, spec) in specs.iter().enumerate() {
+            let hw = hw_index_of_slot[t][k];
+            acq[hw] = spec.acq;
+            rel[hw] = spec.rel;
+        }
+        // Barrier-induced relations between same-thread pairs (i, j), i < j.
+        for i in 0..specs.len() {
+            for j in i + 1..specs.len() {
+                let (hi, hj) = (hw_index_of_slot[t][i], hw_index_of_slot[t][j]);
+                if specs[i].branch_after {
+                    ctrl.insert(hi, hj);
+                }
+                // dmb ld sits *before* an event: slot k separates i < k <= j.
+                if (i + 1..=j).any(|k| specs[k].dmbld_before) {
+                    dmbld.insert(hi, hj);
+                }
+                // dmb st sits *after* an event: slot k separates i <= k < j.
+                if (i..j).any(|k| specs[k].dmbst_after) {
+                    dmbst.insert(hi, hj);
+                }
+            }
+        }
+    }
+
+    // Enumerate pseudo-read rf sources: any write to the location except
+    // the paired write half itself.
+    let mut variants = Vec::new();
+    let mut choices: Vec<(usize, Vec<usize>)> = Vec::new(); // (pseudo hw, sources)
+    {
+        // Collect hardware writes per location: init + mirrored sw writes.
+        for &(pseudo, sw_write) in &pseudo_pairs {
+            let loc = sw.base.events[sw_write].loc;
+            let own = hw_of[sw_write];
+            let mut sources: Vec<usize> = vec![loc.index()];
+            for (i, e) in sw.base.events.iter().enumerate() {
+                if !e.is_init() && e.is_write() && e.loc == loc && hw_of[i] != own {
+                    sources.push(hw_of[i]);
+                }
+            }
+            choices.push((pseudo, sources));
+        }
+    }
+    let mut idx = vec![0usize; choices.len()];
+    loop {
+        // Build this variant's events (pseudo-read values = source values).
+        let mut actions = actions_per_thread.clone();
+        let mut rf_v = rf.clone();
+        for (c, &(pseudo, ref sources)) in choices.iter().enumerate() {
+            let src = sources[idx[c]];
+            rf_v.insert(src, pseudo);
+            // Patch the pseudo-read's value to match its source.
+            let (t, k) = slot_of(pseudo, &hw_index_of_slot);
+            let src_val = if src < nlocs {
+                bdrst_core::loc::Val::INIT
+            } else {
+                let (st, sk) = slot_of(src, &hw_index_of_slot);
+                actions[st][sk].1.value()
+            };
+            actions[t][k].1 = Action::Read(src_val);
+        }
+        let base = EventSet::new(locs.clone(), actions);
+        variants.push(HwExecution {
+            base,
+            rf: rf_v,
+            co: co.clone(),
+            rmw: rmw.clone(),
+            acq: acq.clone(),
+            rel: rel.clone(),
+            ctrl: ctrl.clone(),
+            dmbld: dmbld.clone(),
+            dmbst: dmbst.clone(),
+        });
+        // Odometer.
+        let mut i = 0;
+        loop {
+            if i == idx.len() {
+                return Compiled { variants, hw_of };
+            }
+            idx[i] += 1;
+            if idx[i] < choices[i].1.len() {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn slot_of(hw: usize, hw_index_of_slot: &[Vec<usize>]) -> (usize, usize) {
+    for (t, slots) in hw_index_of_slot.iter().enumerate() {
+        if let Some(k) = slots.iter().position(|&h| h == hw) {
+            return (t, k);
+        }
+    }
+    panic!("hardware index {hw} is not a thread event");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BAL, FBS, NAIVE};
+    use bdrst_core::loc::{LocKind, LocSet, Val};
+
+    /// MP with an atomic flag, relaxed outcome (r0=1, r1=0).
+    fn mp_relaxed() -> CandidateExecution {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        let base = EventSet::new(
+            locs,
+            vec![
+                vec![(a, Action::Write(Val(1))), (f, Action::Write(Val(1)))],
+                vec![(f, Action::Read(Val(1))), (a, Action::Read(Val(0)))],
+            ],
+        );
+        // 0=IWa, 1=IWF, 2=Wa1, 3=WF1, 4=RF1, 5=Ra0
+        let rf = Relation::from_edges(base.len(), [(3, 4), (0, 5)]);
+        let co = Relation::from_edges(base.len(), [(0, 2), (1, 3)]);
+        CandidateExecution { base, rf, co }
+    }
+
+    #[test]
+    fn x86_compilation_adds_rmw_pair() {
+        let c = compile_candidate(&mp_relaxed(), Target::X86);
+        let h = &c.variants[0];
+        // One atomic write → one rmw pair, one extra event.
+        assert_eq!(h.rmw.len(), 1);
+        assert_eq!(h.base.len(), mp_relaxed().base.len() + 1);
+        let (r, w) = h.rmw.iter().next().unwrap();
+        assert!(h.base.events[r].is_read());
+        assert!(h.base.events[w].is_write());
+        assert!(h.base.po.contains(r, w));
+    }
+
+    #[test]
+    fn pseudo_read_sources_enumerated() {
+        // F has only the init write as alternative source → 1 variant.
+        let c = compile_candidate(&mp_relaxed(), Target::X86);
+        assert_eq!(c.variants.len(), 1);
+        let h = &c.variants[0];
+        let (r, _) = h.rmw.iter().next().unwrap();
+        // The pseudo-read reads the initial write of F.
+        assert!(h.rf.contains(1, r));
+    }
+
+    #[test]
+    fn bal_adds_ctrl_from_na_loads() {
+        let c = compile_candidate(&mp_relaxed(), Target::Arm(BAL));
+        let h = &c.variants[0];
+        // The nonatomic read of `a` (last event of P1) has a branch after
+        // it, but nothing follows, so no ctrl edge from it; the atomic read
+        // has a dmb ld before it separating it from... nothing before it.
+        // Check instead that acquire/release annotations landed.
+        let f_read_hw = c.hw_of[4];
+        assert!(h.acq[f_read_hw], "ldar is an acquire");
+        let f_write_hw = c.hw_of[3];
+        assert!(h.rel[f_write_hw], "stlxr is a release");
+        assert_eq!(h.rmw.len(), 1);
+    }
+
+    #[test]
+    fn fbs_adds_dmbld_before_na_store() {
+        // LB shape: P0: Ra; Wb — FBS puts dmb ld before the store,
+        // creating a dmbld edge from the read to the write.
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let b = locs.fresh("b", LocKind::Nonatomic);
+        let base = EventSet::new(
+            locs,
+            vec![vec![(a, Action::Read(Val(0))), (b, Action::Write(Val(1)))]],
+        );
+        let rf = Relation::from_edges(base.len(), [(0, 2)]);
+        let co = Relation::from_edges(base.len(), [(1, 3)]);
+        let sw = CandidateExecution { base, rf, co };
+        let c = compile_candidate(&sw, Target::Arm(FBS));
+        let h = &c.variants[0];
+        assert!(h.dmbld.contains(c.hw_of[2], c.hw_of[3]));
+        // BAL uses ctrl instead.
+        let c = compile_candidate(&sw, Target::Arm(BAL));
+        let h = &c.variants[0];
+        assert!(h.ctrl.contains(c.hw_of[2], c.hw_of[3]));
+        assert!(!h.dmbld.contains(c.hw_of[2], c.hw_of[3]));
+        // NAIVE has neither.
+        let c = compile_candidate(&sw, Target::Arm(NAIVE));
+        let h = &c.variants[0];
+        assert!(!h.ctrl.contains(c.hw_of[2], c.hw_of[3]));
+        assert!(!h.dmbld.contains(c.hw_of[2], c.hw_of[3]));
+    }
+
+    #[test]
+    fn naive_atomic_store_has_no_rmw() {
+        let c = compile_candidate(&mp_relaxed(), Target::Arm(NAIVE));
+        let h = &c.variants[0];
+        assert!(h.rmw.is_empty());
+        assert_eq!(h.base.len(), mp_relaxed().base.len());
+        // stlr is still a release; ldar still an acquire.
+        assert!(h.rel[c.hw_of[3]]);
+        assert!(h.acq[c.hw_of[4]]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Hardware candidate executions (§7.2–7.3).
+//!
+//! An x86/ARM-candidate execution is a candidate execution plus an `rmw`
+//! relation pairing the read and write halves of read-modify-write
+//! instructions (the Wickerson et al. encoding), and — for ARM —
+//! per-event acquire/release annotations and the `ctrl`/`dmbld`/`dmbst`
+//! relations induced by the emitted barriers and dependent branches.
+
+use bdrst_axiomatic::EventSet;
+use bdrst_core::relation::Relation;
+
+/// A hardware-level candidate execution. Produced by
+/// [`crate::compile::compile_candidate`]; consumed by the x86 ([`crate::x86`])
+/// and ARMv8 ([`crate::arm`]) consistency predicates.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HwExecution {
+    /// Events (including the pseudo-reads of exchange-compiled atomic
+    /// writes) and program order.
+    pub base: EventSet,
+    /// Hardware reads-from.
+    pub rf: Relation,
+    /// Hardware coherence.
+    pub co: Relation,
+    /// Read-modify-write pairs: relates the read half to the write half,
+    /// adjacent in program order.
+    pub rmw: Relation,
+    /// Per-event: is this a load-acquire (`ldar`/`ldaxr`)?
+    pub acq: Vec<bool>,
+    /// Per-event: is this a store-release (`stlr`/`stlxr`)?
+    pub rel: Vec<bool>,
+    /// Control dependencies: `(E₁, E₂)` in program order separated by a
+    /// branch dependent on `E₁` (the BAL scheme's `cbz`).
+    pub ctrl: Relation,
+    /// Events in program order separated by a `dmb ld`.
+    pub dmbld: Relation,
+    /// Events in program order separated by a `dmb st`.
+    pub dmbst: Relation,
+}
+
+impl HwExecution {
+    /// `poloc`: program order restricted to same-location accesses.
+    pub fn poloc(&self) -> Relation {
+        self.base
+            .po
+            .filter(|a, b| self.base.events[a].loc == self.base.events[b].loc)
+    }
+
+    /// From-reads `fr = rf⁻¹; co`.
+    pub fn fr(&self) -> Relation {
+        self.rf.transpose().compose(&self.co)
+    }
+
+    /// External reads-from (`rf \ po`).
+    pub fn rfe(&self) -> Relation {
+        self.rf.minus(&self.base.po)
+    }
+
+    /// External coherence (`co \ po`).
+    pub fn coe(&self) -> Relation {
+        self.co.minus(&self.base.po)
+    }
+
+    /// External from-reads (`fr \ po`).
+    pub fn fre(&self) -> Relation {
+        self.fr().minus(&self.base.po)
+    }
+
+    /// Per-location SC: `acyclic(poloc ∪ rf ∪ fr ∪ co)` — required by both
+    /// hardware models.
+    pub fn sc_per_location(&self) -> bool {
+        self.poloc()
+            .union(&self.rf)
+            .union(&self.fr())
+            .union(&self.co)
+            .is_acyclic()
+    }
+
+    /// RMW atomicity: `rmw ∩ (fre; coe) = ∅` — no write intervenes between
+    /// the read and write halves of an exchange.
+    pub fn rmw_atomic(&self) -> bool {
+        self.rmw.intersect(&self.fre().compose(&self.coe())).is_empty()
+    }
+
+    /// Indices of write events whose `rmw`-predecessor exists (the paper's
+    /// `WA`, atomic writes, in the x86 model).
+    pub fn rmw_writes(&self) -> Vec<bool> {
+        let n = self.base.len();
+        let mut wa = vec![false; n];
+        for (_, w) in self.rmw.iter() {
+            wa[w] = true;
+        }
+        wa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrst_core::loc::{Action, LocKind, LocSet, Val};
+
+    /// One thread: Wx1 then Rx1 with rf internal; sanity for the helpers.
+    fn simple() -> HwExecution {
+        let mut locs = LocSet::new();
+        let x = locs.fresh("x", LocKind::Nonatomic);
+        let base = EventSet::new(
+            locs,
+            vec![vec![(x, Action::Write(Val(1))), (x, Action::Read(Val(1)))]],
+        );
+        // events: 0=IWx, 1=Wx1, 2=Rx1
+        let rf = Relation::from_edges(base.len(), [(1, 2)]);
+        let co = Relation::from_edges(base.len(), [(0, 1)]);
+        let n = base.len();
+        HwExecution {
+            base,
+            rf,
+            co,
+            rmw: Relation::new(n),
+            acq: vec![false; n],
+            rel: vec![false; n],
+            ctrl: Relation::new(n),
+            dmbld: Relation::new(n),
+            dmbst: Relation::new(n),
+        }
+    }
+
+    #[test]
+    fn helpers_behave() {
+        let h = simple();
+        assert!(h.poloc().contains(1, 2));
+        assert!(h.rfe().is_empty()); // internal rf
+        assert!(h.sc_per_location());
+        assert!(h.rmw_atomic()); // no rmw pairs at all
+        assert_eq!(h.rmw_writes(), vec![false, false, false]);
+    }
+
+    #[test]
+    fn fr_connects_reads_to_later_writes() {
+        let mut h = simple();
+        // Read from the initial write instead; Wx1 is now fr-after it.
+        h.rf = Relation::from_edges(h.base.len(), [(0, 2)]);
+        let fr = h.fr();
+        assert!(fr.contains(2, 1));
+        // poloc ∪ rf ∪ fr ∪ co now has a cycle: Wx1 po Rx1 fr Wx1.
+        assert!(!h.sc_per_location());
+    }
+}

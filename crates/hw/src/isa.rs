@@ -1,0 +1,308 @@
+//! Instruction sequences of the compilation schemes (Table 1, Tables 2a/2b)
+//! — both for display (the `table1`/`table2` binaries regenerate the
+//! paper's tables from this module) and for the cycle-cost simulator in
+//! `bdrst-sim`, which executes exactly these sequences.
+
+use std::fmt;
+
+/// The four access kinds the compiler lowers (§8.1 further splits
+/// nonatomic accesses into initialising/immutable vs mutable; that split
+/// lives in `bdrst-sim`, which maps both onto these sequences).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum AccessKind {
+    /// Read of a nonatomic location.
+    NonatomicRead,
+    /// Write to a nonatomic location.
+    NonatomicWrite,
+    /// Read of an atomic location.
+    AtomicRead,
+    /// Write to an atomic location.
+    AtomicWrite,
+}
+
+impl AccessKind {
+    /// All four kinds, in the paper's table order.
+    pub const ALL: [AccessKind; 4] = [
+        AccessKind::NonatomicRead,
+        AccessKind::NonatomicWrite,
+        AccessKind::AtomicRead,
+        AccessKind::AtomicWrite,
+    ];
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::NonatomicRead => write!(f, "Nonatomic read"),
+            AccessKind::NonatomicWrite => write!(f, "Nonatomic write"),
+            AccessKind::AtomicRead => write!(f, "Atomic read"),
+            AccessKind::AtomicWrite => write!(f, "Atomic write"),
+        }
+    }
+}
+
+/// An x86-64 instruction of the compilation scheme (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum X86Instr {
+    /// `mov R, [x]` — load.
+    MovLoad,
+    /// `mov [x], R` — store.
+    MovStore,
+    /// `(lock) xchg R, [x]` — atomic exchange (lock implicit).
+    Xchg,
+}
+
+impl fmt::Display for X86Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            X86Instr::MovLoad => write!(f, "mov R, [x]"),
+            X86Instr::MovStore => write!(f, "mov [x], R"),
+            X86Instr::Xchg => write!(f, "(lock) xchg R, [x]"),
+        }
+    }
+}
+
+/// An AArch64 instruction of the compilation schemes (Tables 2a/2b, §8.2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArmInstr {
+    /// `ldr R, [x]` — plain load.
+    Ldr,
+    /// `str R, [x]` — plain store.
+    Str,
+    /// `ldar R, [x]` — load-acquire.
+    Ldar,
+    /// `stlr R, [x]` — store-release.
+    Stlr,
+    /// `ldaxr R, [x]` — load-acquire exclusive (half of an exchange).
+    Ldaxr,
+    /// `stlxr W, R, [x]` — store-release exclusive (half of an exchange).
+    Stlxr,
+    /// `cbz R, L; L:` — branch dependent on the last load (BAL).
+    DependentBranch,
+    /// `cbnz W, L` — retry loop of an exchange.
+    RetryBranch,
+    /// `dmb ld` — load barrier.
+    DmbLd,
+    /// `dmb st` — store barrier.
+    DmbSt,
+    /// `dmb ish` — full barrier (used for SRA floating-point accesses).
+    DmbFull,
+}
+
+impl fmt::Display for ArmInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmInstr::Ldr => write!(f, "ldr R, [x]"),
+            ArmInstr::Str => write!(f, "str R, [x]"),
+            ArmInstr::Ldar => write!(f, "ldar R, [x]"),
+            ArmInstr::Stlr => write!(f, "stlr R, [x]"),
+            ArmInstr::Ldaxr => write!(f, "ldaxr R, [x]"),
+            ArmInstr::Stlxr => write!(f, "stlxr W, R, [x]"),
+            ArmInstr::DependentBranch => write!(f, "cbz R, L; L:"),
+            ArmInstr::RetryBranch => write!(f, "cbnz W, L"),
+            ArmInstr::DmbLd => write!(f, "dmb ld"),
+            ArmInstr::DmbSt => write!(f, "dmb st"),
+            ArmInstr::DmbFull => write!(f, "dmb ish"),
+        }
+    }
+}
+
+/// The x86 compilation scheme (Table 1): the instruction sequence for one
+/// access kind.
+pub fn x86_sequence(kind: AccessKind) -> Vec<X86Instr> {
+    match kind {
+        AccessKind::NonatomicRead | AccessKind::AtomicRead => vec![X86Instr::MovLoad],
+        AccessKind::NonatomicWrite => vec![X86Instr::MovStore],
+        AccessKind::AtomicWrite => vec![X86Instr::Xchg],
+    }
+}
+
+/// How an ARMv8 compilation scheme lowers each access kind. The paper's
+/// named schemes are provided as constants; see [`BAL`], [`FBS`], [`SRA`],
+/// [`NAIVE`] and [`STLR_SC`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ArmMapping {
+    /// Insert a dependent branch after every nonatomic load (BAL,
+    /// Table 2a): pins load-to-store order via a control dependency.
+    pub branch_after_na_load: bool,
+    /// Insert `dmb ld` before every nonatomic store (FBS, Table 2b).
+    pub dmbld_before_na_store: bool,
+    /// Insert `dmb ld` before atomic loads (both paper schemes).
+    pub dmbld_before_at_load: bool,
+    /// Compile atomic stores as `ldaxr`/`stlxr` exchanges (both paper
+    /// schemes); when false, a bare `stlr` is used — the §9.2 scheme that
+    /// is *unsound* for this model.
+    pub at_store_exchange: bool,
+    /// Insert `dmb st` after atomic stores (both paper schemes).
+    pub dmbst_after_at_store: bool,
+    /// Compile nonatomic (mutable) loads as `ldar` (SRA).
+    pub na_load_acquire: bool,
+    /// Compile nonatomic stores as `stlr` (SRA).
+    pub na_store_release: bool,
+}
+
+/// Table 2a: branch after (mutable) load.
+pub const BAL: ArmMapping = ArmMapping {
+    branch_after_na_load: true,
+    dmbld_before_na_store: false,
+    dmbld_before_at_load: true,
+    at_store_exchange: true,
+    dmbst_after_at_store: true,
+    na_load_acquire: false,
+    na_store_release: false,
+};
+
+/// Table 2b: `dmb ld` (fence) before store.
+pub const FBS: ArmMapping = ArmMapping {
+    branch_after_na_load: false,
+    dmbld_before_na_store: true,
+    dmbld_before_at_load: true,
+    at_store_exchange: true,
+    dmbst_after_at_store: true,
+    na_load_acquire: false,
+    na_store_release: false,
+};
+
+/// Strong release/acquire (§8.2): every mutable load is `ldar`, every
+/// assignment `stlr`; strictly stronger than the paper's model needs.
+pub const SRA: ArmMapping = ArmMapping {
+    branch_after_na_load: false,
+    dmbld_before_na_store: false,
+    dmbld_before_at_load: true,
+    at_store_exchange: true,
+    dmbst_after_at_store: true,
+    na_load_acquire: true,
+    na_store_release: true,
+};
+
+/// The do-nothing scheme: plain loads/stores, C++-style `ldar`/`stlr`
+/// atomics. Admits load-buffering — unsound for this model (§7.3), which
+/// the soundness checker demonstrates on the LB litmus test.
+pub const NAIVE: ArmMapping = ArmMapping {
+    branch_after_na_load: false,
+    dmbld_before_na_store: false,
+    dmbld_before_at_load: false,
+    at_store_exchange: false,
+    dmbst_after_at_store: false,
+    na_load_acquire: false,
+    na_store_release: false,
+};
+
+/// Like BAL but compiling atomic stores as bare `stlr` without `dmb st`:
+/// the C++-SC-atomics choice discussed in §9.2, whose atomic writes are too
+/// weak for this model.
+pub const STLR_SC: ArmMapping = ArmMapping {
+    branch_after_na_load: true,
+    dmbld_before_na_store: false,
+    dmbld_before_at_load: true,
+    at_store_exchange: false,
+    dmbst_after_at_store: false,
+    na_load_acquire: false,
+    na_store_release: false,
+};
+
+impl ArmMapping {
+    /// The instruction sequence this scheme emits for one access kind.
+    pub fn sequence(&self, kind: AccessKind) -> Vec<ArmInstr> {
+        let mut out = Vec::new();
+        match kind {
+            AccessKind::NonatomicRead => {
+                if self.na_load_acquire {
+                    out.push(ArmInstr::Ldar);
+                } else {
+                    out.push(ArmInstr::Ldr);
+                    if self.branch_after_na_load {
+                        out.push(ArmInstr::DependentBranch);
+                    }
+                }
+            }
+            AccessKind::NonatomicWrite => {
+                if self.na_store_release {
+                    out.push(ArmInstr::Stlr);
+                } else {
+                    if self.dmbld_before_na_store {
+                        out.push(ArmInstr::DmbLd);
+                    }
+                    out.push(ArmInstr::Str);
+                }
+            }
+            AccessKind::AtomicRead => {
+                if self.dmbld_before_at_load {
+                    out.push(ArmInstr::DmbLd);
+                }
+                out.push(ArmInstr::Ldar);
+            }
+            AccessKind::AtomicWrite => {
+                if self.at_store_exchange {
+                    out.push(ArmInstr::Ldaxr);
+                    out.push(ArmInstr::Stlxr);
+                    out.push(ArmInstr::RetryBranch);
+                } else {
+                    out.push(ArmInstr::Stlr);
+                }
+                if self.dmbst_after_at_store {
+                    out.push(ArmInstr::DmbSt);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        assert_eq!(x86_sequence(AccessKind::NonatomicRead), vec![X86Instr::MovLoad]);
+        assert_eq!(x86_sequence(AccessKind::NonatomicWrite), vec![X86Instr::MovStore]);
+        assert_eq!(x86_sequence(AccessKind::AtomicRead), vec![X86Instr::MovLoad]);
+        assert_eq!(x86_sequence(AccessKind::AtomicWrite), vec![X86Instr::Xchg]);
+    }
+
+    #[test]
+    fn table2a_bal_shapes() {
+        assert_eq!(
+            BAL.sequence(AccessKind::NonatomicRead),
+            vec![ArmInstr::Ldr, ArmInstr::DependentBranch]
+        );
+        assert_eq!(BAL.sequence(AccessKind::NonatomicWrite), vec![ArmInstr::Str]);
+        assert_eq!(
+            BAL.sequence(AccessKind::AtomicRead),
+            vec![ArmInstr::DmbLd, ArmInstr::Ldar]
+        );
+        assert_eq!(
+            BAL.sequence(AccessKind::AtomicWrite),
+            vec![ArmInstr::Ldaxr, ArmInstr::Stlxr, ArmInstr::RetryBranch, ArmInstr::DmbSt]
+        );
+    }
+
+    #[test]
+    fn table2b_fbs_shapes() {
+        assert_eq!(FBS.sequence(AccessKind::NonatomicRead), vec![ArmInstr::Ldr]);
+        assert_eq!(
+            FBS.sequence(AccessKind::NonatomicWrite),
+            vec![ArmInstr::DmbLd, ArmInstr::Str]
+        );
+    }
+
+    #[test]
+    fn sra_uses_acquire_release() {
+        assert_eq!(SRA.sequence(AccessKind::NonatomicRead), vec![ArmInstr::Ldar]);
+        assert_eq!(SRA.sequence(AccessKind::NonatomicWrite), vec![ArmInstr::Stlr]);
+    }
+
+    #[test]
+    fn naive_is_bare() {
+        assert_eq!(NAIVE.sequence(AccessKind::NonatomicRead), vec![ArmInstr::Ldr]);
+        assert_eq!(NAIVE.sequence(AccessKind::NonatomicWrite), vec![ArmInstr::Str]);
+        assert_eq!(NAIVE.sequence(AccessKind::AtomicWrite), vec![ArmInstr::Stlr]);
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(format!("{}", X86Instr::Xchg), "(lock) xchg R, [x]");
+        assert_eq!(format!("{}", ArmInstr::DmbLd), "dmb ld");
+    }
+}

@@ -1,0 +1,213 @@
+//! Empirical checking of the compilation soundness theorems
+//! (Theorem 19 for x86, Theorem 20 for ARMv8) over whole programs.
+//!
+//! For every candidate execution of a program (consistent or not), we
+//! compile it and ask: does the hardware model accept some compiled
+//! variant? Soundness demands that hardware acceptance implies software
+//! consistency. The checker reports either `Sound` with statistics or the
+//! first counterexample — which is how the repository demonstrates that
+//! the `NAIVE` and `STLR_SC` ARM mappings are *not* sound (§7.3, §9.2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bdrst_axiomatic::{for_each_candidate, EnumError, EnumLimits, ProgramExecution};
+use bdrst_lang::{Observation, Program};
+
+use crate::arm::arm_consistent;
+use crate::compile::{compile_candidate, Target};
+use crate::x86::x86_consistent;
+
+/// Statistics of a soundness check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SoundnessStats {
+    /// Software candidate executions examined.
+    pub candidates: usize,
+    /// Candidates accepted by the hardware model (some compiled variant
+    /// consistent).
+    pub hw_consistent: usize,
+    /// Candidates consistent in the software model.
+    pub sw_consistent: usize,
+}
+
+/// A counterexample to compilation soundness: a hardware-accepted candidate
+/// that the software model rejects.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnsoundExecution {
+    /// The observation of the offending candidate.
+    pub observation: Observation,
+    /// Statistics up to the counterexample.
+    pub stats: SoundnessStats,
+}
+
+impl fmt::Display for UnsoundExecution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compilation unsound: hardware admits a software-inconsistent execution \
+             (after {} candidates)",
+            self.stats.candidates
+        )
+    }
+}
+
+/// The verdict of [`check_compilation`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SoundnessVerdict {
+    /// Every hardware-accepted candidate is software-consistent.
+    Sound(SoundnessStats),
+    /// Some hardware-accepted candidate is software-inconsistent.
+    Unsound(UnsoundExecution),
+}
+
+impl SoundnessVerdict {
+    /// True for [`SoundnessVerdict::Sound`].
+    pub fn is_sound(&self) -> bool {
+        matches!(self, SoundnessVerdict::Sound(_))
+    }
+}
+
+fn hw_accepts(pe: &ProgramExecution, target: Target) -> bool {
+    let compiled = compile_candidate(&pe.exec, target);
+    match target {
+        Target::X86 => compiled.variants.iter().any(x86_consistent),
+        Target::Arm(_) => compiled.variants.iter().any(arm_consistent),
+    }
+}
+
+/// Checks Theorem 19/20 on one program and target: for every candidate
+/// execution, hardware acceptance of the compiled execution must imply
+/// software consistency.
+///
+/// # Errors
+///
+/// Returns [`EnumError`] if candidate enumeration fails.
+pub fn check_compilation(
+    program: &Program,
+    target: Target,
+    limits: EnumLimits,
+) -> Result<SoundnessVerdict, EnumError> {
+    let mut stats = SoundnessStats::default();
+    let mut counterexample: Option<UnsoundExecution> = None;
+    for_each_candidate(program, limits, |pe| {
+        if counterexample.is_some() {
+            return;
+        }
+        stats.candidates += 1;
+        let sw_ok = pe.exec.is_consistent();
+        if sw_ok {
+            stats.sw_consistent += 1;
+        }
+        let hw_ok = hw_accepts(pe, target);
+        if hw_ok {
+            stats.hw_consistent += 1;
+        }
+        if hw_ok && !sw_ok {
+            counterexample = Some(UnsoundExecution { observation: pe.observation(), stats });
+        }
+    })?;
+    Ok(match counterexample {
+        Some(c) => SoundnessVerdict::Unsound(c),
+        None => SoundnessVerdict::Sound(stats),
+    })
+}
+
+/// The observations the *hardware* model allows for the compiled program —
+/// the behaviours a user would see on the metal. Comparing against the
+/// software outcome set shows where the hardware is stricter (allowed ⊂)
+/// or, for unsound mappings, more permissive.
+///
+/// # Errors
+///
+/// Returns [`EnumError`] if candidate enumeration fails.
+pub fn hw_outcomes(
+    program: &Program,
+    target: Target,
+    limits: EnumLimits,
+) -> Result<BTreeSet<Observation>, EnumError> {
+    let mut out = BTreeSet::new();
+    for_each_candidate(program, limits, |pe| {
+        if hw_accepts(pe, target) {
+            out.insert(pe.observation());
+        }
+    })?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{BAL, FBS, NAIVE, SRA, STLR_SC};
+
+    fn lb() -> Program {
+        Program::parse(
+            "nonatomic a b;
+             thread P0 { r0 = a; b = 1; }
+             thread P1 { r1 = b; a = 1; }",
+        )
+        .unwrap()
+    }
+
+    fn mp() -> Program {
+        Program::parse(
+            "nonatomic a; atomic f;
+             thread P0 { a = 1; f = 1; }
+             thread P1 { r0 = f; r1 = a; }",
+        )
+        .unwrap()
+    }
+
+    fn check(p: &Program, target: Target) -> SoundnessVerdict {
+        check_compilation(p, target, EnumLimits::default()).unwrap()
+    }
+
+    #[test]
+    fn x86_sound_on_lb_and_mp() {
+        assert!(check(&lb(), Target::X86).is_sound());
+        assert!(check(&mp(), Target::X86).is_sound());
+    }
+
+    #[test]
+    fn bal_and_fbs_sound_on_lb_and_mp() {
+        for m in [BAL, FBS, SRA] {
+            assert!(check(&lb(), Target::Arm(m)).is_sound());
+            assert!(check(&mp(), Target::Arm(m)).is_sound());
+        }
+    }
+
+    #[test]
+    fn naive_arm_unsound_on_lb() {
+        // The checker catches exactly the load-buffering counterexample.
+        let v = check(&lb(), Target::Arm(NAIVE));
+        assert!(!v.is_sound(), "naive mapping must fail on LB");
+    }
+
+    #[test]
+    fn stlr_scheme_unsound_on_sec92() {
+        let p = Program::parse(
+            "nonatomic b; atomic A;
+             thread P0 { x = b; A = 1; }
+             thread P1 { A = 2; b = 1; }",
+        )
+        .unwrap();
+        let v = check(&p, Target::Arm(STLR_SC));
+        assert!(!v.is_sound(), "stlr-compiled SC atomics must fail §9.2");
+        // The exchange-based scheme is fine.
+        assert!(check(&p, Target::Arm(BAL)).is_sound());
+    }
+
+    #[test]
+    fn hw_outcomes_superset_relationships() {
+        // For a sound mapping, hardware outcomes ⊆ software outcomes would
+        // hold with equality only if the hardware exhibits every software
+        // behaviour; strictness is allowed. For NAIVE on LB the hardware
+        // adds the forbidden outcome.
+        let p = lb();
+        let sw: BTreeSet<_> = bdrst_axiomatic::axiomatic_outcomes(&p, EnumLimits::default())
+            .unwrap();
+        let hw_bal = hw_outcomes(&p, Target::Arm(BAL), EnumLimits::default()).unwrap();
+        assert!(hw_bal.is_subset(&sw));
+        let hw_naive = hw_outcomes(&p, Target::Arm(NAIVE), EnumLimits::default()).unwrap();
+        assert!(!hw_naive.is_subset(&sw), "naive mapping adds LB outcome");
+    }
+}

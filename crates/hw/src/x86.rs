@@ -1,0 +1,143 @@
+//! The x86-TSO axiomatic model (Fig. 3), in the presentation of Alglave
+//! et al. used by the paper.
+//!
+//! ```text
+//! poloc   = po ∩ same-location
+//! poghb   = po ∩ ((W × W) ∪ (R × M))
+//! implied = po ∩ ((W × WA) ∪ (WA × R))    WA = writes with rmw-predecessor
+//! ghb     = implied ∪ poghb ∪ rfe ∪ fr ∪ co
+//!
+//! consistent ⇔ acyclic(poloc ∪ rf ∪ fr ∪ co)
+//!            ∧ acyclic(ghb)
+//!            ∧ rmw ∩ (fre; coe) = ∅
+//! ```
+
+use bdrst_core::relation::Relation;
+
+use crate::exec::HwExecution;
+
+/// `poghb = po ∩ ((W × W) ∪ (R × M))`: the program order x86 preserves
+/// globally — everything except write-to-read (the store buffer).
+pub fn poghb(h: &HwExecution) -> Relation {
+    h.base.po.filter(|a, b| {
+        let (ea, eb) = (&h.base.events[a], &h.base.events[b]);
+        (ea.is_write() && eb.is_write()) || ea.is_read()
+    })
+}
+
+/// `implied = po ∩ ((W × WA) ∪ (WA × R))`: extra order from locked
+/// instructions (they drain the store buffer).
+pub fn implied(h: &HwExecution) -> Relation {
+    let wa = h.rmw_writes();
+    h.base.po.filter(|a, b| {
+        let (ea, eb) = (&h.base.events[a], &h.base.events[b]);
+        (ea.is_write() && wa[b]) || (wa[a] && eb.is_read())
+    })
+}
+
+/// The x86 global-happens-before relation.
+pub fn ghb(h: &HwExecution) -> Relation {
+    implied(h)
+        .union(&poghb(h))
+        .union(&h.rfe())
+        .union(&h.fr())
+        .union(&h.co)
+}
+
+/// The x86-TSO consistency predicate of Fig. 3.
+pub fn x86_consistent(h: &HwExecution) -> bool {
+    h.sc_per_location() && ghb(h).is_acyclic() && h.rmw_atomic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile_candidate, Target};
+    use bdrst_axiomatic::{CandidateExecution, EventSet};
+    use bdrst_core::loc::{Action, LocKind, LocSet, Val};
+
+    /// SB with the relaxed outcome r0 = r1 = 0 — allowed by TSO.
+    fn sb_relaxed(atomic: bool) -> CandidateExecution {
+        let mut locs = LocSet::new();
+        let kind = if atomic { LocKind::Atomic } else { LocKind::Nonatomic };
+        let a = locs.fresh("a", kind);
+        let b = locs.fresh("b", kind);
+        let base = EventSet::new(
+            locs,
+            vec![
+                vec![(a, Action::Write(Val(1))), (b, Action::Read(Val(0)))],
+                vec![(b, Action::Write(Val(1))), (a, Action::Read(Val(0)))],
+            ],
+        );
+        // 0=IWa, 1=IWb, 2=Wa1, 3=Rb0, 4=Wb1, 5=Ra0
+        let rf = Relation::from_edges(base.len(), [(1, 3), (0, 5)]);
+        let co = Relation::from_edges(base.len(), [(0, 2), (1, 4)]);
+        CandidateExecution { base, rf, co }
+    }
+
+    #[test]
+    fn tso_allows_nonatomic_sb_relaxation() {
+        let sw = sb_relaxed(false);
+        let c = compile_candidate(&sw, Target::X86);
+        assert!(c.variants.iter().any(x86_consistent));
+        // And the software model allows it too (plain movs are sound).
+        assert!(sw.is_consistent());
+    }
+
+    #[test]
+    fn xchg_forbids_atomic_sb_relaxation() {
+        // With atomic locations, writes compile to xchg; TSO then forbids
+        // r0 = r1 = 0 (this is why the scheme is sound for SC atomics).
+        let sw = sb_relaxed(true);
+        let c = compile_candidate(&sw, Target::X86);
+        assert!(
+            !c.variants.iter().any(x86_consistent),
+            "locked xchg must forbid the relaxed SB outcome"
+        );
+        // The software model also forbids it.
+        assert!(!sw.is_consistent());
+    }
+
+    #[test]
+    fn load_buffering_forbidden_by_tso() {
+        // LB relaxed outcome: hardware reads-before-writes order (R × M in
+        // poghb) forbids it on x86.
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let b = locs.fresh("b", LocKind::Nonatomic);
+        let base = EventSet::new(
+            locs,
+            vec![
+                vec![(a, Action::Read(Val(1))), (b, Action::Write(Val(1)))],
+                vec![(b, Action::Read(Val(1))), (a, Action::Write(Val(1)))],
+            ],
+        );
+        // 0=IWa, 1=IWb, 2=Ra1, 3=Wb1, 4=Rb1, 5=Wa1
+        let rf = Relation::from_edges(base.len(), [(5, 2), (3, 4)]);
+        let co = Relation::from_edges(base.len(), [(0, 5), (1, 3)]);
+        let sw = CandidateExecution { base, rf, co };
+        let c = compile_candidate(&sw, Target::X86);
+        assert!(!c.variants.iter().any(x86_consistent));
+    }
+
+    #[test]
+    fn mp_forbidden_with_atomic_flag() {
+        // The compiled MP relaxed outcome must be x86-inconsistent:
+        // store-store and load-load order are both preserved by TSO.
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        let base = EventSet::new(
+            locs,
+            vec![
+                vec![(a, Action::Write(Val(1))), (f, Action::Write(Val(1)))],
+                vec![(f, Action::Read(Val(1))), (a, Action::Read(Val(0)))],
+            ],
+        );
+        let rf = Relation::from_edges(base.len(), [(3, 4), (0, 5)]);
+        let co = Relation::from_edges(base.len(), [(0, 2), (1, 3)]);
+        let sw = CandidateExecution { base, rf, co };
+        let c = compile_candidate(&sw, Target::X86);
+        assert!(!c.variants.iter().any(x86_consistent));
+    }
+}

@@ -1,0 +1,672 @@
+//! Parser for the litmus surface syntax.
+//!
+//! ```text
+//! program := decl* thread+
+//! decl    := ("nonatomic" | "atomic") ident+ ";"
+//! thread  := "thread" ident "{" stmt* "}"
+//! stmt    := ident "=" expr ";"
+//!          | "if" "(" expr ")" block ("else" block)?
+//!          | "while" "(" expr ")" block
+//! block   := "{" stmt* "}"
+//! expr    := the usual precedence: || > && > (==,!=,<,<=,>,>=) > (+,-) > *
+//!            with unary ! and -, parentheses, integers, identifiers
+//! ```
+//!
+//! Identifiers declared by a `nonatomic`/`atomic` declaration denote
+//! locations; every other identifier is a thread-local register. Location
+//! reads may appear anywhere in an expression: the parser hoists each into
+//! a fresh temporary register *in left-to-right order*, so
+//! `b = a + 10;` lowers to `$t0 = a; b = $t0 + 10;` exactly as the paper's
+//! examples assume. A location read in a `while` condition is re-executed
+//! on every iteration (the hoisted loads are replayed at the end of the
+//! loop body). Loops carry finite fuel (default 12, configurable via
+//! [`ParseOptions`]) so all programs have finite state spaces.
+//!
+//! Comments: `//` to end of line.
+
+use std::fmt;
+
+use bdrst_core::loc::{Loc, LocKind, LocSet};
+
+use crate::ast::{BinOp, PureExpr, Reg, Stmt, UnOp};
+use crate::program::{Program, ThreadProgram};
+
+/// A syntax or scoping error, with 1-based line and column.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Explanation of the problem.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parser configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParseOptions {
+    /// Fuel given to every `while` loop (iterations before forced exit).
+    pub loop_fuel: u32,
+}
+
+impl Default for ParseOptions {
+    fn default() -> ParseOptions {
+        ParseOptions { loop_fuel: 12 }
+    }
+}
+
+/// Parses a program with default options.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    parse_with_options(src, ParseOptions::default())
+}
+
+/// Parses a program with explicit [`ParseOptions`].
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+pub fn parse_with_options(src: &str, options: ParseOptions) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0, locs: LocSet::new(), options };
+    p.program()
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Punct(&'static str),
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Token {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let (mut line, mut col) = (1usize, 1usize);
+    let puncts: &[&'static str] = &[
+        "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", ";", "=", "<", ">", "+", "-",
+        "*", "!", ",",
+    ];
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let text = &src[start..i];
+            out.push(Token { tok: Tok::Ident(text.to_string()), line, column: col });
+            col += i - start;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let v: i64 = text.parse().map_err(|_| ParseError {
+                message: format!("integer literal out of range: {text}"),
+                line,
+                column: col,
+            })?;
+            out.push(Token { tok: Tok::Int(v), line, column: col });
+            col += i - start;
+            continue;
+        }
+        let mut matched = false;
+        for p in puncts {
+            if src[i..].starts_with(p) {
+                out.push(Token { tok: Tok::Punct(p), line, column: col });
+                i += p.len();
+                col += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(ParseError {
+                message: format!("unexpected character {c:?}"),
+                line,
+                column: col,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// A surface expression: may mention locations; lowered before use.
+#[derive(Clone, Debug)]
+enum SurfaceExpr {
+    Const(i64),
+    Name(String),
+    Unary(UnOp, Box<SurfaceExpr>),
+    Binary(BinOp, Box<SurfaceExpr>, Box<SurfaceExpr>),
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    locs: LocSet,
+    options: ParseOptions,
+}
+
+/// Per-thread scope: register names (index = register number).
+struct ThreadScope {
+    regs: Vec<String>,
+    temp_count: usize,
+}
+
+impl ThreadScope {
+    fn reg(&mut self, name: &str) -> Reg {
+        if let Some(i) = self.regs.iter().position(|r| r == name) {
+            Reg(i as u16)
+        } else {
+            self.regs.push(name.to_string());
+            Reg((self.regs.len() - 1) as u16)
+        }
+    }
+
+    fn temp(&mut self) -> Reg {
+        let name = format!("$t{}", self.temp_count);
+        self.temp_count += 1;
+        self.reg(&name)
+    }
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self
+            .peek()
+            .map(|t| (t.line, t.column))
+            .unwrap_or_else(|| {
+                self.tokens
+                    .last()
+                    .map(|t| (t.line, t.column + 1))
+                    .unwrap_or((1, 1))
+            });
+        ParseError { message: message.into(), line, column }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Token { tok: Tok::Punct(q), .. }) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected `{p}`")))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token { tok: Tok::Ident(s), .. }) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, usize, usize), ParseError> {
+        match self.peek().cloned() {
+            Some(Token { tok: Tok::Ident(s), line, column }) => {
+                self.pos += 1;
+                Ok((s, line, column))
+            }
+            _ => Err(self.error_here("expected identifier")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        // Declarations.
+        loop {
+            let kind = if self.eat_keyword("nonatomic") {
+                LocKind::Nonatomic
+            } else if self.eat_keyword("atomic") {
+                LocKind::Atomic
+            } else {
+                break;
+            };
+            loop {
+                let (name, line, column) = self.expect_ident()?;
+                if self.locs.by_name(&name).is_some() {
+                    return Err(ParseError {
+                        message: format!("location `{name}` declared twice"),
+                        line,
+                        column,
+                    });
+                }
+                if is_keyword(&name) {
+                    return Err(ParseError {
+                        message: format!("`{name}` is a keyword"),
+                        line,
+                        column,
+                    });
+                }
+                self.locs.fresh(name, kind);
+                if self.eat_punct(";") {
+                    break;
+                }
+                self.eat_punct(","); // optional separator
+            }
+        }
+        // Threads.
+        let mut threads = Vec::new();
+        while self.eat_keyword("thread") {
+            let (name, ..) = self.expect_ident()?;
+            self.expect_punct("{")?;
+            let mut scope = ThreadScope { regs: Vec::new(), temp_count: 0 };
+            let body = self.block_body(&mut scope)?;
+            threads.push(ThreadProgram { name, regs: scope.regs, body });
+        }
+        if threads.is_empty() {
+            return Err(self.error_here("program has no threads"));
+        }
+        if self.pos != self.tokens.len() {
+            return Err(self.error_here("unexpected trailing input"));
+        }
+        Ok(Program { locs: self.locs.clone(), threads })
+    }
+
+    /// Parses statements up to (and consuming) the closing `}`.
+    fn block_body(&mut self, scope: &mut ThreadScope) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if self.eat_punct("}") {
+                return Ok(out);
+            }
+            if self.peek().is_none() {
+                return Err(self.error_here("unterminated block; expected `}`"));
+            }
+            self.stmt(scope, &mut out)?;
+        }
+    }
+
+    fn stmt(&mut self, scope: &mut ThreadScope, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let cond = self.lower(cond, scope, out)?;
+            self.expect_punct("{")?;
+            let then_b = self.block_body(scope)?;
+            let else_b = if self.eat_keyword("else") {
+                self.expect_punct("{")?;
+                self.block_body(scope)?
+            } else {
+                Vec::new()
+            };
+            out.push(Stmt::If(cond, then_b, else_b));
+            return Ok(());
+        }
+        if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            // Hoist the condition's loads before the loop, and replay them
+            // at the end of the body so each iteration re-reads memory.
+            let mut pre = Vec::new();
+            let cond = self.lower(cond, scope, &mut pre)?;
+            self.expect_punct("{")?;
+            let mut body = self.block_body(scope)?;
+            body.extend(pre.iter().cloned());
+            out.extend(pre);
+            out.push(Stmt::While(cond, body, self.options.loop_fuel));
+            return Ok(());
+        }
+        // Assignment / load / store.
+        let (name, line, column) = self.expect_ident()?;
+        if is_keyword(&name) {
+            return Err(ParseError {
+                message: format!("unexpected keyword `{name}`"),
+                line,
+                column,
+            });
+        }
+        self.expect_punct("=")?;
+        let rhs = self.expr()?;
+        self.expect_punct(";")?;
+        match self.locs.by_name(&name) {
+            Some(loc) => {
+                let e = self.lower(rhs, scope, out)?;
+                out.push(Stmt::Store(loc, e));
+            }
+            None => {
+                let reg = scope.reg(&name);
+                // Direct load `r = a;` avoids a pointless temporary.
+                if let SurfaceExpr::Name(n) = &rhs {
+                    if let Some(loc) = self.locs.by_name(n) {
+                        out.push(Stmt::Load(reg, loc));
+                        return Ok(());
+                    }
+                }
+                let e = self.lower(rhs, scope, out)?;
+                out.push(Stmt::Assign(reg, e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers a surface expression: hoists each location read into a fresh
+    /// temporary (left-to-right), emitting the loads into `out`.
+    fn lower(
+        &mut self,
+        e: SurfaceExpr,
+        scope: &mut ThreadScope,
+        out: &mut Vec<Stmt>,
+    ) -> Result<PureExpr, ParseError> {
+        Ok(match e {
+            SurfaceExpr::Const(v) => PureExpr::constant(v),
+            SurfaceExpr::Name(n) => match self.locs.by_name(&n) {
+                Some(loc) => {
+                    let t = scope.temp();
+                    out.push(Stmt::Load(t, loc));
+                    PureExpr::Reg(t)
+                }
+                None => PureExpr::Reg(scope.reg(&n)),
+            },
+            SurfaceExpr::Unary(op, inner) => {
+                PureExpr::Unary(op, Box::new(self.lower(*inner, scope, out)?))
+            }
+            SurfaceExpr::Binary(op, l, r) => {
+                let l = self.lower(*l, scope, out)?;
+                let r = self.lower(*r, scope, out)?;
+                PureExpr::Binary(op, Box::new(l), Box::new(r))
+            }
+        })
+    }
+
+    // ---- expression parsing, standard precedence climbing ----
+
+    fn expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = SurfaceExpr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_punct("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = SurfaceExpr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let lhs = self.add_expr()?;
+        for (p, op) in [
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.add_expr()?;
+                return Ok(SurfaceExpr::Binary(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_punct("+") {
+                let rhs = self.mul_expr()?;
+                lhs = SurfaceExpr::Binary(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat_punct("-") {
+                let rhs = self.mul_expr()?;
+                lhs = SurfaceExpr::Binary(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while self.eat_punct("*") {
+            let rhs = self.unary_expr()?;
+            lhs = SurfaceExpr::Binary(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        if self.eat_punct("!") {
+            return Ok(SurfaceExpr::Unary(UnOp::Not, Box::new(self.unary_expr()?)));
+        }
+        if self.eat_punct("-") {
+            return Ok(SurfaceExpr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)));
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<SurfaceExpr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token { tok: Tok::Int(v), .. }) => {
+                self.pos += 1;
+                Ok(SurfaceExpr::Const(v))
+            }
+            Some(Token { tok: Tok::Ident(s), .. }) => {
+                if is_keyword(&s) {
+                    return Err(self.error_here(format!("unexpected keyword `{s}`")));
+                }
+                self.pos += 1;
+                Ok(SurfaceExpr::Name(s))
+            }
+            Some(Token { tok: Tok::Punct("("), .. }) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            _ => Err(self.error_here("expected expression")),
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(s, "nonatomic" | "atomic" | "thread" | "if" | "else" | "while")
+}
+
+/// Helper to look up a location that must exist (for tests and examples).
+///
+/// # Panics
+///
+/// Panics if the location is not declared.
+pub fn loc(program: &Program, name: &str) -> Loc {
+    program
+        .locs
+        .by_name(name)
+        .unwrap_or_else(|| panic!("no location named {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrst_core::loc::Val;
+
+    #[test]
+    fn parses_declarations_and_threads() {
+        let p = parse(
+            "nonatomic a b; atomic F;
+             thread P0 { a = 1; F = 1; }
+             thread P1 { r0 = F; r1 = a; }",
+        )
+        .unwrap();
+        assert_eq!(p.locs.len(), 3);
+        assert_eq!(p.threads.len(), 2);
+        assert_eq!(p.threads[0].name, "P0");
+        assert_eq!(p.threads[1].regs, vec!["r0", "r1"]);
+    }
+
+    #[test]
+    fn hoists_location_reads_left_to_right() {
+        // b = a + 10 lowers to $t0 = a; b = $t0 + 10
+        let p = parse("nonatomic a b; thread P0 { b = a + 10; }").unwrap();
+        let body = &p.threads[0].body;
+        assert_eq!(body.len(), 2);
+        assert!(matches!(body[0], Stmt::Load(Reg(0), l) if l == loc(&p, "a")));
+        assert!(matches!(&body[1], Stmt::Store(l, _) if *l == loc(&p, "b")));
+    }
+
+    #[test]
+    fn direct_load_has_no_temp() {
+        let p = parse("nonatomic a; thread P0 { r0 = a; }").unwrap();
+        assert_eq!(p.threads[0].body.len(), 1);
+        assert!(matches!(p.threads[0].body[0], Stmt::Load(..)));
+        assert_eq!(p.threads[0].regs, vec!["r0"]);
+    }
+
+    #[test]
+    fn if_else_parses() {
+        let p = parse(
+            "nonatomic a;
+             thread P0 {
+               r0 = a;
+               if (r0 == 1) { r1 = 10; } else { r1 = 20; }
+             }",
+        )
+        .unwrap();
+        assert!(matches!(&p.threads[0].body[1], Stmt::If(_, t, e) if t.len() == 1 && e.len() == 1));
+    }
+
+    #[test]
+    fn while_condition_reloads_each_iteration() {
+        let p = parse("nonatomic a; thread P0 { while (a == 0) { r1 = 1; } }").unwrap();
+        let body = &p.threads[0].body;
+        // load; while(...) { r1=1; load }
+        assert_eq!(body.len(), 2);
+        assert!(matches!(body[0], Stmt::Load(..)));
+        match &body[1] {
+            Stmt::While(_, inner, fuel) => {
+                assert_eq!(*fuel, ParseOptions::default().loop_fuel);
+                assert_eq!(inner.len(), 2);
+                assert!(matches!(inner[1], Stmt::Load(..)));
+            }
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_is_standard() {
+        let p = parse("thread P0 { r0 = 1 + 2 * 3; r1 = (1 + 2) * 3; }").unwrap();
+        let eval = |s: &Stmt| match s {
+            Stmt::Assign(_, e) => e.eval(&[]),
+            _ => panic!(),
+        };
+        assert_eq!(eval(&p.threads[0].body[0]), Val(7));
+        assert_eq!(eval(&p.threads[0].body[1]), Val(9));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse(
+            "// a litmus test
+             nonatomic a; // the data
+             thread P0 { a = 1; // store
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.threads[0].body.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse("nonatomic a;\nthread P0 { a = ; }").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn duplicate_location_rejected() {
+        let e = parse("nonatomic a a; thread P0 { }").unwrap_err();
+        assert!(e.message.contains("declared twice"));
+    }
+
+    #[test]
+    fn no_threads_rejected() {
+        assert!(parse("nonatomic a;").is_err());
+    }
+
+    #[test]
+    fn keyword_as_expr_rejected() {
+        assert!(parse("thread P0 { r0 = while; }").is_err());
+    }
+
+    #[test]
+    fn logical_operators() {
+        let p = parse("thread P0 { r0 = 1 && 0 || 1; r1 = !0; }").unwrap();
+        let eval = |s: &Stmt| match s {
+            Stmt::Assign(_, e) => e.eval(&[]),
+            _ => panic!(),
+        };
+        assert_eq!(eval(&p.threads[0].body[0]), Val(1));
+        assert_eq!(eval(&p.threads[0].body[1]), Val(1));
+    }
+
+    #[test]
+    fn unterminated_block_errors() {
+        assert!(parse("thread P0 { r0 = 1;").is_err());
+    }
+}

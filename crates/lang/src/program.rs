@@ -1,0 +1,308 @@
+//! Whole litmus programs: location declarations plus named threads, with
+//! convenience entry points for running them on the operational model.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bdrst_core::explore::{reachable_terminals, BudgetExceeded, ExploreConfig};
+use bdrst_core::loc::{Loc, LocKind, LocSet, Val};
+use bdrst_core::machine::Machine;
+
+use crate::ast::{Reg, Stmt};
+use crate::semantics::ThreadState;
+
+/// One named thread: its register names (index = [`Reg`] index) and body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ThreadProgram {
+    /// The thread's name (e.g. `P0`).
+    pub name: String,
+    /// Register names; `regs[i]` names register `Reg(i)`.
+    pub regs: Vec<String>,
+    /// The thread body.
+    pub body: Vec<Stmt>,
+}
+
+impl ThreadProgram {
+    /// Looks up a register by name.
+    pub fn reg_by_name(&self, name: &str) -> Option<Reg> {
+        self.regs.iter().position(|r| r == name).map(|i| Reg(i as u16))
+    }
+}
+
+/// A complete litmus program.
+///
+/// # Examples
+///
+/// ```
+/// use bdrst_lang::Program;
+///
+/// let p = Program::parse(
+///     "nonatomic a; atomic F;
+///      thread P0 { a = 1; F = 1; }
+///      thread P1 { r0 = F; r1 = a; }",
+/// )?;
+/// let outcomes = p.outcomes(Default::default())?;
+/// // Message passing: F = 1 read implies a = 1 read.
+/// assert!(outcomes.iter().all(|o| {
+///     !(o.reg_named("P1", "r0") == Some(1) && o.reg_named("P1", "r1") == Some(0))
+/// }));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// The declared locations.
+    pub locs: LocSet,
+    /// The threads, in declaration order (thread `i` is `ThreadId(i)`).
+    pub threads: Vec<ThreadProgram>,
+}
+
+impl Program {
+    /// Parses a program from the litmus surface syntax; see [`crate::parser`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::parser::ParseError`] describing the first syntax
+    /// or scoping problem.
+    pub fn parse(src: &str) -> Result<Program, crate::parser::ParseError> {
+        crate::parser::parse(src)
+    }
+
+    /// The initial machine `M₀` for this program (§3.1).
+    pub fn initial_machine(&self) -> Machine<ThreadState> {
+        Machine::initial(
+            &self.locs,
+            self.threads.iter().map(|t| ThreadState::new(t.body.clone())),
+        )
+    }
+
+    /// The observation of a (typically terminal) machine state.
+    pub fn observe(&self, m: &Machine<ThreadState>) -> Observation {
+        Observation {
+            regs: m.threads.iter().map(|t| t.expr.regs().to_vec()).collect(),
+            memory: self
+                .locs
+                .iter()
+                .map(|l| match self.locs.kind(l) {
+                    LocKind::Nonatomic => m.store.history(l).latest().1,
+                    LocKind::Atomic => m.store.atomic(l).1,
+                })
+                .collect(),
+        }
+    }
+
+    /// All final observations of the program under the operational model:
+    /// every interleaving, every read choice, every write-timestamp gap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExceeded`] if the state space exceeds the budget.
+    pub fn outcomes(&self, config: ExploreConfig) -> Result<Outcomes, BudgetExceeded> {
+        let terminals = reachable_terminals(&self.locs, self.initial_machine(), config)?;
+        Ok(Outcomes {
+            program: self.clone(),
+            set: terminals.iter().map(|m| self.observe(m)).collect(),
+        })
+    }
+
+    /// Looks up a thread index by name.
+    pub fn thread_by_name(&self, name: &str) -> Option<usize> {
+        self.threads.iter().position(|t| t.name == name)
+    }
+
+    /// Pairs a raw observation with this program for name-based lookup
+    /// (used when the observation came from the axiomatic or hardware
+    /// semantics rather than [`Program::outcomes`]).
+    pub fn name_observation<'a>(&'a self, obs: &'a Observation) -> NamedObservation<'a> {
+        NamedObservation { program: self, obs }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nas: Vec<&str> = self.locs.nonatomic().map(|l| self.locs.name(l)).collect();
+        let ats: Vec<&str> = self.locs.atomic().map(|l| self.locs.name(l)).collect();
+        if !nas.is_empty() {
+            writeln!(f, "nonatomic {};", nas.join(" "))?;
+        }
+        if !ats.is_empty() {
+            writeln!(f, "atomic {};", ats.join(" "))?;
+        }
+        for t in &self.threads {
+            writeln!(f, "thread {} {{", t.name)?;
+            for s in &t.body {
+                write!(f, "  {s}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One final observation: the register file of every thread plus the final
+/// (coherence-latest) value of every location.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Observation {
+    /// Register values per thread, indexed `[thread][reg]`.
+    pub regs: Vec<Vec<Val>>,
+    /// Final value per location (history maximum for nonatomics).
+    pub memory: Vec<Val>,
+}
+
+impl Observation {
+    /// The value of register `r` of thread `t`, if in range.
+    pub fn reg(&self, t: usize, r: Reg) -> Option<Val> {
+        self.regs.get(t).and_then(|rs| rs.get(r.index())).copied()
+    }
+
+    /// The final value of `loc`.
+    pub fn memory(&self, loc: Loc) -> Option<Val> {
+        self.memory.get(loc.index()).copied()
+    }
+}
+
+/// The set of final observations of a program, with name-based lookups.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Outcomes {
+    program: Program,
+    set: BTreeSet<Observation>,
+}
+
+impl Outcomes {
+    /// The underlying observation set.
+    pub fn set(&self) -> &BTreeSet<Observation> {
+        &self.set
+    }
+
+    /// Number of distinct observations.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if the program has no terminal observation (e.g. all threads
+    /// stuck), which cannot happen for well-formed litmus programs.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Iterates over observations, paired with the program for lookups.
+    pub fn iter(&self) -> impl Iterator<Item = NamedObservation<'_>> + '_ {
+        self.set.iter().map(move |obs| NamedObservation { program: &self.program, obs })
+    }
+
+    /// True if some observation satisfies the predicate.
+    pub fn any(&self, mut pred: impl FnMut(NamedObservation<'_>) -> bool) -> bool {
+        self.iter().any(|o| pred(o))
+    }
+
+    /// True if every observation satisfies the predicate.
+    pub fn all(&self, mut pred: impl FnMut(NamedObservation<'_>) -> bool) -> bool {
+        self.iter().all(|o| pred(o))
+    }
+}
+
+/// An [`Observation`] paired with its [`Program`], for name-based lookup.
+#[derive(Clone, Copy, Debug)]
+pub struct NamedObservation<'a> {
+    program: &'a Program,
+    obs: &'a Observation,
+}
+
+impl NamedObservation<'_> {
+    /// The value of register `reg` of thread `thread`, by name.
+    pub fn reg_named(&self, thread: &str, reg: &str) -> Option<i64> {
+        let ti = self.program.thread_by_name(thread)?;
+        let r = self.program.threads[ti].reg_by_name(reg)?;
+        self.obs.reg(ti, r).map(|v| v.0)
+    }
+
+    /// The final value of the location named `loc`.
+    pub fn mem_named(&self, loc: &str) -> Option<i64> {
+        let l = self.program.locs.by_name(loc)?;
+        self.obs.memory(l).map(|v| v.0)
+    }
+
+    /// The raw observation.
+    pub fn observation(&self) -> &Observation {
+        self.obs
+    }
+}
+
+impl fmt::Display for Outcomes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in self.set.iter() {
+            write!(f, "{{")?;
+            let mut first = true;
+            for (ti, t) in self.program.threads.iter().enumerate() {
+                for (ri, rname) in t.regs.iter().enumerate() {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    first = false;
+                    write!(f, "{}:{}={}", t.name, rname, o.regs[ti][ri])?;
+                }
+            }
+            for l in self.program.locs.iter() {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{}={}", self.program.locs.name(l), o.memory[l.index()])?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::PureExpr;
+
+    fn mini_program() -> Program {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        Program {
+            locs,
+            threads: vec![
+                ThreadProgram {
+                    name: "P0".into(),
+                    regs: vec![],
+                    body: vec![Stmt::Store(a, PureExpr::constant(1))],
+                },
+                ThreadProgram {
+                    name: "P1".into(),
+                    regs: vec!["r0".into()],
+                    body: vec![Stmt::Load(Reg(0), a)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn outcomes_of_race() {
+        let p = mini_program();
+        let o = p.outcomes(ExploreConfig::default()).unwrap();
+        // The reader may see 0 or 1.
+        assert!(o.any(|x| x.reg_named("P1", "r0") == Some(0)));
+        assert!(o.any(|x| x.reg_named("P1", "r0") == Some(1)));
+        // Final memory is always 1: the write is the only non-initial one.
+        assert!(o.all(|x| x.mem_named("a") == Some(1)));
+    }
+
+    #[test]
+    fn thread_and_reg_lookup() {
+        let p = mini_program();
+        assert_eq!(p.thread_by_name("P1"), Some(1));
+        assert_eq!(p.threads[1].reg_by_name("r0"), Some(Reg(0)));
+        assert_eq!(p.threads[1].reg_by_name("nope"), None);
+    }
+
+    #[test]
+    fn display_is_parseable_shape() {
+        let p = mini_program();
+        let s = format!("{p}");
+        assert!(s.contains("thread P0 {"));
+        assert!(s.contains("nonatomic a;"));
+    }
+}

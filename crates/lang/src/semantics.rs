@@ -1,0 +1,245 @@
+//! Small-step semantics of the litmus language: the [`ThreadState`] type
+//! implements [`bdrst_core::machine::Expr`], so whole programs run on the
+//! operational memory model of `bdrst-core`.
+//!
+//! Proposition 4 of the paper ("read transitions are not picky about the
+//! value being read") holds by construction: a [`Stmt::Load`] step accepts
+//! whatever value the memory supplies.
+
+use std::fmt;
+
+use bdrst_core::loc::Val;
+use bdrst_core::machine::{Expr, StepLabel};
+
+use crate::ast::{Reg, Stmt};
+
+/// The dynamic state of one thread: the remaining statements (a
+/// continuation) and the register file.
+///
+/// # Examples
+///
+/// ```
+/// use bdrst_core::loc::{LocSet, LocKind, Val};
+/// use bdrst_core::machine::Expr;
+/// use bdrst_lang::ast::{PureExpr, Reg, Stmt};
+/// use bdrst_lang::semantics::ThreadState;
+///
+/// let mut locs = LocSet::new();
+/// let a = locs.fresh("a", LocKind::Nonatomic);
+/// let t = ThreadState::new(vec![
+///     Stmt::Load(Reg(0), a),
+///     Stmt::Store(a, PureExpr::reg(Reg(0))),
+/// ]);
+/// assert_eq!(t.steps().len(), 1);
+/// let t2 = t.apply_step(0, Val(7)); // the load observes 7
+/// assert_eq!(t2.reg(Reg(0)), Val(7));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ThreadState {
+    /// Remaining statements, stored reversed (next statement is `last()`).
+    cont: Vec<Stmt>,
+    /// The register file.
+    regs: Vec<Val>,
+}
+
+impl ThreadState {
+    /// Creates the initial state for a thread body. All registers start at
+    /// `Val::INIT`; the register file is sized by the largest register
+    /// mentioned.
+    pub fn new(body: Vec<Stmt>) -> ThreadState {
+        let nregs = body
+            .iter()
+            .filter_map(Stmt::max_reg)
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut cont = body;
+        cont.reverse();
+        ThreadState { cont, regs: vec![Val::INIT; nregs] }
+    }
+
+    /// The current value of register `r` (registers the thread never
+    /// mentions read as `Val::INIT`).
+    pub fn reg(&self, r: Reg) -> Val {
+        self.regs.get(r.index()).copied().unwrap_or(Val::INIT)
+    }
+
+    /// The whole register file.
+    pub fn regs(&self) -> &[Val] {
+        &self.regs
+    }
+
+    /// True if the thread has finished executing.
+    pub fn is_done(&self) -> bool {
+        self.cont.is_empty()
+    }
+
+    fn set_reg(&mut self, r: Reg, v: Val) {
+        if r.index() >= self.regs.len() {
+            self.regs.resize(r.index() + 1, Val::INIT);
+        }
+        self.regs[r.index()] = v;
+    }
+
+    fn push_block(&mut self, block: &[Stmt]) {
+        for s in block.iter().rev() {
+            self.cont.push(s.clone());
+        }
+    }
+}
+
+impl Expr for ThreadState {
+    fn steps(&self) -> Vec<StepLabel> {
+        match self.cont.last() {
+            None => vec![],
+            Some(Stmt::Assign(..)) | Some(Stmt::If(..)) | Some(Stmt::While(..)) => {
+                vec![StepLabel::Silent]
+            }
+            Some(Stmt::Load(_, loc)) => vec![StepLabel::Read(*loc)],
+            Some(Stmt::Store(loc, e)) => vec![StepLabel::Write(*loc, e.eval(&self.regs))],
+        }
+    }
+
+    fn apply_step(&self, index: usize, read_value: Val) -> ThreadState {
+        assert_eq!(index, 0, "litmus threads expose exactly one step");
+        let mut next = self.clone();
+        let stmt = next.cont.pop().expect("apply_step on finished thread");
+        match stmt {
+            Stmt::Assign(r, e) => {
+                let v = e.eval(&next.regs);
+                next.set_reg(r, v);
+            }
+            Stmt::Load(r, _) => next.set_reg(r, read_value),
+            Stmt::Store(..) => {}
+            Stmt::If(c, then_b, else_b) => {
+                if c.eval(&next.regs) != Val(0) {
+                    next.push_block(&then_b);
+                } else {
+                    next.push_block(&else_b);
+                }
+            }
+            Stmt::While(c, body, fuel) => {
+                if fuel > 0 && c.eval(&next.regs) != Val(0) {
+                    next.cont.push(Stmt::While(c, body.clone(), fuel - 1));
+                    next.push_block(&body);
+                }
+            }
+        }
+        next
+    }
+}
+
+impl fmt::Display for ThreadState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{} stmts left; regs ", self.cont.len())?;
+        write!(f, "[")?;
+        for (i, v) in self.regs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "r{i}={v}")?;
+        }
+        write!(f, "]⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, PureExpr};
+    use bdrst_core::loc::{Loc, LocKind, LocSet};
+
+    fn loc_a() -> (LocSet, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        (l, a)
+    }
+
+    #[test]
+    fn assign_evaluates_pure_exprs() {
+        let t = ThreadState::new(vec![Stmt::Assign(
+            Reg(0),
+            PureExpr::constant(4).binary(BinOp::Mul, PureExpr::constant(10)),
+        )]);
+        let t = t.apply_step(0, Val::INIT);
+        assert_eq!(t.reg(Reg(0)), Val(40));
+        assert!(t.is_done());
+    }
+
+    #[test]
+    fn load_accepts_any_value_prop4() {
+        let (_, a) = loc_a();
+        let t = ThreadState::new(vec![Stmt::Load(Reg(0), a)]);
+        for v in [-5i64, 0, 7, i64::MAX] {
+            let t2 = t.apply_step(0, Val(v));
+            assert_eq!(t2.reg(Reg(0)), Val(v));
+        }
+    }
+
+    #[test]
+    fn store_evaluates_at_step_time() {
+        let (_, a) = loc_a();
+        let t = ThreadState::new(vec![
+            Stmt::Assign(Reg(0), PureExpr::constant(3)),
+            Stmt::Store(a, PureExpr::reg(Reg(0)).binary(BinOp::Add, PureExpr::constant(1))),
+        ]);
+        let t = t.apply_step(0, Val::INIT);
+        assert_eq!(t.steps(), vec![StepLabel::Write(a, Val(4))]);
+    }
+
+    #[test]
+    fn if_takes_the_right_branch() {
+        let t = ThreadState::new(vec![Stmt::If(
+            PureExpr::constant(1),
+            vec![Stmt::Assign(Reg(0), PureExpr::constant(10))],
+            vec![Stmt::Assign(Reg(0), PureExpr::constant(20))],
+        )]);
+        let t = t.apply_step(0, Val::INIT); // branch
+        let t = t.apply_step(0, Val::INIT); // assign
+        assert_eq!(t.reg(Reg(0)), Val(10));
+    }
+
+    #[test]
+    fn while_loops_until_condition_fails() {
+        // r0 = 3; while (r0 > 0) { r0 = r0 - 1; }
+        let t = ThreadState::new(vec![
+            Stmt::Assign(Reg(0), PureExpr::constant(3)),
+            Stmt::While(
+                PureExpr::reg(Reg(0)).binary(BinOp::Gt, PureExpr::constant(0)),
+                vec![Stmt::Assign(
+                    Reg(0),
+                    PureExpr::reg(Reg(0)).binary(BinOp::Sub, PureExpr::constant(1)),
+                )],
+                100,
+            ),
+        ]);
+        let mut t = t;
+        let mut steps = 0;
+        while !t.is_done() {
+            t = t.apply_step(0, Val::INIT);
+            steps += 1;
+            assert!(steps < 100, "loop failed to terminate");
+        }
+        assert_eq!(t.reg(Reg(0)), Val(0));
+    }
+
+    #[test]
+    fn while_fuel_bounds_execution() {
+        // while (1) {} with fuel 5 terminates.
+        let t = ThreadState::new(vec![Stmt::While(PureExpr::constant(1), vec![], 5)]);
+        let mut t = t;
+        let mut steps = 0;
+        while !t.is_done() {
+            t = t.apply_step(0, Val::INIT);
+            steps += 1;
+            assert!(steps < 100);
+        }
+        assert_eq!(steps, 6); // 5 unrollings + final exit
+    }
+
+    #[test]
+    fn terminal_thread_has_no_steps() {
+        let t = ThreadState::new(vec![]);
+        assert!(t.steps().is_empty());
+        assert!(t.is_done());
+    }
+}

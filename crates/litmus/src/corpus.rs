@@ -1,0 +1,406 @@
+//! The litmus corpus: the classic shapes (SB, MP, LB, CoRR, IRIW) plus the
+//! paper's running examples (§2 Examples 1–3) and the §9.2 SC-atomics
+//! comparison. Every test carries outcome checks with the verdict the
+//! *paper's model* assigns.
+
+use bdrst_lang::NamedObservation;
+
+/// A named outcome predicate with the model's expected verdict.
+pub struct OutcomeCheck {
+    /// What the predicate describes, e.g. `"r0 = 1 ∧ r1 = 0"`.
+    pub description: &'static str,
+    /// The predicate over final observations.
+    pub predicate: fn(&NamedObservation<'_>) -> bool,
+    /// Whether the paper's model allows an observation satisfying it.
+    pub allowed: bool,
+}
+
+/// A litmus test: source program plus expected-outcome checks.
+pub struct LitmusTest {
+    /// Short conventional name (`SB`, `MP`, …).
+    pub name: &'static str,
+    /// One-line description with the paper reference.
+    pub description: &'static str,
+    /// The program in `bdrst-lang` surface syntax.
+    pub source: &'static str,
+    /// Checks to run against the outcome set.
+    pub checks: &'static [OutcomeCheck],
+}
+
+fn r(o: &NamedObservation<'_>, t: &str, reg: &str) -> i64 {
+    o.reg_named(t, reg).unwrap_or(i64::MIN)
+}
+
+fn m(o: &NamedObservation<'_>, loc: &str) -> i64 {
+    o.mem_named(loc).unwrap_or(i64::MIN)
+}
+
+/// Store buffering: both loads may miss the other thread's store.
+pub static SB: LitmusTest = LitmusTest {
+    name: "SB",
+    description: "store buffering on nonatomics: relaxed outcome allowed",
+    source: "nonatomic a b;
+             thread P0 { a = 1; r0 = b; }
+             thread P1 { b = 1; r1 = a; }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 0 ∧ r1 = 0",
+            predicate: |o| r(o, "P0", "r0") == 0 && r(o, "P1", "r1") == 0,
+            allowed: true,
+        },
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 1",
+            predicate: |o| r(o, "P0", "r0") == 1 && r(o, "P1", "r1") == 1,
+            allowed: true,
+        },
+    ],
+};
+
+/// Message passing through an atomic flag: publication works.
+pub static MP: LitmusTest = LitmusTest {
+    name: "MP",
+    description: "message passing, atomic flag: stale data after flag forbidden",
+    source: "nonatomic a; atomic f;
+             thread P0 { a = 1; f = 1; }
+             thread P1 { r0 = f; r1 = a; }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 0",
+            predicate: |o| r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 0,
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 1",
+            predicate: |o| r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 1,
+            allowed: true,
+        },
+        OutcomeCheck {
+            description: "r0 = 0 (flag not yet seen)",
+            predicate: |o| r(o, "P1", "r0") == 0,
+            allowed: true,
+        },
+    ],
+};
+
+/// Message passing with a nonatomic flag: no synchronisation, stale reads
+/// allowed (this is the racy variant).
+pub static MP_NA: LitmusTest = LitmusTest {
+    name: "MP+na",
+    description: "message passing, nonatomic flag: stale data allowed (race)",
+    source: "nonatomic a f;
+             thread P0 { a = 1; f = 1; }
+             thread P1 { r0 = f; r1 = a; }",
+    checks: &[OutcomeCheck {
+        description: "r0 = 1 ∧ r1 = 0",
+        predicate: |o| r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 0,
+        allowed: true,
+    }],
+};
+
+/// Load buffering: forbidden outright — the model preserves poRW (§9.1).
+pub static LB: LitmusTest = LitmusTest {
+    name: "LB",
+    description: "load buffering: forbidden (poRW preserved, §9.1)",
+    source: "nonatomic a b;
+             thread P0 { r0 = a; b = 1; }
+             thread P1 { r1 = b; a = 1; }",
+    checks: &[OutcomeCheck {
+        description: "r0 = 1 ∧ r1 = 1",
+        predicate: |o| r(o, "P0", "r0") == 1 && r(o, "P1", "r1") == 1,
+        allowed: false,
+    }],
+};
+
+/// Load buffering with control dependencies: also forbidden (no
+/// out-of-thin-air values, §9.1's second example).
+pub static LB_CTRL: LitmusTest = LitmusTest {
+    name: "LB+ctrl",
+    description: "load buffering with control dependency: no thin air (§9.1)",
+    source: "nonatomic a b;
+             thread P0 { r0 = a; if (r0 == 1) { b = 1; } }
+             thread P1 { r1 = b; a = r1; }",
+    checks: &[OutcomeCheck {
+        description: "r0 = 1 ∧ r1 = 1 (out of thin air)",
+        predicate: |o| r(o, "P0", "r0") == 1 && r(o, "P1", "r1") == 1,
+        allowed: false,
+    }],
+};
+
+/// Read-read coherence on one nonatomic location, *while racing*: this
+/// model deliberately has weaker coherence than C++ relaxed atomics (§9.2)
+/// — reads do not advance the thread's frontier, so a racing thread may
+/// see the new value and then the old one. This is precisely what keeps
+/// CSE legal (treating reads as non-side-effecting); the guarantee of §2.3
+/// only covers reads with *no concurrent writes* (see [`CORR_SYNC`]).
+pub static CORR: LitmusTest = LitmusTest {
+    name: "CoRR",
+    description: "racy read-read: new-then-old ALLOWED (weak coherence, §9.2)",
+    source: "nonatomic a;
+             thread P0 { a = 1; }
+             thread P1 { r0 = a; r1 = a; }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 0",
+            predicate: |o| r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 0,
+            allowed: true,
+        },
+        OutcomeCheck {
+            description: "r0 = 0 ∧ r1 = 1",
+            predicate: |o| r(o, "P1", "r0") == 0 && r(o, "P1", "r1") == 1,
+            allowed: true,
+        },
+    ],
+};
+
+/// Read-read coherence *after synchronisation*: once the writer is
+/// ordered before the reads (no concurrent writes), §2.3's guarantee
+/// applies — both reads agree.
+pub static CORR_SYNC: LitmusTest = LitmusTest {
+    name: "CoRR+sync",
+    description: "synchronised read-read: reads agree (§2.3 guarantee)",
+    source: "nonatomic a; atomic F;
+             thread P0 { a = 1; F = 1; }
+             thread P1 { r = F; if (r == 1) { r0 = a; r1 = a; } }",
+    checks: &[
+        OutcomeCheck {
+            description: "r = 1 ∧ r0 ≠ r1",
+            predicate: |o| {
+                r(o, "P1", "r") == 1 && r(o, "P1", "r0") != r(o, "P1", "r1")
+            },
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "r = 1 ∧ r0 = r1 = 1",
+            predicate: |o| {
+                r(o, "P1", "r") == 1 && r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 1
+            },
+            allowed: true,
+        },
+    ],
+};
+
+/// IRIW with atomic locations: atomics are globally coherent here, so the
+/// two readers may not disagree on the write order.
+pub static IRIW_AT: LitmusTest = LitmusTest {
+    name: "IRIW+at",
+    description: "independent reads of independent atomic writes: agree",
+    source: "atomic A B;
+             thread P0 { A = 1; }
+             thread P1 { B = 1; }
+             thread P2 { r0 = A; r1 = B; }
+             thread P3 { r2 = B; r3 = A; }",
+    checks: &[OutcomeCheck {
+        description: "readers disagree (1,0)/(1,0)",
+        predicate: |o| {
+            r(o, "P2", "r0") == 1
+                && r(o, "P2", "r1") == 0
+                && r(o, "P3", "r2") == 1
+                && r(o, "P3", "r3") == 0
+        },
+        allowed: false,
+    }],
+};
+
+/// IRIW with nonatomic locations: weak reads let the readers disagree.
+pub static IRIW_NA: LitmusTest = LitmusTest {
+    name: "IRIW+na",
+    description: "independent reads of independent nonatomic writes: may disagree",
+    source: "nonatomic a b;
+             thread P0 { a = 1; }
+             thread P1 { b = 1; }
+             thread P2 { r0 = a; r1 = b; }
+             thread P3 { r2 = b; r3 = a; }",
+    checks: &[OutcomeCheck {
+        description: "readers disagree (1,0)/(1,0)",
+        predicate: |o| {
+            r(o, "P2", "r0") == 1
+                && r(o, "P2", "r1") == 0
+                && r(o, "P3", "r2") == 1
+                && r(o, "P3", "r3") == 0
+        },
+        allowed: true,
+    }],
+};
+
+/// §2.1 Example 1: `b = a + 10` with a context racing on `c`. The race on
+/// `c` must not affect `b` (data races bounded in space); C++ may
+/// miscompile this via rematerialisation.
+pub static EXAMPLE1: LitmusTest = LitmusTest {
+    name: "Example1",
+    description: "§2.1: race on c cannot corrupt b = a + 10 (space bound)",
+    source: "nonatomic a b c;
+             thread P0 { c = a + 10; b = a + 10; }
+             thread P1 { c = 1; }",
+    checks: &[
+        OutcomeCheck {
+            description: "b ≠ a + 10 (b ≠ 10)",
+            predicate: |o| m(o, "b") != 10,
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "b = 10 regardless of c",
+            predicate: |o| m(o, "b") == 10,
+            allowed: true,
+        },
+    ],
+};
+
+/// §2.2 Example 2: after synchronising on the flag, two reads of `a` agree
+/// even though `a` was raced on *in the past* (time bound, backwards).
+/// Java violates this (appendix D).
+pub static EXAMPLE2: LitmusTest = LitmusTest {
+    name: "Example2",
+    description: "§2.2: past race cannot split b = a; c = a (time bound)",
+    source: "nonatomic a b c; atomic flag;
+             thread P0 { a = 1; flag = 1; }
+             thread P1 { a = 2; f = flag; b = a; c = a; }",
+    checks: &[
+        OutcomeCheck {
+            description: "f = 1 ∧ b ≠ c",
+            predicate: |o| r(o, "P1", "f") == 1 && m(o, "b") != m(o, "c"),
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "f = 0 ∧ b ≠ c (race still in progress: allowed)",
+            predicate: |o| r(o, "P1", "f") == 0 && m(o, "b") != m(o, "c"),
+            allowed: true,
+        },
+    ],
+};
+
+/// §2.2 Example 3: a *future* race cannot reach back: the read of `x`
+/// before publication must see 42. Java/ARM allow 7 via load-store
+/// reordering; this model forbids it.
+pub static EXAMPLE3: LitmusTest = LitmusTest {
+    name: "Example3",
+    description: "§2.2: future race cannot corrupt a = c.x = 42 (time bound)",
+    source: "nonatomic x g out;
+             thread P0 { x = 42; out = x; g = 1; }
+             thread P1 { r = g; if (r == 1) { x = 7; } }",
+    checks: &[
+        OutcomeCheck {
+            description: "out ≠ 42",
+            predicate: |o| m(o, "out") != 42,
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "out = 42",
+            predicate: |o| m(o, "out") == 42,
+            allowed: true,
+        },
+    ],
+};
+
+/// §9.2: this model's atomic writes are stronger than C++ SC atomics —
+/// `A = 2` finally implies `x = 0`.
+pub static SEC92: LitmusTest = LitmusTest {
+    name: "§9.2",
+    description: "atomic writes stronger than C++ SC atomics (stlr unsound)",
+    source: "nonatomic b; atomic A;
+             thread P0 { x = b; A = 1; }
+             thread P1 { A = 2; b = 1; }",
+    checks: &[OutcomeCheck {
+        description: "A = 2 ∧ x = 1",
+        predicate: |o| m(o, "A") == 2 && r(o, "P0", "x") == 1,
+        allowed: false,
+    }],
+};
+
+/// Coherence of write-write within a thread: later write wins.
+pub static COWW: LitmusTest = LitmusTest {
+    name: "CoWW",
+    description: "program-order writes keep their coherence order",
+    source: "nonatomic a;
+             thread P0 { a = 1; a = 2; }",
+    checks: &[
+        OutcomeCheck {
+            description: "final a = 1",
+            predicate: |o| m(o, "a") == 1,
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "final a = 2",
+            predicate: |o| m(o, "a") == 2,
+            allowed: true,
+        },
+    ],
+};
+
+/// 2+2W: antagonistic write pairs. The outcome with *both* first writes
+/// winning is impossible under SC (it needs a cycle of interleaving
+/// constraints) but allowed here: write-write order to distinct locations
+/// is relaxed, and Write-NA may place a write behind one it never saw.
+/// x86-TSO forbids it (poghb keeps W×W), so the hardware is strictly
+/// stronger on this shape — allowed, but never observed on the metal.
+pub static TWO_PLUS_TWO_W: LitmusTest = LitmusTest {
+    name: "2+2W",
+    description: "antagonistic writes: both-first-writes-win allowed (SC forbids)",
+    source: "nonatomic a b;
+             thread P0 { a = 1; b = 2; }
+             thread P1 { b = 1; a = 2; }",
+    checks: &[
+        OutcomeCheck {
+            description: "final a = 1 ∧ b = 1",
+            predicate: |o| m(o, "a") == 1 && m(o, "b") == 1,
+            allowed: true,
+        },
+        OutcomeCheck {
+            description: "final a = 2 ∧ b = 2",
+            predicate: |o| m(o, "a") == 2 && m(o, "b") == 2,
+            allowed: true,
+        },
+    ],
+};
+
+/// Write-to-read causality (WRC): transitive publication through a chain
+/// of atomics works.
+pub static WRC: LitmusTest = LitmusTest {
+    name: "WRC",
+    description: "write-read causality through two atomic hops",
+    source: "nonatomic a; atomic F G;
+             thread P0 { a = 1; F = 1; }
+             thread P1 { r0 = F; if (r0 == 1) { G = 1; } }
+             thread P2 { r1 = G; if (r1 == 1) { r2 = a; } }",
+    checks: &[
+        OutcomeCheck {
+            description: "r1 = 1 ∧ r2 = 0",
+            predicate: |o| r(o, "P2", "r1") == 1 && r(o, "P2", "r2") == 0,
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "r1 = 1 ∧ r2 = 1",
+            predicate: |o| r(o, "P2", "r1") == 1 && r(o, "P2", "r2") == 1,
+            allowed: true,
+        },
+    ],
+};
+
+/// All corpus tests, in presentation order.
+pub fn all_tests() -> Vec<&'static LitmusTest> {
+    vec![
+        &SB, &MP, &MP_NA, &LB, &LB_CTRL, &CORR, &CORR_SYNC, &COWW, &TWO_PLUS_TWO_W, &WRC,
+        &IRIW_AT, &IRIW_NA, &EXAMPLE1, &EXAMPLE2, &EXAMPLE3, &SEC92,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrst_lang::Program;
+
+    #[test]
+    fn all_sources_parse() {
+        for t in all_tests() {
+            Program::parse(t.source).unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        }
+    }
+
+    #[test]
+    fn corpus_has_both_polarities() {
+        let tests = all_tests();
+        assert!(tests.len() >= 14);
+        let allowed = tests.iter().flat_map(|t| t.checks).filter(|c| c.allowed).count();
+        let forbidden = tests.iter().flat_map(|t| t.checks).filter(|c| !c.allowed).count();
+        assert!(allowed >= 5 && forbidden >= 5);
+    }
+}

@@ -1,0 +1,23 @@
+//! # bdrst-litmus — the litmus corpus and multi-model runner
+//!
+//! A corpus of litmus tests ([`corpus`]) covering the classic shapes (SB,
+//! MP, LB, CoRR, CoWW, IRIW) and the paper's running examples (§2
+//! Examples 1–3, §9.2), each annotated with the verdict the local-DRF
+//! model assigns; and a runner ([`runner`]) that evaluates every test
+//! against the operational semantics, the axiomatic semantics, and — on
+//! request — the compiled-program behaviours under the x86-TSO and ARMv8
+//! hardware models.
+//!
+//! ```
+//! use bdrst_litmus::{corpus, runner};
+//!
+//! let report = runner::run_test(&corpus::MP, runner::RunConfig::default())?;
+//! assert!(report.passes());
+//! # Ok::<(), bdrst_litmus::runner::RunError>(())
+//! ```
+
+pub mod corpus;
+pub mod runner;
+
+pub use corpus::{all_tests, LitmusTest, OutcomeCheck};
+pub use runner::{format_reports, run_test, RunConfig, RunError, TestReport};

@@ -1,0 +1,272 @@
+//! Running litmus tests against every model in the repository: the
+//! operational semantics, the axiomatic semantics, and the compiled-program
+//! behaviours under the x86 and ARM hardware models.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use bdrst_axiomatic::{axiomatic_outcomes, EnumError, EnumLimits};
+use bdrst_core::explore::{BudgetExceeded, ExploreConfig};
+use bdrst_hw::{hw_outcomes, Target};
+use bdrst_lang::{Observation, Program};
+
+use crate::corpus::LitmusTest;
+
+/// Which models to consult for a run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunConfig {
+    /// Budget for operational exploration.
+    pub explore: ExploreConfig,
+    /// Budget for axiomatic/hardware enumeration.
+    pub enumerate: EnumLimits,
+    /// Also compute hardware outcome sets (slower).
+    pub hardware: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            explore: ExploreConfig::default(),
+            enumerate: EnumLimits::default(),
+            hardware: false,
+        }
+    }
+}
+
+/// Errors from a litmus run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunError {
+    /// The source failed to parse (a corpus bug).
+    Parse(String),
+    /// Operational exploration exceeded its budget.
+    Operational(BudgetExceeded),
+    /// Axiomatic or hardware enumeration failed.
+    Enumeration(EnumError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Parse(e) => write!(f, "parse: {e}"),
+            RunError::Operational(e) => write!(f, "operational: {e}"),
+            RunError::Enumeration(e) => write!(f, "enumeration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Verdict of one outcome check against one model's outcome set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CheckVerdict {
+    /// The model observed an outcome satisfying the predicate.
+    pub observed: bool,
+    /// The paper's model says it should be observable.
+    pub expected: bool,
+}
+
+impl CheckVerdict {
+    /// True when observation matches expectation.
+    pub fn passes(&self) -> bool {
+        self.observed == self.expected
+    }
+}
+
+/// The full report for one litmus test.
+#[derive(Clone, Debug)]
+pub struct TestReport {
+    /// The test name.
+    pub name: &'static str,
+    /// Per-check verdicts under the operational model.
+    pub operational: Vec<CheckVerdict>,
+    /// Per-check verdicts under the axiomatic model.
+    pub axiomatic: Vec<CheckVerdict>,
+    /// Observations allowed by compiled execution on x86 (Table 1), if
+    /// hardware checking was requested: per-check "observed" flags.
+    pub x86: Option<Vec<bool>>,
+    /// Same for ARM under the BAL scheme (Table 2a).
+    pub arm_bal: Option<Vec<bool>>,
+    /// Same for ARM under the naive (unsound) mapping.
+    pub arm_naive: Option<Vec<bool>>,
+}
+
+impl TestReport {
+    /// True iff every operational and axiomatic verdict matches the
+    /// paper's expectation, and the two semantics agree with each other.
+    pub fn passes(&self) -> bool {
+        self.operational.iter().all(CheckVerdict::passes)
+            && self.axiomatic.iter().all(CheckVerdict::passes)
+    }
+
+    /// True iff the sound hardware mappings never exhibit a forbidden
+    /// outcome (vacuously true when hardware was not run).
+    pub fn hardware_sound(&self) -> bool {
+        let fine = |flags: &Option<Vec<bool>>, expected: &[CheckVerdict]| match flags {
+            None => true,
+            Some(fs) => fs
+                .iter()
+                .zip(expected)
+                .all(|(observed, v)| v.expected || !observed),
+        };
+        fine(&self.x86, &self.operational) && fine(&self.arm_bal, &self.operational)
+    }
+}
+
+fn verdicts(
+    program: &Program,
+    outcomes: &BTreeSet<Observation>,
+    test: &LitmusTest,
+) -> Vec<CheckVerdict> {
+    test.checks
+        .iter()
+        .map(|c| CheckVerdict {
+            observed: outcomes
+                .iter()
+                .any(|o| (c.predicate)(&program.name_observation(o))),
+            expected: c.allowed,
+        })
+        .collect()
+}
+
+fn observed_flags(
+    program: &Program,
+    outcomes: &BTreeSet<Observation>,
+    test: &LitmusTest,
+) -> Vec<bool> {
+    test.checks
+        .iter()
+        .map(|c| {
+            outcomes
+                .iter()
+                .any(|o| (c.predicate)(&program.name_observation(o)))
+        })
+        .collect()
+}
+
+/// Runs one litmus test against the configured models.
+///
+/// # Errors
+///
+/// Returns [`RunError`] if parsing or any exploration fails.
+pub fn run_test(test: &LitmusTest, config: RunConfig) -> Result<TestReport, RunError> {
+    let program = Program::parse(test.source).map_err(|e| RunError::Parse(e.to_string()))?;
+    let op = program
+        .outcomes(config.explore)
+        .map_err(RunError::Operational)?
+        .set()
+        .clone();
+    let ax = axiomatic_outcomes(&program, config.enumerate).map_err(RunError::Enumeration)?;
+    let (x86, arm_bal, arm_naive) = if config.hardware {
+        let x = hw_outcomes(&program, Target::X86, config.enumerate)
+            .map_err(RunError::Enumeration)?;
+        let b = hw_outcomes(&program, Target::Arm(bdrst_hw::BAL), config.enumerate)
+            .map_err(RunError::Enumeration)?;
+        let n = hw_outcomes(&program, Target::Arm(bdrst_hw::NAIVE), config.enumerate)
+            .map_err(RunError::Enumeration)?;
+        (
+            Some(observed_flags(&program, &x, test)),
+            Some(observed_flags(&program, &b, test)),
+            Some(observed_flags(&program, &n, test)),
+        )
+    } else {
+        (None, None, None)
+    };
+    Ok(TestReport {
+        name: test.name,
+        operational: verdicts(&program, &op, test),
+        axiomatic: verdicts(&program, &ax, test),
+        x86,
+        arm_bal,
+        arm_naive,
+    })
+}
+
+/// Renders a run of the whole corpus as a table (used by the `litmus`
+/// binary and EXPERIMENTS.md).
+pub fn format_reports(reports: &[(String, TestReport)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<34} {:>8} {:>6} {:>6}\n",
+        "test", "outcome", "expect", "op", "ax"
+    ));
+    for (desc, rep) in reports {
+        for (i, (opv, axv)) in rep.operational.iter().zip(&rep.axiomatic).enumerate() {
+            let _ = desc;
+            out.push_str(&format!(
+                "{:<10} {:<34} {:>8} {:>6} {:>6}{}\n",
+                rep.name,
+                truncate(descs_of(rep, i), 34),
+                if opv.expected { "allowed" } else { "forbid" },
+                if opv.observed { "seen" } else { "—" },
+                if axv.observed { "seen" } else { "—" },
+                if opv.passes() && axv.passes() { "" } else { "   ✗ MISMATCH" },
+            ));
+        }
+    }
+    out
+}
+
+// The corpus stores check descriptions statically; recover them by index.
+fn descs_of(rep: &TestReport, i: usize) -> &'static str {
+    crate::corpus::all_tests()
+        .iter()
+        .find(|t| t.name == rep.name)
+        .map(|t| t.checks[i].description)
+        .unwrap_or("?")
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).collect::<String>() + "…"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+
+    #[test]
+    fn sb_passes_both_models() {
+        let rep = run_test(&corpus::SB, RunConfig::default()).unwrap();
+        assert!(rep.passes(), "{rep:?}");
+    }
+
+    #[test]
+    fn mp_passes_both_models() {
+        let rep = run_test(&corpus::MP, RunConfig::default()).unwrap();
+        assert!(rep.passes(), "{rep:?}");
+    }
+
+    #[test]
+    fn lb_forbidden_everywhere() {
+        let rep = run_test(&corpus::LB, RunConfig::default()).unwrap();
+        assert!(rep.passes(), "{rep:?}");
+    }
+
+    #[test]
+    fn example1_passes() {
+        let rep = run_test(&corpus::EXAMPLE1, RunConfig::default()).unwrap();
+        assert!(rep.passes(), "{rep:?}");
+    }
+
+    #[test]
+    fn example3_passes() {
+        let rep = run_test(&corpus::EXAMPLE3, RunConfig::default()).unwrap();
+        assert!(rep.passes(), "{rep:?}");
+    }
+
+    #[test]
+    fn naive_arm_shows_lb_on_hardware() {
+        let cfg = RunConfig { hardware: true, ..RunConfig::default() };
+        let rep = run_test(&corpus::LB, cfg).unwrap();
+        // The forbidden outcome is visible under the naive mapping…
+        assert_eq!(rep.arm_naive.as_ref().unwrap()[0], true);
+        // …but not under BAL or x86.
+        assert_eq!(rep.arm_bal.as_ref().unwrap()[0], false);
+        assert_eq!(rep.x86.as_ref().unwrap()[0], false);
+        assert!(rep.hardware_sound());
+    }
+}

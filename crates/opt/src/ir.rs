@@ -1,0 +1,177 @@
+//! Effect and dependency analysis over straight-line litmus code.
+//!
+//! The optimiser works directly on [`bdrst_lang::Stmt`] sequences. This
+//! module classifies each statement's memory effect (the raw material of
+//! the §7.1 program-order subrelations) and computes register def/use sets
+//! (plain data dependencies, orthogonal to the memory model but required
+//! for functional correctness of any reordering).
+
+use std::collections::BTreeSet;
+
+use bdrst_core::loc::{Loc, LocKind, LocSet};
+use bdrst_lang::{PureExpr, Reg, Stmt};
+
+/// The memory effect of one straight-line statement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// No memory access (register-only computation).
+    Pure,
+    /// A read of a location.
+    Read(Loc),
+    /// A write to a location.
+    Write(Loc),
+}
+
+impl Effect {
+    /// The accessed location, if any.
+    pub fn loc(self) -> Option<Loc> {
+        match self {
+            Effect::Pure => None,
+            Effect::Read(l) | Effect::Write(l) => Some(l),
+        }
+    }
+
+    /// True for reads.
+    pub fn is_read(self) -> bool {
+        matches!(self, Effect::Read(_))
+    }
+
+    /// True for writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, Effect::Write(_))
+    }
+}
+
+/// Classifies a straight-line statement.
+///
+/// # Panics
+///
+/// Panics on `If`/`While`: the pairwise reordering machinery is defined on
+/// straight-line code (loop optimisations handle blocks wholesale).
+pub fn effect(stmt: &Stmt) -> Effect {
+    match stmt {
+        Stmt::Assign(..) => Effect::Pure,
+        Stmt::Load(_, l) => Effect::Read(*l),
+        Stmt::Store(l, _) => Effect::Write(*l),
+        Stmt::If(..) | Stmt::While(..) => {
+            panic!("effect() is defined on straight-line statements")
+        }
+    }
+}
+
+/// True if the statement accesses an atomic location.
+pub fn is_atomic(locs: &LocSet, stmt: &Stmt) -> bool {
+    effect(stmt)
+        .loc()
+        .is_some_and(|l| locs.kind(l) == LocKind::Atomic)
+}
+
+/// Registers read by a pure expression.
+pub fn expr_uses(e: &PureExpr, out: &mut BTreeSet<Reg>) {
+    match e {
+        PureExpr::Const(_) => {}
+        PureExpr::Reg(r) => {
+            out.insert(*r);
+        }
+        PureExpr::Unary(_, inner) => expr_uses(inner, out),
+        PureExpr::Binary(_, l, r) => {
+            expr_uses(l, out);
+            expr_uses(r, out);
+        }
+    }
+}
+
+/// Registers a straight-line statement reads.
+pub fn uses(stmt: &Stmt) -> BTreeSet<Reg> {
+    let mut out = BTreeSet::new();
+    match stmt {
+        Stmt::Assign(_, e) | Stmt::Store(_, e) => expr_uses(e, &mut out),
+        Stmt::Load(..) => {}
+        Stmt::If(..) | Stmt::While(..) => panic!("uses() is defined on straight-line statements"),
+    }
+    out
+}
+
+/// The register a straight-line statement defines, if any.
+pub fn def(stmt: &Stmt) -> Option<Reg> {
+    match stmt {
+        Stmt::Assign(r, _) | Stmt::Load(r, _) => Some(*r),
+        Stmt::Store(..) => None,
+        Stmt::If(..) | Stmt::While(..) => panic!("def() is defined on straight-line statements"),
+    }
+}
+
+/// True if `b` data-depends on `a` (read-after-write, write-after-read, or
+/// write-after-write on a register).
+pub fn data_dependent(a: &Stmt, b: &Stmt) -> bool {
+    let (da, db) = (def(a), def(b));
+    let (ua, ub) = (uses(a), uses(b));
+    // RAW: b uses a's def.
+    if let Some(d) = da {
+        if ub.contains(&d) {
+            return true;
+        }
+    }
+    // WAR: b defines something a uses.
+    if let Some(d) = db {
+        if ua.contains(&d) {
+            return true;
+        }
+    }
+    // WAW: same destination.
+    matches!((da, db), (Some(x), Some(y)) if x == y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrst_core::loc::LocKind;
+    use bdrst_lang::PureExpr;
+
+    fn locs() -> (LocSet, Loc, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        let f = l.fresh("F", LocKind::Atomic);
+        (l, a, f)
+    }
+
+    #[test]
+    fn effects() {
+        let (locs, a, f) = locs();
+        assert_eq!(effect(&Stmt::Load(Reg(0), a)), Effect::Read(a));
+        assert_eq!(effect(&Stmt::Store(a, PureExpr::constant(1))), Effect::Write(a));
+        assert_eq!(effect(&Stmt::Assign(Reg(0), PureExpr::constant(1))), Effect::Pure);
+        assert!(is_atomic(&locs, &Stmt::Load(Reg(0), f)));
+        assert!(!is_atomic(&locs, &Stmt::Load(Reg(0), a)));
+    }
+
+    #[test]
+    fn def_use_sets() {
+        let (_, a, _) = locs();
+        let s = Stmt::Store(a, PureExpr::reg(Reg(1)).binary(bdrst_lang::BinOp::Add, PureExpr::reg(Reg(2))));
+        assert_eq!(def(&s), None);
+        assert_eq!(uses(&s), [Reg(1), Reg(2)].into_iter().collect());
+        let l = Stmt::Load(Reg(3), a);
+        assert_eq!(def(&l), Some(Reg(3)));
+        assert!(uses(&l).is_empty());
+    }
+
+    #[test]
+    fn dependencies() {
+        let (_, a, _) = locs();
+        let load = Stmt::Load(Reg(0), a);
+        let use_it = Stmt::Assign(Reg(1), PureExpr::reg(Reg(0)));
+        let unrelated = Stmt::Assign(Reg(2), PureExpr::constant(5));
+        assert!(data_dependent(&load, &use_it)); // RAW
+        // WAR in the other direction: the load redefines r0 that the
+        // assign reads, so they are dependent both ways.
+        assert!(data_dependent(&use_it, &load));
+        assert!(!data_dependent(&load, &unrelated));
+        // WAR: store uses r0, then load redefines r0.
+        let store = Stmt::Store(a, PureExpr::reg(Reg(0)));
+        assert!(data_dependent(&store, &load));
+        // WAW.
+        let l2 = Stmt::Load(Reg(0), a);
+        assert!(data_dependent(&load, &l2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Peephole optimisations on adjacent same-location operations (§7.1).
+//!
+//! Each rewrite is justified by the operational semantics:
+//!
+//! * **Redundant Load (RL)** — `[r1 = a; r2 = a] ⇒ [r1 = a; r2 = r1]`:
+//!   by Read-NA the second read is allowed to return the same history
+//!   entry as the first.
+//! * **Store Forwarding (SF)** — `[a = x; r1 = a] ⇒ [a = x; r1 = x]`: by
+//!   Write-NA the write enters the history and the writer's frontier, so
+//!   the adjacent read may (indeed, on the same thread *must* be allowed
+//!   to) read it.
+//! * **Dead Store (DS)** — `[a = x; a = y] ⇒ [a = y]`: no other thread is
+//!   obligated to see the first write (Read-NA always allows older
+//!   entries), and this thread can no longer see it after the second.
+//!
+//! All three apply to *nonatomic* locations only: atomic operations
+//! synchronise (they merge frontiers), so deleting or short-circuiting
+//! them is visible.
+
+use bdrst_core::loc::{LocKind, LocSet};
+use bdrst_lang::{PureExpr, Stmt};
+
+/// Applies Redundant Load at index `i`: `stmts[i]` and `stmts[i+1]` must be
+/// adjacent loads of one nonatomic location. Returns the rewritten
+/// sequence, or `None` if the pattern does not match.
+pub fn redundant_load(locs: &LocSet, stmts: &[Stmt], i: usize) -> Option<Vec<Stmt>> {
+    let (Stmt::Load(r1, l1), Stmt::Load(r2, l2)) = (stmts.get(i)?, stmts.get(i + 1)?) else {
+        return None;
+    };
+    if l1 != l2 || locs.kind(*l1) != LocKind::Nonatomic || r1 == r2 {
+        return None;
+    }
+    let mut out = stmts.to_vec();
+    out[i + 1] = Stmt::Assign(*r2, PureExpr::Reg(*r1));
+    Some(out)
+}
+
+/// Applies Store Forwarding at index `i`: `stmts[i]` a nonatomic store,
+/// `stmts[i+1]` a load of the same location. The loaded register must not
+/// appear in the stored expression (else forwarding would change the
+/// expression's meaning).
+pub fn store_forwarding(locs: &LocSet, stmts: &[Stmt], i: usize) -> Option<Vec<Stmt>> {
+    let (Stmt::Store(l1, e), Stmt::Load(r, l2)) = (stmts.get(i)?, stmts.get(i + 1)?) else {
+        return None;
+    };
+    if l1 != l2 || locs.kind(*l1) != LocKind::Nonatomic {
+        return None;
+    }
+    let mut used = std::collections::BTreeSet::new();
+    crate::ir::expr_uses(e, &mut used);
+    if used.contains(r) {
+        return None;
+    }
+    let mut out = stmts.to_vec();
+    out[i + 1] = Stmt::Assign(*r, e.clone());
+    Some(out)
+}
+
+/// Applies Dead Store at index `i`: `stmts[i]` and `stmts[i+1]` adjacent
+/// nonatomic stores to one location; the first is removed.
+pub fn dead_store(locs: &LocSet, stmts: &[Stmt], i: usize) -> Option<Vec<Stmt>> {
+    let (Stmt::Store(l1, _), Stmt::Store(l2, _)) = (stmts.get(i)?, stmts.get(i + 1)?) else {
+        return None;
+    };
+    if l1 != l2 || locs.kind(*l1) != LocKind::Nonatomic {
+        return None;
+    }
+    let mut out = stmts.to_vec();
+    out.remove(i);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrst_core::loc::Loc;
+    use bdrst_lang::Reg;
+
+    fn fixture() -> (LocSet, Loc, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        let f = l.fresh("F", LocKind::Atomic);
+        (l, a, f)
+    }
+
+    #[test]
+    fn rl_rewrites() {
+        let (locs, a, _) = fixture();
+        let stmts = vec![Stmt::Load(Reg(0), a), Stmt::Load(Reg(1), a)];
+        let out = redundant_load(&locs, &stmts, 0).unwrap();
+        assert_eq!(out[1], Stmt::Assign(Reg(1), PureExpr::Reg(Reg(0))));
+    }
+
+    #[test]
+    fn rl_rejects_atomics() {
+        let (locs, _, f) = fixture();
+        let stmts = vec![Stmt::Load(Reg(0), f), Stmt::Load(Reg(1), f)];
+        assert!(redundant_load(&locs, &stmts, 0).is_none());
+    }
+
+    #[test]
+    fn sf_rewrites() {
+        let (locs, a, _) = fixture();
+        let stmts = vec![
+            Stmt::Store(a, PureExpr::constant(7)),
+            Stmt::Load(Reg(0), a),
+        ];
+        let out = store_forwarding(&locs, &stmts, 0).unwrap();
+        assert_eq!(out[1], Stmt::Assign(Reg(0), PureExpr::constant(7)));
+    }
+
+    #[test]
+    fn sf_rejects_self_referential_forward() {
+        let (locs, a, _) = fixture();
+        // a = r0; r0 = a — forwarding `r0 = r0` is fine semantically, but
+        // the conservative check rejects expression/target overlap.
+        let stmts = vec![Stmt::Store(a, PureExpr::Reg(Reg(0))), Stmt::Load(Reg(0), a)];
+        assert!(store_forwarding(&locs, &stmts, 0).is_none());
+    }
+
+    #[test]
+    fn ds_removes_first_store() {
+        let (locs, a, _) = fixture();
+        let stmts = vec![
+            Stmt::Store(a, PureExpr::constant(1)),
+            Stmt::Store(a, PureExpr::constant(2)),
+        ];
+        let out = dead_store(&locs, &stmts, 0).unwrap();
+        assert_eq!(out, vec![Stmt::Store(a, PureExpr::constant(2))]);
+    }
+
+    #[test]
+    fn ds_rejects_atomics() {
+        let (locs, _, f) = fixture();
+        let stmts = vec![
+            Stmt::Store(f, PureExpr::constant(1)),
+            Stmt::Store(f, PureExpr::constant(2)),
+        ];
+        assert!(dead_store(&locs, &stmts, 0).is_none());
+    }
+
+    #[test]
+    fn non_matching_patterns_return_none() {
+        let (locs, a, _) = fixture();
+        let stmts = vec![Stmt::Load(Reg(0), a)];
+        assert!(redundant_load(&locs, &stmts, 0).is_none());
+        assert!(store_forwarding(&locs, &stmts, 0).is_none());
+        assert!(dead_store(&locs, &stmts, 0).is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! Reordering legality (§7.1).
+//!
+//! Theorem 18 references only the subrelations `poat−`, `po−at`, `poRW`
+//! and `pocon` of program order, so a compiler may reorder freely as long
+//! as it does not *shrink* them:
+//!
+//! * `poat−` — operations must not be moved before prior atomic operations;
+//! * `po−at` — operations must not be moved after subsequent atomic writes;
+//! * `poRW` — prior reads must not be moved after subsequent writes
+//!   (load-to-store order is sacred: breaking it breaks local DRF, §2.2);
+//! * `pocon` — conflicting (same-location, ≥1 write) operations must not be
+//!   reordered.
+
+use std::fmt;
+
+use bdrst_core::loc::LocSet;
+use bdrst_lang::Stmt;
+
+use crate::ir::{data_dependent, effect, is_atomic};
+
+/// Why a particular pair of statements may not be reordered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReorderConstraint {
+    /// The earlier statement is an atomic operation (`poat−`).
+    AfterAtomic,
+    /// The later statement is an atomic write (`po−at`).
+    BeforeAtomicWrite,
+    /// Read before write (`poRW`): the load-to-store order local DRF needs.
+    LoadStore,
+    /// Conflicting accesses to one location (`pocon`).
+    Conflicting,
+    /// Register data dependency (not a memory-model constraint, but any
+    /// compiler must respect it).
+    DataDependency,
+}
+
+impl fmt::Display for ReorderConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReorderConstraint::AfterAtomic => write!(f, "poat−: may not move before an atomic"),
+            ReorderConstraint::BeforeAtomicWrite => {
+                write!(f, "po−at: may not move after an atomic write")
+            }
+            ReorderConstraint::LoadStore => write!(f, "poRW: read must stay before write"),
+            ReorderConstraint::Conflicting => write!(f, "pocon: conflicting accesses"),
+            ReorderConstraint::DataDependency => write!(f, "register data dependency"),
+        }
+    }
+}
+
+/// The memory-model and data-flow constraints pinning `a` before `b`
+/// (where `a` immediately precedes `b`). Empty means the two may swap.
+pub fn constraints_between(locs: &LocSet, a: &Stmt, b: &Stmt) -> Vec<ReorderConstraint> {
+    let mut out = Vec::new();
+    let (ea, eb) = (effect(a), effect(b));
+    if is_atomic(locs, a) {
+        out.push(ReorderConstraint::AfterAtomic);
+    }
+    if is_atomic(locs, b) && eb.is_write() {
+        out.push(ReorderConstraint::BeforeAtomicWrite);
+    }
+    if ea.is_read() && eb.is_write() {
+        out.push(ReorderConstraint::LoadStore);
+    }
+    if let (Some(la), Some(lb)) = (ea.loc(), eb.loc()) {
+        if la == lb && (ea.is_write() || eb.is_write()) {
+            out.push(ReorderConstraint::Conflicting);
+        }
+    }
+    if data_dependent(a, b) {
+        out.push(ReorderConstraint::DataDependency);
+    }
+    out
+}
+
+/// True if adjacent statements `a; b` may be transformed to `b; a`.
+pub fn can_swap(locs: &LocSet, a: &Stmt, b: &Stmt) -> bool {
+    constraints_between(locs, a, b).is_empty()
+}
+
+/// A reordering rejection, naming the offending pair.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReorderViolation {
+    /// Index of the earlier statement in the *original* sequence.
+    pub first: usize,
+    /// Index of the later statement in the original sequence.
+    pub second: usize,
+    /// The violated constraints.
+    pub constraints: Vec<ReorderConstraint>,
+}
+
+impl fmt::Display for ReorderViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "statements {} and {} may not be reordered:", self.first, self.second)?;
+        for c in &self.constraints {
+            write!(f, " [{c}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks an arbitrary permutation: `perm[i]` is the new position of the
+/// original statement `i`. Every ordered pair that the permutation inverts
+/// must be constraint-free.
+///
+/// # Errors
+///
+/// Returns the first inverted pair that some constraint pins in place.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..stmts.len()`.
+pub fn check_permutation(
+    locs: &LocSet,
+    stmts: &[Stmt],
+    perm: &[usize],
+) -> Result<(), ReorderViolation> {
+    assert_eq!(stmts.len(), perm.len(), "permutation length mismatch");
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        assert!(p < perm.len() && !seen[p], "not a permutation");
+        seen[p] = true;
+    }
+    for i in 0..stmts.len() {
+        for j in i + 1..stmts.len() {
+            if perm[i] > perm[j] {
+                let constraints = constraints_between(locs, &stmts[i], &stmts[j]);
+                if !constraints.is_empty() {
+                    return Err(ReorderViolation { first: i, second: j, constraints });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a permutation (after [`check_permutation`] has blessed it).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..stmts.len()`.
+pub fn apply_permutation(stmts: &[Stmt], perm: &[usize]) -> Vec<Stmt> {
+    let mut out = vec![None; stmts.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(out[p].is_none(), "not a permutation");
+        out[p] = Some(stmts[i].clone());
+    }
+    out.into_iter().map(|s| s.expect("total permutation")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrst_core::loc::{Loc, LocKind};
+    use bdrst_lang::{PureExpr, Reg};
+
+    fn fixture() -> (LocSet, Loc, Loc, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        let b = l.fresh("b", LocKind::Nonatomic);
+        let f = l.fresh("F", LocKind::Atomic);
+        (l, a, b, f)
+    }
+
+    #[test]
+    fn independent_reads_swap() {
+        // poRR is relaxed: two reads of different locations may reorder.
+        let (locs, a, b, _) = fixture();
+        assert!(can_swap(&locs, &Stmt::Load(Reg(0), a), &Stmt::Load(Reg(1), b)));
+    }
+
+    #[test]
+    fn load_store_pinned() {
+        // poRW must be preserved even across different locations (§2.2,
+        // example 3: reordering a read after a later store breaks local
+        // DRF).
+        let (locs, a, b, _) = fixture();
+        let cs = constraints_between(
+            &locs,
+            &Stmt::Load(Reg(0), a),
+            &Stmt::Store(b, PureExpr::constant(1)),
+        );
+        assert_eq!(cs, vec![ReorderConstraint::LoadStore]);
+    }
+
+    #[test]
+    fn stores_to_different_locations_swap() {
+        // poWW is relaxed.
+        let (locs, a, b, _) = fixture();
+        assert!(can_swap(
+            &locs,
+            &Stmt::Store(a, PureExpr::constant(1)),
+            &Stmt::Store(b, PureExpr::constant(1)),
+        ));
+    }
+
+    #[test]
+    fn store_load_swap_ok() {
+        // poWR is relaxed (TSO-style store buffering is fine).
+        let (locs, a, b, _) = fixture();
+        assert!(can_swap(
+            &locs,
+            &Stmt::Store(a, PureExpr::constant(1)),
+            &Stmt::Load(Reg(0), b),
+        ));
+    }
+
+    #[test]
+    fn atomics_pin_both_directions() {
+        let (locs, a, _, f) = fixture();
+        // Nothing moves before a prior atomic (poat−).
+        let cs = constraints_between(&locs, &Stmt::Load(Reg(0), f), &Stmt::Load(Reg(1), a));
+        assert!(cs.contains(&ReorderConstraint::AfterAtomic));
+        // Nothing moves after a subsequent atomic write (po−at).
+        let cs = constraints_between(
+            &locs,
+            &Stmt::Store(a, PureExpr::constant(1)),
+            &Stmt::Store(f, PureExpr::constant(1)),
+        );
+        assert!(cs.contains(&ReorderConstraint::BeforeAtomicWrite));
+        // But a plain operation may move after a subsequent atomic *read*…
+        let cs = constraints_between(
+            &locs,
+            &Stmt::Store(a, PureExpr::constant(1)),
+            &Stmt::Load(Reg(0), f),
+        );
+        assert!(!cs.contains(&ReorderConstraint::BeforeAtomicWrite));
+        // …unless some other constraint pins it (here: none does).
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn conflicting_accesses_pinned() {
+        let (locs, a, _, _) = fixture();
+        let cs = constraints_between(
+            &locs,
+            &Stmt::Store(a, PureExpr::constant(1)),
+            &Stmt::Store(a, PureExpr::constant(2)),
+        );
+        assert!(cs.contains(&ReorderConstraint::Conflicting));
+    }
+
+    #[test]
+    fn permutation_checker_catches_porw() {
+        let (locs, a, b, _) = fixture();
+        let stmts = vec![Stmt::Load(Reg(0), a), Stmt::Store(b, PureExpr::constant(1))];
+        // Swap them: forbidden.
+        let err = check_permutation(&locs, &stmts, &[1, 0]).unwrap_err();
+        assert!(err.constraints.contains(&ReorderConstraint::LoadStore));
+        // Identity: fine.
+        check_permutation(&locs, &stmts, &[0, 1]).unwrap();
+    }
+
+    #[test]
+    fn permutation_application() {
+        let (_, a, b, _) = fixture();
+        let stmts = vec![
+            Stmt::Store(a, PureExpr::constant(1)),
+            Stmt::Store(b, PureExpr::constant(2)),
+        ];
+        let swapped = apply_permutation(&stmts, &[1, 0]);
+        assert!(matches!(&swapped[0], Stmt::Store(l, _) if *l == b));
+        assert!(matches!(&swapped[1], Stmt::Store(l, _) if *l == a));
+    }
+}

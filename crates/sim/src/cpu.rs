@@ -1,0 +1,323 @@
+//! Cycle-cost core models for AArch64 (Cavium ThunderX-like) and 64-bit
+//! PowerPC (IBM pSeries-like) — the substrate substituting for the paper's
+//! evaluation hardware (§8; see DESIGN.md "Substitutions").
+//!
+//! The model is an in-order core with a load queue and a store buffer:
+//!
+//! * plain loads issue cheaply and *retire* after a latency; `dmb ld`
+//!   stalls until the load queue drains (so it is nearly free when
+//!   surrounding compute has already covered the load latency — exactly
+//!   why FBS is cheap on ThunderX);
+//! * stores enter the store buffer and drain in the background; `dmb st`
+//!   and release stores stall on the buffer;
+//! * acquire loads (`ldar`) and release stores (`stlr`) serialise the
+//!   pipeline with a fixed penalty (large on ThunderX — why SRA is slow);
+//! * predicted branches cost one issue slot (why BAL is cheap);
+//! * full barriers pay both queue drains plus a fixed cost (the SRA
+//!   floating-point path on AArch64).
+
+/// One instruction of the simulated stream, at the cost-model level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimInstr {
+    /// A register-only ALU or FP compute operation.
+    Compute,
+    /// A plain load (`ldr` / `ld`).
+    Load,
+    /// A plain store (`str` / `st`).
+    Store,
+    /// A load-acquire (`ldar`; POWER: `ld; cmp; bc; isync`).
+    LoadAcquire,
+    /// A store-release (`stlr`; POWER: `lwsync; st` as one unit).
+    StoreRelease,
+    /// An exclusive-pair atomic exchange (`ldaxr`/`stlxr` + retry).
+    Exchange,
+    /// A predicted-taken dependent branch (`cbz R, L; L:`).
+    PredictedBranch,
+    /// `dmb ld` (POWER: `lwsync`, which is stronger — see
+    /// [`CoreModel::load_barrier_drains_stores`]).
+    LoadBarrier,
+    /// `dmb st`.
+    StoreBarrier,
+    /// `dmb ish` / `sync`.
+    FullBarrier,
+}
+
+/// Microarchitectural cost parameters of one core.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CoreModel {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Cycles per issued compute instruction (sub-1 models superscalar
+    /// issue).
+    pub compute_cost: f64,
+    /// Issue cost of a load.
+    pub load_issue: f64,
+    /// Cycles until an issued load retires (L1 hit latency).
+    pub load_latency: f64,
+    /// Issue cost of a store (the store buffer hides the rest).
+    pub store_issue: f64,
+    /// Cycles a store occupies the store buffer before draining.
+    pub store_drain: f64,
+    /// Store-buffer capacity; a full buffer stalls new stores.
+    pub store_buffer_size: usize,
+    /// Issue cost of a predicted branch.
+    pub branch_cost: f64,
+    /// Fixed cost of `dmb ld`/`lwsync` beyond waiting for the load queue.
+    pub load_barrier_cost: f64,
+    /// True if the load barrier also drains the store buffer (POWER's
+    /// `lwsync` orders WW in addition to RR/RW; `dmb ld` does not — §8.3).
+    pub load_barrier_drains_stores: bool,
+    /// Fixed cost of `dmb st` beyond waiting for the store buffer.
+    pub store_barrier_cost: f64,
+    /// Pipeline-serialisation penalty of an acquire load.
+    pub acquire_cost: f64,
+    /// Penalty of a release store (plus store-buffer drain).
+    pub release_cost: f64,
+    /// Penalty of an exclusive exchange pair.
+    pub exchange_cost: f64,
+    /// Fixed cost of a full barrier (plus both drains).
+    pub full_barrier_cost: f64,
+    /// Clock frequency in GHz (to convert access rates into padding).
+    pub clock_ghz: f64,
+}
+
+/// A 2.5 GHz Cavium ThunderX-like AArch64 core (§8's ARM machine).
+///
+/// Key traits reflected: dual-issue in-order (compute ≈ 0.5 cycles),
+/// cheap predicted branches, `dmb ld` nearly free once loads have
+/// retired, but *very* expensive acquire/release (ldar serialises the
+/// ThunderX pipeline) and full barriers.
+pub const THUNDERX: CoreModel = CoreModel {
+    name: "AArch64 (ThunderX-like)",
+    compute_cost: 0.5,
+    load_issue: 0.5,
+    load_latency: 3.0,
+    store_issue: 0.5,
+    store_drain: 8.0,
+    store_buffer_size: 16,
+    branch_cost: 1.4,
+    load_barrier_cost: 0.4,
+    load_barrier_drains_stores: false,
+    store_barrier_cost: 2.0,
+    acquire_cost: 40.0,
+    release_cost: 30.0,
+    exchange_cost: 60.0,
+    full_barrier_cost: 110.0,
+    clock_ghz: 2.5,
+};
+
+/// A 3.4 GHz IBM POWER-like core (§8's PowerPC machine).
+///
+/// `lwsync` is the big cost here: it is the only load barrier available
+/// and it also orders write-write (it drains the store buffer), which is
+/// why FBS is far more expensive on POWER than on AArch64 (§8.3).
+pub const POWER: CoreModel = CoreModel {
+    name: "PowerPC (pSeries-like)",
+    compute_cost: 0.45,
+    load_issue: 0.45,
+    load_latency: 2.5,
+    store_issue: 0.45,
+    store_drain: 9.0,
+    store_buffer_size: 16,
+    branch_cost: 1.5,
+    load_barrier_cost: 45.0,
+    load_barrier_drains_stores: true,
+    store_barrier_cost: 10.0,
+    acquire_cost: 20.0,
+    release_cost: 45.0,
+    exchange_cost: 55.0,
+    full_barrier_cost: 60.0,
+    clock_ghz: 3.4,
+};
+
+/// The dynamic state of a simulated core.
+#[derive(Clone, Debug)]
+pub struct Core {
+    model: CoreModel,
+    cycle: f64,
+    /// Retire times of in-flight loads.
+    pending_loads: Vec<f64>,
+    /// Drain times of buffered stores.
+    store_buffer: Vec<f64>,
+    instructions: u64,
+}
+
+impl Core {
+    /// A fresh core with the given cost model.
+    pub fn new(model: CoreModel) -> Core {
+        Core { model, cycle: 0.0, pending_loads: Vec::new(), store_buffer: Vec::new(), instructions: 0 }
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CoreModel {
+        &self.model
+    }
+
+    /// Elapsed cycles.
+    pub fn cycles(&self) -> f64 {
+        self.cycle
+    }
+
+    /// Instructions executed.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    fn gc(&mut self) {
+        let now = self.cycle;
+        self.pending_loads.retain(|t| *t > now);
+        self.store_buffer.retain(|t| *t > now);
+    }
+
+    fn drain_loads(&mut self) {
+        if let Some(max) = self.pending_loads.iter().cloned().fold(None, |m: Option<f64>, t| {
+            Some(m.map_or(t, |m| m.max(t)))
+        }) {
+            self.cycle = self.cycle.max(max);
+        }
+        self.pending_loads.clear();
+    }
+
+    fn drain_stores(&mut self) {
+        if let Some(max) = self.store_buffer.iter().cloned().fold(None, |m: Option<f64>, t| {
+            Some(m.map_or(t, |m| m.max(t)))
+        }) {
+            self.cycle = self.cycle.max(max);
+        }
+        self.store_buffer.clear();
+    }
+
+    /// Executes one instruction, advancing the cycle counter.
+    pub fn execute(&mut self, instr: SimInstr) {
+        self.instructions += 1;
+        self.gc();
+        let m = self.model;
+        match instr {
+            SimInstr::Compute => self.cycle += m.compute_cost,
+            SimInstr::Load => {
+                self.cycle += m.load_issue;
+                self.pending_loads.push(self.cycle + m.load_latency);
+            }
+            SimInstr::Store => {
+                if self.store_buffer.len() >= m.store_buffer_size {
+                    // Wait for the oldest entry.
+                    let oldest = self
+                        .store_buffer
+                        .iter()
+                        .cloned()
+                        .fold(f64::INFINITY, f64::min);
+                    self.cycle = self.cycle.max(oldest);
+                    self.gc();
+                }
+                self.cycle += m.store_issue;
+                self.store_buffer.push(self.cycle + m.store_drain);
+            }
+            SimInstr::PredictedBranch => self.cycle += m.branch_cost,
+            SimInstr::LoadBarrier => {
+                self.drain_loads();
+                if m.load_barrier_drains_stores {
+                    self.drain_stores();
+                }
+                self.cycle += m.load_barrier_cost;
+            }
+            SimInstr::StoreBarrier => {
+                self.drain_stores();
+                self.cycle += m.store_barrier_cost;
+            }
+            SimInstr::FullBarrier => {
+                self.drain_loads();
+                self.drain_stores();
+                self.cycle += m.full_barrier_cost;
+            }
+            SimInstr::LoadAcquire => {
+                // Serialises: later work waits for this load's completion.
+                self.cycle += m.load_issue + m.acquire_cost + m.load_latency;
+            }
+            SimInstr::StoreRelease => {
+                self.drain_stores();
+                self.cycle += m.store_issue + m.release_cost;
+            }
+            SimInstr::Exchange => {
+                self.drain_stores();
+                self.cycle += m.exchange_cost;
+            }
+        }
+    }
+
+    /// Executes a whole stream.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = SimInstr>) {
+        for i in stream {
+            self.execute(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_accumulates() {
+        let mut c = Core::new(THUNDERX);
+        c.run([SimInstr::Compute; 10]);
+        assert!((c.cycles() - 5.0).abs() < 1e-9);
+        assert_eq!(c.instructions(), 10);
+    }
+
+    #[test]
+    fn load_barrier_free_after_loads_retire() {
+        let mut c = Core::new(THUNDERX);
+        c.execute(SimInstr::Load);
+        // Plenty of compute: the load retires before the barrier.
+        c.run([SimInstr::Compute; 20]);
+        let before = c.cycles();
+        c.execute(SimInstr::LoadBarrier);
+        assert!(c.cycles() - before <= THUNDERX.load_barrier_cost + 1e-9);
+    }
+
+    #[test]
+    fn load_barrier_stalls_on_fresh_load() {
+        let mut c = Core::new(THUNDERX);
+        c.execute(SimInstr::Load);
+        let before = c.cycles();
+        c.execute(SimInstr::LoadBarrier);
+        // Must wait out the load latency.
+        assert!(c.cycles() - before >= THUNDERX.load_latency - 1e-9);
+    }
+
+    #[test]
+    fn lwsync_drains_stores_dmb_ld_does_not() {
+        let mut arm = Core::new(THUNDERX);
+        arm.execute(SimInstr::Store);
+        let b = arm.cycles();
+        arm.execute(SimInstr::LoadBarrier);
+        assert!(arm.cycles() - b <= THUNDERX.load_barrier_cost + 1e-9);
+
+        let mut ppc = Core::new(POWER);
+        ppc.execute(SimInstr::Store);
+        let b = ppc.cycles();
+        ppc.execute(SimInstr::LoadBarrier);
+        assert!(ppc.cycles() - b >= POWER.store_drain - POWER.store_issue - 1e-9);
+    }
+
+    #[test]
+    fn store_buffer_capacity_stalls() {
+        let m = CoreModel { store_buffer_size: 2, ..THUNDERX };
+        let mut c = Core::new(m);
+        let t0 = {
+            c.run([SimInstr::Store, SimInstr::Store]);
+            c.cycles()
+        };
+        c.execute(SimInstr::Store); // must wait for the oldest drain
+        assert!(c.cycles() > t0 + m.store_issue);
+    }
+
+    #[test]
+    fn acquire_release_cost_more_than_plain() {
+        let mut plain = Core::new(THUNDERX);
+        plain.run([SimInstr::Load, SimInstr::Store]);
+        let mut ar = Core::new(THUNDERX);
+        ar.run([SimInstr::LoadAcquire, SimInstr::StoreRelease]);
+        assert!(ar.cycles() > plain.cycles() * 3.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Lowering memory accesses to simulated instruction sequences per
+//! compilation scheme and architecture (§8.1–8.2).
+//!
+//! The §8 evaluation distinguishes four access categories. Immutable-field
+//! loads and initialising stores compile to plain accesses under *every*
+//! scheme (§8.1: the minor-GC/promotion fences amortise initialising
+//! stores to "practically free"); the schemes differ only on mutable
+//! loads and assignments (§8.2):
+//!
+//! | category | Baseline | BAL | FBS | SRA |
+//! |---|---|---|---|---|
+//! | mutable load (ARM) | `ldr` | `ldr; cbz` | `ldr` | `ldar` (FP: `ldr; dmb`) |
+//! | assignment (ARM) | `str` | `str` | `dmb ld; str` | `stlr` (FP: `dmb; str`) |
+//! | mutable load (POWER) | `ld` | `ld; cmpi; beq` | `ld` | `ld; cmpi; beq; isync` |
+//! | assignment (POWER) | `st` | `st` | `lwsync; st` | `lwsync; st` |
+
+use crate::cpu::SimInstr;
+
+/// The §8 access categories (Fig. 5a's four colours).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessCategory {
+    /// Load of an immutable field.
+    ImmutableLoad,
+    /// Initialising store.
+    InitStore,
+    /// Load of a mutable field.
+    MutableLoad,
+    /// Assignment to a mutable field.
+    Assignment,
+}
+
+/// A compilation scheme of the §8 evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// Stock OCaml: plain loads and stores.
+    Baseline,
+    /// Branch after (mutable) load (Table 2a).
+    Bal,
+    /// Fence (`dmb ld`/`lwsync`) before store (Table 2b).
+    Fbs,
+    /// Strong release/acquire (§8.2).
+    Sra,
+}
+
+impl Scheme {
+    /// The schemes evaluated by Fig. 5b/5c, in presentation order.
+    pub const EVALUATED: [Scheme; 3] = [Scheme::Bal, Scheme::Fbs, Scheme::Sra];
+
+    /// Display name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Bal => "BAL",
+            Scheme::Fbs => "FBS",
+            Scheme::Sra => "SRA",
+        }
+    }
+}
+
+/// Lowers one access to simulated instructions, appending to `out`.
+///
+/// `power` selects the PowerPC lowering; `fp` marks a floating-point
+/// mutable access (SRA on AArch64 lacks FP `ldar`/`stlr` and falls back to
+/// full barriers around plain accesses — §8.3's explanation of the SRA
+/// numeric cliff).
+pub fn lower(scheme: Scheme, cat: AccessCategory, fp: bool, power: bool, out: &mut Vec<SimInstr>) {
+    use AccessCategory as C;
+    use SimInstr as I;
+    match cat {
+        C::ImmutableLoad => out.push(I::Load),
+        C::InitStore => out.push(I::Store),
+        C::MutableLoad => match scheme {
+            Scheme::Baseline | Scheme::Fbs => out.push(I::Load),
+            Scheme::Bal => {
+                out.push(I::Load);
+                if power {
+                    out.push(I::Compute); // cmpi
+                }
+                out.push(I::PredictedBranch);
+            }
+            Scheme::Sra => {
+                if fp && !power {
+                    // No FP ldar: plain load then dmb (§8.3).
+                    out.push(I::Load);
+                    out.push(I::FullBarrier);
+                } else {
+                    out.push(I::LoadAcquire);
+                }
+            }
+        },
+        C::Assignment => match scheme {
+            Scheme::Baseline | Scheme::Bal => out.push(I::Store),
+            Scheme::Fbs => {
+                out.push(I::LoadBarrier);
+                out.push(I::Store);
+            }
+            Scheme::Sra => {
+                if fp && !power {
+                    out.push(I::FullBarrier);
+                    out.push(I::Store);
+                } else {
+                    out.push(I::StoreRelease);
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SimInstr as I;
+
+    fn seq(scheme: Scheme, cat: AccessCategory, fp: bool, power: bool) -> Vec<I> {
+        let mut v = Vec::new();
+        lower(scheme, cat, fp, power, &mut v);
+        v
+    }
+
+    #[test]
+    fn immutable_and_init_are_plain_everywhere() {
+        for s in [Scheme::Baseline, Scheme::Bal, Scheme::Fbs, Scheme::Sra] {
+            for power in [false, true] {
+                assert_eq!(seq(s, AccessCategory::ImmutableLoad, false, power), vec![I::Load]);
+                assert_eq!(seq(s, AccessCategory::InitStore, false, power), vec![I::Store]);
+            }
+        }
+    }
+
+    #[test]
+    fn bal_adds_branch() {
+        assert_eq!(
+            seq(Scheme::Bal, AccessCategory::MutableLoad, false, false),
+            vec![I::Load, I::PredictedBranch]
+        );
+        assert_eq!(
+            seq(Scheme::Bal, AccessCategory::MutableLoad, false, true),
+            vec![I::Load, I::Compute, I::PredictedBranch]
+        );
+        assert_eq!(seq(Scheme::Bal, AccessCategory::Assignment, false, false), vec![I::Store]);
+    }
+
+    #[test]
+    fn fbs_adds_fence_before_store_only() {
+        assert_eq!(seq(Scheme::Fbs, AccessCategory::MutableLoad, false, false), vec![I::Load]);
+        assert_eq!(
+            seq(Scheme::Fbs, AccessCategory::Assignment, false, false),
+            vec![I::LoadBarrier, I::Store]
+        );
+    }
+
+    #[test]
+    fn sra_uses_acquire_release_and_fp_fallback() {
+        assert_eq!(
+            seq(Scheme::Sra, AccessCategory::MutableLoad, false, false),
+            vec![I::LoadAcquire]
+        );
+        assert_eq!(
+            seq(Scheme::Sra, AccessCategory::MutableLoad, true, false),
+            vec![I::Load, I::FullBarrier]
+        );
+        // POWER has no FP cliff (§8.3).
+        assert_eq!(
+            seq(Scheme::Sra, AccessCategory::MutableLoad, true, true),
+            vec![I::LoadAcquire]
+        );
+        assert_eq!(
+            seq(Scheme::Sra, AccessCategory::Assignment, true, false),
+            vec![I::FullBarrier, I::Store]
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The 29 OCaml benchmarks of §8 as access-mix workload models (Fig. 5a).
+//!
+//! The paper characterises each benchmark by its memory-access
+//! distribution over four categories — loads of immutable fields,
+//! initialising stores, loads of mutable fields and assignments — plus an
+//! access rate in millions per second (the parenthesised numbers of
+//! Fig. 5a, which we copy exactly). The category *shares* are visual
+//! estimates from Fig. 5a's stacked bars, recorded here as percentages
+//! (benchmarks are ordered by "increasing functionalness" exactly as in
+//! the figure). `fp_share` marks the numerical benchmarks whose mutable
+//! traffic is floating-point — the trait that makes SRA catastrophic on
+//! AArch64 (§8.3).
+
+/// One benchmark's workload model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Workload {
+    /// Benchmark name as in Fig. 5a.
+    pub name: &'static str,
+    /// Share of immutable-field loads (percent).
+    pub imm_load: f64,
+    /// Share of initialising stores (percent).
+    pub init_store: f64,
+    /// Share of mutable-field loads (percent).
+    pub mut_load: f64,
+    /// Share of assignments (percent).
+    pub assign: f64,
+    /// Access rate, millions of accesses per second (Fig. 5a).
+    pub rate_m: f64,
+    /// Fraction of mutable accesses that are floating-point.
+    pub fp_share: f64,
+}
+
+impl Workload {
+    /// Sanity: shares sum to 100 (±0.5).
+    pub fn shares_sum(&self) -> f64 {
+        self.imm_load + self.init_store + self.mut_load + self.assign
+    }
+}
+
+/// Helper for the table below.
+const fn w(
+    name: &'static str,
+    imm_load: f64,
+    init_store: f64,
+    mut_load: f64,
+    assign: f64,
+    rate_m: f64,
+    fp_share: f64,
+) -> Workload {
+    Workload { name, imm_load, init_store, mut_load, assign, rate_m, fp_share }
+}
+
+/// The 29 workloads, in Fig. 5a's order (least to most functional).
+pub static WORKLOADS: [Workload; 29] = [
+    w("almabench", 10.0, 5.0, 50.0, 35.0, 29.4, 0.95),
+    w("rnd_access", 8.0, 7.0, 55.0, 30.0, 106.2, 0.0),
+    w("setrip", 12.0, 8.0, 50.0, 30.0, 119.63, 0.0),
+    w("setrip-smallbuf", 12.0, 8.0, 50.0, 30.0, 119.36, 0.0),
+    w("levinson-durbin", 15.0, 10.0, 48.0, 27.0, 154.8, 0.9),
+    w("cpdf-transform", 22.0, 14.0, 40.0, 24.0, 37.46, 0.1),
+    w("jsontrip-sample", 25.0, 15.0, 38.0, 22.0, 145.49, 0.0),
+    w("minilight", 26.0, 16.0, 37.0, 21.0, 156.1, 0.85),
+    w("cpdf-squeeze", 28.0, 17.0, 35.0, 20.0, 59.38, 0.1),
+    w("cpdf-reformat", 30.0, 18.0, 33.0, 19.0, 77.58, 0.1),
+    w("cpdf-merge", 32.0, 18.0, 32.0, 18.0, 62.16, 0.1),
+    w("simple_access", 33.0, 19.0, 31.0, 17.0, 39.38, 0.0),
+    w("lu-decomposition", 34.0, 20.0, 30.0, 16.0, 144.24, 0.9),
+    w("frama-c-idct", 36.0, 21.0, 28.0, 15.0, 57.67, 0.6),
+    w("naive-multilayer", 38.0, 22.0, 26.0, 14.0, 146.33, 0.85),
+    w("lexifi-g2pp", 40.0, 23.0, 24.0, 13.0, 65.67, 0.9),
+    w("qr-decomposition", 42.0, 24.0, 22.0, 12.0, 146.62, 0.9),
+    w("bdd", 45.0, 25.0, 19.0, 11.0, 126.03, 0.0),
+    w("fft", 47.0, 26.0, 17.0, 10.0, 73.25, 0.95),
+    w("menhir-standard", 50.0, 27.0, 14.0, 9.0, 70.6, 0.0),
+    w("frama-c-deflate", 52.0, 28.0, 12.0, 8.0, 51.14, 0.0),
+    w("menhir-fancy", 54.0, 29.0, 10.0, 7.0, 77.16, 0.0),
+    w("menhir-sql", 56.0, 30.0, 8.5, 5.5, 122.68, 0.0),
+    w("kb", 58.0, 31.0, 7.0, 4.0, 118.91, 0.0),
+    w("kb-no-exc", 59.0, 31.0, 6.5, 3.5, 119.83, 0.0),
+    w("k-means", 60.0, 32.0, 5.5, 2.5, 145.41, 0.8),
+    w("durand-kerner-aberth", 62.0, 33.0, 3.5, 1.5, 138.78, 0.85),
+    w("sequence", 64.0, 34.0, 1.2, 0.8, 163.09, 0.0),
+    w("sequence-cps", 65.0, 33.8, 0.8, 0.4, 144.82, 0.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_nine_workloads() {
+        assert_eq!(WORKLOADS.len(), 29);
+    }
+
+    #[test]
+    fn shares_sum_to_hundred() {
+        for w in &WORKLOADS {
+            assert!((w.shares_sum() - 100.0).abs() < 0.5, "{}: {}", w.name, w.shares_sum());
+        }
+    }
+
+    #[test]
+    fn ordered_by_functionalness() {
+        // Imperative share (mut_load + assign) decreases along the figure.
+        let imp: Vec<f64> = WORKLOADS.iter().map(|w| w.mut_load + w.assign).collect();
+        for pair in imp.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn rates_match_figure_captions() {
+        assert_eq!(WORKLOADS[0].rate_m, 29.4);
+        assert_eq!(WORKLOADS[28].rate_m, 144.82);
+        let seq = WORKLOADS.iter().find(|w| w.name == "sequence").unwrap();
+        assert_eq!(seq.rate_m, 163.09);
+    }
+
+    #[test]
+    fn numeric_benchmarks_are_fp_heavy() {
+        for name in ["almabench", "fft", "qr-decomposition", "lexifi-g2pp"] {
+            let w = WORKLOADS.iter().find(|w| w.name == name).unwrap();
+            assert!(w.fp_share >= 0.6, "{name}");
+        }
+        let kb = WORKLOADS.iter().find(|w| w.name == "kb").unwrap();
+        assert_eq!(kb.fp_share, 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Inspect the compilation schemes (Tables 1, 2a, 2b) and watch the
+//! soundness checker separate the sound schemes from the naive one on the
+//! load-buffering test (§7.3).
+//!
+//! Run with `cargo run --example compile_inspect`.
+
+use bdrst::hw::{
+    check_compilation, x86_sequence, AccessKind, Target, BAL, FBS, NAIVE,
+};
+use bdrst::lang::Program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("x86 (Table 1):");
+    for kind in AccessKind::ALL {
+        let seq: Vec<String> = x86_sequence(kind).iter().map(|i| i.to_string()).collect();
+        println!("  {kind:<16} {}", seq.join("; "));
+    }
+    println!("ARMv8 BAL (Table 2a):");
+    for kind in AccessKind::ALL {
+        let seq: Vec<String> = BAL.sequence(kind).iter().map(|i| i.to_string()).collect();
+        println!("  {kind:<16} {}", seq.join("; "));
+    }
+
+    let lb = Program::parse(
+        "nonatomic a b;
+         thread P0 { r0 = a; b = 1; }
+         thread P1 { r1 = b; a = 1; }",
+    )?;
+    for (name, t) in [
+        ("x86", Target::X86),
+        ("ARM BAL", Target::Arm(BAL)),
+        ("ARM FBS", Target::Arm(FBS)),
+        ("ARM naive", Target::Arm(NAIVE)),
+    ] {
+        let verdict = check_compilation(&lb, t, Default::default())?;
+        println!(
+            "LB under {name:<10}: {}",
+            if verdict.is_sound() { "sound" } else { "UNSOUND (admits load buffering)" }
+        );
+    }
+    Ok(())
+}

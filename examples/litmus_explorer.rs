@@ -1,0 +1,39 @@
+//! Explore a litmus program from the command line (or run the built-in
+//! corpus): prints all outcomes under the operational and axiomatic
+//! semantics and flags any disagreement.
+//!
+//! Run with `cargo run --example litmus_explorer -- 'nonatomic a; thread P0 { a = 1; } thread P1 { r0 = a; }'`
+//! or with no argument for the corpus summary.
+
+use bdrst::axiomatic::{check_equivalence, EnumLimits};
+use bdrst::lang::Program;
+use bdrst::litmus::{all_tests, run_test, RunConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    match std::env::args().nth(1) {
+        Some(src) => {
+            let p = Program::parse(&src)?;
+            println!("{p}");
+            let outcomes = p.outcomes(Default::default())?;
+            println!("operational outcomes ({}):", outcomes.len());
+            print!("{outcomes}");
+            let eq = check_equivalence(&p, Default::default(), EnumLimits::default())?;
+            println!(
+                "axiomatic agreement: {}",
+                if eq.holds() { "exact" } else { "MISMATCH (bug!)" }
+            );
+        }
+        None => {
+            for t in all_tests() {
+                let rep = run_test(t, RunConfig::default())?;
+                println!(
+                    "{:<10} {:<62} {}",
+                    rep.name,
+                    t.description,
+                    if rep.passes() { "ok" } else { "MISMATCH" }
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! §7.1 end to end: derive the classic optimisations from legal
+//! reorderings + peepholes, reject the illegal one, and double-check a
+//! pass by translation validation against the operational model.
+//!
+//! Run with `cargo run --example optimizer_validation`.
+
+use bdrst::lang::Program;
+use bdrst::opt::{
+    attempt_redundant_store_elimination, cse_loads, validate_in_context,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // CSE: r1 = a*2; r2 = b; r3 = a*2 — legal (poRR may relax).
+    let p = Program::parse(
+        "nonatomic a b;
+         thread P0 { r1 = a * 2; r2 = b; r3 = a * 2; }
+         thread P1 { a = 1; b = 1; a = 2; }",
+    )?;
+    let subject = p.threads[0].body.clone();
+    let optimised = cse_loads(&p.locs, &subject).expect("CSE derivation exists");
+    println!("CSE derived via reorder (poRR) + Redundant Load");
+
+    // Translation validation in the racy context of thread P1.
+    let context = vec![p.threads[1].body.clone()];
+    let report =
+        validate_in_context(&p.locs, &subject, &optimised, &context, Default::default())?;
+    assert!(report.refines());
+    println!(
+        "validated: {} transformed outcomes ⊆ {} original outcomes (racy context)",
+        report.transformed.len(),
+        report.original.len()
+    );
+
+    // Redundant store elimination: rejected on poRW, as §7.1 requires.
+    let rse = Program::parse("nonatomic a b c; thread P0 { r1 = a; b = c; a = r1; }")?;
+    let violation = attempt_redundant_store_elimination(&rse.locs, &rse.threads[0].body)
+        .expect_err("must be rejected");
+    println!("redundant store elimination rejected: {violation}");
+    Ok(())
+}

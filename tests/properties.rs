@@ -1,0 +1,145 @@
+//! Property-based tests: random rationals, random relations, and — most
+//! importantly — random small concurrent programs, for which the
+//! operational and axiomatic semantics must agree outcome-for-outcome and
+//! every DRF theorem must hold.
+
+use proptest::prelude::*;
+
+use bdrst::axiomatic::{check_equivalence, EnumLimits};
+use bdrst::core::explore::ExploreConfig;
+use bdrst::core::localdrf::{check_global_drf, check_local_drf};
+use bdrst::core::relation::Relation;
+use bdrst::core::timestamp::Ratio;
+use bdrst::core::trace::LocPredicate;
+use bdrst::core::{Loc, LocKind, LocSet};
+use bdrst::lang::{Program, PureExpr, Reg, Stmt, ThreadProgram};
+
+// ---------- rationals ----------
+
+fn ratio() -> impl Strategy<Value = Ratio> {
+    (-1000i64..1000, 1i64..1000).prop_map(|(n, d)| Ratio::new(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ratio_normalisation_is_canonical(n in -1000i64..1000, d in 1i64..1000, k in 1i64..50) {
+        prop_assert_eq!(Ratio::new(n, d), Ratio::new(n * k, d * k));
+    }
+
+    #[test]
+    fn ratio_order_is_total_and_consistent(a in ratio(), b in ratio()) {
+        use std::cmp::Ordering::*;
+        match a.cmp(&b) {
+            Less => prop_assert_eq!(b.cmp(&a), Greater),
+            Greater => prop_assert_eq!(b.cmp(&a), Less),
+            Equal => prop_assert_eq!(a, b),
+        }
+    }
+
+    #[test]
+    fn ratio_midpoint_is_strictly_between(a in ratio(), b in ratio()) {
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let m = lo.midpoint(hi);
+        prop_assert!(lo < m && m < hi);
+    }
+}
+
+// ---------- relations ----------
+
+fn relation(n: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec((0..n, 0..n), 0..n * 2)
+        .prop_map(move |edges| Relation::from_edges(n, edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transitive_closure_is_idempotent(r in relation(6)) {
+        let tc = r.transitive_closure();
+        prop_assert_eq!(tc.transitive_closure(), tc);
+    }
+
+    #[test]
+    fn closure_contains_relation(r in relation(6)) {
+        prop_assert!(r.is_subset(&r.transitive_closure()));
+    }
+
+    #[test]
+    fn composition_distributes_over_union(a in relation(5), b in relation(5), c in relation(5)) {
+        let lhs = a.union(&b).compose(&c);
+        let rhs = a.compose(&c).union(&b.compose(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn transpose_involutive(r in relation(6)) {
+        prop_assert_eq!(r.transpose().transpose(), r);
+    }
+}
+
+// ---------- random concurrent programs ----------
+
+/// Random straight-line statement over 2 nonatomic + 1 atomic locations,
+/// 2 registers, constants 1..=2.
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let loc = 0u32..3;
+    let reg = 0u16..2;
+    let val = 1i64..3;
+    prop_oneof![
+        (reg.clone(), loc.clone()).prop_map(|(r, l)| Stmt::Load(Reg(r), Loc(l))),
+        (loc, val).prop_map(|(l, v)| Stmt::Store(Loc(l), PureExpr::constant(v))),
+        (reg.clone(), reg).prop_map(|(d, s)| Stmt::Assign(Reg(d), PureExpr::Reg(Reg(s)))),
+    ]
+}
+
+fn small_program() -> impl Strategy<Value = Program> {
+    let t0 = prop::collection::vec(stmt(), 1..4);
+    let t1 = prop::collection::vec(stmt(), 1..4);
+    (t0, t1).prop_map(|(b0, b1)| {
+        let mut locs = LocSet::new();
+        locs.fresh("a", LocKind::Nonatomic);
+        locs.fresh("b", LocKind::Nonatomic);
+        locs.fresh("F", LocKind::Atomic);
+        Program {
+            locs,
+            threads: vec![
+                ThreadProgram { name: "P0".into(), regs: vec!["r0".into(), "r1".into()], body: b0 },
+                ThreadProgram { name: "P1".into(), regs: vec!["r0".into(), "r1".into()], body: b1 },
+            ],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorems 15+16 on random programs: the two semantics agree exactly.
+    #[test]
+    fn random_programs_equivalent_semantics(p in small_program()) {
+        let rep = check_equivalence(&p, ExploreConfig::default(), EnumLimits::default())
+            .expect("exploration fits budget");
+        prop_assert!(rep.holds(),
+            "missing {:?} extra {:?}", rep.missing_in_axiomatic(), rep.extra_in_axiomatic());
+    }
+
+    /// Theorem 13 with singleton L on random programs.
+    #[test]
+    fn random_programs_local_drf(p in small_program()) {
+        for loc in p.locs.nonatomic() {
+            let l: LocPredicate = [loc].into_iter().collect();
+            let res = check_local_drf(&p.locs, p.initial_machine(), &l, ExploreConfig::default());
+            prop_assert!(res.is_ok(), "{:?}", res.err());
+        }
+    }
+
+    /// Theorem 14 on random programs.
+    #[test]
+    fn random_programs_global_drf(p in small_program()) {
+        let res = check_global_drf(&p.locs, p.initial_machine(), ExploreConfig::default());
+        prop_assert!(res.is_ok(), "{:?}", res.err());
+    }
+}
