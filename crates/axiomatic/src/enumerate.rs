@@ -4,7 +4,9 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use bdrst_core::engine::parallel_map;
 use bdrst_core::loc::Val;
 use bdrst_core::relation::Relation;
 use bdrst_lang::{Observation, Program};
@@ -23,7 +25,10 @@ pub struct EnumLimits {
 
 impl Default for EnumLimits {
     fn default() -> EnumLimits {
-        EnumLimits { gen: GenLimits::default(), max_candidates: 10_000_000 }
+        EnumLimits {
+            gen: GenLimits::default(),
+            max_candidates: 10_000_000,
+        }
     }
 }
 
@@ -81,7 +86,10 @@ impl ProgramExecution {
                 base.events[co_max].value()
             })
             .collect();
-        Observation { regs: self.final_regs.clone(), memory }
+        Observation {
+            regs: self.final_regs.clone(),
+            memory,
+        }
     }
 }
 
@@ -99,32 +107,59 @@ pub fn for_each_candidate(
     mut visit: impl FnMut(&ProgramExecution),
 ) -> Result<(), EnumError> {
     let generated = generate(program, limits.gen)?;
-    let mut budget = limits.max_candidates;
-    let mut choice = vec![0usize; generated.per_thread.len()];
+    let budget = AtomicUsize::new(limits.max_candidates);
+    stream_candidates(program, &generated.per_thread, &mut visit, &budget)
+}
+
+/// Streams every alternative combination through the odometer, invoking
+/// `visit` per candidate — the sequential backend shared by
+/// [`for_each_candidate`] and the large-cross-product fallback of
+/// [`consistent_executions`].
+fn stream_candidates(
+    program: &Program,
+    per_thread: &[Vec<ThreadAlternative>],
+    visit: &mut impl FnMut(&ProgramExecution),
+    budget: &AtomicUsize,
+) -> Result<(), EnumError> {
+    let mut choice = vec![0usize; per_thread.len()];
     loop {
         let alts: Vec<&ThreadAlternative> = choice
             .iter()
-            .zip(&generated.per_thread)
+            .zip(per_thread)
             .map(|(&c, alts)| &alts[c])
             .collect();
-        enumerate_for_alternative(program, &alts, &mut visit, &mut budget)?;
-        // Next combination (odometer).
-        let mut i = 0;
-        loop {
-            if i == choice.len() {
-                return Ok(());
-            }
-            choice[i] += 1;
-            if choice[i] < generated.per_thread[i].len() {
-                break;
-            }
-            choice[i] = 0;
-            i += 1;
+        enumerate_for_alternative(program, &alts, visit, budget)?;
+        if !advance_odometer(&mut choice, per_thread) {
+            return Ok(());
         }
     }
 }
 
+/// Advances the per-thread alternative odometer in place; false on wrap.
+fn advance_odometer(choice: &mut [usize], per_thread: &[Vec<ThreadAlternative>]) -> bool {
+    for (i, slot) in choice.iter_mut().enumerate() {
+        *slot += 1;
+        if *slot < per_thread[i].len() {
+            return true;
+        }
+        *slot = 0;
+    }
+    false
+}
+
+/// Materializing the combination list (for parallel sharding) is only
+/// worthwhile — and only safe, memory-wise — for modest counts; beyond
+/// this the enumeration streams sequentially like [`for_each_candidate`].
+const COMBO_SHARD_CAP: usize = 4096;
+
 /// Enumerates every *consistent* execution of `program`.
+///
+/// Thread-alternative combinations are independent search trees, so when
+/// there are several (but not pathologically many) they are sharded
+/// across the core engine's [`parallel_map`], one shard per combination,
+/// with the candidate budget shared atomically across shards. A single
+/// combination, or a cross product too large to materialize, streams
+/// through the sequential odometer instead.
 ///
 /// # Errors
 ///
@@ -133,12 +168,61 @@ pub fn consistent_executions(
     program: &Program,
     limits: EnumLimits,
 ) -> Result<Vec<ProgramExecution>, EnumError> {
-    let mut out = Vec::new();
-    for_each_candidate(program, limits, |pe| {
-        if pe.exec.is_consistent() {
-            out.push(pe.clone());
+    let generated = generate(program, limits.gen)?;
+    let combo_count = generated
+        .per_thread
+        .iter()
+        .try_fold(1usize, |acc, alts| acc.checked_mul(alts.len().max(1)))
+        .filter(|&n| n <= COMBO_SHARD_CAP);
+    let budget = AtomicUsize::new(limits.max_candidates);
+    let Some(combo_count) = combo_count else {
+        // Too many combinations to materialize: stream them.
+        let mut out = Vec::new();
+        stream_candidates(
+            program,
+            &generated.per_thread,
+            &mut |pe: &ProgramExecution| {
+                if pe.exec.is_consistent() {
+                    out.push(pe.clone());
+                }
+            },
+            &budget,
+        )?;
+        return Ok(out);
+    };
+
+    let mut combos = Vec::with_capacity(combo_count);
+    let mut choice = vec![0usize; generated.per_thread.len()];
+    loop {
+        combos.push(choice.clone());
+        if !advance_odometer(&mut choice, &generated.per_thread) {
+            break;
         }
-    })?;
+    }
+
+    let shards: Vec<Result<Vec<ProgramExecution>, EnumError>> = parallel_map(&combos, |choice| {
+        let alts: Vec<&ThreadAlternative> = choice
+            .iter()
+            .zip(&generated.per_thread)
+            .map(|(&c, alts)| &alts[c])
+            .collect();
+        let mut found = Vec::new();
+        enumerate_for_alternative(
+            program,
+            &alts,
+            &mut |pe: &ProgramExecution| {
+                if pe.exec.is_consistent() {
+                    found.push(pe.clone());
+                }
+            },
+            &budget,
+        )?;
+        Ok(found)
+    });
+    let mut out = Vec::new();
+    for shard in shards {
+        out.extend(shard?);
+    }
     Ok(out)
 }
 
@@ -146,7 +230,7 @@ fn enumerate_for_alternative(
     program: &Program,
     alts: &[&ThreadAlternative],
     visit: &mut impl FnMut(&ProgramExecution),
-    budget: &mut usize,
+    budget: &AtomicUsize,
 ) -> Result<(), EnumError> {
     let base = EventSet::new(
         program.locs.clone(),
@@ -188,10 +272,14 @@ fn enumerate_for_alternative(
     loop {
         let mut co_idx = vec![0usize; co_choices.len()];
         loop {
-            if *budget == 0 {
+            // Saturating take: never wraps below zero, even when several
+            // parallel shards hit exhaustion at once.
+            let taken = budget
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                .is_ok();
+            if !taken {
                 return Err(EnumError::TooManyCandidates);
             }
-            *budget -= 1;
 
             let mut rf = Relation::new(base.len());
             for (k, &r) in reads.iter().enumerate() {
@@ -208,9 +296,16 @@ fn enumerate_for_alternative(
                     }
                 }
             }
-            let cand = CandidateExecution { base: base.clone(), rf, co };
+            let cand = CandidateExecution {
+                base: base.clone(),
+                rf,
+                co,
+            };
             debug_assert!(cand.validate().is_ok(), "{:?}", cand.validate());
-            visit(&ProgramExecution { exec: cand, final_regs: final_regs.clone() });
+            visit(&ProgramExecution {
+                exec: cand,
+                final_regs: final_regs.clone(),
+            });
 
             if !advance(&mut co_idx, |i| co_choices[i].len()) {
                 break;
@@ -224,12 +319,12 @@ fn enumerate_for_alternative(
 
 /// Odometer increment; returns false when the odometer wraps to all-zero.
 fn advance(idx: &mut [usize], len_of: impl Fn(usize) -> usize) -> bool {
-    for i in 0..idx.len() {
-        idx[i] += 1;
-        if idx[i] < len_of(i) {
+    for (i, slot) in idx.iter_mut().enumerate() {
+        *slot += 1;
+        if *slot < len_of(i) {
             return true;
         }
-        idx[i] = 0;
+        *slot = 0;
     }
     false
 }
@@ -277,7 +372,7 @@ pub fn observable(
     limits: EnumLimits,
     mut pred: impl FnMut(&Observation) -> bool,
 ) -> Result<bool, EnumError> {
-    Ok(axiomatic_outcomes(program, limits)?.iter().any(|o| pred(o)))
+    Ok(axiomatic_outcomes(program, limits)?.iter().any(&mut pred))
 }
 
 #[cfg(test)]
@@ -354,8 +449,10 @@ mod tests {
         let p = Program::parse(src).unwrap();
         let a = p.locs.by_name("a").unwrap();
         assert_eq!(p.locs.kind(a), LocKind::Nonatomic);
-        let finals: BTreeSet<i64> =
-            outcomes(src).iter().map(|o| o.memory(a).unwrap().0).collect();
+        let finals: BTreeSet<i64> = outcomes(src)
+            .iter()
+            .map(|o| o.memory(a).unwrap().0)
+            .collect();
         assert_eq!(finals, [1, 2].into_iter().collect());
     }
 

@@ -12,11 +12,14 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use bdrst_core::explore::{for_each_trace, BudgetExceeded, ExploreConfig, Visit};
+use bdrst_core::engine::{Control, EngineError, TraceEngine, TraceVisitor};
+use bdrst_core::explore::ExploreConfig;
 use bdrst_core::loc::{Action, LocKind, LocSet};
-use bdrst_core::machine::TransitionLabel;
+use bdrst_core::machine::{Transition, TransitionLabel};
 use bdrst_core::relation::Relation;
 use bdrst_core::timestamp::Timestamp;
+use bdrst_core::trace::TraceLabels;
+use bdrst_lang::ThreadState;
 use bdrst_lang::{Observation, Program};
 
 use crate::enumerate::{axiomatic_outcomes, EnumError, EnumLimits};
@@ -39,7 +42,11 @@ use crate::exec::{CandidateExecution, EventSet};
 pub fn execution_of_trace(locs: &LocSet, labels: &[TransitionLabel]) -> CandidateExecution {
     // Group memory operations by thread, remembering trace positions.
     let mem: Vec<&TransitionLabel> = labels.iter().filter(|l| l.action.is_some()).collect();
-    let max_thread = mem.iter().map(|l| l.thread.index()).max().map_or(0, |m| m + 1);
+    let max_thread = mem
+        .iter()
+        .map(|l| l.thread.index())
+        .max()
+        .map_or(0, |m| m + 1);
     let mut per_thread: Vec<Vec<(bdrst_core::loc::Loc, Action)>> = vec![Vec::new(); max_thread];
     // trace (memory) position -> event index
     let mut event_of: Vec<usize> = Vec::with_capacity(mem.len());
@@ -79,9 +86,8 @@ pub fn execution_of_trace(locs: &LocSet, labels: &[TransitionLabel]) -> Candidat
                     .enumerate()
                     .filter_map(|(pos, t)| {
                         let a = t.action.unwrap();
-                        (a.loc == l && a.action.is_write()).then(|| {
-                            (t.timestamp.expect("NA write has timestamp"), event_of[pos])
-                        })
+                        (a.loc == l && a.action.is_write())
+                            .then(|| (t.timestamp.expect("NA write has timestamp"), event_of[pos]))
                     })
                     .collect();
                 writes.sort();
@@ -152,7 +158,12 @@ pub struct SoundnessViolation {
 
 impl fmt::Display for SoundnessViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "theorem 15 violated ({}); trace has {} steps", self.reason, self.trace.len())
+        write!(
+            f,
+            "theorem 15 violated ({}); trace has {} steps",
+            self.reason,
+            self.trace.len()
+        )
     }
 }
 
@@ -161,20 +172,47 @@ impl fmt::Display for SoundnessViolation {
 pub enum SoundnessError {
     /// A counterexample was found (impossible for the paper's semantics).
     Violation(Box<SoundnessViolation>),
-    /// The exploration budget was exhausted.
-    Budget(BudgetExceeded),
+    /// The exploration engine failed (budget exhaustion or corruption).
+    Engine(EngineError),
 }
 
 impl fmt::Display for SoundnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SoundnessError::Violation(v) => write!(f, "{v}"),
-            SoundnessError::Budget(b) => write!(f, "{b}"),
+            SoundnessError::Engine(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for SoundnessError {}
+
+/// Visitor for Theorem 15: maps every trace prefix through `|Σ|` and
+/// checks the induced execution is well-formed and consistent.
+struct SoundnessVisitor<'a> {
+    locs: &'a LocSet,
+    checked: usize,
+    violation: Option<SoundnessViolation>,
+}
+
+impl TraceVisitor<ThreadState> for SoundnessVisitor<'_> {
+    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<ThreadState>) -> Control {
+        self.checked += 1;
+        let exec = execution_of_trace(self.locs, trace.labels());
+        let reason = match exec.validate() {
+            Err(e) => Some(format!("ill-formed: {e}")),
+            Ok(()) => (!exec.is_consistent()).then(|| "inconsistent".to_string()),
+        };
+        if let Some(reason) = reason {
+            self.violation = Some(SoundnessViolation {
+                trace: trace.labels().to_vec(),
+                reason,
+            });
+            return Control::Stop;
+        }
+        Control::Continue
+    }
+}
 
 /// Verifies Theorem 15 on `program`: the induced execution of every trace
 /// prefix is a consistent execution. Returns the number of trace prefixes
@@ -183,40 +221,20 @@ impl std::error::Error for SoundnessError {}
 /// # Errors
 ///
 /// Returns [`SoundnessError::Violation`] with the first bad trace, or
-/// [`SoundnessError::Budget`] on exhaustion.
-pub fn check_soundness(
-    program: &Program,
-    config: ExploreConfig,
-) -> Result<usize, SoundnessError> {
+/// [`SoundnessError::Engine`] on exhaustion.
+pub fn check_soundness(program: &Program, config: ExploreConfig) -> Result<usize, SoundnessError> {
     let locs = &program.locs;
-    let mut checked = 0usize;
-    let mut violation: Option<SoundnessViolation> = None;
-    for_each_trace(
+    let mut visitor = SoundnessVisitor {
         locs,
-        program.initial_machine(),
-        config,
-        |_| true,
-        |trace, _t| {
-            checked += 1;
-            let exec = execution_of_trace(locs, trace.labels());
-            let reason = match exec.validate() {
-                Err(e) => Some(format!("ill-formed: {e}")),
-                Ok(()) => (!exec.is_consistent()).then(|| "inconsistent".to_string()),
-            };
-            if let Some(reason) = reason {
-                violation = Some(SoundnessViolation {
-                    trace: trace.labels().to_vec(),
-                    reason,
-                });
-                return Visit::Stop;
-            }
-            Visit::Continue
-        },
-    )
-    .map_err(SoundnessError::Budget)?;
-    match violation {
+        checked: 0,
+        violation: None,
+    };
+    TraceEngine::new(config)
+        .explore(locs, program.initial_machine(), &mut visitor)
+        .map_err(SoundnessError::Engine)?;
+    match visitor.violation {
         Some(v) => Err(SoundnessError::Violation(Box::new(v))),
-        None => Ok(checked),
+        None => Ok(visitor.checked),
     }
 }
 
@@ -251,8 +269,8 @@ impl EquivalenceReport {
 /// Errors of [`check_equivalence`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum EquivalenceError {
-    /// Operational exploration ran out of budget.
-    Operational(BudgetExceeded),
+    /// Operational exploration failed in the engine.
+    Operational(EngineError),
     /// Axiomatic enumeration failed.
     Axiomatic(EnumError),
 }
@@ -260,7 +278,7 @@ pub enum EquivalenceError {
 impl fmt::Display for EquivalenceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EquivalenceError::Operational(b) => write!(f, "operational: {b}"),
+            EquivalenceError::Operational(e) => write!(f, "operational: {e}"),
             EquivalenceError::Axiomatic(e) => write!(f, "axiomatic: {e}"),
         }
     }
@@ -284,9 +302,11 @@ pub fn check_equivalence(
         .map_err(EquivalenceError::Operational)?
         .set()
         .clone();
-    let axiomatic =
-        axiomatic_outcomes(program, limits).map_err(EquivalenceError::Axiomatic)?;
-    Ok(EquivalenceReport { operational, axiomatic })
+    let axiomatic = axiomatic_outcomes(program, limits).map_err(EquivalenceError::Axiomatic)?;
+    Ok(EquivalenceReport {
+        operational,
+        axiomatic,
+    })
 }
 
 #[cfg(test)]

@@ -41,7 +41,11 @@ pub struct Event {
 impl Event {
     /// The initial-write event for a location.
     pub fn initial(loc: Loc) -> Event {
-        Event { id: EventId::Init(loc), loc, action: Action::Write(Val::INIT) }
+        Event {
+            id: EventId::Init(loc),
+            loc,
+            action: Action::Write(Val::INIT),
+        }
     }
 
     /// True for initial writes `IWℓ`.

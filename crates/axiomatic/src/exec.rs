@@ -127,7 +127,10 @@ impl CandidateExecution {
         let err = |m: String| Err(WellformednessError(m));
         for (w, r) in self.rf.iter() {
             if !ev[w].is_write() || !ev[r].is_read() {
-                return err(format!("rf must relate writes to reads: {} rf {}", ev[w], ev[r]));
+                return err(format!(
+                    "rf must relate writes to reads: {} rf {}",
+                    ev[w], ev[r]
+                ));
             }
             if ev[w].loc != ev[r].loc || ev[w].value() != ev[r].value() {
                 return err(format!("rf endpoints disagree: {} rf {}", ev[w], ev[r]));
@@ -136,12 +139,18 @@ impl CandidateExecution {
         for r in self.base.reads() {
             let sources = (0..ev.len()).filter(|w| self.rf.contains(*w, r)).count();
             if sources != 1 {
-                return err(format!("read {} has {} rf-sources (need 1)", ev[r], sources));
+                return err(format!(
+                    "read {} has {} rf-sources (need 1)",
+                    ev[r], sources
+                ));
             }
         }
         for (a, b) in self.co.iter() {
             if !ev[a].is_write() || !ev[b].is_write() || ev[a].loc != ev[b].loc {
-                return err(format!("co must relate same-location writes: {} co {}", ev[a], ev[b]));
+                return err(format!(
+                    "co must relate same-location writes: {} co {}",
+                    ev[a], ev[b]
+                ));
             }
         }
         if !self.co.is_irreflexive() {
@@ -456,13 +465,21 @@ mod tests {
         // Events: 0=IWa, 1=Wa1, 2=Wa2
         let rf = Relation::new(base.len());
         let bad_co = Relation::from_edges(base.len(), [(0, 1), (0, 2), (2, 1)]);
-        let e = CandidateExecution { base: base.clone(), rf: rf.clone(), co: bad_co };
+        let e = CandidateExecution {
+            base: base.clone(),
+            rf: rf.clone(),
+            co: bad_co,
+        };
         e.validate().unwrap();
         assert!(!e.coww_holds());
         assert!(!e.is_consistent());
         assert!(!e.is_consistent_alt());
         let good_co = Relation::from_edges(base.len(), [(0, 1), (0, 2), (1, 2)]);
-        let e = CandidateExecution { base, rf, co: good_co };
+        let e = CandidateExecution {
+            base,
+            rf,
+            co: good_co,
+        };
         assert!(e.is_consistent());
     }
 

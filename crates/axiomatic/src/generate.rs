@@ -26,7 +26,10 @@ pub struct GenLimits {
 
 impl Default for GenLimits {
     fn default() -> GenLimits {
-        GenLimits { max_alternatives: 100_000, max_domain_iterations: 8 }
+        GenLimits {
+            max_alternatives: 100_000,
+            max_domain_iterations: 8,
+        }
     }
 }
 
@@ -94,8 +97,7 @@ impl Generated {
 /// domains diverge.
 pub fn generate(program: &Program, limits: GenLimits) -> Result<Generated, GenError> {
     let nlocs = program.locs.len();
-    let mut domains: Vec<BTreeSet<Val>> =
-        vec![[Val::INIT].into_iter().collect(); nlocs];
+    let mut domains: Vec<BTreeSet<Val>> = vec![[Val::INIT].into_iter().collect(); nlocs];
     for _ in 0..limits.max_domain_iterations {
         let per_thread = generate_with_domains(program, &domains, limits)?;
         let mut next = domains.clone();
@@ -109,7 +111,10 @@ pub fn generate(program: &Program, limits: GenLimits) -> Result<Generated, GenEr
             }
         }
         if next == domains {
-            return Ok(Generated { domains, per_thread });
+            return Ok(Generated {
+                domains,
+                per_thread,
+            });
         }
         domains = next;
     }
@@ -184,10 +189,7 @@ mod tests {
 
     #[test]
     fn reader_branches_over_domain() {
-        let p = Program::parse(
-            "nonatomic a; thread P0 { a = 1; } thread P1 { r0 = a; }",
-        )
-        .unwrap();
+        let p = Program::parse("nonatomic a; thread P0 { a = 1; } thread P1 { r0 = a; }").unwrap();
         let g = generate(&p, GenLimits::default()).unwrap();
         // Reader: one alternative per domain value {0, 1}.
         assert_eq!(g.per_thread[1].len(), 2);
@@ -197,10 +199,8 @@ mod tests {
     #[test]
     fn data_dependent_store_reaches_fixpoint() {
         // b's domain must include values copied from a.
-        let p = Program::parse(
-            "nonatomic a b; thread P0 { a = 1; } thread P1 { r0 = a; b = r0; }",
-        )
-        .unwrap();
+        let p = Program::parse("nonatomic a b; thread P0 { a = 1; } thread P1 { r0 = a; b = r0; }")
+            .unwrap();
         let g = generate(&p, GenLimits::default()).unwrap();
         let db: Vec<i64> = g.domains[1].iter().map(|v| v.0).collect();
         assert_eq!(db, vec![0, 1]);
@@ -215,8 +215,7 @@ mod tests {
         )
         .unwrap();
         let g = generate(&p, GenLimits::default()).unwrap();
-        let lens: BTreeSet<usize> =
-            g.per_thread[1].iter().map(|a| a.actions.len()).collect();
+        let lens: BTreeSet<usize> = g.per_thread[1].iter().map(|a| a.actions.len()).collect();
         // Read-only (r0 = 0) vs read+write (r0 = 1).
         assert_eq!(lens, [1, 2].into_iter().collect());
     }
@@ -225,7 +224,10 @@ mod tests {
     fn diverging_counter_detected() {
         // a = a + 1: each fixpoint round adds a new writable value.
         let p = Program::parse("nonatomic a; thread P0 { r0 = a; a = r0 + 1; }").unwrap();
-        assert_eq!(generate(&p, GenLimits::default()), Err(GenError::DomainDiverged));
+        assert_eq!(
+            generate(&p, GenLimits::default()),
+            Err(GenError::DomainDiverged)
+        );
     }
 
     #[test]
@@ -238,7 +240,10 @@ mod tests {
              thread P1 { c = 1; }",
         )
         .unwrap();
-        let tight = GenLimits { max_alternatives: 1000, ..GenLimits::default() };
+        let tight = GenLimits {
+            max_alternatives: 1000,
+            ..GenLimits::default()
+        };
         assert!(matches!(
             generate(&p, tight),
             Err(GenError::TooManyAlternatives { .. }) | Err(GenError::DomainDiverged)

@@ -36,8 +36,8 @@ pub use enumerate::{
     EnumLimits, ProgramExecution,
 };
 pub use equiv::{
-    check_equivalence, check_soundness, execution_of_trace, EquivalenceError,
-    EquivalenceReport, SoundnessError, SoundnessViolation,
+    check_equivalence, check_soundness, execution_of_trace, EquivalenceError, EquivalenceReport,
+    SoundnessError, SoundnessViolation,
 };
 pub use event::{Event, EventId};
 pub use exec::{CandidateExecution, EventSet, WellformednessError};

@@ -1,0 +1,64 @@
+//! Criterion benches for the exploration engine: sequential vs parallel
+//! corpus sweeps (the multi-test workload the engine refactor targets),
+//! and per-strategy single-test exploration probes.
+//!
+//! `cargo bench --bench engine`. The committed baseline lives in
+//! `baselines/engine_baseline.json` (regenerate with the
+//! `engine_baseline` binary) so later PRs have a perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bdrst_core::engine::Strategy;
+use bdrst_core::explore::ExploreConfig;
+use bdrst_lang::Program;
+use bdrst_litmus::corpus;
+use bdrst_litmus::runner::{corpus_passes, run_corpus, run_corpus_sharded, RunConfig};
+
+fn bench_corpus_sequential(c: &mut Criterion) {
+    c.bench_function("corpus_sweep_sequential", |b| {
+        b.iter(|| {
+            let entries = run_corpus(RunConfig::default());
+            assert!(corpus_passes(&entries));
+            black_box(entries.len())
+        })
+    });
+}
+
+fn bench_corpus_parallel(c: &mut Criterion) {
+    c.bench_function("corpus_sweep_parallel", |b| {
+        b.iter(|| {
+            let entries = run_corpus_sharded(RunConfig::default(), 0);
+            assert!(corpus_passes(&entries));
+            black_box(entries.len())
+        })
+    });
+}
+
+fn bench_single_test_strategies(c: &mut Criterion) {
+    // IRIW (4 threads) has the largest state space in the corpus: the
+    // most interesting single-test probe for engine comparisons.
+    let p = Program::parse(corpus::IRIW_AT.source).unwrap();
+    for (name, strategy) in [
+        ("explore_iriw_dfs", Strategy::Dfs),
+        ("explore_iriw_bfs", Strategy::Bfs),
+        ("explore_iriw_parallel", Strategy::Parallel),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    p.outcomes_with(ExploreConfig::default(), strategy)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(
+    name = engine;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_corpus_sequential, bench_corpus_parallel, bench_single_test_strategies
+);
+criterion_main!(engine);

@@ -1,0 +1,94 @@
+//! Records the engine performance baseline as JSON.
+//!
+//! Measures the litmus corpus sweep under the sequential and parallel
+//! engines (plus single-test strategy probes on IRIW) and writes
+//! `crates/bench/baselines/engine_baseline.json` — the perf trajectory
+//! anchor for later PRs. Run from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p bdrst-bench --bin engine_baseline
+//! ```
+
+use std::time::Instant;
+
+use bdrst_core::engine::Strategy;
+use bdrst_core::explore::ExploreConfig;
+use bdrst_lang::Program;
+use bdrst_litmus::corpus;
+use bdrst_litmus::runner::{corpus_passes, run_corpus, run_corpus_sharded, RunConfig};
+
+const SAMPLES: usize = 10;
+
+/// Mean seconds over [`SAMPLES`] runs of `f` (after one warm-up).
+fn measure(mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        f();
+    }
+    start.elapsed().as_secs_f64() / SAMPLES as f64
+}
+
+fn main() {
+    let seq = measure(|| {
+        assert!(corpus_passes(&run_corpus(RunConfig::default())));
+    });
+    let par = measure(|| {
+        assert!(corpus_passes(&run_corpus_sharded(RunConfig::default(), 0)));
+    });
+
+    let iriw = Program::parse(corpus::IRIW_AT.source).unwrap();
+    let probe = |strategy: Strategy| {
+        measure(|| {
+            iriw.outcomes_with(ExploreConfig::default(), strategy)
+                .unwrap();
+        })
+    };
+    let dfs = probe(Strategy::Dfs);
+    let bfs = probe(Strategy::Bfs);
+    let parallel = probe(Strategy::Parallel);
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        r#"{{
+  "schema": "bdrst-engine-baseline/v1",
+  "samples": {SAMPLES},
+  "threads_available": {threads},
+  "corpus_sweep_sequential_s": {seq:.6},
+  "corpus_sweep_parallel_s": {par:.6},
+  "corpus_sweep_speedup": {speedup:.3},
+  "explore_iriw_dfs_s": {dfs:.6},
+  "explore_iriw_bfs_s": {bfs:.6},
+  "explore_iriw_parallel_s": {parallel:.6}
+}}
+"#,
+        speedup = seq / par,
+    );
+    print!("{json}");
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/engine_baseline.json");
+    std::fs::write(&out, json).expect("write baseline");
+    eprintln!("wrote {}", out.display());
+    // On a single-core host parallel_map degenerates to the sequential
+    // loop, so a wall-clock win is impossible. On multi-core hosts wall
+    // clock is still noisy (shared CI runners), so by default a slower
+    // parallel sweep is reported as a warning; set
+    // ENGINE_BASELINE_ENFORCE=1 to turn it into a hard failure.
+    if threads <= 1 {
+        eprintln!("single-core host: skipping parallel-beats-sequential check");
+    } else if par < seq {
+        eprintln!(
+            "parallel sweep beats sequential ({:.2}x) on {threads} cores",
+            seq / par
+        );
+    } else if std::env::var_os("ENGINE_BASELINE_ENFORCE").is_some() {
+        panic!(
+            "parallel corpus sweep ({par:.4}s) should beat sequential ({seq:.4}s) on {threads} cores"
+        );
+    } else {
+        eprintln!(
+            "WARNING: parallel sweep ({par:.4}s) did not beat sequential ({seq:.4}s) on \
+             {threads} cores (noise? set ENGINE_BASELINE_ENFORCE=1 to make this fatal)"
+        );
+    }
+}

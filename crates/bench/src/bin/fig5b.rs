@@ -1,7 +1,10 @@
 //! Regenerates Fig. 5b: normalised time on AArch64 for BAL/FBS/SRA.
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000);
     let fig = bdrst_sim::figure5b(n);
     println!("Figure 5b ({n} accesses per run)");
     print!("{}", bdrst_sim::format_figure5(&fig));

@@ -1,7 +1,10 @@
 //! Regenerates Fig. 5c: normalised time on 64-bit PowerPC for BAL/FBS/SRA.
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000);
     let fig = bdrst_sim::figure5c(n);
     println!("Figure 5c ({n} accesses per run)");
     print!("{}", bdrst_sim::format_figure5(&fig));

@@ -20,6 +20,13 @@ fn main() {
     }
     print!("{}", format_reports(&reports));
     println!();
-    println!("corpus verdict: {}", if ok { "ALL MATCH THE MODEL" } else { "MISMATCHES FOUND" });
+    println!(
+        "corpus verdict: {}",
+        if ok {
+            "ALL MATCH THE MODEL"
+        } else {
+            "MISMATCHES FOUND"
+        }
+    );
     std::process::exit(if ok { 0 } else { 1 });
 }

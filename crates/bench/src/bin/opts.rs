@@ -7,10 +7,8 @@ use bdrst_opt::passes;
 fn main() {
     println!("§7.1 — compiler optimisations under the local-DRF model\n");
 
-    let cse = Program::parse(
-        "nonatomic a b; thread P0 { r1 = a * 2; r2 = b; r3 = a * 2; }",
-    )
-    .unwrap();
+    let cse =
+        Program::parse("nonatomic a b; thread P0 { r1 = a * 2; r2 = b; r3 = a * 2; }").unwrap();
     println!(
         "CSE                      [r1=a*2; r2=b; r3=a*2]   {}",
         verdict(passes::cse_loads(&cse.locs, &cse.threads[0].body).is_some())
@@ -32,16 +30,17 @@ fn main() {
         "nonatomic a c; thread P0 { while (k < 3) { a = k; r1 = c + 1; k = k + 1; } }",
     )
     .unwrap();
-    let w = licm.threads[0].body.iter().find(|s| matches!(s, bdrst_lang::Stmt::While(..))).unwrap();
+    let w = licm.threads[0]
+        .body
+        .iter()
+        .find(|s| matches!(s, bdrst_lang::Stmt::While(..)))
+        .unwrap();
     println!(
         "LICM                     [while {{ …; r1=c+1 }}]     {}",
         verdict(passes::hoist_loop_invariant_load(&licm.locs, w).is_some())
     );
 
-    let seq = Program::parse(
-        "nonatomic a b; thread P0 { a = 1; } thread P1 { b = 1; }",
-    )
-    .unwrap();
+    let seq = Program::parse("nonatomic a b; thread P0 { a = 1; } thread P1 { b = 1; }").unwrap();
     let merged = passes::sequentialise(&seq, 0, 1);
     println!(
         "Sequentialisation        [P ∥ Q] ⇒ [P; Q]          {}",
@@ -56,5 +55,9 @@ fn main() {
 }
 
 fn verdict(ok: bool) -> &'static str {
-    if ok { "VALID (derivation found)" } else { "rejected" }
+    if ok {
+        "VALID (derivation found)"
+    } else {
+        "rejected"
+    }
 }

@@ -14,7 +14,10 @@ fn main() {
         let p = Program::parse(t.source).unwrap();
         println!("{p}");
         let outcomes = p.outcomes(ExploreConfig::default()).unwrap();
-        println!("{} distinct outcomes under the operational model", outcomes.len());
+        println!(
+            "{} distinct outcomes under the operational model",
+            outcomes.len()
+        );
         match check_global_drf(&p.locs, p.initial_machine(), ExploreConfig::default()) {
             Ok(DrfStatus::RaceFree) => println!("program is data-race-free (Thm 14 applies)"),
             Ok(DrfStatus::Racy(w)) => println!(

@@ -16,25 +16,38 @@ fn main() {
         ("ARM naive (unsound)", Target::Arm(NAIVE)),
         ("ARM stlr-SC (§9.2, unsound)", Target::Arm(STLR_SC)),
     ];
-    println!("{:<30} {:<10} {:>11} {:>7}", "target", "test", "candidates", "sound?");
+    println!(
+        "{:<30} {:<10} {:>11} {:>7}",
+        "target", "test", "candidates", "sound?"
+    );
     for (name, target) in targets {
         let mut all_sound = true;
         for t in all_tests() {
             let p = Program::parse(t.source).expect("corpus parses");
             match check_compilation(&p, target, EnumLimits::default()) {
                 Ok(SoundnessVerdict::Sound(stats)) => {
-                    println!("{name:<30} {:<10} {:>11} {:>7}", t.name, stats.candidates, "yes");
+                    println!(
+                        "{name:<30} {:<10} {:>11} {:>7}",
+                        t.name, stats.candidates, "yes"
+                    );
                 }
                 Ok(SoundnessVerdict::Unsound(u)) => {
                     all_sound = false;
-                    println!("{name:<30} {:<10} {:>11} {:>7}", t.name, u.stats.candidates, "NO");
+                    println!(
+                        "{name:<30} {:<10} {:>11} {:>7}",
+                        t.name, u.stats.candidates, "NO"
+                    );
                 }
                 Err(e) => println!("{name:<30} {:<10} error: {e}", t.name),
             }
         }
         println!(
             "  => {name}: {}",
-            if all_sound { "sound on the whole corpus" } else { "UNSOUND (counterexample above)" }
+            if all_sound {
+                "sound on the whole corpus"
+            } else {
+                "UNSOUND (counterexample above)"
+            }
         );
         println!();
     }

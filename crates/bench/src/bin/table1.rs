@@ -4,7 +4,7 @@ use bdrst_hw::{x86_sequence, AccessKind};
 
 fn main() {
     println!("Table 1. Compilation to x86-TSO");
-    println!("{:<18} {}", "Operation", "Implementation");
+    println!("{:<18} Implementation", "Operation");
     for kind in AccessKind::ALL {
         let seq: Vec<String> = x86_sequence(kind).iter().map(|i| i.to_string()).collect();
         println!("{:<18} {}", kind.to_string(), seq.join("; "));

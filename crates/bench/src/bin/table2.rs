@@ -5,7 +5,7 @@ use bdrst_hw::{AccessKind, ArmMapping, BAL, FBS, SRA};
 
 fn print_scheme(title: &str, m: ArmMapping) {
     println!("{title}");
-    println!("{:<18} {}", "Operation", "Implementation");
+    println!("{:<18} Implementation", "Operation");
     for kind in AccessKind::ALL {
         let seq: Vec<String> = m.sequence(kind).iter().map(|i| i.to_string()).collect();
         println!("{:<18} {}", kind.to_string(), seq.join("; "));

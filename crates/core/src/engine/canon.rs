@@ -1,0 +1,152 @@
+//! Canonical (timestamp-renamed) machine forms.
+//!
+//! Two machines that differ only in the rational representatives of their
+//! timestamps are observationally identical: every run from either reaches
+//! the same outcomes. The engine therefore deduplicates machines by a
+//! *canonical form* in which each location's timestamps are replaced by
+//! their rank within the owning history.
+
+use std::hash::Hash;
+
+use crate::engine::EngineError;
+use crate::frontier::Frontier;
+use crate::loc::{LocKind, LocSet, Val};
+use crate::machine::{Expr, Machine};
+
+/// The canonical (timestamp-renamed) form of a location's contents.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum CanonLoc {
+    /// Nonatomic: history values in timestamp order.
+    Na(Vec<Val>),
+    /// Atomic: current value plus the location frontier as per-location ranks.
+    At(Val, Vec<u32>),
+}
+
+/// A machine up to timestamp renaming; hashable for dedup.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonState<E> {
+    store: Vec<CanonLoc>,
+    threads: Vec<(Vec<u32>, E)>,
+}
+
+/// Computes the canonical form of a machine: all timestamps are replaced by
+/// their rank within the owning location's history.
+///
+/// # Errors
+///
+/// Returns [`EngineError::CorruptFrontier`] if some frontier references a
+/// timestamp absent from the owning location's history — impossible for
+/// machines produced by the paper's rules, but reachable from broken
+/// semantics variants or hand-built machines.
+pub fn canonicalize<E: Expr>(locs: &LocSet, m: &Machine<E>) -> Result<CanonState<E>, EngineError> {
+    let rank_frontier = |f: &Frontier| -> Result<Vec<u32>, EngineError> {
+        locs.iter()
+            .map(|l| match locs.kind(l) {
+                LocKind::Nonatomic => {
+                    let t = f.get(l);
+                    match m.store.history(l).rank_of(t) {
+                        Some(rank) => Ok(rank as u32),
+                        None => Err(EngineError::CorruptFrontier {
+                            loc: l,
+                            timestamp: t,
+                        }),
+                    }
+                }
+                LocKind::Atomic => Ok(0),
+            })
+            .collect()
+    };
+    let store = locs
+        .iter()
+        .map(|l| match locs.kind(l) {
+            LocKind::Nonatomic => Ok(CanonLoc::Na(
+                m.store.history(l).iter().map(|(_, v)| v).collect(),
+            )),
+            LocKind::Atomic => {
+                let (f, v) = m.store.atomic(l);
+                Ok(CanonLoc::At(v, rank_frontier(f)?))
+            }
+        })
+        .collect::<Result<_, EngineError>>()?;
+    let threads = m
+        .threads
+        .iter()
+        .map(|t| Ok((rank_frontier(&t.frontier)?, t.expr.clone())))
+        .collect::<Result<_, EngineError>>()?;
+    Ok(CanonState { store, threads })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::machine::{RecordedExpr, StepLabel};
+    use crate::store::LocContents;
+    use crate::timestamp::{Ratio, Timestamp};
+
+    #[test]
+    fn corrupt_frontier_is_an_error_not_a_panic() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        let _ = f;
+        let p = RecordedExpr::new(vec![StepLabel::Read(a)]);
+        let mut m = Machine::initial(&locs, [p]);
+        // Corrupt thread 0's frontier: point it at a timestamp that is not
+        // in a's history.
+        let bogus = Timestamp(Ratio::from_integer(99));
+        m.threads[0].frontier.advance(a, bogus);
+        match canonicalize(&locs, &m) {
+            Err(EngineError::CorruptFrontier { loc, timestamp }) => {
+                assert_eq!(loc, a);
+                assert_eq!(timestamp, bogus);
+            }
+            other => panic!("expected CorruptFrontier, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_atomic_frontier_detected() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        let p = RecordedExpr::new(vec![StepLabel::Read(a)]);
+        let mut m = Machine::initial(&locs, [p]);
+        // Corrupt the atomic location's frontier instead of a thread's.
+        let bogus = Timestamp(Ratio::from_integer(7));
+        let (fr, v) = m.store.atomic(f);
+        let mut fr = fr.clone();
+        fr.advance(a, bogus);
+        m.store.update(
+            f,
+            LocContents::Atomic {
+                frontier: fr,
+                value: v,
+            },
+        );
+        assert!(matches!(
+            canonicalize(&locs, &m),
+            Err(EngineError::CorruptFrontier { loc, .. }) if loc == a
+        ));
+    }
+
+    #[test]
+    fn canonical_form_ignores_timestamp_representatives() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let p = RecordedExpr::new(vec![]);
+        let mk = |ts: &[i64]| {
+            let mut m = Machine::initial(&locs, [p.clone()]);
+            let mut h = History::initial(Val(0));
+            for (i, t) in ts.iter().enumerate() {
+                h.insert(Timestamp(Ratio::from_integer(*t)), Val(i as i64 + 1));
+            }
+            m.store.update(a, LocContents::Nonatomic(h));
+            m
+        };
+        // Same value sequence at different rationals: same canonical form.
+        let c1 = canonicalize(&locs, &mk(&[1, 2])).unwrap();
+        let c2 = canonicalize(&locs, &mk(&[3, 50])).unwrap();
+        assert_eq!(c1, c2);
+    }
+}

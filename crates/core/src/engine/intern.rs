@@ -1,0 +1,225 @@
+//! Canonical-state interning: hash once, store dense `u32` ids.
+//!
+//! The old explorer kept a `HashSet<CanonState>` and re-hashed every probe;
+//! the interner wraps each canonical state in [`Hashed`] (the 64-bit hash
+//! is computed exactly once, at admission) and maps it to a dense
+//! [`StateId`] in discovery order. Visitors receive ids, so downstream
+//! bookkeeping (terminal sets, parent maps, future sharding) can work with
+//! 4-byte handles instead of cloned machines.
+//!
+//! Two flavours share the same claim semantics:
+//!
+//! * [`StateInterner`] — single-threaded, used by the worklist engine;
+//! * [`SharedInterner`] — lock-striped across shards, used by the parallel
+//!   engine. `claim` admits each canonical state exactly once across all
+//!   threads, which is what makes parallel exploration outcome-equivalent
+//!   to sequential exploration.
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+/// A dense identifier for an interned canonical state, assigned in
+/// discovery order starting from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The id as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A value carrying its own precomputed hash.
+///
+/// Hashing a [`crate::engine::CanonState`] walks the whole store and every
+/// thread; `Hashed` does that walk exactly once. The hasher is
+/// [`DefaultHasher`] *with its default keys*, which is deterministic
+/// across processes and runs — a property the engine tests rely on.
+#[derive(Clone, Debug)]
+pub struct Hashed<T> {
+    hash: u64,
+    value: T,
+}
+
+impl<T: Hash> Hashed<T> {
+    /// Wraps `value`, computing its hash once.
+    pub fn new(value: T) -> Hashed<T> {
+        let mut h = DefaultHasher::new();
+        value.hash(&mut h);
+        Hashed {
+            hash: h.finish(),
+            value,
+        }
+    }
+
+    /// The precomputed 64-bit hash.
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+
+    /// The wrapped value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T: PartialEq> PartialEq for Hashed<T> {
+    fn eq(&self, other: &Hashed<T>) -> bool {
+        self.hash == other.hash && self.value == other.value
+    }
+}
+
+impl<T: Eq> Eq for Hashed<T> {}
+
+impl<T> Hash for Hashed<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Single-threaded interner: canonical form → dense [`StateId`].
+#[derive(Default)]
+pub struct StateInterner<T> {
+    map: HashMap<Hashed<T>, StateId>,
+}
+
+impl<T: Hash + Eq> StateInterner<T> {
+    /// An empty interner.
+    pub fn new() -> StateInterner<T> {
+        StateInterner {
+            map: HashMap::new(),
+        }
+    }
+
+    /// Interns `value`: returns its id and whether it was freshly admitted.
+    pub fn intern(&mut self, value: T) -> (StateId, bool) {
+        let next = StateId(self.map.len() as u32);
+        match self.map.entry(Hashed::new(value)) {
+            Entry::Occupied(e) => (*e.get(), false),
+            Entry::Vacant(v) => {
+                v.insert(next);
+                (next, true)
+            }
+        }
+    }
+
+    /// Number of distinct states admitted.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// Thread-safe interner, lock-striped over [`SHARDS`] shards selected by
+/// the precomputed hash. Ids remain globally unique and dense-ish (a
+/// single atomic counter), but their order depends on the race between
+/// claiming threads.
+pub struct SharedInterner<T> {
+    shards: Vec<Mutex<HashMap<Hashed<T>, StateId>>>,
+    next: AtomicU32,
+}
+
+impl<T: Hash + Eq> Default for SharedInterner<T> {
+    fn default() -> SharedInterner<T> {
+        SharedInterner::new()
+    }
+}
+
+impl<T: Hash + Eq> SharedInterner<T> {
+    /// An empty shared interner.
+    pub fn new() -> SharedInterner<T> {
+        SharedInterner {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            next: AtomicU32::new(0),
+        }
+    }
+
+    /// Attempts to claim `value`: returns `Some(id)` iff this call admitted
+    /// it (exactly one concurrent caller wins), `None` if it was already
+    /// interned.
+    pub fn claim(&self, value: T) -> Option<StateId> {
+        let hashed = Hashed::new(value);
+        let shard = (hashed.hash64() >> 60) as usize % SHARDS;
+        let mut map = self.shards[shard].lock().expect("interner shard poisoned");
+        match map.entry(hashed) {
+            Entry::Occupied(_) => None,
+            Entry::Vacant(v) => {
+                let id = StateId(self.next.fetch_add(1, Ordering::Relaxed));
+                v.insert(id);
+                Some(id)
+            }
+        }
+    }
+
+    /// Number of distinct states admitted so far.
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed) as usize
+    }
+
+    /// True if nothing has been claimed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = StateInterner::new();
+        let (a, fresh_a) = i.intern("alpha");
+        let (b, fresh_b) = i.intern("beta");
+        let (a2, fresh_a2) = i.intern("alpha");
+        assert!(fresh_a && fresh_b && !fresh_a2);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn hashed_hash_is_deterministic_across_constructions() {
+        let a = Hashed::new((1u32, vec![2u8, 3]));
+        let b = Hashed::new((1u32, vec![2u8, 3]));
+        assert_eq!(a.hash64(), b.hash64());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_claim_admits_each_value_exactly_once() {
+        let interner = SharedInterner::new();
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for v in 0..100u32 {
+                        if interner.claim(v).is_some() {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 100);
+        assert_eq!(interner.len(), 100);
+    }
+}

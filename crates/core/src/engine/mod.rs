@@ -1,0 +1,268 @@
+//! The pluggable exploration engine.
+//!
+//! Every workload in this repository — litmus sweeps, the DRF theorem
+//! checkers, optimizer validation, and the operational/axiomatic
+//! equivalence checks — bottoms out in exhaustive exploration of the
+//! operational semantics. This module is the shared substrate for all of
+//! them, replacing the ad-hoc recursive search that used to live in
+//! [`crate::explore`]:
+//!
+//! * **[`Explorer`]** — the pluggable state-space engine interface. A
+//!   caller hands an initial [`Machine`] and a [`StateVisitor`]; the
+//!   engine invokes the visitor exactly once per *canonical* state (up to
+//!   timestamp renaming) and lets it steer with [`Control`].
+//! * **[`WorklistEngine`]** ([`worklist`]) — the sequential engine: an
+//!   iterative explicit worklist (no recursion) with DFS or BFS
+//!   [`SearchOrder`] selection.
+//! * **[`ParallelEngine`]** ([`parallel`]) — level-synchronous parallel
+//!   frontier expansion over scoped threads, with work claimed from a
+//!   shared atomic cursor and states deduplicated through a sharded
+//!   lock-striped interner. Produces the same canonical state set as the
+//!   sequential engines (each state is claimed by exactly one worker).
+//! * **[`TraceEngine`]** ([`worklist`]) — iterative depth-first trace
+//!   enumeration for the trace-dependent checkers (data races and
+//!   happens-before are properties of traces, not states); drives a
+//!   [`TraceVisitor`].
+//! * **[`StateInterner`] / [`SharedInterner`]** ([`intern`]) — canonical
+//!   states are hashed exactly once ([`intern::Hashed`]) and stored
+//!   against dense `u32` [`StateId`]s instead of cloned machines.
+//! * **[`EngineError`]** — the structured error surface: budget
+//!   exhaustion and corrupted-frontier detection (formerly a panic in
+//!   `canonicalize`).
+//!
+//! The legacy helpers `reachable_terminals` / `reachable_states` /
+//! `for_each_trace` in [`crate::explore`] remain as thin wrappers over
+//! these engines.
+//!
+//! # Example: counting canonical states under each engine
+//!
+//! ```
+//! use bdrst_core::engine::{Control, EngineConfig, SearchOrder, StateId, WorklistEngine,
+//!                          Explorer, ParallelEngine};
+//! use bdrst_core::loc::{LocKind, LocSet, Val};
+//! use bdrst_core::machine::{Machine, RecordedExpr, StepLabel};
+//!
+//! let mut locs = LocSet::new();
+//! let a = locs.fresh("a", LocKind::Nonatomic);
+//! let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
+//! let p1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+//! let m0 = Machine::initial(&locs, [p0, p1]);
+//!
+//! let mut count = 0usize;
+//! let engine = WorklistEngine::new(EngineConfig::default(), SearchOrder::Bfs);
+//! engine.explore(&locs, m0.clone(), &mut |_m: &Machine<RecordedExpr>, _id: StateId| {
+//!     count += 1;
+//!     Control::Continue
+//! })?;
+//!
+//! let mut par_count = 0usize;
+//! let engine = ParallelEngine::new(EngineConfig::default());
+//! engine.explore(&locs, m0, &mut |_m: &Machine<RecordedExpr>, _id: StateId| {
+//!     par_count += 1;
+//!     Control::Continue
+//! })?;
+//! assert_eq!(count, par_count);
+//! # Ok::<(), bdrst_core::engine::EngineError>(())
+//! ```
+
+pub mod canon;
+pub mod intern;
+pub mod parallel;
+pub mod worklist;
+
+use std::fmt;
+
+use crate::loc::{Loc, LocSet};
+use crate::machine::{Expr, Machine, Transition};
+use crate::timestamp::Timestamp;
+use crate::trace::TraceLabels;
+
+pub use canon::{canonicalize, CanonState};
+pub use intern::{Hashed, SharedInterner, StateId, StateInterner};
+pub use parallel::{parallel_map, parallel_map_with, ParallelEngine};
+pub use worklist::{TraceEngine, WorklistEngine};
+
+/// Budgets for exploration. The defaults are generous for litmus-scale
+/// programs while guaranteeing termination on accidental state explosions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EngineConfig {
+    /// Maximum number of distinct canonical states to visit.
+    pub max_states: usize,
+    /// Maximum number of trace prefixes to enumerate in trace mode.
+    pub max_traces: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_states: 1_000_000,
+            max_traces: 10_000_000,
+        }
+    }
+}
+
+/// Statistics of a finished exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Distinct canonical states visited (state mode) or trace prefixes
+    /// enumerated (trace mode).
+    pub visited: usize,
+    /// Transitions examined.
+    pub transitions: usize,
+}
+
+/// The structured error surface of the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// The exploration exceeded its [`EngineConfig`] budget.
+    BudgetExceeded {
+        /// The number of states or traces visited before giving up.
+        visited: usize,
+    },
+    /// Canonicalization found a frontier timestamp that is absent from the
+    /// owning location's history: the machine state is corrupted (this is
+    /// unreachable from the paper's rules; it indicates a broken semantics
+    /// variant or a caller-constructed machine).
+    CorruptFrontier {
+        /// The nonatomic location whose history lacks the timestamp.
+        loc: Loc,
+        /// The dangling frontier timestamp.
+        timestamp: Timestamp,
+    },
+}
+
+impl EngineError {
+    /// Convenience constructor for budget exhaustion.
+    pub fn budget(visited: usize) -> EngineError {
+        EngineError::BudgetExceeded { visited }
+    }
+
+    /// True if this error is budget exhaustion (as opposed to corruption).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, EngineError::BudgetExceeded { .. })
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BudgetExceeded { visited } => {
+                write!(f, "exploration budget exceeded after {visited} items")
+            }
+            EngineError::CorruptFrontier { loc, timestamp } => {
+                write!(
+                    f,
+                    "corrupt frontier: timestamp {timestamp} for {loc} is not in its history"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// What a visitor asks the engine to do after seeing a state or trace
+/// extension.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Control {
+    /// Keep going (expand this state / extend this trace).
+    Continue,
+    /// Do not expand this state (or extend this trace), but keep exploring
+    /// the rest of the space.
+    Prune,
+    /// Abort the whole exploration. The engine returns `Ok` with the
+    /// statistics gathered so far.
+    Stop,
+}
+
+/// The search order of the sequential [`WorklistEngine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SearchOrder {
+    /// Depth-first: the worklist is a stack.
+    #[default]
+    Dfs,
+    /// Breadth-first: the worklist is a queue.
+    Bfs,
+}
+
+/// Which engine to run. This is the user-facing strategy knob threaded
+/// through the litmus runner and `Program::outcomes_with`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Sequential depth-first worklist.
+    #[default]
+    Dfs,
+    /// Sequential breadth-first worklist.
+    Bfs,
+    /// Parallel frontier expansion; `0` threads means "all available".
+    Parallel,
+}
+
+/// A state-space visitor: called exactly once per distinct canonical
+/// state, including the initial state.
+///
+/// Closures of type `FnMut(&Machine<E>, StateId) -> Control` implement
+/// this trait, so simple callers need no adapter struct.
+pub trait StateVisitor<E: Expr> {
+    /// Inspects one newly discovered canonical state.
+    fn visit(&mut self, machine: &Machine<E>, id: StateId) -> Control;
+}
+
+impl<E: Expr, F: FnMut(&Machine<E>, StateId) -> Control> StateVisitor<E> for F {
+    fn visit(&mut self, machine: &Machine<E>, id: StateId) -> Control {
+        self(machine, id)
+    }
+}
+
+/// A trace visitor: called once per trace prefix, in depth-first order.
+///
+/// `step_filter` selects which transitions may be taken at all (e.g. only
+/// L-sequential ones); `visit` then sees each taken extension with the
+/// full label stack.
+pub trait TraceVisitor<E: Expr> {
+    /// Whether this transition may extend the current trace.
+    fn step_filter(&mut self, _transition: &Transition<E>) -> bool {
+        true
+    }
+
+    /// Inspects one trace extension; `trace` ends with `transition`'s
+    /// label.
+    fn visit(&mut self, trace: &TraceLabels, transition: &Transition<E>) -> Control;
+}
+
+/// The pluggable state-space exploration interface.
+///
+/// Implementations guarantee: the visitor is invoked exactly once per
+/// canonical state reachable from `m0` (unless pruned or stopped), and the
+/// *set* of visited canonical states is identical across implementations —
+/// only the visit order may differ.
+pub trait Explorer<E: Expr> {
+    /// Explores the state space from `m0`, driving `visitor`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BudgetExceeded`] if the state budget is exhausted;
+    /// [`EngineError::CorruptFrontier`] if a reached machine fails to
+    /// canonicalize.
+    fn explore(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+        visitor: &mut dyn StateVisitor<E>,
+    ) -> Result<ExploreStats, EngineError>;
+}
+
+/// Builds the engine selected by `strategy` as a trait object.
+///
+/// `Parallel` requires `E: Send + Sync`, which every expression language in
+/// this repository satisfies (they are plain data).
+pub fn explorer<E: Expr + Send + Sync>(
+    strategy: Strategy,
+    config: EngineConfig,
+) -> Box<dyn Explorer<E>> {
+    match strategy {
+        Strategy::Dfs => Box::new(WorklistEngine::new(config, SearchOrder::Dfs)),
+        Strategy::Bfs => Box::new(WorklistEngine::new(config, SearchOrder::Bfs)),
+        Strategy::Parallel => Box::new(ParallelEngine::new(config)),
+    }
+}

@@ -1,0 +1,314 @@
+//! Sequential engines: the iterative state-space worklist and the
+//! iterative depth-first trace enumerator.
+//!
+//! Neither engine recurses — both carry explicit stacks — so exploration
+//! depth is bounded by heap, not by the thread's call stack, and the DFS /
+//! BFS choice is a one-line worklist-discipline swap.
+
+use std::collections::VecDeque;
+
+use crate::engine::{
+    canonicalize, Control, EngineConfig, EngineError, ExploreStats, Explorer, SearchOrder,
+    StateInterner, StateVisitor, TraceVisitor,
+};
+use crate::loc::LocSet;
+use crate::machine::{Expr, Machine, Transition};
+use crate::trace::TraceLabels;
+
+/// The sequential state-space engine: an explicit worklist of machines,
+/// deduplicated through a [`StateInterner`] at pop time.
+///
+/// [`SearchOrder::Dfs`] treats the worklist as a stack (identical
+/// discovery order to the legacy recursive explorer); [`SearchOrder::Bfs`]
+/// treats it as a queue. Both visit exactly the same canonical state set.
+#[derive(Clone, Copy, Debug)]
+pub struct WorklistEngine {
+    /// Budgets.
+    pub config: EngineConfig,
+    /// Stack or queue discipline.
+    pub order: SearchOrder,
+}
+
+impl WorklistEngine {
+    /// An engine with the given budgets and search order.
+    pub fn new(config: EngineConfig, order: SearchOrder) -> WorklistEngine {
+        WorklistEngine { config, order }
+    }
+}
+
+impl<E: Expr> Explorer<E> for WorklistEngine {
+    fn explore(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+        visitor: &mut dyn StateVisitor<E>,
+    ) -> Result<ExploreStats, EngineError> {
+        let mut interner: StateInterner<_> = StateInterner::new();
+        let mut worklist: VecDeque<Machine<E>> = VecDeque::new();
+        worklist.push_back(m0);
+        let mut stats = ExploreStats::default();
+        while let Some(m) = match self.order {
+            SearchOrder::Dfs => worklist.pop_back(),
+            SearchOrder::Bfs => worklist.pop_front(),
+        } {
+            let (id, fresh) = interner.intern(canonicalize(locs, &m)?);
+            if !fresh {
+                continue;
+            }
+            if interner.len() > self.config.max_states {
+                return Err(EngineError::budget(interner.len()));
+            }
+            stats.visited += 1;
+            match visitor.visit(&m, id) {
+                Control::Stop => return Ok(stats),
+                Control::Prune => continue,
+                Control::Continue => {}
+            }
+            for t in m.transitions(locs) {
+                stats.transitions += 1;
+                worklist.push_back(t.target);
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// One suspended node of the iterative trace walk: the transitions enabled
+/// at a machine (each consumed at most once), and how many have been
+/// processed.
+struct Frame<E> {
+    transitions: Vec<Option<Transition<E>>>,
+    next: usize,
+}
+
+impl<E: Expr> Frame<E> {
+    fn at(m: &Machine<E>, locs: &LocSet) -> Frame<E> {
+        Frame {
+            transitions: m.transitions(locs).into_iter().map(Some).collect(),
+            next: 0,
+        }
+    }
+}
+
+/// The iterative depth-first trace enumerator.
+///
+/// Enumerates every trace prefix from the initial machine (every prefix of
+/// a trace is itself a trace, Definition 5), honouring the visitor's
+/// `step_filter` and [`Control`] verdicts. Replaces the old recursive
+/// `dfs` helper with an explicit frame stack.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEngine {
+    /// Budgets (`max_traces` bounds the number of extensions made).
+    pub config: EngineConfig,
+}
+
+impl TraceEngine {
+    /// An engine with the given budgets.
+    pub fn new(config: EngineConfig) -> TraceEngine {
+        TraceEngine { config }
+    }
+
+    /// Walks every trace from `m0` in depth-first order, driving `visitor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BudgetExceeded`] after `config.max_traces`
+    /// extensions.
+    pub fn explore<E: Expr>(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+        visitor: &mut dyn TraceVisitor<E>,
+    ) -> Result<ExploreStats, EngineError> {
+        let mut stats = ExploreStats::default();
+        let mut trace = TraceLabels::new();
+        let mut frames = vec![Frame::at(&m0, locs)];
+        while let Some(frame) = frames.last_mut() {
+            if frame.next >= frame.transitions.len() {
+                // Subtree exhausted: pop the frame, and the label that led
+                // into it (the root frame has no such label).
+                frames.pop();
+                if !frames.is_empty() {
+                    trace.pop();
+                }
+                continue;
+            }
+            let i = frame.next;
+            frame.next += 1;
+            stats.transitions += 1;
+            let t = frame.transitions[i]
+                .take()
+                .expect("transition consumed once");
+            if !visitor.step_filter(&t) {
+                continue;
+            }
+            stats.visited += 1;
+            if stats.visited > self.config.max_traces {
+                return Err(EngineError::budget(stats.visited));
+            }
+            trace.push(t.label);
+            match visitor.visit(&trace, &t) {
+                Control::Stop => return Ok(stats),
+                Control::Prune => {
+                    trace.pop();
+                }
+                Control::Continue => {
+                    frames.push(Frame::at(&t.target, locs));
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StateId;
+    use crate::loc::{Loc, LocKind, Val};
+    use crate::machine::{RecordedExpr, StepLabel};
+    use std::collections::BTreeSet;
+
+    fn locs_ab() -> (LocSet, Loc, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        let b = l.fresh("b", LocKind::Nonatomic);
+        (l, a, b)
+    }
+
+    fn sb_machine(locs: &LocSet, a: Loc, b: Loc) -> Machine<RecordedExpr> {
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(b)]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(b, Val(1)), StepLabel::Read(a)]);
+        Machine::initial(locs, [p0, p1])
+    }
+
+    fn terminal_reads(
+        engine: &dyn Explorer<RecordedExpr>,
+        locs: &LocSet,
+        m0: Machine<RecordedExpr>,
+    ) -> BTreeSet<Vec<i64>> {
+        let mut outcomes = BTreeSet::new();
+        engine
+            .explore(locs, m0, &mut |m: &Machine<RecordedExpr>, _id: StateId| {
+                if m.is_terminal() {
+                    outcomes.insert(
+                        m.threads
+                            .iter()
+                            .flat_map(|t| t.expr.reads.iter().map(|v| v.0))
+                            .collect(),
+                    );
+                }
+                Control::Continue
+            })
+            .unwrap();
+        outcomes
+    }
+
+    #[test]
+    fn dfs_and_bfs_agree_on_store_buffering() {
+        let (locs, a, b) = locs_ab();
+        let dfs = WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs);
+        let bfs = WorklistEngine::new(EngineConfig::default(), SearchOrder::Bfs);
+        let d = terminal_reads(&dfs, &locs, sb_machine(&locs, a, b));
+        let f = terminal_reads(&bfs, &locs, sb_machine(&locs, a, b));
+        assert_eq!(d, f);
+        assert_eq!(d.len(), 4); // SB is racy: all four outcomes
+    }
+
+    #[test]
+    fn state_ids_are_dense_and_unique() {
+        let (locs, a, b) = locs_ab();
+        let engine = WorklistEngine::new(EngineConfig::default(), SearchOrder::Bfs);
+        let mut ids = Vec::new();
+        engine
+            .explore(
+                &locs,
+                sb_machine(&locs, a, b),
+                &mut |_m: &Machine<RecordedExpr>, id: StateId| {
+                    ids.push(id);
+                    Control::Continue
+                },
+            )
+            .unwrap();
+        let unique: BTreeSet<_> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len());
+        assert_eq!(ids.iter().map(|i| i.index()).max().unwrap(), ids.len() - 1);
+    }
+
+    #[test]
+    fn prune_stops_expansion_but_not_exploration() {
+        let (locs, a, _) = locs_ab();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 3]);
+        let m0 = Machine::initial(&locs, [p0]);
+        // Prune everything: only the initial state is visited.
+        let engine = WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs);
+        let mut seen = 0;
+        engine
+            .explore(
+                &locs,
+                m0,
+                &mut |_m: &Machine<RecordedExpr>, _id: StateId| {
+                    seen += 1;
+                    Control::Prune
+                },
+            )
+            .unwrap();
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn trace_engine_matches_recursive_interleaving_count() {
+        let (locs, a, b) = locs_ab();
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(b, Val(1))]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        struct Count {
+            complete: usize,
+        }
+        impl TraceVisitor<RecordedExpr> for Count {
+            fn visit(&mut self, trace: &TraceLabels, t: &Transition<RecordedExpr>) -> Control {
+                if trace.len() == 2 && t.target.is_terminal() {
+                    self.complete += 1;
+                }
+                Control::Continue
+            }
+        }
+        let mut v = Count { complete: 0 };
+        TraceEngine::new(EngineConfig::default())
+            .explore(&locs, m0, &mut v)
+            .unwrap();
+        assert_eq!(v.complete, 2);
+    }
+
+    #[test]
+    fn trace_engine_budget_and_stop() {
+        let (locs, a, _) = locs_ab();
+        let mk = || RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 6]);
+        let m0 = Machine::initial(&locs, [mk(), mk(), mk()]);
+        struct Go;
+        impl TraceVisitor<RecordedExpr> for Go {
+            fn visit(&mut self, _: &TraceLabels, _: &Transition<RecordedExpr>) -> Control {
+                Control::Continue
+            }
+        }
+        let tiny = EngineConfig {
+            max_states: 10,
+            max_traces: 10,
+        };
+        let r = TraceEngine::new(tiny).explore(&locs, m0.clone(), &mut Go);
+        assert!(matches!(r, Err(EngineError::BudgetExceeded { .. })));
+
+        struct StopNow(usize);
+        impl TraceVisitor<RecordedExpr> for StopNow {
+            fn visit(&mut self, _: &TraceLabels, _: &Transition<RecordedExpr>) -> Control {
+                self.0 += 1;
+                Control::Stop
+            }
+        }
+        let mut v = StopNow(0);
+        TraceEngine::new(EngineConfig::default())
+            .explore(&locs, m0, &mut v)
+            .unwrap();
+        assert_eq!(v.0, 1);
+    }
+}

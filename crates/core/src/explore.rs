@@ -1,4 +1,5 @@
-//! Exhaustive exploration of the operational semantics.
+//! Exhaustive exploration of the operational semantics — the convenience
+//! layer over [`crate::engine`].
 //!
 //! Two modes:
 //!
@@ -11,124 +12,79 @@
 //! * **Trace enumeration** ([`for_each_trace`]) walks every trace (up to a
 //!   configurable budget) carrying the [`TraceLabels`]; data races and
 //!   happens-before are trace-dependent, so the DRF checkers use this mode.
+//!
+//! These functions are thin wrappers: the engines themselves (iterative
+//! worklist, interned canonical states, parallel frontier expansion) live
+//! in [`crate::engine`], and checkers that need to steer the search
+//! implement [`crate::engine::StateVisitor`] / [`crate::engine::TraceVisitor`]
+//! directly.
 
-use std::collections::HashSet;
-use std::hash::Hash;
-
-use crate::loc::{LocKind, LocSet, Val};
+use crate::engine::{
+    Control, EngineError, Explorer, SearchOrder, StateId, Strategy, TraceEngine, TraceVisitor,
+    WorklistEngine,
+};
+use crate::loc::LocSet;
 use crate::machine::{Expr, Machine, Transition};
 use crate::trace::TraceLabels;
 
-/// Budgets for exploration. The defaults are generous for litmus-scale
-/// programs while guaranteeing termination on accidental state explosions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct ExploreConfig {
-    /// Maximum number of distinct canonical states to visit.
-    pub max_states: usize,
-    /// Maximum number of trace prefixes to enumerate in trace mode.
-    pub max_traces: usize,
-}
-
-impl Default for ExploreConfig {
-    fn default() -> ExploreConfig {
-        ExploreConfig { max_states: 1_000_000, max_traces: 10_000_000 }
-    }
-}
-
-/// Error returned when an exploration exceeds its [`ExploreConfig`] budget.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct BudgetExceeded {
-    /// The number of states or traces visited before giving up.
-    pub visited: usize,
-}
-
-impl std::fmt::Display for BudgetExceeded {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "exploration budget exceeded after {} items", self.visited)
-    }
-}
-
-impl std::error::Error for BudgetExceeded {}
-
-/// The canonical (timestamp-renamed) form of a location's contents.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-enum CanonLoc {
-    /// Nonatomic: history values in timestamp order.
-    Na(Vec<Val>),
-    /// Atomic: current value plus the location frontier as per-location ranks.
-    At(Val, Vec<u32>),
-}
-
-/// A machine up to timestamp renaming; hashable for dedup.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct CanonState<E> {
-    store: Vec<CanonLoc>,
-    threads: Vec<(Vec<u32>, E)>,
-}
-
-/// Computes the canonical form of a machine: all timestamps are replaced by
-/// their rank within the owning location's history.
-pub fn canonicalize<E: Expr>(locs: &LocSet, m: &Machine<E>) -> CanonState<E> {
-    let rank_frontier = |f: &crate::frontier::Frontier| -> Vec<u32> {
-        locs.iter()
-            .map(|l| match locs.kind(l) {
-                LocKind::Nonatomic => m
-                    .store
-                    .history(l)
-                    .rank_of(f.get(l))
-                    .expect("frontier timestamp must be in history") as u32,
-                LocKind::Atomic => 0,
-            })
-            .collect()
-    };
-    let store = locs
-        .iter()
-        .map(|l| match locs.kind(l) {
-            LocKind::Nonatomic => {
-                CanonLoc::Na(m.store.history(l).iter().map(|(_, v)| v).collect())
-            }
-            LocKind::Atomic => {
-                let (f, v) = m.store.atomic(l);
-                CanonLoc::At(v, rank_frontier(f))
-            }
-        })
-        .collect();
-    let threads = m
-        .threads
-        .iter()
-        .map(|t| (rank_frontier(&t.frontier), t.expr.clone()))
-        .collect();
-    CanonState { store, threads }
-}
-
-/// Statistics of a finished exploration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-pub struct ExploreStats {
-    /// Distinct canonical states visited (state mode) or trace prefixes
-    /// enumerated (trace mode).
-    pub visited: usize,
-    /// Transitions examined.
-    pub transitions: usize,
-}
+pub use crate::engine::canonicalize;
+pub use crate::engine::CanonState;
+/// Visitor verdicts (the engine's [`Control`], re-exported under the
+/// historical name used by trace visitors).
+pub use crate::engine::Control as Visit;
+/// Budget configuration (the engine's [`crate::engine::EngineConfig`],
+/// re-exported under its historical name).
+pub use crate::engine::EngineConfig as ExploreConfig;
+pub use crate::engine::ExploreStats;
 
 /// Explores the full state space from `m0`, returning all *terminal*
 /// machines (no thread can step), deduplicated canonically.
 ///
+/// Uses the sequential depth-first engine; [`reachable_terminals_with`]
+/// selects other engines.
+///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] if more than `config.max_states` canonical
-/// states are reachable.
+/// Returns [`EngineError::BudgetExceeded`] if more than `config.max_states`
+/// canonical states are reachable, or [`EngineError::CorruptFrontier`] on a
+/// corrupted machine.
 pub fn reachable_terminals<E: Expr>(
     locs: &LocSet,
     m0: Machine<E>,
     config: ExploreConfig,
-) -> Result<Vec<Machine<E>>, BudgetExceeded> {
+) -> Result<Vec<Machine<E>>, EngineError> {
+    let engine = WorklistEngine::new(config, SearchOrder::Dfs);
+    collect_terminals(&engine, locs, m0)
+}
+
+/// [`reachable_terminals`] with an explicit engine [`Strategy`]
+/// (DFS / BFS / parallel). All strategies return the same canonical
+/// terminal set; only discovery order differs.
+///
+/// # Errors
+///
+/// As [`reachable_terminals`].
+pub fn reachable_terminals_with<E: Expr + Send + Sync>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: ExploreConfig,
+    strategy: Strategy,
+) -> Result<Vec<Machine<E>>, EngineError> {
+    let engine = crate::engine::explorer::<E>(strategy, config);
+    collect_terminals(engine.as_ref(), locs, m0)
+}
+
+fn collect_terminals<E: Expr>(
+    engine: &dyn Explorer<E>,
+    locs: &LocSet,
+    m0: Machine<E>,
+) -> Result<Vec<Machine<E>>, EngineError> {
     let mut terminals = Vec::new();
-    let mut terminal_keys = HashSet::new();
-    reachable_states(locs, m0, config, |m| {
-        if m.is_terminal() && terminal_keys.insert(canonicalize(locs, m)) {
+    engine.explore(locs, m0, &mut |m: &Machine<E>, _id: StateId| {
+        if m.is_terminal() {
             terminals.push(m.clone());
         }
+        Control::Continue
     })?;
     Ok(terminals)
 }
@@ -138,42 +94,40 @@ pub fn reachable_terminals<E: Expr>(
 ///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] if the state budget is exhausted.
+/// Returns [`EngineError`] if the state budget is exhausted or a machine
+/// fails to canonicalize.
 pub fn reachable_states<E: Expr>(
     locs: &LocSet,
     m0: Machine<E>,
     config: ExploreConfig,
     mut visit: impl FnMut(&Machine<E>),
-) -> Result<ExploreStats, BudgetExceeded> {
-    let mut seen: HashSet<CanonState<E>> = HashSet::new();
-    let mut stack = vec![m0];
-    let mut stats = ExploreStats::default();
-    while let Some(m) = stack.pop() {
-        if !seen.insert(canonicalize(locs, &m)) {
-            continue;
-        }
-        if seen.len() > config.max_states {
-            return Err(BudgetExceeded { visited: seen.len() });
-        }
-        stats.visited += 1;
-        visit(&m);
-        for t in m.transitions(locs) {
-            stats.transitions += 1;
-            stack.push(t.target);
-        }
-    }
-    Ok(stats)
+) -> Result<ExploreStats, EngineError> {
+    let engine = WorklistEngine::new(config, SearchOrder::Dfs);
+    engine.explore(locs, m0, &mut |m: &Machine<E>, _id: StateId| {
+        visit(m);
+        Control::Continue
+    })
 }
 
-/// What a [`for_each_trace`] visitor asks the explorer to do next.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Visit {
-    /// Keep extending this trace.
-    Continue,
-    /// Do not extend this trace (but keep exploring siblings).
-    Prune,
-    /// Abort the whole exploration.
-    Stop,
+/// Adapts a `(step_filter, visit)` closure pair to [`TraceVisitor`].
+struct ClosureTraceVisitor<F, V> {
+    filter: F,
+    visit: V,
+}
+
+impl<E, F, V> TraceVisitor<E> for ClosureTraceVisitor<F, V>
+where
+    E: Expr,
+    F: FnMut(&Transition<E>) -> bool,
+    V: FnMut(&TraceLabels, &Transition<E>) -> Visit,
+{
+    fn step_filter(&mut self, transition: &Transition<E>) -> bool {
+        (self.filter)(transition)
+    }
+
+    fn visit(&mut self, trace: &TraceLabels, transition: &Transition<E>) -> Control {
+        (self.visit)(trace, transition)
+    }
 }
 
 /// Enumerates traces from `m0` in depth-first order.
@@ -186,60 +140,28 @@ pub enum Visit {
 ///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] if more than `config.max_traces` trace
-/// extensions are made.
+/// Returns [`EngineError::BudgetExceeded`] if more than `config.max_traces`
+/// trace extensions are made.
 pub fn for_each_trace<E: Expr>(
     locs: &LocSet,
     m0: Machine<E>,
     config: ExploreConfig,
-    mut step_filter: impl FnMut(&Transition<E>) -> bool,
-    mut visit: impl FnMut(&TraceLabels, &Transition<E>) -> Visit,
-) -> Result<ExploreStats, BudgetExceeded> {
-    let mut stats = ExploreStats::default();
-    let mut trace = TraceLabels::new();
-    let stopped = dfs(locs, &m0, config, &mut trace, &mut step_filter, &mut visit, &mut stats)?;
-    let _ = stopped;
-    Ok(stats)
-}
-
-fn dfs<E: Expr>(
-    locs: &LocSet,
-    m: &Machine<E>,
-    config: ExploreConfig,
-    trace: &mut TraceLabels,
-    step_filter: &mut impl FnMut(&Transition<E>) -> bool,
-    visit: &mut impl FnMut(&TraceLabels, &Transition<E>) -> Visit,
-    stats: &mut ExploreStats,
-) -> Result<bool, BudgetExceeded> {
-    for t in m.transitions(locs) {
-        stats.transitions += 1;
-        if !step_filter(&t) {
-            continue;
-        }
-        stats.visited += 1;
-        if stats.visited > config.max_traces {
-            return Err(BudgetExceeded { visited: stats.visited });
-        }
-        trace.push(t.label);
-        let verdict = visit(trace, &t);
-        let stop = match verdict {
-            Visit::Stop => true,
-            Visit::Prune => false,
-            Visit::Continue => dfs(locs, &t.target, config, trace, step_filter, visit, stats)?,
-        };
-        trace.pop();
-        if stop {
-            return Ok(true);
-        }
-    }
-    Ok(false)
+    step_filter: impl FnMut(&Transition<E>) -> bool,
+    visit: impl FnMut(&TraceLabels, &Transition<E>) -> Visit,
+) -> Result<ExploreStats, EngineError> {
+    let mut visitor = ClosureTraceVisitor {
+        filter: step_filter,
+        visit,
+    };
+    TraceEngine::new(config).explore(locs, m0, &mut visitor)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loc::Loc;
+    use crate::loc::{Loc, LocKind, Val};
     use crate::machine::{RecordedExpr, StepLabel};
+    use std::collections::HashSet;
 
     fn locs_ab() -> (LocSet, Loc, Loc) {
         let mut l = LocSet::new();
@@ -250,10 +172,8 @@ mod tests {
 
     #[test]
     fn store_buffering_all_four_outcomes() {
-        // SB: P0: a=1; r0=b   P1: b=1; r1=a — all four outcomes are
-        // sequentially explicable here? Under SC only 3; under this model
-        // r0=0, r1=0 requires weak reads... actually both reads CAN be
-        // stale: each reader's frontier knows nothing of the other's write.
+        // SB: P0: a=1; r0=b   P1: b=1; r1=a — both reads CAN be stale:
+        // each reader's frontier knows nothing of the other's write.
         let (locs, a, b) = locs_ab();
         let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(b)]);
         let p1 = RecordedExpr::new(vec![StepLabel::Write(b, Val(1)), StepLabel::Read(a)]);
@@ -285,6 +205,27 @@ mod tests {
     }
 
     #[test]
+    fn all_strategies_agree_on_terminals() {
+        let (locs, a, b) = locs_ab();
+        let mk = || {
+            let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(b)]);
+            let p1 = RecordedExpr::new(vec![StepLabel::Write(b, Val(1)), StepLabel::Read(a)]);
+            Machine::initial(&locs, [p0, p1])
+        };
+        let outcome_set = |strategy| {
+            let terms =
+                reachable_terminals_with(&locs, mk(), ExploreConfig::default(), strategy).unwrap();
+            terms
+                .iter()
+                .map(|m| (m.threads[0].expr.reads[0], m.threads[1].expr.reads[0]))
+                .collect::<HashSet<_>>()
+        };
+        let dfs = outcome_set(Strategy::Dfs);
+        assert_eq!(dfs, outcome_set(Strategy::Bfs));
+        assert_eq!(dfs, outcome_set(Strategy::Parallel));
+    }
+
+    #[test]
     fn trace_enumeration_sees_all_interleavings() {
         let (locs, a, b) = locs_ab();
         let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
@@ -313,10 +254,16 @@ mod tests {
         let (locs, a, _) = locs_ab();
         let mk = || RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 6]);
         let m0 = Machine::initial(&locs, [mk(), mk(), mk()]);
-        let tiny = ExploreConfig { max_states: 10, max_traces: 10 };
-        assert!(reachable_terminals(&locs, m0.clone(), tiny).is_err());
+        let tiny = ExploreConfig {
+            max_states: 10,
+            max_traces: 10,
+        };
+        assert!(matches!(
+            reachable_terminals(&locs, m0.clone(), tiny),
+            Err(EngineError::BudgetExceeded { .. })
+        ));
         let r = for_each_trace(&locs, m0, tiny, |_| true, |_, _| Visit::Continue);
-        assert!(r.is_err());
+        assert!(matches!(r, Err(EngineError::BudgetExceeded { .. })));
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub struct Frontier {
 impl Frontier {
     /// The initial frontier `F₀`, mapping every location to timestamp 0.
     pub fn initial(locs: &LocSet) -> Frontier {
-        Frontier { at: vec![Timestamp::ZERO; locs.len()] }
+        Frontier {
+            at: vec![Timestamp::ZERO; locs.len()],
+        }
     }
 
     /// The timestamp this frontier records for `loc`.
@@ -95,10 +97,7 @@ impl Frontier {
 
     /// Iterates over `(loc, timestamp)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (Loc, Timestamp)> + '_ {
-        self.at
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (Loc(i as u32), *t))
+        self.at.iter().enumerate().map(|(i, t)| (Loc(i as u32), *t))
     }
 
     /// Number of location entries (equals the declaring set's size).

@@ -9,9 +9,19 @@
 //! recording the latest write it is guaranteed to see per location
 //! ([`store`], [`history`], [`frontier`]). The four memory-operation rules
 //! live in [`memop`]; machines and traces in [`machine`] and [`trace`];
-//! exhaustive exploration in [`explore`]; and the paper's headline
-//! guarantees — the local DRF theorem (Theorem 13) and the derived global
-//! DRF theorem (Theorem 14) — as executable checkers in [`localdrf`].
+//! and the paper's headline guarantees — the local DRF theorem
+//! (Theorem 13) and the derived global DRF theorem (Theorem 14) — as
+//! executable checkers in [`localdrf`].
+//!
+//! Everything above is *checked by exhaustive exploration*, and that
+//! exploration is provided by the pluggable [`engine`] layer: an iterative
+//! worklist with DFS/BFS selection, canonical states interned to dense
+//! `u32` ids ([`engine::StateInterner`]), a parallel frontier-expansion
+//! engine ([`engine::ParallelEngine`]) that is outcome-equivalent to the
+//! sequential one, and an iterative trace enumerator
+//! ([`engine::TraceEngine`]) for the trace-dependent checkers. The
+//! historical helpers ([`explore::reachable_terminals`],
+//! [`explore::for_each_trace`]) remain as thin wrappers.
 //!
 //! ## Quick example: message passing
 //!
@@ -38,9 +48,10 @@
 //!     let r = &m.threads[1].expr.reads;
 //!     !(r[0] == Val(1) && r[1] == Val(0))
 //! }));
-//! # Ok::<(), bdrst_core::explore::BudgetExceeded>(())
+//! # Ok::<(), bdrst_core::engine::EngineError>(())
 //! ```
 
+pub mod engine;
 pub mod explore;
 pub mod frontier;
 pub mod history;
@@ -53,6 +64,10 @@ pub mod store;
 pub mod timestamp;
 pub mod trace;
 
+pub use engine::{
+    Control, EngineConfig, EngineError, Explorer, ParallelEngine, SearchOrder, StateId,
+    StateVisitor, Strategy, TraceEngine, TraceVisitor, WorklistEngine,
+};
 pub use explore::{ExploreConfig, ExploreStats};
 pub use frontier::Frontier;
 pub use history::History;

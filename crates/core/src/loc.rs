@@ -114,7 +114,10 @@ impl LocSet {
 
     /// Looks a location up by name.
     pub fn by_name(&self, name: &str) -> Option<Loc> {
-        self.names.iter().position(|n| n == name).map(|i| Loc(i as u32))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Loc(i as u32))
     }
 
     /// Iterates over all declared locations.
@@ -246,7 +249,10 @@ mod tests {
     fn display() {
         let mut locs = LocSet::new();
         let a = locs.fresh("a", LocKind::Nonatomic);
-        let la = LabeledAction { loc: a, action: Action::Write(Val(7)) };
+        let la = LabeledAction {
+            loc: a,
+            action: Action::Write(Val(7)),
+        };
         assert_eq!(format!("{la}"), "ℓ0: write 7");
     }
 }

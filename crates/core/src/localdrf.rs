@@ -1,9 +1,9 @@
 //! L-stability, the local DRF theorem (Theorem 13) and the derived global
 //! DRF theorem (Theorem 14), as executable checkers.
 //!
-//! * [`is_l_stable`] — Definition 12: `M` is L-stable if no trace through
-//!   `M` has a data race between a transition before `M` and an
-//!   L-sequential transition after it.
+//! * [`is_l_stable_for_prefix`] — Definition 12: `M` is L-stable if no
+//!   trace through `M` has a data race between a transition before `M` and
+//!   an L-sequential transition after it.
 //! * [`check_local_drf`] — Theorem 13: from an L-stable `M`, after any
 //!   L-sequential transition sequence, either every enabled transition is
 //!   L-sequential, or some enabled *non-weak* transition on a location in
@@ -16,10 +16,15 @@
 //! they are used by the test suite across the whole litmus corpus, and by
 //! the failure-injection tests, which check that deliberately broken
 //! semantics (e.g. non-synchronising atomics) are caught.
+//!
+//! Each checker drives the [`crate::engine::TraceEngine`] through its own
+//! [`TraceVisitor`] implementation — no intermediate closure plumbing —
+//! so the engine's budget and error surface ([`EngineError`]) apply
+//! uniformly.
 
-use crate::explore::{for_each_trace, BudgetExceeded, ExploreConfig, ExploreStats, Visit};
+use crate::engine::{Control, EngineConfig, EngineError, ExploreStats, TraceEngine, TraceVisitor};
 use crate::loc::LocSet;
-use crate::machine::{Expr, Machine, TransitionLabel};
+use crate::machine::{Expr, Machine, Transition, TransitionLabel};
 use crate::trace::{conflicting, is_l_sequential, LocPredicate, TraceLabels};
 
 /// A counterexample to Theorem 13 found by [`check_local_drf`]: an
@@ -39,33 +44,79 @@ impl std::fmt::Display for LocalDrfViolation {
         for t in &self.suffix {
             writeln!(f, "  {t}")?;
         }
-        write!(f, "offending non-L-sequential transition: {}", self.offending)
+        write!(
+            f,
+            "offending non-L-sequential transition: {}",
+            self.offending
+        )
     }
 }
 
-/// The outcome of a DRF-style check that can also run out of budget.
+/// The outcome of a DRF-style check that can also fail inside the engine
+/// (budget exhaustion or state corruption).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CheckError<V> {
     /// The property was violated, with a witness.
     Violation(V),
-    /// The exploration budget was exhausted before a verdict.
-    Budget(BudgetExceeded),
+    /// The exploration engine failed before a verdict.
+    Engine(EngineError),
 }
 
 impl<V: std::fmt::Debug> std::fmt::Display for CheckError<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckError::Violation(v) => write!(f, "property violated: {v:?}"),
-            CheckError::Budget(b) => write!(f, "{b}"),
+            CheckError::Engine(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl<V: std::fmt::Debug> std::error::Error for CheckError<V> {}
 
-impl<V> From<BudgetExceeded> for CheckError<V> {
-    fn from(b: BudgetExceeded) -> CheckError<V> {
-        CheckError::Budget(b)
+impl<V> From<EngineError> for CheckError<V> {
+    fn from(e: EngineError) -> CheckError<V> {
+        CheckError::Engine(e)
+    }
+}
+
+/// If the transition just appended to `all` (at index `n`) races with one
+/// of the first `limit` transitions, returns the index of that partner.
+fn races_with_prefix(locs: &LocSet, all: &TraceLabels, limit: usize) -> Option<usize> {
+    let n = all.len() - 1;
+    let hb = all.happens_before(locs);
+    let last = all.labels()[n];
+    all.labels()[..limit]
+        .iter()
+        .enumerate()
+        .find(|(i, ti)| conflicting(ti, &last, locs) && !hb.contains(*i, n))
+        .map(|(i, _)| i)
+}
+
+/// Visitor for Definition 12: explores L-sequential suffixes and reports a
+/// race between any suffix transition and any prefix transition.
+struct LStabilityVisitor<'a> {
+    locs: &'a LocSet,
+    prefix: &'a [TransitionLabel],
+    l_set: &'a LocPredicate,
+    stable: bool,
+}
+
+impl<E: Expr> TraceVisitor<E> for LStabilityVisitor<'_> {
+    fn step_filter(&mut self, t: &Transition<E>) -> bool {
+        is_l_sequential(&t.label, self.l_set)
+    }
+
+    fn visit(&mut self, suffix: &TraceLabels, _t: &Transition<E>) -> Control {
+        // Race between some prefix Ti and the transition just taken?
+        let mut all = TraceLabels::from_labels(self.prefix.to_vec());
+        for l in suffix.labels() {
+            all.push(*l);
+        }
+        if races_with_prefix(self.locs, &all, self.prefix.len()).is_some() {
+            self.stable = false;
+            return Control::Stop;
+        }
+        Control::Continue
     }
 }
 
@@ -80,39 +131,86 @@ impl<V> From<BudgetExceeded> for CheckError<V> {
 ///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] if the suffix exploration exceeds the budget.
+/// Returns [`EngineError`] if the suffix exploration exceeds the budget.
 pub fn is_l_stable_for_prefix<E: Expr>(
     locs: &LocSet,
     prefix: &[TransitionLabel],
     prefix_machine: Machine<E>,
     l_set: &LocPredicate,
-    config: ExploreConfig,
-) -> Result<bool, BudgetExceeded> {
-    let mut stable = true;
-    for_each_trace(
+    config: EngineConfig,
+) -> Result<bool, EngineError> {
+    let mut v = LStabilityVisitor {
         locs,
-        prefix_machine,
-        config,
-        |t| is_l_sequential(&t.label, l_set),
-        |suffix, _t| {
-            // Race between some prefix Ti and the transition just taken?
-            let mut all = TraceLabels::from_labels(prefix.to_vec());
-            for l in suffix.labels() {
-                all.push(*l);
+        prefix,
+        l_set,
+        stable: true,
+    };
+    TraceEngine::new(config).explore(locs, prefix_machine, &mut v)?;
+    Ok(v.stable)
+}
+
+/// Visitor for Theorem 13: walks L-sequential suffixes, checking the
+/// theorem's conclusion at every reached state.
+struct LocalDrfVisitor<'a> {
+    locs: &'a LocSet,
+    l_set: &'a LocPredicate,
+    violation: Option<LocalDrfViolation>,
+}
+
+impl<'a> LocalDrfVisitor<'a> {
+    /// Checks the theorem's conclusion at one state, reached via `suffix`.
+    fn check_state<E: Expr>(
+        &self,
+        suffix: &TraceLabels,
+        machine: &Machine<E>,
+    ) -> Option<LocalDrfViolation> {
+        let transitions = machine.transitions(self.locs);
+        let non_l_seq: Vec<_> = transitions
+            .iter()
+            .filter(|t| !is_l_sequential(&t.label, self.l_set))
+            .collect();
+        if non_l_seq.is_empty() {
+            return None; // first disjunct: all transitions L-sequential
+        }
+        // Second disjunct: find a non-weak transition on L racing with a Ti.
+        let witness_exists = transitions.iter().any(|t| {
+            if t.label.weak {
+                return false;
             }
-            let n = all.len() - 1;
-            let hb = all.happens_before(locs);
-            let last = all.labels()[n];
-            for (i, ti) in all.labels()[..prefix.len()].iter().enumerate() {
-                if conflicting(ti, &last, locs) && !hb.contains(i, n) {
-                    stable = false;
-                    return Visit::Stop;
-                }
+            let Some(action) = t.label.action else {
+                return false;
+            };
+            if !self.l_set.contains(&action.loc) {
+                return false;
             }
-            Visit::Continue
-        },
-    )?;
-    Ok(stable)
+            // Race between some suffix Ti and this transition?
+            let mut all = suffix.clone();
+            all.push(t.label);
+            races_with_prefix(self.locs, &all, all.len() - 1).is_some()
+        });
+        if witness_exists {
+            None
+        } else {
+            Some(LocalDrfViolation {
+                suffix: suffix.labels().to_vec(),
+                offending: non_l_seq[0].label,
+            })
+        }
+    }
+}
+
+impl<E: Expr> TraceVisitor<E> for LocalDrfVisitor<'_> {
+    fn step_filter(&mut self, t: &Transition<E>) -> bool {
+        is_l_sequential(&t.label, self.l_set)
+    }
+
+    fn visit(&mut self, suffix: &TraceLabels, t: &Transition<E>) -> Control {
+        if let Some(v) = self.check_state(suffix, &t.target) {
+            self.violation = Some(v);
+            return Control::Stop;
+        }
+        Control::Continue
+    }
 }
 
 /// Checks Theorem 13 from the machine state `m`, assumed L-stable.
@@ -128,70 +226,26 @@ pub fn is_l_stable_for_prefix<E: Expr>(
 /// * [`CheckError::Violation`] with a [`LocalDrfViolation`] witness if the
 ///   theorem fails (impossible for the paper semantics; reachable with the
 ///   failure-injection semantics).
-/// * [`CheckError::Budget`] if exploration exceeds the budget.
+/// * [`CheckError::Engine`] if exploration exceeds the budget.
 pub fn check_local_drf<E: Expr>(
     locs: &LocSet,
     m: Machine<E>,
     l_set: &LocPredicate,
-    config: ExploreConfig,
+    config: EngineConfig,
 ) -> Result<ExploreStats, CheckError<LocalDrfViolation>> {
-    let mut violation: Option<LocalDrfViolation> = None;
-
-    // Check the theorem's conclusion at one state, reached via `suffix`.
-    let check_state = |suffix: &TraceLabels, machine: &Machine<E>| -> Option<LocalDrfViolation> {
-        let transitions = machine.transitions(locs);
-        let non_l_seq: Vec<_> = transitions
-            .iter()
-            .filter(|t| !is_l_sequential(&t.label, l_set))
-            .collect();
-        if non_l_seq.is_empty() {
-            return None; // first disjunct: all transitions L-sequential
-        }
-        // Second disjunct: find a non-weak transition on L racing with a Ti.
-        let witness_exists = transitions.iter().any(|t| {
-            if t.label.weak {
-                return false;
-            }
-            let Some(action) = t.label.action else { return false };
-            if !l_set.contains(&action.loc) {
-                return false;
-            }
-            // Race between some suffix Ti and this transition?
-            let mut all = suffix.clone();
-            all.push(t.label);
-            let n = all.len() - 1;
-            let hb = all.happens_before(locs);
-            (0..n).any(|i| conflicting(&all.labels()[i], &t.label, locs) && !hb.contains(i, n))
-        });
-        if witness_exists {
-            None
-        } else {
-            Some(LocalDrfViolation {
-                suffix: suffix.labels().to_vec(),
-                offending: non_l_seq[0].label,
-            })
-        }
+    let mut visitor = LocalDrfVisitor {
+        locs,
+        l_set,
+        violation: None,
     };
 
     // The empty suffix (state `m` itself) must also satisfy the theorem.
-    if let Some(v) = check_state(&TraceLabels::new(), &m) {
+    if let Some(v) = visitor.check_state(&TraceLabels::new(), &m) {
         return Err(CheckError::Violation(v));
     }
 
-    let stats = for_each_trace(
-        locs,
-        m,
-        config,
-        |t| is_l_sequential(&t.label, l_set),
-        |suffix, t| {
-            if let Some(v) = check_state(suffix, &t.target) {
-                violation = Some(v);
-                return Visit::Stop;
-            }
-            Visit::Continue
-        },
-    )?;
-    match violation {
+    let stats = TraceEngine::new(config).explore(locs, m, &mut visitor)?;
+    match visitor.violation {
         Some(v) => Err(CheckError::Violation(v)),
         None => Ok(stats),
     }
@@ -216,43 +270,66 @@ pub enum DrfStatus {
     Racy(RaceWitness),
 }
 
+/// Visitor enumerating SC traces and reporting the first race.
+struct ScRaceVisitor<'a> {
+    locs: &'a LocSet,
+    status: DrfStatus,
+}
+
+impl<E: Expr> TraceVisitor<E> for ScRaceVisitor<'_> {
+    fn step_filter(&mut self, t: &Transition<E>) -> bool {
+        !t.label.weak
+    }
+
+    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<E>) -> Control {
+        // Only the freshly appended transition needs checking: earlier
+        // pairs were checked on earlier prefixes.
+        let n = trace.len() - 1;
+        if let Some(i) = races_with_prefix(self.locs, trace, n) {
+            self.status = DrfStatus::Racy(RaceWitness {
+                trace: trace.labels().to_vec(),
+                pair: (i, n),
+            });
+            return Control::Stop;
+        }
+        Control::Continue
+    }
+}
+
 /// Determines whether the program starting at `m0` is data-race-free in the
 /// sense of Theorem 14's hypothesis: all sequentially consistent traces
 /// contain no data races.
 ///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] on budget exhaustion.
+/// Returns [`EngineError`] on budget exhaustion.
 pub fn sc_race_freedom<E: Expr>(
     locs: &LocSet,
     m0: Machine<E>,
-    config: ExploreConfig,
-) -> Result<DrfStatus, BudgetExceeded> {
-    let mut status = DrfStatus::RaceFree;
-    for_each_trace(
+    config: EngineConfig,
+) -> Result<DrfStatus, EngineError> {
+    let mut v = ScRaceVisitor {
         locs,
-        m0,
-        config,
-        |t| !t.label.weak,
-        |trace, _t| {
-            // Only the freshly appended transition needs checking: earlier
-            // pairs were checked on earlier prefixes.
-            let n = trace.len() - 1;
-            let hb = trace.happens_before(locs);
-            let last = trace.labels()[n];
-            for i in 0..n {
-                if conflicting(&trace.labels()[i], &last, locs) && !hb.contains(i, n) {
-                    status = DrfStatus::Racy(RaceWitness {
-                        trace: trace.labels().to_vec(),
-                        pair: (i, n),
-                    });
-                    return Visit::Stop;
-                }
-            }
-            Visit::Continue
-        },
-    )?;
-    Ok(status)
+        status: DrfStatus::RaceFree,
+    };
+    TraceEngine::new(config).explore(locs, m0, &mut v)?;
+    Ok(v.status)
+}
+
+/// Visitor that stops at the first trace containing a weak transition.
+struct WeakTraceVisitor {
+    witness: Option<TransitionLabel>,
+}
+
+impl<E: Expr> TraceVisitor<E> for WeakTraceVisitor {
+    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<E>) -> Control {
+        let last = *trace.labels().last().expect("non-empty");
+        if last.weak {
+            self.witness = Some(last);
+            return Control::Stop;
+        }
+        Control::Continue
+    }
 }
 
 /// Determines whether *every* trace of the program is sequentially
@@ -262,30 +339,15 @@ pub fn sc_race_freedom<E: Expr>(
 ///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] on budget exhaustion.
+/// Returns [`EngineError`] on budget exhaustion.
 pub fn all_traces_sequentially_consistent<E: Expr>(
     locs: &LocSet,
     m0: Machine<E>,
-    config: ExploreConfig,
-) -> Result<bool, BudgetExceeded> {
-    let mut all_sc = true;
-    for_each_trace(
-        locs,
-        m0,
-        config,
-        |_| true,
-        |trace, _t| {
-            // Enumerate all transitions but prune below any weak one: we
-            // only need SC-reachable states, plus the weak transitions
-            // enabled at them.
-            if trace.labels().iter().any(|l| l.weak) {
-                all_sc = false;
-                return Visit::Stop;
-            }
-            Visit::Continue
-        },
-    )?;
-    Ok(all_sc)
+    config: EngineConfig,
+) -> Result<bool, EngineError> {
+    let mut v = WeakTraceVisitor { witness: None };
+    TraceEngine::new(config).explore(locs, m0, &mut v)?;
+    Ok(v.witness.is_none())
 }
 
 /// A counterexample to Theorem 14: the program is data-race-free under
@@ -304,32 +366,22 @@ pub struct GlobalDrfViolation {
 ///
 /// * [`CheckError::Violation`] if the theorem fails (never, for the paper
 ///   semantics).
-/// * [`CheckError::Budget`] on budget exhaustion.
+/// * [`CheckError::Engine`] on budget exhaustion.
 pub fn check_global_drf<E: Expr>(
     locs: &LocSet,
     m0: Machine<E>,
-    config: ExploreConfig,
+    config: EngineConfig,
 ) -> Result<DrfStatus, CheckError<GlobalDrfViolation>> {
     let status = sc_race_freedom(locs, m0.clone(), config)?;
     if let DrfStatus::RaceFree = status {
-        let mut witness = None;
-        for_each_trace(
-            locs,
-            m0,
-            config,
-            |_| true,
-            |trace, _t| {
-                let last = *trace.labels().last().expect("non-empty");
-                if last.weak {
-                    witness = Some(last);
-                    return Visit::Stop;
-                }
-                Visit::Continue
-            },
-        )
-        .map_err(CheckError::from)?;
-        if let Some(weak_transition) = witness {
-            return Err(CheckError::Violation(GlobalDrfViolation { weak_transition }));
+        let mut v = WeakTraceVisitor { witness: None };
+        TraceEngine::new(config)
+            .explore(locs, m0, &mut v)
+            .map_err(CheckError::from)?;
+        if let Some(weak_transition) = v.witness {
+            return Err(CheckError::Violation(GlobalDrfViolation {
+                weak_transition,
+            }));
         }
     }
     Ok(status)
@@ -341,8 +393,8 @@ mod tests {
     use crate::loc::{Loc, LocKind, Val};
     use crate::machine::{RecordedExpr, StepLabel};
 
-    fn cfg() -> ExploreConfig {
-        ExploreConfig::default()
+    fn cfg() -> EngineConfig {
+        EngineConfig::default()
     }
 
     fn locs_abf() -> (LocSet, Loc, Loc, Loc) {
@@ -360,7 +412,10 @@ mod tests {
         // that accesses `a` unconditionally races. Here: both threads write
         // disjoint locations with atomic flag sync — race-free.
         let (locs, a, _b, f) = locs_abf();
-        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Write(f, Val(1))]);
+        let p0 = RecordedExpr::new(vec![
+            StepLabel::Write(a, Val(1)),
+            StepLabel::Write(f, Val(1)),
+        ]);
         let p1 = RecordedExpr::new(vec![StepLabel::Read(f)]);
         let m0 = Machine::initial(&locs, [p0, p1]);
         let status = check_global_drf(&locs, m0, cfg()).unwrap();
@@ -375,7 +430,7 @@ mod tests {
         let m0 = Machine::initial(&locs, [p0, p1]);
         match sc_race_freedom(&locs, m0, cfg()).unwrap() {
             DrfStatus::Racy(w) => {
-                assert_eq!(w.pair.0 < w.pair.1, true);
+                assert!(w.pair.0 < w.pair.1);
             }
             DrfStatus::RaceFree => panic!("expected a race"),
         }
@@ -448,8 +503,23 @@ mod tests {
             .find(|t| t.label.thread.index() == 0)
             .unwrap();
         let l: LocPredicate = [a].into_iter().collect();
-        let stable =
-            is_l_stable_for_prefix(&locs, &[t.label], t.target, &l, cfg()).unwrap();
+        let stable = is_l_stable_for_prefix(&locs, &[t.label], t.target, &l, cfg()).unwrap();
         assert!(!stable);
+    }
+
+    #[test]
+    fn engine_error_converts_into_check_error() {
+        let (locs, a, _, _) = locs_abf();
+        let mk = || RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 6]);
+        let m0 = Machine::initial(&locs, [mk(), mk(), mk()]);
+        let tiny = EngineConfig {
+            max_states: 4,
+            max_traces: 4,
+        };
+        let l: LocPredicate = [a].into_iter().collect();
+        match check_local_drf(&locs, m0, &l, tiny) {
+            Err(CheckError::Engine(EngineError::BudgetExceeded { .. })) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
     }
 }

@@ -155,7 +155,10 @@ impl<E: Expr> Machine<E> {
             store: Store::initial(locs),
             threads: exprs
                 .into_iter()
-                .map(|e| ThreadState { frontier: f0.clone(), expr: e })
+                .map(|e| ThreadState {
+                    frontier: f0.clone(),
+                    expr: e,
+                })
                 .collect(),
         }
     }
@@ -196,8 +199,7 @@ impl<E: Expr> Machine<E> {
                             let mut m = self.clone();
                             m.store = r.store;
                             m.threads[ti].frontier = r.frontier;
-                            m.threads[ti].expr =
-                                thread.expr.apply_step(si, r.label.action.value());
+                            m.threads[ti].expr = thread.expr.apply_step(si, r.label.action.value());
                             out.push(Transition {
                                 label: TransitionLabel {
                                     thread: tid,
@@ -355,7 +357,10 @@ mod tests {
         // P0: a = 1; F = 1        P1: r0 = F; r1 = a
         // If P1 reads F == 1 then it must read a == 1.
         let (locs, a, f) = locs2();
-        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Write(f, Val(1))]);
+        let p0 = RecordedExpr::new(vec![
+            StepLabel::Write(a, Val(1)),
+            StepLabel::Write(f, Val(1)),
+        ]);
         let p1 = RecordedExpr::new(vec![StepLabel::Read(f), StepLabel::Read(a)]);
         let m0 = Machine::initial(&locs, [p0, p1]);
 

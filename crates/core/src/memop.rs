@@ -61,7 +61,10 @@ pub fn perform_read(locs: &LocSet, store: &Store, frontier: &Frontier, loc: Loc)
                 .map(|(t, v)| OpResult {
                     store: store.clone(),
                     frontier: frontier.clone(),
-                    label: LabeledAction { loc, action: Action::Read(v) },
+                    label: LabeledAction {
+                        loc,
+                        action: Action::Read(v),
+                    },
                     timestamp: Some(t),
                     // Definition 6: weak iff the read does not witness the
                     // latest write's *value*.
@@ -75,7 +78,10 @@ pub fn perform_read(locs: &LocSet, store: &Store, frontier: &Frontier, loc: Loc)
             vec![OpResult {
                 store: store.clone(),
                 frontier: merged,
-                label: LabeledAction { loc, action: Action::Read(v) },
+                label: LabeledAction {
+                    loc,
+                    action: Action::Read(v),
+                },
                 timestamp: None,
                 weak: false,
             }]
@@ -114,7 +120,10 @@ pub fn perform_write(
                     OpResult {
                         store: st,
                         frontier: f2,
-                        label: LabeledAction { loc, action: Action::Write(x) },
+                        label: LabeledAction {
+                            loc,
+                            action: Action::Write(x),
+                        },
                         timestamp: Some(t),
                         // Definition 6: weak iff not the latest write.
                         weak: t < latest_t,
@@ -126,11 +135,20 @@ pub fn perform_write(
             let (floc, _) = store.atomic(loc);
             let merged = floc.join(frontier);
             let mut st = store.clone();
-            st.update(loc, LocContents::Atomic { frontier: merged.clone(), value: x });
+            st.update(
+                loc,
+                LocContents::Atomic {
+                    frontier: merged.clone(),
+                    value: x,
+                },
+            );
             vec![OpResult {
                 store: st,
                 frontier: merged,
-                label: LabeledAction { loc, action: Action::Write(x) },
+                label: LabeledAction {
+                    loc,
+                    action: Action::Write(x),
+                },
                 timestamp: None,
                 weak: false,
             }]
@@ -141,7 +159,7 @@ pub fn perform_write(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     struct Fixture {
         locs: LocSet,
         a: Loc,
@@ -156,7 +174,13 @@ mod tests {
         let flag = locs.fresh("FLAG", LocKind::Atomic);
         let store = Store::initial(&locs);
         let f0 = Frontier::initial(&locs);
-        Fixture { locs, a, flag, store, f0 }
+        Fixture {
+            locs,
+            a,
+            flag,
+            store,
+            f0,
+        }
     }
 
     #[test]
@@ -182,8 +206,14 @@ mod tests {
         // A thread still at the initial frontier can read both entries.
         let outs = perform_read(&fx.locs, &store, &fx.f0, fx.a);
         assert_eq!(outs.len(), 2);
-        let stale = outs.iter().find(|o| o.label.action == Action::Read(Val::INIT)).unwrap();
-        let fresh = outs.iter().find(|o| o.label.action == Action::Read(Val(1))).unwrap();
+        let stale = outs
+            .iter()
+            .find(|o| o.label.action == Action::Read(Val::INIT))
+            .unwrap();
+        let fresh = outs
+            .iter()
+            .find(|o| o.label.action == Action::Read(Val(1)))
+            .unwrap();
         assert!(stale.weak, "missing the latest write is weak");
         assert!(!fresh.weak);
         // The writer itself can only see its own write.

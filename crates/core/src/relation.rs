@@ -30,7 +30,11 @@ impl Relation {
     /// The empty relation over `n` elements.
     pub fn new(n: usize) -> Relation {
         let words_per_row = n.div_ceil(64).max(1);
-        Relation { n, words_per_row, bits: vec![0; n * words_per_row] }
+        Relation {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
     }
 
     /// The identity relation over `n` elements.
@@ -79,12 +83,16 @@ impl Relation {
 
     /// True iff `(a, b)` is in the relation.
     pub fn contains(&self, a: usize, b: usize) -> bool {
-        a < self.n && b < self.n && self.bits[a * self.words_per_row + b / 64] & (1u64 << (b % 64)) != 0
+        a < self.n
+            && b < self.n
+            && self.bits[a * self.words_per_row + b / 64] & (1u64 << (b % 64)) != 0
     }
 
     /// Iterates over all pairs in the relation.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n).flat_map(move |a| (0..self.n).filter_map(move |b| self.contains(a, b).then_some((a, b))))
+        (0..self.n).flat_map(move |a| {
+            (0..self.n).filter_map(move |b| self.contains(a, b).then_some((a, b)))
+        })
     }
 
     /// The number of pairs in the relation.

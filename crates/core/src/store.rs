@@ -78,7 +78,10 @@ impl Store {
             .iter()
             .map(|l| match locs.kind(l) {
                 LocKind::Nonatomic => LocContents::Nonatomic(History::initial(Val::INIT)),
-                LocKind::Atomic => LocContents::Atomic { frontier: f0.clone(), value: Val::INIT },
+                LocKind::Atomic => LocContents::Atomic {
+                    frontier: f0.clone(),
+                    value: Val::INIT,
+                },
             })
             .collect();
         Store { contents }

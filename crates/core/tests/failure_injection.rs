@@ -58,7 +58,10 @@ fn step(
                     let v = o.label.action.value();
                     st.update(
                         loc(l),
-                        LocContents::Atomic { frontier: old_frontier.clone(), value: v },
+                        LocContents::Atomic {
+                            frontier: old_frontier.clone(),
+                            value: v,
+                        },
                     );
                     o.store = st;
                 }
@@ -114,7 +117,10 @@ fn mp_outcomes(sem: Semantics) -> std::collections::BTreeSet<(i64, i64)> {
 #[test]
 fn paper_semantics_guarantees_message_passing() {
     let outcomes = mp_outcomes(Semantics::Paper);
-    assert!(!outcomes.contains(&(1, 0)), "MP violated under the paper semantics: {outcomes:?}");
+    assert!(
+        !outcomes.contains(&(1, 0)),
+        "MP violated under the paper semantics: {outcomes:?}"
+    );
     assert!(outcomes.contains(&(1, 1)));
     assert!(outcomes.contains(&(0, 0)));
 }

@@ -44,7 +44,11 @@ pub fn bob(h: &HwExecution) -> Relation {
     let dmbst_w = h
         .dmbst
         .filter(|a, b| h.base.events[a].is_write() && h.base.events[b].is_write());
-    acq_m.union(&m_rel).union(&rel_acq).union(&dmbld_r).union(&dmbst_w)
+    acq_m
+        .union(&m_rel)
+        .union(&rel_acq)
+        .union(&dmbld_r)
+        .union(&dmbst_w)
 }
 
 /// `ob`: ordered-before, the ARMv8 global order.

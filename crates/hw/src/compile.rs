@@ -160,8 +160,8 @@ pub fn compile_candidate(sw: &CandidateExecution, target: Target) -> Compiled {
     let n_hw = acc;
 
     let mut hw_of = vec![usize::MAX; sw.base.len()];
-    for l in 0..nlocs {
-        hw_of[l] = l; // initial writes map to themselves
+    for (l, slot) in hw_of.iter_mut().enumerate().take(nlocs) {
+        *slot = l; // initial writes map to themselves
     }
     let mut pseudo_pairs: Vec<(usize, usize)> = Vec::new(); // (pseudo hw, sw write)
     let mut flat_specs: Vec<Option<HwSpec>> = vec![None; n_hw];

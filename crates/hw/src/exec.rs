@@ -78,7 +78,9 @@ impl HwExecution {
     /// RMW atomicity: `rmw ∩ (fre; coe) = ∅` — no write intervenes between
     /// the read and write halves of an exchange.
     pub fn rmw_atomic(&self) -> bool {
-        self.rmw.intersect(&self.fre().compose(&self.coe())).is_empty()
+        self.rmw
+            .intersect(&self.fre().compose(&self.coe()))
+            .is_empty()
     }
 
     /// Indices of write events whose `rmw`-predecessor exists (the paper's

@@ -255,9 +255,18 @@ mod tests {
 
     #[test]
     fn table1_shapes() {
-        assert_eq!(x86_sequence(AccessKind::NonatomicRead), vec![X86Instr::MovLoad]);
-        assert_eq!(x86_sequence(AccessKind::NonatomicWrite), vec![X86Instr::MovStore]);
-        assert_eq!(x86_sequence(AccessKind::AtomicRead), vec![X86Instr::MovLoad]);
+        assert_eq!(
+            x86_sequence(AccessKind::NonatomicRead),
+            vec![X86Instr::MovLoad]
+        );
+        assert_eq!(
+            x86_sequence(AccessKind::NonatomicWrite),
+            vec![X86Instr::MovStore]
+        );
+        assert_eq!(
+            x86_sequence(AccessKind::AtomicRead),
+            vec![X86Instr::MovLoad]
+        );
         assert_eq!(x86_sequence(AccessKind::AtomicWrite), vec![X86Instr::Xchg]);
     }
 
@@ -267,14 +276,22 @@ mod tests {
             BAL.sequence(AccessKind::NonatomicRead),
             vec![ArmInstr::Ldr, ArmInstr::DependentBranch]
         );
-        assert_eq!(BAL.sequence(AccessKind::NonatomicWrite), vec![ArmInstr::Str]);
+        assert_eq!(
+            BAL.sequence(AccessKind::NonatomicWrite),
+            vec![ArmInstr::Str]
+        );
         assert_eq!(
             BAL.sequence(AccessKind::AtomicRead),
             vec![ArmInstr::DmbLd, ArmInstr::Ldar]
         );
         assert_eq!(
             BAL.sequence(AccessKind::AtomicWrite),
-            vec![ArmInstr::Ldaxr, ArmInstr::Stlxr, ArmInstr::RetryBranch, ArmInstr::DmbSt]
+            vec![
+                ArmInstr::Ldaxr,
+                ArmInstr::Stlxr,
+                ArmInstr::RetryBranch,
+                ArmInstr::DmbSt
+            ]
         );
     }
 
@@ -289,15 +306,30 @@ mod tests {
 
     #[test]
     fn sra_uses_acquire_release() {
-        assert_eq!(SRA.sequence(AccessKind::NonatomicRead), vec![ArmInstr::Ldar]);
-        assert_eq!(SRA.sequence(AccessKind::NonatomicWrite), vec![ArmInstr::Stlr]);
+        assert_eq!(
+            SRA.sequence(AccessKind::NonatomicRead),
+            vec![ArmInstr::Ldar]
+        );
+        assert_eq!(
+            SRA.sequence(AccessKind::NonatomicWrite),
+            vec![ArmInstr::Stlr]
+        );
     }
 
     #[test]
     fn naive_is_bare() {
-        assert_eq!(NAIVE.sequence(AccessKind::NonatomicRead), vec![ArmInstr::Ldr]);
-        assert_eq!(NAIVE.sequence(AccessKind::NonatomicWrite), vec![ArmInstr::Str]);
-        assert_eq!(NAIVE.sequence(AccessKind::AtomicWrite), vec![ArmInstr::Stlr]);
+        assert_eq!(
+            NAIVE.sequence(AccessKind::NonatomicRead),
+            vec![ArmInstr::Ldr]
+        );
+        assert_eq!(
+            NAIVE.sequence(AccessKind::NonatomicWrite),
+            vec![ArmInstr::Str]
+        );
+        assert_eq!(
+            NAIVE.sequence(AccessKind::AtomicWrite),
+            vec![ArmInstr::Stlr]
+        );
     }
 
     #[test]

@@ -33,6 +33,10 @@ pub mod x86;
 pub use arm::{arm_consistent, bob, ob, obs};
 pub use compile::{compile_candidate, Compiled, Target};
 pub use exec::HwExecution;
-pub use isa::{x86_sequence, AccessKind, ArmInstr, ArmMapping, X86Instr, BAL, FBS, NAIVE, SRA, STLR_SC};
-pub use soundness::{check_compilation, hw_outcomes, SoundnessStats, SoundnessVerdict, UnsoundExecution};
+pub use isa::{
+    x86_sequence, AccessKind, ArmInstr, ArmMapping, X86Instr, BAL, FBS, NAIVE, SRA, STLR_SC,
+};
+pub use soundness::{
+    check_compilation, hw_outcomes, SoundnessStats, SoundnessVerdict, UnsoundExecution,
+};
 pub use x86::{ghb, x86_consistent};

@@ -103,7 +103,10 @@ pub fn check_compilation(
             stats.hw_consistent += 1;
         }
         if hw_ok && !sw_ok {
-            counterexample = Some(UnsoundExecution { observation: pe.observation(), stats });
+            counterexample = Some(UnsoundExecution {
+                observation: pe.observation(),
+                stats,
+            });
         }
     })?;
     Ok(match counterexample {
@@ -203,8 +206,8 @@ mod tests {
         // behaviour; strictness is allowed. For NAIVE on LB the hardware
         // adds the forbidden outcome.
         let p = lb();
-        let sw: BTreeSet<_> = bdrst_axiomatic::axiomatic_outcomes(&p, EnumLimits::default())
-            .unwrap();
+        let sw: BTreeSet<_> =
+            bdrst_axiomatic::axiomatic_outcomes(&p, EnumLimits::default()).unwrap();
         let hw_bal = hw_outcomes(&p, Target::Arm(BAL), EnumLimits::default()).unwrap();
         assert!(hw_bal.is_subset(&sw));
         let hw_naive = hw_outcomes(&p, Target::Arm(NAIVE), EnumLimits::default()).unwrap();

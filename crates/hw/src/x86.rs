@@ -59,7 +59,11 @@ mod tests {
     /// SB with the relaxed outcome r0 = r1 = 0 — allowed by TSO.
     fn sb_relaxed(atomic: bool) -> CandidateExecution {
         let mut locs = LocSet::new();
-        let kind = if atomic { LocKind::Atomic } else { LocKind::Nonatomic };
+        let kind = if atomic {
+            LocKind::Atomic
+        } else {
+            LocKind::Nonatomic
+        };
         let a = locs.fresh("a", kind);
         let b = locs.fresh("b", kind);
         let base = EventSet::new(

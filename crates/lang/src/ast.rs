@@ -229,9 +229,7 @@ impl Stmt {
                 .max_reg()
                 .max(t.iter().filter_map(Stmt::max_reg).max())
                 .max(e.iter().filter_map(Stmt::max_reg).max()),
-            Stmt::While(c, b, _) => {
-                c.max_reg().max(b.iter().filter_map(Stmt::max_reg).max())
-            }
+            Stmt::While(c, b, _) => c.max_reg().max(b.iter().filter_map(Stmt::max_reg).max()),
         }
     }
 }
@@ -304,7 +302,10 @@ mod tests {
         // (r0 + 10) * (r1 == 0)
         let e = PureExpr::reg(Reg(0))
             .binary(BinOp::Add, PureExpr::constant(10))
-            .binary(BinOp::Mul, PureExpr::reg(Reg(1)).binary(BinOp::Eq, PureExpr::constant(0)));
+            .binary(
+                BinOp::Mul,
+                PureExpr::reg(Reg(1)).binary(BinOp::Eq, PureExpr::constant(0)),
+            );
         assert_eq!(e.eval(&[Val(5), Val(0)]), Val(15));
         assert_eq!(e.eval(&[Val(5), Val(1)]), Val(0));
         assert_eq!(e.max_reg(), Some(1));
@@ -327,7 +328,10 @@ mod tests {
 
     #[test]
     fn display_round_shapes() {
-        let s = Stmt::Store(Loc(0), PureExpr::reg(Reg(1)).binary(BinOp::Add, PureExpr::constant(10)));
+        let s = Stmt::Store(
+            Loc(0),
+            PureExpr::reg(Reg(1)).binary(BinOp::Add, PureExpr::constant(10)),
+        );
         assert_eq!(format!("{s}"), "ℓ0 = (r1 + 10);\n");
     }
 }

@@ -44,7 +44,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -79,7 +83,12 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
 /// Returns the first [`ParseError`] encountered.
 pub fn parse_with_options(src: &str, options: ParseOptions) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, locs: LocSet::new(), options };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        locs: LocSet::new(),
+        options,
+    };
     p.program()
 }
 
@@ -103,8 +112,8 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
     let mut i = 0;
     let (mut line, mut col) = (1usize, 1usize);
     let puncts: &[&'static str] = &[
-        "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", ";", "=", "<", ">", "+", "-",
-        "*", "!", ",",
+        "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", ";", "=", "<", ">", "+", "-", "*",
+        "!", ",",
     ];
     while i < bytes.len() {
         let c = bytes[i] as char;
@@ -133,7 +142,11 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 i += 1;
             }
             let text = &src[start..i];
-            out.push(Token { tok: Tok::Ident(text.to_string()), line, column: col });
+            out.push(Token {
+                tok: Tok::Ident(text.to_string()),
+                line,
+                column: col,
+            });
             col += i - start;
             continue;
         }
@@ -148,14 +161,22 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 line,
                 column: col,
             })?;
-            out.push(Token { tok: Tok::Int(v), line, column: col });
+            out.push(Token {
+                tok: Tok::Int(v),
+                line,
+                column: col,
+            });
             col += i - start;
             continue;
         }
         let mut matched = false;
         for p in puncts {
             if src[i..].starts_with(p) {
-                out.push(Token { tok: Tok::Punct(p), line, column: col });
+                out.push(Token {
+                    tok: Tok::Punct(p),
+                    line,
+                    column: col,
+                });
                 i += p.len();
                 col += p.len();
                 matched = true;
@@ -218,16 +239,17 @@ impl Parser {
     }
 
     fn error_here(&self, message: impl Into<String>) -> ParseError {
-        let (line, column) = self
-            .peek()
-            .map(|t| (t.line, t.column))
-            .unwrap_or_else(|| {
-                self.tokens
-                    .last()
-                    .map(|t| (t.line, t.column + 1))
-                    .unwrap_or((1, 1))
-            });
-        ParseError { message: message.into(), line, column }
+        let (line, column) = self.peek().map(|t| (t.line, t.column)).unwrap_or_else(|| {
+            self.tokens
+                .last()
+                .map(|t| (t.line, t.column + 1))
+                .unwrap_or((1, 1))
+        });
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -258,7 +280,11 @@ impl Parser {
 
     fn expect_ident(&mut self) -> Result<(String, usize, usize), ParseError> {
         match self.peek().cloned() {
-            Some(Token { tok: Tok::Ident(s), line, column }) => {
+            Some(Token {
+                tok: Tok::Ident(s),
+                line,
+                column,
+            }) => {
                 self.pos += 1;
                 Ok((s, line, column))
             }
@@ -304,9 +330,16 @@ impl Parser {
         while self.eat_keyword("thread") {
             let (name, ..) = self.expect_ident()?;
             self.expect_punct("{")?;
-            let mut scope = ThreadScope { regs: Vec::new(), temp_count: 0 };
+            let mut scope = ThreadScope {
+                regs: Vec::new(),
+                temp_count: 0,
+            };
             let body = self.block_body(&mut scope)?;
-            threads.push(ThreadProgram { name, regs: scope.regs, body });
+            threads.push(ThreadProgram {
+                name,
+                regs: scope.regs,
+                body,
+            });
         }
         if threads.is_empty() {
             return Err(self.error_here("program has no threads"));
@@ -314,7 +347,10 @@ impl Parser {
         if self.pos != self.tokens.len() {
             return Err(self.error_here("unexpected trailing input"));
         }
-        Ok(Program { locs: self.locs.clone(), threads })
+        Ok(Program {
+            locs: self.locs.clone(),
+            threads,
+        })
     }
 
     /// Parses statements up to (and consuming) the closing `}`.
@@ -503,18 +539,25 @@ impl Parser {
 
     fn primary_expr(&mut self) -> Result<SurfaceExpr, ParseError> {
         match self.peek().cloned() {
-            Some(Token { tok: Tok::Int(v), .. }) => {
+            Some(Token {
+                tok: Tok::Int(v), ..
+            }) => {
                 self.pos += 1;
                 Ok(SurfaceExpr::Const(v))
             }
-            Some(Token { tok: Tok::Ident(s), .. }) => {
+            Some(Token {
+                tok: Tok::Ident(s), ..
+            }) => {
                 if is_keyword(&s) {
                     return Err(self.error_here(format!("unexpected keyword `{s}`")));
                 }
                 self.pos += 1;
                 Ok(SurfaceExpr::Name(s))
             }
-            Some(Token { tok: Tok::Punct("("), .. }) => {
+            Some(Token {
+                tok: Tok::Punct("("),
+                ..
+            }) => {
                 self.pos += 1;
                 let e = self.expr()?;
                 self.expect_punct(")")?;
@@ -526,7 +569,10 @@ impl Parser {
 }
 
 fn is_keyword(s: &str) -> bool {
-    matches!(s, "nonatomic" | "atomic" | "thread" | "if" | "else" | "while")
+    matches!(
+        s,
+        "nonatomic" | "atomic" | "thread" | "if" | "else" | "while"
+    )
 }
 
 /// Helper to look up a location that must exist (for tests and examples).

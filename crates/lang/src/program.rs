@@ -4,7 +4,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use bdrst_core::explore::{reachable_terminals, BudgetExceeded, ExploreConfig};
+use bdrst_core::engine::{EngineError, Strategy};
+use bdrst_core::explore::{reachable_terminals, reachable_terminals_with, ExploreConfig};
 use bdrst_core::loc::{Loc, LocKind, LocSet, Val};
 use bdrst_core::machine::Machine;
 
@@ -25,7 +26,10 @@ pub struct ThreadProgram {
 impl ThreadProgram {
     /// Looks up a register by name.
     pub fn reg_by_name(&self, name: &str) -> Option<Reg> {
-        self.regs.iter().position(|r| r == name).map(|i| Reg(i as u16))
+        self.regs
+            .iter()
+            .position(|r| r == name)
+            .map(|i| Reg(i as u16))
     }
 }
 
@@ -71,7 +75,9 @@ impl Program {
     pub fn initial_machine(&self) -> Machine<ThreadState> {
         Machine::initial(
             &self.locs,
-            self.threads.iter().map(|t| ThreadState::new(t.body.clone())),
+            self.threads
+                .iter()
+                .map(|t| ThreadState::new(t.body.clone())),
         )
     }
 
@@ -95,9 +101,29 @@ impl Program {
     ///
     /// # Errors
     ///
-    /// Returns [`BudgetExceeded`] if the state space exceeds the budget.
-    pub fn outcomes(&self, config: ExploreConfig) -> Result<Outcomes, BudgetExceeded> {
+    /// Returns [`EngineError`] if the state space exceeds the budget.
+    pub fn outcomes(&self, config: ExploreConfig) -> Result<Outcomes, EngineError> {
         let terminals = reachable_terminals(&self.locs, self.initial_machine(), config)?;
+        Ok(Outcomes {
+            program: self.clone(),
+            set: terminals.iter().map(|m| self.observe(m)).collect(),
+        })
+    }
+
+    /// [`Program::outcomes`] under an explicit engine [`Strategy`]
+    /// (DFS / BFS / parallel frontier expansion). All strategies produce
+    /// the same observation set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the state space exceeds the budget.
+    pub fn outcomes_with(
+        &self,
+        config: ExploreConfig,
+        strategy: Strategy,
+    ) -> Result<Outcomes, EngineError> {
+        let terminals =
+            reachable_terminals_with(&self.locs, self.initial_machine(), config, strategy)?;
         Ok(Outcomes {
             program: self.clone(),
             set: terminals.iter().map(|m| self.observe(m)).collect(),
@@ -186,17 +212,20 @@ impl Outcomes {
 
     /// Iterates over observations, paired with the program for lookups.
     pub fn iter(&self) -> impl Iterator<Item = NamedObservation<'_>> + '_ {
-        self.set.iter().map(move |obs| NamedObservation { program: &self.program, obs })
+        self.set.iter().map(move |obs| NamedObservation {
+            program: &self.program,
+            obs,
+        })
     }
 
     /// True if some observation satisfies the predicate.
-    pub fn any(&self, mut pred: impl FnMut(NamedObservation<'_>) -> bool) -> bool {
-        self.iter().any(|o| pred(o))
+    pub fn any(&self, pred: impl FnMut(NamedObservation<'_>) -> bool) -> bool {
+        self.iter().any(pred)
     }
 
     /// True if every observation satisfies the predicate.
-    pub fn all(&self, mut pred: impl FnMut(NamedObservation<'_>) -> bool) -> bool {
-        self.iter().all(|o| pred(o))
+    pub fn all(&self, pred: impl FnMut(NamedObservation<'_>) -> bool) -> bool {
+        self.iter().all(pred)
     }
 }
 

@@ -54,7 +54,10 @@ impl ThreadState {
             .map_or(0, |m| m as usize + 1);
         let mut cont = body;
         cont.reverse();
-        ThreadState { cont, regs: vec![Val::INIT; nregs] }
+        ThreadState {
+            cont,
+            regs: vec![Val::INIT; nregs],
+        }
     }
 
     /// The current value of register `r` (registers the thread never
@@ -180,7 +183,10 @@ mod tests {
         let (_, a) = loc_a();
         let t = ThreadState::new(vec![
             Stmt::Assign(Reg(0), PureExpr::constant(3)),
-            Stmt::Store(a, PureExpr::reg(Reg(0)).binary(BinOp::Add, PureExpr::constant(1))),
+            Stmt::Store(
+                a,
+                PureExpr::reg(Reg(0)).binary(BinOp::Add, PureExpr::constant(1)),
+            ),
         ]);
         let t = t.apply_step(0, Val::INIT);
         assert_eq!(t.steps(), vec![StepLabel::Write(a, Val(4))]);

@@ -164,16 +164,12 @@ pub static CORR_SYNC: LitmusTest = LitmusTest {
     checks: &[
         OutcomeCheck {
             description: "r = 1 ∧ r0 ≠ r1",
-            predicate: |o| {
-                r(o, "P1", "r") == 1 && r(o, "P1", "r0") != r(o, "P1", "r1")
-            },
+            predicate: |o| r(o, "P1", "r") == 1 && r(o, "P1", "r0") != r(o, "P1", "r1"),
             allowed: false,
         },
         OutcomeCheck {
             description: "r = 1 ∧ r0 = r1 = 1",
-            predicate: |o| {
-                r(o, "P1", "r") == 1 && r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 1
-            },
+            predicate: |o| r(o, "P1", "r") == 1 && r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 1,
             allowed: true,
         },
     ],
@@ -378,8 +374,22 @@ pub static WRC: LitmusTest = LitmusTest {
 /// All corpus tests, in presentation order.
 pub fn all_tests() -> Vec<&'static LitmusTest> {
     vec![
-        &SB, &MP, &MP_NA, &LB, &LB_CTRL, &CORR, &CORR_SYNC, &COWW, &TWO_PLUS_TWO_W, &WRC,
-        &IRIW_AT, &IRIW_NA, &EXAMPLE1, &EXAMPLE2, &EXAMPLE3, &SEC92,
+        &SB,
+        &MP,
+        &MP_NA,
+        &LB,
+        &LB_CTRL,
+        &CORR,
+        &CORR_SYNC,
+        &COWW,
+        &TWO_PLUS_TWO_W,
+        &WRC,
+        &IRIW_AT,
+        &IRIW_NA,
+        &EXAMPLE1,
+        &EXAMPLE2,
+        &EXAMPLE3,
+        &SEC92,
     ]
 }
 
@@ -399,8 +409,16 @@ mod tests {
     fn corpus_has_both_polarities() {
         let tests = all_tests();
         assert!(tests.len() >= 14);
-        let allowed = tests.iter().flat_map(|t| t.checks).filter(|c| c.allowed).count();
-        let forbidden = tests.iter().flat_map(|t| t.checks).filter(|c| !c.allowed).count();
+        let allowed = tests
+            .iter()
+            .flat_map(|t| t.checks)
+            .filter(|c| c.allowed)
+            .count();
+        let forbidden = tests
+            .iter()
+            .flat_map(|t| t.checks)
+            .filter(|c| !c.allowed)
+            .count();
         assert!(allowed >= 5 && forbidden >= 5);
     }
 }

@@ -8,11 +8,20 @@
 //! request — the compiled-program behaviours under the x86-TSO and ARMv8
 //! hardware models.
 //!
+//! [`runner::RunConfig::strategy`] selects the exploration engine
+//! (DFS / BFS / parallel frontier expansion), and the batched sweep entry
+//! points [`runner::run_corpus`] / [`runner::run_corpus_sharded`] run the
+//! whole corpus — the sharded variant distributes tests across the core
+//! engine's work-claiming parallel map.
+//!
 //! ```
 //! use bdrst_litmus::{corpus, runner};
 //!
 //! let report = runner::run_test(&corpus::MP, runner::RunConfig::default())?;
 //! assert!(report.passes());
+//!
+//! let sweep = runner::run_corpus_sharded(runner::RunConfig::default(), 0);
+//! assert!(runner::corpus_passes(&sweep));
 //! # Ok::<(), bdrst_litmus::runner::RunError>(())
 //! ```
 
@@ -20,4 +29,7 @@ pub mod corpus;
 pub mod runner;
 
 pub use corpus::{all_tests, LitmusTest, OutcomeCheck};
-pub use runner::{format_reports, run_test, RunConfig, RunError, TestReport};
+pub use runner::{
+    corpus_passes, format_reports, run_corpus, run_corpus_sharded, run_test, CorpusEntry,
+    RunConfig, RunError, TestReport,
+};

@@ -6,31 +6,24 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use bdrst_axiomatic::{axiomatic_outcomes, EnumError, EnumLimits};
-use bdrst_core::explore::{BudgetExceeded, ExploreConfig};
+use bdrst_core::engine::{parallel_map_with, EngineError, Strategy};
+use bdrst_core::explore::ExploreConfig;
 use bdrst_hw::{hw_outcomes, Target};
 use bdrst_lang::{Observation, Program};
 
 use crate::corpus::LitmusTest;
 
 /// Which models to consult for a run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RunConfig {
     /// Budget for operational exploration.
     pub explore: ExploreConfig,
+    /// Engine strategy for operational exploration (DFS/BFS/parallel).
+    pub strategy: Strategy,
     /// Budget for axiomatic/hardware enumeration.
     pub enumerate: EnumLimits,
     /// Also compute hardware outcome sets (slower).
     pub hardware: bool,
-}
-
-impl Default for RunConfig {
-    fn default() -> RunConfig {
-        RunConfig {
-            explore: ExploreConfig::default(),
-            enumerate: EnumLimits::default(),
-            hardware: false,
-        }
-    }
 }
 
 /// Errors from a litmus run.
@@ -38,8 +31,8 @@ impl Default for RunConfig {
 pub enum RunError {
     /// The source failed to parse (a corpus bug).
     Parse(String),
-    /// Operational exploration exceeded its budget.
-    Operational(BudgetExceeded),
+    /// Operational exploration failed in the engine.
+    Operational(EngineError),
     /// Axiomatic or hardware enumeration failed.
     Enumeration(EnumError),
 }
@@ -151,14 +144,14 @@ fn observed_flags(
 pub fn run_test(test: &LitmusTest, config: RunConfig) -> Result<TestReport, RunError> {
     let program = Program::parse(test.source).map_err(|e| RunError::Parse(e.to_string()))?;
     let op = program
-        .outcomes(config.explore)
+        .outcomes_with(config.explore, config.strategy)
         .map_err(RunError::Operational)?
         .set()
         .clone();
     let ax = axiomatic_outcomes(&program, config.enumerate).map_err(RunError::Enumeration)?;
     let (x86, arm_bal, arm_naive) = if config.hardware {
-        let x = hw_outcomes(&program, Target::X86, config.enumerate)
-            .map_err(RunError::Enumeration)?;
+        let x =
+            hw_outcomes(&program, Target::X86, config.enumerate).map_err(RunError::Enumeration)?;
         let b = hw_outcomes(&program, Target::Arm(bdrst_hw::BAL), config.enumerate)
             .map_err(RunError::Enumeration)?;
         let n = hw_outcomes(&program, Target::Arm(bdrst_hw::NAIVE), config.enumerate)
@@ -181,6 +174,34 @@ pub fn run_test(test: &LitmusTest, config: RunConfig) -> Result<TestReport, RunE
     })
 }
 
+/// One entry of a corpus sweep: the test name and its report (or error).
+pub type CorpusEntry = (&'static str, Result<TestReport, RunError>);
+
+/// Runs the whole corpus sequentially, in corpus order (the one-worker
+/// case of [`run_corpus_sharded`]).
+pub fn run_corpus(config: RunConfig) -> Vec<CorpusEntry> {
+    run_corpus_sharded(config, 1)
+}
+
+/// Runs the whole corpus sharded across the engine's parallel map: each
+/// litmus test is one work item, claimed dynamically by worker threads
+/// (test costs vary by orders of magnitude, so static chunking would
+/// straggle). `threads == 0` uses every available core.
+///
+/// Produces exactly the same entries as [`run_corpus`], in the same
+/// (corpus) order — the sweep-equivalence tests assert this.
+pub fn run_corpus_sharded(config: RunConfig, threads: usize) -> Vec<CorpusEntry> {
+    let tests = crate::corpus::all_tests();
+    parallel_map_with(&tests, threads, |t| (t.name, run_test(t, config)))
+}
+
+/// True iff every test in a sweep produced a passing report.
+pub fn corpus_passes(entries: &[CorpusEntry]) -> bool {
+    entries
+        .iter()
+        .all(|(_, r)| r.as_ref().map(TestReport::passes).unwrap_or(false))
+}
+
 /// Renders a run of the whole corpus as a table (used by the `litmus`
 /// binary and EXPERIMENTS.md).
 pub fn format_reports(reports: &[(String, TestReport)]) -> String {
@@ -199,7 +220,11 @@ pub fn format_reports(reports: &[(String, TestReport)]) -> String {
                 if opv.expected { "allowed" } else { "forbid" },
                 if opv.observed { "seen" } else { "—" },
                 if axv.observed { "seen" } else { "—" },
-                if opv.passes() && axv.passes() { "" } else { "   ✗ MISMATCH" },
+                if opv.passes() && axv.passes() {
+                    ""
+                } else {
+                    "   ✗ MISMATCH"
+                },
             ));
         }
     }
@@ -259,14 +284,69 @@ mod tests {
     }
 
     #[test]
+    fn corpus_outcome_sets_identical_across_strategies() {
+        // The acceptance bar for the engine refactor: DFS, BFS and the
+        // parallel engine produce byte-identical canonical outcome sets
+        // on the full corpus.
+        for t in corpus::all_tests() {
+            let p = Program::parse(t.source).unwrap();
+            let cfg = ExploreConfig::default();
+            let dfs = p.outcomes_with(cfg, Strategy::Dfs).unwrap().set().clone();
+            let bfs = p.outcomes_with(cfg, Strategy::Bfs).unwrap().set().clone();
+            let par = p
+                .outcomes_with(cfg, Strategy::Parallel)
+                .unwrap()
+                .set()
+                .clone();
+            assert_eq!(dfs, bfs, "DFS vs BFS diverge on {}", t.name);
+            assert_eq!(dfs, par, "DFS vs parallel diverge on {}", t.name);
+            assert_eq!(
+                format!("{dfs:?}"),
+                format!("{par:?}"),
+                "rendered outcome sets differ on {}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_sweep_matches_sequential_sweep() {
+        let seq = run_corpus(RunConfig::default());
+        let par = run_corpus_sharded(RunConfig::default(), 4);
+        assert_eq!(seq.len(), par.len());
+        for ((n1, r1), (n2, r2)) in seq.iter().zip(&par) {
+            assert_eq!(n1, n2);
+            assert_eq!(
+                format!("{r1:?}"),
+                format!("{r2:?}"),
+                "sweep diverges on {n1}"
+            );
+        }
+        assert!(corpus_passes(&seq), "corpus should pass: {seq:?}");
+    }
+
+    #[test]
+    fn parallel_strategy_in_run_config() {
+        let cfg = RunConfig {
+            strategy: Strategy::Parallel,
+            ..RunConfig::default()
+        };
+        let rep = run_test(&corpus::MP, cfg).unwrap();
+        assert!(rep.passes(), "{rep:?}");
+    }
+
+    #[test]
     fn naive_arm_shows_lb_on_hardware() {
-        let cfg = RunConfig { hardware: true, ..RunConfig::default() };
+        let cfg = RunConfig {
+            hardware: true,
+            ..RunConfig::default()
+        };
         let rep = run_test(&corpus::LB, cfg).unwrap();
         // The forbidden outcome is visible under the naive mapping…
-        assert_eq!(rep.arm_naive.as_ref().unwrap()[0], true);
+        assert!(rep.arm_naive.as_ref().unwrap()[0]);
         // …but not under BAL or x86.
-        assert_eq!(rep.arm_bal.as_ref().unwrap()[0], false);
-        assert_eq!(rep.x86.as_ref().unwrap()[0], false);
+        assert!(!rep.arm_bal.as_ref().unwrap()[0]);
+        assert!(!rep.x86.as_ref().unwrap()[0]);
         assert!(rep.hardware_sound());
     }
 }

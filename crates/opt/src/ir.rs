@@ -139,8 +139,14 @@ mod tests {
     fn effects() {
         let (locs, a, f) = locs();
         assert_eq!(effect(&Stmt::Load(Reg(0), a)), Effect::Read(a));
-        assert_eq!(effect(&Stmt::Store(a, PureExpr::constant(1))), Effect::Write(a));
-        assert_eq!(effect(&Stmt::Assign(Reg(0), PureExpr::constant(1))), Effect::Pure);
+        assert_eq!(
+            effect(&Stmt::Store(a, PureExpr::constant(1))),
+            Effect::Write(a)
+        );
+        assert_eq!(
+            effect(&Stmt::Assign(Reg(0), PureExpr::constant(1))),
+            Effect::Pure
+        );
         assert!(is_atomic(&locs, &Stmt::Load(Reg(0), f)));
         assert!(!is_atomic(&locs, &Stmt::Load(Reg(0), a)));
     }
@@ -148,7 +154,10 @@ mod tests {
     #[test]
     fn def_use_sets() {
         let (_, a, _) = locs();
-        let s = Stmt::Store(a, PureExpr::reg(Reg(1)).binary(bdrst_lang::BinOp::Add, PureExpr::reg(Reg(2))));
+        let s = Stmt::Store(
+            a,
+            PureExpr::reg(Reg(1)).binary(bdrst_lang::BinOp::Add, PureExpr::reg(Reg(2))),
+        );
         assert_eq!(def(&s), None);
         assert_eq!(uses(&s), [Reg(1), Reg(2)].into_iter().collect());
         let l = Stmt::Load(Reg(3), a);
@@ -163,8 +172,8 @@ mod tests {
         let use_it = Stmt::Assign(Reg(1), PureExpr::reg(Reg(0)));
         let unrelated = Stmt::Assign(Reg(2), PureExpr::constant(5));
         assert!(data_dependent(&load, &use_it)); // RAW
-        // WAR in the other direction: the load redefines r0 that the
-        // assign reads, so they are dependent both ways.
+                                                 // WAR in the other direction: the load redefines r0 that the
+                                                 // assign reads, so they are dependent both ways.
         assert!(data_dependent(&use_it, &load));
         assert!(!data_dependent(&load, &unrelated));
         // WAR: store uses r0, then load redefines r0.

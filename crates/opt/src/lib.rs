@@ -34,8 +34,8 @@ pub mod validate;
 
 pub use ir::{data_dependent, def, effect, uses, Effect};
 pub use passes::{
-    attempt_redundant_store_elimination, constant_propagation, cse_loads,
-    dead_store_elimination, hoist_loop_invariant_load, sequentialise,
+    attempt_redundant_store_elimination, constant_propagation, cse_loads, dead_store_elimination,
+    hoist_loop_invariant_load, sequentialise,
 };
 pub use peephole::{dead_store, redundant_load, store_forwarding};
 pub use reorder::{

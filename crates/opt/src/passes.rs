@@ -33,7 +33,11 @@ fn move_up(
         let (a, b) = (&out[pos - 1], &out[pos]);
         let constraints = constraints_between(locs, a, b);
         if !constraints.is_empty() {
-            return Err(ReorderViolation { first: pos - 1, second: pos, constraints });
+            return Err(ReorderViolation {
+                first: pos - 1,
+                second: pos,
+                constraints,
+            });
         }
         out.swap(pos - 1, pos);
         pos -= 1;
@@ -48,7 +52,9 @@ fn move_up(
 /// returns `None` if there is none.
 pub fn cse_loads(locs: &LocSet, stmts: &[Stmt]) -> Option<Vec<Stmt>> {
     for i in 0..stmts.len() {
-        let Stmt::Load(_, l1) = &stmts[i] else { continue };
+        let Stmt::Load(_, l1) = &stmts[i] else {
+            continue;
+        };
         if locs.kind(*l1) != LocKind::Nonatomic {
             continue;
         }
@@ -88,7 +94,9 @@ fn effect_conflicts(locs: &LocSet, s: &Stmt, l: bdrst_core::loc::Loc) -> bool {
 /// adjacent (`poWW`/`poWR` relaxed only).
 pub fn constant_propagation(locs: &LocSet, stmts: &[Stmt]) -> Option<Vec<Stmt>> {
     for i in 0..stmts.len() {
-        let Stmt::Store(l1, PureExpr::Const(_)) = &stmts[i] else { continue };
+        let Stmt::Store(l1, PureExpr::Const(_)) = &stmts[i] else {
+            continue;
+        };
         if locs.kind(*l1) != LocKind::Nonatomic {
             continue;
         }
@@ -132,7 +140,11 @@ fn move_down(
         let (a, b) = (&out[pos], &out[pos + 1]);
         let constraints = constraints_between(locs, a, b);
         if !constraints.is_empty() {
-            return Err(ReorderViolation { first: pos, second: pos + 1, constraints });
+            return Err(ReorderViolation {
+                first: pos,
+                second: pos + 1,
+                constraints,
+            });
         }
         out.swap(pos, pos + 1);
         pos += 1;
@@ -145,7 +157,9 @@ fn move_down(
 /// adjacent (`poWW`/`poWR` relaxed only).
 pub fn dead_store_elimination(locs: &LocSet, stmts: &[Stmt]) -> Option<Vec<Stmt>> {
     for i in 0..stmts.len() {
-        let Stmt::Store(l1, _) = &stmts[i] else { continue };
+        let Stmt::Store(l1, _) = &stmts[i] else {
+            continue;
+        };
         if locs.kind(*l1) != LocKind::Nonatomic {
             continue;
         }
@@ -181,7 +195,9 @@ pub fn attempt_redundant_store_elimination(
     stmts: &[Stmt],
 ) -> Result<(), ReorderViolation> {
     for i in 0..stmts.len() {
-        let Stmt::Load(r, l) = &stmts[i] else { continue };
+        let Stmt::Load(r, l) = &stmts[i] else {
+            continue;
+        };
         for j in i + 1..stmts.len() {
             if let Stmt::Store(l2, PureExpr::Reg(r2)) = &stmts[j] {
                 if l == l2 && r == r2 {
@@ -200,9 +216,14 @@ pub fn attempt_redundant_store_elimination(
 /// in-body reordering relaxes only `poRR` and `poWR`; collapsing the
 /// per-iteration loads is the cross-iteration Redundant Load.
 pub fn hoist_loop_invariant_load(locs: &LocSet, stmt: &Stmt) -> Option<(Vec<Stmt>, Stmt)> {
-    let Stmt::While(cond, body, fuel) = stmt else { return None };
+    let Stmt::While(cond, body, fuel) = stmt else {
+        return None;
+    };
     // Straight-line bodies only.
-    if body.iter().any(|s| matches!(s, Stmt::If(..) | Stmt::While(..))) {
+    if body
+        .iter()
+        .any(|s| matches!(s, Stmt::If(..) | Stmt::While(..)))
+    {
         return None;
     }
     // No atomics anywhere in the body (poat− / po−at).
@@ -215,7 +236,10 @@ pub fn hoist_loop_invariant_load(locs: &LocSet, stmt: &Stmt) -> Option<(Vec<Stmt
             continue;
         }
         // The body must not write l (pocon across iterations)…
-        if body.iter().any(|s| matches!(effect(s), Effect::Write(l2) if l2 == *l)) {
+        if body
+            .iter()
+            .any(|s| matches!(effect(s), Effect::Write(l2) if l2 == *l))
+        {
             continue;
         }
         // …must not redefine r elsewhere, and the condition must not use r
@@ -231,7 +255,10 @@ pub fn hoist_loop_invariant_load(locs: &LocSet, stmt: &Stmt) -> Option<(Vec<Stmt
         }
         // Earlier body statements must permit the load to move to the top
         // (poRR/poWR relaxations plus no register deps).
-        if !body[..k].iter().all(|s| can_swap(locs, s, &Stmt::Load(*r, *l))) {
+        if !body[..k]
+            .iter()
+            .all(|s| can_swap(locs, s, &Stmt::Load(*r, *l)))
+        {
             continue;
         }
         let mut new_body = body.clone();
@@ -274,7 +301,10 @@ pub fn sequentialise(program: &Program, first: usize, second: usize) -> Program 
             threads.push(t.clone());
         }
     }
-    Program { locs: program.locs.clone(), threads }
+    Program {
+        locs: program.locs.clone(),
+        threads,
+    }
 }
 
 fn shift_regs(s: &Stmt, offset: u16) -> Stmt {
@@ -368,7 +398,9 @@ mod tests {
         );
         let out = constant_propagation(&locs, &body).expect("const-prop applies");
         // The load of a is replaced with the constant.
-        assert!(out.iter().any(|s| matches!(s, Stmt::Assign(_, PureExpr::Const(v)) if v.0 == 1)));
+        assert!(out
+            .iter()
+            .any(|s| matches!(s, Stmt::Assign(_, PureExpr::Const(v)) if v.0 == 1)));
         assert!(!out
             .iter()
             .any(|s| matches!(s, Stmt::Load(_, l) if locs.name(*l) == "a")));
@@ -424,7 +456,9 @@ mod tests {
         let (pre, new_w) = hoist_loop_invariant_load(&locs, w).expect("LICM applies");
         assert_eq!(pre.len(), 1);
         assert!(matches!(&pre[0], Stmt::Load(_, l) if locs.name(*l) == "c"));
-        let Stmt::While(_, new_body, _) = &new_w else { panic!() };
+        let Stmt::While(_, new_body, _) = &new_w else {
+            panic!()
+        };
         assert!(!new_body
             .iter()
             .any(|s| matches!(s, Stmt::Load(_, l) if locs.name(*l) == "c")));

@@ -101,10 +101,7 @@ mod tests {
     #[test]
     fn sf_rewrites() {
         let (locs, a, _) = fixture();
-        let stmts = vec![
-            Stmt::Store(a, PureExpr::constant(7)),
-            Stmt::Load(Reg(0), a),
-        ];
+        let stmts = vec![Stmt::Store(a, PureExpr::constant(7)), Stmt::Load(Reg(0), a)];
         let out = store_forwarding(&locs, &stmts, 0).unwrap();
         assert_eq!(out[1], Stmt::Assign(Reg(0), PureExpr::constant(7)));
     }

@@ -91,7 +91,11 @@ pub struct ReorderViolation {
 
 impl fmt::Display for ReorderViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "statements {} and {} may not be reordered:", self.first, self.second)?;
+        write!(
+            f,
+            "statements {} and {} may not be reordered:",
+            self.first, self.second
+        )?;
         for c in &self.constraints {
             write!(f, " [{c}]")?;
         }
@@ -126,7 +130,11 @@ pub fn check_permutation(
             if perm[i] > perm[j] {
                 let constraints = constraints_between(locs, &stmts[i], &stmts[j]);
                 if !constraints.is_empty() {
-                    return Err(ReorderViolation { first: i, second: j, constraints });
+                    return Err(ReorderViolation {
+                        first: i,
+                        second: j,
+                        constraints,
+                    });
                 }
             }
         }
@@ -145,7 +153,9 @@ pub fn apply_permutation(stmts: &[Stmt], perm: &[usize]) -> Vec<Stmt> {
         assert!(out[p].is_none(), "not a permutation");
         out[p] = Some(stmts[i].clone());
     }
-    out.into_iter().map(|s| s.expect("total permutation")).collect()
+    out.into_iter()
+        .map(|s| s.expect("total permutation"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -166,7 +176,11 @@ mod tests {
     fn independent_reads_swap() {
         // poRR is relaxed: two reads of different locations may reorder.
         let (locs, a, b, _) = fixture();
-        assert!(can_swap(&locs, &Stmt::Load(Reg(0), a), &Stmt::Load(Reg(1), b)));
+        assert!(can_swap(
+            &locs,
+            &Stmt::Load(Reg(0), a),
+            &Stmt::Load(Reg(1), b)
+        ));
     }
 
     #[test]

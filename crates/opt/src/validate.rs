@@ -13,7 +13,8 @@
 
 use std::collections::BTreeSet;
 
-use bdrst_core::explore::{reachable_terminals, BudgetExceeded, ExploreConfig};
+use bdrst_core::engine::EngineError;
+use bdrst_core::explore::{reachable_terminals, ExploreConfig};
 use bdrst_core::loc::{LocKind, LocSet, Val};
 use bdrst_core::machine::Machine;
 use bdrst_lang::{Stmt, ThreadState};
@@ -33,13 +34,13 @@ pub struct ContextObservation {
 ///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] if exploration exceeds the budget.
+/// Returns [`EngineError`] if exploration exceeds the budget.
 pub fn context_outcomes(
     locs: &LocSet,
     thread: &[Stmt],
     context: &[Vec<Stmt>],
     config: ExploreConfig,
-) -> Result<BTreeSet<ContextObservation>, BudgetExceeded> {
+) -> Result<BTreeSet<ContextObservation>, EngineError> {
     let mut exprs = vec![ThreadState::new(thread.to_vec())];
     exprs.extend(context.iter().map(|c| ThreadState::new(c.clone())));
     let m0 = Machine::initial(locs, exprs);
@@ -87,14 +88,14 @@ impl ValidationReport {
 ///
 /// # Errors
 ///
-/// Returns [`BudgetExceeded`] if either exploration exceeds the budget.
+/// Returns [`EngineError`] if either exploration exceeds the budget.
 pub fn validate_in_context(
     locs: &LocSet,
     original: &[Stmt],
     transformed: &[Stmt],
     context: &[Vec<Stmt>],
     config: ExploreConfig,
-) -> Result<ValidationReport, BudgetExceeded> {
+) -> Result<ValidationReport, EngineError> {
     Ok(ValidationReport {
         original: context_outcomes(locs, original, context, config)?,
         transformed: context_outcomes(locs, transformed, context, config)?,

@@ -145,7 +145,13 @@ pub struct Core {
 impl Core {
     /// A fresh core with the given cost model.
     pub fn new(model: CoreModel) -> Core {
-        Core { model, cycle: 0.0, pending_loads: Vec::new(), store_buffer: Vec::new(), instructions: 0 }
+        Core {
+            model,
+            cycle: 0.0,
+            pending_loads: Vec::new(),
+            store_buffer: Vec::new(),
+            instructions: 0,
+        }
     }
 
     /// The cost model in use.
@@ -170,18 +176,24 @@ impl Core {
     }
 
     fn drain_loads(&mut self) {
-        if let Some(max) = self.pending_loads.iter().cloned().fold(None, |m: Option<f64>, t| {
-            Some(m.map_or(t, |m| m.max(t)))
-        }) {
+        if let Some(max) = self
+            .pending_loads
+            .iter()
+            .cloned()
+            .fold(None, |m: Option<f64>, t| Some(m.map_or(t, |m| m.max(t))))
+        {
             self.cycle = self.cycle.max(max);
         }
         self.pending_loads.clear();
     }
 
     fn drain_stores(&mut self) {
-        if let Some(max) = self.store_buffer.iter().cloned().fold(None, |m: Option<f64>, t| {
-            Some(m.map_or(t, |m| m.max(t)))
-        }) {
+        if let Some(max) = self
+            .store_buffer
+            .iter()
+            .cloned()
+            .fold(None, |m: Option<f64>, t| Some(m.map_or(t, |m| m.max(t))))
+        {
             self.cycle = self.cycle.max(max);
         }
         self.store_buffer.clear();
@@ -302,7 +314,10 @@ mod tests {
 
     #[test]
     fn store_buffer_capacity_stalls() {
-        let m = CoreModel { store_buffer_size: 2, ..THUNDERX };
+        let m = CoreModel {
+            store_buffer_size: 2,
+            ..THUNDERX
+        };
         let mut c = Core::new(m);
         let t0 = {
             c.run([SimInstr::Store, SimInstr::Store]);

@@ -1,7 +1,12 @@
 //! The Fig. 5 harness: synthetic instruction streams from workload models,
 //! normalised-time measurement per scheme, and the table/series formatting
 //! used by the `fig5a`/`fig5b`/`fig5c` binaries.
+//!
+//! The 29-workload sweep is embarrassingly parallel (each row simulates
+//! four independent instruction streams), so [`figure5`] shards workloads
+//! across the core engine's [`parallel_map`] rather than looping.
 
+use bdrst_core::engine::parallel_map;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -32,7 +37,10 @@ pub fn access_sequence(w: &Workload, accesses: usize) -> Vec<(AccessCategory, bo
             } else {
                 AccessCategory::Assignment
             };
-            let mutable = matches!(cat, AccessCategory::MutableLoad | AccessCategory::Assignment);
+            let mutable = matches!(
+                cat,
+                AccessCategory::MutableLoad | AccessCategory::Assignment
+            );
             let fp = mutable && rng.random_range(0.0..1.0) < w.fp_share;
             (cat, fp)
         })
@@ -118,20 +126,20 @@ impl Fig5 {
 /// Simulates the full Fig. 5b/5c experiment: 29 workloads × {BAL, FBS,
 /// SRA}, normalised to the baseline scheme on the same core.
 pub fn figure5(core: CoreModel, power: bool, accesses: usize) -> Fig5 {
-    let rows = WORKLOADS
-        .iter()
-        .map(|w| {
-            let base = run_workload(w, Scheme::Baseline, core, power, accesses);
-            let time = |s| run_workload(w, s, core, power, accesses) / base;
-            Fig5Row {
-                name: w.name,
-                bal: time(Scheme::Bal),
-                fbs: time(Scheme::Fbs),
-                sra: time(Scheme::Sra),
-            }
-        })
-        .collect();
-    Fig5 { core: core.name, rows }
+    let rows = parallel_map(&WORKLOADS, |w| {
+        let base = run_workload(w, Scheme::Baseline, core, power, accesses);
+        let time = |s| run_workload(w, s, core, power, accesses) / base;
+        Fig5Row {
+            name: w.name,
+            bal: time(Scheme::Bal),
+            fbs: time(Scheme::Fbs),
+            sra: time(Scheme::Sra),
+        }
+    });
+    Fig5 {
+        core: core.name,
+        rows,
+    }
 }
 
 /// Fig. 5b: the AArch64 series.
@@ -170,8 +178,14 @@ pub fn format_figure5a() -> String {
 /// of the paper's bar charts.
 pub fn format_figure5(fig: &Fig5) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Normalised time on {} (baseline = 1.00)\n", fig.core));
-    out.push_str(&format!("{:<22} {:>6} {:>6} {:>6}\n", "benchmark", "BAL", "FBS", "SRA"));
+    out.push_str(&format!(
+        "Normalised time on {} (baseline = 1.00)\n",
+        fig.core
+    ));
+    out.push_str(&format!(
+        "{:<22} {:>6} {:>6} {:>6}\n",
+        "benchmark", "BAL", "FBS", "SRA"
+    ));
     for r in &fig.rows {
         out.push_str(&format!(
             "{:<22} {:>6.3} {:>6.3} {:>6.3}\n",
@@ -229,7 +243,10 @@ mod tests {
         let bal = fig.mean_overhead(Scheme::Bal);
         let fbs = fig.mean_overhead(Scheme::Fbs);
         let sra = fig.mean_overhead(Scheme::Sra);
-        assert!(fbs < bal, "FBS ({fbs:.2}%) must beat BAL ({bal:.2}%) on AArch64");
+        assert!(
+            fbs < bal,
+            "FBS ({fbs:.2}%) must beat BAL ({bal:.2}%) on AArch64"
+        );
         assert!(bal < 8.0, "BAL should be a small overhead, got {bal:.2}%");
         assert!(fbs < 3.0, "FBS should be tiny, got {fbs:.2}%");
         assert!(sra > 30.0, "SRA must be drastically slower, got {sra:.2}%");
@@ -241,10 +258,19 @@ mod tests {
         let bal = fig.mean_overhead(Scheme::Bal);
         let fbs = fig.mean_overhead(Scheme::Fbs);
         let sra = fig.mean_overhead(Scheme::Sra);
-        assert!(bal < fbs, "BAL ({bal:.2}%) must beat FBS ({fbs:.2}%) on POWER");
+        assert!(
+            bal < fbs,
+            "BAL ({bal:.2}%) must beat FBS ({fbs:.2}%) on POWER"
+        );
         assert!(bal < 8.0, "BAL small on POWER, got {bal:.2}%");
-        assert!(fbs > 10.0, "lwsync makes FBS expensive on POWER, got {fbs:.2}%");
-        assert!(sra > fbs, "SRA ({sra:.2}%) worst on POWER vs FBS ({fbs:.2}%)");
+        assert!(
+            fbs > 10.0,
+            "lwsync makes FBS expensive on POWER, got {fbs:.2}%"
+        );
+        assert!(
+            sra > fbs,
+            "SRA ({sra:.2}%) worst on POWER vs FBS ({fbs:.2}%)"
+        );
     }
 
     #[test]
@@ -258,7 +284,10 @@ mod tests {
             "FP benchmark should blow up under SRA: {:.2}",
             almabench.sra
         );
-        assert!(almabench.sra > kb.sra, "FP cliff should exceed symbolic code");
+        assert!(
+            almabench.sra > kb.sra,
+            "FP cliff should exceed symbolic code"
+        );
     }
 
     #[test]

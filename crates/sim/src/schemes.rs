@@ -121,8 +121,14 @@ mod tests {
     fn immutable_and_init_are_plain_everywhere() {
         for s in [Scheme::Baseline, Scheme::Bal, Scheme::Fbs, Scheme::Sra] {
             for power in [false, true] {
-                assert_eq!(seq(s, AccessCategory::ImmutableLoad, false, power), vec![I::Load]);
-                assert_eq!(seq(s, AccessCategory::InitStore, false, power), vec![I::Store]);
+                assert_eq!(
+                    seq(s, AccessCategory::ImmutableLoad, false, power),
+                    vec![I::Load]
+                );
+                assert_eq!(
+                    seq(s, AccessCategory::InitStore, false, power),
+                    vec![I::Store]
+                );
             }
         }
     }
@@ -137,12 +143,18 @@ mod tests {
             seq(Scheme::Bal, AccessCategory::MutableLoad, false, true),
             vec![I::Load, I::Compute, I::PredictedBranch]
         );
-        assert_eq!(seq(Scheme::Bal, AccessCategory::Assignment, false, false), vec![I::Store]);
+        assert_eq!(
+            seq(Scheme::Bal, AccessCategory::Assignment, false, false),
+            vec![I::Store]
+        );
     }
 
     #[test]
     fn fbs_adds_fence_before_store_only() {
-        assert_eq!(seq(Scheme::Fbs, AccessCategory::MutableLoad, false, false), vec![I::Load]);
+        assert_eq!(
+            seq(Scheme::Fbs, AccessCategory::MutableLoad, false, false),
+            vec![I::Load]
+        );
         assert_eq!(
             seq(Scheme::Fbs, AccessCategory::Assignment, false, false),
             vec![I::LoadBarrier, I::Store]

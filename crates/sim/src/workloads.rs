@@ -47,7 +47,15 @@ const fn w(
     rate_m: f64,
     fp_share: f64,
 ) -> Workload {
-    Workload { name, imm_load, init_store, mut_load, assign, rate_m, fp_share }
+    Workload {
+        name,
+        imm_load,
+        init_store,
+        mut_load,
+        assign,
+        rate_m,
+        fp_share,
+    }
 }
 
 /// The 29 workloads, in Fig. 5a's order (least to most functional).
@@ -95,7 +103,12 @@ mod tests {
     #[test]
     fn shares_sum_to_hundred() {
         for w in &WORKLOADS {
-            assert!((w.shares_sum() - 100.0).abs() < 0.5, "{}: {}", w.name, w.shares_sum());
+            assert!(
+                (w.shares_sum() - 100.0).abs() < 0.5,
+                "{}: {}",
+                w.name,
+                w.shares_sum()
+            );
         }
     }
 

@@ -4,9 +4,7 @@
 //!
 //! Run with `cargo run --example compile_inspect`.
 
-use bdrst::hw::{
-    check_compilation, x86_sequence, AccessKind, Target, BAL, FBS, NAIVE,
-};
+use bdrst::hw::{check_compilation, x86_sequence, AccessKind, Target, BAL, FBS, NAIVE};
 use bdrst::lang::Program;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let verdict = check_compilation(&lb, t, Default::default())?;
         println!(
             "LB under {name:<10}: {}",
-            if verdict.is_sound() { "sound" } else { "UNSOUND (admits load buffering)" }
+            if verdict.is_sound() {
+                "sound"
+            } else {
+                "UNSOUND (admits load buffering)"
+            }
         );
     }
     Ok(())

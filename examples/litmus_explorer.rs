@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let eq = check_equivalence(&p, Default::default(), EnumLimits::default())?;
             println!(
                 "axiomatic agreement: {}",
-                if eq.holds() { "exact" } else { "MISMATCH (bug!)" }
+                if eq.holds() {
+                    "exact"
+                } else {
+                    "MISMATCH (bug!)"
+                }
             );
         }
         None => {

@@ -27,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .into_iter()
     .collect();
     // The initial state is L-stable (empty prefix: nothing races yet)…
-    assert!(is_l_stable_for_prefix(&ex1.locs, &[], ex1.initial_machine(), &l, Default::default())?);
+    assert!(is_l_stable_for_prefix(
+        &ex1.locs,
+        &[],
+        ex1.initial_machine(),
+        &l,
+        Default::default()
+    )?);
     // …so Theorem 13 guarantees L-sequential behaviour:
     let stats = check_local_drf(&ex1.locs, ex1.initial_machine(), &l, Default::default())
         .map_err(|e| format!("{e}"))?;

@@ -5,9 +5,7 @@
 //! Run with `cargo run --example optimizer_validation`.
 
 use bdrst::lang::Program;
-use bdrst::opt::{
-    attempt_redundant_store_elimination, cse_loads, validate_in_context,
-};
+use bdrst::opt::{attempt_redundant_store_elimination, cse_loads, validate_in_context};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // CSE: r1 = a*2; r2 = b; r3 = a*2 — legal (poRR may relax).
@@ -22,8 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Translation validation in the racy context of thread P1.
     let context = vec![p.threads[1].body.clone()];
-    let report =
-        validate_in_context(&p.locs, &subject, &optimised, &context, Default::default())?;
+    let report = validate_in_context(&p.locs, &subject, &optimised, &context, Default::default())?;
     assert!(report.refines());
     println!(
         "validated: {} transformed outcomes ⊆ {} original outcomes (racy context)",

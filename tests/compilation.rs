@@ -28,7 +28,10 @@ fn theorem_20_arm_sound_across_corpus() {
     for scheme in [BAL, FBS, SRA] {
         for (name, p) in small_corpus() {
             let v = check_compilation(&p, Target::Arm(scheme), EnumLimits::default()).unwrap();
-            assert!(v.is_sound(), "{name}: ARM compilation unsound under {scheme:?}");
+            assert!(
+                v.is_sound(),
+                "{name}: ARM compilation unsound under {scheme:?}"
+            );
         }
     }
 }

@@ -60,7 +60,9 @@ fn example3_future_race_visible_on_naive_arm_only() {
     let naive = hw_outcomes(&p, Target::Arm(NAIVE), Default::default()).unwrap();
     let out = p.locs.by_name("out").unwrap();
     assert!(
-        naive.iter().any(|o| o.memory(out) != Some(bdrst::core::Val(42))),
+        naive
+            .iter()
+            .any(|o| o.memory(out) != Some(bdrst::core::Val(42))),
         "naive ARM must exhibit the future-race anomaly"
     );
 }
@@ -75,10 +77,8 @@ fn example2_reads_agree_once_race_is_past() {
     .unwrap();
     let outcomes = p.outcomes(ExploreConfig::default()).unwrap();
     // f = 1 ⇒ b = c (the race is in the past); f = 0 may split them.
-    assert!(outcomes.all(|o| {
-        o.reg_named("P1", "f") != Some(1) || o.mem_named("b") == o.mem_named("c")
-    }));
-    assert!(outcomes.any(|o| {
-        o.reg_named("P1", "f") == Some(0) && o.mem_named("b") != o.mem_named("c")
-    }));
+    assert!(outcomes
+        .all(|o| { o.reg_named("P1", "f") != Some(1) || o.mem_named("b") == o.mem_named("c") }));
+    assert!(outcomes
+        .any(|o| { o.reg_named("P1", "f") == Some(0) && o.mem_named("b") != o.mem_named("c") }));
 }

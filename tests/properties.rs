@@ -107,8 +107,16 @@ fn small_program() -> impl Strategy<Value = Program> {
         Program {
             locs,
             threads: vec![
-                ThreadProgram { name: "P0".into(), regs: vec!["r0".into(), "r1".into()], body: b0 },
-                ThreadProgram { name: "P1".into(), regs: vec!["r0".into(), "r1".into()], body: b1 },
+                ThreadProgram {
+                    name: "P0".into(),
+                    regs: vec!["r0".into(), "r1".into()],
+                    body: b0,
+                },
+                ThreadProgram {
+                    name: "P1".into(),
+                    regs: vec!["r0".into(), "r1".into()],
+                    body: b1,
+                },
             ],
         }
     })

@@ -36,8 +36,8 @@ fn theorems_15_16_outcome_equivalence_across_corpus() {
 #[test]
 fn theorem_15_every_trace_induces_consistent_execution() {
     for (name, p) in corpus_programs() {
-        let checked = check_soundness(&p, ExploreConfig::default())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let checked =
+            check_soundness(&p, ExploreConfig::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(checked > 0, "{name}: no traces checked");
     }
 }

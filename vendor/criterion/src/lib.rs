@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and builder surface this workspace's benches use
+//! (`criterion_group!` with `name/config/targets`, `criterion_main!`,
+//! `Criterion::bench_function`, `Bencher::iter`) on top of plain
+//! `std::time::Instant` measurement. Each bench routine is run for the
+//! configured number of samples; the harness reports min/mean/max wall
+//! time per iteration on stdout, criterion-style.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` works like upstream.
+pub use std::hint::black_box;
+
+/// One measured routine invocation context.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once and records the sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on the time spent measuring one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one named benchmark: a warm-up call, then up to `sample_size`
+    /// timed calls (stopping early if `measurement_time` is exhausted).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b); // warm-up
+        b.samples.clear();
+        let begin = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if begin.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        report(name, &b.samples);
+        self
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{name:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+/// Renders a duration with criterion-like units.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Mean wall time of the collected samples — used by baseline recorders.
+pub fn mean_seconds(samples: &[Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(Duration::as_secs_f64).sum::<f64>() / samples.len() as f64
+}
+
+/// Declares a benchmark group as a function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(
+        name = group;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(50));
+        targets = quick
+    );
+
+    #[test]
+    fn group_runs() {
+        group();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the exact (tiny) API surface the workspace uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]) and uniform range sampling
+//! via [`RngExt::random_range`]. The generator is splitmix64 — not
+//! cryptographic, but statistically solid for workload synthesis.
+
+use std::ops::Range;
+
+/// Core interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// The next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types usable as the argument of [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Maps one uniform 64-bit word into the range.
+    fn sample(self, word: u64) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, word: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, word: u64) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "cannot sample an empty range");
+                self.start + (word % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u16, u32, u64, usize);
+
+impl SampleRange for Range<i64> {
+    type Output = i64;
+    fn sample(self, word: u64) -> i64 {
+        let span = (self.end - self.start) as u64;
+        assert!(span > 0, "cannot sample an empty range");
+        self.start + (word % span) as i64
+    }
+}
+
+/// Range-sampling convenience over any [`RngCore`] (the `rand 0.9` name).
+pub trait RngExt: RngCore {
+    /// A uniform draw from `range`.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self.next_u64())
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0.0..1.0), b.random_range(0.0..1.0));
+        }
+    }
+
+    #[test]
+    fn f64_range_respected_and_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let mut below_half = 0usize;
+        for _ in 0..n {
+            let x = r.random_range(0.0..100.0);
+            assert!((0.0..100.0).contains(&x));
+            if x < 50.0 {
+                below_half += 1;
+            }
+        }
+        let frac = below_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "biased: {frac}");
+    }
+
+    #[test]
+    fn int_range_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.random_range(3u32..9);
+            assert!((3..9).contains(&x));
+        }
+    }
+}
