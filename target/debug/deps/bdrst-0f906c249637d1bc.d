@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdrst-0f906c249637d1bc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst-0f906c249637d1bc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

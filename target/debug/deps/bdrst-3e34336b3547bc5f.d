@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdrst-3e34336b3547bc5f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst-3e34336b3547bc5f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst-3e34336b3547bc5f.rmeta: src/lib.rs
+
+src/lib.rs:

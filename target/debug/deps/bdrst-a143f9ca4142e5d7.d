@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdrst-a143f9ca4142e5d7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst-a143f9ca4142e5d7.rmeta: src/lib.rs
+
+src/lib.rs:

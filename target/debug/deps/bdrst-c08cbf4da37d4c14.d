@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdrst-c08cbf4da37d4c14.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst-c08cbf4da37d4c14.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst-c08cbf4da37d4c14.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdrst-da17731632e91f19.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst-da17731632e91f19.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdrst-e6dda1cf6b7f474b.d: src/lib.rs
+
+/root/repo/target/debug/deps/bdrst-e6dda1cf6b7f474b: src/lib.rs
+
+src/lib.rs:

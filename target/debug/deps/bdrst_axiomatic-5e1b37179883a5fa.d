@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bdrst_axiomatic-5e1b37179883a5fa.d: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs
+
+/root/repo/target/debug/deps/libbdrst_axiomatic-5e1b37179883a5fa.rlib: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs
+
+/root/repo/target/debug/deps/libbdrst_axiomatic-5e1b37179883a5fa.rmeta: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs
+
+crates/axiomatic/src/lib.rs:
+crates/axiomatic/src/enumerate.rs:
+crates/axiomatic/src/equiv.rs:
+crates/axiomatic/src/event.rs:
+crates/axiomatic/src/exec.rs:
+crates/axiomatic/src/generate.rs:

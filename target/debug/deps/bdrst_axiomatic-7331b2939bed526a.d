@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bdrst_axiomatic-7331b2939bed526a.d: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs
+
+/root/repo/target/debug/deps/bdrst_axiomatic-7331b2939bed526a: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs
+
+crates/axiomatic/src/lib.rs:
+crates/axiomatic/src/enumerate.rs:
+crates/axiomatic/src/equiv.rs:
+crates/axiomatic/src/event.rs:
+crates/axiomatic/src/exec.rs:
+crates/axiomatic/src/generate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bdrst_axiomatic-97eb68a70a01c286.d: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst_axiomatic-97eb68a70a01c286.rmeta: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs Cargo.toml
+
+crates/axiomatic/src/lib.rs:
+crates/axiomatic/src/enumerate.rs:
+crates/axiomatic/src/equiv.rs:
+crates/axiomatic/src/event.rs:
+crates/axiomatic/src/exec.rs:
+crates/axiomatic/src/generate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdrst_bench-5752a98ebe6c13c1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bdrst_bench-5752a98ebe6c13c1: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

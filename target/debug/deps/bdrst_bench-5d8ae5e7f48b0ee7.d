@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdrst_bench-5d8ae5e7f48b0ee7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst_bench-5d8ae5e7f48b0ee7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

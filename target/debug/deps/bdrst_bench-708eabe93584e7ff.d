@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdrst_bench-708eabe93584e7ff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst_bench-708eabe93584e7ff.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

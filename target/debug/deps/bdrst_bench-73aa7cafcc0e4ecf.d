@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdrst_bench-73aa7cafcc0e4ecf.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst_bench-73aa7cafcc0e4ecf.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

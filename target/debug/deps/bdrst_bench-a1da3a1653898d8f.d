@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdrst_bench-a1da3a1653898d8f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst_bench-a1da3a1653898d8f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst_bench-a1da3a1653898d8f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdrst_bench-b5bc50a730adc695.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst_bench-b5bc50a730adc695.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbdrst_bench-b5bc50a730adc695.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

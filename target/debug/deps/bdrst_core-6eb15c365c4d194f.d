@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/bdrst_core-6eb15c365c4d194f.d: crates/core/src/lib.rs crates/core/src/engine/mod.rs crates/core/src/engine/canon.rs crates/core/src/engine/intern.rs crates/core/src/engine/parallel.rs crates/core/src/engine/worklist.rs crates/core/src/explore.rs crates/core/src/frontier.rs crates/core/src/history.rs crates/core/src/loc.rs crates/core/src/localdrf.rs crates/core/src/machine.rs crates/core/src/memop.rs crates/core/src/relation.rs crates/core/src/store.rs crates/core/src/timestamp.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst_core-6eb15c365c4d194f.rmeta: crates/core/src/lib.rs crates/core/src/engine/mod.rs crates/core/src/engine/canon.rs crates/core/src/engine/intern.rs crates/core/src/engine/parallel.rs crates/core/src/engine/worklist.rs crates/core/src/explore.rs crates/core/src/frontier.rs crates/core/src/history.rs crates/core/src/loc.rs crates/core/src/localdrf.rs crates/core/src/machine.rs crates/core/src/memop.rs crates/core/src/relation.rs crates/core/src/store.rs crates/core/src/timestamp.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/canon.rs:
+crates/core/src/engine/intern.rs:
+crates/core/src/engine/parallel.rs:
+crates/core/src/engine/worklist.rs:
+crates/core/src/explore.rs:
+crates/core/src/frontier.rs:
+crates/core/src/history.rs:
+crates/core/src/loc.rs:
+crates/core/src/localdrf.rs:
+crates/core/src/machine.rs:
+crates/core/src/memop.rs:
+crates/core/src/relation.rs:
+crates/core/src/store.rs:
+crates/core/src/timestamp.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

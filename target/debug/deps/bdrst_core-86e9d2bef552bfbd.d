@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/bdrst_core-86e9d2bef552bfbd.d: crates/core/src/lib.rs crates/core/src/engine/mod.rs crates/core/src/engine/canon.rs crates/core/src/engine/intern.rs crates/core/src/engine/parallel.rs crates/core/src/engine/worklist.rs crates/core/src/explore.rs crates/core/src/frontier.rs crates/core/src/history.rs crates/core/src/loc.rs crates/core/src/localdrf.rs crates/core/src/machine.rs crates/core/src/memop.rs crates/core/src/relation.rs crates/core/src/store.rs crates/core/src/timestamp.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/bdrst_core-86e9d2bef552bfbd: crates/core/src/lib.rs crates/core/src/engine/mod.rs crates/core/src/engine/canon.rs crates/core/src/engine/intern.rs crates/core/src/engine/parallel.rs crates/core/src/engine/worklist.rs crates/core/src/explore.rs crates/core/src/frontier.rs crates/core/src/history.rs crates/core/src/loc.rs crates/core/src/localdrf.rs crates/core/src/machine.rs crates/core/src/memop.rs crates/core/src/relation.rs crates/core/src/store.rs crates/core/src/timestamp.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/canon.rs:
+crates/core/src/engine/intern.rs:
+crates/core/src/engine/parallel.rs:
+crates/core/src/engine/worklist.rs:
+crates/core/src/explore.rs:
+crates/core/src/frontier.rs:
+crates/core/src/history.rs:
+crates/core/src/loc.rs:
+crates/core/src/localdrf.rs:
+crates/core/src/machine.rs:
+crates/core/src/memop.rs:
+crates/core/src/relation.rs:
+crates/core/src/store.rs:
+crates/core/src/timestamp.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdrst_hw-12ca9e15bafb9a4f.d: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+/root/repo/target/debug/deps/bdrst_hw-12ca9e15bafb9a4f: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/arm.rs:
+crates/hw/src/compile.rs:
+crates/hw/src/exec.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/soundness.rs:
+crates/hw/src/x86.rs:

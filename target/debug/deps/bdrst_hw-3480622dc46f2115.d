@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdrst_hw-3480622dc46f2115.d: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+/root/repo/target/debug/deps/libbdrst_hw-3480622dc46f2115.rmeta: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/arm.rs:
+crates/hw/src/compile.rs:
+crates/hw/src/exec.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/soundness.rs:
+crates/hw/src/x86.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdrst_hw-47e71150a85f4c11.d: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+/root/repo/target/debug/deps/libbdrst_hw-47e71150a85f4c11.rmeta: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/arm.rs:
+crates/hw/src/compile.rs:
+crates/hw/src/exec.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/soundness.rs:
+crates/hw/src/x86.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bdrst_hw-4ec345a3400fe1fc.d: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst_hw-4ec345a3400fe1fc.rmeta: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs Cargo.toml
+
+crates/hw/src/lib.rs:
+crates/hw/src/arm.rs:
+crates/hw/src/compile.rs:
+crates/hw/src/exec.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/soundness.rs:
+crates/hw/src/x86.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

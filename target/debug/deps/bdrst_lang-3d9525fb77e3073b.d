@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdrst_lang-3d9525fb77e3073b.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+/root/repo/target/debug/deps/libbdrst_lang-3d9525fb77e3073b.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+/root/repo/target/debug/deps/libbdrst_lang-3d9525fb77e3073b.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/program.rs:
+crates/lang/src/semantics.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bdrst_lang-3dad4068e5523f47.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst_lang-3dad4068e5523f47.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/program.rs:
+crates/lang/src/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdrst_lang-7a7027b6b5e98998.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+/root/repo/target/debug/deps/bdrst_lang-7a7027b6b5e98998: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/program.rs:
+crates/lang/src/semantics.rs:

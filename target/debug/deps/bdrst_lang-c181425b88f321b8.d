@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdrst_lang-c181425b88f321b8.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+/root/repo/target/debug/deps/libbdrst_lang-c181425b88f321b8.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/program.rs:
+crates/lang/src/semantics.rs:

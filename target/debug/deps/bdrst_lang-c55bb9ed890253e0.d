@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdrst_lang-c55bb9ed890253e0.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+/root/repo/target/debug/deps/libbdrst_lang-c55bb9ed890253e0.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/parser.rs crates/lang/src/program.rs crates/lang/src/semantics.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/program.rs:
+crates/lang/src/semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdrst_litmus-121ff64fa490c24e.d: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/debug/deps/libbdrst_litmus-121ff64fa490c24e.rlib: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/debug/deps/libbdrst_litmus-121ff64fa490c24e.rmeta: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/runner.rs:

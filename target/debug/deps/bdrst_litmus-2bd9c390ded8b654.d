@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdrst_litmus-2bd9c390ded8b654.d: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/debug/deps/libbdrst_litmus-2bd9c390ded8b654.rmeta: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdrst_litmus-3055cf3a8e810239.d: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/debug/deps/libbdrst_litmus-3055cf3a8e810239.rlib: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/debug/deps/libbdrst_litmus-3055cf3a8e810239.rmeta: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdrst_litmus-3a7a83bb48c5e00d.d: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/debug/deps/libbdrst_litmus-3a7a83bb48c5e00d.rmeta: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/runner.rs:

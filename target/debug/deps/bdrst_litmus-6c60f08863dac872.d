@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bdrst_litmus-6c60f08863dac872.d: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/debug/deps/bdrst_litmus-6c60f08863dac872: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdrst_litmus-f1609eae7e150259.d: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst_litmus-f1609eae7e150259.rmeta: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs Cargo.toml
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bdrst_opt-14ba89445bc93fdb.d: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs
+
+/root/repo/target/debug/deps/libbdrst_opt-14ba89445bc93fdb.rmeta: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/ir.rs:
+crates/opt/src/passes.rs:
+crates/opt/src/peephole.rs:
+crates/opt/src/reorder.rs:
+crates/opt/src/validate.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bdrst_opt-bd174804a8a466fb.d: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs
+
+/root/repo/target/debug/deps/bdrst_opt-bd174804a8a466fb: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/ir.rs:
+crates/opt/src/passes.rs:
+crates/opt/src/peephole.rs:
+crates/opt/src/reorder.rs:
+crates/opt/src/validate.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bdrst_opt-e81522658b2ce373.d: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst_opt-e81522658b2ce373.rmeta: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs Cargo.toml
+
+crates/opt/src/lib.rs:
+crates/opt/src/ir.rs:
+crates/opt/src/passes.rs:
+crates/opt/src/peephole.rs:
+crates/opt/src/reorder.rs:
+crates/opt/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

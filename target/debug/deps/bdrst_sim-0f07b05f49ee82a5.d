@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdrst_sim-0f07b05f49ee82a5.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+/root/repo/target/debug/deps/libbdrst_sim-0f07b05f49ee82a5.rlib: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+/root/repo/target/debug/deps/libbdrst_sim-0f07b05f49ee82a5.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/schemes.rs:
+crates/sim/src/workloads.rs:

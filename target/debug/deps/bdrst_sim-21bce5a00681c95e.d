@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bdrst_sim-21bce5a00681c95e.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+/root/repo/target/debug/deps/libbdrst_sim-21bce5a00681c95e.rlib: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+/root/repo/target/debug/deps/libbdrst_sim-21bce5a00681c95e.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/schemes.rs:
+crates/sim/src/workloads.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bdrst_sim-4a87508188e9b7b6.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdrst_sim-4a87508188e9b7b6.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/schemes.rs:
+crates/sim/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

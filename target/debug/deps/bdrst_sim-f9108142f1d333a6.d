@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdrst_sim-f9108142f1d333a6.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+/root/repo/target/debug/deps/bdrst_sim-f9108142f1d333a6: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/schemes.rs:
+crates/sim/src/workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checkers-a7cdd41f4c18ac3e.d: crates/bench/benches/checkers.rs
+
+/root/repo/target/debug/deps/libcheckers-a7cdd41f4c18ac3e.rmeta: crates/bench/benches/checkers.rs
+
+crates/bench/benches/checkers.rs:

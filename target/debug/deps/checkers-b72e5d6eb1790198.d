@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checkers-b72e5d6eb1790198.d: crates/bench/benches/checkers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheckers-b72e5d6eb1790198.rmeta: crates/bench/benches/checkers.rs Cargo.toml
+
+crates/bench/benches/checkers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

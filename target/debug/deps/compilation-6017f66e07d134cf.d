@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compilation-6017f66e07d134cf.d: tests/compilation.rs
+
+/root/repo/target/debug/deps/libcompilation-6017f66e07d134cf.rmeta: tests/compilation.rs
+
+tests/compilation.rs:

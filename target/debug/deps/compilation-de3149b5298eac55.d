@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compilation-de3149b5298eac55.d: tests/compilation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompilation-de3149b5298eac55.rmeta: tests/compilation.rs Cargo.toml
+
+tests/compilation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

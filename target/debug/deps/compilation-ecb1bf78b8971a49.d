@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compilation-ecb1bf78b8971a49.d: tests/compilation.rs
+
+/root/repo/target/debug/deps/compilation-ecb1bf78b8971a49: tests/compilation.rs
+
+tests/compilation.rs:

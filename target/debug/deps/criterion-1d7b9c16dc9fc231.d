@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-1d7b9c16dc9fc231.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1d7b9c16dc9fc231.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1d7b9c16dc9fc231.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-38fcf0320df6a04e.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-38fcf0320df6a04e.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-38fcf0320df6a04e.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

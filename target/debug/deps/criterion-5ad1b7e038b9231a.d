@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-5ad1b7e038b9231a.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5ad1b7e038b9231a.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c0efc99803e2847a.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c0efc99803e2847a.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-cc8ca03e0cb71ac7.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-cc8ca03e0cb71ac7: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-05197938148e1ba3.d: crates/core/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-05197938148e1ba3.rmeta: crates/core/tests/engine.rs Cargo.toml
+
+crates/core/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-27e41acb5e95e514.d: crates/bench/benches/engine.rs
+
+/root/repo/target/debug/deps/libengine-27e41acb5e95e514.rmeta: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-81f5b3a9f826fc65.d: crates/core/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-81f5b3a9f826fc65: crates/core/tests/engine.rs
+
+crates/core/tests/engine.rs:

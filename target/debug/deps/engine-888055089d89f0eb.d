@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-888055089d89f0eb.d: crates/core/tests/engine.rs
+
+/root/repo/target/debug/deps/libengine-888055089d89f0eb.rmeta: crates/core/tests/engine.rs
+
+crates/core/tests/engine.rs:

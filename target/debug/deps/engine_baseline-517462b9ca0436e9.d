@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/engine_baseline-517462b9ca0436e9.d: crates/bench/src/bin/engine_baseline.rs
+
+/root/repo/target/debug/deps/libengine_baseline-517462b9ca0436e9.rmeta: crates/bench/src/bin/engine_baseline.rs
+
+crates/bench/src/bin/engine_baseline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/engine_baseline-9936226e55eabac9.d: crates/bench/src/bin/engine_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_baseline-9936226e55eabac9.rmeta: crates/bench/src/bin/engine_baseline.rs Cargo.toml
+
+crates/bench/src/bin/engine_baseline.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

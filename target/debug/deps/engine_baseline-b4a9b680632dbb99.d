@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/engine_baseline-b4a9b680632dbb99.d: crates/bench/src/bin/engine_baseline.rs
+
+/root/repo/target/debug/deps/engine_baseline-b4a9b680632dbb99: crates/bench/src/bin/engine_baseline.rs
+
+crates/bench/src/bin/engine_baseline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-1fd6ca4d33a4f67e.d: crates/core/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-1fd6ca4d33a4f67e.rmeta: crates/core/tests/failure_injection.rs
+
+crates/core/tests/failure_injection.rs:

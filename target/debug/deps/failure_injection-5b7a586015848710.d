@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-5b7a586015848710.d: crates/core/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-5b7a586015848710: crates/core/tests/failure_injection.rs
+
+crates/core/tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-7e09bd3ef7e9f7d2.d: crates/core/tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-7e09bd3ef7e9f7d2.rmeta: crates/core/tests/failure_injection.rs Cargo.toml
+
+crates/core/tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

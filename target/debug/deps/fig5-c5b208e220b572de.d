@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-c5b208e220b572de.d: crates/bench/benches/fig5.rs
+
+/root/repo/target/debug/deps/libfig5-c5b208e220b572de.rmeta: crates/bench/benches/fig5.rs
+
+crates/bench/benches/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-63887cd3f97cc57e.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-63887cd3f97cc57e: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-ae34713bb2fa155a.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/libfig5a-ae34713bb2fa155a.rmeta: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-b52b117467071d4b.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/libfig5a-b52b117467071d4b.rmeta: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

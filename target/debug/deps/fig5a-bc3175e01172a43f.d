@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-bc3175e01172a43f.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-bc3175e01172a43f: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-7707b5458dfedc0f.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/libfig5b-7707b5458dfedc0f.rmeta: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-8d246e47f7a6ef1c.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/libfig5b-8d246e47f7a6ef1c.rmeta: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

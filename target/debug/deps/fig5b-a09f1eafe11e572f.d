@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-a09f1eafe11e572f.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-a09f1eafe11e572f: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

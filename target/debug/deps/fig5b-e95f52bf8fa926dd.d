@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-e95f52bf8fa926dd.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-e95f52bf8fa926dd: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

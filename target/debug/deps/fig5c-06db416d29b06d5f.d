@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5c-06db416d29b06d5f.d: crates/bench/src/bin/fig5c.rs
+
+/root/repo/target/debug/deps/fig5c-06db416d29b06d5f: crates/bench/src/bin/fig5c.rs
+
+crates/bench/src/bin/fig5c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5c-14d4019b3b1e99f3.d: crates/bench/src/bin/fig5c.rs
+
+/root/repo/target/debug/deps/libfig5c-14d4019b3b1e99f3.rmeta: crates/bench/src/bin/fig5c.rs
+
+crates/bench/src/bin/fig5c.rs:

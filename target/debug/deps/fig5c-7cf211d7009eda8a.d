@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5c-7cf211d7009eda8a.d: crates/bench/src/bin/fig5c.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5c-7cf211d7009eda8a.rmeta: crates/bench/src/bin/fig5c.rs Cargo.toml
+
+crates/bench/src/bin/fig5c.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

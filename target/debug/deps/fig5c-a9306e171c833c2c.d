@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5c-a9306e171c833c2c.d: crates/bench/src/bin/fig5c.rs
+
+/root/repo/target/debug/deps/fig5c-a9306e171c833c2c: crates/bench/src/bin/fig5c.rs
+
+crates/bench/src/bin/fig5c.rs:

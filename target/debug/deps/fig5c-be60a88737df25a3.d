@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5c-be60a88737df25a3.d: crates/bench/src/bin/fig5c.rs
+
+/root/repo/target/debug/deps/libfig5c-be60a88737df25a3.rmeta: crates/bench/src/bin/fig5c.rs
+
+crates/bench/src/bin/fig5c.rs:

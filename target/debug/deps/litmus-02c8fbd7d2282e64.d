@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus-02c8fbd7d2282e64.d: crates/bench/src/bin/litmus.rs
+
+/root/repo/target/debug/deps/litmus-02c8fbd7d2282e64: crates/bench/src/bin/litmus.rs
+
+crates/bench/src/bin/litmus.rs:

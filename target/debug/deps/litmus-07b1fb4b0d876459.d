@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus-07b1fb4b0d876459.d: crates/bench/src/bin/litmus.rs
+
+/root/repo/target/debug/deps/liblitmus-07b1fb4b0d876459.rmeta: crates/bench/src/bin/litmus.rs
+
+crates/bench/src/bin/litmus.rs:

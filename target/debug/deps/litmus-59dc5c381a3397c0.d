@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus-59dc5c381a3397c0.d: crates/bench/src/bin/litmus.rs
+
+/root/repo/target/debug/deps/liblitmus-59dc5c381a3397c0.rmeta: crates/bench/src/bin/litmus.rs
+
+crates/bench/src/bin/litmus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus-6e4488646d19e4d3.d: crates/bench/src/bin/litmus.rs
+
+/root/repo/target/debug/deps/litmus-6e4488646d19e4d3: crates/bench/src/bin/litmus.rs
+
+crates/bench/src/bin/litmus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus-aad1d2f24bbcce92.d: crates/bench/src/bin/litmus.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus-aad1d2f24bbcce92.rmeta: crates/bench/src/bin/litmus.rs Cargo.toml
+
+crates/bench/src/bin/litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

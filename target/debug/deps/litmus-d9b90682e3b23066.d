@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus-d9b90682e3b23066.d: crates/bench/src/bin/litmus.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus-d9b90682e3b23066.rmeta: crates/bench/src/bin/litmus.rs Cargo.toml
+
+crates/bench/src/bin/litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

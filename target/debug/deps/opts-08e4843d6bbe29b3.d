@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/opts-08e4843d6bbe29b3.d: crates/bench/src/bin/opts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopts-08e4843d6bbe29b3.rmeta: crates/bench/src/bin/opts.rs Cargo.toml
+
+crates/bench/src/bin/opts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opts-83693c30a8da46eb.d: crates/bench/src/bin/opts.rs
+
+/root/repo/target/debug/deps/libopts-83693c30a8da46eb.rmeta: crates/bench/src/bin/opts.rs
+
+crates/bench/src/bin/opts.rs:

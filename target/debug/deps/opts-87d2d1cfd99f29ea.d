@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opts-87d2d1cfd99f29ea.d: crates/bench/src/bin/opts.rs
+
+/root/repo/target/debug/deps/libopts-87d2d1cfd99f29ea.rmeta: crates/bench/src/bin/opts.rs
+
+crates/bench/src/bin/opts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opts-9785c1f31c2e9eb9.d: crates/bench/src/bin/opts.rs
+
+/root/repo/target/debug/deps/opts-9785c1f31c2e9eb9: crates/bench/src/bin/opts.rs
+
+crates/bench/src/bin/opts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/opts-af01af281d4944a5.d: crates/bench/src/bin/opts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopts-af01af281d4944a5.rmeta: crates/bench/src/bin/opts.rs Cargo.toml
+
+crates/bench/src/bin/opts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

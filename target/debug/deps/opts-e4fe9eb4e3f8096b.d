@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opts-e4fe9eb4e3f8096b.d: crates/bench/src/bin/opts.rs
+
+/root/repo/target/debug/deps/opts-e4fe9eb4e3f8096b: crates/bench/src/bin/opts.rs
+
+crates/bench/src/bin/opts.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-002b98effe766d2b.d: crates/bench/src/bin/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-002b98effe766d2b.rmeta: crates/bench/src/bin/paper_examples.rs Cargo.toml
+
+crates/bench/src/bin/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

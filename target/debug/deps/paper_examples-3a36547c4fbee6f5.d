@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-3a36547c4fbee6f5.d: crates/bench/src/bin/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-3a36547c4fbee6f5: crates/bench/src/bin/paper_examples.rs
+
+crates/bench/src/bin/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-b6ccf5dd427f77a6.d: crates/bench/src/bin/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-b6ccf5dd427f77a6: crates/bench/src/bin/paper_examples.rs
+
+crates/bench/src/bin/paper_examples.rs:

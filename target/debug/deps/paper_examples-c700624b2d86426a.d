@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-c700624b2d86426a.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-c700624b2d86426a: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-ce88151e8cd3ffc6.d: crates/bench/src/bin/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-ce88151e8cd3ffc6.rmeta: crates/bench/src/bin/paper_examples.rs
+
+crates/bench/src/bin/paper_examples.rs:

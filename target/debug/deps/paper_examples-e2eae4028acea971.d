@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-e2eae4028acea971.d: crates/bench/src/bin/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-e2eae4028acea971.rmeta: crates/bench/src/bin/paper_examples.rs
+
+crates/bench/src/bin/paper_examples.rs:

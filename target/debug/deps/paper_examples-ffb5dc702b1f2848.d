@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-ffb5dc702b1f2848.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/libpaper_examples-ffb5dc702b1f2848.rmeta: tests/paper_examples.rs
+
+tests/paper_examples.rs:

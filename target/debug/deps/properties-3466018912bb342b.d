@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3466018912bb342b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3466018912bb342b: tests/properties.rs
+
+tests/properties.rs:

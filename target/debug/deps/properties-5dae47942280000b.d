@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5dae47942280000b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-5dae47942280000b.rmeta: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-67358d08a06bf309.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-67358d08a06bf309.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

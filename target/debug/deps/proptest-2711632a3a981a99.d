@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-2711632a3a981a99.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2711632a3a981a99.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2711632a3a981a99.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

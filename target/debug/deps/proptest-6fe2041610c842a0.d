@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-6fe2041610c842a0.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-6fe2041610c842a0: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

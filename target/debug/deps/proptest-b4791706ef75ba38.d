@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b4791706ef75ba38.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b4791706ef75ba38.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e82467a3f10d8cd5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e82467a3f10d8cd5.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ebc7bfd87474b54b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ebc7bfd87474b54b.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ebc7bfd87474b54b.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

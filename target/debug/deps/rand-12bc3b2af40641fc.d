@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-12bc3b2af40641fc.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-12bc3b2af40641fc.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-12bc3b2af40641fc.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-1ce6480412fe8a8c.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1ce6480412fe8a8c.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-204219e051d65987.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-204219e051d65987.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-204219e051d65987.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

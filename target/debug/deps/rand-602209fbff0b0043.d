@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-602209fbff0b0043.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-602209fbff0b0043: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

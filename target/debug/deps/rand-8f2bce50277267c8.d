@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-8f2bce50277267c8.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8f2bce50277267c8.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

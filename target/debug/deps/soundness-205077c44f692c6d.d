@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness-205077c44f692c6d.d: crates/bench/src/bin/soundness.rs
+
+/root/repo/target/debug/deps/libsoundness-205077c44f692c6d.rmeta: crates/bench/src/bin/soundness.rs
+
+crates/bench/src/bin/soundness.rs:

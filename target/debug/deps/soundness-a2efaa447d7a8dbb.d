@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness-a2efaa447d7a8dbb.d: crates/bench/src/bin/soundness.rs
+
+/root/repo/target/debug/deps/soundness-a2efaa447d7a8dbb: crates/bench/src/bin/soundness.rs
+
+crates/bench/src/bin/soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness-a39f63f56d1938c9.d: crates/bench/src/bin/soundness.rs
+
+/root/repo/target/debug/deps/soundness-a39f63f56d1938c9: crates/bench/src/bin/soundness.rs
+
+crates/bench/src/bin/soundness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soundness-af1d607c71e5a911.d: crates/bench/src/bin/soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoundness-af1d607c71e5a911.rmeta: crates/bench/src/bin/soundness.rs Cargo.toml
+
+crates/bench/src/bin/soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

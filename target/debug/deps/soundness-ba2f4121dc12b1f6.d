@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soundness-ba2f4121dc12b1f6.d: crates/bench/src/bin/soundness.rs
+
+/root/repo/target/debug/deps/libsoundness-ba2f4121dc12b1f6.rmeta: crates/bench/src/bin/soundness.rs
+
+crates/bench/src/bin/soundness.rs:

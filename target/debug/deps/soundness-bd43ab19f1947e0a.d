@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soundness-bd43ab19f1947e0a.d: crates/bench/src/bin/soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoundness-bd43ab19f1947e0a.rmeta: crates/bench/src/bin/soundness.rs Cargo.toml
+
+crates/bench/src/bin/soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5cbdaa375e680a81.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-5cbdaa375e680a81.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-725dff573e1b32da.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-725dff573e1b32da: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

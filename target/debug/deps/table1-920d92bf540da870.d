@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-920d92bf540da870.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-920d92bf540da870.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b384354f31f95523.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b384354f31f95523: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0aac2f68323b6061.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-0aac2f68323b6061.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-26473a442177787b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-26473a442177787b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8afe7eb1ab08607d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-8afe7eb1ab08607d.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ddbdaa1c7cead652.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-ddbdaa1c7cead652: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorems-1c5b9288230aa630.d: tests/theorems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorems-1c5b9288230aa630.rmeta: tests/theorems.rs Cargo.toml
+
+tests/theorems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

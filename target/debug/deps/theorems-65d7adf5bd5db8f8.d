@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-65d7adf5bd5db8f8.d: tests/theorems.rs
+
+/root/repo/target/debug/deps/libtheorems-65d7adf5bd5db8f8.rmeta: tests/theorems.rs
+
+tests/theorems.rs:

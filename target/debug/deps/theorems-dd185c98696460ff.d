@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorems-dd185c98696460ff.d: tests/theorems.rs
+
+/root/repo/target/debug/deps/theorems-dd185c98696460ff: tests/theorems.rs
+
+tests/theorems.rs:

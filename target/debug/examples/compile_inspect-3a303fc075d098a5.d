@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/compile_inspect-3a303fc075d098a5.d: examples/compile_inspect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcompile_inspect-3a303fc075d098a5.rmeta: examples/compile_inspect.rs Cargo.toml
+
+examples/compile_inspect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compile_inspect-970d71f3ded7be12.d: examples/compile_inspect.rs
+
+/root/repo/target/debug/examples/libcompile_inspect-970d71f3ded7be12.rmeta: examples/compile_inspect.rs
+
+examples/compile_inspect.rs:

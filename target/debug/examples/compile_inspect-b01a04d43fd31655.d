@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compile_inspect-b01a04d43fd31655.d: examples/compile_inspect.rs
+
+/root/repo/target/debug/examples/compile_inspect-b01a04d43fd31655: examples/compile_inspect.rs
+
+examples/compile_inspect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_explorer-51ae8e672a4bc98a.d: examples/litmus_explorer.rs
+
+/root/repo/target/debug/examples/litmus_explorer-51ae8e672a4bc98a: examples/litmus_explorer.rs
+
+examples/litmus_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/litmus_explorer-774a06bdb69362b1.d: examples/litmus_explorer.rs
+
+/root/repo/target/debug/examples/liblitmus_explorer-774a06bdb69362b1.rmeta: examples/litmus_explorer.rs
+
+examples/litmus_explorer.rs:

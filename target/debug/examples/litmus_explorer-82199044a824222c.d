@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/litmus_explorer-82199044a824222c.d: examples/litmus_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblitmus_explorer-82199044a824222c.rmeta: examples/litmus_explorer.rs Cargo.toml
+
+examples/litmus_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/local_drf_demo-45030f6447918949.d: examples/local_drf_demo.rs
+
+/root/repo/target/debug/examples/local_drf_demo-45030f6447918949: examples/local_drf_demo.rs
+
+examples/local_drf_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/local_drf_demo-89bda037bd941248.d: examples/local_drf_demo.rs
+
+/root/repo/target/debug/examples/liblocal_drf_demo-89bda037bd941248.rmeta: examples/local_drf_demo.rs
+
+examples/local_drf_demo.rs:

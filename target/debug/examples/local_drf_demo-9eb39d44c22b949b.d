@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/local_drf_demo-9eb39d44c22b949b.d: examples/local_drf_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblocal_drf_demo-9eb39d44c22b949b.rmeta: examples/local_drf_demo.rs Cargo.toml
+
+examples/local_drf_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

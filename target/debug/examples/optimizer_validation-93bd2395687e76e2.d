@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimizer_validation-93bd2395687e76e2.d: examples/optimizer_validation.rs
+
+/root/repo/target/debug/examples/optimizer_validation-93bd2395687e76e2: examples/optimizer_validation.rs
+
+examples/optimizer_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/optimizer_validation-fbd906ae8f569070.d: examples/optimizer_validation.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboptimizer_validation-fbd906ae8f569070.rmeta: examples/optimizer_validation.rs Cargo.toml
+
+examples/optimizer_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimizer_validation-fbecf4f32bb46509.d: examples/optimizer_validation.rs
+
+/root/repo/target/debug/examples/liboptimizer_validation-fbecf4f32bb46509.rmeta: examples/optimizer_validation.rs
+
+examples/optimizer_validation.rs:

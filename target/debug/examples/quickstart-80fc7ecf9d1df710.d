@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-80fc7ecf9d1df710.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-80fc7ecf9d1df710: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c67b4adf06aa4c1b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-c67b4adf06aa4c1b.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

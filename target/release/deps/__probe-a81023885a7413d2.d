@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/__probe-a81023885a7413d2.d: crates/bench/src/bin/__probe.rs
+
+/root/repo/target/release/deps/__probe-a81023885a7413d2: crates/bench/src/bin/__probe.rs
+
+crates/bench/src/bin/__probe.rs:

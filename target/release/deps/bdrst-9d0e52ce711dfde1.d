@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bdrst-9d0e52ce711dfde1.d: src/lib.rs
+
+/root/repo/target/release/deps/libbdrst-9d0e52ce711dfde1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbdrst-9d0e52ce711dfde1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bdrst_axiomatic-a58954e06ba9177f.d: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs
+
+/root/repo/target/release/deps/libbdrst_axiomatic-a58954e06ba9177f.rlib: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs
+
+/root/repo/target/release/deps/libbdrst_axiomatic-a58954e06ba9177f.rmeta: crates/axiomatic/src/lib.rs crates/axiomatic/src/enumerate.rs crates/axiomatic/src/equiv.rs crates/axiomatic/src/event.rs crates/axiomatic/src/exec.rs crates/axiomatic/src/generate.rs
+
+crates/axiomatic/src/lib.rs:
+crates/axiomatic/src/enumerate.rs:
+crates/axiomatic/src/equiv.rs:
+crates/axiomatic/src/event.rs:
+crates/axiomatic/src/exec.rs:
+crates/axiomatic/src/generate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bdrst_bench-9854abe0bced868a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbdrst_bench-9854abe0bced868a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbdrst_bench-9854abe0bced868a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/bdrst_core-e9e04bebf1693a45.d: crates/core/src/lib.rs crates/core/src/engine/mod.rs crates/core/src/engine/canon.rs crates/core/src/engine/intern.rs crates/core/src/engine/parallel.rs crates/core/src/engine/worklist.rs crates/core/src/explore.rs crates/core/src/frontier.rs crates/core/src/history.rs crates/core/src/loc.rs crates/core/src/localdrf.rs crates/core/src/machine.rs crates/core/src/memop.rs crates/core/src/relation.rs crates/core/src/store.rs crates/core/src/timestamp.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libbdrst_core-e9e04bebf1693a45.rlib: crates/core/src/lib.rs crates/core/src/engine/mod.rs crates/core/src/engine/canon.rs crates/core/src/engine/intern.rs crates/core/src/engine/parallel.rs crates/core/src/engine/worklist.rs crates/core/src/explore.rs crates/core/src/frontier.rs crates/core/src/history.rs crates/core/src/loc.rs crates/core/src/localdrf.rs crates/core/src/machine.rs crates/core/src/memop.rs crates/core/src/relation.rs crates/core/src/store.rs crates/core/src/timestamp.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libbdrst_core-e9e04bebf1693a45.rmeta: crates/core/src/lib.rs crates/core/src/engine/mod.rs crates/core/src/engine/canon.rs crates/core/src/engine/intern.rs crates/core/src/engine/parallel.rs crates/core/src/engine/worklist.rs crates/core/src/explore.rs crates/core/src/frontier.rs crates/core/src/history.rs crates/core/src/loc.rs crates/core/src/localdrf.rs crates/core/src/machine.rs crates/core/src/memop.rs crates/core/src/relation.rs crates/core/src/store.rs crates/core/src/timestamp.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/canon.rs:
+crates/core/src/engine/intern.rs:
+crates/core/src/engine/parallel.rs:
+crates/core/src/engine/worklist.rs:
+crates/core/src/explore.rs:
+crates/core/src/frontier.rs:
+crates/core/src/history.rs:
+crates/core/src/loc.rs:
+crates/core/src/localdrf.rs:
+crates/core/src/machine.rs:
+crates/core/src/memop.rs:
+crates/core/src/relation.rs:
+crates/core/src/store.rs:
+crates/core/src/timestamp.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bdrst_hw-799381fb4f3fd683.d: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+/root/repo/target/release/deps/libbdrst_hw-799381fb4f3fd683.rlib: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+/root/repo/target/release/deps/libbdrst_hw-799381fb4f3fd683.rmeta: crates/hw/src/lib.rs crates/hw/src/arm.rs crates/hw/src/compile.rs crates/hw/src/exec.rs crates/hw/src/isa.rs crates/hw/src/soundness.rs crates/hw/src/x86.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/arm.rs:
+crates/hw/src/compile.rs:
+crates/hw/src/exec.rs:
+crates/hw/src/isa.rs:
+crates/hw/src/soundness.rs:
+crates/hw/src/x86.rs:

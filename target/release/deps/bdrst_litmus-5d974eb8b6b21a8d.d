@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bdrst_litmus-5d974eb8b6b21a8d.d: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/release/deps/libbdrst_litmus-5d974eb8b6b21a8d.rlib: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+/root/repo/target/release/deps/libbdrst_litmus-5d974eb8b6b21a8d.rmeta: crates/litmus/src/lib.rs crates/litmus/src/corpus.rs crates/litmus/src/runner.rs
+
+crates/litmus/src/lib.rs:
+crates/litmus/src/corpus.rs:
+crates/litmus/src/runner.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bdrst_opt-74c75068aa500755.d: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs
+
+/root/repo/target/release/deps/libbdrst_opt-74c75068aa500755.rlib: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs
+
+/root/repo/target/release/deps/libbdrst_opt-74c75068aa500755.rmeta: crates/opt/src/lib.rs crates/opt/src/ir.rs crates/opt/src/passes.rs crates/opt/src/peephole.rs crates/opt/src/reorder.rs crates/opt/src/validate.rs
+
+crates/opt/src/lib.rs:
+crates/opt/src/ir.rs:
+crates/opt/src/passes.rs:
+crates/opt/src/peephole.rs:
+crates/opt/src/reorder.rs:
+crates/opt/src/validate.rs:

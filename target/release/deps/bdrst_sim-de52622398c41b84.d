@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bdrst_sim-de52622398c41b84.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+/root/repo/target/release/deps/libbdrst_sim-de52622398c41b84.rlib: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+/root/repo/target/release/deps/libbdrst_sim-de52622398c41b84.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/harness.rs crates/sim/src/schemes.rs crates/sim/src/workloads.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/harness.rs:
+crates/sim/src/schemes.rs:
+crates/sim/src/workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine-056f98ccf4282990.d: crates/bench/benches/engine.rs
+
+/root/repo/target/release/deps/engine-056f98ccf4282990: crates/bench/benches/engine.rs
+
+crates/bench/benches/engine.rs:

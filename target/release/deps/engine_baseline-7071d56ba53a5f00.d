@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/engine_baseline-7071d56ba53a5f00.d: crates/bench/src/bin/engine_baseline.rs
+
+/root/repo/target/release/deps/engine_baseline-7071d56ba53a5f00: crates/bench/src/bin/engine_baseline.rs
+
+crates/bench/src/bin/engine_baseline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

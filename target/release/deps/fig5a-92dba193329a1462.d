@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a-92dba193329a1462.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-92dba193329a1462: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b-280756bcd041eefd.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-280756bcd041eefd: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5c-39a018fe26e2aae8.d: crates/bench/src/bin/fig5c.rs
+
+/root/repo/target/release/deps/fig5c-39a018fe26e2aae8: crates/bench/src/bin/fig5c.rs
+
+crates/bench/src/bin/fig5c.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/litmus-86c1a119a3c6c31c.d: crates/bench/src/bin/litmus.rs
+
+/root/repo/target/release/deps/litmus-86c1a119a3c6c31c: crates/bench/src/bin/litmus.rs
+
+crates/bench/src/bin/litmus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/opts-c3d7115763c701dd.d: crates/bench/src/bin/opts.rs
+
+/root/repo/target/release/deps/opts-c3d7115763c701dd: crates/bench/src/bin/opts.rs
+
+crates/bench/src/bin/opts.rs:

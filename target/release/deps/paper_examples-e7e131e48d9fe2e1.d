@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_examples-e7e131e48d9fe2e1.d: crates/bench/src/bin/paper_examples.rs
+
+/root/repo/target/release/deps/paper_examples-e7e131e48d9fe2e1: crates/bench/src/bin/paper_examples.rs
+
+crates/bench/src/bin/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soundness-0a1b1b531dd31428.d: crates/bench/src/bin/soundness.rs
+
+/root/repo/target/release/deps/soundness-0a1b1b531dd31428: crates/bench/src/bin/soundness.rs
+
+crates/bench/src/bin/soundness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f3762980abc96859.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f3762980abc96859: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

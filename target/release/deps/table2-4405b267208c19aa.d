@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-4405b267208c19aa.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-4405b267208c19aa: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

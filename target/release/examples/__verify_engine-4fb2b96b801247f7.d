@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__verify_engine-4fb2b96b801247f7.d: examples/__verify_engine.rs
+
+/root/repo/target/release/examples/__verify_engine-4fb2b96b801247f7: examples/__verify_engine.rs
+
+examples/__verify_engine.rs:

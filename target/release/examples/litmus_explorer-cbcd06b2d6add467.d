@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/litmus_explorer-cbcd06b2d6add467.d: examples/litmus_explorer.rs
+
+/root/repo/target/release/examples/litmus_explorer-cbcd06b2d6add467: examples/litmus_explorer.rs
+
+examples/litmus_explorer.rs:

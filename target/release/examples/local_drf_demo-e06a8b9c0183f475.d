@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/local_drf_demo-e06a8b9c0183f475.d: examples/local_drf_demo.rs
+
+/root/repo/target/release/examples/local_drf_demo-e06a8b9c0183f475: examples/local_drf_demo.rs
+
+examples/local_drf_demo.rs:
