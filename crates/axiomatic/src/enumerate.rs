@@ -1,9 +1,23 @@
 //! Enumerating the consistent executions of a program (§6): all rf and co
 //! choices over the generated event graphs, filtered by the consistency
 //! axioms, together with outcome extraction.
+//!
+//! Enumeration parallelism has two levels, both riding the core engine's
+//! work-stealing [`parallel_map`]. Thread-alternative combinations are
+//! independent search trees and shard naturally; *within* a combination
+//! the rf/co odometer is sharded by splitting the **first read's** rf
+//! choice range — each candidate write source of the first read roots an
+//! independent sub-odometer — so single-combination programs (most litmus
+//! tests) get parallelism too. The candidate budget is one shared atomic
+//! counter across every shard: splitting the work never splits the
+//! budget, and [`EnumError::TooManyCandidates`] surfaces exactly when the
+//! sequential enumeration would have surfaced it. The fully sequential
+//! path is kept public as [`consistent_executions_streaming`] so the
+//! differential suite can assert sharded == streaming on every program.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bdrst_core::engine::parallel_map;
@@ -113,8 +127,8 @@ pub fn for_each_candidate(
 
 /// Streams every alternative combination through the odometer, invoking
 /// `visit` per candidate — the sequential backend shared by
-/// [`for_each_candidate`] and the large-cross-product fallback of
-/// [`consistent_executions`].
+/// [`for_each_candidate`], [`consistent_executions_streaming`] and the
+/// large-cross-product fallback of [`consistent_executions`].
 fn stream_candidates(
     program: &Program,
     per_thread: &[Vec<ThreadAlternative>],
@@ -128,7 +142,9 @@ fn stream_candidates(
             .zip(per_thread)
             .map(|(&c, alts)| &alts[c])
             .collect();
-        enumerate_for_alternative(program, &alts, visit, budget)?;
+        if let Some(e) = AltEnumeration::new(program, &alts) {
+            e.run(0..e.rf0_len(), visit, budget)?;
+        }
         if !advance_odometer(&mut choice, per_thread) {
             return Ok(());
         }
@@ -147,19 +163,23 @@ fn advance_odometer(choice: &mut [usize], per_thread: &[Vec<ThreadAlternative>])
     false
 }
 
-/// Materializing the combination list (for parallel sharding) is only
+/// Materializing the shard list (for parallel sharding) is only
 /// worthwhile — and only safe, memory-wise — for modest counts; beyond
 /// this the enumeration streams sequentially like [`for_each_candidate`].
 const COMBO_SHARD_CAP: usize = 4096;
 
-/// Enumerates every *consistent* execution of `program`.
+/// Enumerates every *consistent* execution of `program`, sharded over the
+/// core engine's work-stealing [`parallel_map`].
 ///
-/// Thread-alternative combinations are independent search trees, so when
-/// there are several (but not pathologically many) they are sharded
-/// across the core engine's [`parallel_map`], one shard per combination,
-/// with the candidate budget shared atomically across shards. A single
-/// combination, or a cross product too large to materialize, streams
-/// through the sequential odometer instead.
+/// Thread-alternative combinations are independent search trees; within
+/// each combination the rf/co odometer is further split by the first
+/// read's rf choice (each candidate source write roots an independent
+/// sub-odometer), so even a single-combination program — most litmus
+/// tests — is sharded one way or another. The candidate budget is shared
+/// atomically across all shards. A cross product too large to materialize
+/// streams through the sequential odometer instead (see
+/// [`consistent_executions_streaming`], which the differential tests use
+/// to pin the sharded result to the sequential one).
 ///
 /// # Errors
 ///
@@ -178,20 +198,13 @@ pub fn consistent_executions(
     let Some(combo_count) = combo_count else {
         // Too many combinations to materialize: stream them.
         let mut out = Vec::new();
-        stream_candidates(
-            program,
-            &generated.per_thread,
-            &mut |pe: &ProgramExecution| {
-                if pe.exec.is_consistent() {
-                    out.push(pe.clone());
-                }
-            },
-            &budget,
-        )?;
+        collect_consistent(program, &generated.per_thread, &budget, &mut out)?;
         return Ok(out);
     };
 
-    let mut combos = Vec::with_capacity(combo_count);
+    // Materialize the (cheap) choice-index vectors; the factorial-sized
+    // enumeration spaces themselves are built inside the parallel map.
+    let mut combos: Vec<Vec<usize>> = Vec::with_capacity(combo_count);
     let mut choice = vec![0usize; generated.per_thread.len()];
     loop {
         combos.push(choice.clone());
@@ -199,121 +212,263 @@ pub fn consistent_executions(
             break;
         }
     }
-
-    let shards: Vec<Result<Vec<ProgramExecution>, EnumError>> = parallel_map(&combos, |choice| {
-        let alts: Vec<&ThreadAlternative> = choice
+    let alts_of = |choice: &[usize]| -> Vec<&ThreadAlternative> {
+        choice
             .iter()
             .zip(&generated.per_thread)
             .map(|(&c, alts)| &alts[c])
-            .collect();
-        let mut found = Vec::new();
-        enumerate_for_alternative(
-            program,
-            &alts,
-            &mut |pe: &ProgramExecution| {
-                if pe.exec.is_consistent() {
-                    found.push(pe.clone());
+            .collect()
+    };
+
+    let consistent_in =
+        |e: &AltEnumeration, rf0_range: Range<usize>| -> Result<Vec<ProgramExecution>, EnumError> {
+            let mut found = Vec::new();
+            e.run(
+                rf0_range,
+                &mut |pe: &ProgramExecution| {
+                    if pe.exec.is_consistent() {
+                        found.push(pe.clone());
+                    }
+                },
+                &budget,
+            )?;
+            Ok(found)
+        };
+
+    // Few combinations cannot feed the pool on their own, so build each
+    // combination's enumeration space once (dead combinations — some
+    // read's value unwritable — become `None`) and split it into one
+    // shard per first-read rf choice; at most RF0_SPLIT_MAX_COMBOS
+    // spaces are alive. Many combinations already parallelise, and
+    // splitting them would keep every factorial-sized space in memory at
+    // once, so each shard then builds its space locally and drops it
+    // when done (peak O(workers)).
+    let results: Vec<Result<Vec<ProgramExecution>, EnumError>> =
+        if combos.len() <= RF0_SPLIT_MAX_COMBOS {
+            let spaces: Vec<Option<AltEnumeration>> = combos
+                .iter()
+                .map(|c| AltEnumeration::new(program, &alts_of(c)))
+                .collect();
+            let shards: Vec<(usize, usize)> = spaces
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|e| (i, e.rf0_len())))
+                .flat_map(|(i, w)| (0..w).map(move |j| (i, j)))
+                .collect();
+            parallel_map(&shards, |&(i, j)| {
+                let e = spaces[i].as_ref().expect("sharded combinations are live");
+                consistent_in(e, j..j + 1)
+            })
+        } else {
+            let indices: Vec<usize> = (0..combos.len()).collect();
+            parallel_map(&indices, |&i| {
+                match AltEnumeration::new(program, &alts_of(&combos[i])) {
+                    None => Ok(Vec::new()),
+                    Some(e) => consistent_in(&e, 0..e.rf0_len()),
                 }
-            },
-            &budget,
-        )?;
-        Ok(found)
-    });
+            })
+        };
     let mut out = Vec::new();
-    for shard in shards {
+    for shard in results {
         out.extend(shard?);
     }
     Ok(out)
 }
 
-fn enumerate_for_alternative(
+/// Above this many combinations the first-read rf0 split is skipped: the
+/// combinations alone saturate the worker pool, and splitting would both
+/// duplicate per-combination setup and keep every enumeration space
+/// alive simultaneously.
+const RF0_SPLIT_MAX_COMBOS: usize = 64;
+
+/// The fully sequential enumeration of every consistent execution: one
+/// thread, one odometer, combinations in odometer order. This is the
+/// oracle the differential suite compares [`consistent_executions`]
+/// against (identical execution *sets*; the `Vec` order may differ).
+///
+/// # Errors
+///
+/// Returns [`EnumError`] on generation failure or combinatorial blow-up —
+/// the shared-budget design makes the sharded path err exactly when this
+/// one does.
+pub fn consistent_executions_streaming(
     program: &Program,
-    alts: &[&ThreadAlternative],
-    visit: &mut impl FnMut(&ProgramExecution),
+    limits: EnumLimits,
+) -> Result<Vec<ProgramExecution>, EnumError> {
+    let generated = generate(program, limits.gen)?;
+    let budget = AtomicUsize::new(limits.max_candidates);
+    let mut out = Vec::new();
+    collect_consistent(program, &generated.per_thread, &budget, &mut out)?;
+    Ok(out)
+}
+
+/// Streams all candidates, keeping the consistent ones.
+fn collect_consistent(
+    program: &Program,
+    per_thread: &[Vec<ThreadAlternative>],
     budget: &AtomicUsize,
+    out: &mut Vec<ProgramExecution>,
 ) -> Result<(), EnumError> {
-    let base = EventSet::new(
-        program.locs.clone(),
-        alts.iter().map(|a| a.actions.clone()).collect(),
-    );
-    let final_regs: Vec<Vec<Val>> = alts.iter().map(|a| a.final_regs.clone()).collect();
+    stream_candidates(
+        program,
+        per_thread,
+        &mut |pe: &ProgramExecution| {
+            if pe.exec.is_consistent() {
+                out.push(pe.clone());
+            }
+        },
+        budget,
+    )
+}
 
-    // rf candidates per read: same-location same-value writes.
-    let reads = base.reads();
-    let mut rf_choices: Vec<Vec<usize>> = Vec::with_capacity(reads.len());
-    for &r in &reads {
-        let er = base.events[r];
-        let sources: Vec<usize> = base
-            .writes_to(er.loc)
-            .into_iter()
-            .filter(|&w| base.events[w].value() == er.value())
-            .collect();
-        if sources.is_empty() {
-            return Ok(()); // this alternative's read value is unwritable
+/// The precomputed enumeration space of one thread-alternative
+/// combination: the base event set, the rf source candidates per read,
+/// the co permutations per location, and the final register files. The
+/// rf/co odometer itself turns inside [`AltEnumeration::run`], which can
+/// be restricted to a sub-range of the first read's rf choices — the
+/// shard axis of [`consistent_executions`].
+struct AltEnumeration {
+    base: EventSet,
+    final_regs: Vec<Vec<Val>>,
+    reads: Vec<usize>,
+    rf_choices: Vec<Vec<usize>>,
+    co_choices: Vec<Vec<Vec<usize>>>,
+}
+
+impl AltEnumeration {
+    /// Builds the space for one combination; `None` if some read's value
+    /// is unwritable (the combination contributes no candidates).
+    fn new(program: &Program, alts: &[&ThreadAlternative]) -> Option<AltEnumeration> {
+        let base = EventSet::new(
+            program.locs.clone(),
+            alts.iter().map(|a| a.actions.clone()).collect(),
+        );
+        let final_regs: Vec<Vec<Val>> = alts.iter().map(|a| a.final_regs.clone()).collect();
+
+        // rf candidates per read: same-location same-value writes.
+        let reads = base.reads();
+        let mut rf_choices: Vec<Vec<usize>> = Vec::with_capacity(reads.len());
+        for &r in &reads {
+            let er = base.events[r];
+            let sources: Vec<usize> = base
+                .writes_to(er.loc)
+                .into_iter()
+                .filter(|&w| base.events[w].value() == er.value())
+                .collect();
+            if sources.is_empty() {
+                return None; // this alternative's read value is unwritable
+            }
+            rf_choices.push(sources);
         }
-        rf_choices.push(sources);
+
+        // co candidates per location: permutations of non-initial writes,
+        // with the initial write first (any other placement violates CoWW,
+        // since initial writes happen-before everything).
+        let mut co_choices: Vec<Vec<Vec<usize>>> = Vec::new();
+        for l in program.locs.iter() {
+            let ws: Vec<usize> = base
+                .writes_to(l)
+                .into_iter()
+                .filter(|&w| !base.events[w].is_init())
+                .collect();
+            co_choices.push(permutations(&ws));
+        }
+        Some(AltEnumeration {
+            base,
+            final_regs,
+            reads,
+            rf_choices,
+            co_choices,
+        })
     }
 
-    // co candidates per location: permutations of non-initial writes, with
-    // the initial write first (any other placement violates CoWW, since
-    // initial writes happen-before everything).
-    let mut co_choices: Vec<Vec<Vec<usize>>> = Vec::new();
-    for l in program.locs.iter() {
-        let ws: Vec<usize> = base
-            .writes_to(l)
-            .into_iter()
-            .filter(|&w| !base.events[w].is_init())
-            .collect();
-        co_choices.push(permutations(&ws));
+    /// Number of rf choices of the first read — the shardable axis. A
+    /// read-free combination has one (trivial) shard.
+    fn rf0_len(&self) -> usize {
+        self.rf_choices.first().map_or(1, Vec::len)
     }
 
-    // Iterate the cartesian product of rf and co choices.
-    let mut rf_idx = vec![0usize; rf_choices.len()];
-    loop {
-        let mut co_idx = vec![0usize; co_choices.len()];
-        loop {
-            // Saturating take: never wraps below zero, even when several
-            // parallel shards hit exhaustion at once.
-            let taken = budget
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
-                .is_ok();
-            if !taken {
-                return Err(EnumError::TooManyCandidates);
-            }
-
-            let mut rf = Relation::new(base.len());
-            for (k, &r) in reads.iter().enumerate() {
-                rf.insert(rf_choices[k][rf_idx[k]], r);
-            }
-            let mut co = Relation::new(base.len());
-            for (li, l) in program.locs.iter().enumerate() {
-                let perm = &co_choices[li][co_idx[li]];
-                let init = l.index(); // initial events occupy 0..nlocs
-                for (x, &a) in perm.iter().enumerate() {
-                    co.insert(init, a);
-                    for &b in &perm[x + 1..] {
-                        co.insert(a, b);
-                    }
-                }
-            }
-            let cand = CandidateExecution {
-                base: base.clone(),
-                rf,
-                co,
-            };
-            debug_assert!(cand.validate().is_ok(), "{:?}", cand.validate());
-            visit(&ProgramExecution {
-                exec: cand,
-                final_regs: final_regs.clone(),
-            });
-
-            if !advance(&mut co_idx, |i| co_choices[i].len()) {
-                break;
-            }
-        }
-        if !advance(&mut rf_idx, |i| rf_choices[i].len()) {
+    /// Turns the rf/co odometer over the candidates whose first-read rf
+    /// choice lies in `rf0_range`, invoking `visit` per candidate and
+    /// debiting the shared `budget`.
+    fn run(
+        &self,
+        rf0_range: Range<usize>,
+        visit: &mut impl FnMut(&ProgramExecution),
+        budget: &AtomicUsize,
+    ) -> Result<(), EnumError> {
+        if rf0_range.is_empty() {
             return Ok(());
         }
+        let locs = &self.base.locs;
+        let mut rf_idx = vec![0usize; self.rf_choices.len()];
+        if let Some(first) = rf_idx.first_mut() {
+            *first = rf0_range.start;
+        }
+        loop {
+            let mut co_idx = vec![0usize; self.co_choices.len()];
+            loop {
+                // Saturating take: never wraps below zero, even when
+                // several parallel shards hit exhaustion at once.
+                let taken = budget
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                    .is_ok();
+                if !taken {
+                    return Err(EnumError::TooManyCandidates);
+                }
+
+                let mut rf = Relation::new(self.base.len());
+                for (k, &r) in self.reads.iter().enumerate() {
+                    rf.insert(self.rf_choices[k][rf_idx[k]], r);
+                }
+                let mut co = Relation::new(self.base.len());
+                for (li, l) in locs.iter().enumerate() {
+                    let perm = &self.co_choices[li][co_idx[li]];
+                    let init = l.index(); // initial events occupy 0..nlocs
+                    for (x, &a) in perm.iter().enumerate() {
+                        co.insert(init, a);
+                        for &b in &perm[x + 1..] {
+                            co.insert(a, b);
+                        }
+                    }
+                }
+                let cand = CandidateExecution {
+                    base: self.base.clone(),
+                    rf,
+                    co,
+                };
+                debug_assert!(cand.validate().is_ok(), "{:?}", cand.validate());
+                visit(&ProgramExecution {
+                    exec: cand,
+                    final_regs: self.final_regs.clone(),
+                });
+
+                if !advance(&mut co_idx, |i| self.co_choices[i].len()) {
+                    break;
+                }
+            }
+            if !self.advance_rf(&mut rf_idx, &rf0_range) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Odometer increment over the rf indices, with slot 0 confined to
+    /// `rf0_range`; returns false when the (restricted) odometer wraps.
+    fn advance_rf(&self, idx: &mut [usize], rf0_range: &Range<usize>) -> bool {
+        for (i, slot) in idx.iter_mut().enumerate() {
+            *slot += 1;
+            let (end, reset) = if i == 0 {
+                (rf0_range.end, rf0_range.start)
+            } else {
+                (self.rf_choices[i].len(), 0)
+            };
+            if *slot < end {
+                return true;
+            }
+            *slot = reset;
+        }
+        false
     }
 }
 
@@ -454,6 +609,69 @@ mod tests {
             .map(|o| o.memory(a).unwrap().0)
             .collect();
         assert_eq!(finals, [1, 2].into_iter().collect());
+    }
+
+    #[test]
+    fn sharded_enumeration_matches_streaming() {
+        // Single-combination programs exercise the first-read odometer
+        // split; multi-read programs exercise shard × sub-odometer.
+        for src in [
+            "nonatomic a b;
+             thread P0 { a = 1; r0 = b; }
+             thread P1 { b = 1; r1 = a; }",
+            "nonatomic a; atomic f;
+             thread P0 { a = 1; f = 1; }
+             thread P1 { r0 = f; r1 = a; }",
+            "nonatomic a; thread P0 { a = 1; } thread P1 { a = 2; }",
+            "nonatomic a; thread P0 { a = 1; a = 2; r0 = a; }",
+        ] {
+            let p = Program::parse(src).unwrap();
+            let sharded: BTreeSet<Observation> = consistent_executions(&p, EnumLimits::default())
+                .unwrap()
+                .iter()
+                .map(ProgramExecution::observation)
+                .collect();
+            let streaming: BTreeSet<Observation> =
+                consistent_executions_streaming(&p, EnumLimits::default())
+                    .unwrap()
+                    .iter()
+                    .map(ProgramExecution::observation)
+                    .collect();
+            assert_eq!(sharded, streaming, "diverged on {src}");
+            // Not just observations: the execution count must also match
+            // (no candidate double-counted or dropped by the range split).
+            assert_eq!(
+                consistent_executions(&p, EnumLimits::default())
+                    .unwrap()
+                    .len(),
+                consistent_executions_streaming(&p, EnumLimits::default())
+                    .unwrap()
+                    .len(),
+                "execution counts diverged on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_budget_matches_streaming_budget() {
+        // A budget below the candidate count must trip both paths — the
+        // sharded enumeration shares one counter, it never splits it.
+        let src = "nonatomic a b;
+             thread P0 { a = 1; r0 = b; }
+             thread P1 { b = 1; r1 = a; }";
+        let p = Program::parse(src).unwrap();
+        let tight = EnumLimits {
+            max_candidates: 3,
+            ..EnumLimits::default()
+        };
+        assert_eq!(
+            consistent_executions_streaming(&p, tight),
+            Err(EnumError::TooManyCandidates)
+        );
+        assert_eq!(
+            consistent_executions(&p, tight),
+            Err(EnumError::TooManyCandidates)
+        );
     }
 
     #[test]

@@ -238,6 +238,40 @@ pub fn check_soundness(program: &Program, config: ExploreConfig) -> Result<usize
     }
 }
 
+/// [`check_soundness`], with the trace walk sharded at the root frontier
+/// across `threads` workers (0 = all cores): each enabled initial
+/// transition's subtree is checked with its own visitor, and the per-shard
+/// `checked` counts are summed — the total equals the sequential count,
+/// which the differential suite asserts.
+///
+/// # Errors
+///
+/// As [`check_soundness`]; the trace budget is shared across shards.
+pub fn check_soundness_sharded(
+    program: &Program,
+    config: ExploreConfig,
+    threads: usize,
+) -> Result<usize, SoundnessError> {
+    let locs = &program.locs;
+    let (_, visitors) = TraceEngine::new(config)
+        .explore_sharded(locs, program.initial_machine(), threads, || {
+            SoundnessVisitor {
+                locs,
+                checked: 0,
+                violation: None,
+            }
+        })
+        .map_err(SoundnessError::Engine)?;
+    let mut checked = 0;
+    for v in visitors {
+        checked += v.checked;
+        if let Some(violation) = v.violation {
+            return Err(SoundnessError::Violation(Box::new(violation)));
+        }
+    }
+    Ok(checked)
+}
+
 /// The two outcome sets compared by [`check_equivalence`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct EquivalenceReport {
@@ -330,6 +364,20 @@ mod tests {
         // MP has 6 interleavings of 4 memory operations plus read
         // nondeterminism: 24 distinct trace prefixes in all.
         assert_eq!(checked, 24);
+    }
+
+    #[test]
+    fn sharded_soundness_matches_sequential_count() {
+        let p = Program::parse(
+            "nonatomic a; atomic f;
+             thread P0 { a = 1; f = 1; }
+             thread P1 { r0 = f; r1 = a; }",
+        )
+        .unwrap();
+        let seq = check_soundness(&p, ExploreConfig::default()).unwrap();
+        let shd = check_soundness_sharded(&p, ExploreConfig::default(), 4).unwrap();
+        assert_eq!(seq, shd);
+        assert_eq!(seq, 24);
     }
 
     #[test]

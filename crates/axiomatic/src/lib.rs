@@ -32,12 +32,12 @@ pub mod exec;
 pub mod generate;
 
 pub use enumerate::{
-    axiomatic_outcomes, consistent_executions, for_each_candidate, observable, EnumError,
-    EnumLimits, ProgramExecution,
+    axiomatic_outcomes, consistent_executions, consistent_executions_streaming, for_each_candidate,
+    observable, EnumError, EnumLimits, ProgramExecution,
 };
 pub use equiv::{
-    check_equivalence, check_soundness, execution_of_trace, EquivalenceError, EquivalenceReport,
-    SoundnessError, SoundnessViolation,
+    check_equivalence, check_soundness, check_soundness_sharded, execution_of_trace,
+    EquivalenceError, EquivalenceReport, SoundnessError, SoundnessViolation,
 };
 pub use event::{Event, EventId};
 pub use exec::{CandidateExecution, EventSet, WellformednessError};

@@ -43,6 +43,7 @@ fn bench_single_test_strategies(c: &mut Criterion) {
         ("explore_iriw_dfs", Strategy::Dfs),
         ("explore_iriw_bfs", Strategy::Bfs),
         ("explore_iriw_parallel", Strategy::Parallel),
+        ("explore_iriw_worksteal", Strategy::WorkStealing),
     ] {
         c.bench_function(name, |b| {
             b.iter(|| {

@@ -19,10 +19,18 @@
 //!   shared atomic cursor and states deduplicated through a sharded
 //!   lock-striped interner. Produces the same canonical state set as the
 //!   sequential engines (each state is claimed by exactly one worker).
+//! * **[`WorkStealingEngine`]** ([`steal`]) — a persistent worker pool
+//!   with per-worker deques and FIFO stealing: no barrier per BFS level,
+//!   so a single deep exploration scales, not just multi-test sweeps.
+//!   Same claim-exactly-once interning, same visited state set.
 //! * **[`TraceEngine`]** ([`worklist`]) — iterative depth-first trace
 //!   enumeration for the trace-dependent checkers (data races and
 //!   happens-before are properties of traces, not states); drives a
-//!   [`TraceVisitor`].
+//!   [`TraceVisitor`]. [`TraceEngine::explore_sharded`] forks the walk at
+//!   the root frontier into independent label stacks (one fresh visitor
+//!   per subtree, one shared atomic trace budget), so checkers whose
+//!   verdicts merge — every checker in [`crate::localdrf`] and the
+//!   axiomatic soundness checker — run subtree-parallel.
 //! * **[`StateInterner`] / [`SharedInterner`]** ([`intern`]) — canonical
 //!   states are hashed exactly once ([`intern::Hashed`]) and stored
 //!   against dense `u32` [`StateId`]s instead of cloned machines.
@@ -33,6 +41,28 @@
 //! The legacy helpers `reachable_terminals` / `reachable_states` /
 //! `for_each_trace` in [`crate::explore`] remain as thin wrappers over
 //! these engines.
+//!
+//! # Strategy selection and thread knobs
+//!
+//! Callers pick an engine through [`Strategy`] (threaded through
+//! `Program::outcomes_with`, the litmus runner's `RunConfig`, and
+//! [`explorer`]):
+//!
+//! | Strategy | Engine | When to prefer it |
+//! |---|---|---|
+//! | [`Strategy::Dfs`] | [`WorklistEngine`] (stack) | default; smallest footprint |
+//! | [`Strategy::Bfs`] | [`WorklistEngine`] (queue) | shortest-counterexample searches |
+//! | [`Strategy::Parallel`] | [`ParallelEngine`] | wide, shallow spaces; deterministic per-level visit order |
+//! | [`Strategy::WorkStealing`] | [`WorkStealingEngine`] | deep or irregular spaces; no per-level barrier |
+//!
+//! Every parallel entry point resolves its worker count through
+//! [`steal::engine_threads`]: an explicit nonzero count wins, `0` ("all
+//! cores") honours the `BDRST_ENGINE_THREADS` environment variable
+//! before falling back to [`std::thread::available_parallelism`]. All
+//! engines visit the same canonical state set and surface the same
+//! [`EngineError`]s — the differential and property suites under
+//! `tests/` enforce this across the litmus corpus and randomly generated
+//! programs.
 //!
 //! # Example: counting canonical states under each engine
 //!
@@ -68,6 +98,7 @@
 pub mod canon;
 pub mod intern;
 pub mod parallel;
+pub mod steal;
 pub mod worklist;
 
 use std::fmt;
@@ -80,6 +111,7 @@ use crate::trace::TraceLabels;
 pub use canon::{canonicalize, CanonState};
 pub use intern::{Hashed, SharedInterner, StateId, StateInterner};
 pub use parallel::{parallel_map, parallel_map_with, ParallelEngine};
+pub use steal::{engine_threads, StealDeques, WorkStealingEngine};
 pub use worklist::{TraceEngine, WorklistEngine};
 
 /// Budgets for exploration. The defaults are generous for litmus-scale
@@ -194,8 +226,11 @@ pub enum Strategy {
     Dfs,
     /// Sequential breadth-first worklist.
     Bfs,
-    /// Parallel frontier expansion; `0` threads means "all available".
+    /// Level-synchronous parallel frontier expansion.
     Parallel,
+    /// Deque-based work-stealing over a persistent worker pool (no
+    /// per-level barrier).
+    WorkStealing,
 }
 
 /// A state-space visitor: called exactly once per distinct canonical
@@ -264,5 +299,6 @@ pub fn explorer<E: Expr + Send + Sync>(
         Strategy::Dfs => Box::new(WorklistEngine::new(config, SearchOrder::Dfs)),
         Strategy::Bfs => Box::new(WorklistEngine::new(config, SearchOrder::Bfs)),
         Strategy::Parallel => Box::new(ParallelEngine::new(config)),
+        Strategy::WorkStealing => Box::new(WorkStealingEngine::new(config)),
     }
 }

@@ -11,23 +11,25 @@
 //! identical to the sequential engines', which the engine tests and the
 //! litmus corpus sweep verify outcome-for-outcome.
 //!
-//! [`parallel_map`] is the same claim-a-slot scheme applied to an
-//! arbitrary slice: the litmus corpus runner shards tests across it and
-//! the §8 simulator shards workloads across it.
+//! [`parallel_map`] shards an arbitrary slice over the same deque-based
+//! work-stealing substrate as [`crate::engine::WorkStealingEngine`]
+//! ([`crate::engine::steal`]): the litmus corpus runner shards tests
+//! across it, the §8 simulator shards workloads across it, and the
+//! axiomatic enumerator shards rf/co odometer ranges across it. Items
+//! are seeded round-robin onto per-worker deques; a worker that drains
+//! its own deque steals from the others, so uneven item costs (litmus
+//! tests vary by orders of magnitude) still balance without a shared
+//! cursor in the hot path.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::engine::steal::{engine_threads, StealDeques};
 use crate::engine::{
     canonicalize, Control, EngineConfig, EngineError, ExploreStats, Explorer, SharedInterner,
     StateId, StateVisitor,
 };
 use crate::loc::LocSet;
 use crate::machine::{Expr, Machine};
-
-/// Number of worker threads to use when the caller asked for "all".
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(4, |n| n.get())
-}
 
 /// The states one worker claimed while expanding a frontier level.
 type Claimed<E> = Vec<(StateId, Machine<E>)>;
@@ -66,11 +68,7 @@ impl<E: Expr + Send + Sync> Explorer<E> for ParallelEngine {
         m0: Machine<E>,
         visitor: &mut dyn StateVisitor<E>,
     ) -> Result<ExploreStats, EngineError> {
-        let workers = if self.threads == 0 {
-            default_threads()
-        } else {
-            self.threads
-        };
+        let workers = engine_threads(self.threads);
         let interner: SharedInterner<_> = SharedInterner::new();
         let mut stats = ExploreStats::default();
 
@@ -146,9 +144,10 @@ impl<E: Expr + Send + Sync> Explorer<E> for ParallelEngine {
 /// Applies `f` to every item of `items` across all available cores,
 /// preserving input order in the result.
 ///
-/// Work is claimed item-by-item from a shared atomic cursor, so uneven
-/// item costs (litmus tests vary by orders of magnitude) still balance.
-/// Panics in `f` propagate to the caller.
+/// Items are seeded round-robin onto per-worker stealing deques
+/// ([`StealDeques`]); a worker that exhausts its own deque steals from
+/// the others, so uneven item costs (litmus tests vary by orders of
+/// magnitude) still balance. Panics in `f` propagate to the caller.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -158,33 +157,32 @@ where
     parallel_map_with(items, 0, f)
 }
 
-/// [`parallel_map`] with an explicit worker count (0 = all cores).
+/// [`parallel_map`] with an explicit worker count (0 = all cores,
+/// honouring `BDRST_ENGINE_THREADS`; see
+/// [`crate::engine::steal::engine_threads`]).
 pub fn parallel_map_with<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = if threads == 0 {
-        default_threads()
-    } else {
-        threads
-    };
-    let workers = workers.min(items.len().max(1));
+    let workers = engine_threads(threads).min(items.len().max(1));
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
-    let cursor = AtomicUsize::new(0);
+    let deques: StealDeques<usize> = StealDeques::new(workers);
+    for i in 0..items.len() {
+        deques.push(i % workers, i);
+    }
     let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let (deques, f) = (&deques, &f);
+                scope.spawn(move || {
                     let mut out = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
+                    while let Some(i) = deques.take(w) {
+                        out.push((i, f(&items[i])));
                     }
                     out
                 })

@@ -1,15 +1,18 @@
 //! Sequential engines: the iterative state-space worklist and the
-//! iterative depth-first trace enumerator.
+//! iterative depth-first trace enumerator — plus the sharded trace walk
+//! ([`TraceEngine::explore_sharded`]) that forks the enumeration at the
+//! root frontier across the work-stealing pool.
 //!
 //! Neither engine recurses — both carry explicit stacks — so exploration
 //! depth is bounded by heap, not by the thread's call stack, and the DFS /
 //! BFS choice is a one-line worklist-discipline swap.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::engine::{
-    canonicalize, Control, EngineConfig, EngineError, ExploreStats, Explorer, SearchOrder,
-    StateInterner, StateVisitor, TraceVisitor,
+    canonicalize, parallel_map_with, Control, EngineConfig, EngineError, ExploreStats, Explorer,
+    SearchOrder, StateInterner, StateVisitor, TraceVisitor,
 };
 use crate::loc::LocSet;
 use crate::machine::{Expr, Machine, Transition};
@@ -88,6 +91,81 @@ impl<E: Expr> Frame<E> {
             next: 0,
         }
     }
+
+    /// A root frame restricted to a single transition — the fork point of
+    /// one shard of [`TraceEngine::explore_sharded`].
+    fn single(t: Transition<E>) -> Frame<E> {
+        Frame {
+            transitions: vec![Some(t)],
+            next: 0,
+        }
+    }
+}
+
+/// How one (sub)walk of the trace tree ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WalkEnd {
+    /// Every trace in the subtree was enumerated (or pruned).
+    Exhausted,
+    /// The visitor returned [`Control::Stop`].
+    Stopped,
+}
+
+/// The iterative depth-first walk shared by the sequential and sharded
+/// trace enumerations. `budget` holds the *remaining* extension budget;
+/// it is a plain counter for a sequential walk and shared across shards
+/// for a sharded one, so splitting the work never splits the budget.
+fn walk_traces<E: Expr>(
+    locs: &LocSet,
+    mut frames: Vec<Frame<E>>,
+    visitor: &mut dyn TraceVisitor<E>,
+    budget: &AtomicUsize,
+    max_traces: usize,
+    stats: &mut ExploreStats,
+) -> Result<WalkEnd, EngineError> {
+    let mut trace = TraceLabels::new();
+    while let Some(frame) = frames.last_mut() {
+        if frame.next >= frame.transitions.len() {
+            // Subtree exhausted: pop the frame, and the label that led
+            // into it (the root frame has no such label).
+            frames.pop();
+            if !frames.is_empty() {
+                trace.pop();
+            }
+            continue;
+        }
+        let i = frame.next;
+        frame.next += 1;
+        stats.transitions += 1;
+        let t = frame.transitions[i]
+            .take()
+            .expect("transition consumed once");
+        if !visitor.step_filter(&t) {
+            continue;
+        }
+        if budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+            .is_err()
+        {
+            // The budget counts down from `max_traces`; exhaustion means
+            // the whole enumeration (across every shard) attempted its
+            // (max_traces + 1)-th extension — the same count the
+            // sequential engine reports.
+            return Err(EngineError::budget(max_traces + 1));
+        }
+        stats.visited += 1;
+        trace.push(t.label);
+        match visitor.visit(&trace, &t) {
+            Control::Stop => return Ok(WalkEnd::Stopped),
+            Control::Prune => {
+                trace.pop();
+            }
+            Control::Continue => {
+                frames.push(Frame::at(&t.target, locs));
+            }
+        }
+    }
+    Ok(WalkEnd::Exhausted)
 }
 
 /// The iterative depth-first trace enumerator.
@@ -121,43 +199,101 @@ impl TraceEngine {
         visitor: &mut dyn TraceVisitor<E>,
     ) -> Result<ExploreStats, EngineError> {
         let mut stats = ExploreStats::default();
-        let mut trace = TraceLabels::new();
-        let mut frames = vec![Frame::at(&m0, locs)];
-        while let Some(frame) = frames.last_mut() {
-            if frame.next >= frame.transitions.len() {
-                // Subtree exhausted: pop the frame, and the label that led
-                // into it (the root frame has no such label).
-                frames.pop();
-                if !frames.is_empty() {
-                    trace.pop();
-                }
-                continue;
-            }
-            let i = frame.next;
-            frame.next += 1;
-            stats.transitions += 1;
-            let t = frame.transitions[i]
-                .take()
-                .expect("transition consumed once");
-            if !visitor.step_filter(&t) {
-                continue;
-            }
-            stats.visited += 1;
-            if stats.visited > self.config.max_traces {
-                return Err(EngineError::budget(stats.visited));
-            }
-            trace.push(t.label);
-            match visitor.visit(&trace, &t) {
-                Control::Stop => return Ok(stats),
-                Control::Prune => {
-                    trace.pop();
-                }
-                Control::Continue => {
-                    frames.push(Frame::at(&t.target, locs));
-                }
-            }
-        }
+        let budget = AtomicUsize::new(self.config.max_traces);
+        walk_traces(
+            locs,
+            vec![Frame::at(&m0, locs)],
+            visitor,
+            &budget,
+            self.config.max_traces,
+            &mut stats,
+        )?;
         Ok(stats)
+    }
+
+    /// Walks every trace from `m0`, sharded across the work-stealing pool:
+    /// each transition enabled at the *root* starts an independent label
+    /// stack explored with its own visitor from `make_visitor` (trace
+    /// subtrees share no state, so forking at the root frontier is exact).
+    ///
+    /// The trace budget is a single atomic counter shared by every shard —
+    /// splitting the work never splits the budget, so for visitors that
+    /// run to exhaustion a sharded walk errs out if and only if the total
+    /// number of extensions exceeds `config.max_traces`, exactly like
+    /// [`TraceEngine::explore`]. The combined statistics and the
+    /// per-shard visitors (for verdict merging) are returned; shards are
+    /// reported in root-transition order regardless of which worker ran
+    /// them.
+    ///
+    /// One shard returning [`Control::Stop`] does not interrupt its
+    /// siblings (they run to completion), and a stopped shard's verdict
+    /// takes precedence over a concurrent budget trip in another shard.
+    /// When a *stopping* visitor meets a budget close to the space it
+    /// would explore, which of the two lands first is search-order
+    /// dependent even sequentially (DFS and BFS intern different
+    /// prefixes); this engine resolves that race deterministically in
+    /// favour of the verdict.
+    ///
+    /// `threads == 0` means all cores (honouring `BDRST_ENGINE_THREADS`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BudgetExceeded`] if the shards jointly exceed
+    /// `config.max_traces` extensions and no shard stopped;
+    /// [`EngineError::CorruptFrontier`] if any shard reaches a corrupted
+    /// machine.
+    pub fn explore_sharded<E, V, F>(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+        threads: usize,
+        make_visitor: F,
+    ) -> Result<(ExploreStats, Vec<V>), EngineError>
+    where
+        E: Expr + Send + Sync,
+        V: TraceVisitor<E> + Send,
+        F: Fn() -> V + Sync,
+    {
+        let roots = m0.transitions(locs);
+        let budget = AtomicUsize::new(self.config.max_traces);
+        let max_traces = self.config.max_traces;
+        let shards: Vec<(V, ExploreStats, Result<WalkEnd, EngineError>)> =
+            parallel_map_with(&roots, threads, |t| {
+                let mut visitor = make_visitor();
+                let mut stats = ExploreStats::default();
+                let end = walk_traces(
+                    locs,
+                    vec![Frame::single(t.clone())],
+                    &mut visitor,
+                    &budget,
+                    max_traces,
+                    &mut stats,
+                );
+                (visitor, stats, end)
+            });
+
+        let mut stats = ExploreStats::default();
+        let mut visitors = Vec::with_capacity(shards.len());
+        let mut stopped = false;
+        let mut budget_error = None;
+        for (visitor, shard_stats, end) in shards {
+            stats.visited += shard_stats.visited;
+            stats.transitions += shard_stats.transitions;
+            match end {
+                Ok(WalkEnd::Stopped) => stopped = true,
+                Ok(WalkEnd::Exhausted) => {}
+                Err(e @ EngineError::BudgetExceeded { .. }) => {
+                    budget_error.get_or_insert(e);
+                }
+                // Corruption is never masked by verdicts or budgets.
+                Err(e @ EngineError::CorruptFrontier { .. }) => return Err(e),
+            }
+            visitors.push(visitor);
+        }
+        match budget_error {
+            Some(e) if !stopped => Err(e),
+            _ => Ok((stats, visitors)),
+        }
     }
 }
 
@@ -278,6 +414,108 @@ mod tests {
             .explore(&locs, m0, &mut v)
             .unwrap();
         assert_eq!(v.complete, 2);
+    }
+
+    /// Counts complete interleavings; used by the sharded agreement tests.
+    struct CountComplete {
+        len: usize,
+        complete: usize,
+    }
+
+    impl TraceVisitor<RecordedExpr> for CountComplete {
+        fn visit(&mut self, trace: &TraceLabels, t: &Transition<RecordedExpr>) -> Control {
+            if trace.len() == self.len && t.target.is_terminal() {
+                self.complete += 1;
+            }
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn sharded_trace_walk_matches_sequential() {
+        let (locs, a, b) = locs_ab();
+        let m0 = sb_machine(&locs, a, b);
+        let mut seq = CountComplete {
+            len: 4,
+            complete: 0,
+        };
+        let seq_stats = TraceEngine::new(EngineConfig::default())
+            .explore(&locs, m0.clone(), &mut seq)
+            .unwrap();
+        let (shard_stats, visitors) = TraceEngine::new(EngineConfig::default())
+            .explore_sharded(&locs, m0, 4, || CountComplete {
+                len: 4,
+                complete: 0,
+            })
+            .unwrap();
+        let sharded: usize = visitors.iter().map(|v| v.complete).sum();
+        assert_eq!(seq.complete, sharded);
+        assert_eq!(seq_stats.visited, shard_stats.visited);
+        assert_eq!(seq_stats.transitions, shard_stats.transitions);
+    }
+
+    #[test]
+    fn sharded_budget_is_shared_not_split() {
+        // A budget big enough for any single shard but not for the whole
+        // tree must still trip — the shards share one atomic counter.
+        let (locs, a, b) = locs_ab();
+        let m0 = sb_machine(&locs, a, b);
+        #[derive(Debug)]
+        struct Go;
+        impl TraceVisitor<RecordedExpr> for Go {
+            fn visit(&mut self, _: &TraceLabels, _: &Transition<RecordedExpr>) -> Control {
+                Control::Continue
+            }
+        }
+        let total = TraceEngine::new(EngineConfig::default())
+            .explore(&locs, m0.clone(), &mut Go)
+            .unwrap()
+            .visited;
+        let tight = EngineConfig {
+            max_states: usize::MAX,
+            max_traces: total - 1,
+        };
+        let seq = TraceEngine::new(tight).explore(&locs, m0.clone(), &mut Go);
+        let sharded = TraceEngine::new(tight).explore_sharded(&locs, m0.clone(), 4, || Go);
+        assert_eq!(seq.unwrap_err(), EngineError::budget(total));
+        assert_eq!(sharded.unwrap_err(), EngineError::budget(total));
+
+        // With exactly enough budget, both succeed with identical stats.
+        let exact = EngineConfig {
+            max_states: usize::MAX,
+            max_traces: total,
+        };
+        let seq_ok = TraceEngine::new(exact)
+            .explore(&locs, m0.clone(), &mut Go)
+            .unwrap();
+        let (shard_ok, _) = TraceEngine::new(exact)
+            .explore_sharded(&locs, m0, 4, || Go)
+            .unwrap();
+        assert_eq!(seq_ok.visited, shard_ok.visited);
+    }
+
+    #[test]
+    fn sharded_stop_takes_precedence_over_budget() {
+        let (locs, a, _) = locs_ab();
+        let mk = || RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 4]);
+        let m0 = Machine::initial(&locs, [mk(), mk()]);
+        // Stops on the very first extension it sees; every shard stops
+        // immediately, so exhaustion is impossible even with budget 2.
+        struct StopNow;
+        impl TraceVisitor<RecordedExpr> for StopNow {
+            fn visit(&mut self, _: &TraceLabels, _: &Transition<RecordedExpr>) -> Control {
+                Control::Stop
+            }
+        }
+        let tiny = EngineConfig {
+            max_states: 10,
+            max_traces: 2,
+        };
+        let (stats, visitors) = TraceEngine::new(tiny)
+            .explore_sharded(&locs, m0, 2, || StopNow)
+            .unwrap();
+        assert_eq!(visitors.len(), 2); // one shard per root transition
+        assert_eq!(stats.visited, 2); // each shard visited exactly one
     }
 
     #[test]

@@ -223,6 +223,7 @@ mod tests {
         let dfs = outcome_set(Strategy::Dfs);
         assert_eq!(dfs, outcome_set(Strategy::Bfs));
         assert_eq!(dfs, outcome_set(Strategy::Parallel));
+        assert_eq!(dfs, outcome_set(Strategy::WorkStealing));
     }
 
     #[test]

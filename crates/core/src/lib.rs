@@ -66,7 +66,7 @@ pub mod trace;
 
 pub use engine::{
     Control, EngineConfig, EngineError, Explorer, ParallelEngine, SearchOrder, StateId,
-    StateVisitor, Strategy, TraceEngine, TraceVisitor, WorklistEngine,
+    StateVisitor, Strategy, TraceEngine, TraceVisitor, WorkStealingEngine, WorklistEngine,
 };
 pub use explore::{ExploreConfig, ExploreStats};
 pub use frontier::Frontier;

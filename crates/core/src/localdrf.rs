@@ -21,6 +21,15 @@
 //! [`TraceVisitor`] implementation — no intermediate closure plumbing —
 //! so the engine's budget and error surface ([`EngineError`]) apply
 //! uniformly.
+//!
+//! Every checker also has a `*_sharded` variant that forks the trace walk
+//! at the root frontier over the work-stealing pool
+//! ([`TraceEngine::explore_sharded`]): each enabled root transition gets
+//! an independent label stack and a fresh visitor, verdicts are merged
+//! afterwards (any shard's violation wins), and the trace budget is a
+//! single shared counter — a budget split never changes a verdict. The
+//! differential suites assert the sharded verdicts match the sequential
+//! ones across the corpus and generated programs.
 
 use crate::engine::{Control, EngineConfig, EngineError, ExploreStats, TraceEngine, TraceVisitor};
 use crate::loc::LocSet;
@@ -149,6 +158,33 @@ pub fn is_l_stable_for_prefix<E: Expr>(
     Ok(v.stable)
 }
 
+/// [`is_l_stable_for_prefix`], with the suffix exploration sharded at the
+/// root frontier across `threads` workers (0 = all cores). The state is
+/// L-stable iff every shard found its subtree race-free.
+///
+/// # Errors
+///
+/// As [`is_l_stable_for_prefix`]; the budget is shared across shards.
+pub fn is_l_stable_for_prefix_sharded<E: Expr + Send + Sync>(
+    locs: &LocSet,
+    prefix: &[TransitionLabel],
+    prefix_machine: Machine<E>,
+    l_set: &LocPredicate,
+    config: EngineConfig,
+    threads: usize,
+) -> Result<bool, EngineError> {
+    let (_, visitors) =
+        TraceEngine::new(config).explore_sharded(locs, prefix_machine, threads, || {
+            LStabilityVisitor {
+                locs,
+                prefix,
+                l_set,
+                stable: true,
+            }
+        })?;
+    Ok(visitors.iter().all(|v| v.stable))
+}
+
 /// Visitor for Theorem 13: walks L-sequential suffixes, checking the
 /// theorem's conclusion at every reached state.
 struct LocalDrfVisitor<'a> {
@@ -251,6 +287,44 @@ pub fn check_local_drf<E: Expr>(
     }
 }
 
+/// [`check_local_drf`], with the L-sequential suffix walk sharded at the
+/// root frontier across `threads` workers (0 = all cores). Any shard's
+/// counterexample fails the theorem (the first, in root-transition order,
+/// is reported).
+///
+/// # Errors
+///
+/// As [`check_local_drf`]; the budget is shared across shards.
+pub fn check_local_drf_sharded<E: Expr + Send + Sync>(
+    locs: &LocSet,
+    m: Machine<E>,
+    l_set: &LocPredicate,
+    config: EngineConfig,
+    threads: usize,
+) -> Result<ExploreStats, CheckError<LocalDrfViolation>> {
+    let probe = LocalDrfVisitor {
+        locs,
+        l_set,
+        violation: None,
+    };
+    // The empty suffix (state `m` itself) must also satisfy the theorem.
+    if let Some(v) = probe.check_state(&TraceLabels::new(), &m) {
+        return Err(CheckError::Violation(v));
+    }
+
+    let (stats, visitors) = TraceEngine::new(config)
+        .explore_sharded(locs, m, threads, || LocalDrfVisitor {
+            locs,
+            l_set,
+            violation: None,
+        })
+        .map_err(CheckError::from)?;
+    match visitors.into_iter().find_map(|v| v.violation) {
+        Some(v) => Err(CheckError::Violation(v)),
+        None => Ok(stats),
+    }
+}
+
 /// A witness that a program is not data-race-free: a sequentially
 /// consistent trace containing a data race.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -316,6 +390,32 @@ pub fn sc_race_freedom<E: Expr>(
     Ok(v.status)
 }
 
+/// [`sc_race_freedom`], with the SC-trace enumeration sharded at the root
+/// frontier across `threads` workers (0 = all cores). The program is racy
+/// iff any shard's subtree contains a racy SC trace; the classification
+/// (not the witness) matches the sequential checker exactly.
+///
+/// # Errors
+///
+/// As [`sc_race_freedom`]; the budget is shared across shards.
+pub fn sc_race_freedom_sharded<E: Expr + Send + Sync>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: EngineConfig,
+    threads: usize,
+) -> Result<DrfStatus, EngineError> {
+    let (_, visitors) =
+        TraceEngine::new(config).explore_sharded(locs, m0, threads, || ScRaceVisitor {
+            locs,
+            status: DrfStatus::RaceFree,
+        })?;
+    Ok(visitors
+        .into_iter()
+        .map(|v| v.status)
+        .find(|s| matches!(s, DrfStatus::Racy(_)))
+        .unwrap_or(DrfStatus::RaceFree))
+}
+
 /// Visitor that stops at the first trace containing a weak transition.
 struct WeakTraceVisitor {
     witness: Option<TransitionLabel>,
@@ -350,6 +450,23 @@ pub fn all_traces_sequentially_consistent<E: Expr>(
     Ok(v.witness.is_none())
 }
 
+/// [`all_traces_sequentially_consistent`], sharded at the root frontier
+/// across `threads` workers (0 = all cores).
+///
+/// # Errors
+///
+/// As [`all_traces_sequentially_consistent`]; the budget is shared.
+pub fn all_traces_sequentially_consistent_sharded<E: Expr + Send + Sync>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: EngineConfig,
+    threads: usize,
+) -> Result<bool, EngineError> {
+    let (_, visitors) = TraceEngine::new(config)
+        .explore_sharded(locs, m0, threads, || WeakTraceVisitor { witness: None })?;
+    Ok(visitors.iter().all(|v| v.witness.is_none()))
+}
+
 /// A counterexample to Theorem 14: the program is data-race-free under
 /// sequential consistency, yet admits a non-SC trace.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -379,6 +496,33 @@ pub fn check_global_drf<E: Expr>(
             .explore(locs, m0, &mut v)
             .map_err(CheckError::from)?;
         if let Some(weak_transition) = v.witness {
+            return Err(CheckError::Violation(GlobalDrfViolation {
+                weak_transition,
+            }));
+        }
+    }
+    Ok(status)
+}
+
+/// [`check_global_drf`], with both trace enumerations (the SC race scan
+/// and the weak-transition scan) sharded at the root frontier across
+/// `threads` workers (0 = all cores).
+///
+/// # Errors
+///
+/// As [`check_global_drf`]; both budgets are shared across their shards.
+pub fn check_global_drf_sharded<E: Expr + Send + Sync>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: EngineConfig,
+    threads: usize,
+) -> Result<DrfStatus, CheckError<GlobalDrfViolation>> {
+    let status = sc_race_freedom_sharded(locs, m0.clone(), config, threads)?;
+    if let DrfStatus::RaceFree = status {
+        let (_, visitors) = TraceEngine::new(config)
+            .explore_sharded(locs, m0, threads, || WeakTraceVisitor { witness: None })
+            .map_err(CheckError::from)?;
+        if let Some(weak_transition) = visitors.into_iter().find_map(|v| v.witness) {
             return Err(CheckError::Violation(GlobalDrfViolation {
                 weak_transition,
             }));
@@ -505,6 +649,103 @@ mod tests {
         let l: LocPredicate = [a].into_iter().collect();
         let stable = is_l_stable_for_prefix(&locs, &[t.label], t.target, &l, cfg()).unwrap();
         assert!(!stable);
+    }
+
+    #[test]
+    fn sharded_checkers_agree_with_sequential() {
+        let (locs, a, _b, f) = locs_abf();
+        // Race-free MP-style program.
+        let drf0 = RecordedExpr::new(vec![
+            StepLabel::Write(a, Val(1)),
+            StepLabel::Write(f, Val(1)),
+        ]);
+        let drf1 = RecordedExpr::new(vec![StepLabel::Read(f)]);
+        // Racy program.
+        let racy0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(a)]);
+        let racy1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+        for m0 in [
+            Machine::initial(&locs, [drf0, drf1]),
+            Machine::initial(&locs, [racy0, racy1]),
+        ] {
+            let seq = sc_race_freedom(&locs, m0.clone(), cfg()).unwrap();
+            let shd = sc_race_freedom_sharded(&locs, m0.clone(), cfg(), 4).unwrap();
+            assert_eq!(
+                matches!(seq, DrfStatus::Racy(_)),
+                matches!(shd, DrfStatus::Racy(_))
+            );
+            assert_eq!(
+                all_traces_sequentially_consistent(&locs, m0.clone(), cfg()).unwrap(),
+                all_traces_sequentially_consistent_sharded(&locs, m0.clone(), cfg(), 4).unwrap()
+            );
+            let seq_g = check_global_drf(&locs, m0.clone(), cfg());
+            let shd_g = check_global_drf_sharded(&locs, m0, cfg(), 4);
+            assert_eq!(seq_g.is_ok(), shd_g.is_ok());
+        }
+    }
+
+    #[test]
+    fn sharded_local_drf_agrees_with_sequential() {
+        let (locs, a, b, f) = locs_abf();
+        let p0 = RecordedExpr::new(vec![
+            StepLabel::Write(a, Val(1)),
+            StepLabel::Write(f, Val(1)),
+            StepLabel::Read(b),
+        ]);
+        let p1 = RecordedExpr::new(vec![
+            StepLabel::Read(f),
+            StepLabel::Write(b, Val(1)),
+            StepLabel::Read(a),
+        ]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let l: LocPredicate = [a, b].into_iter().collect();
+        assert!(check_local_drf(&locs, m0.clone(), &l, cfg()).is_ok());
+        assert!(check_local_drf_sharded(&locs, m0.clone(), &l, cfg(), 4).is_ok());
+        assert_eq!(
+            is_l_stable_for_prefix(&locs, &[], m0.clone(), &l, cfg()).unwrap(),
+            is_l_stable_for_prefix_sharded(&locs, &[], m0, &l, cfg(), 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_budget_trips_mid_shard() {
+        // Budget large enough that every shard starts walking but the
+        // whole tree exceeds it: the shared counter must trip and surface
+        // the same CheckError::Engine(BudgetExceeded) as the sequential
+        // checker.
+        let (locs, a, _, _) = locs_abf();
+        let mk = || RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 6]);
+        let m0 = Machine::initial(&locs, [mk(), mk(), mk()]);
+        let tiny = EngineConfig {
+            max_states: 50,
+            max_traces: 50,
+        };
+        let l: LocPredicate = [a].into_iter().collect();
+        let seq = check_local_drf(&locs, m0.clone(), &l, tiny);
+        let shd = check_local_drf_sharded(&locs, m0.clone(), &l, tiny, 4);
+        for r in [seq, shd] {
+            match r {
+                Err(CheckError::Engine(EngineError::BudgetExceeded { visited })) => {
+                    assert_eq!(visited, tiny.max_traces + 1);
+                }
+                other => panic!("expected budget error, got {other:?}"),
+            }
+        }
+        // Same story for the SC race scan, on a conflict-free program so
+        // the race visitor never stops early.
+        let (locs2, a2, b2, _) = locs_abf();
+        let q0 = RecordedExpr::new(vec![StepLabel::Write(a2, Val(1)); 6]);
+        let q1 = RecordedExpr::new(vec![StepLabel::Write(b2, Val(1)); 6]);
+        let free = Machine::initial(&locs2, [q0, q1]);
+        let seq_sc = sc_race_freedom(&locs2, free.clone(), tiny);
+        let shd_sc = sc_race_freedom_sharded(&locs2, free, tiny, 4);
+        for r in [seq_sc, shd_sc] {
+            match r {
+                Err(EngineError::BudgetExceeded { visited }) => {
+                    assert_eq!(visited, tiny.max_traces + 1)
+                }
+                other => panic!("expected budget error, got {other:?}"),
+            }
+        }
     }
 
     #[test]

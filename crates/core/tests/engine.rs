@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 
 use bdrst_core::engine::{
     canonicalize, Control, EngineConfig, EngineError, Explorer, Hashed, ParallelEngine,
-    SearchOrder, StateId, Strategy, WorklistEngine,
+    SearchOrder, StateId, Strategy, WorkStealingEngine, WorklistEngine,
 };
 use bdrst_core::explore::reachable_terminals_with;
 use bdrst_core::loc::{Loc, LocKind, LocSet, Val};
@@ -57,8 +57,10 @@ fn strategies_agree_on_message_passing() {
     let dfs = outcomes(&locs, message_passing(&locs, a, f), Strategy::Dfs);
     let bfs = outcomes(&locs, message_passing(&locs, a, f), Strategy::Bfs);
     let par = outcomes(&locs, message_passing(&locs, a, f), Strategy::Parallel);
+    let ws = outcomes(&locs, message_passing(&locs, a, f), Strategy::WorkStealing);
     assert_eq!(dfs, bfs);
     assert_eq!(dfs, par);
+    assert_eq!(dfs, ws);
     // The MP guarantee itself: flag read 1 implies payload read 1.
     assert!(!dfs.contains(&vec![1, 0]));
     assert!(dfs.contains(&vec![1, 1]));
@@ -70,8 +72,10 @@ fn strategies_agree_on_store_buffering() {
     let dfs = outcomes(&locs, store_buffering(&locs, a, b), Strategy::Dfs);
     let bfs = outcomes(&locs, store_buffering(&locs, a, b), Strategy::Bfs);
     let par = outcomes(&locs, store_buffering(&locs, a, b), Strategy::Parallel);
+    let ws = outcomes(&locs, store_buffering(&locs, a, b), Strategy::WorkStealing);
     assert_eq!(dfs, bfs);
     assert_eq!(dfs, par);
+    assert_eq!(dfs, ws);
     // SB is racy: all four read combinations appear.
     assert_eq!(dfs.len(), 4);
 }
@@ -99,9 +103,13 @@ fn strategies_agree_on_visited_state_counts() {
     let bfs = count(&WorklistEngine::new(cfg, SearchOrder::Bfs));
     let par2 = count(&ParallelEngine::with_threads(cfg, 2));
     let par8 = count(&ParallelEngine::with_threads(cfg, 8));
+    let ws2 = count(&WorkStealingEngine::with_threads(cfg, 2));
+    let ws8 = count(&WorkStealingEngine::with_threads(cfg, 8));
     assert_eq!(dfs, bfs);
     assert_eq!(dfs, par2);
     assert_eq!(dfs, par8);
+    assert_eq!(dfs, ws2);
+    assert_eq!(dfs, ws8);
 }
 
 #[test]
@@ -113,7 +121,12 @@ fn budget_exhaustion_is_uniform_across_engines() {
         max_states: 10,
         max_traces: 10,
     };
-    for strategy in [Strategy::Dfs, Strategy::Bfs, Strategy::Parallel] {
+    for strategy in [
+        Strategy::Dfs,
+        Strategy::Bfs,
+        Strategy::Parallel,
+        Strategy::WorkStealing,
+    ] {
         let r = reachable_terminals_with(&locs, m0.clone(), tiny, strategy);
         match r {
             Err(EngineError::BudgetExceeded { visited }) => {

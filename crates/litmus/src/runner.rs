@@ -18,7 +18,8 @@ use crate::corpus::LitmusTest;
 pub struct RunConfig {
     /// Budget for operational exploration.
     pub explore: ExploreConfig,
-    /// Engine strategy for operational exploration (DFS/BFS/parallel).
+    /// Engine strategy for operational exploration
+    /// (DFS/BFS/parallel/work-stealing).
     pub strategy: Strategy,
     /// Budget for axiomatic/hardware enumeration.
     pub enumerate: EnumLimits,
@@ -285,9 +286,10 @@ mod tests {
 
     #[test]
     fn corpus_outcome_sets_identical_across_strategies() {
-        // The acceptance bar for the engine refactor: DFS, BFS and the
-        // parallel engine produce byte-identical canonical outcome sets
-        // on the full corpus.
+        // The acceptance bar for the engine refactor: DFS, BFS, the
+        // level-synchronous parallel engine and the work-stealing engine
+        // produce byte-identical canonical outcome sets on the full
+        // corpus.
         for t in corpus::all_tests() {
             let p = Program::parse(t.source).unwrap();
             let cfg = ExploreConfig::default();
@@ -298,11 +300,17 @@ mod tests {
                 .unwrap()
                 .set()
                 .clone();
+            let ws = p
+                .outcomes_with(cfg, Strategy::WorkStealing)
+                .unwrap()
+                .set()
+                .clone();
             assert_eq!(dfs, bfs, "DFS vs BFS diverge on {}", t.name);
             assert_eq!(dfs, par, "DFS vs parallel diverge on {}", t.name);
+            assert_eq!(dfs, ws, "DFS vs work-stealing diverge on {}", t.name);
             assert_eq!(
                 format!("{dfs:?}"),
-                format!("{par:?}"),
+                format!("{ws:?}"),
                 "rendered outcome sets differ on {}",
                 t.name
             );
@@ -333,6 +341,38 @@ mod tests {
         };
         let rep = run_test(&corpus::MP, cfg).unwrap();
         assert!(rep.passes(), "{rep:?}");
+    }
+
+    #[test]
+    fn work_stealing_strategy_in_run_config() {
+        let cfg = RunConfig {
+            strategy: Strategy::WorkStealing,
+            ..RunConfig::default()
+        };
+        let rep = run_test(&corpus::MP, cfg).unwrap();
+        assert!(rep.passes(), "{rep:?}");
+    }
+
+    #[test]
+    fn work_stealing_sweep_matches_sequential_sweep() {
+        // The whole corpus under the work-stealing strategy, itself
+        // sharded test-by-test over the stealing pool: reports must be
+        // identical to the fully sequential sweep.
+        let ws = RunConfig {
+            strategy: Strategy::WorkStealing,
+            ..RunConfig::default()
+        };
+        let seq = run_corpus(RunConfig::default());
+        let par = run_corpus_sharded(ws, 4);
+        assert_eq!(seq.len(), par.len());
+        for ((n1, r1), (n2, r2)) in seq.iter().zip(&par) {
+            assert_eq!(n1, n2);
+            assert_eq!(
+                format!("{r1:?}"),
+                format!("{r2:?}"),
+                "work-stealing sweep diverges on {n1}"
+            );
+        }
     }
 
     #[test]

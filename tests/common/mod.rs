@@ -1,0 +1,49 @@
+//! Shared random-program generators for the integration suites
+//! (`properties`, `engine_agreement`, `differential`): one definition of
+//! the generated fragment, so widening it (more threads, fences, ...)
+//! widens every suite at once.
+
+use proptest::prelude::*;
+
+use bdrst::core::{Loc, LocKind, LocSet};
+use bdrst::lang::{Program, PureExpr, Reg, Stmt, ThreadProgram};
+
+/// Random straight-line statement over 2 nonatomic + 1 atomic locations,
+/// 2 registers, constants 1..=2 (same shape as the litmus corpus).
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let loc = 0u32..3;
+    let reg = 0u16..2;
+    let val = 1i64..3;
+    prop_oneof![
+        (reg.clone(), loc.clone()).prop_map(|(r, l)| Stmt::Load(Reg(r), Loc(l))),
+        (loc, val).prop_map(|(l, v)| Stmt::Store(Loc(l), PureExpr::constant(v))),
+        (reg.clone(), reg).prop_map(|(d, s)| Stmt::Assign(Reg(d), PureExpr::Reg(Reg(s)))),
+    ]
+}
+
+/// A random two-thread program over the fixed location set.
+pub fn small_program() -> impl Strategy<Value = Program> {
+    let t0 = prop::collection::vec(stmt(), 1..4);
+    let t1 = prop::collection::vec(stmt(), 1..4);
+    (t0, t1).prop_map(|(b0, b1)| {
+        let mut locs = LocSet::new();
+        locs.fresh("a", LocKind::Nonatomic);
+        locs.fresh("b", LocKind::Nonatomic);
+        locs.fresh("F", LocKind::Atomic);
+        Program {
+            locs,
+            threads: vec![
+                ThreadProgram {
+                    name: "P0".into(),
+                    regs: vec!["r0".into(), "r1".into()],
+                    body: b0,
+                },
+                ThreadProgram {
+                    name: "P1".into(),
+                    regs: vec!["r0".into(), "r1".into()],
+                    body: b1,
+                },
+            ],
+        }
+    })
+}

@@ -1,0 +1,166 @@
+//! Property suite for the exploration engines: random programs are
+//! generated through the vendored proptest stub and every engine —
+//! sequential DFS, sequential BFS, level-synchronous parallel, and
+//! work-stealing — must agree on the *visited canonical state count*,
+//! the terminal outcome set, and every trace-checker verdict (sequential
+//! vs root-frontier-sharded).
+//!
+//! These are the lock-down tests for the work-stealing pool and the
+//! sharded trace engine: parallel decomposition must be observationally
+//! invisible.
+
+use proptest::prelude::*;
+
+mod common;
+use common::small_program;
+
+use bdrst::axiomatic::{check_soundness, check_soundness_sharded, generate, GenLimits};
+use bdrst::core::engine::{
+    explorer, Control, EngineConfig, StateId, Strategy as EngineStrategy, WorkStealingEngine,
+    WorklistEngine,
+};
+use bdrst::core::engine::{Explorer, SearchOrder};
+use bdrst::core::explore::ExploreConfig;
+use bdrst::core::localdrf::{
+    all_traces_sequentially_consistent, all_traces_sequentially_consistent_sharded,
+    sc_race_freedom, sc_race_freedom_sharded, DrfStatus,
+};
+use bdrst::core::machine::Machine;
+use bdrst::lang::{Program, ThreadState};
+
+/// Number of canonical states an engine visits on `p`'s state space.
+fn visited_count(p: &Program, engine: &dyn Explorer<ThreadState>) -> usize {
+    let mut n = 0usize;
+    engine
+        .explore(
+            &p.locs,
+            p.initial_machine(),
+            &mut |_: &Machine<ThreadState>, _: StateId| {
+                n += 1;
+                Control::Continue
+            },
+        )
+        .expect("exploration fits budget");
+    n
+}
+
+const ALL_STRATEGIES: [EngineStrategy; 4] = [
+    EngineStrategy::Dfs,
+    EngineStrategy::Bfs,
+    EngineStrategy::Parallel,
+    EngineStrategy::WorkStealing,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every engine visits exactly the same number of canonical states —
+    /// the claim-exactly-once interner makes the visited *set* identical,
+    /// so the counts must coincide.
+    #[test]
+    fn engines_agree_on_visited_state_counts(p in small_program()) {
+        let dfs = visited_count(&p, &WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs));
+        for strategy in ALL_STRATEGIES {
+            let engine = explorer::<ThreadState>(strategy, EngineConfig::default());
+            prop_assert_eq!(
+                visited_count(&p, engine.as_ref()),
+                dfs,
+                "visited counts diverge under {:?} on\n{}", strategy, p
+            );
+        }
+    }
+
+    /// Every engine produces the identical terminal outcome set.
+    #[test]
+    fn engines_agree_on_outcome_sets(p in small_program()) {
+        let dfs = p
+            .outcomes_with(ExploreConfig::default(), EngineStrategy::Dfs)
+            .expect("exploration fits budget")
+            .set()
+            .clone();
+        for strategy in ALL_STRATEGIES {
+            let got = p
+                .outcomes_with(ExploreConfig::default(), strategy)
+                .expect("exploration fits budget")
+                .set()
+                .clone();
+            prop_assert_eq!(&got, &dfs, "outcomes diverge under {:?} on\n{}", strategy, p);
+        }
+    }
+
+    /// The work-stealing engine agrees with itself across worker counts
+    /// (1 delegates to the sequential worklist; 2 and 8 race for real).
+    #[test]
+    fn work_stealing_agrees_across_worker_counts(p in small_program()) {
+        let counts: Vec<usize> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                visited_count(
+                    &p,
+                    &WorkStealingEngine::with_threads(EngineConfig::default(), threads),
+                )
+            })
+            .collect();
+        prop_assert_eq!(counts[0], counts[1], "1 vs 2 workers on\n{}", p);
+        prop_assert_eq!(counts[0], counts[2], "1 vs 8 workers on\n{}", p);
+    }
+
+    /// Sharding the SC-race scan at the root frontier never changes the
+    /// racy / race-free classification.
+    #[test]
+    fn sharded_race_verdict_matches_sequential(p in small_program()) {
+        let m0 = p.initial_machine();
+        let seq = sc_race_freedom(&p.locs, m0.clone(), EngineConfig::default())
+            .expect("fits budget");
+        let shd = sc_race_freedom_sharded(&p.locs, m0, EngineConfig::default(), 4)
+            .expect("fits budget");
+        prop_assert_eq!(
+            matches!(seq, DrfStatus::Racy(_)),
+            matches!(shd, DrfStatus::Racy(_)),
+            "race classification diverges on\n{}", p
+        );
+    }
+
+    /// Sharding the weak-transition scan never changes the all-SC verdict.
+    #[test]
+    fn sharded_sc_verdict_matches_sequential(p in small_program()) {
+        let m0 = p.initial_machine();
+        let seq = all_traces_sequentially_consistent(&p.locs, m0.clone(), EngineConfig::default())
+            .expect("fits budget");
+        let shd = all_traces_sequentially_consistent_sharded(
+            &p.locs, m0, EngineConfig::default(), 4,
+        )
+        .expect("fits budget");
+        prop_assert_eq!(seq, shd, "SC verdict diverges on\n{}", p);
+    }
+
+    /// The sharded Theorem-15 soundness checker inspects exactly the same
+    /// number of trace prefixes as the sequential one (the trace tree is
+    /// partitioned, never resampled).
+    #[test]
+    fn sharded_soundness_count_matches_sequential(p in small_program()) {
+        let seq = check_soundness(&p, ExploreConfig::default()).expect("theorem 15 holds");
+        let shd = check_soundness_sharded(&p, ExploreConfig::default(), 4)
+            .expect("theorem 15 holds");
+        prop_assert_eq!(seq, shd, "soundness prefix counts diverge on\n{}", p);
+    }
+
+    /// `axiomatic::generate` on random programs: generation succeeds on
+    /// the straight-line fragment, the candidate count is the per-thread
+    /// alternative product, and every engine visits the operational state
+    /// space of the same program identically — the event-graph side and
+    /// the engine side of the differential harness meet on one input.
+    #[test]
+    fn generated_event_graphs_consistent_with_engines(p in small_program()) {
+        let g = generate(&p, GenLimits::default()).expect("straight-line programs converge");
+        let product: usize = g.per_thread.iter().map(Vec::len).product();
+        prop_assert_eq!(g.candidate_count(), product);
+        prop_assert!(g.per_thread.iter().all(|alts| !alts.is_empty()));
+        let dfs = visited_count(&p, &WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs));
+        let ws = visited_count(
+            &p,
+            &WorkStealingEngine::with_threads(EngineConfig::default(), 4),
+        );
+        prop_assert_eq!(dfs, ws, "visited counts diverge on generated program\n{}", p);
+    }
+}

@@ -5,14 +5,15 @@
 
 use proptest::prelude::*;
 
+mod common;
+use common::small_program;
+
 use bdrst::axiomatic::{check_equivalence, EnumLimits};
 use bdrst::core::explore::ExploreConfig;
 use bdrst::core::localdrf::{check_global_drf, check_local_drf};
 use bdrst::core::relation::Relation;
 use bdrst::core::timestamp::Ratio;
 use bdrst::core::trace::LocPredicate;
-use bdrst::core::{Loc, LocKind, LocSet};
-use bdrst::lang::{Program, PureExpr, Reg, Stmt, ThreadProgram};
 
 // ---------- rationals ----------
 
@@ -82,45 +83,6 @@ proptest! {
 }
 
 // ---------- random concurrent programs ----------
-
-/// Random straight-line statement over 2 nonatomic + 1 atomic locations,
-/// 2 registers, constants 1..=2.
-fn stmt() -> impl Strategy<Value = Stmt> {
-    let loc = 0u32..3;
-    let reg = 0u16..2;
-    let val = 1i64..3;
-    prop_oneof![
-        (reg.clone(), loc.clone()).prop_map(|(r, l)| Stmt::Load(Reg(r), Loc(l))),
-        (loc, val).prop_map(|(l, v)| Stmt::Store(Loc(l), PureExpr::constant(v))),
-        (reg.clone(), reg).prop_map(|(d, s)| Stmt::Assign(Reg(d), PureExpr::Reg(Reg(s)))),
-    ]
-}
-
-fn small_program() -> impl Strategy<Value = Program> {
-    let t0 = prop::collection::vec(stmt(), 1..4);
-    let t1 = prop::collection::vec(stmt(), 1..4);
-    (t0, t1).prop_map(|(b0, b1)| {
-        let mut locs = LocSet::new();
-        locs.fresh("a", LocKind::Nonatomic);
-        locs.fresh("b", LocKind::Nonatomic);
-        locs.fresh("F", LocKind::Atomic);
-        Program {
-            locs,
-            threads: vec![
-                ThreadProgram {
-                    name: "P0".into(),
-                    regs: vec!["r0".into(), "r1".into()],
-                    body: b0,
-                },
-                ThreadProgram {
-                    name: "P1".into(),
-                    regs: vec!["r0".into(), "r1".into()],
-                    body: b1,
-                },
-            ],
-        }
-    })
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
