@@ -122,17 +122,25 @@ pub fn for_each_candidate(
 ) -> Result<(), EnumError> {
     let generated = generate(program, limits.gen)?;
     let budget = AtomicUsize::new(limits.max_candidates);
-    stream_candidates(program, &generated.per_thread, &mut visit, &budget)
+    stream_candidates(
+        program,
+        &generated.per_thread,
+        &mut |pe: ProgramExecution| visit(&pe),
+        &budget,
+    )
 }
 
 /// Streams every alternative combination through the odometer, invoking
 /// `visit` per candidate — the sequential backend shared by
 /// [`for_each_candidate`], [`consistent_executions_streaming`] and the
-/// large-cross-product fallback of [`consistent_executions`].
+/// large-cross-product fallback of [`consistent_executions`]. Candidates
+/// are handed over *by value*, so a visitor that keeps one (the
+/// consistent-execution collectors) takes ownership instead of
+/// deep-cloning the event set and relations a second time.
 fn stream_candidates(
     program: &Program,
     per_thread: &[Vec<ThreadAlternative>],
-    visit: &mut impl FnMut(&ProgramExecution),
+    visit: &mut impl FnMut(ProgramExecution),
     budget: &AtomicUsize,
 ) -> Result<(), EnumError> {
     let mut choice = vec![0usize; per_thread.len()];
@@ -225,9 +233,9 @@ pub fn consistent_executions(
             let mut found = Vec::new();
             e.run(
                 rf0_range,
-                &mut |pe: &ProgramExecution| {
+                &mut |pe: ProgramExecution| {
                     if pe.exec.is_consistent() {
-                        found.push(pe.clone());
+                        found.push(pe);
                     }
                 },
                 &budget,
@@ -312,9 +320,9 @@ fn collect_consistent(
     stream_candidates(
         program,
         per_thread,
-        &mut |pe: &ProgramExecution| {
+        &mut |pe: ProgramExecution| {
             if pe.exec.is_consistent() {
-                out.push(pe.clone());
+                out.push(pe);
             }
         },
         budget,
@@ -394,7 +402,7 @@ impl AltEnumeration {
     fn run(
         &self,
         rf0_range: Range<usize>,
-        visit: &mut impl FnMut(&ProgramExecution),
+        visit: &mut impl FnMut(ProgramExecution),
         budget: &AtomicUsize,
     ) -> Result<(), EnumError> {
         if rf0_range.is_empty() {
@@ -438,7 +446,7 @@ impl AltEnumeration {
                     co,
                 };
                 debug_assert!(cand.validate().is_ok(), "{:?}", cand.validate());
-                visit(&ProgramExecution {
+                visit(ProgramExecution {
                     exec: cand,
                     final_regs: self.final_regs.clone(),
                 });

@@ -12,7 +12,10 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use bdrst_core::engine::{Control, EngineError, TraceEngine, TraceVisitor};
+use bdrst_core::engine::{
+    Control, EngineError, MergeableVisitor, ReplayStep, ReplayVisitor, TraceEngine, TraceGraph,
+    TraceVisitor,
+};
 use bdrst_core::explore::ExploreConfig;
 use bdrst_core::loc::{Action, LocKind, LocSet};
 use bdrst_core::machine::{Transition, TransitionLabel};
@@ -188,15 +191,17 @@ impl fmt::Display for SoundnessError {
 impl std::error::Error for SoundnessError {}
 
 /// Visitor for Theorem 15: maps every trace prefix through `|Σ|` and
-/// checks the induced execution is well-formed and consistent.
+/// checks the induced execution is well-formed and consistent. The check
+/// consumes only the trace's labels, so the same visitor drives live
+/// walks ([`TraceVisitor`]) and recorded-tree replays ([`ReplayVisitor`]).
 struct SoundnessVisitor<'a> {
     locs: &'a LocSet,
     checked: usize,
     violation: Option<SoundnessViolation>,
 }
 
-impl TraceVisitor<ThreadState> for SoundnessVisitor<'_> {
-    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<ThreadState>) -> Control {
+impl SoundnessVisitor<'_> {
+    fn check(&mut self, trace: &TraceLabels) -> Control {
         self.checked += 1;
         let exec = execution_of_trace(self.locs, trace.labels());
         let reason = match exec.validate() {
@@ -211,6 +216,27 @@ impl TraceVisitor<ThreadState> for SoundnessVisitor<'_> {
             return Control::Stop;
         }
         Control::Continue
+    }
+}
+
+impl TraceVisitor<ThreadState> for SoundnessVisitor<'_> {
+    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<ThreadState>) -> Control {
+        self.check(trace)
+    }
+}
+
+impl ReplayVisitor for SoundnessVisitor<'_> {
+    fn visit(&mut self, trace: &TraceLabels, _step: ReplayStep<'_>) -> Control {
+        self.check(trace)
+    }
+}
+
+impl MergeableVisitor for SoundnessVisitor<'_> {
+    fn merge(&mut self, other: Self) {
+        self.checked += other.checked;
+        if self.violation.is_none() {
+            self.violation = other.violation;
+        }
     }
 }
 
@@ -238,11 +264,12 @@ pub fn check_soundness(program: &Program, config: ExploreConfig) -> Result<usize
     }
 }
 
-/// [`check_soundness`], with the trace walk sharded at the root frontier
-/// across `threads` workers (0 = all cores): each enabled initial
-/// transition's subtree is checked with its own visitor, and the per-shard
-/// `checked` counts are summed — the total equals the sequential count,
-/// which the differential suite asserts.
+/// [`check_soundness`], with the trace walk sharded across `threads`
+/// workers (0 = all cores): each subtree is checked with its own visitor
+/// — re-forked below the root when the root frontier is narrower than
+/// the pool — and the per-subtree verdicts fold through the
+/// [`MergeableVisitor`] protocol, so the `checked` total equals the
+/// sequential count, which the differential suite asserts.
 ///
 /// # Errors
 ///
@@ -253,8 +280,8 @@ pub fn check_soundness_sharded(
     threads: usize,
 ) -> Result<usize, SoundnessError> {
     let locs = &program.locs;
-    let (_, visitors) = TraceEngine::new(config)
-        .explore_sharded(locs, program.initial_machine(), threads, || {
+    let (_, merged) = TraceEngine::new(config)
+        .explore_sharded_merged(locs, program.initial_machine(), threads, || {
             SoundnessVisitor {
                 locs,
                 checked: 0,
@@ -262,14 +289,39 @@ pub fn check_soundness_sharded(
             }
         })
         .map_err(SoundnessError::Engine)?;
-    let mut checked = 0;
-    for v in visitors {
-        checked += v.checked;
-        if let Some(violation) = v.violation {
-            return Err(SoundnessError::Violation(Box::new(violation)));
-        }
+    match merged.violation {
+        Some(violation) => Err(SoundnessError::Violation(Box::new(violation))),
+        None => Ok(merged.checked),
     }
-    Ok(checked)
+}
+
+/// [`check_soundness`] over a recorded [`TraceGraph`] of the program's
+/// initial machine ([`TraceEngine::record`]): Theorem 15 is re-verified
+/// against the cached tree — the `|Σ|` mapping consumes only transition
+/// labels — without re-running the operational semantics. One recording
+/// can serve this check *and* every checker in `bdrst_core::localdrf`.
+///
+/// # Errors
+///
+/// As [`check_soundness`] (replay mirrors the live budget).
+pub fn check_soundness_replayed(
+    program: &Program,
+    graph: &TraceGraph,
+    config: ExploreConfig,
+) -> Result<usize, SoundnessError> {
+    let locs = &program.locs;
+    let mut visitor = SoundnessVisitor {
+        locs,
+        checked: 0,
+        violation: None,
+    };
+    graph
+        .replay(config, &mut visitor)
+        .map_err(SoundnessError::Engine)?;
+    match visitor.violation {
+        Some(v) => Err(SoundnessError::Violation(Box::new(v))),
+        None => Ok(visitor.checked),
+    }
 }
 
 /// The two outcome sets compared by [`check_equivalence`].
@@ -378,6 +430,23 @@ mod tests {
         let shd = check_soundness_sharded(&p, ExploreConfig::default(), 4).unwrap();
         assert_eq!(seq, shd);
         assert_eq!(seq, 24);
+    }
+
+    #[test]
+    fn replayed_soundness_matches_live_count() {
+        let p = Program::parse(
+            "nonatomic a; atomic f;
+             thread P0 { a = 1; f = 1; }
+             thread P1 { r0 = f; r1 = a; }",
+        )
+        .unwrap();
+        let live = check_soundness(&p, ExploreConfig::default()).unwrap();
+        let (graph, _) = TraceEngine::new(ExploreConfig::default())
+            .record(&p.locs, p.initial_machine())
+            .unwrap();
+        let replayed = check_soundness_replayed(&p, &graph, ExploreConfig::default()).unwrap();
+        assert_eq!(live, replayed);
+        assert_eq!(live, 24);
     }
 
     #[test]

@@ -9,9 +9,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bdrst_core::engine::Strategy;
+use bdrst_core::engine::{
+    canonical_fingerprint, canonicalize, Control, Dedup, EngineConfig, Explorer, SearchOrder,
+    StateId, Strategy, WorklistEngine,
+};
 use bdrst_core::explore::ExploreConfig;
-use bdrst_lang::Program;
+use bdrst_core::machine::Machine;
+use bdrst_lang::{Program, ThreadState};
 use bdrst_litmus::corpus;
 use bdrst_litmus::runner::{corpus_passes, run_corpus, run_corpus_sharded, RunConfig};
 
@@ -57,9 +61,75 @@ fn bench_single_test_strategies(c: &mut Criterion) {
     }
 }
 
+fn bench_canonicalize_vs_fingerprint(c: &mut Criterion) {
+    // Every reachable machine of IRIW, identified two ways: building the
+    // full canonical state vs streaming the zero-allocation fingerprint.
+    let p = Program::parse(corpus::IRIW_AT.source).unwrap();
+    let mut machines: Vec<Machine<ThreadState>> = Vec::new();
+    WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs)
+        .explore(
+            &p.locs,
+            p.initial_machine(),
+            &mut |m: &Machine<ThreadState>, _: StateId| {
+                machines.push(m.clone());
+                Control::Continue
+            },
+        )
+        .unwrap();
+    c.bench_function("canonicalize_iriw_states", |b| {
+        b.iter(|| {
+            for m in &machines {
+                black_box(canonicalize(&p.locs, m).unwrap());
+            }
+        })
+    });
+    c.bench_function("fingerprint_iriw_states", |b| {
+        b.iter(|| {
+            for m in &machines {
+                black_box(canonical_fingerprint(&p.locs, m).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_dedup_lanes(c: &mut Criterion) {
+    // The sequential DFS corpus explore under each dedup mode: the
+    // fingerprint-first lane is the engine default, the full-state lane
+    // the seed-equivalent reference.
+    let programs: Vec<Program> = corpus::all_tests()
+        .iter()
+        .map(|t| Program::parse(t.source).unwrap())
+        .collect();
+    for (name, dedup) in [
+        ("corpus_dfs_fingerprint_dedup", Dedup::FingerprintFirst),
+        ("corpus_dfs_fullstate_dedup", Dedup::FullState),
+    ] {
+        let engine = WorklistEngine::with_dedup(EngineConfig::default(), SearchOrder::Dfs, dedup);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut visited = 0usize;
+                for p in &programs {
+                    engine
+                        .explore(
+                            &p.locs,
+                            p.initial_machine(),
+                            &mut |_: &Machine<ThreadState>, _: StateId| {
+                                visited += 1;
+                                Control::Continue
+                            },
+                        )
+                        .unwrap();
+                }
+                black_box(visited)
+            })
+        });
+    }
+}
+
 criterion_group!(
     name = engine;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
-    targets = bench_corpus_sequential, bench_corpus_parallel, bench_single_test_strategies
+    targets = bench_corpus_sequential, bench_corpus_parallel, bench_single_test_strategies,
+        bench_canonicalize_vs_fingerprint, bench_dedup_lanes
 );
 criterion_main!(engine);

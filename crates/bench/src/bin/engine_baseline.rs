@@ -1,21 +1,58 @@
 //! Records the engine performance baseline as JSON.
 //!
 //! Measures the litmus corpus sweep under the sequential and parallel
-//! engines (plus single-test strategy probes on IRIW) and writes
-//! `crates/bench/baselines/engine_baseline.json` — the perf trajectory
-//! anchor for later PRs. Run from the workspace root:
+//! engines (plus single-test strategy probes on IRIW), the
+//! canonicalize-vs-fingerprint throughput of the state-dedup hot path,
+//! and — through a counting global allocator — the allocations per
+//! visited state of fingerprint-first dedup against the full-`CanonState`
+//! reference. Writes `crates/bench/baselines/engine_baseline.json` — the
+//! perf trajectory anchor for later PRs. Run from the workspace root:
 //!
 //! ```text
 //! cargo run --release -p bdrst-bench --bin engine_baseline
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use bdrst_core::engine::Strategy;
+use bdrst_core::engine::Explorer;
+use bdrst_core::engine::{
+    canonical_fingerprint, canonicalize, Control, Dedup, EngineConfig, SearchOrder, StateId,
+    Strategy, WorklistEngine,
+};
 use bdrst_core::explore::ExploreConfig;
-use bdrst_lang::Program;
+use bdrst_core::machine::Machine;
+use bdrst_lang::{Program, ThreadState};
 use bdrst_litmus::corpus;
 use bdrst_litmus::runner::{corpus_passes, run_corpus, run_corpus_sharded, RunConfig};
+
+/// Counts every heap allocation (alloc + realloc) made through the
+/// global allocator, so the baseline can report allocations per visited
+/// state per dedup lane.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure delegation to `System` plus a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 const SAMPLES: usize = 10;
 
@@ -27,6 +64,97 @@ fn measure(mut f: impl FnMut()) -> f64 {
         f();
     }
     start.elapsed().as_secs_f64() / SAMPLES as f64
+}
+
+/// Explores every corpus program's state space with the sequential DFS
+/// worklist under `dedup`, returning (total visited states, total heap
+/// allocations, elapsed seconds).
+fn corpus_dfs_lane(programs: &[Program], dedup: Dedup) -> (u64, u64, f64) {
+    let engine = WorklistEngine::with_dedup(EngineConfig::default(), SearchOrder::Dfs, dedup);
+    let mut visited = 0u64;
+    let start = Instant::now();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for p in programs {
+        engine
+            .explore(
+                &p.locs,
+                p.initial_machine(),
+                &mut |_: &Machine<ThreadState>, _: StateId| {
+                    visited += 1;
+                    Control::Continue
+                },
+            )
+            .expect("corpus programs fit the default budget");
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    (visited, allocs, start.elapsed().as_secs_f64())
+}
+
+/// The *seed-equivalent* DFS lane: replicates, allocation for allocation,
+/// the hot path this PR replaced — successor machines built by cloning
+/// the whole parent and overwriting the changed parts (a full store
+/// clone, the acting thread's frontier and expression, all dropped on
+/// the floor per memory transition), plus full-`CanonState` build-and-
+/// hash dedup on every pop. The reduction the new hot path is measured
+/// against is THIS lane, old algorithm vs new algorithm on identical
+/// inputs in one binary.
+fn corpus_dfs_seed_lane(programs: &[Program]) -> (u64, u64, f64) {
+    use bdrst_core::engine::{canonicalize, StateInterner};
+    use bdrst_core::machine::{Expr as _, StepLabel};
+    use bdrst_core::memop::{perform_read, perform_write};
+
+    let mut visited = 0u64;
+    let start = Instant::now();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for p in programs {
+        let locs = &p.locs;
+        let mut interner = StateInterner::new();
+        let mut worklist: Vec<Machine<ThreadState>> = vec![p.initial_machine()];
+        while let Some(m) = worklist.pop() {
+            let (_, fresh) = interner.intern(canonicalize(locs, &m).unwrap());
+            if !fresh {
+                continue;
+            }
+            visited += 1;
+            // Seed-style successor construction: clone-then-overwrite.
+            for (ti, thread) in m.threads.iter().enumerate() {
+                for (si, step) in thread.expr.steps().into_iter().enumerate() {
+                    match step {
+                        StepLabel::Silent => {
+                            let mut m2 = m.clone();
+                            m2.threads[ti].expr =
+                                thread.expr.apply_step(si, bdrst_core::loc::Val::INIT);
+                            worklist.push(m2);
+                        }
+                        StepLabel::Read(loc) => {
+                            for r in perform_read(locs, &m.store, &thread.frontier, loc) {
+                                let mut m2 = m.clone();
+                                // The seed's perform_read cloned the store
+                                // into every outcome; replicate that cost.
+                                m2.store = r.store_after(&m.store);
+                                m2.threads[ti].frontier = r.frontier;
+                                m2.threads[ti].expr =
+                                    thread.expr.apply_step(si, r.label.action.value());
+                                worklist.push(m2);
+                            }
+                        }
+                        StepLabel::Write(loc, x) => {
+                            for w in perform_write(locs, &m.store, &thread.frontier, loc, x) {
+                                let mut m2 = m.clone();
+                                m2.store = w.store_after(&m.store);
+                                m2.threads[ti].frontier = w.frontier;
+                                m2.threads[ti].expr =
+                                    thread.expr.apply_step(si, bdrst_core::loc::Val::INIT);
+                                worklist.push(m2);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    (visited, allocs, start.elapsed().as_secs_f64())
 }
 
 fn main() {
@@ -56,10 +184,59 @@ fn main() {
     let parallel = probe(Strategy::Parallel);
     let stealing = probe(Strategy::WorkStealing);
 
+    // --- state-dedup hot path: canonicalize vs streaming fingerprint ---
+    // Collect every reachable machine of IRIW once, then time the two
+    // identification paths over the same machines.
+    let mut machines: Vec<Machine<ThreadState>> = Vec::new();
+    WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs)
+        .explore(
+            &iriw.locs,
+            iriw.initial_machine(),
+            &mut |m: &Machine<ThreadState>, _: StateId| {
+                machines.push(m.clone());
+                Control::Continue
+            },
+        )
+        .unwrap();
+    let canon_s = measure(|| {
+        for m in &machines {
+            std::hint::black_box(canonicalize(&iriw.locs, m).unwrap());
+        }
+    });
+    let fp_s = measure(|| {
+        for m in &machines {
+            std::hint::black_box(canonical_fingerprint(&iriw.locs, m).unwrap());
+        }
+    });
+    let canonicalize_states_per_s = machines.len() as f64 / canon_s;
+    let fingerprint_states_per_s = machines.len() as f64 / fp_s;
+
+    // --- allocations per visited state, per dedup lane, over the corpus ---
+    let programs: Vec<Program> = corpus::all_tests()
+        .iter()
+        .map(|t| Program::parse(t.source).unwrap())
+        .collect();
+    let (v_seed, a_seed, t_seed) = corpus_dfs_seed_lane(&programs);
+    let (v_full, a_full, t_full) = corpus_dfs_lane(&programs, Dedup::FullState);
+    let (v_fp, a_fp, t_fp) = corpus_dfs_lane(&programs, Dedup::FingerprintFirst);
+    assert_eq!(v_full, v_fp, "dedup lanes must visit identical state sets");
+    assert_eq!(v_seed, v_fp, "seed lane must visit the identical state set");
+    let allocs_per_visit_seed = a_seed as f64 / v_seed as f64;
+    let allocs_per_visit_full = a_full as f64 / v_full as f64;
+    let allocs_per_visit_fp = a_fp as f64 / v_fp as f64;
+    // The headline: new hot path (zero-copy successors + fingerprint
+    // dedup) vs the seed hot path. The dedup-only ablation (same new
+    // successor construction, full-state dedup) is recorded alongside.
+    let alloc_reduction = 1.0 - allocs_per_visit_fp / allocs_per_visit_seed;
+    let alloc_reduction_dedup_only = 1.0 - allocs_per_visit_fp / allocs_per_visit_full;
+    let dfs_seed_states_per_s = v_seed as f64 / t_seed;
+    let dfs_full_states_per_s = v_full as f64 / t_full;
+    let dfs_fp_states_per_s = v_fp as f64 / t_fp;
+
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         r#"{{
-  "schema": "bdrst-engine-baseline/v2",
+  "schema": "bdrst-engine-baseline/v3",
   "samples": {SAMPLES},
   "threads_available": {threads},
   "corpus_sweep_sequential_s": {seq:.6},
@@ -69,7 +246,18 @@ fn main() {
   "explore_iriw_dfs_s": {dfs:.6},
   "explore_iriw_bfs_s": {bfs:.6},
   "explore_iriw_parallel_s": {parallel:.6},
-  "explore_iriw_worksteal_s": {stealing:.6}
+  "explore_iriw_worksteal_s": {stealing:.6},
+  "canonicalize_states_per_s": {canonicalize_states_per_s:.0},
+  "fingerprint_states_per_s": {fingerprint_states_per_s:.0},
+  "corpus_dfs_visited_states": {v_fp},
+  "corpus_dfs_seed_states_per_s": {dfs_seed_states_per_s:.0},
+  "corpus_dfs_fullstate_states_per_s": {dfs_full_states_per_s:.0},
+  "corpus_dfs_fingerprint_states_per_s": {dfs_fp_states_per_s:.0},
+  "allocs_per_visit_seed": {allocs_per_visit_seed:.2},
+  "allocs_per_visit_fullstate": {allocs_per_visit_full:.2},
+  "allocs_per_visit_fingerprint": {allocs_per_visit_fp:.2},
+  "alloc_reduction_vs_seed": {alloc_reduction:.3},
+  "alloc_reduction_dedup_only": {alloc_reduction_dedup_only:.3}
 }}
 "#,
         speedup = seq / par,
@@ -79,6 +267,36 @@ fn main() {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/engine_baseline.json");
     std::fs::write(&out, json).expect("write baseline");
     eprintln!("wrote {}", out.display());
+
+    // Allocation check: fingerprint-first dedup must cut allocations per
+    // visited state by ≥25% against the full-state reference. This is a
+    // deterministic count (not wall clock), so it holds on any host; it
+    // still honours the warn-only default so a regression is visible
+    // before it is fatal.
+    let enforce = std::env::var_os("ENGINE_BASELINE_ENFORCE").is_some();
+    if alloc_reduction >= 0.25 {
+        eprintln!(
+            "new hot path allocates {:.1}% less per visited state than the seed \
+             ({allocs_per_visit_fp:.2} vs {allocs_per_visit_seed:.2}; dedup-only ablation \
+             {:.1}%)",
+            alloc_reduction * 100.0,
+            alloc_reduction_dedup_only * 100.0
+        );
+    } else if enforce {
+        panic!(
+            "new hot path should cut allocations per visit by >=25% vs the seed, got {:.1}% \
+             ({allocs_per_visit_fp:.2} vs {allocs_per_visit_seed:.2})",
+            alloc_reduction * 100.0
+        );
+    } else {
+        eprintln!(
+            "WARNING: new hot path cut allocations per visit by only {:.1}% vs the seed \
+             ({allocs_per_visit_fp:.2} vs {allocs_per_visit_seed:.2}); set \
+             ENGINE_BASELINE_ENFORCE=1 to make this fatal",
+            alloc_reduction * 100.0
+        );
+    }
+
     // On a single-core host parallel_map degenerates to the sequential
     // loop, so a wall-clock win is impossible. On multi-core hosts wall
     // clock is still noisy (shared CI runners), so by default a slower
@@ -93,7 +311,7 @@ fn main() {
              {worksteal:.4}s) on {threads} cores",
             seq / best_par
         );
-    } else if std::env::var_os("ENGINE_BASELINE_ENFORCE").is_some() {
+    } else if enforce {
         panic!(
             "parallel corpus sweeps (level-sync {par:.4}s, worksteal {worksteal:.4}s) should \
              beat sequential ({seq:.4}s) on {threads} cores"

@@ -1,16 +1,29 @@
-//! Canonical (timestamp-renamed) machine forms.
+//! Canonical (timestamp-renamed) machine forms and their zero-copy
+//! fingerprints.
 //!
 //! Two machines that differ only in the rational representatives of their
 //! timestamps are observationally identical: every run from either reaches
 //! the same outcomes. The engine therefore deduplicates machines by a
 //! *canonical form* in which each location's timestamps are replaced by
 //! their rank within the owning history.
+//!
+//! Building a [`CanonState`] materializes fresh `Vec`s for the store,
+//! every frontier, and every thread — wasted work when the state has
+//! already been visited, which on the engines' hot path is the common
+//! case. [`canonical_fingerprint`] therefore streams the exact same
+//! canonical content straight into a 64-bit hasher without allocating,
+//! and [`canon_matches`] compares a machine against an already-built
+//! `CanonState` equally allocation-free. Together they let the interners
+//! probe by fingerprint first and only build the full canonical form on
+//! first visit (or on a genuine fingerprint collision, where the verified
+//! equality keeps dedup outcomes bit-identical to full-state dedup).
 
-use std::hash::Hash;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 use crate::engine::EngineError;
 use crate::frontier::Frontier;
-use crate::loc::{LocKind, LocSet, Val};
+use crate::loc::{Loc, LocKind, LocSet, Val};
 use crate::machine::{Expr, Machine};
 
 /// The canonical (timestamp-renamed) form of a location's contents.
@@ -29,6 +42,54 @@ pub struct CanonState<E> {
     threads: Vec<(Vec<u32>, E)>,
 }
 
+impl<E> CanonState<E> {
+    /// The canonical thread expressions, in thread order.
+    pub fn thread_exprs(&self) -> impl Iterator<Item = &E> + '_ {
+        self.threads.iter().map(|(_, e)| e)
+    }
+
+    /// The number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The coherence-latest value of every location, in location order:
+    /// the last history entry for nonatomics (histories are stored in
+    /// timestamp order), the current value for atomics. This is exactly
+    /// what outcome extraction needs, so terminal observations can be
+    /// re-derived from a cached graph without the machines.
+    pub fn latest_values(&self) -> impl Iterator<Item = Val> + '_ {
+        self.store.iter().map(|c| match c {
+            CanonLoc::Na(vals) => *vals.last().expect("reachable histories are nonempty"),
+            CanonLoc::At(v, _) => *v,
+        })
+    }
+}
+
+/// The per-location frontier rank: the position of the frontier's
+/// timestamp within the owning history (atomic locations rank 0, mirroring
+/// the canonical form).
+fn frontier_rank<E: Expr>(
+    locs: &LocSet,
+    m: &Machine<E>,
+    f: &Frontier,
+    l: Loc,
+) -> Result<u32, EngineError> {
+    match locs.kind(l) {
+        LocKind::Nonatomic => {
+            let t = f.get(l);
+            match m.store.history(l).rank_of(t) {
+                Some(rank) => Ok(rank as u32),
+                None => Err(EngineError::CorruptFrontier {
+                    loc: l,
+                    timestamp: t,
+                }),
+            }
+        }
+        LocKind::Atomic => Ok(0),
+    }
+}
+
 /// Computes the canonical form of a machine: all timestamps are replaced by
 /// their rank within the owning location's history.
 ///
@@ -40,21 +101,7 @@ pub struct CanonState<E> {
 /// semantics variants or hand-built machines.
 pub fn canonicalize<E: Expr>(locs: &LocSet, m: &Machine<E>) -> Result<CanonState<E>, EngineError> {
     let rank_frontier = |f: &Frontier| -> Result<Vec<u32>, EngineError> {
-        locs.iter()
-            .map(|l| match locs.kind(l) {
-                LocKind::Nonatomic => {
-                    let t = f.get(l);
-                    match m.store.history(l).rank_of(t) {
-                        Some(rank) => Ok(rank as u32),
-                        None => Err(EngineError::CorruptFrontier {
-                            loc: l,
-                            timestamp: t,
-                        }),
-                    }
-                }
-                LocKind::Atomic => Ok(0),
-            })
-            .collect()
+        locs.iter().map(|l| frontier_rank(locs, m, f, l)).collect()
     };
     let store = locs
         .iter()
@@ -74,6 +121,157 @@ pub fn canonicalize<E: Expr>(locs: &LocSet, m: &Machine<E>) -> Result<CanonState
         .map(|t| Ok((rank_frontier(&t.frontier)?, t.expr.clone())))
         .collect::<Result<_, EngineError>>()?;
     Ok(CanonState { store, threads })
+}
+
+/// Test-only fingerprint truncation, used to force collisions: correctness
+/// must not depend on fingerprints being collision-free, and the forced
+/// collision suite proves it. The mask is process-global, and dedup stays
+/// *correct* under any mask — but tests that assert fingerprint
+/// *distinctness* would fail under a truncated mask, so every
+/// mask-sensitive test (forcing or asserting distinctness) serializes
+/// through the same lock via [`force`]/[`unforced`].
+#[cfg(test)]
+pub(crate) mod collisions {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, MutexGuard};
+
+    static MASK: AtomicU64 = AtomicU64::new(u64::MAX);
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn mask() -> u64 {
+        MASK.load(Ordering::Relaxed)
+    }
+
+    fn serialize() -> MutexGuard<'static, ()> {
+        // A panicking mask test must not wedge the others.
+        SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Truncates every fingerprint to `bits` low bits until the guard
+    /// drops, holding the serialization lock for the guard's lifetime.
+    pub(crate) fn force(bits: u32) -> Guard {
+        let lock = serialize();
+        MASK.store((1u64 << bits) - 1, Ordering::Relaxed);
+        Guard { _lock: lock }
+    }
+
+    /// Holds the serialization lock with the mask at full width: for
+    /// tests asserting that distinct states get distinct fingerprints.
+    pub(crate) fn unforced() -> Guard {
+        let lock = serialize();
+        MASK.store(u64::MAX, Ordering::Relaxed);
+        Guard { _lock: lock }
+    }
+
+    pub(crate) struct Guard {
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            MASK.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Streams a frontier's canonical ranks into `h`.
+fn hash_frontier<E: Expr, H: Hasher>(
+    locs: &LocSet,
+    m: &Machine<E>,
+    f: &Frontier,
+    h: &mut H,
+) -> Result<(), EngineError> {
+    for l in locs.iter() {
+        h.write_u32(frontier_rank(locs, m, f, l)?);
+    }
+    Ok(())
+}
+
+/// The 64-bit fingerprint of a machine's canonical form, computed by
+/// streaming ranks and values straight into a hasher — no allocation.
+///
+/// The fingerprint is a pure function of the [`CanonState`] content
+/// (canonically equal machines always collide; unequal machines collide
+/// with probability ~2⁻⁶⁴), and it is deterministic across processes —
+/// the same property [`crate::engine::Hashed`] provides for full states.
+/// It is **not** the same value as hashing the built `CanonState`; the
+/// two hash spaces are independent.
+///
+/// # Errors
+///
+/// Returns [`EngineError::CorruptFrontier`] exactly when [`canonicalize`]
+/// would: a successful fingerprint guarantees the machine canonicalizes.
+pub fn canonical_fingerprint<E: Expr>(locs: &LocSet, m: &Machine<E>) -> Result<u64, EngineError> {
+    let mut h = DefaultHasher::new();
+    for l in locs.iter() {
+        match locs.kind(l) {
+            LocKind::Nonatomic => {
+                let hist = m.store.history(l);
+                h.write_u8(0);
+                h.write_usize(hist.len());
+                for (_, v) in hist.iter() {
+                    h.write_i64(v.0);
+                }
+            }
+            LocKind::Atomic => {
+                let (f, v) = m.store.atomic(l);
+                h.write_u8(1);
+                h.write_i64(v.0);
+                hash_frontier(locs, m, f, &mut h)?;
+            }
+        }
+    }
+    h.write_usize(m.threads.len());
+    for t in &m.threads {
+        hash_frontier(locs, m, &t.frontier, &mut h)?;
+        t.expr.hash(&mut h);
+    }
+    let fp = h.finish();
+    #[cfg(test)]
+    let fp = fp & collisions::mask();
+    Ok(fp)
+}
+
+/// Compares a frontier's ranks against a stored rank vector.
+fn frontier_matches<E: Expr>(locs: &LocSet, m: &Machine<E>, f: &Frontier, ranks: &[u32]) -> bool {
+    ranks.len() == locs.len()
+        && locs
+            .iter()
+            .zip(ranks)
+            .all(|(l, r)| frontier_rank(locs, m, f, l) == Ok(*r))
+}
+
+/// True iff `m`'s canonical form equals `canon`, decided by streaming
+/// comparison — no `CanonState` is built. This is the collision check of
+/// fingerprint-first dedup: `canon_matches(locs, m, c)` agrees exactly
+/// with `canonicalize(locs, m)? == *c` (a machine that fails to
+/// canonicalize matches nothing).
+pub fn canon_matches<E: Expr>(locs: &LocSet, m: &Machine<E>, canon: &CanonState<E>) -> bool {
+    if canon.store.len() != locs.len() || canon.threads.len() != m.threads.len() {
+        return false;
+    }
+    for l in locs.iter() {
+        match (locs.kind(l), &canon.store[l.index()]) {
+            (LocKind::Nonatomic, CanonLoc::Na(vals)) => {
+                let hist = m.store.history(l);
+                if hist.len() != vals.len() || !hist.iter().map(|(_, v)| v).eq(vals.iter().copied())
+                {
+                    return false;
+                }
+            }
+            (LocKind::Atomic, CanonLoc::At(v, ranks)) => {
+                let (f, val) = m.store.atomic(l);
+                if val != *v || !frontier_matches(locs, m, f, ranks) {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    m.threads
+        .iter()
+        .zip(&canon.threads)
+        .all(|(t, (ranks, expr))| t.expr == *expr && frontier_matches(locs, m, &t.frontier, ranks))
 }
 
 #[cfg(test)]
@@ -148,5 +346,126 @@ mod tests {
         let c1 = canonicalize(&locs, &mk(&[1, 2])).unwrap();
         let c2 = canonicalize(&locs, &mk(&[3, 50])).unwrap();
         assert_eq!(c1, c2);
+    }
+
+    /// A small machine zoo reaching distinct canonical states: useful for
+    /// fingerprint agreement checks.
+    fn zoo() -> (LocSet, Vec<Machine<RecordedExpr>>) {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        let p0 = RecordedExpr::new(vec![
+            StepLabel::Write(a, Val(1)),
+            StepLabel::Write(f, Val(1)),
+        ]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Read(f), StepLabel::Read(a)]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let mut all = vec![m0.clone()];
+        let mut stack = vec![m0];
+        while let Some(m) = stack.pop() {
+            for t in m.transitions(&locs) {
+                all.push(t.target.clone());
+                stack.push(t.target);
+            }
+        }
+        (locs, all)
+    }
+
+    #[test]
+    fn fingerprint_agrees_with_canonical_equality() {
+        // Equal canonical forms ⇒ equal fingerprints, and (on this space)
+        // distinct canonical forms get distinct fingerprints; canon_matches
+        // agrees with built-form equality in both directions.
+        let _guard = collisions::unforced();
+        let (locs, machines) = zoo();
+        for m1 in &machines {
+            let c1 = canonicalize(&locs, m1).unwrap();
+            let f1 = canonical_fingerprint(&locs, m1).unwrap();
+            for m2 in &machines {
+                let c2 = canonicalize(&locs, m2).unwrap();
+                let f2 = canonical_fingerprint(&locs, m2).unwrap();
+                assert_eq!(c1 == c2, f1 == f2, "fingerprint disagrees with equality");
+                assert_eq!(c1 == c2, canon_matches(&locs, m1, &c2));
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_timestamp_representatives() {
+        let _guard = collisions::unforced();
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let p = RecordedExpr::new(vec![]);
+        let mk = |ts: &[i64]| {
+            let mut m = Machine::initial(&locs, [p.clone()]);
+            let mut h = History::initial(Val(0));
+            for (i, t) in ts.iter().enumerate() {
+                h.insert(Timestamp(Ratio::from_integer(*t)), Val(i as i64 + 1));
+            }
+            m.store.update(a, LocContents::Nonatomic(h));
+            m
+        };
+        assert_eq!(
+            canonical_fingerprint(&locs, &mk(&[1, 2])).unwrap(),
+            canonical_fingerprint(&locs, &mk(&[3, 50])).unwrap()
+        );
+        // Different value order: different fingerprint.
+        let mut m_swapped = Machine::initial(&locs, [p.clone()]);
+        let mut h = History::initial(Val(0));
+        h.insert(Timestamp(Ratio::from_integer(1)), Val(2));
+        h.insert(Timestamp(Ratio::from_integer(2)), Val(1));
+        m_swapped.store.update(a, LocContents::Nonatomic(h));
+        assert_ne!(
+            canonical_fingerprint(&locs, &mk(&[1, 2])).unwrap(),
+            canonical_fingerprint(&locs, &m_swapped).unwrap()
+        );
+    }
+
+    #[test]
+    fn fingerprint_detects_corrupt_frontier() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let p = RecordedExpr::new(vec![StepLabel::Read(a)]);
+        let mut m = Machine::initial(&locs, [p]);
+        let bogus = Timestamp(Ratio::from_integer(99));
+        m.threads[0].frontier.advance(a, bogus);
+        assert!(matches!(
+            canonical_fingerprint(&locs, &m),
+            Err(EngineError::CorruptFrontier { loc, .. }) if loc == a
+        ));
+    }
+
+    #[test]
+    fn latest_values_match_store() {
+        let (locs, machines) = zoo();
+        for m in &machines {
+            let c = canonicalize(&locs, m).unwrap();
+            let got: Vec<Val> = c.latest_values().collect();
+            let want: Vec<Val> = locs
+                .iter()
+                .map(|l| match locs.kind(l) {
+                    LocKind::Nonatomic => m.store.history(l).latest().1,
+                    LocKind::Atomic => m.store.atomic(l).1,
+                })
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn forced_collisions_keep_matching_exact() {
+        // With 2-bit fingerprints nearly everything collides; canon_matches
+        // must still separate distinct states.
+        let _guard = collisions::force(2);
+        let (locs, machines) = zoo();
+        for m1 in &machines {
+            let f1 = canonical_fingerprint(&locs, m1).unwrap();
+            assert!(f1 < 4, "mask not applied");
+            let c1 = canonicalize(&locs, m1).unwrap();
+            for m2 in &machines {
+                let c2 = canonicalize(&locs, m2).unwrap();
+                assert_eq!(c1 == c2, canon_matches(&locs, m1, &c2));
+            }
+        }
     }
 }

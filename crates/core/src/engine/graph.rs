@@ -1,0 +1,558 @@
+//! The interned successor graph and the recorded trace tree: explore
+//! once, re-check new predicates without re-running the semantics.
+//!
+//! Exploration cost in this codebase is dominated by the transition
+//! semantics — every [`crate::machine::Machine::transitions`] call clones
+//! machines, and every reached machine is canonicalized. Both structures
+//! in this module cache the part of that work that checkers actually
+//! consume, so a second (third, …) predicate over the same program pays
+//! none of it:
+//!
+//! * [`StateGraph`] — the deduplicated canonical state space as a compact
+//!   CSR table: per dense [`StateId`], its successor ids and terminal
+//!   flag, plus the id-ordered [`CanonState`]s handed over by the
+//!   interner. Recorded by `WorklistEngine::explore_graph` and
+//!   `WorkStealingEngine::explore_graph`; replayed with
+//!   [`StateGraph::replay`]. State predicates (terminal outcome
+//!   extraction, reachability counts) re-check in a linear scan.
+//! * [`TraceGraph`] — the *trace tree* of the program, recorded once,
+//!   unfiltered and unpruned, by `TraceEngine::record`: per node, the
+//!   transition label that created it and the labels enabled at its
+//!   target. Trace-dependent checkers (data races, happens-before,
+//!   L-stability, Theorem 15 soundness) consume exactly label sequences
+//!   and enabled-label sets, so [`TraceGraph::replay`] can drive any
+//!   [`ReplayVisitor`] — with its own step filter, pruning, stopping and
+//!   budget — over the cached tree and produce verdicts identical to a
+//!   live [`crate::engine::TraceEngine`] walk. Because the recording is
+//!   unfiltered it is a supertree of every filtered walk; replaying a
+//!   filter simply skips the subtrees the live walk would never have
+//!   entered.
+//!
+//! A note on why *state*-graph paths cannot replace the trace tree for
+//! race checking: distinct traces reaching one canonical state are merged
+//! in the state graph, and transition labels along a state-graph path mix
+//! timestamps from different representative machines — happens-before
+//! over such a path is not the happens-before of any real trace. The
+//! trace tree keeps the label sequences exact; the state graph serves the
+//! state predicates. Both are budget-bounded by the recording engine's
+//! [`crate::engine::EngineConfig`].
+
+use crate::engine::{CanonState, Control, EngineConfig, EngineError, ExploreStats, StateId};
+use crate::machine::TransitionLabel;
+use crate::trace::TraceLabels;
+
+/// The explored state space as a compact successor table (CSR) over the
+/// interner's dense ids, with the canonical states retained for
+/// re-checking.
+pub struct StateGraph<E> {
+    /// Canonical states, indexed by [`StateId`].
+    states: Vec<CanonState<E>>,
+    /// CSR row offsets: successors of `i` live at
+    /// `succs[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Concatenated successor ids (one entry per transition, so duplicate
+    /// targets — several transitions reaching one canonical state — are
+    /// kept, mirroring the branching structure).
+    succs: Vec<StateId>,
+    /// Per-state terminal flag (no enabled transition).
+    terminal: Vec<bool>,
+}
+
+impl<E> StateGraph<E> {
+    /// Assembles the CSR from the interner's id-ordered states, the
+    /// recorded `(from, to)` edges, and the per-id terminal flags.
+    pub(crate) fn from_parts(
+        states: Vec<CanonState<E>>,
+        edges: &[(StateId, StateId)],
+        terminal: Vec<bool>,
+    ) -> StateGraph<E> {
+        debug_assert_eq!(states.len(), terminal.len());
+        let n = states.len();
+        let mut counts = vec![0u32; n];
+        for (from, _) in edges {
+            counts[from.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut next: Vec<u32> = offsets[..n].to_vec();
+        let mut succs = vec![StateId(0); edges.len()];
+        for (from, to) in edges {
+            let slot = next[from.index()];
+            succs[slot as usize] = *to;
+            next[from.index()] += 1;
+        }
+        StateGraph {
+            states,
+            offsets,
+            succs,
+            terminal,
+        }
+    }
+
+    /// Number of canonical states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True for the graph of an empty exploration.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total number of recorded transitions (CSR entries).
+    pub fn edge_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// The canonical state with the given id.
+    pub fn state(&self, id: StateId) -> &CanonState<E> {
+        &self.states[id.index()]
+    }
+
+    /// The successor ids of `id`, one entry per transition.
+    pub fn successors(&self, id: StateId) -> &[StateId] {
+        let lo = self.offsets[id.index()] as usize;
+        let hi = self.offsets[id.index() + 1] as usize;
+        &self.succs[lo..hi]
+    }
+
+    /// True iff `id` has no enabled transition.
+    pub fn is_terminal(&self, id: StateId) -> bool {
+        self.terminal[id.index()]
+    }
+
+    /// The ids of all terminal states, in id order.
+    pub fn terminal_ids(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.terminal
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t)
+            .map(|(i, _)| StateId(i as u32))
+    }
+
+    /// Re-checks a state predicate over the cached graph: `visit` is
+    /// invoked once per state, in id order, with the state's successors
+    /// and terminal flag — no transition semantics run. Returning
+    /// [`Control::Stop`] ends the replay early ([`Control::Prune`] is
+    /// meaningless over an already-complete graph and is treated as
+    /// continue); the count of states visited is returned.
+    pub fn replay(
+        &self,
+        mut visit: impl FnMut(StateId, &CanonState<E>, &[StateId], bool) -> Control,
+    ) -> usize {
+        for i in 0..self.states.len() {
+            let id = StateId(i as u32);
+            if let Control::Stop = visit(id, &self.states[i], self.successors(id), self.terminal[i])
+            {
+                return i + 1;
+            }
+        }
+        self.states.len()
+    }
+}
+
+/// One recorded node of the trace tree: see [`TraceGraph`].
+#[derive(Clone, Copy, Debug)]
+struct TraceNode {
+    /// The transition label whose extension created this node.
+    label: TransitionLabel,
+    /// Slice `(start, len)` into the enabled-label pool: the labels
+    /// enabled at this node's target machine.
+    enabled: (u32, u32),
+}
+
+/// What a [`ReplayVisitor`] sees at one replayed trace extension: the
+/// extension's label, the labels enabled at the reached machine, and
+/// whether that machine is terminal.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayStep<'g> {
+    /// The label of the transition just (re)taken.
+    pub label: TransitionLabel,
+    /// The labels of every transition enabled at the reached machine.
+    pub enabled: &'g [TransitionLabel],
+    /// True iff the reached machine has no enabled transition.
+    pub terminal: bool,
+}
+
+/// A trace visitor over a recorded [`TraceGraph`]: the label-level
+/// counterpart of [`crate::engine::TraceVisitor`]. Every checker in
+/// [`crate::localdrf`] consumes only labels, so it implements both traits
+/// over shared logic.
+pub trait ReplayVisitor {
+    /// Whether this label may extend the current trace (mirrors
+    /// [`crate::engine::TraceVisitor::step_filter`]).
+    fn step_filter(&mut self, _label: &TransitionLabel) -> bool {
+        true
+    }
+
+    /// Inspects one replayed extension; `trace` ends with `step.label`.
+    fn visit(&mut self, trace: &TraceLabels, step: ReplayStep<'_>) -> Control;
+}
+
+/// The complete trace tree of a program, recorded once (unfiltered,
+/// unpruned, budget-bounded) and replayable under any number of
+/// predicates. Nodes are stored in depth-first preorder; the children
+/// lists (CSR) preserve sibling order, so a replay walks extensions in
+/// exactly the order a live [`crate::engine::TraceEngine`] walk would.
+#[derive(Debug)]
+pub struct TraceGraph {
+    nodes: Vec<TraceNode>,
+    /// Pool backing every node's `enabled` slice.
+    enabled_pool: Vec<TransitionLabel>,
+    /// CSR over `nodes.len() + 1` rows; the last row is the virtual root
+    /// (the initial machine), whose children are the depth-1 nodes.
+    child_offsets: Vec<u32>,
+    children: Vec<u32>,
+    /// The labels enabled at the initial machine (the root's `enabled`).
+    root_enabled: Vec<TransitionLabel>,
+}
+
+impl TraceGraph {
+    /// Assembles the children CSR from parent pointers (`u32::MAX` marks
+    /// depth-1 nodes).
+    pub(crate) fn from_parts(
+        nodes: Vec<RecordedNode>,
+        enabled_pool: Vec<TransitionLabel>,
+        root_enabled: Vec<TransitionLabel>,
+    ) -> TraceGraph {
+        let n = nodes.len();
+        let row_of = |parent: u32| -> usize {
+            if parent == u32::MAX {
+                n
+            } else {
+                parent as usize
+            }
+        };
+        let mut counts = vec![0u32; n + 1];
+        for node in &nodes {
+            counts[row_of(node.parent)] += 1;
+        }
+        let mut child_offsets = Vec::with_capacity(n + 2);
+        let mut acc = 0u32;
+        child_offsets.push(0);
+        for c in &counts {
+            acc += c;
+            child_offsets.push(acc);
+        }
+        let mut next: Vec<u32> = child_offsets[..=n].to_vec();
+        let mut children = vec![0u32; n];
+        // Node ids increase in creation (preorder) order, so filling in id
+        // order keeps every children row in sibling order.
+        for (i, node) in nodes.iter().enumerate() {
+            let row = row_of(node.parent);
+            children[next[row] as usize] = i as u32;
+            next[row] += 1;
+        }
+        TraceGraph {
+            nodes: nodes
+                .into_iter()
+                .map(|s| TraceNode {
+                    label: s.label,
+                    enabled: s.enabled,
+                })
+                .collect(),
+            enabled_pool,
+            child_offsets,
+            children,
+            root_enabled,
+        }
+    }
+
+    /// Number of recorded trace extensions (nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the initial machine is terminal (no trace extends it).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The labels enabled at the initial machine.
+    pub fn root_enabled(&self) -> &[TransitionLabel] {
+        &self.root_enabled
+    }
+
+    fn enabled_of(&self, node: usize) -> &[TransitionLabel] {
+        let (start, len) = self.nodes[node].enabled;
+        &self.enabled_pool[start as usize..(start + len) as usize]
+    }
+
+    fn children_of(&self, row: usize) -> &[u32] {
+        let lo = self.child_offsets[row] as usize;
+        let hi = self.child_offsets[row + 1] as usize;
+        &self.children[lo..hi]
+    }
+
+    /// Replays the recorded tree under `visitor`, reproducing the exact
+    /// depth-first order, filtering, pruning, stopping, and budget
+    /// semantics of a live [`crate::engine::TraceEngine::explore`] walk —
+    /// without invoking the transition semantics at all. Verdicts are
+    /// therefore identical to the live walk's for any visitor whose
+    /// decisions depend only on labels (every checker in
+    /// [`crate::localdrf`] and the Theorem 15 soundness scan qualify).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BudgetExceeded`] after `config.max_traces`
+    /// filter-passing extensions, exactly like the live walk.
+    pub fn replay<V: ReplayVisitor>(
+        &self,
+        config: EngineConfig,
+        visitor: &mut V,
+    ) -> Result<ExploreStats, EngineError> {
+        struct Frame<'g> {
+            children: &'g [u32],
+            next: usize,
+        }
+        let mut stats = ExploreStats::default();
+        let mut budget = config.max_traces;
+        let mut trace = TraceLabels::new();
+        let root = self.nodes.len();
+        let mut frames = vec![Frame {
+            children: self.children_of(root),
+            next: 0,
+        }];
+        while let Some(frame) = frames.last_mut() {
+            if frame.next >= frame.children.len() {
+                frames.pop();
+                if !frames.is_empty() {
+                    trace.pop();
+                }
+                continue;
+            }
+            let node = frame.children[frame.next] as usize;
+            frame.next += 1;
+            stats.transitions += 1;
+            let label = self.nodes[node].label;
+            if !visitor.step_filter(&label) {
+                continue;
+            }
+            if budget == 0 {
+                return Err(EngineError::budget(config.max_traces + 1));
+            }
+            budget -= 1;
+            stats.visited += 1;
+            trace.push(label);
+            let enabled = self.enabled_of(node);
+            let step = ReplayStep {
+                label,
+                enabled,
+                terminal: enabled.is_empty(),
+            };
+            match visitor.visit(&trace, step) {
+                Control::Stop => return Ok(stats),
+                Control::Prune => {
+                    trace.pop();
+                }
+                Control::Continue => {
+                    frames.push(Frame {
+                        children: self.children_of(node),
+                        next: 0,
+                    });
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// The raw node shape the recorder produces (parent pointers survive only
+/// until the children CSR is built).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RecordedNode {
+    pub(crate) parent: u32,
+    pub(crate) label: TransitionLabel,
+    pub(crate) enabled: (u32, u32),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{SearchOrder, TraceEngine, TraceVisitor, WorklistEngine};
+    use crate::loc::{Loc, LocKind, LocSet, Val};
+    use crate::machine::{Machine, RecordedExpr, StepLabel, Transition};
+
+    fn locs_ab() -> (LocSet, Loc, Loc) {
+        let mut l = LocSet::new();
+        let a = l.fresh("a", LocKind::Nonatomic);
+        let b = l.fresh("b", LocKind::Nonatomic);
+        (l, a, b)
+    }
+
+    fn sb_machine(locs: &LocSet, a: Loc, b: Loc) -> Machine<RecordedExpr> {
+        let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(b)]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(b, Val(1)), StepLabel::Read(a)]);
+        Machine::initial(locs, [p0, p1])
+    }
+
+    #[test]
+    fn state_graph_matches_live_exploration() {
+        let (locs, a, b) = locs_ab();
+        let engine = WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs);
+        let (graph, stats) = engine
+            .explore_graph(&locs, sb_machine(&locs, a, b))
+            .unwrap();
+        assert_eq!(graph.len(), stats.visited);
+        assert_eq!(graph.edge_count(), stats.transitions);
+        // Every non-terminal state has successors; terminals have none.
+        for i in 0..graph.len() {
+            let id = StateId(i as u32);
+            assert_eq!(graph.is_terminal(id), graph.successors(id).is_empty());
+        }
+        assert!(graph.terminal_ids().count() > 0);
+    }
+
+    #[test]
+    fn state_graph_replay_stops_early() {
+        let (locs, a, b) = locs_ab();
+        let engine = WorklistEngine::new(EngineConfig::default(), SearchOrder::Bfs);
+        let (graph, _) = engine
+            .explore_graph(&locs, sb_machine(&locs, a, b))
+            .unwrap();
+        let mut seen = 0usize;
+        let visited = graph.replay(|_, _, _, _| {
+            seen += 1;
+            if seen == 3 {
+                Control::Stop
+            } else {
+                Control::Continue
+            }
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(visited, 3);
+    }
+
+    /// Counts complete interleavings of length `len` — usable both live
+    /// and replayed.
+    struct CountComplete {
+        len: usize,
+        complete: usize,
+    }
+
+    impl TraceVisitor<RecordedExpr> for CountComplete {
+        fn visit(&mut self, trace: &TraceLabels, t: &Transition<RecordedExpr>) -> Control {
+            if trace.len() == self.len && t.target.is_terminal() {
+                self.complete += 1;
+            }
+            Control::Continue
+        }
+    }
+
+    impl ReplayVisitor for CountComplete {
+        fn visit(&mut self, trace: &TraceLabels, step: ReplayStep<'_>) -> Control {
+            if trace.len() == self.len && step.terminal {
+                self.complete += 1;
+            }
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn trace_graph_replay_matches_live_walk() {
+        let (locs, a, b) = locs_ab();
+        let m0 = sb_machine(&locs, a, b);
+        let engine = TraceEngine::new(EngineConfig::default());
+        let mut live = CountComplete {
+            len: 4,
+            complete: 0,
+        };
+        let live_stats = engine.explore(&locs, m0.clone(), &mut live).unwrap();
+
+        let (graph, rec_stats) = engine.record(&locs, m0).unwrap();
+        assert_eq!(rec_stats.visited, live_stats.visited);
+        let mut replayed = CountComplete {
+            len: 4,
+            complete: 0,
+        };
+        let rep_stats = graph
+            .replay(EngineConfig::default(), &mut replayed)
+            .unwrap();
+        assert_eq!(live.complete, replayed.complete);
+        assert_eq!(live_stats.visited, rep_stats.visited);
+        assert_eq!(live_stats.transitions, rep_stats.transitions);
+    }
+
+    #[test]
+    fn trace_graph_replay_budget_matches_live() {
+        let (locs, a, b) = locs_ab();
+        let m0 = sb_machine(&locs, a, b);
+        let total = TraceEngine::new(EngineConfig::default())
+            .record(&locs, m0.clone())
+            .unwrap()
+            .1
+            .visited;
+        let tight = EngineConfig {
+            max_states: usize::MAX,
+            max_traces: total - 1,
+        };
+        struct Go;
+        impl TraceVisitor<RecordedExpr> for Go {
+            fn visit(&mut self, _: &TraceLabels, _: &Transition<RecordedExpr>) -> Control {
+                Control::Continue
+            }
+        }
+        impl ReplayVisitor for Go {
+            fn visit(&mut self, _: &TraceLabels, _: ReplayStep<'_>) -> Control {
+                Control::Continue
+            }
+        }
+        let live = TraceEngine::new(tight).explore(&locs, m0.clone(), &mut Go);
+        let (graph, _) = TraceEngine::new(EngineConfig::default())
+            .record(&locs, m0.clone())
+            .unwrap();
+        let replayed = graph.replay(tight, &mut Go);
+        assert_eq!(live.unwrap_err(), replayed.unwrap_err());
+        // Recording under the tight budget trips identically.
+        assert_eq!(
+            TraceEngine::new(tight).record(&locs, m0).unwrap_err(),
+            EngineError::budget(tight.max_traces + 1)
+        );
+    }
+
+    #[test]
+    fn trace_graph_replay_honours_filters_and_pruning() {
+        let (locs, a, b) = locs_ab();
+        let m0 = sb_machine(&locs, a, b);
+        // Filter: thread 0 only. Live and replayed walks must agree.
+        struct OnlyP0 {
+            seen: usize,
+        }
+        impl TraceVisitor<RecordedExpr> for OnlyP0 {
+            fn step_filter(&mut self, t: &Transition<RecordedExpr>) -> bool {
+                t.label.thread.index() == 0
+            }
+            fn visit(&mut self, _: &TraceLabels, _: &Transition<RecordedExpr>) -> Control {
+                self.seen += 1;
+                Control::Continue
+            }
+        }
+        impl ReplayVisitor for OnlyP0 {
+            fn step_filter(&mut self, label: &TransitionLabel) -> bool {
+                label.thread.index() == 0
+            }
+            fn visit(&mut self, _: &TraceLabels, _: ReplayStep<'_>) -> Control {
+                self.seen += 1;
+                Control::Continue
+            }
+        }
+        let mut live = OnlyP0 { seen: 0 };
+        TraceEngine::new(EngineConfig::default())
+            .explore(&locs, m0.clone(), &mut live)
+            .unwrap();
+        let (graph, _) = TraceEngine::new(EngineConfig::default())
+            .record(&locs, m0)
+            .unwrap();
+        let mut replayed = OnlyP0 { seen: 0 };
+        graph
+            .replay(EngineConfig::default(), &mut replayed)
+            .unwrap();
+        assert_eq!(live.seen, replayed.seen);
+        assert!(live.seen > 0);
+    }
+}

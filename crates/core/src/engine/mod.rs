@@ -26,14 +26,30 @@
 //! * **[`TraceEngine`]** ([`worklist`]) — iterative depth-first trace
 //!   enumeration for the trace-dependent checkers (data races and
 //!   happens-before are properties of traces, not states); drives a
-//!   [`TraceVisitor`]. [`TraceEngine::explore_sharded`] forks the walk at
-//!   the root frontier into independent label stacks (one fresh visitor
-//!   per subtree, one shared atomic trace budget), so checkers whose
-//!   verdicts merge — every checker in [`crate::localdrf`] and the
-//!   axiomatic soundness checker — run subtree-parallel.
-//! * **[`StateInterner`] / [`SharedInterner`]** ([`intern`]) — canonical
-//!   states are hashed exactly once ([`intern::Hashed`]) and stored
-//!   against dense `u32` [`StateId`]s instead of cloned machines.
+//!   [`TraceVisitor`]. [`TraceEngine::explore_sharded`] forks the walk
+//!   into independent label stacks (one fresh visitor per subtree, one
+//!   shared atomic trace budget) — at the root frontier when it is wide
+//!   enough, re-forking below it otherwise — and
+//!   [`TraceEngine::explore_sharded_merged`] folds the per-subtree
+//!   verdicts through [`MergeableVisitor`], so checkers whose verdicts
+//!   merge — every checker in [`crate::localdrf`] and the axiomatic
+//!   soundness checker — run subtree-parallel with no verdict plumbing.
+//! * **[`StateInterner`] / [`SharedInterner`]** ([`intern`]) — state
+//!   dedup is **fingerprint-first** ([`canonical_fingerprint`] streams
+//!   the canonical form into a hasher with zero allocation; re-visits
+//!   allocate nothing, and verified equality on collision keeps
+//!   outcomes bit-identical — [`Dedup`] selects the full-state
+//!   reference path). States live in a dense id-indexed table behind
+//!   `u32` [`StateId`]s.
+//! * **[`StateGraph`] / [`TraceGraph`]** ([`graph`]) — explore once,
+//!   re-check forever: the worklist and work-stealing engines record
+//!   the interned successor graph (CSR of successor ids + terminal
+//!   flags), and [`TraceEngine::record`] records the full trace tree;
+//!   both replay new predicates ([`ReplayVisitor`]) without re-running
+//!   the transition semantics.
+//! * **[`deque::ChaseLev`]** ([`deque`]) — the lock-free work-stealing
+//!   deque under [`StealDeques`]: latched owner ops, CAS-only steals,
+//!   `unsafe` confined to that module.
 //! * **[`EngineError`]** — the structured error surface: budget
 //!   exhaustion and corrupted-frontier detection (formerly a panic in
 //!   `canonicalize`).
@@ -96,6 +112,8 @@
 //! ```
 
 pub mod canon;
+pub mod deque;
+pub mod graph;
 pub mod intern;
 pub mod parallel;
 pub mod steal;
@@ -108,11 +126,95 @@ use crate::machine::{Expr, Machine, Transition};
 use crate::timestamp::Timestamp;
 use crate::trace::TraceLabels;
 
-pub use canon::{canonicalize, CanonState};
+pub use canon::{canon_matches, canonical_fingerprint, canonicalize, CanonState};
+pub use deque::ChaseLev;
+pub use graph::{ReplayStep, ReplayVisitor, StateGraph, TraceGraph};
 pub use intern::{Hashed, SharedInterner, StateId, StateInterner};
 pub use parallel::{parallel_map, parallel_map_with, ParallelEngine};
 pub use steal::{engine_threads, StealDeques, WorkStealingEngine};
 pub use worklist::{TraceEngine, WorklistEngine};
+
+/// How the sequential worklist engine identifies states for dedup.
+///
+/// Both modes visit exactly the same canonical state set — the property
+/// suites explore under both and compare — they differ only in what the
+/// hot path allocates:
+///
+/// * [`Dedup::FingerprintFirst`] (default): a popped machine is hashed by
+///   the zero-allocation streaming [`canonical_fingerprint`]; the full
+///   [`CanonState`] is built only on first visit (or on a verified
+///   fingerprint collision). Re-visits — the common case — allocate
+///   nothing.
+/// * [`Dedup::FullState`]: the original build-then-hash path, kept as the
+///   reference implementation and allocation baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Dedup {
+    /// Probe by streaming fingerprint; build canonical states on first
+    /// visit only.
+    #[default]
+    FingerprintFirst,
+    /// Build and hash the full canonical state on every probe.
+    FullState,
+}
+
+/// Fingerprint-first identification of a machine against a
+/// single-threaded interner: the zero-copy dedup hot path shared by the
+/// sequential engines. Re-visits allocate nothing; the full
+/// [`CanonState`] is built only on first visit or verified collision.
+///
+/// # Errors
+///
+/// [`EngineError::CorruptFrontier`] exactly when [`canonicalize`] would
+/// fail on `m`.
+pub fn intern_canonical<E: Expr>(
+    interner: &mut StateInterner<CanonState<E>>,
+    locs: &LocSet,
+    m: &Machine<E>,
+) -> Result<(StateId, bool), EngineError> {
+    let fp = canonical_fingerprint(locs, m)?;
+    Ok(interner.intern_with(
+        fp,
+        |c| canon_matches(locs, m, c),
+        // A successful fingerprint walks every frontier, so
+        // canonicalization cannot fail afterwards.
+        || canonicalize(locs, m).expect("fingerprinted machines canonicalize"),
+    ))
+}
+
+/// [`intern_canonical`] against the lock-striped [`SharedInterner`]: the
+/// claim-exactly-once dedup hot path of the parallel engines. Returns
+/// the id and whether *this* call admitted the state.
+///
+/// # Errors
+///
+/// As [`intern_canonical`].
+pub fn claim_canonical<E: Expr>(
+    interner: &SharedInterner<CanonState<E>>,
+    locs: &LocSet,
+    m: &Machine<E>,
+) -> Result<(StateId, bool), EngineError> {
+    let fp = canonical_fingerprint(locs, m)?;
+    Ok(interner.claim_or_intern_with(
+        fp,
+        |c| canon_matches(locs, m, c),
+        || canonicalize(locs, m).expect("fingerprinted machines canonicalize"),
+    ))
+}
+
+/// A visitor whose verdict state folds across disjoint subtrees: the
+/// merge protocol of the sharded checkers.
+///
+/// `explore_sharded_merged` hands every subtree its own fresh visitor and
+/// folds them back with [`MergeableVisitor::merge`], in deterministic
+/// (trunk-then-fork) order — so "any shard's violation wins" or "sum the
+/// per-shard counts" lives in one `merge` impl instead of per-call
+/// plumbing. Merging must be associative over disjoint subtree verdicts
+/// and treat a fresh (nothing-seen) visitor as an identity.
+pub trait MergeableVisitor {
+    /// Absorbs the verdict state of `other`, which explored a disjoint
+    /// subtree ordered after everything `self` has seen.
+    fn merge(&mut self, other: Self);
+}
 
 /// Budgets for exploration. The defaults are generous for litmus-scale
 /// programs while guaranteeing termination on accidental state explosions.

@@ -25,11 +25,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::engine::steal::{engine_threads, StealDeques};
 use crate::engine::{
-    canonicalize, Control, EngineConfig, EngineError, ExploreStats, Explorer, SharedInterner,
-    StateId, StateVisitor,
+    claim_canonical, CanonState, Control, EngineConfig, EngineError, ExploreStats, Explorer,
+    SharedInterner, StateId, StateVisitor,
 };
 use crate::loc::LocSet;
 use crate::machine::{Expr, Machine};
+
+/// Fingerprint-first claim: `Some(id)` iff this call admitted the state.
+fn claim<E: Expr>(
+    interner: &SharedInterner<CanonState<E>>,
+    locs: &LocSet,
+    m: &Machine<E>,
+) -> Result<Option<StateId>, EngineError> {
+    let (id, fresh) = claim_canonical(interner, locs, m)?;
+    Ok(fresh.then_some(id))
+}
 
 /// The states one worker claimed while expanding a frontier level.
 type Claimed<E> = Vec<(StateId, Machine<E>)>;
@@ -69,12 +79,10 @@ impl<E: Expr + Send + Sync> Explorer<E> for ParallelEngine {
         visitor: &mut dyn StateVisitor<E>,
     ) -> Result<ExploreStats, EngineError> {
         let workers = engine_threads(self.threads);
-        let interner: SharedInterner<_> = SharedInterner::new();
+        let interner: SharedInterner<CanonState<E>> = SharedInterner::new();
         let mut stats = ExploreStats::default();
 
-        let id = interner
-            .claim(canonicalize(locs, &m0)?)
-            .expect("initial state claims an empty interner");
+        let id = claim(&interner, locs, &m0)?.expect("initial state claims an empty interner");
         stats.visited += 1;
         let mut frontier: Vec<Machine<E>> = match visitor.visit(&m0, id) {
             Control::Stop | Control::Prune => return Ok(stats),
@@ -97,8 +105,7 @@ impl<E: Expr + Send + Sync> Explorer<E> for ParallelEngine {
                                 let Some(m) = frontier.get(i) else { break };
                                 for t in m.transitions(locs) {
                                     transitions.fetch_add(1, Ordering::Relaxed);
-                                    let canon = canonicalize(locs, &t.target)?;
-                                    if let Some(id) = interner.claim(canon) {
+                                    if let Some(id) = claim(&interner, locs, &t.target)? {
                                         claimed.push((id, t.target));
                                     }
                                 }

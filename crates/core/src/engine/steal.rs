@@ -6,27 +6,41 @@
 //! narrow levels, so that barrier dominates. The work-stealing engine
 //! instead keeps one pool of workers alive for the whole exploration:
 //!
-//! * each worker owns a deque ([`StealDeques`]) of machines awaiting
-//!   expansion, pushed and popped LIFO at the back (depth-first locality:
-//!   the hottest subtree stays in cache);
-//! * an idle worker steals FIFO from the *front* of a victim's deque —
-//!   the oldest entry roots the largest unexplored subtree, so one steal
-//!   buys the most work per synchronisation;
+//! * each worker owns a deque ([`StealDeques`], riding the lock-free
+//!   [`ChaseLev`] deque) of machines awaiting expansion, pushed and
+//!   popped LIFO at the owner end (depth-first locality: the hottest
+//!   subtree stays in cache);
+//! * an idle worker steals from the *top* of a victim's deque — the
+//!   oldest entry roots the largest unexplored subtree, so one steal
+//!   buys the most work per synchronisation — with no lock anywhere on
+//!   the steal path;
 //! * newly reached states are admitted through the claim-exactly-once
-//!   [`SharedInterner`], exactly as in the level-synchronous engine, so
-//!   the visited canonical state *set* is identical to every other
-//!   engine's;
+//!   [`SharedInterner`], probed **fingerprint-first**
+//!   ([`canonical_fingerprint`]): a re-visit costs zero allocation, and
+//!   the full canonical state is built only on first claim (or verified
+//!   fingerprint collision), exactly as in the sequential engines;
 //! * the caller's [`StateVisitor`] — which is `&mut` and need not be
 //!   `Send` — runs on the coordinating thread, fed by a channel of
-//!   freshly claimed states. A state is never expanded before the
-//!   visitor admits it, so [`Control::Prune`]/[`Control::Stop`] steer
-//!   the search exactly as they do sequentially.
+//!   freshly claimed states; admitted states return to the pool through
+//!   one coordinator-owned lock-free [`ChaseLev`] *injector* (the
+//!   coordinator is its single bottom-end owner, workers steal from the
+//!   top), so every idle worker sees every admitted state immediately —
+//!   no state can stall behind one worker's backoff. A state is never
+//!   expanded before the visitor admits it, so
+//!   [`Control::Prune`]/[`Control::Stop`] steer the search exactly as
+//!   they do sequentially.
 //!
 //! Termination uses a single `pending` counter covering every state that
 //! is queued, being expanded, or awaiting its visitor verdict: when it
 //! reaches zero the space is exhausted. Budget and corruption errors are
 //! recorded first-error-wins and surfaced as the same [`EngineError`]
 //! values the sequential engines produce.
+//!
+//! [`WorkStealingEngine::explore_graph`] runs the same pool without a
+//! visitor (full exploration, nothing to admit or prune): workers push
+//! fresh claims straight onto their own deques and record, per expanded
+//! [`StateId`], its successor ids and terminal flag — the raw material of
+//! the [`crate::engine::StateGraph`].
 //!
 //! # Thread-count knobs
 //!
@@ -38,15 +52,15 @@
 //! once with `BDRST_ENGINE_THREADS=1` (forcing every defaulted pool to a
 //! single worker) and once unset, so both paths stay exercised.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::engine::deque::{ChaseLev, Steal};
 use crate::engine::{
-    canonicalize, Control, EngineConfig, EngineError, ExploreStats, Explorer, SearchOrder,
-    SharedInterner, StateId, StateVisitor, WorklistEngine,
+    claim_canonical, CanonState, Control, EngineConfig, EngineError, ExploreStats, Explorer,
+    SearchOrder, SharedInterner, StateGraph, StateId, StateVisitor, WorklistEngine,
 };
 use crate::loc::LocSet;
 use crate::machine::{Expr, Machine};
@@ -69,22 +83,22 @@ pub fn engine_threads(requested: usize) -> usize {
     std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
-/// One deque per worker, with LIFO owner access and FIFO stealing.
+/// One lock-free [`ChaseLev`] deque per worker, with LIFO owner access
+/// and FIFO stealing.
 ///
-/// The deques are mutex-backed rather than lock-free: the critical
-/// sections are a handful of pointer moves, contention is limited to
-/// steal attempts, and the workspace vendors no atomics beyond `std` —
-/// correctness first, with the locking confined to this type so a
-/// lock-free deque can replace it without touching the engine.
+/// The owner protocol: `push(w, _)`/`pop(w)` belong to worker `w`'s
+/// owner thread (they serialize through the deque's uncontended owner
+/// latch, so even misuse cannot corrupt the structure); `steal`/`take`
+/// may be called from anywhere and never block on the owner.
 pub struct StealDeques<T> {
-    queues: Vec<Mutex<VecDeque<T>>>,
+    queues: Vec<ChaseLev<T>>,
 }
 
 impl<T> StealDeques<T> {
     /// Empty deques for `workers` workers.
     pub fn new(workers: usize) -> StealDeques<T> {
         StealDeques {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..workers).map(|_| ChaseLev::new()).collect(),
         }
     }
 
@@ -93,36 +107,30 @@ impl<T> StealDeques<T> {
         self.queues.len()
     }
 
-    /// Pushes `item` onto the back of `worker`'s deque (owner side).
+    /// Pushes `item` onto `worker`'s deque (owner side).
     pub fn push(&self, worker: usize, item: T) {
-        self.queues[worker]
-            .lock()
-            .expect("steal deque poisoned")
-            .push_back(item);
+        self.queues[worker].push(item);
     }
 
-    /// Pops from the back of `worker`'s own deque (LIFO: depth-first
-    /// locality).
+    /// Pops from `worker`'s own deque (LIFO: depth-first locality).
     pub fn pop(&self, worker: usize) -> Option<T> {
-        self.queues[worker]
-            .lock()
-            .expect("steal deque poisoned")
-            .pop_back()
+        self.queues[worker].pop()
     }
 
-    /// Steals from the front of some other worker's deque (FIFO: the
+    /// Steals from the top of some other worker's deque (FIFO: the
     /// oldest entry roots the largest subtree). Victims are scanned
-    /// round-robin starting after the thief.
+    /// round-robin starting after the thief; a lost CAS race retries the
+    /// same victim.
     pub fn steal(&self, thief: usize) -> Option<T> {
         let n = self.queues.len();
         for k in 1..n {
             let victim = (thief + k) % n;
-            if let Some(item) = self.queues[victim]
-                .lock()
-                .expect("steal deque poisoned")
-                .pop_front()
-            {
-                return Some(item);
+            loop {
+                match self.queues[victim].steal() {
+                    Steal::Success(item) => return Some(item),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
             }
         }
         None
@@ -156,9 +164,21 @@ impl FirstError {
     }
 }
 
+/// Brief-yield-then-sleep backoff for a worker that found no work: when
+/// the coordinator's visitor is the bottleneck the deques stay empty for
+/// long stretches and spinning would burn cores.
+fn idle_backoff(idle_spins: &mut u32) {
+    if *idle_spins < 64 {
+        *idle_spins += 1;
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(Duration::from_micros(100));
+    }
+}
+
 /// The work-stealing state-space engine: a persistent pool of workers
-/// expanding machines from per-worker deques with FIFO stealing, no
-/// per-level barrier.
+/// expanding machines from per-worker lock-free deques, no per-level
+/// barrier.
 ///
 /// Deep explorations scale because a worker never waits for a level to
 /// drain — it either pops its own deque or steals. The visitor runs on
@@ -185,6 +205,119 @@ impl WorkStealingEngine {
     pub fn with_threads(config: EngineConfig, threads: usize) -> WorkStealingEngine {
         WorkStealingEngine { config, threads }
     }
+
+    /// Fully explores the state space from `m0` across the pool (no
+    /// visitor, no pruning), recording the interned successor graph:
+    /// workers push fresh claims straight onto their own deques, and
+    /// each expansion logs its successor ids (every endpoint has a known
+    /// id thanks to claim-or-lookup interning) and terminal flag. The
+    /// resulting [`StateGraph`] is identical in content to
+    /// [`WorklistEngine::explore_graph`]'s, up to id permutation from
+    /// the claiming race.
+    ///
+    /// # Errors
+    ///
+    /// As [`Explorer::explore`]: budget exhaustion or a corrupted
+    /// machine.
+    pub fn explore_graph<E: Expr + Send + Sync>(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+    ) -> Result<(StateGraph<E>, ExploreStats), EngineError> {
+        let workers = engine_threads(self.threads);
+        if workers <= 1 {
+            return WorklistEngine::new(self.config, SearchOrder::Bfs).explore_graph(locs, m0);
+        }
+
+        let interner: SharedInterner<CanonState<E>> = SharedInterner::new();
+        let (id0, _) = claim_canonical(&interner, locs, &m0)?;
+        let deques: StealDeques<(StateId, Machine<E>)> = StealDeques::new(workers);
+        deques.push(0, (id0, m0));
+        let pending = AtomicUsize::new(1);
+        let stop = AtomicBool::new(false);
+        let transitions = AtomicUsize::new(0);
+        let failure = FirstError::new();
+        let max_states = self.config.max_states;
+
+        // Per-worker recordings, merged after the scope joins.
+        type Recording = (Vec<(StateId, StateId)>, Vec<(StateId, bool)>);
+        let recordings: Vec<Recording> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (deques, pending, stop, transitions, failure, interner) =
+                        (&deques, &pending, &stop, &transitions, &failure, &interner);
+                    scope.spawn(move || {
+                        let mut edges: Vec<(StateId, StateId)> = Vec::new();
+                        let mut terminals: Vec<(StateId, bool)> = Vec::new();
+                        let mut idle_spins = 0u32;
+                        while !stop.load(Ordering::Acquire) {
+                            let Some((id, m)) = deques.take(w) else {
+                                if pending.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                idle_backoff(&mut idle_spins);
+                                continue;
+                            };
+                            idle_spins = 0;
+                            let ts = m.transitions(locs);
+                            terminals.push((id, ts.is_empty()));
+                            let mut err = None;
+                            for t in ts {
+                                transitions.fetch_add(1, Ordering::Relaxed);
+                                match claim_canonical(interner, locs, &t.target) {
+                                    Ok((succ, fresh)) => {
+                                        edges.push((id, succ));
+                                        if fresh {
+                                            pending.fetch_add(1, Ordering::AcqRel);
+                                            deques.push(w, (succ, t.target));
+                                        }
+                                    }
+                                    Err(e) => {
+                                        err = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                            if err.is_none() && interner.len() > max_states {
+                                err = Some(EngineError::budget(interner.len()));
+                            }
+                            if let Some(e) = err {
+                                failure.record(e);
+                                stop.store(true, Ordering::Release);
+                                break;
+                            }
+                            pending.fetch_sub(1, Ordering::AcqRel);
+                        }
+                        (edges, terminals)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
+        let mut edges = Vec::new();
+        let mut terminal = vec![false; interner.len()];
+        for (worker_edges, worker_terminals) in recordings {
+            edges.extend(worker_edges);
+            for (id, t) in worker_terminals {
+                terminal[id.index()] = t;
+            }
+        }
+        let stats = ExploreStats {
+            visited: interner.len(),
+            transitions: transitions.load(Ordering::Relaxed),
+        };
+        Ok((
+            StateGraph::from_parts(interner.into_states(), &edges, terminal),
+            stats,
+        ))
+    }
 }
 
 /// A batch of freshly claimed states travelling worker → coordinator.
@@ -205,62 +338,67 @@ impl<E: Expr + Send + Sync> Explorer<E> for WorkStealingEngine {
             return WorklistEngine::new(self.config, SearchOrder::Bfs).explore(locs, m0, visitor);
         }
 
-        let interner: SharedInterner<_> = SharedInterner::new();
+        let interner: SharedInterner<CanonState<E>> = SharedInterner::new();
         let mut stats = ExploreStats::default();
-        let id = interner
-            .claim(canonicalize(locs, &m0)?)
-            .expect("initial state claims an empty interner");
+        let (id, _) = claim_canonical(&interner, locs, &m0)?;
         stats.visited += 1;
         match visitor.visit(&m0, id) {
             Control::Stop | Control::Prune => return Ok(stats),
             Control::Continue => {}
         }
 
-        let deques: StealDeques<Machine<E>> = StealDeques::new(workers);
-        // `pending` counts states that are queued for expansion, being
-        // expanded, or sitting in the channel awaiting their visitor
-        // verdict. Zero means the whole space has been processed.
+        // Admitted machines return to the pool through one lock-free
+        // injector: the coordinating thread is its single bottom-end
+        // owner (only it pushes), every worker steals from the top, so
+        // each admitted state is visible to the whole pool immediately.
+        let injector: ChaseLev<Machine<E>> = ChaseLev::new();
+        injector.push(m0);
+        // `pending` counts states that are queued for expansion (in the
+        // injector), being expanded, or sitting in the channel awaiting
+        // their visitor verdict. Zero means the whole space has been
+        // processed.
         let pending = AtomicUsize::new(1);
         let stop = AtomicBool::new(false);
         let transitions = AtomicUsize::new(0);
         let failure = FirstError::new();
         let max_states = self.config.max_states;
-        deques.push(0, m0);
 
         let (tx, rx) = mpsc::channel::<Claimed<E>>();
         let mut visitor_stopped = false;
         std::thread::scope(|scope| {
-            for w in 0..workers {
+            for _ in 0..workers {
                 let tx = tx.clone();
-                let (deques, pending, stop, transitions, failure, interner) =
-                    (&deques, &pending, &stop, &transitions, &failure, &interner);
+                let (injector, pending, stop, transitions, failure, interner) = (
+                    &injector,
+                    &pending,
+                    &stop,
+                    &transitions,
+                    &failure,
+                    &interner,
+                );
                 scope.spawn(move || {
                     let mut idle_spins = 0u32;
                     while !stop.load(Ordering::Acquire) {
-                        let Some(m) = deques.take(w) else {
-                            if pending.load(Ordering::Acquire) == 0 {
-                                break;
+                        let m = match injector.steal() {
+                            Steal::Success(m) => m,
+                            // Lost a race: another worker took it.
+                            Steal::Retry => continue,
+                            Steal::Empty => {
+                                if pending.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                idle_backoff(&mut idle_spins);
+                                continue;
                             }
-                            // Briefly yield, then back off to sleeping:
-                            // when the coordinator's visitor is the
-                            // bottleneck the deques stay empty for long
-                            // stretches and spinning would burn cores.
-                            if idle_spins < 64 {
-                                idle_spins += 1;
-                                std::thread::yield_now();
-                            } else {
-                                std::thread::sleep(Duration::from_micros(100));
-                            }
-                            continue;
                         };
                         idle_spins = 0;
                         let mut claimed: Claimed<E> = Vec::new();
                         let mut err = None;
                         for t in m.transitions(locs) {
                             transitions.fetch_add(1, Ordering::Relaxed);
-                            match canonicalize(locs, &t.target) {
-                                Ok(canon) => {
-                                    if let Some(id) = interner.claim(canon) {
+                            match claim_canonical(interner, locs, &t.target) {
+                                Ok((id, fresh)) => {
+                                    if fresh {
                                         claimed.push((id, t.target));
                                     }
                                 }
@@ -291,8 +429,9 @@ impl<E: Expr + Send + Sync> Explorer<E> for WorkStealingEngine {
             drop(tx); // workers hold the remaining senders
 
             // Coordinator: admit states through the visitor and feed the
-            // survivors back to the pool, round-robin.
-            let mut next_worker = 0usize;
+            // survivors back to the pool through the injector (this
+            // thread is the injector's only owner, so the push below is
+            // the single-owner Chase–Lev bottom operation).
             'coordinate: loop {
                 if stop.load(Ordering::Acquire) {
                     break;
@@ -303,8 +442,7 @@ impl<E: Expr + Send + Sync> Explorer<E> for WorkStealingEngine {
                             stats.visited += 1;
                             match visitor.visit(&m, id) {
                                 Control::Continue => {
-                                    deques.push(next_worker, m);
-                                    next_worker = (next_worker + 1) % workers;
+                                    injector.push(m);
                                 }
                                 Control::Prune => {
                                     pending.fetch_sub(1, Ordering::AcqRel);
@@ -470,6 +608,41 @@ mod tests {
         })
         .unwrap();
         assert_eq!(stopped_after, 1);
+    }
+
+    #[test]
+    fn worksteal_graph_matches_sequential_graph() {
+        let (locs, a, _b, f) = locs_abf();
+        let m0 = mp_machine(&locs, a, f);
+        let (seq_graph, seq_stats) = WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs)
+            .explore_graph(&locs, m0.clone())
+            .unwrap();
+        let ws = WorkStealingEngine::with_threads(EngineConfig::default(), 4);
+        let (ws_graph, ws_stats) = ws.explore_graph(&locs, m0).unwrap();
+        assert_eq!(seq_graph.len(), ws_graph.len());
+        assert_eq!(seq_graph.edge_count(), ws_graph.edge_count());
+        assert_eq!(seq_stats.visited, ws_stats.visited);
+        assert_eq!(seq_stats.transitions, ws_stats.transitions);
+        assert_eq!(
+            seq_graph.terminal_ids().count(),
+            ws_graph.terminal_ids().count()
+        );
+    }
+
+    #[test]
+    fn worksteal_graph_budget_is_enforced() {
+        let (locs, a, _, _) = locs_abf();
+        let mk = || RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 6]);
+        let m0 = Machine::initial(&locs, [mk(), mk(), mk()]);
+        let tiny = EngineConfig {
+            max_states: 10,
+            max_traces: 10,
+        };
+        let ws = WorkStealingEngine::with_threads(tiny, 4);
+        assert!(matches!(
+            ws.explore_graph(&locs, m0),
+            Err(EngineError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

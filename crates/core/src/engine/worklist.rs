@@ -1,18 +1,28 @@
 //! Sequential engines: the iterative state-space worklist and the
 //! iterative depth-first trace enumerator — plus the sharded trace walk
-//! ([`TraceEngine::explore_sharded`]) that forks the enumeration at the
-//! root frontier across the work-stealing pool.
+//! ([`TraceEngine::explore_sharded`]) that forks the enumeration across
+//! the work-stealing pool, re-forking below the root when the root
+//! frontier alone cannot feed it.
 //!
 //! Neither engine recurses — both carry explicit stacks — so exploration
 //! depth is bounded by heap, not by the thread's call stack, and the DFS /
 //! BFS choice is a one-line worklist-discipline swap.
+//!
+//! State dedup is fingerprint-first by default ([`Dedup`]): a popped
+//! machine is identified by its zero-allocation streaming
+//! [`canonical_fingerprint`], and the full [`crate::engine::CanonState`]
+//! is only built on first visit (or on a verified fingerprint collision).
+//! [`Dedup::FullState`] keeps the old build-then-hash path alive as the
+//! reference the property suites compare against.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::engine::graph::RecordedNode;
 use crate::engine::{
-    canonicalize, parallel_map_with, Control, EngineConfig, EngineError, ExploreStats, Explorer,
-    SearchOrder, StateInterner, StateVisitor, TraceVisitor,
+    canonicalize, intern_canonical, parallel_map_with, Control, Dedup, EngineConfig, EngineError,
+    ExploreStats, Explorer, MergeableVisitor, SearchOrder, StateGraph, StateId, StateInterner,
+    StateVisitor, TraceGraph, TraceVisitor,
 };
 use crate::loc::LocSet;
 use crate::machine::{Expr, Machine, Transition};
@@ -23,19 +33,100 @@ use crate::trace::TraceLabels;
 ///
 /// [`SearchOrder::Dfs`] treats the worklist as a stack (identical
 /// discovery order to the legacy recursive explorer); [`SearchOrder::Bfs`]
-/// treats it as a queue. Both visit exactly the same canonical state set.
+/// treats it as a queue. Both visit exactly the same canonical state set,
+/// under either [`Dedup`] mode.
 #[derive(Clone, Copy, Debug)]
 pub struct WorklistEngine {
     /// Budgets.
     pub config: EngineConfig,
     /// Stack or queue discipline.
     pub order: SearchOrder,
+    /// Fingerprint-first (default) or full-state reference dedup.
+    pub dedup: Dedup,
 }
 
 impl WorklistEngine {
-    /// An engine with the given budgets and search order.
+    /// An engine with the given budgets and search order (fingerprint
+    /// dedup).
     pub fn new(config: EngineConfig, order: SearchOrder) -> WorklistEngine {
-        WorklistEngine { config, order }
+        WorklistEngine {
+            config,
+            order,
+            dedup: Dedup::default(),
+        }
+    }
+
+    /// An engine with an explicit [`Dedup`] mode.
+    pub fn with_dedup(config: EngineConfig, order: SearchOrder, dedup: Dedup) -> WorklistEngine {
+        WorklistEngine {
+            config,
+            order,
+            dedup,
+        }
+    }
+
+    /// Identifies `m` in the interner under the engine's [`Dedup`] mode.
+    fn intern<E: Expr>(
+        dedup: Dedup,
+        interner: &mut StateInterner<crate::engine::CanonState<E>>,
+        locs: &LocSet,
+        m: &Machine<E>,
+    ) -> Result<(StateId, bool), EngineError> {
+        match dedup {
+            Dedup::FingerprintFirst => intern_canonical(interner, locs, m),
+            Dedup::FullState => Ok(interner.intern(canonicalize(locs, m)?)),
+        }
+    }
+
+    /// Fully explores the state space from `m0` (no visitor, no pruning),
+    /// recording the interned successor graph: per dense [`StateId`], its
+    /// successor ids — one entry per transition — and terminal flag, with
+    /// the canonical states retained for replay. Dedup here claims
+    /// successors at *expansion* time (the worklist holds only fresh
+    /// states), so the visited canonical state set is identical to
+    /// [`Explorer::explore`]'s while every edge endpoint has a known id.
+    ///
+    /// # Errors
+    ///
+    /// As [`Explorer::explore`]: budget exhaustion or a corrupted machine.
+    pub fn explore_graph<E: Expr>(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+    ) -> Result<(StateGraph<E>, ExploreStats), EngineError> {
+        let mut interner: StateInterner<crate::engine::CanonState<E>> = StateInterner::new();
+        let mut edges: Vec<(StateId, StateId)> = Vec::new();
+        let mut terminal: Vec<bool> = Vec::new();
+        let mut stats = ExploreStats::default();
+
+        let (id0, _) = Self::intern(self.dedup, &mut interner, locs, &m0)?;
+        terminal.push(false);
+        let mut worklist: VecDeque<(StateId, Machine<E>)> = VecDeque::new();
+        worklist.push_back((id0, m0));
+        while let Some((id, m)) = match self.order {
+            SearchOrder::Dfs => worklist.pop_back(),
+            SearchOrder::Bfs => worklist.pop_front(),
+        } {
+            stats.visited += 1;
+            let transitions = m.transitions(locs);
+            terminal[id.index()] = transitions.is_empty();
+            for t in transitions {
+                stats.transitions += 1;
+                let (succ, fresh) = Self::intern(self.dedup, &mut interner, locs, &t.target)?;
+                edges.push((id, succ));
+                if fresh {
+                    terminal.push(false);
+                    worklist.push_back((succ, t.target));
+                }
+            }
+            if interner.len() > self.config.max_states {
+                return Err(EngineError::budget(interner.len()));
+            }
+        }
+        Ok((
+            StateGraph::from_parts(interner.into_states(), &edges, terminal),
+            stats,
+        ))
     }
 }
 
@@ -46,7 +137,7 @@ impl<E: Expr> Explorer<E> for WorklistEngine {
         m0: Machine<E>,
         visitor: &mut dyn StateVisitor<E>,
     ) -> Result<ExploreStats, EngineError> {
-        let mut interner: StateInterner<_> = StateInterner::new();
+        let mut interner: StateInterner<crate::engine::CanonState<E>> = StateInterner::new();
         let mut worklist: VecDeque<Machine<E>> = VecDeque::new();
         worklist.push_back(m0);
         let mut stats = ExploreStats::default();
@@ -54,7 +145,7 @@ impl<E: Expr> Explorer<E> for WorklistEngine {
             SearchOrder::Dfs => worklist.pop_back(),
             SearchOrder::Bfs => worklist.pop_front(),
         } {
-            let (id, fresh) = interner.intern(canonicalize(locs, &m)?);
+            let (id, fresh) = Self::intern(self.dedup, &mut interner, locs, &m)?;
             if !fresh {
                 continue;
             }
@@ -112,24 +203,27 @@ enum WalkEnd {
 }
 
 /// The iterative depth-first walk shared by the sequential and sharded
-/// trace enumerations. `budget` holds the *remaining* extension budget;
-/// it is a plain counter for a sequential walk and shared across shards
-/// for a sharded one, so splitting the work never splits the budget.
+/// trace enumerations. `trace` seeds the label stack (empty for a
+/// root-anchored walk, the fork prefix for a deep shard); `budget` holds
+/// the *remaining* extension budget — a plain counter for a sequential
+/// walk and shared across shards for a sharded one, so splitting the work
+/// never splits the budget.
 fn walk_traces<E: Expr>(
     locs: &LocSet,
     mut frames: Vec<Frame<E>>,
+    mut trace: TraceLabels,
     visitor: &mut dyn TraceVisitor<E>,
     budget: &AtomicUsize,
     max_traces: usize,
     stats: &mut ExploreStats,
 ) -> Result<WalkEnd, EngineError> {
-    let mut trace = TraceLabels::new();
+    let base_depth = trace.len();
     while let Some(frame) = frames.last_mut() {
         if frame.next >= frame.transitions.len() {
             // Subtree exhausted: pop the frame, and the label that led
             // into it (the root frame has no such label).
             frames.pop();
-            if !frames.is_empty() {
+            if trace.len() > base_depth {
                 trace.pop();
             }
             continue;
@@ -168,6 +262,12 @@ fn walk_traces<E: Expr>(
     Ok(WalkEnd::Exhausted)
 }
 
+/// Trunk expansion stops after this many levels even if the fork frontier
+/// is still narrower than the pool: a frontier that fails to widen within
+/// a few levels is chain-shaped, and serialising more of it in the trunk
+/// would cost more than the parallelism it buys.
+const MAX_FORK_DEPTH: usize = 16;
+
 /// The iterative depth-first trace enumerator.
 ///
 /// Enumerates every trace prefix from the initial machine (every prefix of
@@ -203,6 +303,7 @@ impl TraceEngine {
         walk_traces(
             locs,
             vec![Frame::at(&m0, locs)],
+            TraceLabels::new(),
             visitor,
             &budget,
             self.config.max_traces,
@@ -211,35 +312,117 @@ impl TraceEngine {
         Ok(stats)
     }
 
-    /// Walks every trace from `m0`, sharded across the work-stealing pool:
-    /// each transition enabled at the *root* starts an independent label
-    /// stack explored with its own visitor from `make_visitor` (trace
-    /// subtrees share no state, so forking at the root frontier is exact).
+    /// Records the complete trace tree from `m0` — unfiltered and
+    /// unpruned, bounded by `config.max_traces` — as a [`TraceGraph`]
+    /// replayable under any number of predicates without re-running the
+    /// transition semantics. Each recorded node carries the extension's
+    /// label and the labels enabled at its target, which is everything
+    /// the label-level checkers consume.
     ///
-    /// The trace budget is a single atomic counter shared by every shard —
-    /// splitting the work never splits the budget, so for visitors that
-    /// run to exhaustion a sharded walk errs out if and only if the total
-    /// number of extensions exceeds `config.max_traces`, exactly like
-    /// [`TraceEngine::explore`]. The combined statistics and the
-    /// per-shard visitors (for verdict merging) are returned; shards are
-    /// reported in root-transition order regardless of which worker ran
-    /// them.
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BudgetExceeded`] if the full tree exceeds
+    /// `config.max_traces` extensions. (A *filtered* live walk can fit a
+    /// budget the full tree exceeds; recording trades that slack for
+    /// replayability.)
+    pub fn record<E: Expr>(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+    ) -> Result<(TraceGraph, ExploreStats), EngineError> {
+        const ROOT: u32 = u32::MAX;
+        struct RecFrame<E> {
+            node: u32,
+            transitions: Vec<Option<Transition<E>>>,
+            next: usize,
+        }
+        let mut stats = ExploreStats::default();
+        let mut nodes: Vec<RecordedNode> = Vec::new();
+        let mut pool: Vec<crate::machine::TransitionLabel> = Vec::new();
+        let mut budget = self.config.max_traces;
+
+        let root_ts = m0.transitions(locs);
+        let root_enabled: Vec<_> = root_ts.iter().map(|t| t.label).collect();
+        let mut stack = vec![RecFrame {
+            node: ROOT,
+            transitions: root_ts.into_iter().map(Some).collect(),
+            next: 0,
+        }];
+        while let Some(frame) = stack.last_mut() {
+            if frame.next >= frame.transitions.len() {
+                stack.pop();
+                continue;
+            }
+            let parent = frame.node;
+            let i = frame.next;
+            frame.next += 1;
+            stats.transitions += 1;
+            let t = frame.transitions[i]
+                .take()
+                .expect("transition consumed once");
+            if budget == 0 {
+                return Err(EngineError::budget(self.config.max_traces + 1));
+            }
+            budget -= 1;
+            stats.visited += 1;
+            let node = nodes.len() as u32;
+            let ts = t.target.transitions(locs);
+            let start = pool.len() as u32;
+            pool.extend(ts.iter().map(|c| c.label));
+            nodes.push(RecordedNode {
+                parent,
+                label: t.label,
+                enabled: (start, ts.len() as u32),
+            });
+            stack.push(RecFrame {
+                node,
+                transitions: ts.into_iter().map(Some).collect(),
+                next: 0,
+            });
+        }
+        Ok((TraceGraph::from_parts(nodes, pool, root_enabled), stats))
+    }
+
+    /// Walks every trace from `m0`, sharded across the work-stealing pool.
+    ///
+    /// Trace subtrees share no state, so any *frontier* of the tree is an
+    /// exact partition: by default each transition enabled at the root
+    /// starts an independent label stack explored with its own visitor
+    /// from `make_visitor`. When the root frontier is narrower than the
+    /// worker pool, the walk first expands a *trunk* — breadth-first, on
+    /// the calling thread, driven by a dedicated trunk visitor — until
+    /// the fork frontier is at least as wide as the pool (or stops
+    /// widening); the fork points then shard as usual, each seeded with
+    /// its prefix labels. Every trace prefix is still visited exactly
+    /// once, by exactly one visitor.
+    ///
+    /// The trace budget is a single atomic counter shared by the trunk
+    /// and every shard — splitting the work never splits the budget, so
+    /// for visitors that run to exhaustion a sharded walk errs out if and
+    /// only if the total number of extensions exceeds
+    /// `config.max_traces`, exactly like [`TraceEngine::explore`]. The
+    /// combined statistics and every visitor (the trunk visitor first,
+    /// then the shard visitors in fork order — root-transition order when
+    /// no trunk was needed) are returned for verdict merging;
+    /// [`TraceEngine::explore_sharded_merged`] folds them for
+    /// [`MergeableVisitor`]s.
     ///
     /// One shard returning [`Control::Stop`] does not interrupt its
-    /// siblings (they run to completion), and a stopped shard's verdict
-    /// takes precedence over a concurrent budget trip in another shard.
-    /// When a *stopping* visitor meets a budget close to the space it
-    /// would explore, which of the two lands first is search-order
-    /// dependent even sequentially (DFS and BFS intern different
-    /// prefixes); this engine resolves that race deterministically in
-    /// favour of the verdict.
+    /// siblings (they run to completion), and a stopped visitor's verdict
+    /// takes precedence over a concurrent budget trip in another shard;
+    /// a *trunk* stop ends the walk before the shards launch (its verdict
+    /// is already in hand). When a *stopping* visitor meets a budget
+    /// close to the space it would explore, which of the two lands first
+    /// is search-order dependent even sequentially (DFS and BFS intern
+    /// different prefixes); this engine resolves that race
+    /// deterministically in favour of the verdict.
     ///
     /// `threads == 0` means all cores (honouring `BDRST_ENGINE_THREADS`).
     ///
     /// # Errors
     ///
-    /// [`EngineError::BudgetExceeded`] if the shards jointly exceed
-    /// `config.max_traces` extensions and no shard stopped;
+    /// [`EngineError::BudgetExceeded`] if the walk jointly exceeds
+    /// `config.max_traces` extensions and no visitor stopped;
     /// [`EngineError::CorruptFrontier`] if any shard reaches a corrupted
     /// machine.
     pub fn explore_sharded<E, V, F>(
@@ -254,28 +437,85 @@ impl TraceEngine {
         V: TraceVisitor<E> + Send,
         F: Fn() -> V + Sync,
     {
-        let roots = m0.transitions(locs);
+        let workers = crate::engine::engine_threads(threads);
         let budget = AtomicUsize::new(self.config.max_traces);
         let max_traces = self.config.max_traces;
-        let shards: Vec<(V, ExploreStats, Result<WalkEnd, EngineError>)> =
-            parallel_map_with(&roots, threads, |t| {
-                let mut visitor = make_visitor();
-                let mut stats = ExploreStats::default();
-                let end = walk_traces(
-                    locs,
-                    vec![Frame::single(t.clone())],
-                    &mut visitor,
-                    &budget,
-                    max_traces,
-                    &mut stats,
-                );
-                (visitor, stats, end)
-            });
-
         let mut stats = ExploreStats::default();
-        let mut visitors = Vec::with_capacity(shards.len());
-        let mut stopped = false;
+
+        // The fork frontier: each entry is one unvisited transition plus
+        // the (already visited) prefix leading to it.
+        let mut forks: Vec<(TraceLabels, Transition<E>)> = m0
+            .transitions(locs)
+            .into_iter()
+            .map(|t| (TraceLabels::new(), t))
+            .collect();
+
+        let mut trunk = make_visitor();
+        let mut trunk_stopped = false;
         let mut budget_error = None;
+        let mut depth = 0;
+        while workers > 1
+            && !forks.is_empty()
+            && forks.len() < workers
+            && depth < MAX_FORK_DEPTH
+            && !trunk_stopped
+            && budget_error.is_none()
+        {
+            depth += 1;
+            let level = std::mem::take(&mut forks);
+            'level: for (prefix, t) in level {
+                stats.transitions += 1;
+                if !trunk.step_filter(&t) {
+                    continue;
+                }
+                if budget
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| b.checked_sub(1))
+                    .is_err()
+                {
+                    budget_error = Some(EngineError::budget(max_traces + 1));
+                    break 'level;
+                }
+                stats.visited += 1;
+                let mut trace = prefix;
+                trace.push(t.label);
+                match trunk.visit(&trace, &t) {
+                    Control::Stop => {
+                        trunk_stopped = true;
+                        break 'level;
+                    }
+                    Control::Prune => {}
+                    Control::Continue => {
+                        for child in t.target.transitions(locs) {
+                            forks.push((trace.clone(), child));
+                        }
+                    }
+                }
+            }
+        }
+
+        let shards: Vec<(V, ExploreStats, Result<WalkEnd, EngineError>)> =
+            if trunk_stopped || budget_error.is_some() {
+                Vec::new()
+            } else {
+                parallel_map_with(&forks, threads, |(prefix, t)| {
+                    let mut visitor = make_visitor();
+                    let mut stats = ExploreStats::default();
+                    let end = walk_traces(
+                        locs,
+                        vec![Frame::single(t.clone())],
+                        prefix.clone(),
+                        &mut visitor,
+                        &budget,
+                        max_traces,
+                        &mut stats,
+                    );
+                    (visitor, stats, end)
+                })
+            };
+
+        let mut visitors = Vec::with_capacity(shards.len() + 1);
+        visitors.push(trunk);
+        let mut stopped = trunk_stopped;
         for (visitor, shard_stats, end) in shards {
             stats.visited += shard_stats.visited;
             stats.transitions += shard_stats.transitions;
@@ -294,6 +534,35 @@ impl TraceEngine {
             Some(e) if !stopped => Err(e),
             _ => Ok((stats, visitors)),
         }
+    }
+
+    /// [`TraceEngine::explore_sharded`] for visitors whose verdicts merge:
+    /// folds every per-subtree visitor (trunk first, then fork order) into
+    /// one through [`MergeableVisitor::merge`], so checkers need no
+    /// per-call verdict plumbing.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceEngine::explore_sharded`].
+    pub fn explore_sharded_merged<E, V, F>(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+        threads: usize,
+        make_visitor: F,
+    ) -> Result<(ExploreStats, V), EngineError>
+    where
+        E: Expr + Send + Sync,
+        V: TraceVisitor<E> + MergeableVisitor + Send,
+        F: Fn() -> V + Sync,
+    {
+        let (stats, visitors) = self.explore_sharded(locs, m0, threads, make_visitor)?;
+        let mut it = visitors.into_iter();
+        let mut merged = it.next().expect("the trunk visitor is always present");
+        for v in it {
+            merged.merge(v);
+        }
+        Ok((stats, merged))
     }
 }
 
@@ -352,6 +621,133 @@ mod tests {
     }
 
     #[test]
+    fn dedup_modes_agree() {
+        let (locs, a, b) = locs_ab();
+        for order in [SearchOrder::Dfs, SearchOrder::Bfs] {
+            let fp =
+                WorklistEngine::with_dedup(EngineConfig::default(), order, Dedup::FingerprintFirst);
+            let full = WorklistEngine::with_dedup(EngineConfig::default(), order, Dedup::FullState);
+            assert_eq!(
+                terminal_reads(&fp, &locs, sb_machine(&locs, a, b)),
+                terminal_reads(&full, &locs, sb_machine(&locs, a, b))
+            );
+        }
+    }
+
+    #[test]
+    fn forced_collisions_do_not_change_dedup() {
+        // Truncate fingerprints to 4 bits: nearly everything collides, and
+        // the verified-equality path must keep the visited set exact.
+        let _guard = crate::engine::canon::collisions::force(4);
+        let (locs, a, b) = locs_ab();
+        let fp = WorklistEngine::with_dedup(
+            EngineConfig::default(),
+            SearchOrder::Dfs,
+            Dedup::FingerprintFirst,
+        );
+        let full =
+            WorklistEngine::with_dedup(EngineConfig::default(), SearchOrder::Dfs, Dedup::FullState);
+        let mut count_fp = 0usize;
+        fp.explore(
+            &locs,
+            sb_machine(&locs, a, b),
+            &mut |_: &Machine<RecordedExpr>, _: StateId| {
+                count_fp += 1;
+                Control::Continue
+            },
+        )
+        .unwrap();
+        let mut count_full = 0usize;
+        full.explore(
+            &locs,
+            sb_machine(&locs, a, b),
+            &mut |_: &Machine<RecordedExpr>, _: StateId| {
+                count_full += 1;
+                Control::Continue
+            },
+        )
+        .unwrap();
+        assert_eq!(count_fp, count_full);
+    }
+
+    /// Tiny deterministic generator (xorshift64*) for the in-crate random
+    /// program suite — the integration proptest suites cover the litmus
+    /// language; this one covers [`RecordedExpr`] with forced fingerprint
+    /// collisions, which only a unit test can switch on.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545f4914f6cdd1d)
+        }
+    }
+
+    #[test]
+    fn fingerprint_dedup_matches_full_dedup_on_random_programs_with_collisions() {
+        // 8-bit fingerprints over ≥128 random two-thread programs: the
+        // collision-verification path runs constantly, and the visited
+        // state count and terminal outcome set must match full-state
+        // dedup on every program.
+        let _guard = crate::engine::canon::collisions::force(8);
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let b = locs.fresh("b", LocKind::Nonatomic);
+        let f = locs.fresh("F", LocKind::Atomic);
+        let pool = [a, b, f];
+        let mut rng = Rng(0x5eed_cafe_f00d_1234);
+        for case in 0..128 {
+            let thread = |rng: &mut Rng| {
+                let len = 1 + (rng.next() % 4) as usize;
+                RecordedExpr::new(
+                    (0..len)
+                        .map(|_| {
+                            let l = pool[(rng.next() % 3) as usize];
+                            if rng.next().is_multiple_of(2) {
+                                StepLabel::Read(l)
+                            } else {
+                                StepLabel::Write(l, Val((rng.next() % 2 + 1) as i64))
+                            }
+                        })
+                        .collect(),
+                )
+            };
+            let prog = [thread(&mut rng), thread(&mut rng)];
+            let m0 = Machine::initial(&locs, prog);
+            let run = |dedup: Dedup| {
+                let engine =
+                    WorklistEngine::with_dedup(EngineConfig::default(), SearchOrder::Dfs, dedup);
+                let mut visited = 0usize;
+                let mut outcomes: BTreeSet<Vec<i64>> = BTreeSet::new();
+                engine
+                    .explore(
+                        &locs,
+                        m0.clone(),
+                        &mut |m: &Machine<RecordedExpr>, _: StateId| {
+                            visited += 1;
+                            if m.is_terminal() {
+                                outcomes.insert(
+                                    m.threads
+                                        .iter()
+                                        .flat_map(|t| t.expr.reads.iter().map(|v| v.0))
+                                        .collect(),
+                                );
+                            }
+                            Control::Continue
+                        },
+                    )
+                    .unwrap();
+                (visited, outcomes)
+            };
+            let fp = run(Dedup::FingerprintFirst);
+            let full = run(Dedup::FullState);
+            assert_eq!(fp, full, "dedup modes diverge on case {case}");
+        }
+    }
+
+    #[test]
     fn state_ids_are_dense_and_unique() {
         let (locs, a, b) = locs_ab();
         let engine = WorklistEngine::new(EngineConfig::default(), SearchOrder::Bfs);
@@ -393,6 +789,44 @@ mod tests {
     }
 
     #[test]
+    fn explore_graph_visits_same_state_set() {
+        let (locs, a, b) = locs_ab();
+        let engine = WorklistEngine::new(EngineConfig::default(), SearchOrder::Dfs);
+        let mut live = 0usize;
+        engine
+            .explore(
+                &locs,
+                sb_machine(&locs, a, b),
+                &mut |_: &Machine<RecordedExpr>, _: StateId| {
+                    live += 1;
+                    Control::Continue
+                },
+            )
+            .unwrap();
+        let (graph, stats) = engine
+            .explore_graph(&locs, sb_machine(&locs, a, b))
+            .unwrap();
+        assert_eq!(graph.len(), live);
+        assert_eq!(stats.visited, live);
+    }
+
+    #[test]
+    fn explore_graph_budget_is_enforced() {
+        let (locs, a, _) = locs_ab();
+        let mk = || RecordedExpr::new(vec![StepLabel::Write(a, Val(1)); 6]);
+        let m0 = Machine::initial(&locs, [mk(), mk(), mk()]);
+        let tiny = EngineConfig {
+            max_states: 10,
+            max_traces: 10,
+        };
+        let engine = WorklistEngine::new(tiny, SearchOrder::Dfs);
+        assert!(matches!(
+            engine.explore_graph(&locs, m0),
+            Err(EngineError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
     fn trace_engine_matches_recursive_interleaving_count() {
         let (locs, a, b) = locs_ab();
         let p0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1))]);
@@ -431,6 +865,12 @@ mod tests {
         }
     }
 
+    impl MergeableVisitor for CountComplete {
+        fn merge(&mut self, other: Self) {
+            self.complete += other.complete;
+        }
+    }
+
     #[test]
     fn sharded_trace_walk_matches_sequential() {
         let (locs, a, b) = locs_ab();
@@ -442,8 +882,10 @@ mod tests {
         let seq_stats = TraceEngine::new(EngineConfig::default())
             .explore(&locs, m0.clone(), &mut seq)
             .unwrap();
+        // workers (4) exceed the root frontier (2): the walk re-forks
+        // below the root, and the totals must still match exactly.
         let (shard_stats, visitors) = TraceEngine::new(EngineConfig::default())
-            .explore_sharded(&locs, m0, 4, || CountComplete {
+            .explore_sharded(&locs, m0.clone(), 4, || CountComplete {
                 len: 4,
                 complete: 0,
             })
@@ -452,6 +894,20 @@ mod tests {
         assert_eq!(seq.complete, sharded);
         assert_eq!(seq_stats.visited, shard_stats.visited);
         assert_eq!(seq_stats.transitions, shard_stats.transitions);
+        assert!(
+            visitors.len() > 3,
+            "root frontier (2) should have re-forked for 4 workers"
+        );
+
+        // The merged variant folds the same verdict.
+        let (merged_stats, merged) = TraceEngine::new(EngineConfig::default())
+            .explore_sharded_merged(&locs, m0, 4, || CountComplete {
+                len: 4,
+                complete: 0,
+            })
+            .unwrap();
+        assert_eq!(merged.complete, seq.complete);
+        assert_eq!(merged_stats.visited, seq_stats.visited);
     }
 
     #[test]
@@ -514,8 +970,43 @@ mod tests {
         let (stats, visitors) = TraceEngine::new(tiny)
             .explore_sharded(&locs, m0, 2, || StopNow)
             .unwrap();
-        assert_eq!(visitors.len(), 2); // one shard per root transition
+        // The root frontier (2) matches the worker count (2): no trunk
+        // expansion, one shard per root transition plus the idle trunk
+        // visitor.
+        assert_eq!(visitors.len(), 3);
         assert_eq!(stats.visited, 2); // each shard visited exactly one
+    }
+
+    #[test]
+    fn deep_sharding_narrow_root_matches_sequential() {
+        // A single thread: the root frontier has exactly one transition,
+        // the worst case for root-only forking. The trunk must re-fork
+        // and still visit every prefix exactly once.
+        let (locs, a, b) = locs_ab();
+        let p0 = RecordedExpr::new(vec![
+            StepLabel::Write(a, Val(1)),
+            StepLabel::Write(b, Val(1)),
+            StepLabel::Read(a),
+            StepLabel::Read(b),
+        ]);
+        let p1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+        let m0 = Machine::initial(&locs, [p0, p1]);
+        let mut seq = CountComplete {
+            len: 5,
+            complete: 0,
+        };
+        let seq_stats = TraceEngine::new(EngineConfig::default())
+            .explore(&locs, m0.clone(), &mut seq)
+            .unwrap();
+        let (shard_stats, merged) = TraceEngine::new(EngineConfig::default())
+            .explore_sharded_merged(&locs, m0, 8, || CountComplete {
+                len: 5,
+                complete: 0,
+            })
+            .unwrap();
+        assert_eq!(seq.complete, merged.complete);
+        assert_eq!(seq_stats.visited, shard_stats.visited);
+        assert_eq!(seq_stats.transitions, shard_stats.transitions);
     }
 
     #[test]

@@ -23,15 +23,28 @@
 //! uniformly.
 //!
 //! Every checker also has a `*_sharded` variant that forks the trace walk
-//! at the root frontier over the work-stealing pool
-//! ([`TraceEngine::explore_sharded`]): each enabled root transition gets
-//! an independent label stack and a fresh visitor, verdicts are merged
-//! afterwards (any shard's violation wins), and the trace budget is a
-//! single shared counter — a budget split never changes a verdict. The
-//! differential suites assert the sharded verdicts match the sequential
-//! ones across the corpus and generated programs.
+//! over the work-stealing pool
+//! ([`TraceEngine::explore_sharded_merged`]): each fork gets an
+//! independent label stack and a fresh visitor, verdicts are folded back
+//! through [`MergeableVisitor`] (any subtree's violation wins), and the
+//! trace budget is a single shared counter — a budget split never changes
+//! a verdict. The differential suites assert the sharded verdicts match
+//! the sequential ones across the corpus and generated programs.
+//!
+//! Finally, every checker has a `*_replayed` variant over a recorded
+//! [`TraceGraph`] ([`TraceEngine::record`]): the verdict logic of each
+//! visitor consumes only transition *labels* (and the labels enabled at
+//! reached states), so it implements [`ReplayVisitor`] alongside
+//! [`TraceVisitor`] and re-checks against the cached tree without running
+//! the transition semantics at all. Record the tree once, then check
+//! L-stability for many `L` sets, SC-race-freedom, and the weak-trace
+//! scan against the same recording — [`check_global_drf_cached`] does
+//! exactly that for Theorem 14's two scans.
 
-use crate::engine::{Control, EngineConfig, EngineError, ExploreStats, TraceEngine, TraceVisitor};
+use crate::engine::{
+    Control, EngineConfig, EngineError, ExploreStats, MergeableVisitor, ReplayStep, ReplayVisitor,
+    TraceEngine, TraceGraph, TraceVisitor,
+};
 use crate::loc::LocSet;
 use crate::machine::{Expr, Machine, Transition, TransitionLabel};
 use crate::trace::{conflicting, is_l_sequential, LocPredicate, TraceLabels};
@@ -102,7 +115,9 @@ fn races_with_prefix(locs: &LocSet, all: &TraceLabels, limit: usize) -> Option<u
 }
 
 /// Visitor for Definition 12: explores L-sequential suffixes and reports a
-/// race between any suffix transition and any prefix transition.
+/// race between any suffix transition and any prefix transition. The
+/// verdict consumes labels only, so the visitor drives live walks
+/// ([`TraceVisitor`]) and graph replays ([`ReplayVisitor`]) alike.
 struct LStabilityVisitor<'a> {
     locs: &'a LocSet,
     prefix: &'a [TransitionLabel],
@@ -110,12 +125,8 @@ struct LStabilityVisitor<'a> {
     stable: bool,
 }
 
-impl<E: Expr> TraceVisitor<E> for LStabilityVisitor<'_> {
-    fn step_filter(&mut self, t: &Transition<E>) -> bool {
-        is_l_sequential(&t.label, self.l_set)
-    }
-
-    fn visit(&mut self, suffix: &TraceLabels, _t: &Transition<E>) -> Control {
+impl LStabilityVisitor<'_> {
+    fn check(&mut self, suffix: &TraceLabels) -> Control {
         // Race between some prefix Ti and the transition just taken?
         let mut all = TraceLabels::from_labels(self.prefix.to_vec());
         for l in suffix.labels() {
@@ -126,6 +137,32 @@ impl<E: Expr> TraceVisitor<E> for LStabilityVisitor<'_> {
             return Control::Stop;
         }
         Control::Continue
+    }
+}
+
+impl<E: Expr> TraceVisitor<E> for LStabilityVisitor<'_> {
+    fn step_filter(&mut self, t: &Transition<E>) -> bool {
+        is_l_sequential(&t.label, self.l_set)
+    }
+
+    fn visit(&mut self, suffix: &TraceLabels, _t: &Transition<E>) -> Control {
+        self.check(suffix)
+    }
+}
+
+impl ReplayVisitor for LStabilityVisitor<'_> {
+    fn step_filter(&mut self, label: &TransitionLabel) -> bool {
+        is_l_sequential(label, self.l_set)
+    }
+
+    fn visit(&mut self, suffix: &TraceLabels, _step: ReplayStep<'_>) -> Control {
+        self.check(suffix)
+    }
+}
+
+impl MergeableVisitor for LStabilityVisitor<'_> {
+    fn merge(&mut self, other: Self) {
+        self.stable &= other.stable;
     }
 }
 
@@ -158,9 +195,9 @@ pub fn is_l_stable_for_prefix<E: Expr>(
     Ok(v.stable)
 }
 
-/// [`is_l_stable_for_prefix`], with the suffix exploration sharded at the
-/// root frontier across `threads` workers (0 = all cores). The state is
-/// L-stable iff every shard found its subtree race-free.
+/// [`is_l_stable_for_prefix`], with the suffix exploration sharded across
+/// `threads` workers (0 = all cores). The state is L-stable iff every
+/// subtree was found race-free.
 ///
 /// # Errors
 ///
@@ -173,8 +210,8 @@ pub fn is_l_stable_for_prefix_sharded<E: Expr + Send + Sync>(
     config: EngineConfig,
     threads: usize,
 ) -> Result<bool, EngineError> {
-    let (_, visitors) =
-        TraceEngine::new(config).explore_sharded(locs, prefix_machine, threads, || {
+    let (_, merged) =
+        TraceEngine::new(config).explore_sharded_merged(locs, prefix_machine, threads, || {
             LStabilityVisitor {
                 locs,
                 prefix,
@@ -182,11 +219,38 @@ pub fn is_l_stable_for_prefix_sharded<E: Expr + Send + Sync>(
                 stable: true,
             }
         })?;
-    Ok(visitors.iter().all(|v| v.stable))
+    Ok(merged.stable)
+}
+
+/// [`is_l_stable_for_prefix`] over a recorded [`TraceGraph`] of the
+/// prefix machine: re-checks Definition 12 (for this `prefix` and
+/// `l_set`) without re-running the transition semantics. One recording
+/// serves every `L` set and every prefix reaching the same machine.
+///
+/// # Errors
+///
+/// As [`is_l_stable_for_prefix`] (replay mirrors the live budget).
+pub fn is_l_stable_for_prefix_replayed(
+    locs: &LocSet,
+    prefix: &[TransitionLabel],
+    graph: &TraceGraph,
+    l_set: &LocPredicate,
+    config: EngineConfig,
+) -> Result<bool, EngineError> {
+    let mut v = LStabilityVisitor {
+        locs,
+        prefix,
+        l_set,
+        stable: true,
+    };
+    graph.replay(config, &mut v)?;
+    Ok(v.stable)
 }
 
 /// Visitor for Theorem 13: walks L-sequential suffixes, checking the
-/// theorem's conclusion at every reached state.
+/// theorem's conclusion at every reached state. The conclusion consumes
+/// only the *labels* of the transitions enabled at the reached state, so
+/// the same visitor drives live walks and graph replays.
 struct LocalDrfVisitor<'a> {
     locs: &'a LocSet,
     l_set: &'a LocPredicate,
@@ -194,26 +258,23 @@ struct LocalDrfVisitor<'a> {
 }
 
 impl<'a> LocalDrfVisitor<'a> {
-    /// Checks the theorem's conclusion at one state, reached via `suffix`.
-    fn check_state<E: Expr>(
+    /// Checks the theorem's conclusion at one state, reached via `suffix`,
+    /// whose enabled transitions carry the labels `enabled`.
+    fn check_state(
         &self,
         suffix: &TraceLabels,
-        machine: &Machine<E>,
+        enabled: impl Iterator<Item = TransitionLabel> + Clone,
     ) -> Option<LocalDrfViolation> {
-        let transitions = machine.transitions(self.locs);
-        let non_l_seq: Vec<_> = transitions
-            .iter()
-            .filter(|t| !is_l_sequential(&t.label, self.l_set))
-            .collect();
-        if non_l_seq.is_empty() {
+        let mut non_l_seq = enabled.clone().filter(|l| !is_l_sequential(l, self.l_set));
+        let Some(offending) = non_l_seq.next() else {
             return None; // first disjunct: all transitions L-sequential
-        }
+        };
         // Second disjunct: find a non-weak transition on L racing with a Ti.
-        let witness_exists = transitions.iter().any(|t| {
-            if t.label.weak {
+        let witness_exists = enabled.into_iter().any(|label| {
+            if label.weak {
                 return false;
             }
-            let Some(action) = t.label.action else {
+            let Some(action) = label.action else {
                 return false;
             };
             if !self.l_set.contains(&action.loc) {
@@ -221,7 +282,7 @@ impl<'a> LocalDrfVisitor<'a> {
             }
             // Race between some suffix Ti and this transition?
             let mut all = suffix.clone();
-            all.push(t.label);
+            all.push(label);
             races_with_prefix(self.locs, &all, all.len() - 1).is_some()
         });
         if witness_exists {
@@ -229,9 +290,21 @@ impl<'a> LocalDrfVisitor<'a> {
         } else {
             Some(LocalDrfViolation {
                 suffix: suffix.labels().to_vec(),
-                offending: non_l_seq[0].label,
+                offending,
             })
         }
+    }
+
+    fn check(
+        &mut self,
+        suffix: &TraceLabels,
+        enabled: impl Iterator<Item = TransitionLabel> + Clone,
+    ) -> Control {
+        if let Some(v) = self.check_state(suffix, enabled) {
+            self.violation = Some(v);
+            return Control::Stop;
+        }
+        Control::Continue
     }
 }
 
@@ -241,11 +314,26 @@ impl<E: Expr> TraceVisitor<E> for LocalDrfVisitor<'_> {
     }
 
     fn visit(&mut self, suffix: &TraceLabels, t: &Transition<E>) -> Control {
-        if let Some(v) = self.check_state(suffix, &t.target) {
-            self.violation = Some(v);
-            return Control::Stop;
+        let enabled = t.target.transitions(self.locs);
+        self.check(suffix, enabled.iter().map(|t| t.label))
+    }
+}
+
+impl ReplayVisitor for LocalDrfVisitor<'_> {
+    fn step_filter(&mut self, label: &TransitionLabel) -> bool {
+        is_l_sequential(label, self.l_set)
+    }
+
+    fn visit(&mut self, suffix: &TraceLabels, step: ReplayStep<'_>) -> Control {
+        self.check(suffix, step.enabled.iter().copied())
+    }
+}
+
+impl MergeableVisitor for LocalDrfVisitor<'_> {
+    fn merge(&mut self, other: Self) {
+        if self.violation.is_none() {
+            self.violation = other.violation;
         }
-        Control::Continue
     }
 }
 
@@ -276,7 +364,8 @@ pub fn check_local_drf<E: Expr>(
     };
 
     // The empty suffix (state `m` itself) must also satisfy the theorem.
-    if let Some(v) = visitor.check_state(&TraceLabels::new(), &m) {
+    let enabled: Vec<TransitionLabel> = m.transitions(locs).iter().map(|t| t.label).collect();
+    if let Some(v) = visitor.check_state(&TraceLabels::new(), enabled.iter().copied()) {
         return Err(CheckError::Violation(v));
     }
 
@@ -287,10 +376,9 @@ pub fn check_local_drf<E: Expr>(
     }
 }
 
-/// [`check_local_drf`], with the L-sequential suffix walk sharded at the
-/// root frontier across `threads` workers (0 = all cores). Any shard's
-/// counterexample fails the theorem (the first, in root-transition order,
-/// is reported).
+/// [`check_local_drf`], with the L-sequential suffix walk sharded across
+/// `threads` workers (0 = all cores). Any subtree's counterexample fails
+/// the theorem (the first, in trunk-then-fork order, is reported).
 ///
 /// # Errors
 ///
@@ -308,18 +396,54 @@ pub fn check_local_drf_sharded<E: Expr + Send + Sync>(
         violation: None,
     };
     // The empty suffix (state `m` itself) must also satisfy the theorem.
-    if let Some(v) = probe.check_state(&TraceLabels::new(), &m) {
+    let enabled: Vec<TransitionLabel> = m.transitions(locs).iter().map(|t| t.label).collect();
+    if let Some(v) = probe.check_state(&TraceLabels::new(), enabled.iter().copied()) {
         return Err(CheckError::Violation(v));
     }
 
-    let (stats, visitors) = TraceEngine::new(config)
-        .explore_sharded(locs, m, threads, || LocalDrfVisitor {
+    let (stats, merged) = TraceEngine::new(config)
+        .explore_sharded_merged(locs, m, threads, || LocalDrfVisitor {
             locs,
             l_set,
             violation: None,
         })
         .map_err(CheckError::from)?;
-    match visitors.into_iter().find_map(|v| v.violation) {
+    match merged.violation {
+        Some(v) => Err(CheckError::Violation(v)),
+        None => Ok(stats),
+    }
+}
+
+/// [`check_local_drf`] over a recorded [`TraceGraph`] of the checked
+/// machine: Theorem 13 is re-verified — for any `l_set` — against the
+/// cached tree, without re-running the transition semantics. The
+/// recorded per-node enabled labels supply both the theorem's "every
+/// enabled transition is L-sequential" disjunct and its racing-witness
+/// search.
+///
+/// # Errors
+///
+/// As [`check_local_drf`] (replay mirrors the live budget).
+pub fn check_local_drf_replayed(
+    locs: &LocSet,
+    graph: &TraceGraph,
+    l_set: &LocPredicate,
+    config: EngineConfig,
+) -> Result<ExploreStats, CheckError<LocalDrfViolation>> {
+    let mut visitor = LocalDrfVisitor {
+        locs,
+        l_set,
+        violation: None,
+    };
+    // The empty suffix (the recorded root) must also satisfy the theorem.
+    if let Some(v) = visitor.check_state(&TraceLabels::new(), graph.root_enabled().iter().copied())
+    {
+        return Err(CheckError::Violation(v));
+    }
+    let stats = graph
+        .replay(config, &mut visitor)
+        .map_err(CheckError::from)?;
+    match visitor.violation {
         Some(v) => Err(CheckError::Violation(v)),
         None => Ok(stats),
     }
@@ -350,12 +474,8 @@ struct ScRaceVisitor<'a> {
     status: DrfStatus,
 }
 
-impl<E: Expr> TraceVisitor<E> for ScRaceVisitor<'_> {
-    fn step_filter(&mut self, t: &Transition<E>) -> bool {
-        !t.label.weak
-    }
-
-    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<E>) -> Control {
+impl ScRaceVisitor<'_> {
+    fn check(&mut self, trace: &TraceLabels) -> Control {
         // Only the freshly appended transition needs checking: earlier
         // pairs were checked on earlier prefixes.
         let n = trace.len() - 1;
@@ -367,6 +487,34 @@ impl<E: Expr> TraceVisitor<E> for ScRaceVisitor<'_> {
             return Control::Stop;
         }
         Control::Continue
+    }
+}
+
+impl<E: Expr> TraceVisitor<E> for ScRaceVisitor<'_> {
+    fn step_filter(&mut self, t: &Transition<E>) -> bool {
+        !t.label.weak
+    }
+
+    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<E>) -> Control {
+        self.check(trace)
+    }
+}
+
+impl ReplayVisitor for ScRaceVisitor<'_> {
+    fn step_filter(&mut self, label: &TransitionLabel) -> bool {
+        !label.weak
+    }
+
+    fn visit(&mut self, trace: &TraceLabels, _step: ReplayStep<'_>) -> Control {
+        self.check(trace)
+    }
+}
+
+impl MergeableVisitor for ScRaceVisitor<'_> {
+    fn merge(&mut self, other: Self) {
+        if matches!(self.status, DrfStatus::RaceFree) {
+            self.status = other.status;
+        }
     }
 }
 
@@ -390,10 +538,10 @@ pub fn sc_race_freedom<E: Expr>(
     Ok(v.status)
 }
 
-/// [`sc_race_freedom`], with the SC-trace enumeration sharded at the root
-/// frontier across `threads` workers (0 = all cores). The program is racy
-/// iff any shard's subtree contains a racy SC trace; the classification
-/// (not the witness) matches the sequential checker exactly.
+/// [`sc_race_freedom`], with the SC-trace enumeration sharded across
+/// `threads` workers (0 = all cores). The program is racy iff any
+/// subtree contains a racy SC trace; the classification (not the
+/// witness) matches the sequential checker exactly.
 ///
 /// # Errors
 ///
@@ -404,16 +552,34 @@ pub fn sc_race_freedom_sharded<E: Expr + Send + Sync>(
     config: EngineConfig,
     threads: usize,
 ) -> Result<DrfStatus, EngineError> {
-    let (_, visitors) =
-        TraceEngine::new(config).explore_sharded(locs, m0, threads, || ScRaceVisitor {
+    let (_, merged) =
+        TraceEngine::new(config).explore_sharded_merged(locs, m0, threads, || ScRaceVisitor {
             locs,
             status: DrfStatus::RaceFree,
         })?;
-    Ok(visitors
-        .into_iter()
-        .map(|v| v.status)
-        .find(|s| matches!(s, DrfStatus::Racy(_)))
-        .unwrap_or(DrfStatus::RaceFree))
+    Ok(merged.status)
+}
+
+/// [`sc_race_freedom`] over a recorded [`TraceGraph`]: classifies the
+/// program from the cached tree, without re-running the transition
+/// semantics. Verdicts — including the witness — are identical to the
+/// sequential checker's, because the replay walks extensions in the same
+/// depth-first order under the same SC filter.
+///
+/// # Errors
+///
+/// As [`sc_race_freedom`] (replay mirrors the live budget).
+pub fn sc_race_freedom_replayed(
+    locs: &LocSet,
+    graph: &TraceGraph,
+    config: EngineConfig,
+) -> Result<DrfStatus, EngineError> {
+    let mut v = ScRaceVisitor {
+        locs,
+        status: DrfStatus::RaceFree,
+    };
+    graph.replay(config, &mut v)?;
+    Ok(v.status)
 }
 
 /// Visitor that stops at the first trace containing a weak transition.
@@ -421,14 +587,34 @@ struct WeakTraceVisitor {
     witness: Option<TransitionLabel>,
 }
 
-impl<E: Expr> TraceVisitor<E> for WeakTraceVisitor {
-    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<E>) -> Control {
+impl WeakTraceVisitor {
+    fn check(&mut self, trace: &TraceLabels) -> Control {
         let last = *trace.labels().last().expect("non-empty");
         if last.weak {
             self.witness = Some(last);
             return Control::Stop;
         }
         Control::Continue
+    }
+}
+
+impl<E: Expr> TraceVisitor<E> for WeakTraceVisitor {
+    fn visit(&mut self, trace: &TraceLabels, _t: &Transition<E>) -> Control {
+        self.check(trace)
+    }
+}
+
+impl ReplayVisitor for WeakTraceVisitor {
+    fn visit(&mut self, trace: &TraceLabels, _step: ReplayStep<'_>) -> Control {
+        self.check(trace)
+    }
+}
+
+impl MergeableVisitor for WeakTraceVisitor {
+    fn merge(&mut self, other: Self) {
+        if self.witness.is_none() {
+            self.witness = other.witness;
+        }
     }
 }
 
@@ -450,8 +636,8 @@ pub fn all_traces_sequentially_consistent<E: Expr>(
     Ok(v.witness.is_none())
 }
 
-/// [`all_traces_sequentially_consistent`], sharded at the root frontier
-/// across `threads` workers (0 = all cores).
+/// [`all_traces_sequentially_consistent`], sharded across `threads`
+/// workers (0 = all cores).
 ///
 /// # Errors
 ///
@@ -462,9 +648,26 @@ pub fn all_traces_sequentially_consistent_sharded<E: Expr + Send + Sync>(
     config: EngineConfig,
     threads: usize,
 ) -> Result<bool, EngineError> {
-    let (_, visitors) = TraceEngine::new(config)
-        .explore_sharded(locs, m0, threads, || WeakTraceVisitor { witness: None })?;
-    Ok(visitors.iter().all(|v| v.witness.is_none()))
+    let (_, merged) = TraceEngine::new(config)
+        .explore_sharded_merged(locs, m0, threads, || WeakTraceVisitor { witness: None })?;
+    Ok(merged.witness.is_none())
+}
+
+/// [`all_traces_sequentially_consistent`] over a recorded [`TraceGraph`]:
+/// scans the cached tree for a weak transition without re-running the
+/// semantics.
+///
+/// # Errors
+///
+/// As [`all_traces_sequentially_consistent`] (replay mirrors the live
+/// budget).
+pub fn all_traces_sequentially_consistent_replayed(
+    graph: &TraceGraph,
+    config: EngineConfig,
+) -> Result<bool, EngineError> {
+    let mut v = WeakTraceVisitor { witness: None };
+    graph.replay(config, &mut v)?;
+    Ok(v.witness.is_none())
 }
 
 /// A counterexample to Theorem 14: the program is data-race-free under
@@ -519,10 +722,46 @@ pub fn check_global_drf_sharded<E: Expr + Send + Sync>(
 ) -> Result<DrfStatus, CheckError<GlobalDrfViolation>> {
     let status = sc_race_freedom_sharded(locs, m0.clone(), config, threads)?;
     if let DrfStatus::RaceFree = status {
-        let (_, visitors) = TraceEngine::new(config)
-            .explore_sharded(locs, m0, threads, || WeakTraceVisitor { witness: None })
+        let (_, merged) = TraceEngine::new(config)
+            .explore_sharded_merged(locs, m0, threads, || WeakTraceVisitor { witness: None })
             .map_err(CheckError::from)?;
-        if let Some(weak_transition) = visitors.into_iter().find_map(|v| v.witness) {
+        if let Some(weak_transition) = merged.witness {
+            return Err(CheckError::Violation(GlobalDrfViolation {
+                weak_transition,
+            }));
+        }
+    }
+    Ok(status)
+}
+
+/// [`check_global_drf`] over one shared recording: Theorem 14 needs two
+/// trace enumerations (the SC race scan and the weak-transition scan),
+/// which the plain checker runs as two live walks. This variant records
+/// the trace tree once ([`TraceEngine::record`]) and replays both scans
+/// against it, so the transition semantics runs exactly once for the two
+/// predicates — the cross-check caching the successor-graph work is
+/// about.
+///
+/// # Errors
+///
+/// As [`check_global_drf`], with one caveat: the *recording* enumerates
+/// the full (unfiltered) tree, so a budget that fits the SC-filtered scan
+/// but not the whole tree fails here where the plain checker would
+/// succeed. With the default budgets the verdicts coincide on every
+/// corpus and generated program (the differential suite checks).
+pub fn check_global_drf_cached<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: EngineConfig,
+) -> Result<DrfStatus, CheckError<GlobalDrfViolation>> {
+    let (graph, _) = TraceEngine::new(config)
+        .record(locs, m0)
+        .map_err(CheckError::from)?;
+    let status = sc_race_freedom_replayed(locs, &graph, config)?;
+    if let DrfStatus::RaceFree = status {
+        let mut v = WeakTraceVisitor { witness: None };
+        graph.replay(config, &mut v).map_err(CheckError::from)?;
+        if let Some(weak_transition) = v.witness {
             return Err(CheckError::Violation(GlobalDrfViolation {
                 weak_transition,
             }));
@@ -744,6 +983,111 @@ mod tests {
                     assert_eq!(visited, tiny.max_traces + 1)
                 }
                 other => panic!("expected budget error, got {other:?}"),
+            }
+        }
+    }
+
+    /// An [`Expr`] wrapper that counts every transition-semantics probe
+    /// (`steps()` calls): the instrument behind the no-re-execution
+    /// guarantees of the `*_replayed` checkers.
+    #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+    struct CountedExpr(RecordedExpr);
+
+    static STEP_PROBES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    impl crate::machine::Expr for CountedExpr {
+        fn steps(&self) -> Vec<StepLabel> {
+            STEP_PROBES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.0.steps()
+        }
+
+        fn apply_step(&self, index: usize, read_value: Val) -> CountedExpr {
+            CountedExpr(self.0.apply_step(index, read_value))
+        }
+    }
+
+    #[test]
+    fn replayed_checkers_match_live_without_semantics() {
+        let (locs, a, b, f) = locs_abf();
+        // One racy and one race-free program.
+        let progs: Vec<Vec<RecordedExpr>> = vec![
+            vec![
+                RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(a)]),
+                RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]),
+            ],
+            vec![
+                RecordedExpr::new(vec![
+                    StepLabel::Write(a, Val(1)),
+                    StepLabel::Write(f, Val(1)),
+                    StepLabel::Read(b),
+                ]),
+                RecordedExpr::new(vec![
+                    StepLabel::Read(f),
+                    StepLabel::Write(b, Val(1)),
+                    StepLabel::Read(a),
+                ]),
+            ],
+        ];
+        let l: LocPredicate = [a, b].into_iter().collect();
+        for prog in progs {
+            let counted = Machine::initial(&locs, prog.iter().cloned().map(CountedExpr));
+            let plain = Machine::initial(&locs, prog);
+
+            // Live verdicts (sequential oracles).
+            let live_sc = sc_race_freedom(&locs, plain.clone(), cfg()).unwrap();
+            let live_all_sc =
+                all_traces_sequentially_consistent(&locs, plain.clone(), cfg()).unwrap();
+            let live_drf = check_local_drf(&locs, plain.clone(), &l, cfg());
+            let live_stable = is_l_stable_for_prefix(&locs, &[], plain.clone(), &l, cfg()).unwrap();
+            let live_global = check_global_drf(&locs, plain, cfg());
+
+            // Record once — this is the only place the semantics runs.
+            let (graph, _) = TraceEngine::new(cfg()).record(&locs, counted).unwrap();
+            let before = STEP_PROBES.load(std::sync::atomic::Ordering::Relaxed);
+
+            let rep_sc = sc_race_freedom_replayed(&locs, &graph, cfg()).unwrap();
+            let rep_all_sc = all_traces_sequentially_consistent_replayed(&graph, cfg()).unwrap();
+            let rep_drf = check_local_drf_replayed(&locs, &graph, &l, cfg());
+            let rep_stable =
+                is_l_stable_for_prefix_replayed(&locs, &[], &graph, &l, cfg()).unwrap();
+
+            // The replays must not have probed the semantics at all.
+            let after = STEP_PROBES.load(std::sync::atomic::Ordering::Relaxed);
+            assert_eq!(before, after, "replay invoked the transition semantics");
+
+            assert_eq!(live_sc, rep_sc);
+            assert_eq!(live_all_sc, rep_all_sc);
+            assert_eq!(live_drf.is_ok(), rep_drf.is_ok());
+            assert_eq!(live_stable, rep_stable);
+            // Theorem 14 holds live, so the replayed scans must be
+            // consistent with it: racy, or all traces SC.
+            assert!(live_global.is_ok());
+            assert!(matches!(rep_sc, DrfStatus::Racy(_)) || rep_all_sc);
+        }
+    }
+
+    #[test]
+    fn cached_global_drf_matches_live() {
+        let (locs, a, _b, f) = locs_abf();
+        let drf0 = RecordedExpr::new(vec![
+            StepLabel::Write(a, Val(1)),
+            StepLabel::Write(f, Val(1)),
+        ]);
+        let drf1 = RecordedExpr::new(vec![StepLabel::Read(f)]);
+        let racy0 = RecordedExpr::new(vec![StepLabel::Write(a, Val(1)), StepLabel::Read(a)]);
+        let racy1 = RecordedExpr::new(vec![StepLabel::Write(a, Val(2))]);
+        for m0 in [
+            Machine::initial(&locs, [drf0, drf1]),
+            Machine::initial(&locs, [racy0, racy1]),
+        ] {
+            let live = check_global_drf(&locs, m0.clone(), cfg());
+            let cached = check_global_drf_cached(&locs, m0, cfg());
+            match (&live, &cached) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    matches!(a, DrfStatus::Racy(_)),
+                    matches!(b, DrfStatus::Racy(_))
+                ),
+                other => panic!("verdicts diverge: {other:?}"),
             }
         }
     }

@@ -173,6 +173,33 @@ impl<E: Expr> Machine<E> {
         self.threads.iter().all(|t| t.expr.steps().is_empty())
     }
 
+    /// The successor machine of one transition: `store` replaces the
+    /// shared store (`None` = unchanged, cloned from `self`), and thread
+    /// `ti` gets the new frontier and expression. Building the target
+    /// directly — instead of cloning the whole machine and overwriting
+    /// the changed parts — keeps the per-transition allocation cost to
+    /// exactly what the successor needs: the old hot path cloned (and
+    /// immediately dropped) the full store, the acting thread's frontier,
+    /// and its expression on every memory transition.
+    fn target(&self, ti: usize, store: Option<Store>, frontier: Frontier, expr: E) -> Machine<E> {
+        let mut acting = Some(ThreadState { frontier, expr });
+        Machine {
+            store: store.unwrap_or_else(|| self.store.clone()),
+            threads: self
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(j, t)| {
+                    if j == ti {
+                        acting.take().expect("exactly one acting thread")
+                    } else {
+                        t.clone()
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// Enumerates every enabled machine transition (rules Silent and
     /// Memory, Fig. 1b), including every nondeterministic memory outcome.
     pub fn transitions(&self, locs: &LocSet) -> Vec<Transition<E>> {
@@ -182,8 +209,7 @@ impl<E: Expr> Machine<E> {
             for (si, step) in thread.expr.steps().into_iter().enumerate() {
                 match step {
                     StepLabel::Silent => {
-                        let mut m = self.clone();
-                        m.threads[ti].expr = thread.expr.apply_step(si, Val::INIT);
+                        let expr = thread.expr.apply_step(si, Val::INIT);
                         out.push(Transition {
                             label: TransitionLabel {
                                 thread: tid,
@@ -191,15 +217,12 @@ impl<E: Expr> Machine<E> {
                                 timestamp: None,
                                 weak: false,
                             },
-                            target: m,
+                            target: self.target(ti, None, thread.frontier.clone(), expr),
                         });
                     }
                     StepLabel::Read(loc) => {
                         for r in perform_read(locs, &self.store, &thread.frontier, loc) {
-                            let mut m = self.clone();
-                            m.store = r.store;
-                            m.threads[ti].frontier = r.frontier;
-                            m.threads[ti].expr = thread.expr.apply_step(si, r.label.action.value());
+                            let expr = thread.expr.apply_step(si, r.label.action.value());
                             out.push(Transition {
                                 label: TransitionLabel {
                                     thread: tid,
@@ -207,16 +230,13 @@ impl<E: Expr> Machine<E> {
                                     timestamp: r.timestamp,
                                     weak: r.weak,
                                 },
-                                target: m,
+                                target: self.target(ti, r.store, r.frontier, expr),
                             });
                         }
                     }
                     StepLabel::Write(loc, x) => {
                         for w in perform_write(locs, &self.store, &thread.frontier, loc, x) {
-                            let mut m = self.clone();
-                            m.store = w.store;
-                            m.threads[ti].frontier = w.frontier;
-                            m.threads[ti].expr = thread.expr.apply_step(si, Val::INIT);
+                            let expr = thread.expr.apply_step(si, Val::INIT);
                             out.push(Transition {
                                 label: TransitionLabel {
                                     thread: tid,
@@ -224,7 +244,7 @@ impl<E: Expr> Machine<E> {
                                     timestamp: w.timestamp,
                                     weak: w.weak,
                                 },
-                                target: m,
+                                target: self.target(ti, w.store, w.frontier, expr),
                             });
                         }
                     }

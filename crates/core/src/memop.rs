@@ -28,8 +28,13 @@ use crate::timestamp::Timestamp;
 /// One outcome of applying a memory operation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct OpResult {
-    /// The store after the operation (`S[ℓ ↦ C′]`).
-    pub store: Store,
+    /// The store after the operation (`S[ℓ ↦ C′]`), or `None` when the
+    /// rule leaves the store unchanged — both read rules (Read-NA and
+    /// Read-AT only move *frontiers*). Returning `None` instead of a
+    /// clone keeps the read-heavy exploration hot path allocation-free
+    /// on the store side; [`OpResult::store_after`] resolves it against
+    /// the pre-operation store.
+    pub store: Option<Store>,
     /// The acting thread's frontier after the operation (`F′`).
     pub frontier: Frontier,
     /// The labelled action `ℓ : ϕ` that was performed.
@@ -40,6 +45,14 @@ pub struct OpResult {
     /// that does not witness the latest value, or a nonatomic write whose
     /// timestamp is not the new maximum.
     pub weak: bool,
+}
+
+impl OpResult {
+    /// The store after the operation, cloning `base` (the store the
+    /// operation ran against) when the rule left it unchanged.
+    pub fn store_after(&self, base: &Store) -> Store {
+        self.store.clone().unwrap_or_else(|| base.clone())
+    }
 }
 
 /// All outcomes of reading `loc` with thread frontier `frontier`.
@@ -59,7 +72,7 @@ pub fn perform_read(locs: &LocSet, store: &Store, frontier: &Frontier, loc: Loc)
             debug_assert!(frontier.get(loc) <= latest_t, "frontier beyond history");
             h.readable_from(frontier.get(loc))
                 .map(|(t, v)| OpResult {
-                    store: store.clone(),
+                    store: None,
                     frontier: frontier.clone(),
                     label: LabeledAction {
                         loc,
@@ -76,7 +89,7 @@ pub fn perform_read(locs: &LocSet, store: &Store, frontier: &Frontier, loc: Loc)
             let (floc, v) = store.atomic(loc);
             let merged = floc.join(frontier);
             vec![OpResult {
-                store: store.clone(),
+                store: None,
                 frontier: merged,
                 label: LabeledAction {
                     loc,
@@ -118,7 +131,7 @@ pub fn perform_write(
                     let mut f2 = frontier.clone();
                     f2.advance(loc, t);
                     OpResult {
-                        store: st,
+                        store: Some(st),
                         frontier: f2,
                         label: LabeledAction {
                             loc,
@@ -143,7 +156,7 @@ pub fn perform_write(
                 },
             );
             vec![OpResult {
-                store: st,
+                store: Some(st),
                 frontier: merged,
                 label: LabeledAction {
                     loc,
@@ -191,7 +204,7 @@ mod tests {
         assert_eq!(outs[0].label.action, Action::Read(Val::INIT));
         assert!(!outs[0].weak);
         // Read-NA leaves store and frontier unchanged.
-        assert_eq!(outs[0].store, fx.store);
+        assert_eq!(outs[0].store, None, "Read-NA leaves the store untouched");
         assert_eq!(outs[0].frontier, fx.f0);
     }
 
@@ -202,7 +215,7 @@ mod tests {
         let w = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
         assert_eq!(w.len(), 1);
         assert!(!w[0].weak);
-        let store = w[0].store.clone();
+        let store = w[0].store_after(&fx.store);
         // A thread still at the initial frontier can read both entries.
         let outs = perform_read(&fx.locs, &store, &fx.f0, fx.a);
         assert_eq!(outs.len(), 2);
@@ -227,7 +240,7 @@ mod tests {
         let fx = fixture();
         // Thread 1 writes 1; thread 2 (frontier still initial) writes 2.
         let w1 = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
-        let store = w1[0].store.clone();
+        let store = w1[0].store_after(&fx.store);
         let w2 = perform_write(&fx.locs, &store, &fx.f0, fx.a, Val(2));
         // Two gaps: before thread 1's write (weak), after it (strong).
         assert_eq!(w2.len(), 2);
@@ -245,8 +258,10 @@ mod tests {
         // equals the latest write's value is NOT weak.
         let fx = fixture();
         let w1 = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(7));
-        let w2 = perform_write(&fx.locs, &w1[0].store, &w1[0].frontier, fx.a, Val(7));
-        let outs = perform_read(&fx.locs, &w2[0].store, &fx.f0, fx.a);
+        let s1 = w1[0].store_after(&fx.store);
+        let w2 = perform_write(&fx.locs, &s1, &w1[0].frontier, fx.a, Val(7));
+        let s2 = w2[0].store_after(&s1);
+        let outs = perform_read(&fx.locs, &s2, &fx.f0, fx.a);
         for o in &outs {
             if o.label.action == Action::Read(Val(7)) {
                 assert!(!o.weak);
@@ -259,9 +274,10 @@ mod tests {
         let fx = fixture();
         // Thread 1 writes a=1 then FLAG=1 (publishing its frontier).
         let w = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
-        let wf = perform_write(&fx.locs, &w[0].store, &w[0].frontier, fx.flag, Val(1));
+        let s1 = w[0].store_after(&fx.store);
+        let wf = perform_write(&fx.locs, &s1, &w[0].frontier, fx.flag, Val(1));
         assert_eq!(wf.len(), 1);
-        let store = wf[0].store.clone();
+        let store = wf[0].store_after(&s1);
         // Thread 2 reads FLAG: its frontier must now include a's write.
         let r = perform_read(&fx.locs, &store, &fx.f0, fx.flag);
         assert_eq!(r.len(), 1);
@@ -277,8 +293,10 @@ mod tests {
     fn atomic_write_publishes_join() {
         let fx = fixture();
         let w = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
-        let wf = perform_write(&fx.locs, &w[0].store, &w[0].frontier, fx.flag, Val(9));
-        let (floc, v) = wf[0].store.atomic(fx.flag);
+        let s1 = w[0].store_after(&fx.store);
+        let wf = perform_write(&fx.locs, &s1, &w[0].frontier, fx.flag, Val(9));
+        let st = wf[0].store_after(&s1);
+        let (floc, v) = st.atomic(fx.flag);
         assert_eq!(v, Val(9));
         assert_eq!(floc.get(fx.a), w[0].timestamp.unwrap());
         // Atomic ops are never weak.
@@ -294,7 +312,7 @@ mod tests {
             // last (newest) to build a 4-entry history.
             let outs = perform_write(&fx.locs, &store, &fx.f0, fx.a, Val(i));
             assert_eq!(outs.len(), i as usize);
-            store = outs.last().unwrap().store.clone();
+            store = outs.last().unwrap().store_after(&store);
         }
         assert_eq!(store.history(fx.a).len(), 4);
     }

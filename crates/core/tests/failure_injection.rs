@@ -54,7 +54,7 @@ fn step(
                     // Re-publish only the value; keep the location's old
                     // frontier (drop the release half).
                     let (old_frontier, _) = store.atomic(loc(l));
-                    let mut st = o.store.clone();
+                    let mut st = o.store_after(store);
                     let v = o.label.action.value();
                     st.update(
                         loc(l),
@@ -63,10 +63,11 @@ fn step(
                             value: v,
                         },
                     );
-                    o.store = st;
+                    o.store = Some(st);
                 }
             }
-            (o.store, o.frontier, o.label.action.value())
+            let st = o.store_after(store);
+            (st, o.frontier, o.label.action.value())
         })
         .collect()
 }

@@ -4,7 +4,9 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use bdrst_core::engine::{EngineError, Strategy};
+use bdrst_core::engine::{
+    EngineError, ExploreStats, SearchOrder, StateGraph, Strategy, WorklistEngine,
+};
 use bdrst_core::explore::{reachable_terminals, reachable_terminals_with, ExploreConfig};
 use bdrst_core::loc::{Loc, LocKind, LocSet, Val};
 use bdrst_core::machine::Machine;
@@ -128,6 +130,45 @@ impl Program {
             program: self.clone(),
             set: terminals.iter().map(|m| self.observe(m)).collect(),
         })
+    }
+
+    /// Fully explores the program's state space once, returning the
+    /// interned successor graph (per dense state id: successors, terminal
+    /// flag, and the canonical state itself) for replay-based
+    /// re-checking — see [`Program::outcomes_from_graph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the state space exceeds the budget.
+    pub fn state_graph(
+        &self,
+        config: ExploreConfig,
+    ) -> Result<(StateGraph<ThreadState>, ExploreStats), EngineError> {
+        WorklistEngine::new(config, SearchOrder::Dfs)
+            .explore_graph(&self.locs, self.initial_machine())
+    }
+
+    /// Re-derives the program's outcome set from a cached successor
+    /// graph, without re-running the transition semantics: terminal
+    /// canonical states already carry the final register files (thread
+    /// expressions) and the coherence-latest value of every location.
+    /// Equals [`Program::outcomes`]'s result on the same program — the
+    /// litmus runner asserts this across the whole corpus.
+    pub fn outcomes_from_graph(&self, graph: &StateGraph<ThreadState>) -> Outcomes {
+        let set = graph
+            .terminal_ids()
+            .map(|id| {
+                let canon = graph.state(id);
+                Observation {
+                    regs: canon.thread_exprs().map(|e| e.regs().to_vec()).collect(),
+                    memory: canon.latest_values().collect(),
+                }
+            })
+            .collect();
+        Outcomes {
+            program: self.clone(),
+            set,
+        }
     }
 
     /// Looks up a thread index by name.
@@ -306,6 +347,16 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn graph_outcomes_match_live_outcomes() {
+        let p = mini_program();
+        let live = p.outcomes(ExploreConfig::default()).unwrap();
+        let (graph, stats) = p.state_graph(ExploreConfig::default()).unwrap();
+        assert!(stats.visited > 0);
+        let cached = p.outcomes_from_graph(&graph);
+        assert_eq!(live.set(), cached.set());
     }
 
     #[test]

@@ -334,6 +334,21 @@ mod tests {
     }
 
     #[test]
+    fn corpus_graph_replay_outcomes_match_live() {
+        // The interner-backed successor graph must reproduce every
+        // test's operational outcome set without re-running the
+        // semantics: record the graph once, then read outcomes off the
+        // cached terminal states.
+        for t in corpus::all_tests() {
+            let p = Program::parse(t.source).unwrap();
+            let live = p.outcomes(ExploreConfig::default()).unwrap().set().clone();
+            let (graph, _) = p.state_graph(ExploreConfig::default()).unwrap();
+            let cached = p.outcomes_from_graph(&graph).set().clone();
+            assert_eq!(live, cached, "graph replay diverges on {}", t.name);
+        }
+    }
+
+    #[test]
     fn parallel_strategy_in_run_config() {
         let cfg = RunConfig {
             strategy: Strategy::Parallel,

@@ -16,8 +16,8 @@ use common::small_program;
 
 use bdrst::axiomatic::{check_soundness, check_soundness_sharded, generate, GenLimits};
 use bdrst::core::engine::{
-    explorer, Control, EngineConfig, StateId, Strategy as EngineStrategy, WorkStealingEngine,
-    WorklistEngine,
+    explorer, Control, Dedup, EngineConfig, StateId, Strategy as EngineStrategy, TraceEngine,
+    WorkStealingEngine, WorklistEngine,
 };
 use bdrst::core::engine::{Explorer, SearchOrder};
 use bdrst::core::explore::ExploreConfig;
@@ -143,6 +143,57 @@ proptest! {
         let shd = check_soundness_sharded(&p, ExploreConfig::default(), 4)
             .expect("theorem 15 holds");
         prop_assert_eq!(seq, shd, "soundness prefix counts diverge on\n{}", p);
+    }
+
+    /// Fingerprint-first dedup visits exactly the same canonical state
+    /// set (witnessed by count — the interner admits each state once)
+    /// and terminal outcome set as full-`CanonState` dedup, on ≥128
+    /// random programs. The forced-collision variant of this property
+    /// (truncated fingerprints) runs as a unit suite inside
+    /// `bdrst-core`, where the test-only mask is reachable.
+    #[test]
+    fn fingerprint_dedup_matches_full_state_dedup(p in small_program()) {
+        let fp = WorklistEngine::with_dedup(
+            EngineConfig::default(), SearchOrder::Dfs, Dedup::FingerprintFirst);
+        let full = WorklistEngine::with_dedup(
+            EngineConfig::default(), SearchOrder::Dfs, Dedup::FullState);
+        prop_assert_eq!(
+            visited_count(&p, &fp),
+            visited_count(&p, &full),
+            "dedup modes diverge on\n{}", p
+        );
+        let o_fp = p.outcomes_with(ExploreConfig::default(), EngineStrategy::Dfs)
+            .expect("fits budget").set().clone();
+        // FullState outcomes via the explicit reference engine.
+        let mut terms = std::collections::BTreeSet::new();
+        full.explore(&p.locs, p.initial_machine(), &mut |m: &Machine<ThreadState>, _: StateId| {
+            if m.is_terminal() {
+                terms.insert(p.observe(m));
+            }
+            Control::Continue
+        }).expect("fits budget");
+        prop_assert_eq!(&o_fp, &terms, "outcome sets diverge on\n{}", p);
+    }
+
+    /// The recorded trace tree replays the soundness scan to the exact
+    /// sequential count, and the cached state graph reproduces the
+    /// outcome set — on random programs, not just the corpus.
+    #[test]
+    fn recorded_graphs_replay_to_sequential_verdicts(p in small_program()) {
+        let live = check_soundness(&p, ExploreConfig::default()).expect("theorem 15 holds");
+        let (graph, _) = TraceEngine::new(EngineConfig::default())
+            .record(&p.locs, p.initial_machine())
+            .expect("fits budget");
+        let replayed = bdrst::axiomatic::check_soundness_replayed(
+            &p, &graph, ExploreConfig::default())
+            .expect("theorem 15 holds on replay");
+        prop_assert_eq!(live, replayed, "soundness replay diverges on\n{}", p);
+
+        let (sgraph, _) = p.state_graph(ExploreConfig::default()).expect("fits budget");
+        let cached = p.outcomes_from_graph(&sgraph).set().clone();
+        let live_outcomes = p.outcomes(ExploreConfig::default())
+            .expect("fits budget").set().clone();
+        prop_assert_eq!(&cached, &live_outcomes, "graph outcomes diverge on\n{}", p);
     }
 
     /// `axiomatic::generate` on random programs: generation succeeds on
