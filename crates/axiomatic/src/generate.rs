@@ -136,6 +136,11 @@ fn generate_with_domains(
             if alternatives.len() + stack.len() > limits.max_alternatives {
                 return Err(GenError::TooManyAlternatives { thread: ti });
             }
+            // The axiomatic generator probes the expression semantics
+            // directly (it enumerates per-thread action sequences, not
+            // machine transitions); count it like a machine expansion so
+            // the cache suites can assert warm paths run no semantics.
+            bdrst_core::machine::record_semantics_probe();
             let steps = state.steps();
             if steps.is_empty() {
                 alternatives.push(ThreadAlternative {

@@ -1,32 +1,29 @@
 //! Runs the whole litmus corpus against the operational and axiomatic
 //! semantics, printing the verdict table (§2 Examples 1–3, §5, §9).
 
-use bdrst_litmus::{all_tests, format_reports, run_test, RunConfig};
+use bdrst_litmus::{
+    all_tests, classify_entries, format_reports, run_test, CorpusVerdict, RunConfig,
+};
 
 fn main() {
-    let mut reports = Vec::new();
-    let mut ok = true;
-    for t in all_tests() {
-        match run_test(t, RunConfig::default()) {
-            Ok(rep) => {
-                ok &= rep.passes();
-                reports.push((t.description.to_string(), rep));
-            }
-            Err(e) => {
-                ok = false;
-                eprintln!("{}: ERROR {e}", t.name);
-            }
-        }
-    }
+    let reports: Vec<(String, _)> = all_tests()
+        .iter()
+        .map(|t| (t.name.to_string(), run_test(t, RunConfig::default())))
+        .collect();
     print!("{}", format_reports(&reports));
     println!();
+    let verdict = classify_entries(&reports);
     println!(
         "corpus verdict: {}",
-        if ok {
-            "ALL MATCH THE MODEL"
-        } else {
-            "MISMATCHES FOUND"
+        match verdict {
+            CorpusVerdict::Pass => "ALL MATCH THE MODEL",
+            CorpusVerdict::CheckFailed => "MISMATCHES FOUND",
+            CorpusVerdict::RunFailed => "RUN ERRORS",
         }
     );
-    std::process::exit(if ok { 0 } else { 1 });
+    std::process::exit(match verdict {
+        CorpusVerdict::Pass => 0,
+        CorpusVerdict::CheckFailed => 1,
+        CorpusVerdict::RunFailed => 2,
+    });
 }

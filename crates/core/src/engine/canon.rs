@@ -25,6 +25,7 @@ use crate::engine::EngineError;
 use crate::frontier::Frontier;
 use crate::loc::{Loc, LocKind, LocSet, Val};
 use crate::machine::{Expr, Machine};
+use crate::wire::{Codec, Reader, WireError};
 
 /// The canonical (timestamp-renamed) form of a location's contents.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -63,6 +64,55 @@ impl<E> CanonState<E> {
             CanonLoc::Na(vals) => *vals.last().expect("reachable histories are nonempty"),
             CanonLoc::At(v, _) => *v,
         })
+    }
+}
+
+impl Codec for CanonLoc {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CanonLoc::Na(vals) => {
+                out.push(0);
+                vals.encode(out);
+            }
+            CanonLoc::At(v, ranks) => {
+                out.push(1);
+                v.encode(out);
+                ranks.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<CanonLoc, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(CanonLoc::Na(Vec::decode(r)?)),
+            1 => Ok(CanonLoc::At(Val::decode(r)?, Vec::decode(r)?)),
+            tag => Err(WireError::BadTag {
+                what: "CanonLoc",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<E: Codec> Codec for CanonState<E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.store.encode(out);
+        self.threads.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<CanonState<E>, WireError> {
+        let store = Vec::decode(r)?;
+        let threads = Vec::decode(r)?;
+        let state = CanonState { store, threads };
+        // Outcome extraction assumes reachable nonatomic histories are
+        // non-empty; reject hand-crafted (or corrupted) empties here so
+        // `latest_values` cannot panic on decoded graphs.
+        for c in &state.store {
+            if matches!(c, CanonLoc::Na(vals) if vals.is_empty()) {
+                return Err(WireError::Invalid("empty nonatomic history"));
+            }
+        }
+        Ok(state)
     }
 }
 

@@ -63,6 +63,7 @@ pub mod relation;
 pub mod store;
 pub mod timestamp;
 pub mod trace;
+pub mod wire;
 
 pub use engine::{
     Control, EngineConfig, EngineError, Explorer, ParallelEngine, SearchOrder, StateId,
@@ -72,7 +73,11 @@ pub use explore::{ExploreConfig, ExploreStats};
 pub use frontier::Frontier;
 pub use history::History;
 pub use loc::{Action, LabeledAction, Loc, LocKind, LocSet, Val};
-pub use machine::{Expr, Machine, StepLabel, ThreadId, ThreadState, Transition, TransitionLabel};
+pub use machine::{
+    semantics_probes, Expr, Machine, StepLabel, Steps, ThreadId, ThreadState, Transition,
+    TransitionLabel,
+};
 pub use store::{LocContents, Store};
 pub use timestamp::{Ratio, Timestamp};
 pub use trace::{LocPredicate, TraceLabels};
+pub use wire::{Codec, WireError, SEMANTICS_VERSION};

@@ -996,7 +996,7 @@ mod tests {
     static STEP_PROBES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
 
     impl crate::machine::Expr for CountedExpr {
-        fn steps(&self) -> Vec<StepLabel> {
+        fn steps(&self) -> crate::machine::Steps {
             STEP_PROBES.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             self.0.steps()
         }

@@ -8,6 +8,7 @@
 
 use std::fmt;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::frontier::Frontier;
 use crate::loc::{LabeledAction, Loc, LocSet, Val};
@@ -43,14 +44,159 @@ impl fmt::Display for ThreadId {
 /// For [`StepLabel::Read`] the value is *not* part of the label: per
 /// Proposition 4 the expression must accept whatever value memory supplies,
 /// via [`Expr::apply_step`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum StepLabel {
     /// A silent step `e —ϵ→ e′`: no memory access.
+    #[default]
     Silent,
     /// A read step `e —ℓ:read x→ e_x` for every value `x`.
     Read(Loc),
     /// A write step `e —ℓ:write x→ e′`.
     Write(Loc, Val),
+}
+
+/// How many step labels [`Steps`] holds before spilling to the heap.
+/// Every expression language in this repository exposes at most one
+/// enabled step per thread, so the inline buffer is already generous.
+const STEPS_INLINE: usize = 4;
+
+/// The enabled steps of an expression: a small inline buffer that spills
+/// to a `Vec` only past [`STEPS_INLINE`] entries.
+///
+/// `Expr::steps` sits on the hottest loop of every engine — once per
+/// thread per expansion — and used to allocate a `Vec` on each call.
+/// Returning `Steps` keeps the common case (zero or one label)
+/// allocation-free; the counting-allocator lane in `engine_baseline`
+/// asserts it stays that way.
+#[derive(Clone, Debug, Default)]
+pub struct Steps {
+    /// Number of inline labels (meaningless once `spill` is non-empty).
+    len: u8,
+    inline: [StepLabel; STEPS_INLINE],
+    /// Once spilled, holds *all* labels (inline buffer abandoned).
+    spill: Vec<StepLabel>,
+}
+
+impl Steps {
+    /// No enabled steps (a terminated or stuck thread).
+    pub fn none() -> Steps {
+        Steps::default()
+    }
+
+    /// Exactly one enabled step.
+    pub fn one(label: StepLabel) -> Steps {
+        let mut s = Steps::default();
+        s.push(label);
+        s
+    }
+
+    /// Appends a label, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, label: StepLabel) {
+        if !self.spill.is_empty() {
+            self.spill.push(label);
+        } else if (self.len as usize) < STEPS_INLINE {
+            self.inline[self.len as usize] = label;
+            self.len += 1;
+        } else {
+            self.spill = self.inline.to_vec();
+            self.spill.push(label);
+        }
+    }
+
+    /// The enabled labels as a slice.
+    pub fn as_slice(&self) -> &[StepLabel] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Number of enabled steps.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when no step is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the labels by value ([`StepLabel`] is `Copy`).
+    pub fn iter(&self) -> impl Iterator<Item = StepLabel> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl PartialEq for Steps {
+    fn eq(&self, other: &Steps) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Steps {}
+
+impl FromIterator<StepLabel> for Steps {
+    fn from_iter<I: IntoIterator<Item = StepLabel>>(iter: I) -> Steps {
+        let mut s = Steps::default();
+        for label in iter {
+            s.push(label);
+        }
+        s
+    }
+}
+
+impl From<Vec<StepLabel>> for Steps {
+    fn from(labels: Vec<StepLabel>) -> Steps {
+        labels.into_iter().collect()
+    }
+}
+
+/// By-value iterator over [`Steps`] (labels are `Copy`).
+pub struct StepsIter {
+    steps: Steps,
+    pos: usize,
+}
+
+impl Iterator for StepsIter {
+    type Item = StepLabel;
+
+    fn next(&mut self) -> Option<StepLabel> {
+        let out = self.steps.as_slice().get(self.pos).copied();
+        self.pos += out.is_some() as usize;
+        out
+    }
+}
+
+impl IntoIterator for Steps {
+    type Item = StepLabel;
+    type IntoIter = StepsIter;
+
+    fn into_iter(self) -> StepsIter {
+        StepsIter {
+            steps: self,
+            pos: 0,
+        }
+    }
+}
+
+/// Counts every probe of the transition semantics — [`Expr::steps`]
+/// enumerations made by [`Machine::transitions`], and equivalent direct
+/// per-thread step walks (the axiomatic generator). The replay/cache test
+/// suites read it to prove that warm paths (graph replays, cache hits)
+/// never re-run the semantics: record the counter, run the warm path,
+/// assert it did not move. A single relaxed increment per expansion is
+/// noise next to the expansion itself.
+static SEMANTICS_PROBES: AtomicU64 = AtomicU64::new(0);
+
+/// Records one transition-semantics probe (see [`semantics_probes`]).
+pub fn record_semantics_probe() {
+    SEMANTICS_PROBES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total transition-semantics probes made by this process so far.
+pub fn semantics_probes() -> u64 {
+    SEMANTICS_PROBES.load(Ordering::Relaxed)
 }
 
 /// The expression language interface required by the memory semantics.
@@ -68,8 +214,17 @@ pub enum StepLabel {
 pub trait Expr: Clone + Eq + Hash + fmt::Debug {
     /// All enabled steps of this expression.
     ///
-    /// An empty vector means the thread is terminated (or stuck).
-    fn steps(&self) -> Vec<StepLabel>;
+    /// An empty [`Steps`] means the thread is terminated (or stuck).
+    fn steps(&self) -> Steps;
+
+    /// True iff at least one step is enabled. The default enumerates
+    /// [`Expr::steps`]; implementations should override it with a cheaper
+    /// check (e.g. "is the continuation empty") so `Machine::is_terminal`
+    /// never enumerates steps a subsequent `transitions` call will
+    /// enumerate again.
+    fn has_step(&self) -> bool {
+        !self.steps().is_empty()
+    }
 
     /// The successor expression after taking `steps()[index]`.
     ///
@@ -168,9 +323,11 @@ impl<E: Expr> Machine<E> {
         self.threads.len()
     }
 
-    /// True if no thread has an enabled step.
+    /// True if no thread has an enabled step. Uses [`Expr::has_step`], so
+    /// checking terminality before (or after) a `transitions` call does
+    /// not enumerate every thread's steps a second time.
     pub fn is_terminal(&self) -> bool {
-        self.threads.iter().all(|t| t.expr.steps().is_empty())
+        !self.threads.iter().any(|t| t.expr.has_step())
     }
 
     /// The successor machine of one transition: `store` replaces the
@@ -203,6 +360,7 @@ impl<E: Expr> Machine<E> {
     /// Enumerates every enabled machine transition (rules Silent and
     /// Memory, Fig. 1b), including every nondeterministic memory outcome.
     pub fn transitions(&self, locs: &LocSet) -> Vec<Transition<E>> {
+        record_semantics_probe();
         let mut out = Vec::new();
         for (ti, thread) in self.threads.iter().enumerate() {
             let tid = ThreadId(ti as u32);
@@ -309,14 +467,63 @@ impl RecordedExpr {
     }
 }
 
-impl Expr for RecordedExpr {
-    fn steps(&self) -> Vec<StepLabel> {
-        match self.program.get(self.pc) {
-            None => vec![],
-            Some(StepLabelOwned::Silent) => vec![StepLabel::Silent],
-            Some(StepLabelOwned::Read(l)) => vec![StepLabel::Read(*l)],
-            Some(StepLabelOwned::Write(l, v)) => vec![StepLabel::Write(*l, *v)],
+impl crate::wire::Codec for StepLabelOwned {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StepLabelOwned::Silent => out.push(0),
+            StepLabelOwned::Read(l) => {
+                out.push(1);
+                l.encode(out);
+            }
+            StepLabelOwned::Write(l, v) => {
+                out.push(2);
+                l.encode(out);
+                v.encode(out);
+            }
         }
+    }
+
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<StepLabelOwned, crate::wire::WireError> {
+        match u8::decode(r)? {
+            0 => Ok(StepLabelOwned::Silent),
+            1 => Ok(StepLabelOwned::Read(Loc::decode(r)?)),
+            2 => Ok(StepLabelOwned::Write(Loc::decode(r)?, Val::decode(r)?)),
+            tag => Err(crate::wire::WireError::BadTag {
+                what: "StepLabel",
+                tag,
+            }),
+        }
+    }
+}
+
+impl crate::wire::Codec for RecordedExpr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.program.encode(out);
+        self.pc.encode(out);
+        self.reads.encode(out);
+    }
+
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<RecordedExpr, crate::wire::WireError> {
+        Ok(RecordedExpr {
+            program: Vec::decode(r)?,
+            pc: usize::decode(r)?,
+            reads: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Expr for RecordedExpr {
+    fn steps(&self) -> Steps {
+        match self.program.get(self.pc) {
+            None => Steps::none(),
+            Some(StepLabelOwned::Silent) => Steps::one(StepLabel::Silent),
+            Some(StepLabelOwned::Read(l)) => Steps::one(StepLabel::Read(*l)),
+            Some(StepLabelOwned::Write(l, v)) => Steps::one(StepLabel::Write(*l, *v)),
+        }
+    }
+
+    fn has_step(&self) -> bool {
+        self.pc < self.program.len()
     }
 
     fn apply_step(&self, index: usize, read_value: Val) -> RecordedExpr {
@@ -412,5 +619,42 @@ mod tests {
             weak: false,
         };
         assert_eq!(format!("{l}"), "P1: ϵ");
+    }
+
+    #[test]
+    fn steps_inline_and_spill_agree() {
+        let labels: Vec<StepLabel> = (0..7).map(|i| StepLabel::Write(Loc(i), Val(1))).collect();
+        for n in 0..labels.len() {
+            let s: Steps = labels[..n].iter().copied().collect();
+            assert_eq!(s.len(), n);
+            assert_eq!(s.is_empty(), n == 0);
+            assert_eq!(s.as_slice(), &labels[..n]);
+            assert_eq!(s.iter().collect::<Vec<_>>(), labels[..n].to_vec());
+            assert_eq!(s.clone().into_iter().collect::<Vec<_>>(), labels[..n]);
+            assert_eq!(s, Steps::from(labels[..n].to_vec()));
+        }
+        assert_eq!(Steps::one(labels[0]).as_slice(), &labels[..1]);
+        assert!(Steps::none().is_empty());
+    }
+
+    #[test]
+    fn has_step_agrees_with_steps() {
+        let (locs, a, _) = locs2();
+        let e = RecordedExpr::new(vec![StepLabel::Read(a)]);
+        assert!(e.has_step());
+        assert!(!e.steps().is_empty());
+        let m = Machine::initial(&locs, [e]);
+        let done = &m.transitions(&locs)[0].target.threads[0].expr;
+        assert!(!done.has_step());
+        assert!(done.steps().is_empty());
+    }
+
+    #[test]
+    fn transitions_bump_the_semantics_probe_counter() {
+        let (locs, a, _) = locs2();
+        let m = Machine::initial(&locs, [RecordedExpr::new(vec![StepLabel::Read(a)])]);
+        let before = semantics_probes();
+        let _ = m.transitions(&locs);
+        assert!(semantics_probes() > before);
     }
 }

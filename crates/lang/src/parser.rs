@@ -568,7 +568,7 @@ impl Parser {
     }
 }
 
-fn is_keyword(s: &str) -> bool {
+pub(crate) fn is_keyword(s: &str) -> bool {
     matches!(
         s,
         "nonatomic" | "atomic" | "thread" | "if" | "else" | "while"

@@ -11,7 +11,9 @@ use bdrst_core::explore::{reachable_terminals, reachable_terminals_with, Explore
 use bdrst_core::loc::{Loc, LocKind, LocSet, Val};
 use bdrst_core::machine::Machine;
 
-use crate::ast::{Reg, Stmt};
+use bdrst_core::wire::{Codec, Reader, WireError};
+
+use crate::ast::{PureExpr, Reg, Stmt};
 use crate::semantics::ThreadState;
 
 /// One named thread: its register names (index = [`Reg`] index) and body.
@@ -144,8 +146,38 @@ impl Program {
         &self,
         config: ExploreConfig,
     ) -> Result<(StateGraph<ThreadState>, ExploreStats), EngineError> {
-        WorklistEngine::new(config, SearchOrder::Dfs)
-            .explore_graph(&self.locs, self.initial_machine())
+        self.state_graph_with(config, Strategy::Dfs)
+    }
+
+    /// [`Program::state_graph`] under an explicit engine [`Strategy`].
+    /// `Dfs`/`Bfs` record through the sequential worklist;
+    /// `WorkStealing` records through the work-stealing pool.
+    /// `Parallel` has no graph recorder (the level-synchronous engine
+    /// does not track edges) and falls back to work-stealing — same
+    /// graph, same parallelism class. All strategies record the same
+    /// canonical state set (the engines guarantee it); only id order
+    /// may differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if the state space exceeds the budget.
+    pub fn state_graph_with(
+        &self,
+        config: ExploreConfig,
+        strategy: Strategy,
+    ) -> Result<(StateGraph<ThreadState>, ExploreStats), EngineError> {
+        let m0 = self.initial_machine();
+        match strategy {
+            Strategy::Dfs => {
+                WorklistEngine::new(config, SearchOrder::Dfs).explore_graph(&self.locs, m0)
+            }
+            Strategy::Bfs => {
+                WorklistEngine::new(config, SearchOrder::Bfs).explore_graph(&self.locs, m0)
+            }
+            Strategy::Parallel | Strategy::WorkStealing => {
+                bdrst_core::engine::WorkStealingEngine::new(config).explore_graph(&self.locs, m0)
+            }
+        }
     }
 
     /// Re-derives the program's outcome set from a cached successor
@@ -176,11 +208,171 @@ impl Program {
         self.threads.iter().position(|t| t.name == name)
     }
 
+    /// Prints the program back into *re-parseable* surface syntax: the
+    /// round-trip printer behind the on-disk corpus and the result
+    /// store's canonical program text.
+    ///
+    /// Location declarations are emitted in index order (grouped by runs
+    /// of one kind) and statements use the declared location and register
+    /// names, so re-parsing reproduces the same `Loc`/[`Reg`] index
+    /// assignment. Parser-introduced temporaries (`$t0`, …) and any other
+    /// name the lexer would reject are renamed to fresh `_hN` registers —
+    /// re-parsing therefore yields a program identical up to register
+    /// *names* (indices, bodies, locations and thread names all match;
+    /// see `alpha_eq` in the round-trip tests). Loops are printed without
+    /// their fuel, so programs whose loops carry the parser's
+    /// [`crate::parser::ParseOptions`] fuel round-trip exactly; hand-built
+    /// negative constants (which the parser never produces) re-parse as
+    /// negation expressions — semantically equal, structurally the
+    /// lexer's form.
+    pub fn to_source(&self) -> String {
+        let mut out = String::new();
+        // Declarations: one per run of equal kind, preserving index order.
+        let mut i = 0usize;
+        while i < self.locs.len() {
+            let kind = self.locs.kind(Loc(i as u32));
+            out.push_str(match kind {
+                LocKind::Nonatomic => "nonatomic",
+                LocKind::Atomic => "atomic",
+            });
+            while i < self.locs.len() && self.locs.kind(Loc(i as u32)) == kind {
+                out.push(' ');
+                out.push_str(self.locs.name(Loc(i as u32)));
+                i += 1;
+            }
+            out.push_str(";\n");
+        }
+        for t in &self.threads {
+            let names = self.reg_names(t);
+            out.push_str(&format!("thread {} {{\n", t.name));
+            for s in &t.body {
+                self.fmt_stmt(&mut out, s, &names, 1);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Printable register names for one thread: declared names where the
+    /// lexer accepts them, fresh `_hN` substitutes otherwise (temporaries,
+    /// keyword or location shadowing, out-of-range indices).
+    fn reg_names(&self, t: &ThreadProgram) -> Vec<String> {
+        let lexable = |n: &str| {
+            !n.is_empty()
+                && n.chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                && n.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !crate::parser::is_keyword(n)
+                && self.locs.by_name(n).is_none()
+        };
+        let mut fresh = 0usize;
+        let mut names: Vec<String> = Vec::with_capacity(t.regs.len());
+        for n in &t.regs {
+            if lexable(n) && !names.contains(n) {
+                names.push(n.clone());
+            } else {
+                let sub = loop {
+                    let cand = format!("_h{fresh}");
+                    fresh += 1;
+                    if lexable(&cand) && !names.contains(&cand) && !t.regs.contains(&cand) {
+                        break cand;
+                    }
+                };
+                names.push(sub);
+            }
+        }
+        names
+    }
+
+    fn fmt_stmt(&self, out: &mut String, s: &Stmt, names: &[String], indent: usize) {
+        let pad = "  ".repeat(indent);
+        let reg = |r: &Reg| names[r.index()].clone();
+        match s {
+            Stmt::Assign(r, e) => {
+                out.push_str(&format!("{pad}{} = {};\n", reg(r), fmt_expr(e, names)))
+            }
+            Stmt::Load(r, l) => {
+                out.push_str(&format!("{pad}{} = {};\n", reg(r), self.locs.name(*l)))
+            }
+            Stmt::Store(l, e) => out.push_str(&format!(
+                "{pad}{} = {};\n",
+                self.locs.name(*l),
+                fmt_expr(e, names)
+            )),
+            Stmt::If(c, t, e) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", fmt_expr(c, names)));
+                for s in t {
+                    self.fmt_stmt(out, s, names, indent + 1);
+                }
+                if e.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    for s in e {
+                        self.fmt_stmt(out, s, names, indent + 1);
+                    }
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            Stmt::While(c, b, _fuel) => {
+                out.push_str(&format!("{pad}while ({}) {{\n", fmt_expr(c, names)));
+                for s in b {
+                    self.fmt_stmt(out, s, names, indent + 1);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+
     /// Pairs a raw observation with this program for name-based lookup
     /// (used when the observation came from the axiomatic or hardware
     /// semantics rather than [`Program::outcomes`]).
     pub fn name_observation<'a>(&'a self, obs: &'a Observation) -> NamedObservation<'a> {
         NamedObservation { program: self, obs }
+    }
+
+    /// Structural equality up to register *names*: locations, thread
+    /// names, register counts and bodies (which reference registers by
+    /// index) all match. This is the equivalence [`Program::to_source`]
+    /// round-trips under — parser temporaries like `$t0` are printed
+    /// under substitute names.
+    pub fn alpha_eq(&self, other: &Program) -> bool {
+        self.locs == other.locs
+            && self.threads.len() == other.threads.len()
+            && self
+                .threads
+                .iter()
+                .zip(&other.threads)
+                .all(|(a, b)| a.name == b.name && a.regs.len() == b.regs.len() && a.body == b.body)
+    }
+}
+
+/// Prints a pure expression fully parenthesized with the thread's
+/// register names — unambiguously re-parseable under any precedence.
+///
+/// The lexer has no negative literals (the parser builds `Unary(Neg, n)`
+/// for `-n`), so a hand-built negative `Const` prints as a *semantically*
+/// equal expression that re-parses to the negation form: `-5` becomes
+/// `(-5)` ↦ `Neg(Const(5))`, and `i64::MIN` — whose magnitude is itself
+/// unlexable — becomes `((-9223372036854775807) - 1)`. Parsed programs
+/// never contain negative `Const`s, so their round trip stays structural.
+fn fmt_expr(e: &PureExpr, names: &[String]) -> String {
+    match e {
+        PureExpr::Const(v) => {
+            if v.0 == i64::MIN {
+                format!("((-{}) - 1)", i64::MAX)
+            } else if v.0 < 0 {
+                format!("(-{})", v.0.unsigned_abs())
+            } else {
+                format!("{v}")
+            }
+        }
+        PureExpr::Reg(r) => names[r.index()].clone(),
+        PureExpr::Unary(op, inner) => format!("({op}{})", fmt_expr(inner, names)),
+        PureExpr::Binary(op, l, r) => {
+            format!("({} {op} {})", fmt_expr(l, names), fmt_expr(r, names))
+        }
     }
 }
 
@@ -224,6 +416,20 @@ impl Observation {
     /// The final value of `loc`.
     pub fn memory(&self, loc: Loc) -> Option<Val> {
         self.memory.get(loc.index()).copied()
+    }
+}
+
+impl Codec for Observation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.regs.encode(out);
+        self.memory.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Observation, WireError> {
+        Ok(Observation {
+            regs: Vec::decode(r)?,
+            memory: Vec::decode(r)?,
+        })
     }
 }
 
@@ -384,5 +590,69 @@ mod tests {
         let s = format!("{p}");
         assert!(s.contains("thread P0 {"));
         assert!(s.contains("nonatomic a;"));
+    }
+
+    #[test]
+    fn to_source_round_trips_programs_with_temps_and_control_flow() {
+        // Hoisted temporaries ($t0), interleaved declaration kinds,
+        // if/else, while (default fuel), compound expressions.
+        let sources = [
+            "nonatomic a b c; thread P0 { c = a + 10; b = a + 10; } thread P1 { c = 1; }",
+            "nonatomic a; atomic F; nonatomic b;
+             thread P0 { a = 1; F = 1; }
+             thread P1 { r = F; if (r == 1) { r0 = a; } else { r1 = b; } }",
+            "nonatomic a; thread P0 { while (a == 0) { r1 = r1 + 1; } a = r1; }",
+            "thread P0 { r0 = 1 + 2 * 3; r1 = !(r0 == 7) || r0 > 2; r2 = -r1; }",
+        ];
+        for src in sources {
+            let p = Program::parse(src).unwrap();
+            let printed = p.to_source();
+            let q = Program::parse(&printed)
+                .unwrap_or_else(|e| panic!("to_source output failed to parse: {e}\n{printed}"));
+            assert!(
+                p.alpha_eq(&q),
+                "round trip diverged for {src:?}:\n{printed}\n{p:#?}\n{q:#?}"
+            );
+            // Printing is a fixpoint once names are lexable.
+            assert_eq!(q.to_source(), q.to_source());
+        }
+    }
+
+    #[test]
+    fn to_source_handles_hand_built_negative_constants() {
+        // The parser never produces negative Consts, but the printer must
+        // still emit parseable, semantically equal text for them —
+        // including i64::MIN, whose magnitude is not lexable.
+        for v in [-1i64, -42, i64::MIN, i64::MIN + 1] {
+            let p = Program {
+                locs: LocSet::new(),
+                threads: vec![ThreadProgram {
+                    name: "P0".into(),
+                    regs: vec!["r0".into()],
+                    body: vec![Stmt::Assign(Reg(0), PureExpr::constant(v))],
+                }],
+            };
+            let printed = p.to_source();
+            let q = Program::parse(&printed)
+                .unwrap_or_else(|e| panic!("unparseable for {v}: {e}\n{printed}"));
+            match &q.threads[0].body[0] {
+                Stmt::Assign(_, e) => assert_eq!(e.eval(&[]), Val(v), "{printed}"),
+                other => panic!("expected assign, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn observation_round_trips_through_the_wire() {
+        let p = mini_program();
+        let o = p.outcomes(ExploreConfig::default()).unwrap();
+        for named in o.iter() {
+            let obs = named.observation();
+            let mut bytes = Vec::new();
+            obs.encode(&mut bytes);
+            let mut r = Reader::new(&bytes);
+            assert_eq!(&Observation::decode(&mut r).unwrap(), obs);
+            assert!(r.is_done());
+        }
     }
 }

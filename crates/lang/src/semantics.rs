@@ -9,7 +9,8 @@
 use std::fmt;
 
 use bdrst_core::loc::Val;
-use bdrst_core::machine::{Expr, StepLabel};
+use bdrst_core::machine::{Expr, StepLabel, Steps};
+use bdrst_core::wire::{Codec, Reader, WireError};
 
 use crate::ast::{Reg, Stmt};
 
@@ -91,15 +92,19 @@ impl ThreadState {
 }
 
 impl Expr for ThreadState {
-    fn steps(&self) -> Vec<StepLabel> {
+    fn steps(&self) -> Steps {
         match self.cont.last() {
-            None => vec![],
+            None => Steps::none(),
             Some(Stmt::Assign(..)) | Some(Stmt::If(..)) | Some(Stmt::While(..)) => {
-                vec![StepLabel::Silent]
+                Steps::one(StepLabel::Silent)
             }
-            Some(Stmt::Load(_, loc)) => vec![StepLabel::Read(*loc)],
-            Some(Stmt::Store(loc, e)) => vec![StepLabel::Write(*loc, e.eval(&self.regs))],
+            Some(Stmt::Load(_, loc)) => Steps::one(StepLabel::Read(*loc)),
+            Some(Stmt::Store(loc, e)) => Steps::one(StepLabel::Write(*loc, e.eval(&self.regs))),
         }
+    }
+
+    fn has_step(&self) -> bool {
+        !self.cont.is_empty()
     }
 
     fn apply_step(&self, index: usize, read_value: Val) -> ThreadState {
@@ -128,6 +133,20 @@ impl Expr for ThreadState {
             }
         }
         next
+    }
+}
+
+impl Codec for ThreadState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cont.encode(out);
+        self.regs.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<ThreadState, WireError> {
+        Ok(ThreadState {
+            cont: Vec::decode(r)?,
+            regs: Vec::decode(r)?,
+        })
     }
 }
 
@@ -189,7 +208,39 @@ mod tests {
             ),
         ]);
         let t = t.apply_step(0, Val::INIT);
-        assert_eq!(t.steps(), vec![StepLabel::Write(a, Val(4))]);
+        assert_eq!(t.steps().as_slice(), &[StepLabel::Write(a, Val(4))]);
+    }
+
+    #[test]
+    fn has_step_matches_steps_and_skips_enumeration() {
+        let (_, a) = loc_a();
+        let t = ThreadState::new(vec![Stmt::Load(Reg(0), a)]);
+        assert!(t.has_step());
+        let t = t.apply_step(0, Val::INIT);
+        assert!(!t.has_step());
+        assert!(t.steps().is_empty());
+    }
+
+    #[test]
+    fn thread_state_round_trips_through_the_wire() {
+        use bdrst_core::wire::{Codec, Reader};
+        let (_, a) = loc_a();
+        let t = ThreadState::new(vec![
+            Stmt::Assign(Reg(0), PureExpr::constant(3)),
+            Stmt::Load(Reg(1), a),
+            Stmt::If(
+                PureExpr::reg(Reg(1)).binary(BinOp::Eq, PureExpr::constant(1)),
+                vec![Stmt::Store(a, PureExpr::reg(Reg(0)))],
+                vec![Stmt::While(PureExpr::reg(Reg(0)), vec![], 3)],
+            ),
+        ]);
+        // Round-trip both the initial state and a mid-execution one.
+        for state in [t.clone(), t.apply_step(0, Val::INIT).apply_step(0, Val(1))] {
+            let mut bytes = Vec::new();
+            state.encode(&mut bytes);
+            let back = ThreadState::decode(&mut Reader::new(&bytes)).unwrap();
+            assert_eq!(back, state);
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod runner;
 
 pub use corpus::{all_tests, LitmusTest, OutcomeCheck};
 pub use runner::{
-    corpus_passes, format_reports, run_corpus, run_corpus_sharded, run_test, CorpusEntry,
-    RunConfig, RunError, TestReport,
+    classify_entries, corpus_passes, format_reports, hardware_flags, report_from_outcomes,
+    run_corpus, run_corpus_sharded, run_test, CheckVerdict, CorpusEntry, CorpusVerdict, RunConfig,
+    RunError, TestReport,
 };

@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use bdrst_axiomatic::{axiomatic_outcomes, EnumError, EnumLimits};
+use bdrst_axiomatic::{axiomatic_outcomes, EnumError, EnumLimits, GenError};
 use bdrst_core::engine::{parallel_map_with, EngineError, Strategy};
 use bdrst_core::explore::ExploreConfig;
 use bdrst_hw::{hw_outcomes, Target};
@@ -36,6 +36,34 @@ pub enum RunError {
     Operational(EngineError),
     /// Axiomatic or hardware enumeration failed.
     Enumeration(EnumError),
+}
+
+impl RunError {
+    /// True when the run failed because an exploration or enumeration
+    /// *budget* was exhausted — a resource failure, retryable with a
+    /// bigger budget — as opposed to a parse error or state corruption.
+    /// The `bdrst` CLI and the check server map the two classes onto
+    /// different exit codes / error kinds.
+    pub fn is_budget(&self) -> bool {
+        match self {
+            RunError::Parse(_) => false,
+            RunError::Operational(e) => e.is_budget(),
+            RunError::Enumeration(e) => matches!(
+                e,
+                EnumError::TooManyCandidates | EnumError::Gen(GenError::TooManyAlternatives { .. })
+            ),
+        }
+    }
+
+    /// A short stable tag for the failure class (`"parse"`, `"budget"`,
+    /// `"engine"`), used by report rendering and the service protocol.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RunError::Parse(_) => "parse",
+            _ if self.is_budget() => "budget",
+            _ => "engine",
+        }
+    }
 }
 
 impl fmt::Display for RunError {
@@ -137,6 +165,57 @@ fn observed_flags(
         .collect()
 }
 
+/// Builds a [`TestReport`] from already-computed operational and
+/// axiomatic outcome sets — the verdict step of [`run_test`], split out
+/// so the result store can re-derive reports from *cached* outcome sets
+/// without touching the transition semantics.
+pub fn report_from_outcomes(
+    test: &LitmusTest,
+    program: &Program,
+    op: &BTreeSet<Observation>,
+    ax: &BTreeSet<Observation>,
+) -> TestReport {
+    TestReport {
+        name: test.name,
+        operational: verdicts(program, op, test),
+        axiomatic: verdicts(program, ax, test),
+        x86: None,
+        arm_bal: None,
+        arm_naive: None,
+    }
+}
+
+/// Per-check hardware observation flags: one `Vec<bool>` per target, in
+/// (x86, ARM-BAL, ARM-naive) order.
+pub type HardwareFlags = (Vec<bool>, Vec<bool>, Vec<bool>);
+
+/// Computes the per-check hardware observation flags (x86, ARM-BAL,
+/// ARM-naive, in that order) for one test — the hardware third of
+/// [`run_test`], exported so cache-backed services can attach hardware
+/// results to a [`report_from_outcomes`] report (hardware outcome sets
+/// are enumerated per call; only the operational/axiomatic sets cache).
+///
+/// # Errors
+///
+/// Returns [`RunError::Enumeration`] when a hardware enumeration
+/// exceeds its limits.
+pub fn hardware_flags(
+    test: &LitmusTest,
+    program: &Program,
+    enumerate: EnumLimits,
+) -> Result<HardwareFlags, RunError> {
+    let x = hw_outcomes(program, Target::X86, enumerate).map_err(RunError::Enumeration)?;
+    let b = hw_outcomes(program, Target::Arm(bdrst_hw::BAL), enumerate)
+        .map_err(RunError::Enumeration)?;
+    let n = hw_outcomes(program, Target::Arm(bdrst_hw::NAIVE), enumerate)
+        .map_err(RunError::Enumeration)?;
+    Ok((
+        observed_flags(program, &x, test),
+        observed_flags(program, &b, test),
+        observed_flags(program, &n, test),
+    ))
+}
+
 /// Runs one litmus test against the configured models.
 ///
 /// # Errors
@@ -151,27 +230,16 @@ pub fn run_test(test: &LitmusTest, config: RunConfig) -> Result<TestReport, RunE
         .clone();
     let ax = axiomatic_outcomes(&program, config.enumerate).map_err(RunError::Enumeration)?;
     let (x86, arm_bal, arm_naive) = if config.hardware {
-        let x =
-            hw_outcomes(&program, Target::X86, config.enumerate).map_err(RunError::Enumeration)?;
-        let b = hw_outcomes(&program, Target::Arm(bdrst_hw::BAL), config.enumerate)
-            .map_err(RunError::Enumeration)?;
-        let n = hw_outcomes(&program, Target::Arm(bdrst_hw::NAIVE), config.enumerate)
-            .map_err(RunError::Enumeration)?;
-        (
-            Some(observed_flags(&program, &x, test)),
-            Some(observed_flags(&program, &b, test)),
-            Some(observed_flags(&program, &n, test)),
-        )
+        let (x, b, n) = hardware_flags(test, &program, config.enumerate)?;
+        (Some(x), Some(b), Some(n))
     } else {
         (None, None, None)
     };
     Ok(TestReport {
-        name: test.name,
-        operational: verdicts(&program, &op, test),
-        axiomatic: verdicts(&program, &ax, test),
         x86,
         arm_bal,
         arm_naive,
+        ..report_from_outcomes(test, &program, &op, &ax)
     })
 }
 
@@ -203,30 +271,80 @@ pub fn corpus_passes(entries: &[CorpusEntry]) -> bool {
         .all(|(_, r)| r.as_ref().map(TestReport::passes).unwrap_or(false))
 }
 
+/// The overall classification of a corpus sweep, for exit codes: run
+/// failures (budget exhaustion, parse errors) are a different failure
+/// class than model-mismatch check failures, and must not blur together.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CorpusVerdict {
+    /// Every test ran and every check matched the model.
+    Pass,
+    /// Every test ran, but some check disagreed with the model.
+    CheckFailed,
+    /// Some test did not produce a report at all (budget, parse, engine).
+    RunFailed,
+}
+
+/// Classifies a sweep: any [`RunError`] dominates (the sweep is not a
+/// model verdict at all), then any failing check.
+pub fn classify_entries<N>(entries: &[(N, Result<TestReport, RunError>)]) -> CorpusVerdict {
+    if entries.iter().any(|(_, r)| r.is_err()) {
+        CorpusVerdict::RunFailed
+    } else if entries
+        .iter()
+        .any(|(_, r)| !r.as_ref().is_ok_and(TestReport::passes))
+    {
+        CorpusVerdict::CheckFailed
+    } else {
+        CorpusVerdict::Pass
+    }
+}
+
 /// Renders a run of the whole corpus as a table (used by the `litmus`
-/// binary and EXPERIMENTS.md).
-pub fn format_reports(reports: &[(String, TestReport)]) -> String {
+/// and `bdrst` binaries and EXPERIMENTS.md).
+///
+/// Tests that failed to *run* are rendered as explicit `ERROR` rows
+/// carrying the failure class ([`RunError::kind`]: `budget` vs `parse`
+/// vs `engine`) — distinctly from `✗ MISMATCH`, which marks a test that
+/// ran fine and disagreed with the model. Callers that need an exit code
+/// should use [`classify_entries`] rather than string-matching this
+/// table.
+pub fn format_reports<N: AsRef<str>>(reports: &[(N, Result<TestReport, RunError>)]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<10} {:<34} {:>8} {:>6} {:>6}\n",
         "test", "outcome", "expect", "op", "ax"
     ));
-    for (desc, rep) in reports {
-        for (i, (opv, axv)) in rep.operational.iter().zip(&rep.axiomatic).enumerate() {
-            let _ = desc;
-            out.push_str(&format!(
-                "{:<10} {:<34} {:>8} {:>6} {:>6}{}\n",
-                rep.name,
-                truncate(descs_of(rep, i), 34),
-                if opv.expected { "allowed" } else { "forbid" },
-                if opv.observed { "seen" } else { "—" },
-                if axv.observed { "seen" } else { "—" },
-                if opv.passes() && axv.passes() {
-                    ""
-                } else {
-                    "   ✗ MISMATCH"
-                },
-            ));
+    for (name, entry) in reports {
+        match entry {
+            Err(e) => {
+                out.push_str(&format!(
+                    "{:<10} {:<34} {:>8} {:>6} {:>6}   ⚠ ERROR ({}): {}\n",
+                    name.as_ref(),
+                    "—",
+                    "—",
+                    "—",
+                    "—",
+                    e.kind(),
+                    e,
+                ));
+            }
+            Ok(rep) => {
+                for (i, (opv, axv)) in rep.operational.iter().zip(&rep.axiomatic).enumerate() {
+                    out.push_str(&format!(
+                        "{:<10} {:<34} {:>8} {:>6} {:>6}{}\n",
+                        rep.name,
+                        truncate(descs_of(rep, i), 34),
+                        if opv.expected { "allowed" } else { "forbid" },
+                        if opv.observed { "seen" } else { "—" },
+                        if axv.observed { "seen" } else { "—" },
+                        if opv.passes() && axv.passes() {
+                            ""
+                        } else {
+                            "   ✗ MISMATCH"
+                        },
+                    ));
+                }
+            }
         }
     }
     out
@@ -388,6 +506,66 @@ mod tests {
                 "work-stealing sweep diverges on {n1}"
             );
         }
+    }
+
+    #[test]
+    fn report_from_outcomes_matches_run_test() {
+        for t in corpus::all_tests() {
+            let program = Program::parse(t.source).unwrap();
+            let op = program
+                .outcomes(ExploreConfig::default())
+                .unwrap()
+                .set()
+                .clone();
+            let ax = bdrst_axiomatic::axiomatic_outcomes(&program, Default::default()).unwrap();
+            let from_outcomes = report_from_outcomes(t, &program, &op, &ax);
+            let live = run_test(t, RunConfig::default()).unwrap();
+            assert_eq!(
+                format!("{from_outcomes:?}"),
+                format!("{live:?}"),
+                "reports diverge on {}",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn run_error_kinds_classify_budget_and_parse() {
+        let tiny = RunConfig {
+            explore: ExploreConfig {
+                max_states: 1,
+                max_traces: 1,
+            },
+            ..RunConfig::default()
+        };
+        let err = run_test(&corpus::SB, tiny).unwrap_err();
+        assert!(err.is_budget(), "{err:?}");
+        assert_eq!(err.kind(), "budget");
+        let parse = RunError::Parse("oops".into());
+        assert!(!parse.is_budget());
+        assert_eq!(parse.kind(), "parse");
+    }
+
+    #[test]
+    fn format_reports_surfaces_run_errors_distinctly() {
+        let good = run_test(&corpus::SB, RunConfig::default()).unwrap();
+        let entries = vec![
+            ("SB".to_string(), Ok(good)),
+            (
+                "BOOM".to_string(),
+                Err(RunError::Operational(
+                    bdrst_core::engine::EngineError::budget(7),
+                )),
+            ),
+            ("BAD".to_string(), Err(RunError::Parse("nope".into()))),
+        ];
+        let table = format_reports(&entries);
+        assert!(table.contains("ERROR (budget)"), "{table}");
+        assert!(table.contains("ERROR (parse)"), "{table}");
+        assert!(!table.contains("MISMATCH"), "{table}");
+        assert_eq!(classify_entries(&entries), CorpusVerdict::RunFailed);
+        let ok_only = vec![entries.into_iter().next().unwrap()];
+        assert_eq!(classify_entries(&ok_only), CorpusVerdict::Pass);
     }
 
     #[test]

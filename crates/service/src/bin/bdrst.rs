@@ -1,0 +1,355 @@
+//! `bdrst` — check litmus programs from the command line, serve them over
+//! TCP, and manage the result cache.
+//!
+//! ```text
+//! bdrst check <file.litmus>...      check programs (outcomes + model agreement)
+//! bdrst corpus <dir>                run a corpus directory against the built-in checks
+//! bdrst serve                       start the newline-delimited-JSON check server
+//! bdrst cache stats|clear           inspect / wipe the on-disk cache
+//! bdrst corpus-export <dir>         (re)generate corpus/ from the built-in tests
+//! ```
+//!
+//! Common flags: `--cache-dir DIR` (persistent cache; omit for
+//! memory-only), `--json` (machine-readable output), `--max-states N`,
+//! `--max-traces N` (budgets). Exit codes: 0 success / all checks pass,
+//! 1 model mismatch, 2 run failure (parse error or budget exhaustion —
+//! reported distinctly), 64 usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bdrst_litmus::{classify_entries, format_reports, CorpusVerdict, RunError};
+use bdrst_service::corpusdir;
+use bdrst_service::json::Json;
+use bdrst_service::server::{self, stats_json, ServeConfig};
+use bdrst_service::service::{outcome_strings, CheckService};
+use bdrst_service::store::{ResultStore, StoreConfig};
+
+struct Opts {
+    json: bool,
+    cache_dir: Option<PathBuf>,
+    addr: String,
+    workers: usize,
+    max_states: Option<usize>,
+    max_traces: Option<usize>,
+    args: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bdrst <check <file>... | corpus <dir> | serve | cache <stats|clear> | corpus-export <dir>>\n\
+         flags: --json --cache-dir DIR --addr HOST:PORT --workers N --max-states N --max-traces N"
+    );
+    ExitCode::from(64)
+}
+
+fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
+    let _bin = argv.next();
+    let cmd = argv.next()?;
+    let mut opts = Opts {
+        json: false,
+        cache_dir: None,
+        addr: "127.0.0.1:7433".to_string(),
+        workers: 0,
+        max_states: None,
+        max_traces: None,
+        args: Vec::new(),
+    };
+    let mut argv = argv.peekable();
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(argv.next()?)),
+            "--addr" => opts.addr = argv.next()?,
+            "--workers" => opts.workers = argv.next()?.parse().ok()?,
+            "--max-states" => opts.max_states = Some(argv.next()?.parse().ok()?),
+            "--max-traces" => opts.max_traces = Some(argv.next()?.parse().ok()?),
+            _ if a.starts_with("--") => return None,
+            _ => opts.args.push(a),
+        }
+    }
+    Some((cmd, opts))
+}
+
+fn service_for(opts: &Opts) -> Result<CheckService, String> {
+    let store = ResultStore::new(StoreConfig {
+        disk_dir: opts.cache_dir.clone(),
+        ..StoreConfig::default()
+    })
+    .map_err(|e| format!("cache dir: {e}"))?;
+    let mut config = server::default_run_config();
+    if let Some(s) = opts.max_states {
+        config.explore.max_states = s;
+    }
+    if let Some(t) = opts.max_traces {
+        config.explore.max_traces = t;
+    }
+    Ok(CheckService::new(Arc::new(store), config))
+}
+
+fn run_failure(e: &RunError) -> ExitCode {
+    eprintln!("error ({}): {e}", e.kind());
+    ExitCode::from(2)
+}
+
+fn cmd_check(opts: &Opts) -> ExitCode {
+    if opts.args.is_empty() {
+        return usage();
+    }
+    let service = match service_for(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut agree = true;
+    let mut out_json = Vec::new();
+    for path in &opts.args {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let checked = match service.check_source(&source) {
+            Ok(c) => c,
+            Err(e) => return run_failure(&e),
+        };
+        let models_agree = checked.entry.op == checked.entry.ax;
+        agree &= models_agree;
+        let op = outcome_strings(&checked.program, &checked.entry.op);
+        let ax = outcome_strings(&checked.program, &checked.entry.ax);
+        if opts.json {
+            out_json.push(Json::obj([
+                ("file", Json::Str(path.clone())),
+                ("cached", Json::Bool(checked.cached)),
+                ("states", Json::Int(checked.entry.visited_states as i64)),
+                ("models_agree", Json::Bool(models_agree)),
+                (
+                    "operational",
+                    Json::Arr(op.into_iter().map(Json::Str).collect()),
+                ),
+                (
+                    "axiomatic",
+                    Json::Arr(ax.into_iter().map(Json::Str).collect()),
+                ),
+            ]));
+        } else {
+            println!(
+                "{path}: {} canonical states{}, operational/axiomatic {}",
+                checked.entry.visited_states,
+                if checked.cached { " (cached)" } else { "" },
+                if models_agree { "AGREE" } else { "DIVERGE" },
+            );
+            for o in &op {
+                println!("  {o}");
+            }
+        }
+    }
+    if opts.json {
+        println!(
+            "{}",
+            Json::obj([
+                ("checks", Json::Arr(out_json)),
+                ("cache", stats_json(service.store())),
+            ])
+            .render()
+        );
+    }
+    if agree {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cmd_corpus(opts: &Opts) -> ExitCode {
+    let Some(dir) = opts.args.first() else {
+        return usage();
+    };
+    let service = match service_for(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match corpusdir::load_dir(std::path::Path::new(dir)) {
+        Ok(f) if !f.is_empty() => f,
+        Ok(_) => {
+            eprintln!("{dir}: no .litmus files");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let builtin = bdrst_litmus::all_tests();
+    let entries: Vec<(String, Result<bdrst_litmus::TestReport, RunError>)> = files
+        .iter()
+        .map(|f| {
+            let result = match builtin.iter().find(|t| t.name == f.name) {
+                None => Err(RunError::Parse(format!(
+                    "no built-in checks for test named {:?}",
+                    f.name
+                ))),
+                Some(test) => service
+                    .check_source(&f.source)
+                    .and_then(|checked| service.report(test, &checked)),
+            };
+            (f.name.clone(), result)
+        })
+        .collect();
+    let verdict = classify_entries(&entries);
+    let stats = service.stats();
+    if opts.json {
+        println!(
+            "{}",
+            server::corpus_json(&entries, service.store()).render()
+        );
+    } else {
+        print!("{}", format_reports(&entries));
+        println!(
+            "cache: {} hits, {} misses, {} entries{}",
+            stats.hits,
+            stats.misses,
+            stats.entries,
+            if stats.disk_errors > 0 {
+                format!(", {} corrupt entries recomputed", stats.disk_errors)
+            } else {
+                String::new()
+            }
+        );
+    }
+    match verdict {
+        CorpusVerdict::Pass => ExitCode::SUCCESS,
+        CorpusVerdict::CheckFailed => ExitCode::from(1),
+        CorpusVerdict::RunFailed => ExitCode::from(2),
+    }
+}
+
+fn cmd_serve(opts: &Opts) -> ExitCode {
+    let service = match service_for(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = ServeConfig {
+        workers: opts.workers,
+        ..ServeConfig::default()
+    };
+    match server::serve(Arc::new(service), &opts.addr, config) {
+        Ok(handle) => {
+            println!("bdrst serving on {}", handle.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            // Serve until killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("bind {}: {e}", opts.addr);
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_cache(opts: &Opts) -> ExitCode {
+    let Some(action) = opts.args.first().map(String::as_str) else {
+        return usage();
+    };
+    let Some(dir) = opts.cache_dir.clone() else {
+        eprintln!("cache {action}: --cache-dir is required");
+        return usage();
+    };
+    let store = match ResultStore::new(StoreConfig {
+        disk_dir: Some(dir.clone()),
+        ..StoreConfig::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cache dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match action {
+        "stats" => {
+            let (mut files, mut bytes) = (0u64, 0u64);
+            if let Ok(rd) = std::fs::read_dir(&dir) {
+                for e in rd.filter_map(|e| e.ok()) {
+                    if e.path().extension().is_some_and(|x| x == "bdrst") {
+                        files += 1;
+                        bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+            if opts.json {
+                println!(
+                    "{}",
+                    Json::obj([
+                        ("dir", Json::Str(dir.display().to_string())),
+                        ("files", Json::Int(files as i64)),
+                        ("bytes", Json::Int(bytes as i64)),
+                        ("cache", stats_json(&store)),
+                    ])
+                    .render()
+                );
+            } else {
+                println!("{}: {files} entries, {bytes} bytes", dir.display());
+            }
+            ExitCode::SUCCESS
+        }
+        "clear" => match store.clear() {
+            Ok(n) => {
+                if opts.json {
+                    println!("{}", Json::obj([("removed", Json::Int(n as i64))]).render());
+                } else {
+                    println!("removed {n} entries");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("clear: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => usage(),
+    }
+}
+
+fn cmd_corpus_export(opts: &Opts) -> ExitCode {
+    let Some(dir) = opts.args.first() else {
+        return usage();
+    };
+    match corpusdir::export_builtin(std::path::Path::new(dir)) {
+        Ok(files) => {
+            println!("wrote {} files to {dir}", files.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("corpus-export: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let Some((cmd, opts)) = parse_opts(std::env::args()) else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&opts),
+        "corpus" => cmd_corpus(&opts),
+        "serve" => cmd_serve(&opts),
+        "cache" => cmd_cache(&opts),
+        "corpus-export" => cmd_corpus_export(&opts),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,163 @@
+//! Loading (and exporting) the on-disk litmus corpus: plain `.litmus`
+//! text files in the repository's surface syntax, one test per file, with
+//! the test's real name carried in a `// name:` header comment (file
+//! names are slugs — `MP+na` lives in `mp-na.litmus`).
+//!
+//! The shipped `corpus/` directory is generated from the built-in
+//! [`bdrst_litmus::corpus`] by `bdrst corpus-export` and locked by a
+//! round-trip test: each file must parse to a program α-equivalent to
+//! the built-in source's.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use bdrst_lang::Program;
+use bdrst_litmus::LitmusTest;
+
+/// One corpus file: the test's declared name, its source text, and where
+/// it came from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusFile {
+    /// Test name (`// name:` header, else the file stem).
+    pub name: String,
+    /// The file's full text (parseable as-is; comments are lexed away).
+    pub source: String,
+    /// The on-disk path.
+    pub path: PathBuf,
+}
+
+/// A file-name-safe slug for a litmus test name (`MP+na` → `mp-na`,
+/// `§9.2` → `sec9-2`). Injective over the built-in corpus (a test
+/// asserts it).
+pub fn slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        match c {
+            'a'..='z' | '0'..='9' | '_' => out.push(c),
+            'A'..='Z' => out.push(c.to_ascii_lowercase()),
+            '§' => out.push_str("sec"),
+            _ => {
+                if !out.ends_with('-') {
+                    out.push('-');
+                }
+            }
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Extracts the `// name:` header from a corpus file's text.
+pub fn header_name(source: &str) -> Option<&str> {
+    source.lines().find_map(|line| {
+        line.trim()
+            .strip_prefix("// name:")
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+    })
+}
+
+/// Loads every `*.litmus` file in `dir`, sorted by file name for
+/// deterministic sweeps.
+///
+/// # Errors
+///
+/// I/O errors reading the directory or a file.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<CorpusFile>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "litmus"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|path| {
+            let source = std::fs::read_to_string(&path)?;
+            let name = header_name(&source)
+                .map(str::to_string)
+                .or_else(|| path.file_stem().map(|s| s.to_string_lossy().into_owned()))
+                .unwrap_or_default();
+            Ok(CorpusFile { name, source, path })
+        })
+        .collect()
+}
+
+/// The canonical file text for one built-in test: name/description
+/// header plus the canonically printed program.
+pub fn render_test(test: &LitmusTest) -> Result<String, String> {
+    let program = Program::parse(test.source).map_err(|e| format!("{}: {e}", test.name))?;
+    Ok(format!(
+        "// name: {}\n// {}\n{}",
+        test.name,
+        test.description,
+        program.to_source()
+    ))
+}
+
+/// Writes the whole built-in corpus into `dir` (creating it), one file
+/// per test, returning the file names written.
+///
+/// # Errors
+///
+/// Parse failures (corpus bugs) as strings, I/O errors as strings.
+pub fn export_builtin(dir: &Path) -> Result<Vec<String>, String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let mut written = Vec::new();
+    for test in bdrst_litmus::all_tests() {
+        let file = format!("{}.litmus", slug(test.name));
+        let text = render_test(test)?;
+        std::fs::write(dir.join(&file), text).map_err(|e| format!("{file}: {e}"))?;
+        written.push(file);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_injective_over_the_builtin_corpus() {
+        let mut seen = std::collections::BTreeSet::new();
+        for t in bdrst_litmus::all_tests() {
+            let s = slug(t.name);
+            assert!(!s.is_empty());
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_'),
+                "bad slug {s:?}"
+            );
+            assert!(seen.insert(s.clone()), "slug collision: {s}");
+        }
+    }
+
+    #[test]
+    fn header_name_is_extracted() {
+        assert_eq!(header_name("// name: MP+na\nnonatomic a;"), Some("MP+na"));
+        assert_eq!(header_name("nonatomic a;"), None);
+    }
+
+    #[test]
+    fn export_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("bdrst-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = export_builtin(&dir).unwrap();
+        assert_eq!(written.len(), bdrst_litmus::all_tests().len());
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), written.len());
+        for f in &loaded {
+            let t = bdrst_litmus::all_tests()
+                .into_iter()
+                .find(|t| t.name == f.name)
+                .unwrap_or_else(|| panic!("unknown corpus file name {:?}", f.name));
+            let from_file = Program::parse(&f.source).unwrap();
+            let builtin = Program::parse(t.source).unwrap();
+            assert!(
+                from_file.alpha_eq(&builtin),
+                "{} diverges from builtin",
+                f.name
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

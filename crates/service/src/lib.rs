@@ -1,0 +1,55 @@
+//! # bdrst-service — litmus checking as a service
+//!
+//! PRs 1–3 made exploration pluggable, parallel, and recordable; this
+//! crate makes it *servable*: litmus programs in the surface syntax go
+//! in (over a socket or the `bdrst` CLI), verdicts come out, and every
+//! repeated query is answered from a content-addressed cache without
+//! running the transition semantics at all. Three layers:
+//!
+//! * **[`store`]** — the [`store::ResultStore`]: outcome sets, checker
+//!   verdicts and interned successor graphs keyed by the program's
+//!   canonical fingerprint plus a semantics/config version tag; sharded
+//!   in memory, optionally persisted in a hand-rolled versioned binary
+//!   format ([`bdrst_core::wire`]). Corrupt, stale, or colliding entries
+//!   fall back to recompute — never to a wrong verdict.
+//! * **[`service`]** — the [`service::CheckService`]: the cache-first
+//!   compute path (parse → fingerprint → lookup → on miss, explore once
+//!   through `Program::state_graph` and the axiomatic enumerator).
+//! * **[`server`] / the `bdrst` binary** — a multi-threaded
+//!   `std::net::TcpListener` service speaking newline-delimited JSON
+//!   ([`json`]) behind a bounded job queue, and the CLI (`check`,
+//!   `corpus`, `serve`, `cache stats|clear`) so programs are checkable
+//!   without recompiling anything.
+//!
+//! The whole crate is std-only, like the rest of the workspace.
+//!
+//! ## Example: checking a program through the cache, twice
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bdrst_service::service::CheckService;
+//! use bdrst_service::store::ResultStore;
+//!
+//! let service = CheckService::new(
+//!     Arc::new(ResultStore::in_memory()),
+//!     bdrst_litmus::RunConfig::default(),
+//! );
+//! let src = "nonatomic a; thread P0 { a = 1; } thread P1 { r0 = a; }";
+//! let cold = service.check_source(src)?;
+//! assert!(!cold.cached);
+//! let warm = service.check_source(src)?;
+//! assert!(warm.cached);
+//! assert_eq!(cold.entry.op, warm.entry.op);
+//! # Ok::<(), bdrst_litmus::RunError>(())
+//! ```
+
+pub mod corpusdir;
+pub mod json;
+pub mod server;
+pub mod service;
+pub mod store;
+
+pub use json::Json;
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use service::{CheckService, Checked};
+pub use store::{version_tag, CacheEntry, CacheKey, CacheStats, ResultStore, StoreConfig};

@@ -1,0 +1,494 @@
+//! The check server: litmus programs over TCP, newline-delimited JSON.
+//!
+//! # Protocol
+//!
+//! One request per line, one response line per request, on a plain
+//! `std::net::TcpListener` socket. A request is a JSON object with a
+//! `cmd` and (usually) a `source`:
+//!
+//! ```text
+//! {"id":1,"cmd":"outcomes","source":"nonatomic a; thread P0 { a = 1; }"}
+//! {"id":1,"ok":true,"cached":false,"states":3,"operational":["a=1"],"axiomatic":["a=1"]}
+//! ```
+//!
+//! Commands: `parse`, `outcomes`, `check`, `check-localdrf` (optional
+//! `locs` array, default all nonatomics), `check-global`, `corpus`,
+//! `cache-stats`. Requests may lower the exploration budgets with
+//! `max_states` / `max_traces` (clamped to the server's own limits);
+//! exhaustion surfaces as `{"ok":false,"error":{"kind":"budget",...}}` —
+//! the same [`RunError`] classification the CLI exit codes use.
+//!
+//! # Architecture
+//!
+//! One accept thread; one reader thread per connection that parses lines
+//! and pushes [`Job`]s into a **bounded** queue (backpressure: readers
+//! block when `queue_depth` jobs are in flight); `workers` worker threads
+//! pop jobs, compute through the shared cache-first [`CheckService`]
+//! (whose misses run on the existing engine machinery — the default
+//! configuration explores with the work-stealing engine), and write the
+//! response line under the connection's write lock — so concurrent
+//! requests from one client interleave whole lines, never bytes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use bdrst_core::engine::Strategy;
+use bdrst_litmus::{classify_entries, CorpusVerdict, RunConfig, RunError};
+
+use crate::json::Json;
+use crate::service::{outcome_strings, CheckService, Checked};
+use crate::store::ResultStore;
+
+/// Server knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads popping the job queue (0 = available cores).
+    pub workers: usize,
+    /// Bound of the job queue; readers block (backpressure) when full.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// The default run configuration for served checks: work-stealing
+/// exploration (misses ride the engine's worker pool), default budgets.
+pub fn default_run_config() -> RunConfig {
+    RunConfig {
+        strategy: Strategy::WorkStealing,
+        ..RunConfig::default()
+    }
+}
+
+/// One queued request: the raw line and where to write the response.
+struct Job {
+    line: String,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// A bounded MPMC job queue: `push` blocks while full, `pop` blocks while
+/// empty, both wake on close.
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    depth: usize,
+}
+
+struct QueueInner {
+    jobs: std::collections::VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(depth: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Blocks until there is room; returns false when the queue is closed
+    /// (job dropped).
+    fn push(&self, job: Job) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.jobs.len() >= self.depth && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return false;
+        }
+        inner.jobs.push_back(job);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Blocks until a job is available; `None` when closed and drained.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// A running check server; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<JobQueue>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the queue, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves until [`ServerHandle::shutdown`]. The service
+/// (store + run config) is shared across all workers.
+///
+/// # Errors
+///
+/// I/O errors binding the listener.
+pub fn serve(
+    service: Arc<CheckService>,
+    addr: &str,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(JobQueue::new(config.queue_depth));
+
+    let worker_count = if config.workers == 0 {
+        std::thread::available_parallelism().map_or(2, |n| n.get())
+    } else {
+        config.workers
+    };
+    let workers = (0..worker_count)
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                while let Some(job) = queue.pop() {
+                    let response = handle_line(&service, &job.line);
+                    let mut out = job.out.lock().unwrap();
+                    let _ = writeln!(out, "{}", response.render());
+                    let _ = out.flush();
+                }
+            })
+        })
+        .collect();
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let queue = Arc::clone(&queue);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let queue = Arc::clone(&queue);
+                // Reader threads exit with their connection (EOF / error);
+                // they are not joined on shutdown — each owns only its
+                // client socket.
+                std::thread::spawn(move || {
+                    let Ok(write_half) = stream.try_clone() else {
+                        return;
+                    };
+                    let out = Arc::new(Mutex::new(write_half));
+                    let reader = BufReader::new(stream);
+                    for line in reader.lines() {
+                        let Ok(line) = line else { break };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        if !queue.push(Job {
+                            line,
+                            out: Arc::clone(&out),
+                        }) {
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        queue,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn error_response(id: Json, kind: &str, message: String) -> Json {
+    Json::obj([
+        ("id", id),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("kind", Json::Str(kind.to_string())),
+                ("message", Json::Str(message)),
+            ]),
+        ),
+    ])
+}
+
+fn run_error_response(id: Json, e: &RunError) -> Json {
+    error_response(id, e.kind(), e.to_string())
+}
+
+/// Handles one request line; always returns a single JSON response.
+pub fn handle_line(service: &CheckService, line: &str) -> Json {
+    let req = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(Json::Null, "proto", e.to_string()),
+    };
+    let id = req.get("id").cloned().unwrap_or(Json::Null);
+    let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
+        return error_response(id, "proto", "missing `cmd`".into());
+    };
+    match handle_cmd(service, cmd, &req) {
+        Ok(mut fields) => {
+            let mut all = vec![("id".to_string(), id), ("ok".to_string(), Json::Bool(true))];
+            if let Json::Obj(rest) = &mut fields {
+                all.append(rest);
+            }
+            Json::Obj(all)
+        }
+        Err(HandleError::Run(e)) => run_error_response(id, &e),
+        Err(HandleError::Proto(msg)) => error_response(id, "proto", msg),
+    }
+}
+
+enum HandleError {
+    Run(RunError),
+    Proto(String),
+}
+
+impl From<RunError> for HandleError {
+    fn from(e: RunError) -> HandleError {
+        HandleError::Run(e)
+    }
+}
+
+/// Resolves the per-request service: the shared one, or a
+/// budget-restricted sibling over the same store when the request lowers
+/// `max_states` / `max_traces` (requests can only tighten budgets, never
+/// exceed the server's).
+fn request_service(service: &CheckService, req: &Json) -> CheckService {
+    let base = service.config();
+    let states = req.get("max_states").and_then(Json::as_i64);
+    let traces = req.get("max_traces").and_then(Json::as_i64);
+    if states.is_none() && traces.is_none() {
+        return service.fork();
+    }
+    let mut config = base;
+    if let Some(s) = states {
+        config.explore.max_states = (s.max(0) as usize).min(base.explore.max_states);
+    }
+    if let Some(t) = traces {
+        config.explore.max_traces = (t.max(0) as usize).min(base.explore.max_traces);
+    }
+    service.fork_with_config(config)
+}
+
+fn checked_for(service: &CheckService, req: &Json) -> Result<Checked, HandleError> {
+    let source = req
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or_else(|| HandleError::Proto("missing `source`".into()))?;
+    Ok(service.check_source(source)?)
+}
+
+fn handle_cmd(service: &CheckService, cmd: &str, req: &Json) -> Result<Json, HandleError> {
+    let service = request_service(service, req);
+    match cmd {
+        "parse" => {
+            let source = req
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or_else(|| HandleError::Proto("missing `source`".into()))?;
+            let program = bdrst_lang::Program::parse(source)
+                .map_err(|e| HandleError::Run(RunError::Parse(e.to_string())))?;
+            Ok(Json::obj([
+                ("canonical", Json::Str(program.to_source())),
+                ("threads", Json::Int(program.threads.len() as i64)),
+                (
+                    "locations",
+                    Json::Arr(
+                        program
+                            .locs
+                            .iter()
+                            .map(|l| {
+                                Json::obj([
+                                    ("name", Json::Str(program.locs.name(l).to_string())),
+                                    ("kind", Json::Str(program.locs.kind(l).to_string())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]))
+        }
+        "outcomes" | "check" => {
+            let checked = checked_for(&service, req)?;
+            let op = outcome_strings(&checked.program, &checked.entry.op);
+            let ax = outcome_strings(&checked.program, &checked.entry.ax);
+            let mut fields = vec![
+                ("cached".to_string(), Json::Bool(checked.cached)),
+                (
+                    "states".to_string(),
+                    Json::Int(checked.entry.visited_states as i64),
+                ),
+                (
+                    "operational".to_string(),
+                    Json::Arr(op.into_iter().map(Json::Str).collect()),
+                ),
+                (
+                    "axiomatic".to_string(),
+                    Json::Arr(ax.into_iter().map(Json::Str).collect()),
+                ),
+                (
+                    "models_agree".to_string(),
+                    Json::Bool(checked.entry.op == checked.entry.ax),
+                ),
+            ];
+            if cmd == "check" {
+                // Optional verdicts against a built-in test's checks. An
+                // unknown name is a protocol error, not a silent success —
+                // clients must not mistake a typo for a pass.
+                if let Some(name) = req.get("name").and_then(Json::as_str) {
+                    let test = bdrst_litmus::all_tests()
+                        .into_iter()
+                        .find(|t| t.name == name)
+                        .ok_or_else(|| {
+                            HandleError::Proto(format!("no built-in test named {name:?}"))
+                        })?;
+                    let rep = service.report(test, &checked)?;
+                    fields.push(("passed".to_string(), Json::Bool(rep.passes())));
+                }
+            }
+            Ok(Json::Obj(fields))
+        }
+        "check-localdrf" => {
+            let checked = checked_for(&service, req)?;
+            let locs: Vec<String> = req
+                .get("locs")
+                .and_then(Json::as_arr)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|v| v.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let holds = service.local_drf(&checked, &locs)?;
+            Ok(Json::obj([
+                ("cached", Json::Bool(checked.cached)),
+                ("holds", Json::Bool(holds)),
+            ]))
+        }
+        "check-global" => {
+            let checked = checked_for(&service, req)?;
+            let had_verdict = checked.entry.global_racefree.get().is_some();
+            let racefree = service.global_racefree(&checked)?;
+            Ok(Json::obj([
+                ("cached", Json::Bool(checked.cached && had_verdict)),
+                ("racefree", Json::Bool(racefree)),
+            ]))
+        }
+        "corpus" => {
+            let entries = service.check_corpus();
+            Ok(corpus_json(&entries, service.store()))
+        }
+        "cache-stats" => Ok(Json::obj([("cache", stats_json(service.store()))])),
+        other => Err(HandleError::Proto(format!("unknown cmd `{other}`"))),
+    }
+}
+
+/// The corpus-sweep summary object — `{verdict, tests, cache}` — shared
+/// verbatim by the server's `corpus` command and the CLI's `--json`
+/// output, so the two surfaces cannot drift.
+pub fn corpus_json(
+    entries: &[(String, Result<bdrst_litmus::TestReport, RunError>)],
+    store: &ResultStore,
+) -> Json {
+    let verdict = classify_entries(entries);
+    let tests = entries
+        .iter()
+        .map(|(name, r)| {
+            Json::obj([
+                ("name", Json::Str(name.clone())),
+                (
+                    "status",
+                    Json::Str(match r {
+                        Ok(rep) if rep.passes() => "pass".into(),
+                        Ok(_) => "mismatch".into(),
+                        Err(e) => format!("error:{}", e.kind()),
+                    }),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        (
+            "verdict",
+            Json::Str(
+                match verdict {
+                    CorpusVerdict::Pass => "pass",
+                    CorpusVerdict::CheckFailed => "check-failed",
+                    CorpusVerdict::RunFailed => "run-failed",
+                }
+                .into(),
+            ),
+        ),
+        ("tests", Json::Arr(tests)),
+        ("cache", stats_json(store)),
+    ])
+}
+
+/// Cache counters as a JSON object (shared with the CLI output).
+pub fn stats_json(store: &ResultStore) -> Json {
+    let s = store.stats();
+    Json::obj([
+        ("hits", Json::Int(s.hits as i64)),
+        ("misses", Json::Int(s.misses as i64)),
+        ("collisions", Json::Int(s.collisions as i64)),
+        ("disk_hits", Json::Int(s.disk_hits as i64)),
+        ("disk_errors", Json::Int(s.disk_errors as i64)),
+        ("insertions", Json::Int(s.insertions as i64)),
+        ("entries", Json::Int(s.entries as i64)),
+    ])
+}

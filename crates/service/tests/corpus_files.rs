@@ -1,0 +1,69 @@
+//! Locks the shipped `corpus/` directory to the built-in litmus corpus:
+//! every built-in test has exactly one `.litmus` file, every file parses
+//! to a program α-equivalent to the built-in source, and the file text is
+//! exactly what `bdrst corpus-export` would write today (parse ∘ print
+//! round trip). Regenerate with `bdrst corpus-export corpus` after
+//! editing the built-in corpus.
+
+use std::path::PathBuf;
+
+use bdrst_lang::Program;
+use bdrst_service::corpusdir::{self, render_test, slug};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn shipped_corpus_round_trips_the_builtin_tests() {
+    let files = corpusdir::load_dir(&corpus_dir()).expect("corpus/ must exist at the repo root");
+    let builtin = bdrst_litmus::all_tests();
+    assert_eq!(
+        files.len(),
+        builtin.len(),
+        "corpus/ and the built-in corpus disagree on test count"
+    );
+    for test in &builtin {
+        let file = files
+            .iter()
+            .find(|f| f.name == test.name)
+            .unwrap_or_else(|| panic!("{} has no corpus file", test.name));
+        assert_eq!(
+            file.path.file_name().unwrap().to_string_lossy(),
+            format!("{}.litmus", slug(test.name)),
+            "file name is not the test's slug"
+        );
+        // parse(file) ≡α parse(builtin source): the file is the printed
+        // form of the hardcoded program.
+        let from_file =
+            Program::parse(&file.source).unwrap_or_else(|e| panic!("{}: {e}", file.path.display()));
+        let from_builtin = Program::parse(test.source).unwrap();
+        assert!(
+            from_file.alpha_eq(&from_builtin),
+            "{}: corpus file diverges from the built-in program",
+            test.name
+        );
+        // The text is canonical: byte-identical to a fresh export.
+        assert_eq!(
+            file.source,
+            render_test(test).unwrap(),
+            "{}: stale corpus file — rerun `bdrst corpus-export corpus`",
+            test.name
+        );
+    }
+}
+
+#[test]
+fn shipped_corpus_outcomes_match_builtin_sources() {
+    // Beyond syntax: each file's outcome set equals its built-in twin's
+    // (α-equivalence makes this a theorem; this is the executable check).
+    for test in bdrst_litmus::all_tests() {
+        let file = corpus_dir().join(format!("{}.litmus", slug(test.name)));
+        let text = std::fs::read_to_string(&file).unwrap();
+        let p1 = Program::parse(&text).unwrap();
+        let p2 = Program::parse(test.source).unwrap();
+        let o1 = p1.outcomes(Default::default()).unwrap();
+        let o2 = p2.outcomes(Default::default()).unwrap();
+        assert_eq!(o1.set(), o2.set(), "{}", test.name);
+    }
+}
