@@ -5,7 +5,9 @@
 //! canonicalize-vs-fingerprint throughput of the state-dedup hot path,
 //! the **cold-vs-warm** corpus sweep through the content-addressed
 //! result store (warm runs are asserted to make *zero* transition-
-//! semantics probes), and — through a counting global allocator — the
+//! semantics probes), the **dynamic race detector's throughput**
+//! (events/sec, live vs replayed over recorded trace trees — the replay
+//! asserted semantics-free), and — through a counting global allocator — the
 //! allocations per visited state of fingerprint-first dedup against the
 //! full-`CanonState` reference, plus the zero-allocation guarantee of
 //! the smallvec `Expr::steps` interface. Writes
@@ -256,6 +258,50 @@ fn main() {
         "Expr::steps / Machine::is_terminal allocated on the hot path"
     );
 
+    // --- dynamic race detection: events/sec, live vs replayed ---
+    // The detector consumes one event per trace extension; the corpus
+    // sweep gives a stable event population. Replayed detection rides
+    // recorded trace trees and must be semantics-free (hard assert via
+    // the probe counter), so its throughput is pure detector work.
+    use bdrst_core::engine::TraceGraph;
+    use bdrst_race::{detect_races, detect_races_replayed, DetectorConfig};
+    let det_cfg = DetectorConfig::default();
+    let ecfg = EngineConfig::default();
+    let (race_events, race_racy) = programs.iter().fold((0u64, 0usize), |(ev, racy), p| {
+        let rep = detect_races(&p.locs, p.initial_machine(), ecfg, det_cfg)
+            .expect("corpus fits the budget");
+        (ev + rep.events, racy + usize::from(rep.racy()))
+    });
+    let race_live_s = measure(|| {
+        for p in &programs {
+            std::hint::black_box(
+                detect_races(&p.locs, p.initial_machine(), ecfg, det_cfg).unwrap(),
+            );
+        }
+    });
+    let traces: Vec<TraceGraph> = programs
+        .iter()
+        .map(|p| {
+            bdrst_core::engine::TraceEngine::new(ecfg)
+                .record(&p.locs, p.initial_machine())
+                .expect("corpus trace trees fit the budget")
+                .0
+        })
+        .collect();
+    let race_probes_before = bdrst_core::machine::semantics_probes();
+    let race_replay_s = measure(|| {
+        for (p, g) in programs.iter().zip(&traces) {
+            std::hint::black_box(detect_races_replayed(&p.locs, g, ecfg, det_cfg).unwrap());
+        }
+    });
+    let race_replay_probes = bdrst_core::machine::semantics_probes() - race_probes_before;
+    assert_eq!(
+        race_replay_probes, 0,
+        "replayed race detection ran the transition semantics"
+    );
+    let race_live_events_per_s = race_events as f64 / race_live_s;
+    let race_replay_events_per_s = race_events as f64 / race_replay_s;
+
     // --- litmus-as-a-service: cold vs warm corpus through the store ---
     use bdrst_litmus::{classify_entries, CorpusVerdict};
     use bdrst_service::service::CheckService;
@@ -288,7 +334,7 @@ fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         r#"{{
-  "schema": "bdrst-engine-baseline/v4",
+  "schema": "bdrst-engine-baseline/v5",
   "samples": {SAMPLES},
   "threads_available": {threads},
   "corpus_sweep_sequential_s": {seq:.6},
@@ -311,6 +357,14 @@ fn main() {
   "alloc_reduction_vs_seed": {alloc_reduction:.3},
   "alloc_reduction_dedup_only": {alloc_reduction_dedup_only:.3},
   "steps_allocs": {steps_allocs},
+  "race_detect_corpus_events": {race_events},
+  "race_detect_corpus_racy": {race_racy},
+  "race_detect_live_s": {race_live_s:.6},
+  "race_detect_replay_s": {race_replay_s:.6},
+  "race_detect_live_events_per_s": {race_live_events_per_s:.0},
+  "race_detect_replay_events_per_s": {race_replay_events_per_s:.0},
+  "race_detect_replay_speedup": {race_replay_speedup:.3},
+  "race_replay_semantics_probes": {race_replay_probes},
   "service_corpus_cold_s": {service_cold_s:.6},
   "service_corpus_warm_s": {service_warm_s:.6},
   "service_warm_speedup": {service_warm_speedup:.3},
@@ -318,6 +372,7 @@ fn main() {
 }}
 "#,
         speedup = seq / par,
+        race_replay_speedup = race_live_s / race_replay_s,
     );
     print!("{json}");
     let out =
@@ -378,6 +433,28 @@ fn main() {
             "WARNING: parallel sweeps (level-sync {par:.4}s, worksteal {worksteal:.4}s) did not \
              beat sequential ({seq:.4}s) on {threads} cores (noise? set \
              ENGINE_BASELINE_ENFORCE=1 to make this fatal)"
+        );
+    }
+
+    // Replayed race detection runs no semantics (hard-asserted above),
+    // so it should beat the live walk on any host. Wall clock stays
+    // warn-gated per house style.
+    if race_replay_s < race_live_s {
+        eprintln!(
+            "replayed race detection beats live ({:.1}x: live {race_live_s:.4}s / \
+             {race_live_events_per_s:.0} events/s, replayed {race_replay_s:.4}s / \
+             {race_replay_events_per_s:.0} events/s; {race_racy}/{} corpus programs racy)",
+            race_live_s / race_replay_s,
+            programs.len(),
+        );
+    } else if enforce {
+        panic!(
+            "replayed race detection ({race_replay_s:.4}s) should beat live ({race_live_s:.4}s)"
+        );
+    } else {
+        eprintln!(
+            "WARNING: replayed race detection ({race_replay_s:.4}s) did not beat live \
+             ({race_live_s:.4}s); set ENGINE_BASELINE_ENFORCE=1 to make this fatal"
         );
     }
 

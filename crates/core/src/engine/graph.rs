@@ -351,6 +351,95 @@ impl TraceGraph {
         &self.children[lo..hi]
     }
 
+    /// Serializes the trace tree for the content-addressed result store
+    /// ([`crate::wire`]): node labels, enabled slices, the enabled pool,
+    /// the children CSR, and the root's enabled labels, in that order.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let labels: Vec<TransitionLabel> = self.nodes.iter().map(|n| n.label).collect();
+        labels.encode(out);
+        let enabled: Vec<(u32, u32)> = self.nodes.iter().map(|n| n.enabled).collect();
+        enabled.encode(out);
+        self.enabled_pool.encode(out);
+        self.child_offsets.encode(out);
+        self.children.encode(out);
+        self.root_enabled.encode(out);
+    }
+
+    /// Decodes a tree previously written by [`TraceGraph::encode`],
+    /// re-validating every structural invariant `TraceEngine::record`
+    /// guarantees — a corrupted entry must become a [`WireError`], never
+    /// a tree that panics, loops, or replays differently from the
+    /// recording.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; in particular [`WireError::Invalid`] when the
+    /// children CSR is not the preorder tree shape the recorder emits
+    /// (non-monotone offsets, a node with zero or several parents, a
+    /// child preceding its parent, a children row disagreeing with the
+    /// node's enabled-label count) or an enabled slice escapes the pool.
+    pub fn decode(r: &mut Reader<'_>) -> Result<TraceGraph, WireError> {
+        let labels: Vec<TransitionLabel> = Vec::decode(r)?;
+        let enabled: Vec<(u32, u32)> = Vec::decode(r)?;
+        let enabled_pool: Vec<TransitionLabel> = Vec::decode(r)?;
+        let child_offsets: Vec<u32> = Vec::decode(r)?;
+        let children: Vec<u32> = Vec::decode(r)?;
+        let root_enabled: Vec<TransitionLabel> = Vec::decode(r)?;
+        let n = labels.len();
+        if enabled.len() != n || child_offsets.len() != n + 2 || children.len() != n {
+            return Err(WireError::Invalid("trace CSR table sizes"));
+        }
+        if child_offsets[0] != 0
+            || child_offsets.windows(2).any(|w| w[0] > w[1])
+            || child_offsets[n + 1] as usize != n
+        {
+            return Err(WireError::Invalid("trace CSR offsets"));
+        }
+        for &(start, len) in &enabled {
+            if (start as u64 + len as u64) > enabled_pool.len() as u64 {
+                return Err(WireError::Invalid("enabled slice out of the pool"));
+            }
+        }
+        // The children rows must be a preorder tree: every node has
+        // exactly one parent, appears after it, rows are in sibling
+        // (ascending-id) order, and — because a successful recording is
+        // complete — each row is exactly as wide as its node's
+        // enabled-label set (the virtual root row matches root_enabled).
+        let mut seen = vec![false; n];
+        for row in 0..=n {
+            let lo = child_offsets[row] as usize;
+            let hi = child_offsets[row + 1] as usize;
+            let want = if row == n {
+                root_enabled.len()
+            } else {
+                enabled[row].1 as usize
+            };
+            if hi - lo != want {
+                return Err(WireError::Invalid("children row width vs enabled labels"));
+            }
+            let mut prev: Option<u32> = None;
+            for &c in &children[lo..hi] {
+                let ci = c as usize;
+                if ci >= n || seen[ci] || (row < n && ci <= row) || prev.is_some_and(|p| p >= c) {
+                    return Err(WireError::Invalid("children rows are not a preorder tree"));
+                }
+                seen[ci] = true;
+                prev = Some(c);
+            }
+        }
+        Ok(TraceGraph {
+            nodes: labels
+                .into_iter()
+                .zip(enabled)
+                .map(|(label, enabled)| TraceNode { label, enabled })
+                .collect(),
+            enabled_pool,
+            child_offsets,
+            children,
+            root_enabled,
+        })
+    }
+
     /// Replays the recorded tree under `visitor`, reproducing the exact
     /// depth-first order, filtering, pruning, stopping, and budget
     /// semantics of a live [`crate::engine::TraceEngine::explore`] walk —
@@ -629,6 +718,72 @@ mod tests {
             TraceEngine::new(tight).record(&locs, m0).unwrap_err(),
             EngineError::budget(tight.max_traces + 1)
         );
+    }
+
+    #[test]
+    fn trace_graph_round_trips_through_the_wire() {
+        let (locs, a, b) = locs_ab();
+        let (graph, _) = TraceEngine::new(EngineConfig::default())
+            .record(&locs, sb_machine(&locs, a, b))
+            .unwrap();
+        let mut bytes = Vec::new();
+        graph.encode(&mut bytes);
+        let decoded = TraceGraph::decode(&mut crate::wire::Reader::new(&bytes)).unwrap();
+        assert_eq!(decoded.len(), graph.len());
+        assert_eq!(decoded.root_enabled(), graph.root_enabled());
+        // The decoded tree replays identically to the original.
+        let mut live = CountComplete {
+            len: 4,
+            complete: 0,
+        };
+        graph.replay(EngineConfig::default(), &mut live).unwrap();
+        let mut replayed = CountComplete {
+            len: 4,
+            complete: 0,
+        };
+        let stats = decoded
+            .replay(EngineConfig::default(), &mut replayed)
+            .unwrap();
+        assert_eq!(live.complete, replayed.complete);
+        assert!(stats.visited > 0);
+        // And re-encodes to the same bytes (canonical encoding).
+        let mut again = Vec::new();
+        decoded.encode(&mut again);
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn corrupted_trace_graph_bytes_are_rejected() {
+        let (locs, a, b) = locs_ab();
+        let (graph, _) = TraceEngine::new(EngineConfig::default())
+            .record(&locs, sb_machine(&locs, a, b))
+            .unwrap();
+        let mut bytes = Vec::new();
+        graph.encode(&mut bytes);
+        // Truncation anywhere must be an error, never a panic.
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                TraceGraph::decode(&mut crate::wire::Reader::new(&bytes[..cut])).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+        // Flipping any single byte must either fail to decode or decode
+        // to a tree whose replay still terminates with the recorded
+        // structural invariants intact (walk a few positions).
+        for i in (0..bytes.len()).step_by(5) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x41;
+            if let Ok(g) = TraceGraph::decode(&mut crate::wire::Reader::new(&bad)) {
+                struct Go;
+                impl ReplayVisitor for Go {
+                    fn visit(&mut self, _: &TraceLabels, _: ReplayStep<'_>) -> Control {
+                        Control::Continue
+                    }
+                }
+                let stats = g.replay(EngineConfig::default(), &mut Go).unwrap();
+                assert_eq!(stats.visited, g.len(), "replay lost nodes after flip {i}");
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use crate::wire::Codec;
+
 /// The kind of a memory location: atomic locations synchronise threads by
 /// carrying a frontier; nonatomic locations carry a timestamped history.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -216,6 +218,46 @@ pub struct LabeledAction {
 impl fmt::Display for LabeledAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: {}", self.loc, self.action)
+    }
+}
+
+impl Codec for Action {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Action::Read(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            Action::Write(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<Action, crate::wire::WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Action::Read(Val::decode(r)?)),
+            1 => Ok(Action::Write(Val::decode(r)?)),
+            tag => Err(crate::wire::WireError::BadTag {
+                what: "Action",
+                tag,
+            }),
+        }
+    }
+}
+
+impl Codec for LabeledAction {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.loc.encode(out);
+        self.action.encode(out);
+    }
+
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<LabeledAction, crate::wire::WireError> {
+        Ok(LabeledAction {
+            loc: Loc::decode(r)?,
+            action: Action::decode(r)?,
+        })
     }
 }
 

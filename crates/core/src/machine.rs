@@ -277,6 +277,34 @@ impl TransitionLabel {
     }
 }
 
+impl crate::wire::Codec for ThreadId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<ThreadId, crate::wire::WireError> {
+        Ok(ThreadId(u32::decode(r)?))
+    }
+}
+
+impl crate::wire::Codec for TransitionLabel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.thread.encode(out);
+        self.action.encode(out);
+        self.timestamp.encode(out);
+        self.weak.encode(out);
+    }
+
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<TransitionLabel, crate::wire::WireError> {
+        Ok(TransitionLabel {
+            thread: ThreadId::decode(r)?,
+            action: Option::decode(r)?,
+            timestamp: Option::decode(r)?,
+            weak: bool::decode(r)?,
+        })
+    }
+}
+
 impl fmt::Display for TransitionLabel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.action {

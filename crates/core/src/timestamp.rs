@@ -14,6 +14,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use crate::wire::{Codec, Reader, WireError};
+
 /// An exact rational number `num / den` with `den > 0`, stored in lowest
 /// terms.
 ///
@@ -166,6 +168,36 @@ impl From<i64> for Ratio {
     }
 }
 
+impl Codec for Ratio {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.num.encode(out);
+        self.den.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Ratio, WireError> {
+        // Decode-side gcd over unsigned magnitudes: the signed `gcd`
+        // above calls `abs()`, which overflows (panics in debug) on
+        // i64::MIN — and corrupt wire input must become a `WireError`,
+        // never a panic. `unsigned_abs` is total.
+        fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        let num = i64::decode(r)?;
+        let den = i64::decode(r)?;
+        // Encodings are canonical: positive denominator, lowest terms.
+        // Anything else is corruption, not an alternate spelling.
+        if den <= 0 || gcd_u64(num.unsigned_abs(), den.unsigned_abs()) != 1 {
+            return Err(WireError::Invalid("non-canonical ratio"));
+        }
+        Ok(Ratio { num, den })
+    }
+}
+
 /// A timestamp `t ∈ Q` attached to a write in a location's history.
 ///
 /// Timestamps are totally ordered and dense ([`Timestamp::midpoint`]);
@@ -199,6 +231,16 @@ impl Timestamp {
     }
 }
 
+impl Codec for Timestamp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Timestamp, WireError> {
+        Ok(Timestamp(Ratio::decode(r)?))
+    }
+}
+
 impl fmt::Debug for Timestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t{}", self.0)
@@ -214,6 +256,33 @@ impl fmt::Display for Timestamp {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ratio_codec_round_trips_and_rejects_corruption() {
+        // Extreme magnitudes round-trip (i64::MIN has no signed abs).
+        for r in [
+            Ratio::ZERO,
+            Ratio::new(1, 2),
+            Ratio::from_integer(i64::MIN),
+            Ratio::new(-3, 7),
+        ] {
+            let mut buf = Vec::new();
+            r.encode(&mut buf);
+            assert_eq!(Ratio::decode(&mut Reader::new(&buf)).unwrap(), r);
+        }
+        // Non-canonical encodings are errors, never panics: zero or
+        // negative denominators, non-lowest terms, and the i64::MIN
+        // numerator with a shared factor (the signed-abs overflow case).
+        for (num, den) in [(1i64, 0i64), (1, -2), (2, 4), (i64::MIN, 2)] {
+            let mut buf = Vec::new();
+            num.encode(&mut buf);
+            den.encode(&mut buf);
+            assert!(
+                Ratio::decode(&mut Reader::new(&buf)).is_err(),
+                "{num}/{den} decoded"
+            );
+        }
+    }
 
     #[test]
     fn normalisation() {

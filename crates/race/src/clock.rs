@@ -1,0 +1,122 @@
+//! Vector clocks and epochs: the happens-before bookkeeping of the
+//! dynamic detector.
+//!
+//! The detector tracks Definition 8's happens-before with the classic
+//! vector-clock discipline (FastTrack's, adapted to this model's
+//! synchronisation shape): every thread `t` carries a clock `C_t`; every
+//! event of `t` gets the *epoch* `C_t[t]` and then ticks it; an atomic
+//! write releases (publishes `C_t` into the location's release clock)
+//! and every atomic access acquires (joins the release clock into the
+//! accessor's). An access recorded at epoch `c` by thread `u`
+//! happens-before thread `t`'s current point iff `c < C_t[u]` — the
+//! strict test is exact because a release publishes the *post-tick*
+//! clock, so synchronising with an event always advances the acquirer
+//! past that event's epoch.
+
+use bdrst_core::machine::ThreadId;
+
+/// A vector clock: per-thread event counters, grown on demand (absent
+/// entries read as zero).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The all-zero clock.
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// The entry for `t` (zero if never advanced).
+    pub fn get(&self, t: ThreadId) -> u64 {
+        self.entries.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Advances `t`'s entry by one and returns the *pre-tick* value — the
+    /// epoch of the event being applied.
+    pub fn tick(&mut self, t: ThreadId) -> u64 {
+        if self.entries.len() <= t.index() {
+            self.entries.resize(t.index() + 1, 0);
+        }
+        let c = self.entries[t.index()];
+        self.entries[t.index()] = c + 1;
+        c
+    }
+
+    /// Undoes one [`VectorClock::tick`] of `t`.
+    pub fn untick(&mut self, t: ThreadId) {
+        self.entries[t.index()] -= 1;
+    }
+
+    /// Pointwise maximum: `self ⊔= other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.entries.len() < other.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (mine, theirs) in self.entries.iter_mut().zip(&other.entries) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// True iff an event with epoch `c` by thread `u` happens-before the
+    /// point this clock describes (see the module docs for why the test
+    /// is strict).
+    pub fn dominates(&self, u: ThreadId, c: u64) -> bool {
+        c < self.get(u)
+    }
+}
+
+/// One recorded memory access of the current trace: who, at which epoch,
+/// at which trace index. The epoch orders it against later clocks; the
+/// index anchors the witness's time window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// The accessing thread.
+    pub thread: ThreadId,
+    /// The access's epoch (`C_t[t]` at the event).
+    pub epoch: u64,
+    /// The access's index in the trace.
+    pub index: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_returns_pre_tick_epoch() {
+        let mut c = VectorClock::new();
+        let t = ThreadId(2);
+        assert_eq!(c.tick(t), 0);
+        assert_eq!(c.tick(t), 1);
+        assert_eq!(c.get(t), 2);
+        c.untick(t);
+        assert_eq!(c.get(t), 1);
+        assert_eq!(c.get(ThreadId(0)), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let (t0, t1) = (ThreadId(0), ThreadId(1));
+        let mut a = VectorClock::new();
+        a.tick(t0);
+        a.tick(t0);
+        let mut b = VectorClock::new();
+        b.tick(t1);
+        a.join(&b);
+        assert_eq!(a.get(t0), 2);
+        assert_eq!(a.get(t1), 1);
+    }
+
+    #[test]
+    fn dominates_is_strict() {
+        let t = ThreadId(0);
+        let mut c = VectorClock::new();
+        // Nothing happened: epoch 0 is NOT ordered before the start.
+        assert!(!c.dominates(t, 0));
+        c.tick(t);
+        assert!(c.dominates(t, 0));
+        assert!(!c.dominates(t, 1));
+    }
+}

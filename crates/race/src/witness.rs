@@ -1,0 +1,173 @@
+//! Structured race witnesses, bounded in space and time.
+//!
+//! The paper's headline theorem confines the effect of a data race to a
+//! bounded set of locations (space) and a bounded window of execution
+//! (time). A [`RaceWitness`] makes both bounds concrete on one explored
+//! trace: the two conflicting accesses, the trace-index window between
+//! them (the *time* bound), and the set of locations any transition in
+//! that window touches (the *space* bound — the locations whose contents
+//! the race can possibly affect on this execution).
+
+use std::collections::BTreeSet;
+
+use bdrst_core::loc::{Action, Loc, LocSet};
+use bdrst_core::machine::{ThreadId, TransitionLabel};
+use bdrst_core::trace::{conflicting, TraceLabels};
+
+/// A data race observed on one explored trace, with its space and time
+/// bounds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RaceWitness {
+    /// The trace prefix ending at the second racing access.
+    pub trace: Vec<TransitionLabel>,
+    /// Index of the first racing access in `trace`.
+    pub first: usize,
+    /// Index of the second racing access (always `trace.len() - 1`).
+    pub second: usize,
+    /// The raced nonatomic location.
+    pub loc: Loc,
+    /// The racing threads, in `(first, second)` order.
+    pub threads: (ThreadId, ThreadId),
+    /// The racing actions, in `(first, second)` order.
+    pub actions: (Action, Action),
+    /// The space bound: every location touched by a transition in the
+    /// window `[first, second]` (always contains [`RaceWitness::loc`]).
+    pub space: BTreeSet<Loc>,
+}
+
+impl RaceWitness {
+    /// Builds a witness from a trace and the indices of the racing pair,
+    /// deriving the space set from the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices do not name conflicting memory transitions.
+    pub fn from_pair(trace: &[TransitionLabel], first: usize, second: usize) -> RaceWitness {
+        let fa = trace[first].action.expect("racing access has an action");
+        let sa = trace[second].action.expect("racing access has an action");
+        assert_eq!(fa.loc, sa.loc, "racing accesses share a location");
+        let space = trace[first..=second]
+            .iter()
+            .filter_map(|l| l.action.map(|a| a.loc))
+            .collect();
+        RaceWitness {
+            trace: trace[..=second].to_vec(),
+            first,
+            second,
+            loc: fa.loc,
+            threads: (trace[first].thread, trace[second].thread),
+            actions: (fa.action, sa.action),
+            space,
+        }
+    }
+
+    /// The time bound: the execution window as trace indices, inclusive
+    /// on both ends (both endpoints are the racing accesses).
+    pub fn window(&self) -> (usize, usize) {
+        (self.first, self.second)
+    }
+
+    /// The time bound's width: number of transitions from the first
+    /// racing access to the second, inclusive.
+    pub fn time_bound(&self) -> usize {
+        self.second - self.first + 1
+    }
+
+    /// The space bound: locations touched inside the window.
+    pub fn space_bound(&self) -> &BTreeSet<Loc> {
+        &self.space
+    }
+
+    /// Re-checks the witness against the O(n²) reference semantics
+    /// ([`bdrst_core::trace`]): the pair must be conflicting
+    /// (Definition 9) and unordered by happens-before (Definition 10).
+    /// The detector's clock algebra is exact, but every consumer that
+    /// *reports* a witness can afford this check — tests and the
+    /// shrinker call it on every witness they surface.
+    pub fn validate(&self, locs: &LocSet) -> bool {
+        if self.second != self.trace.len() - 1 || self.first >= self.second {
+            return false;
+        }
+        let t = TraceLabels::from_labels(self.trace.clone());
+        let hb = t.happens_before(locs);
+        conflicting(&self.trace[self.first], &self.trace[self.second], locs)
+            && !hb.contains(self.first, self.second)
+    }
+
+    /// Human rendering: the racing pair with named locations, the
+    /// bounds, and the windowed trace fragment.
+    pub fn render(&self, locs: &LocSet) -> String {
+        let mut out = String::new();
+        let name = locs.name(self.loc);
+        out.push_str(&format!(
+            "race on `{name}`: {} {} at index {} vs {} {} at index {}\n",
+            self.threads.0, self.actions.0, self.first, self.threads.1, self.actions.1, self.second,
+        ));
+        let spaces: Vec<&str> = self.space.iter().map(|l| locs.name(*l)).collect();
+        out.push_str(&format!(
+            "  time bound: {} transitions (window [{}, {}] of a {}-step trace)\n",
+            self.time_bound(),
+            self.first,
+            self.second,
+            self.trace.len(),
+        ));
+        out.push_str(&format!("  space bound: {{{}}}\n", spaces.join(", ")));
+        for (i, l) in self.trace.iter().enumerate() {
+            let marker = if i == self.first || i == self.second {
+                "*"
+            } else if i > self.first {
+                "|"
+            } else {
+                " "
+            };
+            out.push_str(&format!("  {marker} [{i}] {l}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrst_core::loc::{LabeledAction, LocKind, Val};
+
+    fn lbl(thread: u32, loc: Loc, action: Action) -> TransitionLabel {
+        TransitionLabel {
+            thread: ThreadId(thread),
+            action: Some(LabeledAction { loc, action }),
+            timestamp: None,
+            weak: false,
+        }
+    }
+
+    #[test]
+    fn bounds_and_validation() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let b = locs.fresh("b", LocKind::Nonatomic);
+        let trace = vec![
+            lbl(0, a, Action::Write(Val(1))),
+            lbl(0, b, Action::Write(Val(1))),
+            lbl(1, a, Action::Read(Val(1))),
+        ];
+        let w = RaceWitness::from_pair(&trace, 0, 2);
+        assert_eq!(w.window(), (0, 2));
+        assert_eq!(w.time_bound(), 3);
+        assert_eq!(
+            w.space_bound().iter().copied().collect::<Vec<_>>(),
+            vec![a, b]
+        );
+        assert!(w.validate(&locs));
+        let rendered = w.render(&locs);
+        assert!(rendered.contains("race on `a`"), "{rendered}");
+        assert!(rendered.contains("space bound: {a, b}"), "{rendered}");
+
+        // A happens-before-ordered pair must not validate.
+        let same_thread = vec![
+            lbl(0, a, Action::Write(Val(1))),
+            lbl(0, a, Action::Write(Val(2))),
+        ];
+        let ordered = RaceWitness::from_pair(&same_thread, 0, 1);
+        assert!(!ordered.validate(&locs));
+    }
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! bdrst check <file.litmus>...      check programs (outcomes + model agreement)
 //! bdrst corpus <dir>                run a corpus directory against the built-in checks
+//! bdrst races <file|dir>...         dynamic race detection with bounded witnesses
 //! bdrst serve                       start the newline-delimited-JSON check server
 //! bdrst cache stats|clear           inspect / wipe the on-disk cache
 //! bdrst corpus-export <dir>         (re)generate corpus/ from the built-in tests
@@ -11,9 +12,12 @@
 //!
 //! Common flags: `--cache-dir DIR` (persistent cache; omit for
 //! memory-only), `--json` (machine-readable output), `--max-states N`,
-//! `--max-traces N` (budgets). Exit codes: 0 success / all checks pass,
-//! 1 model mismatch, 2 run failure (parse error or budget exhaustion —
-//! reported distinctly), 64 usage.
+//! `--max-traces N` (budgets), `--shrink` (`races` only: ddmin the
+//! program and interleaving of each first witness). Exit codes: 0
+//! success / all checks pass / no races, 1 model mismatch, 2 run failure
+//! (parse error or budget exhaustion — reported distinctly), 3 races
+//! found (`races` only — distinguishable from both a mismatch and a run
+//! error), 64 usage.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,13 +37,15 @@ struct Opts {
     workers: usize,
     max_states: Option<usize>,
     max_traces: Option<usize>,
+    shrink: bool,
     args: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bdrst <check <file>... | corpus <dir> | serve | cache <stats|clear> | corpus-export <dir>>\n\
-         flags: --json --cache-dir DIR --addr HOST:PORT --workers N --max-states N --max-traces N"
+        "usage: bdrst <check <file>... | corpus <dir> | races <file|dir>... | serve | cache <stats|clear> | corpus-export <dir>>\n\
+         flags: --json --cache-dir DIR --addr HOST:PORT --workers N --max-states N --max-traces N --shrink\n\
+         exit codes: 0 pass/no races · 1 model mismatch · 2 run error (parse/budget/engine) · 3 races found · 64 usage"
     );
     ExitCode::from(64)
 }
@@ -54,6 +60,7 @@ fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
         workers: 0,
         max_states: None,
         max_traces: None,
+        shrink: false,
         args: Vec::new(),
     };
     let mut argv = argv.peekable();
@@ -65,6 +72,7 @@ fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
             "--workers" => opts.workers = argv.next()?.parse().ok()?,
             "--max-states" => opts.max_states = Some(argv.next()?.parse().ok()?),
             "--max-traces" => opts.max_traces = Some(argv.next()?.parse().ok()?),
+            "--shrink" => opts.shrink = true,
             _ if a.starts_with("--") => return None,
             _ => opts.args.push(a),
         }
@@ -232,6 +240,173 @@ fn cmd_corpus(opts: &Opts) -> ExitCode {
     }
 }
 
+/// Collects the `.litmus` inputs of `races`: directories are swept via
+/// [`corpusdir::load_dir`], plain paths are read as single programs.
+fn race_inputs(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut inputs = Vec::new();
+    for arg in args {
+        let path = std::path::Path::new(arg);
+        if path.is_dir() {
+            let files = corpusdir::load_dir(path).map_err(|e| format!("{arg}: {e}"))?;
+            if files.is_empty() {
+                return Err(format!("{arg}: no .litmus files"));
+            }
+            for f in files {
+                inputs.push((f.name, f.source));
+            }
+        } else {
+            let source = std::fs::read_to_string(path).map_err(|e| format!("{arg}: {e}"))?;
+            // Same naming as a directory sweep: the `// name:` header
+            // wins, so `races corpus/sb.litmus` and `races corpus/`
+            // report the same file under the same name.
+            let name = corpusdir::header_name(&source)
+                .map(str::to_string)
+                .unwrap_or_else(|| arg.clone());
+            inputs.push((name, source));
+        }
+    }
+    Ok(inputs)
+}
+
+fn cmd_races(opts: &Opts) -> ExitCode {
+    if opts.args.is_empty() {
+        return usage();
+    }
+    let service = match service_for(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let inputs = match race_inputs(&opts.args) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut any_racy = false;
+    let mut any_failed = false;
+    let mut out_json = Vec::new();
+    // Per-file run errors are reported in place and the sweep continues
+    // — matching `corpus`, where one budget-tripped test never hides
+    // the rest of the results. A run error dominates the exit code.
+    for (name, source) in &inputs {
+        let result = service.check_source(source).and_then(|checked| {
+            // "cached" means warm end to end — entry AND trace recording
+            // from the store, captured *before* detection records one —
+            // the same definition the server's `check-races` uses.
+            let warm = checked.cached && checked.entry.trace.get().is_some();
+            service.check_races(&checked).map(|r| (checked, warm, r))
+        });
+        let (checked, warm, report) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                any_failed = true;
+                if opts.json {
+                    out_json.push(Json::obj([
+                        ("name", Json::Str(name.clone())),
+                        (
+                            "error",
+                            Json::obj([
+                                ("kind", Json::Str(e.kind().to_string())),
+                                ("message", Json::Str(e.to_string())),
+                            ]),
+                        ),
+                    ]));
+                } else {
+                    println!("{name}: ⚠ ERROR ({}): {e}", e.kind());
+                }
+                continue;
+            }
+        };
+        any_racy |= report.racy();
+        let shrunk = if opts.shrink && report.racy() {
+            match bdrst_race::shrink_witness(
+                &checked.program,
+                &report.witnesses[0],
+                service.config().explore,
+                Default::default(),
+            ) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("{name}: shrink failed: {e}");
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        if opts.json {
+            let mut fields = vec![
+                ("name".to_string(), Json::Str(name.clone())),
+                ("cached".to_string(), Json::Bool(warm)),
+                ("racy".to_string(), Json::Bool(report.racy())),
+                ("events".to_string(), Json::Int(report.events as i64)),
+                (
+                    "witnesses".to_string(),
+                    Json::Arr(
+                        report
+                            .witnesses
+                            .iter()
+                            .map(|w| server::witness_json(&checked.program, w))
+                            .collect(),
+                    ),
+                ),
+            ];
+            if let Some(s) = &shrunk {
+                fields.push((
+                    "shrunk".to_string(),
+                    Json::obj([
+                        ("program", Json::Str(s.program.to_source())),
+                        ("witness", server::witness_json(&s.program, &s.witness)),
+                    ]),
+                ));
+            }
+            out_json.push(Json::Obj(fields));
+        } else if report.racy() {
+            println!(
+                "{name}: RACY — {} witness(es) over {} events",
+                report.witnesses.len(),
+                report.events
+            );
+            for w in &report.witnesses {
+                print!("{}", w.render(&checked.program.locs));
+            }
+            if let Some(s) = &shrunk {
+                println!("  shrunk program:");
+                for line in s.program.to_source().lines() {
+                    println!("    {line}");
+                }
+                print!("{}", s.witness.render(&s.program.locs));
+            }
+        } else {
+            println!("{name}: race-free ({} events scanned)", report.events);
+        }
+    }
+    if opts.json {
+        println!(
+            "{}",
+            Json::obj([
+                ("races", Json::Arr(out_json)),
+                ("cache", stats_json(service.store())),
+            ])
+            .render()
+        );
+    }
+    // Exit precedence mirrors `classify_entries`: a run failure means
+    // the sweep is not a complete verdict, so it dominates; races found
+    // (3) stays distinguishable from both it and a model mismatch.
+    if any_failed {
+        ExitCode::from(2)
+    } else if any_racy {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn cmd_serve(opts: &Opts) -> ExitCode {
     let service = match service_for(opts) {
         Ok(s) => s,
@@ -347,6 +522,7 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "check" => cmd_check(&opts),
         "corpus" => cmd_corpus(&opts),
+        "races" => cmd_races(&opts),
         "serve" => cmd_serve(&opts),
         "cache" => cmd_cache(&opts),
         "corpus-export" => cmd_corpus_export(&opts),

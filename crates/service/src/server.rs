@@ -12,11 +12,19 @@
 //! ```
 //!
 //! Commands: `parse`, `outcomes`, `check`, `check-localdrf` (optional
-//! `locs` array, default all nonatomics), `check-global`, `corpus`,
+//! `locs` array, default all nonatomics), `check-global`, `check-races`
+//! (dynamic detection with space/time-bounded witnesses), `corpus`,
 //! `cache-stats`. Requests may lower the exploration budgets with
 //! `max_states` / `max_traces` (clamped to the server's own limits);
 //! exhaustion surfaces as `{"ok":false,"error":{"kind":"budget",...}}` —
 //! the same [`RunError`] classification the CLI exit codes use.
+//!
+//! The server does not trust its clients: beyond the JSON depth guard,
+//! each request line is size-capped ([`ServeConfig::max_request_bytes`],
+//! error kind `too-large`, connection closed) and the number of
+//! simultaneous connections is bounded
+//! ([`ServeConfig::max_conns`], one `overloaded` error line and a clean
+//! close for the connection over the limit).
 //!
 //! # Architecture
 //!
@@ -29,9 +37,9 @@
 //! response line under the connection's write lock — so concurrent
 //! requests from one client interleave whole lines, never bytes.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -49,6 +57,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bound of the job queue; readers block (backpressure) when full.
     pub queue_depth: usize,
+    /// Maximum simultaneous client connections. A connection over the
+    /// limit receives one `{"ok":false,"error":{"kind":"overloaded"}}`
+    /// line and is closed — a clean rejection, never a hang.
+    pub max_conns: usize,
+    /// Per-request size cap in bytes (on top of the JSON depth guard).
+    /// A longer line gets a `kind":"too-large"` error and the
+    /// connection is closed: the reader never buffers unbounded input.
+    pub max_request_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +72,8 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 0,
             queue_depth: 64,
+            max_conns: 256,
+            max_request_bytes: 1 << 20,
         }
     }
 }
@@ -209,29 +227,104 @@ pub fn serve(
     let accept = {
         let stop = Arc::clone(&stop);
         let queue = Arc::clone(&queue);
+        let conns = Arc::new(AtomicUsize::new(0));
+        let max_conns = config.max_conns.max(1);
+        let max_request = config.max_request_bytes.max(1);
         std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let Ok(stream) = stream else { continue };
+                let Ok(mut stream) = stream else { continue };
+                // Connection limit: admit-or-reject before spawning
+                // anything. The rejected client gets one well-formed
+                // error line, so it can distinguish "overloaded" from a
+                // network failure and back off.
+                if conns.load(Ordering::SeqCst) >= max_conns {
+                    let resp = error_response(
+                        Json::Null,
+                        "overloaded",
+                        format!("server at its {max_conns}-connection limit"),
+                    );
+                    let _ = writeln!(stream, "{}", resp.render());
+                    continue;
+                }
+                let guard = ConnGuard::admit(&conns);
                 let queue = Arc::clone(&queue);
                 // Reader threads exit with their connection (EOF / error);
                 // they are not joined on shutdown — each owns only its
-                // client socket.
+                // client socket (and its slot in the connection count).
                 std::thread::spawn(move || {
+                    let _guard = guard;
                     let Ok(write_half) = stream.try_clone() else {
                         return;
                     };
                     let out = Arc::new(Mutex::new(write_half));
-                    let reader = BufReader::new(stream);
-                    for line in reader.lines() {
-                        let Ok(line) = line else { break };
-                        if line.trim().is_empty() {
+                    let mut reader = BufReader::new(stream);
+                    loop {
+                        // Size-capped line read: take() bounds how much a
+                        // single request may buffer, so a client cannot
+                        // grow the reader's memory without limit.
+                        let mut line = Vec::new();
+                        let mut limited = Read::take(&mut reader, max_request as u64 + 1);
+                        match limited.read_until(b'\n', &mut line) {
+                            Ok(0) => break,
+                            Err(_) => break,
+                            Ok(_) => {}
+                        }
+                        if !line.ends_with(b"\n") && line.len() > max_request {
+                            let resp = error_response(
+                                Json::Null,
+                                "too-large",
+                                format!("request exceeds {max_request} bytes"),
+                            );
+                            {
+                                let mut w = out.lock().unwrap();
+                                let _ = writeln!(w, "{}", resp.render());
+                                let _ = w.flush();
+                            }
+                            // Drain whatever else the client already
+                            // sent — the rest of the line AND anything
+                            // pipelined behind it — bounded in bytes and
+                            // time, so the close is a clean FIN: an RST
+                            // from unread buffered data could destroy
+                            // the error response in flight. The read
+                            // timeout bounds how long a silent client
+                            // can hold the connection slot.
+                            {
+                                let w = out.lock().unwrap();
+                                let _ =
+                                    w.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+                            }
+                            let mut drained = 0usize;
+                            let mut scratch = [0u8; 4096];
+                            loop {
+                                match reader.read(&mut scratch) {
+                                    Ok(0) | Err(_) => break, // EOF or timeout
+                                    Ok(n) => {
+                                        drained += n;
+                                        if drained > 16 * max_request {
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                            break;
+                        }
+                        let Ok(line) = String::from_utf8(line) else {
+                            let resp =
+                                error_response(Json::Null, "proto", "request is not UTF-8".into());
+                            let mut w = out.lock().unwrap();
+                            let _ = writeln!(w, "{}", resp.render());
+                            let _ = w.flush();
+                            continue;
+                        };
+                        let line = line.trim();
+                        if line.is_empty() {
                             continue;
                         }
                         if !queue.push(Job {
-                            line,
+                            line: line.to_string(),
                             out: Arc::clone(&out),
                         }) {
                             break;
@@ -249,6 +342,24 @@ pub fn serve(
         accept: Some(accept),
         workers,
     })
+}
+
+/// One admitted connection's slot in the live count: incremented at
+/// admission, released when the reader thread exits (whatever the path —
+/// EOF, error, size-cap close, queue shutdown).
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl ConnGuard {
+    fn admit(conns: &Arc<AtomicUsize>) -> ConnGuard {
+        conns.fetch_add(1, Ordering::SeqCst);
+        ConnGuard(Arc::clone(conns))
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 fn error_response(id: Json, kind: &str, message: String) -> Json {
@@ -429,6 +540,28 @@ fn handle_cmd(service: &CheckService, cmd: &str, req: &Json) -> Result<Json, Han
                 ("racefree", Json::Bool(racefree)),
             ]))
         }
+        "check-races" => {
+            let checked = checked_for(&service, req)?;
+            // "cached" means the warm path end to end: the entry came
+            // from the store *and* already carried its trace recording.
+            let had_trace = checked.entry.trace.get().is_some();
+            let report = service.check_races(&checked)?;
+            Ok(Json::obj([
+                ("cached", Json::Bool(checked.cached && had_trace)),
+                ("racy", Json::Bool(report.racy())),
+                ("events", Json::Int(report.events as i64)),
+                (
+                    "witnesses",
+                    Json::Arr(
+                        report
+                            .witnesses
+                            .iter()
+                            .map(|w| witness_json(&checked.program, w))
+                            .collect(),
+                    ),
+                ),
+            ]))
+        }
         "corpus" => {
             let entries = service.check_corpus();
             Ok(corpus_json(&entries, service.store()))
@@ -436,6 +569,49 @@ fn handle_cmd(service: &CheckService, cmd: &str, req: &Json) -> Result<Json, Han
         "cache-stats" => Ok(Json::obj([("cache", stats_json(service.store()))])),
         other => Err(HandleError::Proto(format!("unknown cmd `{other}`"))),
     }
+}
+
+/// One [`bdrst_race::RaceWitness`] as a JSON object — the shape shared
+/// by the server's `check-races` response and the CLI's `races --json`
+/// output (locations by name, the space/time bounds made explicit, the
+/// windowed trace rendered line by line).
+pub fn witness_json(program: &bdrst_lang::Program, w: &bdrst_race::RaceWitness) -> Json {
+    let name = |l: bdrst_core::loc::Loc| program.locs.name(l).to_string();
+    Json::obj([
+        ("loc", Json::Str(name(w.loc))),
+        (
+            "threads",
+            Json::Arr(vec![
+                Json::Str(w.threads.0.to_string()),
+                Json::Str(w.threads.1.to_string()),
+            ]),
+        ),
+        (
+            "actions",
+            Json::Arr(vec![
+                Json::Str(w.actions.0.to_string()),
+                Json::Str(w.actions.1.to_string()),
+            ]),
+        ),
+        (
+            "window",
+            Json::Arr(vec![Json::Int(w.first as i64), Json::Int(w.second as i64)]),
+        ),
+        ("time_bound", Json::Int(w.time_bound() as i64)),
+        (
+            "space",
+            Json::Arr(
+                w.space_bound()
+                    .iter()
+                    .map(|l| Json::Str(name(*l)))
+                    .collect(),
+            ),
+        ),
+        (
+            "trace",
+            Json::Arr(w.trace.iter().map(|l| Json::Str(l.to_string())).collect()),
+        ),
+    ])
 }
 
 /// The corpus-sweep summary object — `{verdict, tests, cache}` — shared

@@ -16,11 +16,14 @@
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
-use bdrst_core::engine::EngineConfig;
-use bdrst_core::localdrf::{check_local_drf, sc_race_freedom, CheckError, DrfStatus};
+use bdrst_core::engine::{EngineConfig, TraceEngine, TraceGraph};
+use bdrst_core::localdrf::{
+    check_local_drf, check_local_drf_replayed, sc_race_freedom, CheckError, DrfStatus,
+};
 use bdrst_core::trace::LocPredicate;
 use bdrst_lang::Program;
 use bdrst_litmus::{report_from_outcomes, LitmusTest, RunConfig, RunError, TestReport};
+use bdrst_race::{detect_races_program, detect_races_replayed, DetectorConfig, RaceReport};
 
 use crate::store::{version_tag, CacheEntry, CacheStats, ResultStore};
 
@@ -126,6 +129,8 @@ impl CheckService {
             visited_states: stats.visited as u64,
             graph: self.store.persist_graphs().then_some(graph),
             global_racefree: std::sync::OnceLock::new(),
+            trace: std::sync::OnceLock::new(),
+            trace_infeasible: std::sync::OnceLock::new(),
         };
         let entry = self.store.insert(key, entry);
         Ok(Checked {
@@ -161,10 +166,51 @@ impl CheckService {
         Ok(racefree)
     }
 
+    /// The recorded trace tree of a checked program, memoized into its
+    /// cache entry (and re-persisted on first recording): record once,
+    /// then answer every trace-dependent query — any `L` set of
+    /// `check-localdrf`, every `check-races` — by replay, without
+    /// re-running the transition semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Operational`] when the *full* (unfiltered) tree
+    /// exceeds the trace budget. Callers that can fall back to a
+    /// filtered live walk do so on budget errors.
+    pub fn trace_graph<'e>(&self, checked: &'e Checked) -> Result<&'e TraceGraph, RunError> {
+        if let Some(t) = checked.entry.trace.get() {
+            return Ok(t);
+        }
+        // A previous attempt already proved the full tree does not fit
+        // the budget: don't re-run the doomed recording per request.
+        if let Some(e) = checked.entry.trace_infeasible.get() {
+            return Err(RunError::Operational(*e));
+        }
+        let graph = match TraceEngine::new(self.engine_config())
+            .record(&checked.program.locs, checked.program.initial_machine())
+        {
+            Ok((graph, _)) => graph,
+            Err(e) => {
+                if e.is_budget() {
+                    let _ = checked.entry.trace_infeasible.set(e);
+                }
+                return Err(RunError::Operational(e));
+            }
+        };
+        if checked.entry.trace.set(graph).is_ok() {
+            if let Ok(key) = self.store.key_for(&checked.program, self.version) {
+                self.store.persist(key, &checked.entry);
+            }
+        }
+        Ok(checked.entry.trace.get().expect("just set"))
+    }
+
     /// Checks Theorem 13's derived local-DRF property for the locations
-    /// named in `loc_names` (every nonatomic location when empty). This
-    /// is a per-request trace walk — L sets vary per query, so it is
-    /// computed live, not cached.
+    /// named in `loc_names` (every nonatomic location when empty). The
+    /// verdict replays the cached trace tree ([`CheckService::trace_graph`]
+    /// — one recording answers every `L` set); only when recording the
+    /// full tree exceeds the trace budget does it fall back to a
+    /// filtered live walk.
     ///
     /// # Errors
     ///
@@ -188,15 +234,44 @@ impl CheckService {
                 l.insert(loc);
             }
         }
-        match check_local_drf(
-            &program.locs,
-            program.initial_machine(),
-            &l,
-            self.engine_config(),
-        ) {
+        let result = match self.trace_graph(checked) {
+            Ok(graph) => check_local_drf_replayed(&program.locs, graph, &l, self.engine_config()),
+            Err(e) if e.is_budget() => check_local_drf(
+                &program.locs,
+                program.initial_machine(),
+                &l,
+                self.engine_config(),
+            ),
+            Err(e) => return Err(e),
+        };
+        match result {
             Ok(_) => Ok(true),
             Err(CheckError::Violation(_)) => Ok(false),
             Err(CheckError::Engine(e)) => Err(RunError::Operational(e)),
+        }
+    }
+
+    /// Dynamic race detection ([`bdrst_race`]) for a checked program:
+    /// replays the detector over the cached trace tree (zero
+    /// transition-semantics steps when the entry — including its
+    /// recording — is warm), falling back to a live walk only when the
+    /// full tree exceeds the trace budget.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Operational`] on budget exhaustion.
+    pub fn check_races(&self, checked: &Checked) -> Result<RaceReport, RunError> {
+        let config = DetectorConfig::default();
+        match self.trace_graph(checked) {
+            Ok(graph) => {
+                detect_races_replayed(&checked.program.locs, graph, self.engine_config(), config)
+                    .map_err(RunError::Operational)
+            }
+            Err(e) if e.is_budget() => {
+                detect_races_program(&checked.program, self.engine_config(), config)
+                    .map_err(RunError::Operational)
+            }
+            Err(e) => Err(e),
         }
     }
 

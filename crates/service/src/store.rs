@@ -36,12 +36,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use bdrst_core::engine::{canonical_fingerprint, EngineError, StateGraph};
+use bdrst_core::engine::{canonical_fingerprint, EngineError, StateGraph, TraceGraph};
 use bdrst_core::wire::{checksum, Codec, Reader, WireError, SEMANTICS_VERSION};
 use bdrst_lang::{Observation, Program, ThreadState};
 
 /// Bumped whenever the on-disk entry layout changes.
-pub const ENTRY_FORMAT_VERSION: u32 = 1;
+pub const ENTRY_FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 4] = b"BDRS";
 
@@ -104,6 +104,18 @@ pub struct CacheEntry {
     /// Global-DRF verdict (Theorem 14 hypothesis: all SC traces race
     /// free), computed on first demand and memoized.
     pub global_racefree: OnceLock<bool>,
+    /// The recorded trace tree ([`bdrst_core::engine::TraceGraph`]),
+    /// recorded on the first trace-dependent query (`check-localdrf`,
+    /// `check-races`) and memoized — warm queries replay it without
+    /// running the transition semantics.
+    pub trace: OnceLock<TraceGraph>,
+    /// Memoized "the full tree does not fit the trace budget" verdict,
+    /// so later trace-dependent queries go straight to their filtered
+    /// live fallback instead of re-running a doomed recording each
+    /// time. In-memory only (never serialized): budgets can differ
+    /// across processes, and re-probing once per process is cheap
+    /// relative to serving wrong feasibility.
+    pub trace_infeasible: OnceLock<EngineError>,
 }
 
 impl CacheEntry {
@@ -128,6 +140,13 @@ impl CacheEntry {
             }
         }
         self.global_racefree.get().copied().encode(out);
+        match self.trace.get() {
+            None => out.push(0),
+            Some(t) => {
+                out.push(1);
+                t.encode(out);
+            }
+        }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<CacheEntry, WireError> {
@@ -156,6 +175,19 @@ impl CacheEntry {
         if let Some(v) = global {
             let _ = global_racefree.set(v);
         }
+        let trace = OnceLock::new();
+        match u8::decode(r)? {
+            0 => {}
+            1 => {
+                let _ = trace.set(TraceGraph::decode(r)?);
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "CacheEntry.trace",
+                    tag,
+                })
+            }
+        }
         Ok(CacheEntry {
             source,
             op,
@@ -163,6 +195,8 @@ impl CacheEntry {
             visited_states,
             graph,
             global_racefree,
+            trace,
+            trace_infeasible: OnceLock::new(),
         })
     }
 }
@@ -472,6 +506,8 @@ mod tests {
                 visited_states: stats.visited as u64,
                 graph: Some(graph),
                 global_racefree: OnceLock::new(),
+                trace: OnceLock::new(),
+                trace_infeasible: OnceLock::new(),
             },
         )
     }
@@ -484,6 +520,10 @@ mod tests {
     fn entry_file_round_trips() {
         let (p, entry) = entry_for(SB);
         entry.global_racefree.set(true).unwrap();
+        let (trace, _) = bdrst_core::engine::TraceEngine::new(Default::default())
+            .record(&p.locs, p.initial_machine())
+            .unwrap();
+        entry.trace.set(trace).unwrap();
         let key = CacheKey {
             fingerprint: 0x1234,
             version: 0x9,
@@ -499,6 +539,11 @@ mod tests {
         assert_eq!(g.len(), entry.graph.as_ref().unwrap().len());
         // The decoded graph serves outcomes identical to the original.
         assert_eq!(p.outcomes_from_graph(g).set(), &entry.op);
+        // The decoded trace tree survives with its node count intact.
+        assert_eq!(
+            back.trace.get().map(|t| t.len()),
+            entry.trace.get().map(|t| t.len())
+        );
     }
 
     #[test]

@@ -235,3 +235,29 @@ fn local_drf_checks_run_per_request_with_named_locations() {
         .unwrap_err();
     assert!(matches!(err, RunError::Parse(_)), "{err:?}");
 }
+
+#[test]
+fn infeasible_trace_recordings_are_memoized() {
+    // A trace budget the full unfiltered tree cannot fit: the first
+    // trace-dependent query proves infeasibility, and later ones must
+    // answer from the memo instead of re-running the doomed recording.
+    let mut config = RunConfig::default();
+    config.explore.max_traces = 4; // SB's full tree has 36 extensions
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), config);
+    let checked = service
+        .check_source(
+            "nonatomic a b;
+             thread P0 { a = 1; r0 = b; }
+             thread P1 { b = 1; r1 = a; }",
+        )
+        .unwrap();
+    let first = service.trace_graph(&checked).unwrap_err();
+    assert!(first.is_budget(), "{first:?}");
+    assert!(
+        checked.entry.trace_infeasible.get().is_some(),
+        "budget failure was not memoized"
+    );
+    let second = service.trace_graph(&checked).unwrap_err();
+    assert_eq!(first, second);
+    assert!(checked.entry.trace.get().is_none());
+}

@@ -25,21 +25,27 @@ fn warm_runs_perform_zero_transition_semantics_steps() {
         .unwrap()
     };
 
-    // Cold pass: populate memory + disk, including global-DRF verdicts.
+    // Cold pass: populate memory + disk — outcome sets, global-DRF
+    // verdicts, trace recordings (via the race and local-DRF queries).
     let service = CheckService::new(Arc::new(disk_store(&dir)), RunConfig::default());
     let cold = service.check_corpus();
+    let mut cold_races = Vec::new();
     for t in bdrst_litmus::all_tests() {
         let checked = service.check_source(t.source).unwrap();
         service.global_racefree(&checked).unwrap();
+        cold_races.push(service.check_races(&checked).unwrap().racy());
+        service.local_drf(&checked, &[]).unwrap();
     }
 
     // Warm pass over the live store: zero probes.
     let before = semantics_probes();
     let warm = service.check_corpus();
-    for t in bdrst_litmus::all_tests() {
+    for (t, racy) in bdrst_litmus::all_tests().iter().zip(&cold_races) {
         let checked = service.check_source(t.source).unwrap();
         assert!(checked.cached, "{} missed the warm cache", t.name);
         service.global_racefree(&checked).unwrap();
+        assert_eq!(service.check_races(&checked).unwrap().racy(), *racy);
+        service.local_drf(&checked, &[]).unwrap();
     }
     assert_eq!(
         semantics_probes(),
@@ -48,14 +54,17 @@ fn warm_runs_perform_zero_transition_semantics_steps() {
     );
 
     // Warm pass through a *fresh* store over the same disk directory
-    // (process-restart simulation): still zero probes.
+    // (process-restart simulation): still zero probes — the trace
+    // recordings ride the wire codec back in.
     let restarted = CheckService::new(Arc::new(disk_store(&dir)), RunConfig::default());
     let before = semantics_probes();
     let disk_warm = restarted.check_corpus();
-    for t in bdrst_litmus::all_tests() {
+    for (t, racy) in bdrst_litmus::all_tests().iter().zip(&cold_races) {
         let checked = restarted.check_source(t.source).unwrap();
         assert!(checked.cached);
         restarted.global_racefree(&checked).unwrap();
+        assert_eq!(restarted.check_races(&checked).unwrap().racy(), *racy);
+        restarted.local_drf(&checked, &[]).unwrap();
     }
     assert_eq!(
         semantics_probes(),

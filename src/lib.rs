@@ -15,6 +15,9 @@
 //! * [`opt`] — §7.1's optimisation legality: reorderings, peepholes,
 //!   derived passes, and translation validation;
 //! * [`litmus`] — the test corpus and multi-model runner;
+//! * [`race`] — dynamic race detection: vector-clock happens-before over
+//!   live and recorded traces, space/time-bounded witnesses, and a
+//!   ddmin witness shrinker;
 //! * [`sim`] — the §8 performance evaluation on simulated AArch64/POWER
 //!   cores (Figures 5a/5b/5c).
 //!
@@ -43,4 +46,5 @@ pub use bdrst_hw as hw;
 pub use bdrst_lang as lang;
 pub use bdrst_litmus as litmus;
 pub use bdrst_opt as opt;
+pub use bdrst_race as race;
 pub use bdrst_sim as sim;

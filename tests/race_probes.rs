@@ -1,0 +1,44 @@
+//! The offline detector's acceptance bar, asserted the way every replay
+//! guarantee in this repository is: count transition-semantics probes
+//! ([`bdrst::core::machine::semantics_probes`]) around the replayed
+//! detection and demand the counter does not move.
+//!
+//! The probe counter is process-global, so this file deliberately holds
+//! a **single** test — sibling tests in the same binary would race it.
+
+use bdrst::core::engine::{EngineConfig, TraceEngine};
+use bdrst::core::machine::semantics_probes;
+use bdrst::lang::Program;
+use bdrst::litmus::all_tests;
+use bdrst::race::{detect_races_program, detect_races_replayed, DetectorConfig};
+
+#[test]
+fn replayed_detection_performs_zero_transition_semantics_steps() {
+    let cfg = EngineConfig::default();
+    // Record every corpus program's trace tree and take the live
+    // verdicts first — this is the only place the semantics runs.
+    let prepared: Vec<_> = all_tests()
+        .iter()
+        .map(|t| {
+            let p = Program::parse(t.source).unwrap();
+            let live = detect_races_program(&p, cfg, DetectorConfig::default()).unwrap();
+            let (graph, _) = TraceEngine::new(cfg)
+                .record(&p.locs, p.initial_machine())
+                .unwrap();
+            (t.name, p, live, graph)
+        })
+        .collect();
+
+    let before = semantics_probes();
+    for (name, p, live, graph) in &prepared {
+        let rep = detect_races_replayed(&p.locs, graph, cfg, DetectorConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(rep.racy(), live.racy(), "{name}: verdicts diverge offline");
+        assert_eq!(&rep.witnesses, &live.witnesses, "{name}: witnesses diverge");
+    }
+    assert_eq!(
+        semantics_probes(),
+        before,
+        "offline detection invoked the transition semantics"
+    );
+}
