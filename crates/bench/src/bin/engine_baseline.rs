@@ -10,7 +10,14 @@
 //! asserted semantics-free), and — through a counting global allocator — the
 //! allocations per visited state of fingerprint-first dedup against the
 //! full-`CanonState` reference, plus the zero-allocation guarantee of
-//! the smallvec `Expr::steps` interface. Writes
+//! the smallvec `Expr::steps` interface. Since v6 it also sweeps the
+//! corpus through the **DPOR lane** (source-DPOR + sleep sets,
+//! observational independence), hard-asserting that every
+//! multi-threaded program explores strictly fewer complete traces than
+//! the full enumeration and that copy-on-write stores keep
+//! allocations per visited state below the pre-CoW bar; the
+//! per-program pruned-vs-full table lands in
+//! `crates/bench/baselines/dpor_report.json`. Writes
 //! `crates/bench/baselines/engine_baseline.json` — the perf trajectory
 //! anchor for later PRs. Run from the workspace root:
 //!
@@ -103,7 +110,9 @@ fn corpus_dfs_lane(programs: &[Program], dedup: Dedup) -> (u64, u64, f64) {
 /// the floor per memory transition), plus full-`CanonState` build-and-
 /// hash dedup on every pop. The reduction the new hot path is measured
 /// against is THIS lane, old algorithm vs new algorithm on identical
-/// inputs in one binary.
+/// inputs in one binary. `Machine::clone` no longer deep-copies the
+/// store (it is copy-on-write now), so the seed cost is reproduced
+/// explicitly through [`bdrst_core::store::Store::deep_clone`].
 fn corpus_dfs_seed_lane(programs: &[Program]) -> (u64, u64, f64) {
     use bdrst_core::engine::{canonicalize, StateInterner};
     use bdrst_core::machine::{Expr as _, StepLabel};
@@ -122,12 +131,15 @@ fn corpus_dfs_seed_lane(programs: &[Program]) -> (u64, u64, f64) {
                 continue;
             }
             visited += 1;
-            // Seed-style successor construction: clone-then-overwrite.
+            // Seed-style successor construction: clone-then-overwrite,
+            // with the store deep-cloned per successor as the seed's
+            // `Machine::clone` did.
             for (ti, thread) in m.threads.iter().enumerate() {
                 for (si, step) in thread.expr.steps().into_iter().enumerate() {
                     match step {
                         StepLabel::Silent => {
                             let mut m2 = m.clone();
+                            m2.store = m.store.deep_clone();
                             m2.threads[ti].expr =
                                 thread.expr.apply_step(si, bdrst_core::loc::Val::INIT);
                             worklist.push(m2);
@@ -137,7 +149,11 @@ fn corpus_dfs_seed_lane(programs: &[Program]) -> (u64, u64, f64) {
                                 let mut m2 = m.clone();
                                 // The seed's perform_read cloned the store
                                 // into every outcome; replicate that cost.
-                                m2.store = r.store_after(&m.store);
+                                let mut store = m.store.deep_clone();
+                                if let Some(d) = &r.delta {
+                                    store.update(d.loc, d.contents.clone());
+                                }
+                                m2.store = store;
                                 m2.threads[ti].frontier = r.frontier;
                                 m2.threads[ti].expr =
                                     thread.expr.apply_step(si, r.label.action.value());
@@ -147,7 +163,11 @@ fn corpus_dfs_seed_lane(programs: &[Program]) -> (u64, u64, f64) {
                         StepLabel::Write(loc, x) => {
                             for w in perform_write(locs, &m.store, &thread.frontier, loc, x) {
                                 let mut m2 = m.clone();
-                                m2.store = w.store_after(&m.store);
+                                let mut store = m.store.deep_clone();
+                                if let Some(d) = &w.delta {
+                                    store.update(d.loc, d.contents.clone());
+                                }
+                                m2.store = store;
                                 m2.threads[ti].frontier = w.frontier;
                                 m2.threads[ti].expr =
                                     thread.expr.apply_step(si, bdrst_core::loc::Val::INIT);
@@ -161,6 +181,55 @@ fn corpus_dfs_seed_lane(programs: &[Program]) -> (u64, u64, f64) {
     }
     let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
     (visited, allocs, start.elapsed().as_secs_f64())
+}
+
+/// One corpus program's partial-order-reduction measurements.
+struct DporRow {
+    name: &'static str,
+    threads: usize,
+    full_traces: usize,
+    dpor_traces: usize,
+    dpor_visited: usize,
+    sleep_blocked: usize,
+}
+
+/// Runs the full trace enumeration and the DPOR lane over every corpus
+/// program, returning per-program rows plus (dpor seconds, full seconds,
+/// dpor allocations).
+fn corpus_dpor_lane(names: &[&'static str], programs: &[Program]) -> (Vec<DporRow>, f64, f64, u64) {
+    use bdrst_core::engine::{dpor_reachable_terminals, full_complete_traces, Dependence};
+
+    let mut rows = Vec::new();
+    let alloc_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let dpor_start = Instant::now();
+    for (name, p) in names.iter().zip(programs) {
+        let (_, stats) = dpor_reachable_terminals(
+            &p.locs,
+            p.initial_machine(),
+            EngineConfig::default(),
+            Dependence::Observational,
+        )
+        .expect("corpus fits the reduced budget");
+        rows.push(DporRow {
+            name,
+            threads: p.threads.len(),
+            full_traces: 0,
+            dpor_traces: stats.complete_traces,
+            dpor_visited: stats.visited,
+            sleep_blocked: stats.sleep_blocked,
+        });
+    }
+    let dpor_s = dpor_start.elapsed().as_secs_f64();
+    let dpor_allocs = ALLOCATIONS.load(Ordering::Relaxed) - alloc_before;
+
+    let full_start = Instant::now();
+    for (p, row) in programs.iter().zip(&mut rows) {
+        row.full_traces =
+            full_complete_traces(&p.locs, p.initial_machine(), EngineConfig::default())
+                .expect("corpus fits the full budget");
+    }
+    let full_s = full_start.elapsed().as_secs_f64();
+    (rows, dpor_s, full_s, dpor_allocs)
 }
 
 fn main() {
@@ -238,6 +307,65 @@ fn main() {
     let dfs_seed_states_per_s = v_seed as f64 / t_seed;
     let dfs_full_states_per_s = v_full as f64 / t_full;
     let dfs_fp_states_per_s = v_fp as f64 / t_fp;
+
+    // The copy-on-write store must beat the v5 baseline outright. 35.25
+    // allocations per visited state is the allocs_per_visit_fingerprint
+    // the v5 artifact recorded with deep-cloning stores; the count is
+    // deterministic (not wall clock), so this gate is unconditional.
+    const V5_ALLOCS_PER_VISIT_FINGERPRINT: f64 = 35.25;
+    assert!(
+        allocs_per_visit_fp < V5_ALLOCS_PER_VISIT_FINGERPRINT,
+        "copy-on-write stores should allocate less per visited state than the v5 baseline: \
+         got {allocs_per_visit_fp:.2}, v5 recorded {V5_ALLOCS_PER_VISIT_FINGERPRINT}"
+    );
+
+    // --- partial-order reduction: pruned vs full trace counts ---
+    // Deterministic counts gate hard (multithreaded programs must prune
+    // strictly); the wall-clock comparison follows the warn-by-default
+    // house style below.
+    let corpus_names: Vec<&'static str> = corpus::all_tests().iter().map(|t| t.name).collect();
+    let (dpor_rows, dpor_s, full_trace_s, dpor_allocs) = corpus_dpor_lane(&corpus_names, &programs);
+    let full_traces_total: usize = dpor_rows.iter().map(|r| r.full_traces).sum();
+    let dpor_traces_total: usize = dpor_rows.iter().map(|r| r.dpor_traces).sum();
+    let dpor_visited_total: usize = dpor_rows.iter().map(|r| r.dpor_visited).sum();
+    for row in &dpor_rows {
+        if row.threads > 1 {
+            assert!(
+                row.dpor_traces < row.full_traces,
+                "{}: DPOR explored {} complete traces, full enumeration {}",
+                row.name,
+                row.dpor_traces,
+                row.full_traces
+            );
+        } else {
+            assert_eq!(row.dpor_traces, row.full_traces, "{}", row.name);
+        }
+    }
+    let dpor_trace_reduction = 1.0 - dpor_traces_total as f64 / full_traces_total as f64;
+    let dpor_extensions_per_s = dpor_visited_total as f64 / dpor_s;
+    let allocs_per_visit_dpor = dpor_allocs as f64 / dpor_visited_total as f64;
+    let dpor_report = {
+        let rows = dpor_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"    {{"name": "{}", "threads": {}, "full_complete_traces": {}, "dpor_complete_traces": {}, "dpor_trace_extensions": {}, "sleep_blocked_prefixes": {}}}"#,
+                    r.name,
+                    r.threads,
+                    r.full_traces,
+                    r.dpor_traces,
+                    r.dpor_visited,
+                    r.sleep_blocked
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"schema\": \"bdrst-dpor-report/v1\",\n  \"corpus_full_complete_traces\": \
+             {full_traces_total},\n  \"corpus_dpor_complete_traces\": {dpor_traces_total},\n  \
+             \"trace_reduction\": {dpor_trace_reduction:.3},\n  \"programs\": [\n{rows}\n  ]\n}}\n"
+        )
+    };
 
     // --- steps() must be allocation-free (smallvec interface) ---
     // Deterministic count over every reachable IRIW machine: enumerating
@@ -334,7 +462,7 @@ fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         r#"{{
-  "schema": "bdrst-engine-baseline/v5",
+  "schema": "bdrst-engine-baseline/v6",
   "samples": {SAMPLES},
   "threads_available": {threads},
   "corpus_sweep_sequential_s": {seq:.6},
@@ -357,6 +485,13 @@ fn main() {
   "alloc_reduction_vs_seed": {alloc_reduction:.3},
   "alloc_reduction_dedup_only": {alloc_reduction_dedup_only:.3},
   "steps_allocs": {steps_allocs},
+  "corpus_full_complete_traces": {full_traces_total},
+  "corpus_dpor_complete_traces": {dpor_traces_total},
+  "dpor_trace_reduction": {dpor_trace_reduction:.3},
+  "dpor_corpus_sweep_s": {dpor_s:.6},
+  "full_trace_corpus_sweep_s": {full_trace_s:.6},
+  "dpor_extensions_per_s": {dpor_extensions_per_s:.0},
+  "allocs_per_visit_dpor": {allocs_per_visit_dpor:.2},
   "race_detect_corpus_events": {race_events},
   "race_detect_corpus_racy": {race_racy},
   "race_detect_live_s": {race_live_s:.6},
@@ -379,13 +514,18 @@ fn main() {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/engine_baseline.json");
     std::fs::write(&out, json).expect("write baseline");
     eprintln!("wrote {}", out.display());
+    let dpor_out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/dpor_report.json");
+    std::fs::write(&dpor_out, &dpor_report).expect("write dpor report");
+    eprintln!("wrote {}", dpor_out.display());
 
     // Allocation check: fingerprint-first dedup must cut allocations per
     // visited state by ≥25% against the full-state reference. This is a
     // deterministic count (not wall clock), so it holds on any host; it
     // still honours the warn-only default so a regression is visible
     // before it is fatal.
-    let enforce = std::env::var_os("ENGINE_BASELINE_ENFORCE").is_some();
+    // An empty value counts as unset so a CI matrix can pass "" through.
+    let enforce = std::env::var_os("ENGINE_BASELINE_ENFORCE").is_some_and(|v| !v.is_empty());
     if alloc_reduction >= 0.25 {
         eprintln!(
             "new hot path allocates {:.1}% less per visited state than the seed \
@@ -433,6 +573,30 @@ fn main() {
             "WARNING: parallel sweeps (level-sync {par:.4}s, worksteal {worksteal:.4}s) did not \
              beat sequential ({seq:.4}s) on {threads} cores (noise? set \
              ENGINE_BASELINE_ENFORCE=1 to make this fatal)"
+        );
+    }
+
+    // The partial-order-reduced sweep enumerates strictly fewer traces
+    // (hard-asserted per program above), so it should beat the full
+    // trace enumeration on any host. Wall clock stays warn-gated per
+    // house style; the deterministic trace counts are the hard gate.
+    if dpor_s < full_trace_s {
+        eprintln!(
+            "DPOR corpus sweep beats full trace enumeration ({:.1}x: full {full_trace_s:.4}s / \
+             {full_traces_total} complete traces, reduced {dpor_s:.4}s / {dpor_traces_total} \
+             complete traces — {:.1}% pruned)",
+            full_trace_s / dpor_s,
+            dpor_trace_reduction * 100.0
+        );
+    } else if enforce {
+        panic!(
+            "DPOR corpus sweep ({dpor_s:.4}s) should beat full trace enumeration \
+             ({full_trace_s:.4}s)"
+        );
+    } else {
+        eprintln!(
+            "WARNING: DPOR corpus sweep ({dpor_s:.4}s) did not beat full trace enumeration \
+             ({full_trace_s:.4}s); set ENGINE_BASELINE_ENFORCE=1 to make this fatal"
         );
     }
 

@@ -113,6 +113,7 @@
 
 pub mod canon;
 pub mod deque;
+pub mod dpor;
 pub mod graph;
 pub mod intern;
 pub mod parallel;
@@ -128,6 +129,7 @@ use crate::trace::TraceLabels;
 
 pub use canon::{canon_matches, canonical_fingerprint, canonicalize, CanonState};
 pub use deque::ChaseLev;
+pub use dpor::{dpor_reachable_terminals, full_complete_traces, Dependence, DporEngine, DporStats};
 pub use graph::{ReplayStep, ReplayVisitor, StateGraph, TraceGraph};
 pub use intern::{Hashed, SharedInterner, StateId, StateInterner};
 pub use parallel::{parallel_map, parallel_map_with, ParallelEngine};
@@ -333,6 +335,15 @@ pub enum Strategy {
     /// Deque-based work-stealing over a persistent worker pool (no
     /// per-level barrier).
     WorkStealing,
+    /// Dynamic partial-order reduction ([`DporEngine`]): one
+    /// representative per Mazurkiewicz class of maximal traces, under the
+    /// observational [`Dependence`]. Outcome enumeration
+    /// (`Program::outcomes_with`, [`dpor_reachable_terminals`]) explores
+    /// strictly fewer traces on programs with commuting transitions;
+    /// state-space entry points that promise the full canonical visited
+    /// set ([`explorer`]) fall back to [`Strategy::Dfs`], since a reduced
+    /// walk cannot honour the [`Explorer`] visit-every-state contract.
+    Dpor,
 }
 
 /// A state-space visitor: called exactly once per distinct canonical
@@ -398,7 +409,11 @@ pub fn explorer<E: Expr + Send + Sync>(
     config: EngineConfig,
 ) -> Box<dyn Explorer<E>> {
     match strategy {
-        Strategy::Dfs => Box::new(WorklistEngine::new(config, SearchOrder::Dfs)),
+        // A reduced walk visits a subset of traces, not of canonical
+        // states; callers that need the full visited-state contract get
+        // the sequential DFS engine. Outcome enumeration routes Dpor to
+        // the reduced engine in `crate::explore` instead.
+        Strategy::Dfs | Strategy::Dpor => Box::new(WorklistEngine::new(config, SearchOrder::Dfs)),
         Strategy::Bfs => Box::new(WorklistEngine::new(config, SearchOrder::Bfs)),
         Strategy::Parallel => Box::new(ParallelEngine::new(config)),
         Strategy::WorkStealing => Box::new(WorkStealingEngine::new(config)),

@@ -58,8 +58,10 @@ pub fn reachable_terminals<E: Expr>(
 }
 
 /// [`reachable_terminals`] with an explicit engine [`Strategy`]
-/// (DFS / BFS / parallel). All strategies return the same canonical
-/// terminal set; only discovery order differs.
+/// (DFS / BFS / parallel / DPOR). All strategies return the same
+/// canonical terminal set; only discovery order — and, for
+/// [`Strategy::Dpor`], the number of traces explored to find it —
+/// differs.
 ///
 /// # Errors
 ///
@@ -70,6 +72,18 @@ pub fn reachable_terminals_with<E: Expr + Send + Sync>(
     config: ExploreConfig,
     strategy: Strategy,
 ) -> Result<Vec<Machine<E>>, EngineError> {
+    if strategy == Strategy::Dpor {
+        // The reduced walk reaches every terminal through one
+        // representative trace per equivalence class instead of visiting
+        // every canonical state.
+        let (terminals, _) = crate::engine::dpor_reachable_terminals(
+            locs,
+            m0,
+            config,
+            crate::engine::Dependence::Observational,
+        )?;
+        return Ok(terminals);
+    }
     let engine = crate::engine::explorer::<E>(strategy, config);
     collect_terminals(engine.as_ref(), locs, m0)
 }

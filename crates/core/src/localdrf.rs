@@ -31,6 +31,17 @@
 //! a verdict. The differential suites assert the sharded verdicts match
 //! the sequential ones across the corpus and generated programs.
 //!
+//! The core checkers additionally have `*_reduced` variants that walk a
+//! partial-order-reduced trace tree ([`DporEngine`] under
+//! [`Dependence::Conservative`]) instead of the full enumeration.
+//! Conservative commutations preserve transition labels, happens-before,
+//! data races and weak flags, so trace-existence verdicts ("some SC trace
+//! races", "some trace has a weak transition") are invariant across each
+//! explored equivalence class and the reduced walk classifies programs
+//! exactly as the full one — in a fraction of the traces. The
+//! differential suites assert the agreement corpus-wide and on generated
+//! programs.
+//!
 //! Finally, every checker has a `*_replayed` variant over a recorded
 //! [`TraceGraph`] ([`TraceEngine::record`]): the verdict logic of each
 //! visitor consumes only transition *labels* (and the labels enabled at
@@ -42,8 +53,8 @@
 //! exactly that for Theorem 14's two scans.
 
 use crate::engine::{
-    Control, EngineConfig, EngineError, ExploreStats, MergeableVisitor, ReplayStep, ReplayVisitor,
-    TraceEngine, TraceGraph, TraceVisitor,
+    Control, Dependence, DporEngine, DporStats, EngineConfig, EngineError, ExploreStats,
+    MergeableVisitor, ReplayStep, ReplayVisitor, TraceEngine, TraceGraph, TraceVisitor,
 };
 use crate::loc::LocSet;
 use crate::machine::{Expr, Machine, Transition, TransitionLabel};
@@ -449,6 +460,51 @@ pub fn check_local_drf_replayed(
     }
 }
 
+/// [`check_local_drf`] over the partial-order-reduced suffix tree
+/// ([`DporEngine`], [`Dependence::Conservative`]): Theorem 13's
+/// conclusion is checked at every state along the DPOR-representative
+/// L-sequential suffixes instead of all of them.
+///
+/// Any violation reported is real (the checked states are genuinely
+/// reachable). Conversely, the per-state verdict depends only on data
+/// that conservative commutations preserve — suffix labels up to
+/// reordering of independent pairs, their races, and the (identical)
+/// reached machine state — so equivalent suffixes agree on it, and the
+/// reduced sweep covers one representative per class. The differential
+/// suites assert corpus-wide agreement with [`check_local_drf`].
+///
+/// # Errors
+///
+/// As [`check_local_drf`]; statistics come back as [`DporStats`].
+pub fn check_local_drf_reduced<E: Expr>(
+    locs: &LocSet,
+    m: Machine<E>,
+    l_set: &LocPredicate,
+    config: EngineConfig,
+) -> Result<DporStats, CheckError<LocalDrfViolation>> {
+    let mut visitor = LocalDrfVisitor {
+        locs,
+        l_set,
+        violation: None,
+    };
+
+    // The empty suffix (state `m` itself) must also satisfy the theorem.
+    let enabled: Vec<TransitionLabel> = m.transitions(locs).iter().map(|t| t.label).collect();
+    if let Some(v) = visitor.check_state(&TraceLabels::new(), enabled.iter().copied()) {
+        return Err(CheckError::Violation(v));
+    }
+
+    let stats = DporEngine::with_dependence(config, Dependence::Conservative).explore(
+        locs,
+        m,
+        &mut visitor,
+    )?;
+    match visitor.violation {
+        Some(v) => Err(CheckError::Violation(v)),
+        None => Ok(stats),
+    }
+}
+
 /// A witness that a program is not data-race-free: a sequentially
 /// consistent trace containing a data race.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -560,6 +616,32 @@ pub fn sc_race_freedom_sharded<E: Expr + Send + Sync>(
     Ok(merged.status)
 }
 
+/// [`sc_race_freedom`] over the partial-order-reduced SC trace tree
+/// ([`DporEngine`], [`Dependence::Conservative`]): classifies the
+/// program from one representative trace per equivalence class.
+///
+/// The classification matches [`sc_race_freedom`] exactly: conservative
+/// commutations preserve labels and happens-before, so a race in any SC
+/// trace appears in its explored representative too. The *witness* may
+/// differ (a different representative races first), so differential
+/// checks compare the [`DrfStatus`] polarity, not the witness.
+///
+/// # Errors
+///
+/// As [`sc_race_freedom`].
+pub fn sc_race_freedom_reduced<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: EngineConfig,
+) -> Result<DrfStatus, EngineError> {
+    let mut v = ScRaceVisitor {
+        locs,
+        status: DrfStatus::RaceFree,
+    };
+    DporEngine::with_dependence(config, Dependence::Conservative).explore(locs, m0, &mut v)?;
+    Ok(v.status)
+}
+
 /// [`sc_race_freedom`] over a recorded [`TraceGraph`]: classifies the
 /// program from the cached tree, without re-running the transition
 /// semantics. Verdicts — including the witness — are identical to the
@@ -653,6 +735,28 @@ pub fn all_traces_sequentially_consistent_sharded<E: Expr + Send + Sync>(
     Ok(merged.witness.is_none())
 }
 
+/// [`all_traces_sequentially_consistent`] over the partial-order-reduced
+/// trace tree ([`DporEngine`], [`Dependence::Conservative`]): scans one
+/// representative per equivalence class for a weak transition.
+///
+/// Weak flags are part of the transition labels, which conservative
+/// commutations preserve — a weak transition in any trace is a weak
+/// transition in its explored representative — so the verdict matches
+/// the full scan's.
+///
+/// # Errors
+///
+/// As [`all_traces_sequentially_consistent`].
+pub fn all_traces_sequentially_consistent_reduced<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: EngineConfig,
+) -> Result<bool, EngineError> {
+    let mut v = WeakTraceVisitor { witness: None };
+    DporEngine::with_dependence(config, Dependence::Conservative).explore(locs, m0, &mut v)?;
+    Ok(v.witness.is_none())
+}
+
 /// [`all_traces_sequentially_consistent`] over a recorded [`TraceGraph`]:
 /// scans the cached tree for a weak transition without re-running the
 /// semantics.
@@ -734,7 +838,35 @@ pub fn check_global_drf_sharded<E: Expr + Send + Sync>(
     Ok(status)
 }
 
-/// [`check_global_drf`] over one shared recording: Theorem 14 needs two
+/// [`check_global_drf`] with both trace enumerations partial-order
+/// reduced ([`sc_race_freedom_reduced`] for the SC race scan,
+/// [`all_traces_sequentially_consistent_reduced`] for the weak-transition
+/// scan). Both scans check trace-existence properties that conservative
+/// commutations preserve, so the Theorem 14 verdict matches
+/// [`check_global_drf`]'s while exploring a fraction of the traces.
+///
+/// # Errors
+///
+/// As [`check_global_drf`].
+pub fn check_global_drf_reduced<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    config: EngineConfig,
+) -> Result<DrfStatus, CheckError<GlobalDrfViolation>> {
+    let status = sc_race_freedom_reduced(locs, m0.clone(), config)?;
+    if let DrfStatus::RaceFree = status {
+        let mut v = WeakTraceVisitor { witness: None };
+        DporEngine::with_dependence(config, Dependence::Conservative)
+            .explore(locs, m0, &mut v)
+            .map_err(CheckError::from)?;
+        if let Some(weak_transition) = v.witness {
+            return Err(CheckError::Violation(GlobalDrfViolation {
+                weak_transition,
+            }));
+        }
+    }
+    Ok(status)
+}
 /// trace enumerations (the SC race scan and the weak-transition scan),
 /// which the plain checker runs as two live walks. This variant records
 /// the trace tree once ([`TraceEngine::record`]) and replays both scans

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::frontier::Frontier;
 use crate::loc::{LabeledAction, Loc, LocSet, Val};
-use crate::memop::{perform_read, perform_write};
+use crate::memop::{perform_read, perform_write, StoreDelta};
 use crate::store::Store;
 use crate::timestamp::Timestamp;
 
@@ -358,18 +358,29 @@ impl<E: Expr> Machine<E> {
         !self.threads.iter().any(|t| t.expr.has_step())
     }
 
-    /// The successor machine of one transition: `store` replaces the
-    /// shared store (`None` = unchanged, cloned from `self`), and thread
-    /// `ti` gets the new frontier and expression. Building the target
-    /// directly — instead of cloning the whole machine and overwriting
-    /// the changed parts — keeps the per-transition allocation cost to
-    /// exactly what the successor needs: the old hot path cloned (and
-    /// immediately dropped) the full store, the acting thread's frontier,
-    /// and its expression on every memory transition.
-    fn target(&self, ti: usize, store: Option<Store>, frontier: Frontier, expr: E) -> Machine<E> {
+    /// The successor machine of one transition: `delta` is applied to a
+    /// copy-on-write clone of the shared store (`None` = unchanged — the
+    /// clone is then a pure `Arc` bump), and thread `ti` gets the new
+    /// frontier and expression. Building the target directly — instead
+    /// of cloning the whole machine and overwriting the changed parts —
+    /// keeps the per-transition allocation cost to exactly what the
+    /// successor needs: read and silent successors share the parent
+    /// store outright, and a write successor pays only for the spine and
+    /// its one rewritten location.
+    fn target(
+        &self,
+        ti: usize,
+        delta: Option<StoreDelta>,
+        frontier: Frontier,
+        expr: E,
+    ) -> Machine<E> {
+        let mut store = self.store.clone();
+        if let Some(d) = delta {
+            store.update(d.loc, d.contents);
+        }
         let mut acting = Some(ThreadState { frontier, expr });
         Machine {
-            store: store.unwrap_or_else(|| self.store.clone()),
+            store,
             threads: self
                 .threads
                 .iter()
@@ -416,7 +427,7 @@ impl<E: Expr> Machine<E> {
                                     timestamp: r.timestamp,
                                     weak: r.weak,
                                 },
-                                target: self.target(ti, r.store, r.frontier, expr),
+                                target: self.target(ti, r.delta, r.frontier, expr),
                             });
                         }
                     }
@@ -430,7 +441,7 @@ impl<E: Expr> Machine<E> {
                                     timestamp: w.timestamp,
                                     weak: w.weak,
                                 },
-                                target: self.target(ti, w.store, w.frontier, expr),
+                                target: self.target(ti, w.delta, w.frontier, expr),
                             });
                         }
                     }

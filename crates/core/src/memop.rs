@@ -25,16 +25,28 @@ use crate::loc::{Action, LabeledAction, Loc, LocKind, LocSet, Val};
 use crate::store::{LocContents, Store};
 use crate::timestamp::Timestamp;
 
+/// The one-location store change a memory operation makes: rule Memory
+/// only ever rewrites `S[ℓ ↦ C′]`, so an operation's effect on the store
+/// is exactly this pair — never a rebuilt map. Applying it to the
+/// copy-on-write [`Store`] costs the spine plus one slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreDelta {
+    /// The written location `ℓ`.
+    pub loc: Loc,
+    /// Its new contents `C′`.
+    pub contents: LocContents,
+}
+
 /// One outcome of applying a memory operation.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct OpResult {
-    /// The store after the operation (`S[ℓ ↦ C′]`), or `None` when the
-    /// rule leaves the store unchanged — both read rules (Read-NA and
-    /// Read-AT only move *frontiers*). Returning `None` instead of a
-    /// clone keeps the read-heavy exploration hot path allocation-free
-    /// on the store side; [`OpResult::store_after`] resolves it against
-    /// the pre-operation store.
-    pub store: Option<Store>,
+    /// The store change (`S[ℓ ↦ C′]` as a [`StoreDelta`]), or `None`
+    /// when the rule leaves the store unchanged — both read rules
+    /// (Read-NA and Read-AT only move *frontiers*). Returning the delta
+    /// instead of a rebuilt store makes a successor cost O(delta):
+    /// [`OpResult::store_after`] (or [`Store::update`] on a cheap clone)
+    /// resolves it against the pre-operation store.
+    pub delta: Option<StoreDelta>,
     /// The acting thread's frontier after the operation (`F′`).
     pub frontier: Frontier,
     /// The labelled action `ℓ : ϕ` that was performed.
@@ -48,10 +60,15 @@ pub struct OpResult {
 }
 
 impl OpResult {
-    /// The store after the operation, cloning `base` (the store the
-    /// operation ran against) when the rule left it unchanged.
+    /// The store after the operation: a copy-on-write clone of `base`
+    /// (the store the operation ran against) with the delta, if any,
+    /// applied to its one location.
     pub fn store_after(&self, base: &Store) -> Store {
-        self.store.clone().unwrap_or_else(|| base.clone())
+        let mut store = base.clone();
+        if let Some(d) = &self.delta {
+            store.update(d.loc, d.contents.clone());
+        }
+        store
     }
 }
 
@@ -72,7 +89,7 @@ pub fn perform_read(locs: &LocSet, store: &Store, frontier: &Frontier, loc: Loc)
             debug_assert!(frontier.get(loc) <= latest_t, "frontier beyond history");
             h.readable_from(frontier.get(loc))
                 .map(|(t, v)| OpResult {
-                    store: None,
+                    delta: None,
                     frontier: frontier.clone(),
                     label: LabeledAction {
                         loc,
@@ -89,7 +106,7 @@ pub fn perform_read(locs: &LocSet, store: &Store, frontier: &Frontier, loc: Loc)
             let (floc, v) = store.atomic(loc);
             let merged = floc.join(frontier);
             vec![OpResult {
-                store: None,
+                delta: None,
                 frontier: merged,
                 label: LabeledAction {
                     loc,
@@ -126,12 +143,13 @@ pub fn perform_write(
                 .map(|t| {
                     let mut h2: History = h.clone();
                     h2.insert(t, x);
-                    let mut st = store.clone();
-                    st.update(loc, LocContents::Nonatomic(h2));
                     let mut f2 = frontier.clone();
                     f2.advance(loc, t);
                     OpResult {
-                        store: Some(st),
+                        delta: Some(StoreDelta {
+                            loc,
+                            contents: LocContents::Nonatomic(h2),
+                        }),
                         frontier: f2,
                         label: LabeledAction {
                             loc,
@@ -147,16 +165,14 @@ pub fn perform_write(
         LocKind::Atomic => {
             let (floc, _) = store.atomic(loc);
             let merged = floc.join(frontier);
-            let mut st = store.clone();
-            st.update(
-                loc,
-                LocContents::Atomic {
-                    frontier: merged.clone(),
-                    value: x,
-                },
-            );
             vec![OpResult {
-                store: Some(st),
+                delta: Some(StoreDelta {
+                    loc,
+                    contents: LocContents::Atomic {
+                        frontier: merged.clone(),
+                        value: x,
+                    },
+                }),
                 frontier: merged,
                 label: LabeledAction {
                     loc,
@@ -204,7 +220,7 @@ mod tests {
         assert_eq!(outs[0].label.action, Action::Read(Val::INIT));
         assert!(!outs[0].weak);
         // Read-NA leaves store and frontier unchanged.
-        assert_eq!(outs[0].store, None, "Read-NA leaves the store untouched");
+        assert_eq!(outs[0].delta, None, "Read-NA leaves the store untouched");
         assert_eq!(outs[0].frontier, fx.f0);
     }
 
@@ -301,6 +317,23 @@ mod tests {
         assert_eq!(floc.get(fx.a), w[0].timestamp.unwrap());
         // Atomic ops are never weak.
         assert!(!wf[0].weak);
+    }
+
+    #[test]
+    fn write_delta_is_one_location_and_preserves_sharing() {
+        let fx = fixture();
+        let w = perform_write(&fx.locs, &fx.store, &fx.f0, fx.a, Val(1));
+        let d = w[0].delta.as_ref().unwrap();
+        assert_eq!(d.loc, fx.a);
+        // Applying the delta leaves every untouched slot shared with the
+        // base store (copy-on-write), and the base itself unchanged.
+        let after = w[0].store_after(&fx.store);
+        assert!(std::ptr::eq(
+            fx.store.contents(fx.flag),
+            after.contents(fx.flag)
+        ));
+        assert_eq!(fx.store.history(fx.a).len(), 1);
+        assert_eq!(after.history(fx.a).len(), 2);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! histories, atomic locations map to a frontier/value pair.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::frontier::Frontier;
 use crate::history::History;
@@ -51,6 +52,15 @@ impl LocContents {
 
 /// A store `S`: per-location contents for every declared location.
 ///
+/// Copy-on-write: the location table lives behind an [`Arc`] and every
+/// slot is itself an [`Arc`], so [`Store::clone`] is a reference-count
+/// bump (successor machines that leave memory untouched share the parent
+/// store outright) and [`Store::update`] pays only for the spine and the
+/// one replaced slot (`Arc::make_mut` on the table, a fresh `Arc` for the
+/// new contents) — O(delta), never a rebuild of every history. Branches
+/// of an exploration therefore alias freely and can never observe each
+/// other's writes.
+///
 /// # Examples
 ///
 /// ```
@@ -65,7 +75,7 @@ impl LocContents {
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Store {
-    contents: Vec<LocContents>,
+    contents: Arc<Vec<Arc<LocContents>>>,
 }
 
 impl Store {
@@ -76,15 +86,19 @@ impl Store {
         let f0 = Frontier::initial(locs);
         let contents = locs
             .iter()
-            .map(|l| match locs.kind(l) {
-                LocKind::Nonatomic => LocContents::Nonatomic(History::initial(Val::INIT)),
-                LocKind::Atomic => LocContents::Atomic {
-                    frontier: f0.clone(),
-                    value: Val::INIT,
-                },
+            .map(|l| {
+                Arc::new(match locs.kind(l) {
+                    LocKind::Nonatomic => LocContents::Nonatomic(History::initial(Val::INIT)),
+                    LocKind::Atomic => LocContents::Atomic {
+                        frontier: f0.clone(),
+                        value: Val::INIT,
+                    },
+                })
             })
             .collect();
-        Store { contents }
+        Store {
+            contents: Arc::new(contents),
+        }
     }
 
     /// The contents of `loc`.
@@ -94,6 +108,13 @@ impl Store {
     /// Panics if `loc` is out of range.
     pub fn contents(&self, loc: Loc) -> &LocContents {
         &self.contents[loc.index()]
+    }
+
+    /// True iff `self` and `other` share the same location table (a
+    /// `clone` that no `update` has diverged yet). Used by tests to pin
+    /// down the copy-on-write behaviour; semantics code never needs it.
+    pub fn ptr_eq(&self, other: &Store) -> bool {
+        Arc::ptr_eq(&self.contents, &other.contents)
     }
 
     /// The history of nonatomic `loc`.
@@ -115,8 +136,27 @@ impl Store {
     }
 
     /// Replaces the contents of `loc` (the `S[ℓ ↦ C′]` of rule Memory).
+    ///
+    /// Copy-on-write: a shared spine is cloned (pointer-sized slots only)
+    /// before the one slot is swapped for the new contents; every other
+    /// location keeps sharing its `Arc` with the aliased stores.
     pub fn update(&mut self, loc: Loc, contents: LocContents) {
-        self.contents[loc.index()] = contents;
+        Arc::make_mut(&mut self.contents)[loc.index()] = Arc::new(contents);
+    }
+
+    /// A structurally fresh copy sharing nothing with `self` — the cost
+    /// profile `Store::clone` had before the copy-on-write refactor.
+    /// Exists for baseline comparisons (the seed-equivalent bench lane);
+    /// exploration code should always use the cheap `clone`.
+    pub fn deep_clone(&self) -> Store {
+        Store {
+            contents: Arc::new(
+                self.contents
+                    .iter()
+                    .map(|c| Arc::new((**c).clone()))
+                    .collect(),
+            ),
+        }
     }
 
     /// Number of locations.
@@ -134,7 +174,7 @@ impl Store {
         self.contents
             .iter()
             .enumerate()
-            .map(|(i, c)| (Loc(i as u32), c))
+            .map(|(i, c)| (Loc(i as u32), &**c))
     }
 }
 
@@ -194,5 +234,35 @@ mod tests {
         h.insert(Timestamp::ZERO.succ(), Val(5));
         s.update(a, LocContents::Nonatomic(h));
         assert_eq!(s.history(a).latest().1, Val(5));
+    }
+
+    #[test]
+    fn clone_shares_until_update_diverges() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let b = locs.fresh("b", LocKind::Nonatomic);
+        let parent = Store::initial(&locs);
+        let mut child = parent.clone();
+        assert!(parent.ptr_eq(&child), "a clone is a pure Arc bump");
+        let mut h = History::initial(Val::INIT);
+        h.insert(Timestamp::ZERO.succ(), Val(7));
+        child.update(a, LocContents::Nonatomic(h));
+        // The write diverged the child; the parent is untouched.
+        assert!(!parent.ptr_eq(&child));
+        assert_eq!(parent.history(a).latest(), (Timestamp::ZERO, Val::INIT));
+        assert_eq!(child.history(a).latest().1, Val(7));
+        // Untouched slots still share their contents allocation.
+        assert!(std::ptr::eq(parent.contents(b), child.contents(b)));
+    }
+
+    #[test]
+    fn deep_clone_shares_nothing() {
+        let mut locs = LocSet::new();
+        let a = locs.fresh("a", LocKind::Nonatomic);
+        let s = Store::initial(&locs);
+        let d = s.deep_clone();
+        assert_eq!(s, d);
+        assert!(!s.ptr_eq(&d));
+        assert!(!std::ptr::eq(s.contents(a), d.contents(a)));
     }
 }

@@ -6,7 +6,7 @@
 
 use bdrst_core::frontier::Frontier;
 use bdrst_core::loc::{LocKind, LocSet, Val};
-use bdrst_core::memop::{perform_read, perform_write, OpResult};
+use bdrst_core::memop::{perform_read, perform_write, OpResult, StoreDelta};
 use bdrst_core::store::{LocContents, Store};
 
 /// Which semantics to run the hand-rolled explorer under.
@@ -54,16 +54,14 @@ fn step(
                     // Re-publish only the value; keep the location's old
                     // frontier (drop the release half).
                     let (old_frontier, _) = store.atomic(loc(l));
-                    let mut st = o.store_after(store);
                     let v = o.label.action.value();
-                    st.update(
-                        loc(l),
-                        LocContents::Atomic {
+                    o.delta = Some(StoreDelta {
+                        loc: loc(l),
+                        contents: LocContents::Atomic {
                             frontier: old_frontier.clone(),
                             value: v,
                         },
-                    );
-                    o.store = Some(st);
+                    });
                 }
             }
             let st = o.store_after(store);

@@ -168,7 +168,10 @@ impl Program {
     ) -> Result<(StateGraph<ThreadState>, ExploreStats), EngineError> {
         let m0 = self.initial_machine();
         match strategy {
-            Strategy::Dfs => {
+            // A state graph is by definition the *full* interned
+            // successor graph; the reduced walk cannot record one, so
+            // Dpor falls back to the sequential DFS recorder.
+            Strategy::Dfs | Strategy::Dpor => {
                 WorklistEngine::new(config, SearchOrder::Dfs).explore_graph(&self.locs, m0)
             }
             Strategy::Bfs => {

@@ -371,18 +371,146 @@ pub static WRC: LitmusTest = LitmusTest {
     ],
 };
 
+/// Three-thread store buffering around a cycle of locations: every
+/// combination of stale and fresh reads is reachable — the fully relaxed
+/// shape, and (three threads × three locations) a stress test for the
+/// partial-order reduction, which prunes interleavings that only permute
+/// accesses to different locations.
+pub static SB3: LitmusTest = LitmusTest {
+    name: "SB3",
+    description: "three-thread store buffering: all read combinations allowed",
+    source: "nonatomic a b c;
+             thread P0 { a = 1; r0 = b; }
+             thread P1 { b = 1; r1 = c; }
+             thread P2 { c = 1; r2 = a; }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 0 ∧ r1 = 0 ∧ r2 = 0",
+            predicate: |o| r(o, "P0", "r0") == 0 && r(o, "P1", "r1") == 0 && r(o, "P2", "r2") == 0,
+            allowed: true,
+        },
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 1 ∧ r2 = 1",
+            predicate: |o| r(o, "P0", "r0") == 1 && r(o, "P1", "r1") == 1 && r(o, "P2", "r2") == 1,
+            allowed: true,
+        },
+    ],
+};
+
+/// Three-thread load buffering around a cycle: the all-ones outcome needs
+/// every read to see the *next* thread's future write — a poRW cycle,
+/// forbidden just like two-thread [`LB`] (§9.1).
+pub static LB3: LitmusTest = LitmusTest {
+    name: "LB3",
+    description: "three-thread load buffering: all-ones forbidden (poRW cycle)",
+    source: "nonatomic a b c;
+             thread P0 { r0 = a; b = 1; }
+             thread P1 { r1 = b; c = 1; }
+             thread P2 { r2 = c; a = 1; }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 1 ∧ r2 = 1",
+            predicate: |o| r(o, "P0", "r0") == 1 && r(o, "P1", "r1") == 1 && r(o, "P2", "r2") == 1,
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 1 ∧ r2 = 0 (two of three see the future)",
+            predicate: |o| r(o, "P0", "r0") == 1 && r(o, "P1", "r1") == 1 && r(o, "P2", "r2") == 0,
+            allowed: true,
+        },
+    ],
+};
+
+/// Message passing with *two* nonatomic payloads behind one atomic flag:
+/// publication covers every write before the release, so a reader that
+/// sees the flag sees both payloads — there is no partially published
+/// state.
+pub static MP2: LitmusTest = LitmusTest {
+    name: "MP2",
+    description: "two payloads, one atomic flag: publication is all-or-nothing",
+    source: "nonatomic a b; atomic f;
+             thread P0 { a = 1; b = 2; f = 1; }
+             thread P1 { r0 = f; if (r0 == 1) { r1 = a; r2 = b; } }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 1 ∧ (r1 ≠ 1 ∨ r2 ≠ 2)",
+            predicate: |o| {
+                r(o, "P1", "r0") == 1 && (r(o, "P1", "r1") != 1 || r(o, "P1", "r2") != 2)
+            },
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 1 ∧ r2 = 2",
+            predicate: |o| r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 1 && r(o, "P1", "r2") == 2,
+            allowed: true,
+        },
+    ],
+};
+
+/// 2+2W on *atomic* locations: unlike the nonatomic [`TWO_PLUS_TWO_W`],
+/// atomic writes join the location's frontier before publishing, so the
+/// both-first-writes-win outcome (which needs each thread's second write
+/// to slot behind a write it already saw) is forbidden — the SC verdict.
+pub static TWO_PLUS_TWO_W_AT: LitmusTest = LitmusTest {
+    name: "2+2W+at",
+    description: "antagonistic atomic writes: both-first-writes-win forbidden",
+    source: "atomic A B;
+             thread P0 { A = 1; B = 2; }
+             thread P1 { B = 1; A = 2; }",
+    checks: &[
+        OutcomeCheck {
+            description: "final A = 1 ∧ B = 1",
+            predicate: |o| m(o, "A") == 1 && m(o, "B") == 1,
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "final A = 2 ∧ B = 2",
+            predicate: |o| m(o, "A") == 2 && m(o, "B") == 2,
+            allowed: true,
+        },
+    ],
+};
+
+/// Store buffering on atomics: §9.2's point in litmus form — this model's
+/// atomics are *stronger* than C++ SC atomics, and the relaxed SB outcome
+/// (both loads stale) is forbidden outright.
+pub static SB_AT: LitmusTest = LitmusTest {
+    name: "SB+at",
+    description: "store buffering on atomics: relaxed outcome forbidden (§9.2)",
+    source: "atomic A B;
+             thread P0 { A = 1; r0 = B; }
+             thread P1 { B = 1; r1 = A; }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 0 ∧ r1 = 0",
+            predicate: |o| r(o, "P0", "r0") == 0 && r(o, "P1", "r1") == 0,
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 1",
+            predicate: |o| r(o, "P0", "r0") == 1 && r(o, "P1", "r1") == 1,
+            allowed: true,
+        },
+    ],
+};
+
 /// All corpus tests, in presentation order.
 pub fn all_tests() -> Vec<&'static LitmusTest> {
     vec![
         &SB,
+        &SB3,
+        &SB_AT,
         &MP,
         &MP_NA,
+        &MP2,
         &LB,
         &LB_CTRL,
+        &LB3,
         &CORR,
         &CORR_SYNC,
         &COWW,
         &TWO_PLUS_TWO_W,
+        &TWO_PLUS_TWO_W_AT,
         &WRC,
         &IRIW_AT,
         &IRIW_NA,
@@ -408,7 +536,7 @@ mod tests {
     #[test]
     fn corpus_has_both_polarities() {
         let tests = all_tests();
-        assert!(tests.len() >= 14);
+        assert!(tests.len() >= 20);
         let allowed = tests
             .iter()
             .flat_map(|t| t.checks)

@@ -33,8 +33,8 @@
 use std::collections::BTreeSet;
 
 use bdrst_core::engine::{
-    Control, EngineConfig, EngineError, ExploreStats, ReplayStep, ReplayVisitor, TraceEngine,
-    TraceGraph, TraceVisitor,
+    Control, Dependence, DporEngine, EngineConfig, EngineError, ExploreStats, ReplayStep,
+    ReplayVisitor, TraceEngine, TraceGraph, TraceVisitor,
 };
 use bdrst_core::loc::{Loc, LocKind, LocSet};
 use bdrst_core::machine::{Expr, Machine, ThreadId, Transition, TransitionLabel};
@@ -393,6 +393,38 @@ pub fn detect_races<E: Expr>(
     let mut d = RaceDetector::new(locs, config);
     let stats = TraceEngine::new(engine).explore(locs, m0, &mut d)?;
     Ok(d.into_report(stats))
+}
+
+/// Live detection over the partial-order-reduced trace tree
+/// ([`DporEngine`] under [`Dependence::Conservative`]): streams one
+/// representative trace per equivalence class into the detector instead
+/// of every interleaving.
+///
+/// Conservative commutations preserve labels and happens-before, so a
+/// race in any explored-class trace appears in its representative: the
+/// `racy()` polarity matches [`detect_races`] exactly (the differential
+/// suites assert this corpus-wide). Witness *sets* may be smaller — a
+/// pruned sibling order can surface a different thread pair first — so
+/// reduced reports are compared by polarity, not witness-for-witness.
+/// The detector's undo stack re-synchronises on trace length alone,
+/// which the reduced walk maintains exactly like the full one.
+///
+/// # Errors
+///
+/// As [`detect_races`].
+pub fn detect_races_reduced<E: Expr>(
+    locs: &LocSet,
+    m0: Machine<E>,
+    engine: EngineConfig,
+    config: DetectorConfig,
+) -> Result<RaceReport, EngineError> {
+    let mut d = RaceDetector::new(locs, config);
+    let dstats =
+        DporEngine::with_dependence(engine, Dependence::Conservative).explore(locs, m0, &mut d)?;
+    Ok(d.into_report(ExploreStats {
+        visited: dstats.visited,
+        transitions: dstats.transitions,
+    }))
 }
 
 /// Offline detection over a recorded [`TraceGraph`]: identical verdicts

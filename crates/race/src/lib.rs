@@ -53,7 +53,10 @@ pub mod shrink;
 pub mod witness;
 
 pub use clock::{Access, VectorClock};
-pub use detect::{detect_races, detect_races_replayed, DetectorConfig, RaceDetector, RaceReport};
+pub use detect::{
+    detect_races, detect_races_reduced, detect_races_replayed, DetectorConfig, RaceDetector,
+    RaceReport,
+};
 pub use shrink::{ddmin, run_schedule, shrink_witness, ShrunkRace};
 pub use witness::RaceWitness;
 
@@ -72,4 +75,19 @@ pub fn detect_races_program(
     config: DetectorConfig,
 ) -> Result<RaceReport, EngineError> {
     detect_races(&program.locs, program.initial_machine(), engine, config)
+}
+
+/// [`detect_races_program`] over the partial-order-reduced trace tree
+/// ([`detect::detect_races_reduced`]): identical `racy()` polarity in a
+/// fraction of the traces.
+///
+/// # Errors
+///
+/// As [`detect_races_reduced`].
+pub fn detect_races_reduced_program(
+    program: &Program,
+    engine: EngineConfig,
+    config: DetectorConfig,
+) -> Result<RaceReport, EngineError> {
+    detect_races_reduced(&program.locs, program.initial_machine(), engine, config)
 }

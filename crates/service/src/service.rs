@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use bdrst_core::engine::{EngineConfig, TraceEngine, TraceGraph};
 use bdrst_core::localdrf::{
-    check_local_drf, check_local_drf_replayed, sc_race_freedom, CheckError, DrfStatus,
+    check_local_drf, check_local_drf_replayed, sc_race_freedom_reduced, CheckError, DrfStatus,
 };
 use bdrst_core::trace::LocPredicate;
 use bdrst_lang::Program;
@@ -144,6 +144,13 @@ impl CheckService {
     /// consistent trace race-free) for a checked program, memoized into
     /// its cache entry and re-persisted on first computation.
     ///
+    /// Cache misses run the *partial-order-reduced* SC race scan
+    /// ([`sc_race_freedom_reduced`]): the memoized value is a pure
+    /// classification, which the reduced walk computes identically to
+    /// the full enumeration (the differential suites assert this) in a
+    /// fraction of the traces. Queries that need a concrete witness
+    /// ([`CheckService::check_races`]) keep the full-tree paths.
+    ///
     /// # Errors
     ///
     /// [`RunError::Operational`] on trace-budget exhaustion.
@@ -151,7 +158,7 @@ impl CheckService {
         if let Some(v) = checked.entry.global_racefree.get() {
             return Ok(*v);
         }
-        let status = sc_race_freedom(
+        let status = sc_race_freedom_reduced(
             &checked.program.locs,
             checked.program.initial_machine(),
             self.engine_config(),

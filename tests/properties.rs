@@ -112,4 +112,41 @@ proptest! {
         let res = check_global_drf(&p.locs, p.initial_machine(), ExploreConfig::default());
         prop_assert!(res.is_ok(), "{:?}", res.err());
     }
+
+    /// Copy-on-write aliasing: successor stores share the parent's
+    /// allocations, so mutating a child (or merely enumerating
+    /// successors) must never be observable through the parent. Walks a
+    /// bounded prefix of the state graph, deep-snapshotting each store
+    /// before `transitions` and comparing afterwards — including after a
+    /// second generation of successors has written through the shared
+    /// slots.
+    #[test]
+    fn random_programs_cow_stores_never_leak_into_parents(p in small_program()) {
+        let mut queue = vec![p.initial_machine()];
+        let mut visited = 0usize;
+        while let Some(m) = queue.pop() {
+            if visited >= 48 {
+                break;
+            }
+            visited += 1;
+            let snapshot = m.store.deep_clone();
+            prop_assert!(!m.store.ptr_eq(&snapshot));
+            let succs = m.transitions(&p.locs);
+            for t in &succs {
+                // Memoryless steps alias the parent store outright; a
+                // memory write diverges the spine, leaving the parent's
+                // untouched slots shared.
+                if t.label.action.is_none() {
+                    prop_assert!(t.target.store.ptr_eq(&m.store),
+                        "silent step copied the store in\n{}", p);
+                }
+                // Push the grandchildren's writes through the shared
+                // allocations before we re-read the parent.
+                let _ = t.target.transitions(&p.locs);
+            }
+            prop_assert_eq!(&m.store, &snapshot,
+                "parent store mutated by successor enumeration in\n{}", p);
+            queue.extend(succs.into_iter().map(|t| t.target));
+        }
+    }
 }
