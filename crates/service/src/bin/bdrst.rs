@@ -6,6 +6,7 @@
 //! bdrst corpus <dir>                run a corpus directory against the built-in checks
 //! bdrst races <file|dir>...         dynamic race detection with bounded witnesses
 //! bdrst serve                       start the newline-delimited-JSON check server
+//! bdrst metrics                     fetch live counters from a running server
 //! bdrst cache stats|clear           inspect / wipe the on-disk cache
 //! bdrst corpus-export <dir>         (re)generate corpus/ from the built-in tests
 //! ```
@@ -13,11 +14,20 @@
 //! Common flags: `--cache-dir DIR` (persistent cache; omit for
 //! memory-only), `--json` (machine-readable output), `--max-states N`,
 //! `--max-traces N` (budgets), `--shrink` (`races` only: ddmin the
-//! program and interleaving of each first witness). Exit codes: 0
-//! success / all checks pass / no races, 1 model mismatch, 2 run failure
-//! (parse error or budget exhaustion — reported distinctly), 3 races
-//! found (`races` only — distinguishable from both a mismatch and a run
-//! error), 64 usage.
+//! program and interleaving of each first witness).
+//!
+//! `serve` flags: `--max-conns N`, `--queue-depth N` (admission /
+//! backpressure bounds), `--rate-per-sec N` + `--burst N`
+//! (per-connection token bucket; 0 = unlimited), `--metrics` (print a
+//! metrics JSON snapshot line every 10s), `--thread-per-conn` (legacy
+//! connection layer instead of the readiness-loop reactor — baseline
+//! comparisons only). `bdrst metrics --addr HOST:PORT` asks a running
+//! server for the same counters over the wire.
+//!
+//! Exit codes: 0 success / all checks pass / no races, 1 model
+//! mismatch, 2 run failure (parse error or budget exhaustion — reported
+//! distinctly), 3 races found (`races` only — distinguishable from both
+//! a mismatch and a run error), 64 usage.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,13 +48,20 @@ struct Opts {
     max_states: Option<usize>,
     max_traces: Option<usize>,
     shrink: bool,
+    max_conns: Option<usize>,
+    queue_depth: Option<usize>,
+    rate_per_sec: u32,
+    burst: Option<u32>,
+    metrics: bool,
+    thread_per_conn: bool,
     args: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bdrst <check <file>... | corpus <dir> | races <file|dir>... | serve | cache <stats|clear> | corpus-export <dir>>\n\
+        "usage: bdrst <check <file>... | corpus <dir> | races <file|dir>... | serve | metrics | cache <stats|clear> | corpus-export <dir>>\n\
          flags: --json --cache-dir DIR --addr HOST:PORT --workers N --max-states N --max-traces N --shrink\n\
+         serve flags: --max-conns N --queue-depth N --rate-per-sec N --burst N --metrics --thread-per-conn\n\
          exit codes: 0 pass/no races · 1 model mismatch · 2 run error (parse/budget/engine) · 3 races found · 64 usage"
     );
     ExitCode::from(64)
@@ -61,6 +78,12 @@ fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
         max_states: None,
         max_traces: None,
         shrink: false,
+        max_conns: None,
+        queue_depth: None,
+        rate_per_sec: 0,
+        burst: None,
+        metrics: false,
+        thread_per_conn: false,
         args: Vec::new(),
     };
     let mut argv = argv.peekable();
@@ -73,6 +96,12 @@ fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
             "--max-states" => opts.max_states = Some(argv.next()?.parse().ok()?),
             "--max-traces" => opts.max_traces = Some(argv.next()?.parse().ok()?),
             "--shrink" => opts.shrink = true,
+            "--max-conns" => opts.max_conns = Some(argv.next()?.parse().ok()?),
+            "--queue-depth" => opts.queue_depth = Some(argv.next()?.parse().ok()?),
+            "--rate-per-sec" => opts.rate_per_sec = argv.next()?.parse().ok()?,
+            "--burst" => opts.burst = Some(argv.next()?.parse().ok()?),
+            "--metrics" => opts.metrics = true,
+            "--thread-per-conn" => opts.thread_per_conn = true,
             _ if a.starts_with("--") => return None,
             _ => opts.args.push(a),
         }
@@ -415,18 +444,37 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let defaults = ServeConfig::default();
     let config = ServeConfig {
         workers: opts.workers,
-        ..ServeConfig::default()
+        max_conns: opts.max_conns.unwrap_or(defaults.max_conns),
+        queue_depth: opts.queue_depth.unwrap_or(defaults.queue_depth),
+        rate_per_sec: opts.rate_per_sec,
+        burst: opts.burst.unwrap_or(defaults.burst),
+        model: if opts.thread_per_conn {
+            bdrst_service::ServeModel::ThreadPerConn
+        } else {
+            bdrst_service::ServeModel::Reactor
+        },
+        ..defaults
     };
     match server::serve(Arc::new(service), &opts.addr, config) {
         Ok(handle) => {
             println!("bdrst serving on {}", handle.addr());
             use std::io::Write as _;
             let _ = std::io::stdout().flush();
-            // Serve until killed.
+            // Serve until killed; with --metrics, print a counters
+            // snapshot line every 10s (same JSON the `metrics` command
+            // serves over the wire).
+            let metrics = handle.metrics();
             loop {
-                std::thread::park();
+                if opts.metrics {
+                    std::thread::sleep(std::time::Duration::from_secs(10));
+                    println!("{}", metrics.to_json().render());
+                    let _ = std::io::stdout().flush();
+                } else {
+                    std::thread::park();
+                }
             }
         }
         Err(e) => {
@@ -434,6 +482,55 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// `bdrst metrics`: one `{"cmd":"metrics"}` round-trip against a
+/// running server; prints the counters object (the full response line
+/// with `--json`).
+fn cmd_metrics(opts: &Opts) -> ExitCode {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut stream = match std::net::TcpStream::connect(&opts.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connect {}: {e}", opts.addr);
+            return ExitCode::from(2);
+        }
+    };
+    if writeln!(
+        stream,
+        "{}",
+        Json::obj([("cmd", Json::Str("metrics".into()))]).render()
+    )
+    .is_err()
+    {
+        eprintln!("{}: write failed", opts.addr);
+        return ExitCode::from(2);
+    }
+    let mut line = String::new();
+    if BufReader::new(stream).read_line(&mut line).is_err() || line.trim().is_empty() {
+        eprintln!("{}: no response", opts.addr);
+        return ExitCode::from(2);
+    }
+    let Ok(resp) = Json::parse(line.trim()) else {
+        eprintln!("{}: malformed response: {line}", opts.addr);
+        return ExitCode::from(2);
+    };
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        eprintln!("{}: {}", opts.addr, line.trim());
+        return ExitCode::from(2);
+    }
+    if opts.json {
+        println!("{}", resp.render());
+    } else {
+        match resp.get("metrics") {
+            Some(m) => println!("{}", m.render()),
+            None => {
+                eprintln!("{}: response carries no metrics: {line}", opts.addr);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_cache(opts: &Opts) -> ExitCode {
@@ -524,6 +621,7 @@ fn main() -> ExitCode {
         "corpus" => cmd_corpus(&opts),
         "races" => cmd_races(&opts),
         "serve" => cmd_serve(&opts),
+        "metrics" => cmd_metrics(&opts),
         "cache" => cmd_cache(&opts),
         "corpus-export" => cmd_corpus_export(&opts),
         _ => usage(),

@@ -70,6 +70,13 @@ impl Json {
         }
     }
 
+    /// Member lookup along a path of object keys:
+    /// `resp.get_in(&["error", "kind"])` ≡
+    /// `resp.get("error").and_then(|e| e.get("kind"))`.
+    pub fn get_in(&self, path: &[&str]) -> Option<&Json> {
+        path.iter().try_fold(self, |v, key| v.get(key))
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -15,11 +15,17 @@
 //! * **[`service`]** — the [`service::CheckService`]: the cache-first
 //!   compute path (parse → fingerprint → lookup → on miss, explore once
 //!   through `Program::state_graph` and the axiomatic enumerator).
-//! * **[`server`] / the `bdrst` binary** — a multi-threaded
+//! * **[`server`] / [`reactor`] / the `bdrst` binary** — a
 //!   `std::net::TcpListener` service speaking newline-delimited JSON
-//!   ([`json`]) behind a bounded job queue, and the CLI (`check`,
-//!   `corpus`, `serve`, `cache stats|clear`) so programs are checkable
-//!   without recompiling anything.
+//!   ([`json`]): a std-only readiness-loop reactor (nonblocking
+//!   sockets, per-connection buffers — idle connections cost memory,
+//!   not threads) feeding a bounded job queue and a worker pool, with
+//!   atomic connection admission, per-connection token-bucket rate
+//!   limiting, live counters ([`metrics`], served by the `metrics`
+//!   command), and drain-then-close shutdown (every accepted request
+//!   gets exactly one response line). The CLI (`check`, `corpus`,
+//!   `races`, `serve`, `metrics`, `cache stats|clear`) makes programs
+//!   checkable without recompiling anything.
 //!
 //! The whole crate is std-only, like the rest of the workspace.
 //!
@@ -45,11 +51,14 @@
 
 pub mod corpusdir;
 pub mod json;
+pub mod metrics;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod store;
 
 pub use json::Json;
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use metrics::Metrics;
+pub use server::{serve, ServeConfig, ServeModel, ServerHandle};
 pub use service::{CheckService, Checked};
 pub use store::{version_tag, CacheEntry, CacheKey, CacheStats, ResultStore, StoreConfig};

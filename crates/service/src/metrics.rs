@@ -1,0 +1,286 @@
+//! Live server counters, exposed over the protocol's `metrics` command.
+//!
+//! One [`Metrics`] instance is shared by the accept path, the readers
+//! (or the reactor), and the worker pool of a running server. Every
+//! counter is a plain atomic — recording is lock-free and wait-free on
+//! the request path — and the `metrics` command renders a snapshot
+//! through the same JSON shape the `cache-stats` command uses
+//! (`{"id":..,"ok":true,"metrics":{...}}`).
+//!
+//! Counters:
+//!
+//! * connections: admitted / rejected / currently active / the
+//!   **high-water mark** of simultaneously active connections (the
+//!   observable witness that admission never exceeds
+//!   [`crate::server::ServeConfig::max_conns`]);
+//! * requests by command (fixed slots per protocol command plus an
+//!   `other` slot for unknown commands);
+//! * errors by kind (`proto`, `parse`, `budget`, `engine`,
+//!   `overloaded`, `too-large`, `rate-limited`, `shutting-down`);
+//! * rate-limit rejections (also counted under `errors.rate-limited`);
+//! * job-queue depth high-water;
+//! * a per-command latency histogram (fixed exponential buckets,
+//!   100µs → 10s, plus overflow).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// The protocol commands with dedicated counter slots; anything else
+/// lands in the trailing `other` slot.
+pub const COMMANDS: [&str; 9] = [
+    "parse",
+    "outcomes",
+    "check",
+    "check-localdrf",
+    "check-global",
+    "check-races",
+    "corpus",
+    "cache-stats",
+    "metrics",
+];
+
+/// The error kinds with dedicated counter slots; anything else lands in
+/// the trailing `other` slot.
+pub const ERROR_KINDS: [&str; 8] = [
+    "proto",
+    "parse",
+    "budget",
+    "engine",
+    "overloaded",
+    "too-large",
+    "rate-limited",
+    "shutting-down",
+];
+
+/// Upper bounds (µs) of the latency histogram buckets; one overflow
+/// bucket follows.
+pub const LATENCY_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Bucket labels, rendered as the keys of each per-command histogram.
+pub const LATENCY_LABELS: [&str; 7] = [
+    "le_100us", "le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "inf",
+];
+
+const CMD_SLOTS: usize = COMMANDS.len() + 1;
+const KIND_SLOTS: usize = ERROR_KINDS.len() + 1;
+const BUCKETS: usize = LATENCY_LABELS.len();
+
+/// Lock-free live counters of one running server.
+#[derive(Default)]
+pub struct Metrics {
+    conns_admitted: AtomicU64,
+    conns_rejected: AtomicU64,
+    conns_active: AtomicU64,
+    conns_high_water: AtomicU64,
+    queue_high_water: AtomicU64,
+    rate_limited: AtomicU64,
+    requests: [AtomicU64; CMD_SLOTS],
+    errors: [AtomicU64; KIND_SLOTS],
+    latency: [[AtomicU64; BUCKETS]; CMD_SLOTS],
+}
+
+/// The fixed slot of a command name (`COMMANDS.len()` = other).
+fn cmd_slot(cmd: &str) -> usize {
+    COMMANDS
+        .iter()
+        .position(|c| *c == cmd)
+        .unwrap_or(COMMANDS.len())
+}
+
+fn kind_slot(kind: &str) -> usize {
+    ERROR_KINDS
+        .iter()
+        .position(|k| *k == kind)
+        .unwrap_or(ERROR_KINDS.len())
+}
+
+impl Metrics {
+    /// Fresh (all-zero) counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Atomic connection admission: takes a slot in the active count
+    /// and returns true, **or** observes the count already at
+    /// `max_conns`, backs the increment out, records a rejection, and
+    /// returns false. The increment-first shape is what makes two
+    /// racing admissions safe: the loser sees the winner's increment,
+    /// so the active count (and its high-water mark) never exceeds the
+    /// limit.
+    pub(crate) fn try_acquire_conn(&self, max_conns: usize) -> bool {
+        let prev = self.conns_active.fetch_add(1, Ordering::SeqCst);
+        if prev as usize >= max_conns {
+            self.conns_active.fetch_sub(1, Ordering::SeqCst);
+            self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        self.conns_admitted.fetch_add(1, Ordering::Relaxed);
+        self.conns_high_water.fetch_max(prev + 1, Ordering::SeqCst);
+        true
+    }
+
+    /// Releases a slot taken by [`Metrics::try_acquire_conn`].
+    pub(crate) fn release_conn(&self) {
+        self.conns_active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Counts one request dispatched to `cmd`.
+    pub(crate) fn count_request(&self, cmd: &str) {
+        self.requests[cmd_slot(cmd)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one error response of `kind`.
+    pub(crate) fn count_error(&self, kind: &str) {
+        self.errors[kind_slot(kind)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one rate-limit rejection (plus its error-kind slot).
+    pub(crate) fn count_rate_limited(&self) {
+        self.rate_limited.fetch_add(1, Ordering::Relaxed);
+        self.count_error("rate-limited");
+    }
+
+    /// Records one completed request's wall-clock latency under `cmd`.
+    pub(crate) fn observe_latency(&self, cmd: &str, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|b| us <= *b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency[cmd_slot(cmd)][bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an observed job-queue depth (keeps the maximum).
+    pub(crate) fn note_queue_depth(&self, depth: usize) {
+        self.queue_high_water
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// The high-water mark of simultaneously active connections.
+    pub fn conns_high_water(&self) -> u64 {
+        self.conns_high_water.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of every counter as the `metrics` JSON object. Maps
+    /// (`requests`, `errors`, `latency`) carry only nonzero slots, so
+    /// the line stays compact on lightly-used servers.
+    pub fn to_json(&self) -> Json {
+        let load = |a: &AtomicU64| Json::Int(a.load(Ordering::Relaxed) as i64);
+        let slot_name = |names: &[&'static str], i: usize| names.get(i).copied().unwrap_or("other");
+        let requests: Vec<(String, Json)> = self
+            .requests
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.load(Ordering::Relaxed) > 0)
+            .map(|(i, a)| (slot_name(&COMMANDS, i).to_string(), load(a)))
+            .collect();
+        let errors: Vec<(String, Json)> = self
+            .errors
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.load(Ordering::Relaxed) > 0)
+            .map(|(i, a)| (slot_name(&ERROR_KINDS, i).to_string(), load(a)))
+            .collect();
+        let latency: Vec<(String, Json)> = self
+            .latency
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row.iter().any(|b| b.load(Ordering::Relaxed) > 0))
+            .map(|(i, row)| {
+                let buckets = LATENCY_LABELS
+                    .iter()
+                    .zip(row)
+                    .map(|(label, b)| (label.to_string(), load(b)))
+                    .collect();
+                (slot_name(&COMMANDS, i).to_string(), Json::Obj(buckets))
+            })
+            .collect();
+        Json::obj([
+            (
+                "conns",
+                Json::obj([
+                    ("admitted", load(&self.conns_admitted)),
+                    ("rejected", load(&self.conns_rejected)),
+                    (
+                        "active",
+                        Json::Int(self.conns_active.load(Ordering::SeqCst) as i64),
+                    ),
+                    ("high_water", Json::Int(self.conns_high_water() as i64)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj([("high_water", load(&self.queue_high_water))]),
+            ),
+            ("rate_limited", load(&self.rate_limited)),
+            ("requests", Json::Obj(requests)),
+            ("errors", Json::Obj(errors)),
+            ("latency", Json::Obj(latency)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_increment_first() {
+        let m = Metrics::new();
+        assert!(m.try_acquire_conn(2));
+        assert!(m.try_acquire_conn(2));
+        assert!(!m.try_acquire_conn(2), "third slot over a 2-conn limit");
+        assert_eq!(m.conns_high_water(), 2);
+        m.release_conn();
+        assert!(m.try_acquire_conn(2));
+        assert_eq!(m.conns_high_water(), 2, "high water never exceeds the cap");
+    }
+
+    #[test]
+    fn snapshot_carries_only_nonzero_slots() {
+        let m = Metrics::new();
+        m.count_request("outcomes");
+        m.count_error("budget");
+        m.observe_latency("outcomes", Duration::from_millis(2));
+        let j = m.to_json();
+        assert_eq!(
+            j.get("requests")
+                .unwrap()
+                .get("outcomes")
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        assert!(j.get("requests").unwrap().get("parse").is_none());
+        assert_eq!(
+            j.get("errors")
+                .unwrap()
+                .get("budget")
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        let lat = j.get("latency").unwrap().get("outcomes").unwrap();
+        assert_eq!(lat.get("le_10ms").and_then(Json::as_i64), Some(1));
+        assert_eq!(lat.get("inf").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn unknown_slots_fold_into_other() {
+        let m = Metrics::new();
+        m.count_request("definitely-not-a-command");
+        m.count_error("weird");
+        let j = m.to_json();
+        assert_eq!(
+            j.get("requests")
+                .unwrap()
+                .get("other")
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("errors").unwrap().get("other").and_then(Json::as_i64),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,515 @@
+//! The std-only readiness-loop reactor: the server's default
+//! connection layer.
+//!
+//! One thread owns the nonblocking listener and every client socket.
+//! Each poll cycle it
+//!
+//! 1. **accepts** pending connections (atomic admission against
+//!    `max_conns` via [`crate::metrics::Metrics::try_acquire_conn`];
+//!    an over-limit connection is parked in a rejecting state with one
+//!    `overloaded` error line queued, drained bounded, then closed —
+//!    never silently dropped, never an RST over the error line);
+//! 2. **drains** each connection's [`Outbox`] — response lines the
+//!    workers finished since the last cycle — into its write buffer and
+//!    writes as much as the socket accepts (whole lines enter the
+//!    buffer atomically, so concurrent workers never interleave bytes);
+//! 3. **reads** whatever each open connection has available into its
+//!    read buffer (size-capped: a line over `max_request_bytes` turns
+//!    the connection into a rejecting one with a `too-large` error),
+//!    splits complete lines, rate-limits them, and pushes them as jobs
+//!    with [`crate::server::JobQueue::try_push`] — a full queue leaves
+//!    the line in the connection's pending list and pauses reading that
+//!    connection: backpressure instead of unbounded buffering;
+//! 4. **closes** connections that are finished: EOF seen, no pending
+//!    lines, every submitted job answered, write buffer flushed.
+//!
+//! Blocking system calls never run on this thread — a cycle that moves
+//! no bytes sleeps for [`IDLE_SLEEP`] instead of spinning.
+//!
+//! Shutdown (driven by [`crate::server::ServerHandle::shutdown`]): the
+//! `stop` flag stops accepting; the queue closes and the workers drain
+//! it (responses keep flowing through the outboxes); once the workers
+//! are done the `flush` flag tells the reactor to answer every line it
+//! can still read with `{"kind":"shutting-down"}`, flush all write
+//! buffers (bounded by [`FLUSH_DEADLINE`]), shut down the write halves,
+//! and exit. Every accepted request line gets exactly one response.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::server::{
+    error_response, rate_limited_response, shutting_down_response, ConnGuard, Job, JobQueue,
+    ServeConfig, Sink, TokenBucket, TryPushError,
+};
+
+/// Sleep between poll cycles that moved no bytes.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// How long a rejecting connection may take to drain before we close it
+/// anyway, and how long the shutdown flush phase may run.
+const REJECT_DRAIN: Duration = Duration::from_millis(200);
+const FLUSH_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Per-cycle read chunk.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A connection's response mailbox: workers deposit finished lines, the
+/// reactor collects them on its next cycle. `submitted` counts jobs the
+/// reactor queued for this connection, `completed` the responses
+/// deposited — the connection may close only when they match and the
+/// lines have been drained, so a response can never be lost between a
+/// worker and the socket.
+pub(crate) struct Outbox {
+    lines: Mutex<Vec<String>>,
+    submitted: AtomicUsize,
+    completed: AtomicUsize,
+}
+
+impl Outbox {
+    fn new() -> Outbox {
+        Outbox {
+            lines: Mutex::new(Vec::new()),
+            submitted: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Called by a worker with the finished response line.
+    pub(crate) fn complete(&self, line: &str) {
+        let mut lines = self.lines.lock().unwrap();
+        lines.push(line.to_string());
+        // Bumped under the lock: once a reader of `completed` sees the
+        // count, the line is already in the vector.
+        self.completed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn unsubmit(&self) {
+        self.submitted.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// True when every submitted job has deposited its response.
+    fn is_idle(&self) -> bool {
+        // `submitted` only changes on the reactor thread, so sampling
+        // it after `completed` cannot race a new submission.
+        self.completed.load(Ordering::SeqCst) == self.submitted.load(Ordering::SeqCst)
+    }
+
+    fn drain(&self) -> Vec<String> {
+        std::mem::take(&mut *self.lines.lock().unwrap())
+    }
+}
+
+enum ConnState {
+    /// Reading requests normally.
+    Open,
+    /// The client half-closed; serve what was submitted, then close.
+    Eof,
+    /// The connection was refused (`overloaded`) or misbehaved
+    /// (`too-large`): its error line is queued, its reads are discarded
+    /// (bounded), and it closes at `deadline` or client EOF, whichever
+    /// comes first.
+    Rejecting {
+        deadline: Instant,
+        discarded: usize,
+        eof: bool,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    /// Lines parsed but not yet queued (the job queue was full).
+    pending: VecDeque<String>,
+    outbox: Arc<Outbox>,
+    bucket: Option<TokenBucket>,
+    state: ConnState,
+    /// Present on admitted connections; releases the `max_conns` slot
+    /// on drop, whatever path closed the connection.
+    _guard: Option<ConnGuard>,
+    /// Set on a fatal socket error: drop without further ceremony.
+    dead: bool,
+}
+
+impl Conn {
+    fn queue_line(&mut self, resp: &Json) {
+        self.wbuf.extend_from_slice(resp.render().as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    fn start_rejecting(&mut self, now: Instant, resp: &Json) {
+        self.queue_line(resp);
+        self.rbuf.clear();
+        self.pending.clear();
+        self.state = ConnState::Rejecting {
+            deadline: now + REJECT_DRAIN,
+            discarded: 0,
+            eof: false,
+        };
+    }
+}
+
+/// Spawns the reactor thread. `listener` must already be nonblocking.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    config: ServeConfig,
+    queue: Arc<JobQueue>,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+    flush: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        Reactor {
+            listener,
+            config,
+            queue,
+            metrics,
+            stop,
+            flush,
+            conns: Vec::new(),
+        }
+        .run()
+    })
+}
+
+struct Reactor {
+    listener: TcpListener,
+    config: ServeConfig,
+    queue: Arc<JobQueue>,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+    flush: Arc<AtomicBool>,
+    conns: Vec<Conn>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut flush_deadline: Option<Instant> = None;
+        loop {
+            let now = Instant::now();
+            let flushing = self.flush.load(Ordering::SeqCst);
+            if flushing && flush_deadline.is_none() {
+                flush_deadline = Some(now + FLUSH_DEADLINE);
+            }
+            let mut busy = false;
+            if !self.stop.load(Ordering::SeqCst) {
+                busy |= self.accept_pass(now);
+            }
+            for i in 0..self.conns.len() {
+                busy |= self.poll_conn(i, now);
+            }
+            self.conns.retain(|c| !c.dead);
+            if flushing {
+                // Workers are gone and every response line is in its
+                // outbox; once the buffers are flat (or the deadline
+                // passes) the server is fully drained.
+                let drained = self
+                    .conns
+                    .iter()
+                    .all(|c| c.wbuf.is_empty() && c.pending.is_empty() && c.outbox.is_idle());
+                if (drained && !busy) || flush_deadline.is_some_and(|d| now >= d) {
+                    break;
+                }
+            }
+            if !busy {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+        }
+        // A clean goodbye: the client reads every delivered response
+        // line and then EOF, instead of a reset.
+        for c in &self.conns {
+            let _ = c.stream.shutdown(std::net::Shutdown::Write);
+        }
+    }
+
+    /// Accepts every connection the listener has pending. Returns true
+    /// if anything was accepted.
+    fn accept_pass(&mut self, now: Instant) -> bool {
+        let max_conns = self.config.max_conns.max(1);
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    any = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let guard = ConnGuard::try_admit(&self.metrics, max_conns);
+                    let mut conn = Conn {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        pending: VecDeque::new(),
+                        outbox: Arc::new(Outbox::new()),
+                        bucket: TokenBucket::from_config(&self.config),
+                        state: ConnState::Open,
+                        _guard: None,
+                        dead: false,
+                    };
+                    match guard {
+                        Some(g) => conn._guard = Some(g),
+                        None => {
+                            // Same atomic admission as the legacy path:
+                            // the loser of the race gets one error line
+                            // and a drained, clean close.
+                            self.metrics.count_error("overloaded");
+                            let resp = error_response(
+                                Json::Null,
+                                "overloaded",
+                                format!("server at its {max_conns}-connection limit"),
+                            );
+                            conn.start_rejecting(now, &resp);
+                        }
+                    }
+                    self.conns.push(conn);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    /// One cycle over one connection. Returns true if any bytes moved.
+    fn poll_conn(&mut self, i: usize, now: Instant) -> bool {
+        let mut busy = false;
+
+        // Worker responses → write buffer. Whole lines only: workers
+        // never touch the socket, so responses cannot interleave.
+        {
+            let conn = &mut self.conns[i];
+            for line in conn.outbox.drain() {
+                conn.wbuf.extend_from_slice(line.as_bytes());
+                conn.wbuf.push(b'\n');
+            }
+        }
+
+        // Flush as much of the write buffer as the socket will take.
+        {
+            let conn = &mut self.conns[i];
+            while !conn.wbuf.is_empty() {
+                match conn.stream.write(&conn.wbuf) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wbuf.drain(..n);
+                        busy = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            if conn.dead {
+                return busy;
+            }
+        }
+
+        // Retry pending lines (queue was full on an earlier cycle).
+        busy |= self.submit_pending(i);
+
+        // Read pass.
+        busy |= self.read_pass(i, now);
+
+        // Close decision. The ordering that makes this safe: `is_idle`
+        // is sampled *first*; a completed count implies the line is
+        // already deposited (bumped under the outbox lock), so the
+        // re-drain below catches anything a worker finished since the
+        // top-of-cycle drain — a response can never be lost to the
+        // close.
+        let conn = &mut self.conns[i];
+        let settled = conn.outbox.is_idle() && {
+            for line in conn.outbox.drain() {
+                conn.wbuf.extend_from_slice(line.as_bytes());
+                conn.wbuf.push(b'\n');
+            }
+            conn.wbuf.is_empty()
+        };
+        match conn.state {
+            ConnState::Rejecting { deadline, eof, .. } => {
+                // Close once the error line (and any straggler worker
+                // responses) are out and the client has stopped talking
+                // — or at the deadline, so a silent client cannot camp
+                // on the slot.
+                if settled && (eof || now >= deadline) {
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                    conn.dead = true;
+                }
+            }
+            ConnState::Eof => {
+                if settled && conn.pending.is_empty() {
+                    let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                    conn.dead = true;
+                }
+            }
+            ConnState::Open => {}
+        }
+        busy
+    }
+
+    /// Pushes this connection's parsed-but-unqueued lines. Returns true
+    /// if any job was submitted.
+    fn submit_pending(&mut self, i: usize) -> bool {
+        let mut any = false;
+        while let Some(line) = self.conns[i].pending.pop_front() {
+            let conn = &self.conns[i];
+            let outbox = Arc::clone(&conn.outbox);
+            outbox.note_submitted();
+            match self.queue.try_push(Job {
+                line,
+                out: Sink::Outbox(Arc::clone(&outbox)),
+            }) {
+                Ok(depth) => {
+                    self.metrics.note_queue_depth(depth);
+                    any = true;
+                }
+                Err(TryPushError::Full(job)) => {
+                    outbox.unsubmit();
+                    self.conns[i].pending.push_front(job.line);
+                    break;
+                }
+                Err(TryPushError::Closed) => {
+                    // Accepted but unservable: one `shutting-down` line,
+                    // never a silent drop.
+                    outbox.unsubmit();
+                    self.metrics.count_error("shutting-down");
+                    let resp = shutting_down_response();
+                    self.conns[i].queue_line(&resp);
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    /// Reads available bytes and turns complete lines into jobs.
+    /// Returns true if any bytes were read.
+    fn read_pass(&mut self, i: usize, now: Instant) -> bool {
+        let max_request = self.config.max_request_bytes.max(1);
+        // Backpressure: while earlier lines wait for queue space (or a
+        // rejection is draining its bounded discard budget), cap how
+        // much more this connection may buffer.
+        if matches!(self.conns[i].state, ConnState::Eof) || !self.conns[i].pending.is_empty() {
+            return false;
+        }
+        let mut scratch = [0u8; READ_CHUNK];
+        let mut any = false;
+        loop {
+            let conn = &mut self.conns[i];
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    match &mut conn.state {
+                        ConnState::Rejecting { eof, .. } => *eof = true,
+                        state => *state = ConnState::Eof,
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    any = true;
+                    match &mut conn.state {
+                        ConnState::Rejecting { discarded, .. } => {
+                            // Bounded discard (the nonblocking twin of
+                            // the legacy drain): absorbing the client's
+                            // in-flight bytes keeps the close a clean
+                            // FIN instead of an RST over the error line.
+                            *discarded += n;
+                            if *discarded > 16 * max_request {
+                                conn.dead = true;
+                                break;
+                            }
+                        }
+                        _ => {
+                            conn.rbuf.extend_from_slice(&scratch[..n]);
+                            if self.split_lines(i, now) {
+                                // Entered a rejecting state (too-large).
+                                break;
+                            }
+                            if !self.conns[i].pending.is_empty() {
+                                break; // backpressure: stop reading
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        any
+    }
+
+    /// Splits complete lines out of the read buffer and dispatches
+    /// them. Returns true when the connection flipped to rejecting.
+    fn split_lines(&mut self, i: usize, now: Instant) -> bool {
+        let max_request = self.config.max_request_bytes.max(1);
+        loop {
+            let conn = &mut self.conns[i];
+            let Some(pos) = conn.rbuf.iter().position(|b| *b == b'\n') else {
+                if conn.rbuf.len() > max_request {
+                    self.metrics.count_error("too-large");
+                    let resp = error_response(
+                        Json::Null,
+                        "too-large",
+                        format!("request exceeds {max_request} bytes"),
+                    );
+                    self.conns[i].start_rejecting(now, &resp);
+                    return true;
+                }
+                return false;
+            };
+            if pos > max_request {
+                self.metrics.count_error("too-large");
+                let resp = error_response(
+                    Json::Null,
+                    "too-large",
+                    format!("request exceeds {max_request} bytes"),
+                );
+                self.conns[i].start_rejecting(now, &resp);
+                return true;
+            }
+            let line_bytes: Vec<u8> = conn.rbuf.drain(..=pos).collect();
+            let Ok(line) = String::from_utf8(line_bytes) else {
+                self.metrics.count_error("proto");
+                let resp = error_response(Json::Null, "proto", "request is not UTF-8".into());
+                conn.queue_line(&resp);
+                continue;
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // Per-connection token bucket: the over-limit request is
+            // answered with a retry hint, the connection stays open.
+            if let Some(bucket) = conn.bucket.as_mut() {
+                if let Err(retry_ms) = bucket.try_take(now) {
+                    self.metrics.count_rate_limited();
+                    let resp = rate_limited_response(retry_ms);
+                    conn.queue_line(&resp);
+                    continue;
+                }
+            }
+            let line = line.to_string();
+            self.conns[i].pending.push_back(line);
+            self.submit_pending(i);
+        }
+    }
+}

@@ -14,57 +14,110 @@
 //! Commands: `parse`, `outcomes`, `check`, `check-localdrf` (optional
 //! `locs` array, default all nonatomics), `check-global`, `check-races`
 //! (dynamic detection with space/time-bounded witnesses), `corpus`,
-//! `cache-stats`. Requests may lower the exploration budgets with
-//! `max_states` / `max_traces` (clamped to the server's own limits);
-//! exhaustion surfaces as `{"ok":false,"error":{"kind":"budget",...}}` —
-//! the same [`RunError`] classification the CLI exit codes use.
+//! `cache-stats`, `metrics` (live server counters, see
+//! [`crate::metrics`]). Requests may lower the exploration budgets with
+//! `max_states` / `max_traces` (integers, clamped to the server's own
+//! limits — a present-but-non-integer budget field is a `proto` error,
+//! never silently ignored); exhaustion surfaces as
+//! `{"ok":false,"error":{"kind":"budget",...}}` — the same [`RunError`]
+//! classification the CLI exit codes use.
 //!
 //! The server does not trust its clients: beyond the JSON depth guard,
 //! each request line is size-capped ([`ServeConfig::max_request_bytes`],
-//! error kind `too-large`, connection closed) and the number of
-//! simultaneous connections is bounded
-//! ([`ServeConfig::max_conns`], one `overloaded` error line and a clean
-//! close for the connection over the limit).
+//! error kind `too-large`, connection closed), the number of
+//! simultaneous connections is bounded ([`ServeConfig::max_conns`], one
+//! `overloaded` error line and a clean close for the connection over
+//! the limit — admission is a single atomic increment-then-check, so
+//! racing accepts can never exceed the cap), and each connection is
+//! token-bucket rate limited ([`ServeConfig::rate_per_sec`] /
+//! [`ServeConfig::burst`]; an over-limit request receives one
+//! `{"kind":"rate-limited"}` error line with a `retry_after_ms` hint —
+//! never a silent drop — and the connection stays open).
 //!
 //! # Architecture
 //!
-//! One accept thread; one reader thread per connection that parses lines
-//! and pushes [`Job`]s into a **bounded** queue (backpressure: readers
-//! block when `queue_depth` jobs are in flight); `workers` worker threads
-//! pop jobs, compute through the shared cache-first [`CheckService`]
-//! (whose misses run on the existing engine machinery — the default
-//! configuration explores with the work-stealing engine), and write the
-//! response line under the connection's write lock — so concurrent
-//! requests from one client interleave whole lines, never bytes.
+//! The default connection layer is the std-only **readiness-loop
+//! reactor** ([`crate::reactor`]): one thread owns the nonblocking
+//! listener and every client socket, polling per-connection read/write
+//! buffers, so idle connections cost buffers instead of threads.
+//! Parsed request lines become [`Job`]s on a **bounded** queue
+//! (backpressure: a connection with queued-but-unsubmitted lines stops
+//! being read); `workers` worker threads pop jobs, compute through the
+//! shared cache-first [`CheckService`] (whose misses run on the
+//! existing engine machinery — the default configuration explores with
+//! the work-stealing engine), and hand each response line back to the
+//! reactor, which writes it on the connection's next writable cycle —
+//! whole lines, never interleaved bytes.
+//!
+//! [`ServeModel::ThreadPerConn`] keeps the previous
+//! thread-per-connection reader layer (one blocking reader thread per
+//! client, responses written under a per-connection lock) as a
+//! comparison lane for the `engine_baseline` connection-scaling sweep.
+//!
+//! Shutdown is drain-then-close in both models: queued jobs are
+//! completed by the workers and their responses delivered; a request
+//! line that was accepted but can no longer be served receives one
+//! `{"kind":"shutting-down"}` error line before its connection closes.
+//! Every accepted request produces exactly one response line.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use bdrst_core::engine::Strategy;
 use bdrst_litmus::{classify_entries, CorpusVerdict, RunConfig, RunError};
 
 use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::reactor;
 use crate::service::{outcome_strings, CheckService, Checked};
 use crate::store::ResultStore;
+
+/// Which connection layer a server runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ServeModel {
+    /// The readiness-loop reactor ([`crate::reactor`]): one polling
+    /// thread, nonblocking sockets, per-connection buffers. Thousands
+    /// of idle connections cost memory, not threads.
+    #[default]
+    Reactor,
+    /// The legacy thread-per-connection reader layer: connection
+    /// capacity is bounded by thread count. Kept as the baseline lane
+    /// for the connection-scaling sweep.
+    ThreadPerConn,
+}
 
 /// Server knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
     /// Worker threads popping the job queue (0 = available cores).
     pub workers: usize,
-    /// Bound of the job queue; readers block (backpressure) when full.
+    /// Bound of the job queue; connections with parsed-but-unqueued
+    /// requests stop being read (backpressure) when full.
     pub queue_depth: usize,
     /// Maximum simultaneous client connections. A connection over the
     /// limit receives one `{"ok":false,"error":{"kind":"overloaded"}}`
-    /// line and is closed — a clean rejection, never a hang.
+    /// line and is closed — a clean rejection, never a hang. Admission
+    /// is atomic (increment first, back out on overflow), so the
+    /// active-connection high-water mark never exceeds this cap.
     pub max_conns: usize,
     /// Per-request size cap in bytes (on top of the JSON depth guard).
     /// A longer line gets a `kind":"too-large"` error and the
     /// connection is closed: the reader never buffers unbounded input.
     pub max_request_bytes: usize,
+    /// Per-connection token-bucket refill rate, requests per second.
+    /// `0` disables rate limiting. An over-limit request gets one
+    /// `{"kind":"rate-limited"}` error line carrying `retry_after_ms`;
+    /// the connection stays open.
+    pub rate_per_sec: u32,
+    /// Token-bucket capacity: how many requests a connection may burst
+    /// above the steady rate (clamped to ≥ 1 when rate limiting is on).
+    pub burst: u32,
+    /// The connection layer (readiness-loop reactor by default).
+    pub model: ServeModel,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +127,9 @@ impl Default for ServeConfig {
             queue_depth: 64,
             max_conns: 256,
             max_request_bytes: 1 << 20,
+            rate_per_sec: 0,
+            burst: 8,
+            model: ServeModel::Reactor,
         }
     }
 }
@@ -87,15 +143,88 @@ pub fn default_run_config() -> RunConfig {
     }
 }
 
-/// One queued request: the raw line and where to write the response.
-struct Job {
-    line: String,
-    out: Arc<Mutex<TcpStream>>,
+/// A per-connection token bucket: `rate` tokens per second refill up to
+/// `burst`; each request takes one token.
+pub(crate) struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket from the config knobs; `None` when rate limiting is off.
+    pub(crate) fn from_config(config: &ServeConfig) -> Option<TokenBucket> {
+        if config.rate_per_sec == 0 {
+            return None;
+        }
+        let burst = f64::from(config.burst.max(1));
+        Some(TokenBucket {
+            rate: f64::from(config.rate_per_sec),
+            burst,
+            tokens: burst,
+            last: Instant::now(),
+        })
+    }
+
+    /// Takes one token, or reports how long (ms) until one is available.
+    pub(crate) fn try_take(&mut self, now: Instant) -> Result<(), u64> {
+        let dt = now.saturating_duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait_s = (1.0 - self.tokens) / self.rate;
+            Err((wait_s * 1000.0).ceil() as u64)
+        }
+    }
+}
+
+/// Where a worker delivers one response line.
+pub(crate) enum Sink {
+    /// Legacy model: write directly to the client socket, whole lines
+    /// under the connection's write lock.
+    Stream(Arc<Mutex<TcpStream>>),
+    /// Reactor model: append to the connection's outbox; the reactor
+    /// flushes it on the next writable cycle.
+    Outbox(Arc<reactor::Outbox>),
+}
+
+impl Sink {
+    pub(crate) fn send(&self, line: &str) {
+        match self {
+            Sink::Stream(out) => {
+                let mut w = out.lock().unwrap();
+                let _ = writeln!(w, "{line}");
+                let _ = w.flush();
+            }
+            Sink::Outbox(outbox) => outbox.complete(line),
+        }
+    }
+}
+
+/// One queued request: the raw line and where to deliver the response.
+pub(crate) struct Job {
+    pub(crate) line: String,
+    pub(crate) out: Sink,
+}
+
+/// Why [`JobQueue::try_push`] did not take a job.
+pub(crate) enum TryPushError {
+    /// The queue is at its depth bound; the job comes back to the
+    /// caller for a retry after a pop.
+    Full(Job),
+    /// The queue is closed; the job will never be served — the caller
+    /// must answer its client (`shutting-down`).
+    Closed,
 }
 
 /// A bounded MPMC job queue: `push` blocks while full, `pop` blocks while
-/// empty, both wake on close.
-struct JobQueue {
+/// empty, both wake on close. `pop` keeps returning queued jobs after
+/// close (drain-then-stop), so closing never abandons accepted work.
+pub(crate) struct JobQueue {
     inner: Mutex<QueueInner>,
     not_empty: Condvar,
     not_full: Condvar,
@@ -108,7 +237,7 @@ struct QueueInner {
 }
 
 impl JobQueue {
-    fn new(depth: usize) -> JobQueue {
+    pub(crate) fn new(depth: usize) -> JobQueue {
         JobQueue {
             inner: Mutex::new(QueueInner {
                 jobs: std::collections::VecDeque::new(),
@@ -120,23 +249,41 @@ impl JobQueue {
         }
     }
 
-    /// Blocks until there is room; returns false when the queue is closed
-    /// (job dropped).
-    fn push(&self, job: Job) -> bool {
+    /// Blocks until there is room; `Err(job)` when the queue is closed —
+    /// the caller owns the job again and must answer its client
+    /// (`shutting-down`), never drop it silently.
+    fn push(&self, job: Job) -> Result<usize, Job> {
         let mut inner = self.inner.lock().unwrap();
         while inner.jobs.len() >= self.depth && !inner.closed {
             inner = self.not_full.wait(inner).unwrap();
         }
         if inner.closed {
-            return false;
+            return Err(job);
         }
         inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
         self.not_empty.notify_one();
-        true
+        Ok(depth)
     }
 
-    /// Blocks until a job is available; `None` when closed and drained.
-    fn pop(&self) -> Option<Job> {
+    /// Nonblocking push for the reactor: never stalls the poll loop.
+    pub(crate) fn try_push(&self, job: Job) -> Result<usize, TryPushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(TryPushError::Closed);
+        }
+        if inner.jobs.len() >= self.depth {
+            return Err(TryPushError::Full(job));
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available; `None` when closed **and**
+    /// drained — every job queued before `close` is still popped.
+    pub(crate) fn pop(&self) -> Option<Job> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(job) = inner.jobs.pop_front() {
@@ -150,7 +297,7 @@ impl JobQueue {
         }
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.inner.lock().unwrap().closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -162,7 +309,9 @@ impl JobQueue {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    flush: Arc<AtomicBool>,
     queue: Arc<JobQueue>,
+    metrics: Arc<Metrics>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -173,17 +322,36 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops accepting, drains the queue, and joins every thread.
+    /// The server's live counters (the same snapshot the `metrics`
+    /// command serves).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stops accepting, **drains** the queue (workers finish every job
+    /// queued before the close and their responses are delivered), and
+    /// joins every thread. A request accepted after the queue closes
+    /// receives one `{"kind":"shutting-down"}` error line — shutdown
+    /// never silently drops an accepted request.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
+        // Unblock a legacy blocking accept loop with a throwaway
+        // connection (harmless no-op for the nonblocking reactor).
         let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
+        // Close the queue *then* join the workers: `pop` drains queued
+        // jobs after close, so every accepted request is computed and
+        // its response line delivered before the workers exit.
         self.queue.close();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // All responses are now in their sinks; tell the reactor to
+        // flush outstanding write buffers, answer any straggler lines
+        // with `shutting-down`, and exit. The legacy accept thread has
+        // already observed `stop` via the throwaway connection.
+        self.flush.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
         }
     }
 }
@@ -202,7 +370,9 @@ pub fn serve(
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let flush = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(JobQueue::new(config.queue_depth));
+    let metrics = Arc::new(Metrics::new());
 
     let worker_count = if config.workers == 0 {
         std::thread::available_parallelism().map_or(2, |n| n.get())
@@ -213,156 +383,240 @@ pub fn serve(
         .map(|_| {
             let queue = Arc::clone(&queue);
             let service = Arc::clone(&service);
+            let metrics = Arc::clone(&metrics);
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
-                    let response = handle_line(&service, &job.line);
-                    let mut out = job.out.lock().unwrap();
-                    let _ = writeln!(out, "{}", response.render());
-                    let _ = out.flush();
+                    let response = handle_line_metered(&service, Some(&metrics), &job.line);
+                    job.out.send(&response.render());
                 }
             })
         })
         .collect();
 
-    let accept = {
-        let stop = Arc::clone(&stop);
-        let queue = Arc::clone(&queue);
-        let conns = Arc::new(AtomicUsize::new(0));
-        let max_conns = config.max_conns.max(1);
-        let max_request = config.max_request_bytes.max(1);
-        std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(mut stream) = stream else { continue };
-                // Connection limit: admit-or-reject before spawning
-                // anything. The rejected client gets one well-formed
-                // error line, so it can distinguish "overloaded" from a
-                // network failure and back off.
-                if conns.load(Ordering::SeqCst) >= max_conns {
-                    let resp = error_response(
-                        Json::Null,
-                        "overloaded",
-                        format!("server at its {max_conns}-connection limit"),
-                    );
-                    let _ = writeln!(stream, "{}", resp.render());
-                    continue;
-                }
-                let guard = ConnGuard::admit(&conns);
-                let queue = Arc::clone(&queue);
-                // Reader threads exit with their connection (EOF / error);
-                // they are not joined on shutdown — each owns only its
-                // client socket (and its slot in the connection count).
-                std::thread::spawn(move || {
-                    let _guard = guard;
-                    let Ok(write_half) = stream.try_clone() else {
-                        return;
-                    };
-                    let out = Arc::new(Mutex::new(write_half));
-                    let mut reader = BufReader::new(stream);
-                    loop {
-                        // Size-capped line read: take() bounds how much a
-                        // single request may buffer, so a client cannot
-                        // grow the reader's memory without limit.
-                        let mut line = Vec::new();
-                        let mut limited = Read::take(&mut reader, max_request as u64 + 1);
-                        match limited.read_until(b'\n', &mut line) {
-                            Ok(0) => break,
-                            Err(_) => break,
-                            Ok(_) => {}
-                        }
-                        if !line.ends_with(b"\n") && line.len() > max_request {
-                            let resp = error_response(
-                                Json::Null,
-                                "too-large",
-                                format!("request exceeds {max_request} bytes"),
-                            );
-                            {
-                                let mut w = out.lock().unwrap();
-                                let _ = writeln!(w, "{}", resp.render());
-                                let _ = w.flush();
-                            }
-                            // Drain whatever else the client already
-                            // sent — the rest of the line AND anything
-                            // pipelined behind it — bounded in bytes and
-                            // time, so the close is a clean FIN: an RST
-                            // from unread buffered data could destroy
-                            // the error response in flight. The read
-                            // timeout bounds how long a silent client
-                            // can hold the connection slot.
-                            {
-                                let w = out.lock().unwrap();
-                                let _ =
-                                    w.set_read_timeout(Some(std::time::Duration::from_millis(200)));
-                            }
-                            let mut drained = 0usize;
-                            let mut scratch = [0u8; 4096];
-                            loop {
-                                match reader.read(&mut scratch) {
-                                    Ok(0) | Err(_) => break, // EOF or timeout
-                                    Ok(n) => {
-                                        drained += n;
-                                        if drained > 16 * max_request {
-                                            break;
-                                        }
-                                    }
-                                }
-                            }
-                            break;
-                        }
-                        let Ok(line) = String::from_utf8(line) else {
-                            let resp =
-                                error_response(Json::Null, "proto", "request is not UTF-8".into());
-                            let mut w = out.lock().unwrap();
-                            let _ = writeln!(w, "{}", resp.render());
-                            let _ = w.flush();
-                            continue;
-                        };
-                        let line = line.trim();
-                        if line.is_empty() {
-                            continue;
-                        }
-                        if !queue.push(Job {
-                            line: line.to_string(),
-                            out: Arc::clone(&out),
-                        }) {
-                            break;
-                        }
-                    }
-                });
-            }
-        })
+    let accept = match config.model {
+        ServeModel::Reactor => {
+            listener.set_nonblocking(true)?;
+            reactor::spawn(
+                listener,
+                config,
+                Arc::clone(&queue),
+                Arc::clone(&metrics),
+                Arc::clone(&stop),
+                Arc::clone(&flush),
+            )
+        }
+        ServeModel::ThreadPerConn => spawn_thread_per_conn(
+            listener,
+            config,
+            Arc::clone(&queue),
+            Arc::clone(&metrics),
+            Arc::clone(&stop),
+        ),
     };
 
     Ok(ServerHandle {
         addr,
         stop,
+        flush,
         queue,
+        metrics,
         accept: Some(accept),
         workers,
     })
 }
 
-/// One admitted connection's slot in the live count: incremented at
-/// admission, released when the reader thread exits (whatever the path —
-/// EOF, error, size-cap close, queue shutdown).
-struct ConnGuard(Arc<AtomicUsize>);
+/// One admitted connection's slot in the live count: taken atomically at
+/// admission ([`Metrics::try_acquire_conn`] — increment first, back out
+/// on overflow, so concurrent admissions never exceed the cap), released
+/// when the connection's owner drops the guard (whatever the path — EOF,
+/// error, size-cap close, queue shutdown).
+pub(crate) struct ConnGuard(Arc<Metrics>);
 
 impl ConnGuard {
-    fn admit(conns: &Arc<AtomicUsize>) -> ConnGuard {
-        conns.fetch_add(1, Ordering::SeqCst);
-        ConnGuard(Arc::clone(conns))
+    /// Atomic admit-or-reject against `max_conns`.
+    pub(crate) fn try_admit(metrics: &Arc<Metrics>, max_conns: usize) -> Option<ConnGuard> {
+        metrics
+            .try_acquire_conn(max_conns)
+            .then(|| ConnGuard(Arc::clone(metrics)))
     }
 }
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+        self.0.release_conn();
     }
 }
 
-fn error_response(id: Json, kind: &str, message: String) -> Json {
+/// Writes `resp` to a connection being rejected, then drains whatever
+/// the client already sent — bounded in bytes and time — before the
+/// close. Without the drain, already-received request bytes sitting
+/// unread in the kernel buffer can turn the close into an RST that
+/// destroys the response in flight; with it, the close is a clean FIN
+/// and the client reliably reads the error line (even if it pipelined
+/// a request before the rejection was decided).
+pub(crate) fn reject_and_drain(mut stream: TcpStream, resp: &Json, max_request_bytes: usize) {
+    let _ = writeln!(stream, "{}", resp.render());
+    let _ = stream.flush();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut drained = 0usize;
+    let mut scratch = [0u8; 4096];
+    loop {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break, // EOF or timeout
+            Ok(n) => {
+                drained += n;
+                if drained > 16 * max_request_bytes {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+}
+
+/// The legacy thread-per-connection accept layer: one blocking reader
+/// thread per admitted client. Kept behind [`ServeModel::ThreadPerConn`]
+/// as the baseline lane of the connection-scaling sweep.
+fn spawn_thread_per_conn(
+    listener: TcpListener,
+    config: ServeConfig,
+    queue: Arc<JobQueue>,
+    metrics: Arc<Metrics>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    let max_conns = config.max_conns.max(1);
+    let max_request = config.max_request_bytes.max(1);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // Connection limit: a single atomic admit-or-reject before
+            // spawning anything (increment first — two racing accepts
+            // can never both pass a load-then-add check again). The
+            // rejected client gets one well-formed error line so it can
+            // distinguish "overloaded" from a network failure, and its
+            // already-sent bytes are drained off the accept thread so
+            // the close cannot RST the error line away.
+            let Some(guard) = ConnGuard::try_admit(&metrics, max_conns) else {
+                let resp = error_response(
+                    Json::Null,
+                    "overloaded",
+                    format!("server at its {max_conns}-connection limit"),
+                );
+                metrics.count_error("overloaded");
+                std::thread::spawn(move || reject_and_drain(stream, &resp, max_request));
+                continue;
+            };
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            let mut bucket = TokenBucket::from_config(&config);
+            // Reader threads exit with their connection (EOF / error);
+            // they are not joined on shutdown — each owns only its
+            // client socket (and its slot in the connection count).
+            std::thread::spawn(move || {
+                let _guard = guard;
+                let Ok(write_half) = stream.try_clone() else {
+                    return;
+                };
+                let out = Arc::new(Mutex::new(write_half));
+                let write_line = |resp: &Json| {
+                    let mut w = out.lock().unwrap();
+                    let _ = writeln!(w, "{}", resp.render());
+                    let _ = w.flush();
+                };
+                let mut reader = BufReader::new(stream);
+                loop {
+                    // Size-capped line read: take() bounds how much a
+                    // single request may buffer, so a client cannot
+                    // grow the reader's memory without limit.
+                    let mut line = Vec::new();
+                    let mut limited = Read::take(&mut reader, max_request as u64 + 1);
+                    match limited.read_until(b'\n', &mut line) {
+                        Ok(0) => break,
+                        Err(_) => break,
+                        Ok(_) => {}
+                    }
+                    if !line.ends_with(b"\n") && line.len() > max_request {
+                        let resp = error_response(
+                            Json::Null,
+                            "too-large",
+                            format!("request exceeds {max_request} bytes"),
+                        );
+                        metrics.count_error("too-large");
+                        write_line(&resp);
+                        // Drain whatever else the client already sent —
+                        // the rest of the line AND anything pipelined
+                        // behind it — bounded in bytes and time, so the
+                        // close is a clean FIN: an RST from unread
+                        // buffered data could destroy the error
+                        // response in flight. The read timeout bounds
+                        // how long a silent client holds the slot.
+                        {
+                            let w = out.lock().unwrap();
+                            let _ = w.set_read_timeout(Some(Duration::from_millis(200)));
+                        }
+                        let mut drained = 0usize;
+                        let mut scratch = [0u8; 4096];
+                        loop {
+                            match reader.read(&mut scratch) {
+                                Ok(0) | Err(_) => break, // EOF or timeout
+                                Ok(n) => {
+                                    drained += n;
+                                    if drained > 16 * max_request {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    let Ok(line) = String::from_utf8(line) else {
+                        metrics.count_error("proto");
+                        write_line(&error_response(
+                            Json::Null,
+                            "proto",
+                            "request is not UTF-8".into(),
+                        ));
+                        continue;
+                    };
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    // Per-connection rate limit: over-limit requests are
+                    // answered (with a retry hint), never dropped, and
+                    // the connection stays open.
+                    if let Some(bucket) = bucket.as_mut() {
+                        if let Err(retry_ms) = bucket.try_take(Instant::now()) {
+                            metrics.count_rate_limited();
+                            write_line(&rate_limited_response(retry_ms));
+                            continue;
+                        }
+                    }
+                    match queue.push(Job {
+                        line: line.to_string(),
+                        out: Sink::Stream(Arc::clone(&out)),
+                    }) {
+                        Ok(depth) => metrics.note_queue_depth(depth),
+                        Err(_job) => {
+                            // Queue closed (shutdown): the request was
+                            // accepted, so it still gets exactly one
+                            // response line before the connection
+                            // closes — never a silent drop.
+                            metrics.count_error("shutting-down");
+                            write_line(&shutting_down_response());
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    })
+}
+
+pub(crate) fn error_response(id: Json, kind: &str, message: String) -> Json {
     Json::obj([
         ("id", id),
         ("ok", Json::Bool(false)),
@@ -376,31 +630,107 @@ fn error_response(id: Json, kind: &str, message: String) -> Json {
     ])
 }
 
+/// The `rate-limited` error line: carries `retry_after_ms` so a client
+/// can back off precisely instead of guessing.
+pub(crate) fn rate_limited_response(retry_after_ms: u64) -> Json {
+    Json::obj([
+        ("id", Json::Null),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj([
+                ("kind", Json::Str("rate-limited".into())),
+                (
+                    "message",
+                    Json::Str("per-connection request rate exceeded".into()),
+                ),
+                ("retry_after_ms", Json::Int(retry_after_ms as i64)),
+            ]),
+        ),
+    ])
+}
+
+/// The `shutting-down` error line: the request was accepted but the
+/// server is draining; the client should reconnect elsewhere/later.
+pub(crate) fn shutting_down_response() -> Json {
+    error_response(
+        Json::Null,
+        "shutting-down",
+        "server is shutting down; request not served".into(),
+    )
+}
+
 fn run_error_response(id: Json, e: &RunError) -> Json {
     error_response(id, e.kind(), e.to_string())
 }
 
 /// Handles one request line; always returns a single JSON response.
+/// Without a server context there are no live counters, so the
+/// `metrics` command is a `proto` error here.
 pub fn handle_line(service: &CheckService, line: &str) -> Json {
-    let req = match Json::parse(line) {
-        Ok(v) => v,
-        Err(e) => return error_response(Json::Null, "proto", e.to_string()),
-    };
-    let id = req.get("id").cloned().unwrap_or(Json::Null);
-    let Some(cmd) = req.get("cmd").and_then(Json::as_str) else {
-        return error_response(id, "proto", "missing `cmd`".into());
-    };
-    match handle_cmd(service, cmd, &req) {
-        Ok(mut fields) => {
-            let mut all = vec![("id".to_string(), id), ("ok".to_string(), Json::Bool(true))];
-            if let Json::Obj(rest) = &mut fields {
-                all.append(rest);
-            }
-            Json::Obj(all)
+    handle_line_metered(service, None, line)
+}
+
+/// [`handle_line`] with the server's live counters: counts the request
+/// under its command, classifies error responses by kind, and records
+/// the request's wall-clock latency into the per-command histogram.
+pub(crate) fn handle_line_metered(
+    service: &CheckService,
+    metrics: Option<&Metrics>,
+    line: &str,
+) -> Json {
+    let start = Instant::now();
+    // The request is counted *before* dispatch, so a `metrics` snapshot
+    // includes the request that asked for it.
+    let count = |cmd: &str| {
+        if let Some(m) = metrics {
+            m.count_request(cmd);
         }
-        Err(HandleError::Run(e)) => run_error_response(id, &e),
-        Err(HandleError::Proto(msg)) => error_response(id, "proto", msg),
+    };
+    let (cmd_name, response) = match Json::parse(line) {
+        Err(e) => {
+            count("other");
+            (
+                "other".to_string(),
+                error_response(Json::Null, "proto", e.to_string()),
+            )
+        }
+        Ok(req) => {
+            let id = req.get("id").cloned().unwrap_or(Json::Null);
+            match req.get("cmd").and_then(Json::as_str) {
+                None => {
+                    count("other");
+                    (
+                        "other".to_string(),
+                        error_response(id, "proto", "missing `cmd`".into()),
+                    )
+                }
+                Some(cmd) => {
+                    count(cmd);
+                    let response = match handle_cmd(service, metrics, cmd, &req) {
+                        Ok(mut fields) => {
+                            let mut all =
+                                vec![("id".to_string(), id), ("ok".to_string(), Json::Bool(true))];
+                            if let Json::Obj(rest) = &mut fields {
+                                all.append(rest);
+                            }
+                            Json::Obj(all)
+                        }
+                        Err(HandleError::Run(e)) => run_error_response(id, &e),
+                        Err(HandleError::Proto(msg)) => error_response(id, "proto", msg),
+                    };
+                    (cmd.to_string(), response)
+                }
+            }
+        }
+    };
+    if let Some(m) = metrics {
+        if let Some(kind) = response.get_in(&["error", "kind"]).and_then(Json::as_str) {
+            m.count_error(kind);
+        }
+        m.observe_latency(&cmd_name, start.elapsed());
     }
+    response
 }
 
 enum HandleError {
@@ -414,25 +744,37 @@ impl From<RunError> for HandleError {
     }
 }
 
+/// Reads an optional budget field: absent is fine, an integer is a cap,
+/// anything else is a protocol error. The previous behaviour —
+/// silently ignoring `"max_states":"10"` — meant a client that
+/// believed it tightened its budget ran under the server's full
+/// budgets instead.
+fn budget_field(req: &Json, name: &str) -> Result<Option<usize>, HandleError> {
+    match req.get(name) {
+        None => Ok(None),
+        Some(v) => match v.as_i64() {
+            Some(i) => Ok(Some(i.max(0) as usize)),
+            None => Err(HandleError::Proto(format!(
+                "`{name}` must be an integer, got {}",
+                v.render()
+            ))),
+        },
+    }
+}
+
 /// Resolves the per-request service: the shared one, or a
 /// budget-restricted sibling over the same store when the request lowers
 /// `max_states` / `max_traces` (requests can only tighten budgets, never
-/// exceed the server's).
-fn request_service(service: &CheckService, req: &Json) -> CheckService {
-    let base = service.config();
-    let states = req.get("max_states").and_then(Json::as_i64);
-    let traces = req.get("max_traces").and_then(Json::as_i64);
-    if states.is_none() && traces.is_none() {
-        return service.fork();
-    }
-    let mut config = base;
-    if let Some(s) = states {
-        config.explore.max_states = (s.max(0) as usize).min(base.explore.max_states);
-    }
-    if let Some(t) = traces {
-        config.explore.max_traces = (t.max(0) as usize).min(base.explore.max_traces);
-    }
-    service.fork_with_config(config)
+/// exceed the server's). Present-but-non-integer budget fields are
+/// `proto` errors, never silently ignored.
+fn request_service(service: &CheckService, req: &Json) -> Result<CheckService, HandleError> {
+    let states = budget_field(req, "max_states")?;
+    let traces = budget_field(req, "max_traces")?;
+    Ok(if states.is_none() && traces.is_none() {
+        service.fork()
+    } else {
+        service.fork_tightened(states, traces)
+    })
 }
 
 fn checked_for(service: &CheckService, req: &Json) -> Result<Checked, HandleError> {
@@ -443,8 +785,13 @@ fn checked_for(service: &CheckService, req: &Json) -> Result<Checked, HandleErro
     Ok(service.check_source(source)?)
 }
 
-fn handle_cmd(service: &CheckService, cmd: &str, req: &Json) -> Result<Json, HandleError> {
-    let service = request_service(service, req);
+fn handle_cmd(
+    service: &CheckService,
+    metrics: Option<&Metrics>,
+    cmd: &str,
+    req: &Json,
+) -> Result<Json, HandleError> {
+    let service = request_service(service, req)?;
     match cmd {
         "parse" => {
             let source = req
@@ -567,6 +914,11 @@ fn handle_cmd(service: &CheckService, cmd: &str, req: &Json) -> Result<Json, Han
             Ok(corpus_json(&entries, service.store()))
         }
         "cache-stats" => Ok(Json::obj([("cache", stats_json(service.store()))])),
+        "metrics" => metrics
+            .map(|m| Json::obj([("metrics", m.to_json())]))
+            .ok_or_else(|| {
+                HandleError::Proto("metrics are only available on a running server".into())
+            }),
         other => Err(HandleError::Proto(format!("unknown cmd `{other}`"))),
     }
 }

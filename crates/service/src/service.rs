@@ -71,6 +71,25 @@ impl CheckService {
         CheckService::new(Arc::clone(&self.store), config)
     }
 
+    /// A sibling with per-request budget caps applied: each present cap
+    /// is clamped to this service's own limit (a request can tighten
+    /// its budgets, never exceed the server's). `None` fields keep the
+    /// server's value.
+    pub fn fork_tightened(
+        &self,
+        max_states: Option<usize>,
+        max_traces: Option<usize>,
+    ) -> CheckService {
+        let mut config = self.config;
+        if let Some(s) = max_states {
+            config.explore.max_states = config.explore.max_states.min(s);
+        }
+        if let Some(t) = max_traces {
+            config.explore.max_traces = config.explore.max_traces.min(t);
+        }
+        self.fork_with_config(config)
+    }
+
     /// The run configuration applied to misses.
     pub fn config(&self) -> RunConfig {
         self.config

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use bdrst_litmus::{run_corpus, RunConfig};
 use bdrst_service::json::Json;
-use bdrst_service::server::{handle_line, serve, ServeConfig};
+use bdrst_service::server::{handle_line, serve, ServeConfig, ServeModel};
 use bdrst_service::service::CheckService;
 use bdrst_service::store::ResultStore;
 
@@ -438,6 +438,377 @@ fn oversized_requests_are_rejected() {
         0,
         "oversized conn not closed"
     );
+    handle.shutdown();
+}
+
+/// Regression (admission check-then-act race): a barrier-released burst
+/// of connects far over the cap. The old accept loop did a `load` then a
+/// separate `fetch_add`, so racing accepts could both pass the check;
+/// the metrics high-water mark is the observable witness that the
+/// atomic admission never exceeds `max_conns` — in either model.
+#[test]
+fn admission_burst_never_exceeds_max_conns() {
+    for model in [ServeModel::Reactor, ServeModel::ThreadPerConn] {
+        let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+        let handle = serve(
+            Arc::new(service),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                max_conns: 4,
+                model,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let barrier = Arc::new(std::sync::Barrier::new(16));
+        let clients: Vec<_> = (0..16)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let Ok(stream) = TcpStream::connect(addr) else {
+                        return;
+                    };
+                    // Exercise the admitted path (a full round-trip) or
+                    // read the rejection; either way hold the socket
+                    // until the server answered, maximising overlap.
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut stream = stream;
+                    let ping = Json::obj([("cmd", Json::Str("cache-stats".into()))]);
+                    let _ = writeln!(stream, "{}", ping.render());
+                    let mut line = String::new();
+                    let _ = reader.read_line(&mut line);
+                    if !line.trim().is_empty() {
+                        let resp = Json::parse(line.trim()).expect("well-formed line");
+                        if resp.get("ok").and_then(Json::as_bool) == Some(false) {
+                            assert_eq!(
+                                resp.get_in(&["error", "kind"]).and_then(Json::as_str),
+                                Some("overloaded")
+                            );
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        let high_water = handle.metrics().conns_high_water();
+        assert!(
+            high_water <= 4,
+            "{model:?}: {high_water} simultaneous connections over a max_conns=4 cap"
+        );
+        assert!(high_water > 0, "{model:?}: nothing was ever admitted");
+        handle.shutdown();
+    }
+}
+
+/// Regression (shutdown silently dropped queued responses): a client
+/// pipelines more requests than one worker can finish before shutdown.
+/// Every accepted request must still produce exactly one well-formed
+/// response line — computed answers for what the workers drained, a
+/// `shutting-down` error for the rest — and then EOF. The old shutdown
+/// closed the queue with jobs still inside and the clients hung.
+#[test]
+fn shutdown_answers_every_accepted_request() {
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+    let handle = serve(
+        Arc::new(service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_depth: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let (mut stream, mut reader) = connect(handle.addr());
+
+    // One slow request to occupy the single worker, then a pile of
+    // cheap ones that end up queued or pending behind it.
+    let slow = bdrst_litmus::all_tests()[0].source;
+    let total = 12;
+    let mut batch = format!(
+        "{}\n",
+        Json::obj([
+            ("id", Json::Int(0)),
+            ("cmd", Json::Str("outcomes".into())),
+            ("source", Json::Str(slow.into())),
+        ])
+        .render()
+    );
+    for i in 1..total {
+        batch.push_str(&format!(
+            "{}\n",
+            Json::obj([
+                ("id", Json::Int(i)),
+                ("cmd", Json::Str("cache-stats".into())),
+            ])
+            .render()
+        ));
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    // Let the server ingest the batch, then shut down with work queued.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    handle.shutdown();
+
+    let mut responses = 0;
+    let mut line = String::new();
+    while {
+        line.clear();
+        reader.read_line(&mut line).unwrap() > 0
+    } {
+        let resp = Json::parse(line.trim())
+            .unwrap_or_else(|e| panic!("malformed response line {line:?}: {e}"));
+        match resp.get("ok").and_then(Json::as_bool) {
+            Some(true) => {}
+            Some(false) => assert_eq!(
+                resp.get_in(&["error", "kind"]).and_then(Json::as_str),
+                Some("shutting-down"),
+                "{resp:?}"
+            ),
+            None => panic!("response without ok: {resp:?}"),
+        }
+        responses += 1;
+    }
+    assert_eq!(
+        responses, total,
+        "every accepted request gets exactly one response line"
+    );
+}
+
+/// Regression (malformed budget fields silently ignored): a
+/// present-but-non-integer `max_states`/`max_traces` used to be dropped
+/// by `and_then(as_i64)`, so the request ran under the server's full
+/// budgets while the client believed it had tightened them.
+#[test]
+fn malformed_budget_fields_are_proto_errors() {
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+    let src = "nonatomic a; thread P0 { a = 1; }";
+    for bad in [
+        r#""max_states":"abc""#,
+        r#""max_states":"10""#,
+        r#""max_traces":true"#,
+        r#""max_traces":[3]"#,
+    ] {
+        let resp = handle_line(
+            &service,
+            &format!(r#"{{"cmd":"outcomes","source":"{src}",{bad}}}"#),
+        );
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{bad} accepted: {resp:?}"
+        );
+        assert_eq!(
+            resp.get_in(&["error", "kind"]).and_then(Json::as_str),
+            Some("proto"),
+            "{bad}: {resp:?}"
+        );
+    }
+    // Integer budgets still work (and still clamp).
+    let resp = handle_line(
+        &service,
+        &format!(r#"{{"cmd":"outcomes","source":"{src}","max_states":50}}"#),
+    );
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+}
+
+/// Regression (overloaded rejection destroyed by RST): the rejected
+/// client pipelines a request *before* reading, so its bytes sit unread
+/// in the server's kernel buffer when the server closes. Without the
+/// bounded drain the close could RST the error line away; with it the
+/// client reliably reads `overloaded` then EOF — in either model.
+#[test]
+fn overloaded_rejection_survives_pipelined_request() {
+    for model in [ServeModel::Reactor, ServeModel::ThreadPerConn] {
+        let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+        let handle = serve(
+            Arc::new(service),
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 2,
+                max_conns: 1,
+                model,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        // Occupy the only slot with a verified round-trip.
+        let (mut s1, mut r1) = connect(addr);
+        let ping = Json::obj([("cmd", Json::Str("cache-stats".into()))]);
+        assert_eq!(
+            request(&mut s1, &mut r1, &ping)
+                .get("ok")
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+
+        // The rejected client writes before reading.
+        let (mut s2, mut r2) = connect(addr);
+        writeln!(s2, "{}", ping.render()).unwrap();
+        s2.flush().unwrap();
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim())
+            .unwrap_or_else(|e| panic!("{model:?}: overloaded line destroyed: {line:?} ({e})"));
+        assert_eq!(
+            resp.get_in(&["error", "kind"]).and_then(Json::as_str),
+            Some("overloaded"),
+            "{model:?}: {resp:?}"
+        );
+        line.clear();
+        assert_eq!(r2.read_line(&mut line).unwrap(), 0, "{model:?}: not closed");
+        handle.shutdown();
+    }
+}
+
+/// The per-connection token bucket: an over-limit request is answered
+/// with a `rate-limited` error carrying a retry hint (never silently
+/// dropped), the connection stays open, and waiting out the hint makes
+/// the next request succeed.
+#[test]
+fn rate_limited_requests_get_a_retry_hint() {
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+    let handle = serve(
+        Arc::new(service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            rate_per_sec: 2,
+            burst: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let (mut stream, mut reader) = connect(handle.addr());
+    let ping = Json::obj([("cmd", Json::Str("cache-stats".into()))]);
+
+    // Burst of 1: the first request drains the bucket…
+    assert_eq!(
+        request(&mut stream, &mut reader, &ping)
+            .get("ok")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    // …so an immediate second one is over the limit.
+    let resp = request(&mut stream, &mut reader, &ping);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        resp.get_in(&["error", "kind"]).and_then(Json::as_str),
+        Some("rate-limited"),
+        "{resp:?}"
+    );
+    let retry_ms = resp
+        .get_in(&["error", "retry_after_ms"])
+        .and_then(Json::as_i64)
+        .expect("retry hint present");
+    assert!(retry_ms > 0 && retry_ms <= 500, "2/s refill: {retry_ms}ms");
+
+    // The connection survived; waiting out the hint refills the bucket.
+    std::thread::sleep(std::time::Duration::from_millis(retry_ms as u64 + 50));
+    assert_eq!(
+        request(&mut stream, &mut reader, &ping)
+            .get("ok")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+    assert!(handle.metrics().conns_high_water() >= 1);
+    handle.shutdown();
+}
+
+/// The `metrics` command over the wire: live counters in the same
+/// response shape as `cache-stats`, reflecting the requests that came
+/// before it. Without a running server the command is a `proto` error.
+#[test]
+fn metrics_command_serves_live_counters() {
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(handle.addr());
+
+    let ping = Json::obj([("cmd", Json::Str("cache-stats".into()))]);
+    request(&mut stream, &mut reader, &ping);
+    request(&mut stream, &mut reader, &ping);
+    let resp = request(
+        &mut stream,
+        &mut reader,
+        &Json::obj([("id", Json::Int(7)), ("cmd", Json::Str("metrics".into()))]),
+    );
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp.get("id").and_then(Json::as_i64), Some(7));
+    let m = resp.get("metrics").expect("metrics object");
+    assert_eq!(
+        m.get_in(&["requests", "cache-stats"])
+            .and_then(Json::as_i64),
+        Some(2)
+    );
+    assert_eq!(
+        m.get_in(&["requests", "metrics"]).and_then(Json::as_i64),
+        Some(1),
+        "the metrics request counts itself"
+    );
+    assert!(m.get_in(&["conns", "admitted"]).and_then(Json::as_i64) >= Some(1));
+    assert_eq!(
+        m.get_in(&["conns", "high_water"]).and_then(Json::as_i64),
+        Some(1)
+    );
+    // The two finished pings landed somewhere in the histogram.
+    let lat = m.get_in(&["latency", "cache-stats"]).expect("histogram");
+    let total: i64 = [
+        "le_100us", "le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "inf",
+    ]
+    .iter()
+    .filter_map(|b| lat.get(b).and_then(Json::as_i64))
+    .sum();
+    assert_eq!(total, 2);
+
+    // In-process dispatch has no live counters: proto error, not a panic.
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+    let resp = handle_line(&service, r#"{"cmd":"metrics"}"#);
+    assert_eq!(
+        resp.get_in(&["error", "kind"]).and_then(Json::as_str),
+        Some("proto")
+    );
+    handle.shutdown();
+}
+
+/// The legacy thread-per-connection lane still serves the protocol
+/// end to end (it remains the baseline side of the scaling sweep).
+#[test]
+fn thread_per_conn_model_still_serves() {
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+    let handle = serve(
+        Arc::new(service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            model: ServeModel::ThreadPerConn,
+            rate_per_sec: 1000,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let (mut stream, mut reader) = connect(handle.addr());
+    let t = bdrst_litmus::all_tests()[0];
+    let resp = request(
+        &mut stream,
+        &mut reader,
+        &Json::obj([
+            ("cmd", Json::Str("check".into())),
+            ("name", Json::Str(t.name.into())),
+            ("source", Json::Str(t.source.into())),
+        ]),
+    );
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{resp:?}"
+    );
+    assert_eq!(resp.get("passed").and_then(Json::as_bool), Some(true));
     handle.shutdown();
 }
 
