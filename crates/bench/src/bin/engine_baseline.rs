@@ -22,7 +22,17 @@
 //! the legacy thread-per-connection layer at equal worker count —
 //! hard-asserting the reactor sustains ≥4× the simultaneously held
 //! connections (admission counts are deterministic; wall clock stays
-//! informational on the single-core container). Writes
+//! informational on the single-core container). Since v8 it adds the
+//! **persistent-store lane**: clone and path-copy-update cost at
+//! 8/64/256 locations, the bytes-shared ratio of an update against a
+//! full rebuild, and the memoized-digest hit rate of the incremental
+//! canonical fingerprint — gating (deterministic allocation counts,
+//! fatal under `ENGINE_BASELINE_ENFORCE=1`) that per-update cost grows
+//! ≤2× from 8 to 256 locations and that allocations per visited state
+//! stay below the v6 bar of 32.4. The alloc-per-visit lanes sweep the
+//! pre-v8 *narrow* corpus (the `Wide*` stress programs are excluded by
+//! name prefix) so the v5/v6 bars stay like-for-like comparable; the
+//! wide programs run in every other lane. Writes
 //! `crates/bench/baselines/engine_baseline.json` — the perf trajectory
 //! anchor for later PRs. Run from the workspace root:
 //!
@@ -51,11 +61,13 @@ use bdrst_litmus::runner::{corpus_passes, run_corpus, run_corpus_sharded, RunCon
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 
-// SAFETY: pure delegation to `System` plus a relaxed counter bump.
+// SAFETY: pure delegation to `System` plus relaxed counter bumps.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.alloc(layout)
     }
 
@@ -65,6 +77,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -303,6 +316,110 @@ fn corpus_dpor_lane(names: &[&'static str], programs: &[Program]) -> (Vec<DporRo
     (rows, dpor_s, full_s, dpor_allocs)
 }
 
+/// One size of the v8 persistent-store lane.
+struct StoreLane {
+    n: usize,
+    /// Nanoseconds per persistent clone (must stay a refcount bump).
+    clone_ns: f64,
+    /// Nanoseconds per path-copy update on a persistent chain.
+    update_ns: f64,
+    /// Heap allocations per update — deterministic, the gate's input.
+    update_allocs: f64,
+    /// 1 − (bytes allocated per update / bytes to rebuild the store
+    /// flat): the fraction of the store an update structurally shares.
+    bytes_shared: f64,
+    /// Memoized-digest hits / (hits + misses) while re-fingerprinting
+    /// the store after single-location updates.
+    digest_hit_rate: f64,
+}
+
+/// Measures clone/update/digest cost of a `Store` over `n` nonatomic
+/// locations. Updates run on a persistent chain (each input is the
+/// previous output — the DFS successor shape) and overwrite one
+/// location round-robin, so every update pays one full root-to-leaf
+/// path copy and nothing else.
+fn store_lane(n: usize) -> StoreLane {
+    use bdrst_core::history::History;
+    use bdrst_core::loc::{Loc, LocKind, LocSet, Val};
+    use bdrst_core::store::{LocContents, Store};
+
+    let mut locs = LocSet::new();
+    for i in 0..n {
+        locs.fresh(format!("x{i}"), LocKind::Nonatomic);
+    }
+    let store = Store::initial(&locs);
+    let contents = LocContents::Nonatomic(History::initial(Val(7)));
+
+    const CLONES: usize = 65_536;
+    let clone_ns = measure(|| {
+        for _ in 0..CLONES {
+            std::hint::black_box(store.clone());
+        }
+    }) / CLONES as f64
+        * 1e9;
+
+    const UPDATES: usize = 8_192;
+    let update_ns = measure(|| {
+        let mut s = store.clone();
+        for k in 0..UPDATES {
+            s.update(Loc((k % n) as u32), contents.clone());
+        }
+        std::hint::black_box(&s);
+    }) / UPDATES as f64
+        * 1e9;
+
+    // Deterministic pass: allocations and bytes per update (the cloned
+    // replacement contents cost the same at every size, so growth across
+    // sizes is pure path-copy depth).
+    let (update_allocs, update_bytes) = {
+        let mut s = store.clone();
+        let a0 = ALLOCATIONS.load(Ordering::Relaxed);
+        let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+        for k in 0..UPDATES {
+            s.update(Loc((k % n) as u32), contents.clone());
+        }
+        std::hint::black_box(&s);
+        let allocs = ALLOCATIONS.load(Ordering::Relaxed) - a0;
+        let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - b0;
+        (
+            allocs as f64 / UPDATES as f64,
+            bytes as f64 / UPDATES as f64,
+        )
+    };
+    let rebuild_bytes = {
+        let b0 = ALLOC_BYTES.load(Ordering::Relaxed);
+        let d = store.deep_clone();
+        std::hint::black_box(&d);
+        (ALLOC_BYTES.load(Ordering::Relaxed) - b0) as f64
+    };
+    let bytes_shared = 1.0 - update_bytes / rebuild_bytes.max(1.0);
+
+    // Incremental-fingerprint hit rate: fill the memos once, then
+    // re-digest after each single-location update — only the written
+    // path should miss.
+    let digest_hit_rate = {
+        let mut s = store.clone();
+        std::hint::black_box(s.content_digest());
+        let (h0, m0) = bdrst_core::pmap::digest_counters();
+        for k in 0..64usize {
+            s.update(Loc((k * 37 % n) as u32), contents.clone());
+            std::hint::black_box(s.content_digest());
+        }
+        let (h1, m1) = bdrst_core::pmap::digest_counters();
+        let (hits, misses) = (h1 - h0, m1 - m0);
+        hits as f64 / (hits + misses).max(1) as f64
+    };
+
+    StoreLane {
+        n,
+        clone_ns,
+        update_ns,
+        update_allocs,
+        bytes_shared,
+        digest_hit_rate,
+    }
+}
+
 fn main() {
     let seq = measure(|| {
         assert!(corpus_passes(&run_corpus(RunConfig::default())));
@@ -358,13 +475,23 @@ fn main() {
     let fingerprint_states_per_s = machines.len() as f64 / fp_s;
 
     // --- allocations per visited state, per dedup lane, over the corpus ---
+    // The alloc lanes sweep the *narrow* corpus only: the v8 `Wide*`
+    // stress programs (64+ locations) would shift allocations per visit
+    // for reasons unrelated to the hot path under test, breaking
+    // comparability with the v5/v6 bars. They run in every other lane.
     let programs: Vec<Program> = corpus::all_tests()
         .iter()
         .map(|t| Program::parse(t.source).unwrap())
         .collect();
-    let (v_seed, a_seed, t_seed) = corpus_dfs_seed_lane(&programs);
-    let (v_full, a_full, t_full) = corpus_dfs_lane(&programs, Dedup::FullState);
-    let (v_fp, a_fp, t_fp) = corpus_dfs_lane(&programs, Dedup::FingerprintFirst);
+    let narrow: Vec<Program> = corpus::all_tests()
+        .iter()
+        .zip(&programs)
+        .filter(|(t, _)| !t.name.starts_with("Wide"))
+        .map(|(_, p)| p.clone())
+        .collect();
+    let (v_seed, a_seed, t_seed) = corpus_dfs_seed_lane(&narrow);
+    let (v_full, a_full, t_full) = corpus_dfs_lane(&narrow, Dedup::FullState);
+    let (v_fp, a_fp, t_fp) = corpus_dfs_lane(&narrow, Dedup::FingerprintFirst);
     assert_eq!(v_full, v_fp, "dedup lanes must visit identical state sets");
     assert_eq!(v_seed, v_fp, "seed lane must visit the identical state set");
     let allocs_per_visit_seed = a_seed as f64 / v_seed as f64;
@@ -561,10 +688,22 @@ fn main() {
     );
     let conn_scaling_ratio = reactor_held as f64 / tpc_held.max(1) as f64;
 
+    // --- v8: persistent-store lane at 8 / 64 / 256 locations ---
+    let lanes: Vec<StoreLane> = [8usize, 64, 256].into_iter().map(store_lane).collect();
+    let store_update_alloc_growth = lanes[2].update_allocs / lanes[0].update_allocs;
+    let join =
+        |f: &dyn Fn(&StoreLane) -> String| lanes.iter().map(f).collect::<Vec<_>>().join(", ");
+    let store_sizes = join(&|l| format!("{}", l.n));
+    let store_clone_ns = join(&|l| format!("{:.1}", l.clone_ns));
+    let store_update_ns = join(&|l| format!("{:.1}", l.update_ns));
+    let store_update_allocs = join(&|l| format!("{:.2}", l.update_allocs));
+    let store_bytes_shared = join(&|l| format!("{:.4}", l.bytes_shared));
+    let store_digest_hit_rate = join(&|l| format!("{:.3}", l.digest_hit_rate));
+
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         r#"{{
-  "schema": "bdrst-engine-baseline/v7",
+  "schema": "bdrst-engine-baseline/v8",
   "samples": {SAMPLES},
   "threads_available": {threads},
   "corpus_sweep_sequential_s": {seq:.6},
@@ -613,7 +752,14 @@ fn main() {
   "conn_scaling_reactor_cap": {REACTOR_CAP},
   "conn_scaling_reactor_held": {reactor_held},
   "conn_scaling_reactor_s": {reactor_s:.6},
-  "conn_scaling_ratio": {conn_scaling_ratio:.3}
+  "conn_scaling_ratio": {conn_scaling_ratio:.3},
+  "store_lane_locations": [{store_sizes}],
+  "store_clone_ns": [{store_clone_ns}],
+  "store_update_ns": [{store_update_ns}],
+  "store_update_allocs": [{store_update_allocs}],
+  "store_update_alloc_growth_8_to_256": {store_update_alloc_growth:.3},
+  "store_bytes_shared": [{store_bytes_shared}],
+  "store_digest_hit_rate": [{store_digest_hit_rate}]
 }}
 "#,
         speedup = seq / par,
@@ -656,6 +802,62 @@ fn main() {
              ({allocs_per_visit_fp:.2} vs {allocs_per_visit_seed:.2}); set \
              ENGINE_BASELINE_ENFORCE=1 to make this fatal",
             alloc_reduction * 100.0
+        );
+    }
+
+    // v8: the persistent store must beat the v6 (CoW spine) bar on the
+    // same narrow corpus. Deterministic count, fatal under enforce.
+    const V6_ALLOCS_PER_VISIT_FINGERPRINT: f64 = 32.4;
+    if allocs_per_visit_fp < V6_ALLOCS_PER_VISIT_FINGERPRINT {
+        eprintln!(
+            "persistent store beats the v6 allocation bar: {allocs_per_visit_fp:.2} < \
+             {V6_ALLOCS_PER_VISIT_FINGERPRINT} allocations per visited state"
+        );
+    } else if enforce {
+        panic!(
+            "persistent store should allocate less per visited state than the v6 CoW bar: \
+             got {allocs_per_visit_fp:.2}, bar {V6_ALLOCS_PER_VISIT_FINGERPRINT}"
+        );
+    } else {
+        eprintln!(
+            "WARNING: allocations per visited state {allocs_per_visit_fp:.2} is at or above \
+             the v6 bar {V6_ALLOCS_PER_VISIT_FINGERPRINT}; set ENGINE_BASELINE_ENFORCE=1 to \
+             make this fatal"
+        );
+    }
+
+    // v8: path-copy updates must be near-flat in the location count —
+    // ≤2× more allocations per update at 256 locations than at 8 (the
+    // CoW spine grew ~32× linear here). Deterministic count, fatal
+    // under enforce; the wall-clock lane stays informational.
+    if store_update_alloc_growth <= 2.0 {
+        eprintln!(
+            "store update cost is near-flat in locations: {:.2} allocs/update at 8 locs vs \
+             {:.2} at 256 ({store_update_alloc_growth:.2}x; clone {:.0}ns/{:.0}ns, update \
+             {:.0}ns/{:.0}ns, bytes shared {:.1}%/{:.1}%, digest hit rate {:.0}%/{:.0}%)",
+            lanes[0].update_allocs,
+            lanes[2].update_allocs,
+            lanes[0].clone_ns,
+            lanes[2].clone_ns,
+            lanes[0].update_ns,
+            lanes[2].update_ns,
+            lanes[0].bytes_shared * 100.0,
+            lanes[2].bytes_shared * 100.0,
+            lanes[0].digest_hit_rate * 100.0,
+            lanes[2].digest_hit_rate * 100.0,
+        );
+    } else if enforce {
+        panic!(
+            "store update cost should grow <=2x from 8 to 256 locations, got \
+             {store_update_alloc_growth:.2}x ({:.2} -> {:.2} allocs/update)",
+            lanes[0].update_allocs, lanes[2].update_allocs
+        );
+    } else {
+        eprintln!(
+            "WARNING: store update cost grew {store_update_alloc_growth:.2}x from 8 to 256 \
+             locations ({:.2} -> {:.2} allocs/update); set ENGINE_BASELINE_ENFORCE=1 to make \
+             this fatal",
+            lanes[0].update_allocs, lanes[2].update_allocs
         );
     }
 

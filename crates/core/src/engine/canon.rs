@@ -237,8 +237,14 @@ fn hash_frontier<E: Expr, H: Hasher>(
     Ok(())
 }
 
-/// The 64-bit fingerprint of a machine's canonical form, computed by
-/// streaming ranks and values straight into a hasher — no allocation.
+/// The 64-bit fingerprint of a machine's canonical form — *incremental*:
+/// the store's canonical-local half (history value sequences, atomic
+/// values) enters as one recombined [`crate::store::Store::content_digest`]
+/// word, answered from the pmap's memoized subtree digests — after a
+/// one-location update only the O(log n) copied path is rehashed, not
+/// every location. Only the genuinely non-local canonical content — the
+/// per-location *ranks* of atomic and thread frontiers, which depend on
+/// other locations' histories — is still streamed per visited state.
 ///
 /// The fingerprint is a pure function of the [`CanonState`] content
 /// (canonically equal machines always collide; unequal machines collide
@@ -253,22 +259,11 @@ fn hash_frontier<E: Expr, H: Hasher>(
 /// would: a successful fingerprint guarantees the machine canonicalizes.
 pub fn canonical_fingerprint<E: Expr>(locs: &LocSet, m: &Machine<E>) -> Result<u64, EngineError> {
     let mut h = DefaultHasher::new();
+    h.write_u64(m.store.content_digest());
     for l in locs.iter() {
-        match locs.kind(l) {
-            LocKind::Nonatomic => {
-                let hist = m.store.history(l);
-                h.write_u8(0);
-                h.write_usize(hist.len());
-                for (_, v) in hist.iter() {
-                    h.write_i64(v.0);
-                }
-            }
-            LocKind::Atomic => {
-                let (f, v) = m.store.atomic(l);
-                h.write_u8(1);
-                h.write_i64(v.0);
-                hash_frontier(locs, m, f, &mut h)?;
-            }
+        if locs.kind(l) == LocKind::Atomic {
+            let (f, _) = m.store.atomic(l);
+            hash_frontier(locs, m, f, &mut h)?;
         }
     }
     h.write_usize(m.threads.len());

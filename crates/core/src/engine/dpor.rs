@@ -297,6 +297,14 @@ impl DporEngine {
     }
 
     /// Builds the node for `m`, inheriting `sleep` from the incoming edge.
+    ///
+    /// Every enabled successor is materialised up front and parked in its
+    /// group until the schedule (or a backtrack) reaches it — cheap
+    /// because sibling targets structurally share the parent's store:
+    /// each is at most one O(log n) path copy into the persistent radix
+    /// map ([`crate::pmap`]), every off-path subtree pointer-identical
+    /// across the whole frontier, however long the sleep sets keep it
+    /// parked.
     fn node<E: Expr>(
         locs: &LocSet,
         m: &Machine<E>,

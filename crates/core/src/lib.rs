@@ -59,6 +59,7 @@ pub mod loc;
 pub mod localdrf;
 pub mod machine;
 pub mod memop;
+pub mod pmap;
 pub mod relation;
 pub mod store;
 pub mod timestamp;
@@ -77,6 +78,7 @@ pub use machine::{
     semantics_probes, Expr, Machine, StepLabel, Steps, ThreadId, ThreadState, Transition,
     TransitionLabel,
 };
+pub use pmap::{ContentDigest, PMap};
 pub use store::{LocContents, Store};
 pub use timestamp::{Ratio, Timestamp};
 pub use trace::{LocPredicate, TraceLabels};

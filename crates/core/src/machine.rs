@@ -359,14 +359,17 @@ impl<E: Expr> Machine<E> {
     }
 
     /// The successor machine of one transition: `delta` is applied to a
-    /// copy-on-write clone of the shared store (`None` = unchanged — the
+    /// persistent clone of the shared store (`None` = unchanged — the
     /// clone is then a pure `Arc` bump), and thread `ti` gets the new
     /// frontier and expression. Building the target directly — instead
     /// of cloning the whole machine and overwriting the changed parts —
     /// keeps the per-transition allocation cost to exactly what the
     /// successor needs: read and silent successors share the parent
-    /// store outright, and a write successor pays only for the spine and
-    /// its one rewritten location.
+    /// store outright, and a write successor pays one O(log n)
+    /// root-to-leaf path copy in the store's radix map
+    /// ([`crate::pmap`]), leaving every off-path subtree — and its
+    /// memoized fingerprint digests — shared with the parent and all
+    /// sibling branches.
     fn target(
         &self,
         ti: usize,

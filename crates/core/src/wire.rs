@@ -35,7 +35,14 @@ use crate::loc::{Loc, LocKind, Val};
 /// operational semantics, the canonical form, or the meaning of recorded
 /// artifacts must bump this; persisted cache entries carry it and are
 /// rejected (recomputed) on mismatch.
-pub const SEMANTICS_VERSION: u32 = 4;
+///
+/// Version 5: persistent-pmap stores — [`crate::store::Store`],
+/// [`crate::store::LocContents`], [`crate::history::History`], and
+/// [`crate::frontier::Frontier`] gained codecs (tagged contents in
+/// location order), and the canonical fingerprint is now recombined from
+/// memoized store digests, which changes fingerprint *values* (not their
+/// semantics) — cache entries keyed under version 4 must recompute.
+pub const SEMANTICS_VERSION: u32 = 5;
 
 /// A decode failure: the bytes do not describe a well-formed value.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -494,6 +494,88 @@ pub static SB_AT: LitmusTest = LitmusTest {
     ],
 };
 
+/// Wide scatter-write stress: 64 nonatomic locations, two threads writing
+/// disjoint scattered slots. No same-location conflicts, so the program is
+/// race-free and its outcome set is a singleton; what it stresses is the
+/// *store*: every write path-copies an O(log n) sliver of a 64-slot pmap
+/// while the other 60 slots stay structurally shared across all
+/// interleavings (the bench store lane measures exactly this shape).
+pub static WIDE_SCATTER: LitmusTest = LitmusTest {
+    name: "Wide+scatter",
+    description: "64-location disjoint scatter writes: race-free, single outcome",
+    source: "nonatomic w0 w1 w2 w3 w4 w5 w6 w7 w8 w9 w10 w11 w12 w13 w14 w15 w16 w17 w18 w19 w20 w21 w22 w23 w24 w25 w26 w27 w28 w29 w30 w31 w32 w33 w34 w35 w36 w37 w38 w39 w40 w41 w42 w43 w44 w45 w46 w47 w48 w49 w50 w51 w52 w53 w54 w55 w56 w57 w58 w59 w60 w61 w62 w63;
+             thread P0 { w0 = 1; w1 = 1; w2 = 1; w3 = 1; }
+             thread P1 { w32 = 1; w33 = 1; w34 = 1; w35 = 1; }",
+    checks: &[
+        OutcomeCheck {
+            description: "all eight written slots hold 1",
+            predicate: |o| {
+                m(o, "w0") == 1 && m(o, "w3") == 1 && m(o, "w32") == 1 && m(o, "w35") == 1
+            },
+            allowed: true,
+        },
+        OutcomeCheck {
+            description: "some written slot lost its write",
+            predicate: |o| m(o, "w3") == 0 || m(o, "w35") == 0,
+            allowed: false,
+        },
+    ],
+};
+
+/// Wide message passing: the MP chain across a 64-location store, with the
+/// payload reads control-guarded on the flag (the CoRR+sync discipline), so
+/// the program is race-free and flag = 1 implies both scattered payloads.
+pub static WIDE_MP: LitmusTest = LitmusTest {
+    name: "Wide+mp",
+    description: "64-location guarded message passing: stale payload after flag forbidden",
+    source: "nonatomic w0 w1 w2 w3 w4 w5 w6 w7 w8 w9 w10 w11 w12 w13 w14 w15 w16 w17 w18 w19 w20 w21 w22 w23 w24 w25 w26 w27 w28 w29 w30 w31 w32 w33 w34 w35 w36 w37 w38 w39 w40 w41 w42 w43 w44 w45 w46 w47 w48 w49 w50 w51 w52 w53 w54 w55 w56 w57 w58 w59 w60 w61 w62; atomic f;
+             thread P0 { w7 = 1; w40 = 2; f = 1; }
+             thread P1 { r0 = f; if (r0 == 1) { r1 = w7; r2 = w40; } }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 1 ∧ r1 = 1 ∧ r2 = 2",
+            predicate: |o| {
+                r(o, "P1", "r0") == 1 && r(o, "P1", "r1") == 1 && r(o, "P1", "r2") == 2
+            },
+            allowed: true,
+        },
+        OutcomeCheck {
+            description: "r0 = 1 ∧ (r1 = 0 ∨ r2 = 0) (stale payload after flag)",
+            predicate: |o| {
+                r(o, "P1", "r0") == 1 && (r(o, "P1", "r1") == 0 || r(o, "P1", "r2") == 0)
+            },
+            allowed: false,
+        },
+        OutcomeCheck {
+            description: "r0 = 0 (flag not yet seen)",
+            predicate: |o| r(o, "P1", "r0") == 0,
+            allowed: true,
+        },
+    ],
+};
+
+/// Wide racy read: one unguarded nonatomic read racing one write in the
+/// middle of a 64-location store — the racy polarity of the wide family.
+pub static WIDE_RACE: LitmusTest = LitmusTest {
+    name: "Wide+race",
+    description: "64-location racy read: both values observable (race)",
+    source: "nonatomic w0 w1 w2 w3 w4 w5 w6 w7 w8 w9 w10 w11 w12 w13 w14 w15 w16 w17 w18 w19 w20 w21 w22 w23 w24 w25 w26 w27 w28 w29 w30 w31 w32 w33 w34 w35 w36 w37 w38 w39 w40 w41 w42 w43 w44 w45 w46 w47 w48 w49 w50 w51 w52 w53 w54 w55 w56 w57 w58 w59 w60 w61 w62 w63;
+             thread P0 { w31 = 1; }
+             thread P1 { r0 = w31; }",
+    checks: &[
+        OutcomeCheck {
+            description: "r0 = 0 (write not seen)",
+            predicate: |o| r(o, "P1", "r0") == 0,
+            allowed: true,
+        },
+        OutcomeCheck {
+            description: "r0 = 1 (write seen)",
+            predicate: |o| r(o, "P1", "r0") == 1,
+            allowed: true,
+        },
+    ],
+};
+
 /// All corpus tests, in presentation order.
 pub fn all_tests() -> Vec<&'static LitmusTest> {
     vec![
@@ -518,6 +600,9 @@ pub fn all_tests() -> Vec<&'static LitmusTest> {
         &EXAMPLE2,
         &EXAMPLE3,
         &SEC92,
+        &WIDE_SCATTER,
+        &WIDE_MP,
+        &WIDE_RACE,
     ]
 }
 

@@ -23,8 +23,15 @@
 //! 4. **closes** connections that are finished: EOF seen, no pending
 //!    lines, every submitted job answered, write buffer flushed.
 //!
-//! Blocking system calls never run on this thread — a cycle that moves
-//! no bytes sleeps for [`IDLE_SLEEP`] instead of spinning.
+//! The loop never blocks on a client socket. A cycle that moves no
+//! bytes parks on the [`Waker`] pipe — a loopback socket pair whose
+//! write half the workers poke when they deposit a response — so a
+//! finished job wakes the reactor immediately instead of waiting out
+//! the rest of an [`IDLE_SLEEP`] poll cycle. For [`HOT_WINDOW`] after
+//! any byte moves the loop polls eagerly (yielding, not sleeping), so
+//! an interactive client's next request is read the moment it lands;
+//! only a connection idle past the window falls back to the
+//! [`IDLE_SLEEP`]-bounded park.
 //!
 //! Shutdown (driven by [`crate::server::ServerHandle::shutdown`]): the
 //! `stop` flag stops accepting; the queue closes and the workers drain
@@ -49,8 +56,17 @@ use crate::server::{
     ServeConfig, Sink, TokenBucket, TryPushError,
 };
 
-/// Sleep between poll cycles that moved no bytes.
+/// Upper bound on an idle park: with a live wakeup pipe the park ends
+/// as soon as a worker pokes; this timeout only bounds how stale the
+/// stop/flush flags can get (and is the fallback poll cadence if the
+/// pipe could not be built).
 const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// After a cycle that moved bytes, keep polling eagerly (yielding the
+/// timeslice, not sleeping) for this long before parking on the wakeup
+/// pipe: a request-response exchange keeps the loop inside this window,
+/// so sequential round-trips never pay the idle-poll floor on reads.
+const HOT_WINDOW: Duration = Duration::from_millis(2);
 
 /// How long a rejecting connection may take to drain before we close it
 /// anyway, and how long the shutdown flush phase may run.
@@ -59,6 +75,62 @@ const FLUSH_DEADLINE: Duration = Duration::from_secs(2);
 
 /// Per-cycle read chunk.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// The reactor's wakeup pipe. std has no `pipe(2)`, so it is a loopback
+/// TCP pair: the write half is shared with every connection's [`Outbox`]
+/// (and through it the workers), the read half is what the reactor
+/// parks on when a cycle moves no bytes. A worker that deposits a
+/// response line pokes one byte and the park ends immediately — the
+/// response hits the socket in microseconds instead of waiting out the
+/// rest of a fixed [`IDLE_SLEEP`].
+pub(crate) struct Waker {
+    tx: TcpStream,
+    /// Collapses redundant pokes: set by the first `wake` after a
+    /// `rearm`, so a burst of completions sends one byte, not one per
+    /// response, and the pipe's buffer can never fill under load.
+    pending: AtomicBool,
+}
+
+impl Waker {
+    /// Builds the pipe. Returns the shared write half and the read half
+    /// (owned by the reactor thread, reads bounded by [`IDLE_SLEEP`]).
+    fn pipe() -> std::io::Result<(Arc<Waker>, TcpStream)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        tx.set_nonblocking(true)?;
+        tx.set_nodelay(true)?;
+        rx.set_read_timeout(Some(IDLE_SLEEP))?;
+        Ok((
+            Arc::new(Waker {
+                tx,
+                pending: AtomicBool::new(false),
+            }),
+            rx,
+        ))
+    }
+
+    /// Pokes the reactor. Wait-free for the caller: one nonblocking
+    /// 1-byte write, skipped when a poke is already in flight.
+    fn wake(&self) {
+        if self.pending.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // WouldBlock means unread pokes already fill the socket buffer,
+        // so the reactor is waking regardless; any other error merely
+        // leaves it on the IDLE_SLEEP cadence — degraded latency, never
+        // a stall or a lost response.
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    /// Re-arms the pipe. Called at the top of every reactor cycle,
+    /// *before* any outbox is inspected: a `wake` racing the inspection
+    /// at worst leaves one spurious byte in the pipe (a free extra
+    /// cycle), never a lost wakeup.
+    fn rearm(&self) {
+        self.pending.store(false, Ordering::SeqCst);
+    }
+}
 
 /// A connection's response mailbox: workers deposit finished lines, the
 /// reactor collects them on its next cycle. `submitted` counts jobs the
@@ -70,14 +142,18 @@ pub(crate) struct Outbox {
     lines: Mutex<Vec<String>>,
     submitted: AtomicUsize,
     completed: AtomicUsize,
+    /// Pokes the reactor awake on every deposit; `None` when the wakeup
+    /// pipe could not be built and the reactor is on its poll cadence.
+    waker: Option<Arc<Waker>>,
 }
 
 impl Outbox {
-    fn new() -> Outbox {
+    fn new(waker: Option<Arc<Waker>>) -> Outbox {
         Outbox {
             lines: Mutex::new(Vec::new()),
             submitted: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
+            waker,
         }
     }
 
@@ -88,6 +164,10 @@ impl Outbox {
         // Bumped under the lock: once a reader of `completed` sees the
         // count, the line is already in the vector.
         self.completed.fetch_add(1, Ordering::SeqCst);
+        drop(lines);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
     }
 
     fn note_submitted(&self) {
@@ -170,6 +250,12 @@ pub(crate) fn spawn(
     flush: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        // Built on the reactor thread; if loopback is unavailable the
+        // loop degrades to the fixed IDLE_SLEEP poll cadence.
+        let (waker, wake_rx) = match Waker::pipe() {
+            Ok((waker, rx)) => (Some(waker), Some(rx)),
+            Err(_) => (None, None),
+        };
         Reactor {
             listener,
             config,
@@ -178,6 +264,8 @@ pub(crate) fn spawn(
             stop,
             flush,
             conns: Vec::new(),
+            waker,
+            wake_rx,
         }
         .run()
     })
@@ -191,12 +279,23 @@ struct Reactor {
     stop: Arc<AtomicBool>,
     flush: Arc<AtomicBool>,
     conns: Vec<Conn>,
+    /// Shared write half of the wakeup pipe (cloned into each outbox).
+    waker: Option<Arc<Waker>>,
+    /// Read half: what an idle cycle parks on, timeout [`IDLE_SLEEP`].
+    wake_rx: Option<TcpStream>,
 }
 
 impl Reactor {
     fn run(&mut self) {
         let mut flush_deadline: Option<Instant> = None;
+        let mut hot_until = Instant::now() + HOT_WINDOW;
         loop {
+            // Re-arm before inspecting any outbox: a completion landing
+            // from here on pokes a byte even if this very cycle drains
+            // its line — a spurious wakeup at worst, never a lost one.
+            if let Some(waker) = &self.waker {
+                waker.rearm();
+            }
             let now = Instant::now();
             let flushing = self.flush.load(Ordering::SeqCst);
             if flushing && flush_deadline.is_none() {
@@ -222,14 +321,43 @@ impl Reactor {
                     break;
                 }
             }
-            if !busy {
-                std::thread::sleep(IDLE_SLEEP);
+            if busy {
+                hot_until = now + HOT_WINDOW;
+            } else if now < hot_until {
+                // Recently active: the next request is likely already in
+                // flight. Yield (don't sleep) so it is read on arrival —
+                // and, on a loaded box, so the workers get the core.
+                std::thread::yield_now();
+            } else {
+                self.idle_park();
             }
         }
         // A clean goodbye: the client reads every delivered response
         // line and then EOF, instead of a reset.
         for c in &self.conns {
             let _ = c.stream.shutdown(std::net::Shutdown::Write);
+        }
+    }
+
+    /// Parks an idle cycle: blocks on the wakeup pipe until a worker
+    /// pokes (response ready — wake *now*) or [`IDLE_SLEEP`] elapses
+    /// (re-poll sockets and the stop/flush flags). Any pipe failure
+    /// drops back to the plain sleep permanently.
+    fn idle_park(&mut self) {
+        let Some(rx) = &mut self.wake_rx else {
+            std::thread::sleep(IDLE_SLEEP);
+            return;
+        };
+        let mut buf = [0u8; 64];
+        match rx.read(&mut buf) {
+            // Poked (any byte count), or the timeout elapsed: either way
+            // the loop runs another cycle. Leftover poke bytes beyond the
+            // scratch just end the next park early — harmless.
+            Ok(n) if n > 0 => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // EOF or a real error: the pipe is gone; poll from now on.
+            _ => self.wake_rx = None,
         }
     }
 
@@ -251,7 +379,7 @@ impl Reactor {
                         rbuf: Vec::new(),
                         wbuf: Vec::new(),
                         pending: VecDeque::new(),
-                        outbox: Arc::new(Outbox::new()),
+                        outbox: Arc::new(Outbox::new(self.waker.clone())),
                         bucket: TokenBucket::from_config(&self.config),
                         state: ConnState::Open,
                         _guard: None,

@@ -850,3 +850,43 @@ fn handle_line_is_usable_without_sockets() {
         Some("proto")
     );
 }
+
+#[test]
+fn reactor_latency_has_no_idle_poll_floor() {
+    // The reactor parks idle cycles on a wakeup pipe and polls eagerly
+    // right after activity, so a lone in-flight request must NOT pay the
+    // 500µs idle-poll cadence on either the read or the write side. The
+    // sleep-driven loop this replaced cost ~½ a poll cycle to notice the
+    // request plus ~½ to notice the worker's response — ≥ ~500µs per
+    // sequential round-trip in expectation, ≥ 25ms for the 50 pings
+    // below. With the wakeup path a cheap `cache-stats` ping is bounded
+    // by scheduling noise, not the poll clock; the *median* (immune to a
+    // loaded runner stalling a few pings) must come in well under one
+    // poll cycle.
+    let handle = start_server();
+    let (mut stream, mut reader) = connect(handle.addr());
+    stream.set_nodelay(true).unwrap();
+    let ping = Json::obj([("cmd", Json::Str("cache-stats".into()))]);
+
+    // Warm-up: connection admitted, worker pool paged in.
+    for _ in 0..3 {
+        let resp = request(&mut stream, &mut reader, &ping);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    let mut micros: Vec<u128> = (0..50)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            let resp = request(&mut stream, &mut reader, &ping);
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+            t0.elapsed().as_micros()
+        })
+        .collect();
+    micros.sort_unstable();
+    let median = micros[micros.len() / 2];
+    assert!(
+        median < 350,
+        "median ping latency {median}µs has an idle-poll floor in it: {micros:?}"
+    );
+    handle.shutdown();
+}

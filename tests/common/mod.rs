@@ -21,6 +21,50 @@ fn stmt() -> impl Strategy<Value = Stmt> {
     ]
 }
 
+/// A random two-thread program over a *wide* location set: 72 nonatomic
+/// locations plus one atomic, with each thread touching a few scattered
+/// locations. The state space stays small (few steps per thread) while
+/// the store spans multiple pmap levels, so structural-sharing and
+/// incremental-fingerprint properties are exercised on deep trees, not
+/// just the 3-location corpus shape.
+#[allow(dead_code)]
+pub fn wide_program() -> impl Strategy<Value = Program> {
+    const WIDE: u32 = 73; // 0..72 nonatomic, 72 atomic
+    let stmt = || {
+        let loc = 0u32..WIDE;
+        let reg = 0u16..2;
+        let val = 1i64..3;
+        prop_oneof![
+            (reg, loc.clone()).prop_map(|(r, l)| Stmt::Load(Reg(r), Loc(l))),
+            (loc, val).prop_map(|(l, v)| Stmt::Store(Loc(l), PureExpr::constant(v))),
+        ]
+    };
+    let t0 = prop::collection::vec(stmt(), 1..4);
+    let t1 = prop::collection::vec(stmt(), 1..4);
+    (t0, t1).prop_map(|(b0, b1)| {
+        let mut locs = LocSet::new();
+        for i in 0..WIDE - 1 {
+            locs.fresh(format!("w{i}"), LocKind::Nonatomic);
+        }
+        locs.fresh("F", LocKind::Atomic);
+        Program {
+            locs,
+            threads: vec![
+                ThreadProgram {
+                    name: "P0".into(),
+                    regs: vec!["r0".into(), "r1".into()],
+                    body: b0,
+                },
+                ThreadProgram {
+                    name: "P1".into(),
+                    regs: vec!["r0".into(), "r1".into()],
+                    body: b1,
+                },
+            ],
+        }
+    })
+}
+
 /// A random two-thread program over the fixed location set.
 pub fn small_program() -> impl Strategy<Value = Program> {
     let t0 = prop::collection::vec(stmt(), 1..4);

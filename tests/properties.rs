@@ -6,14 +6,21 @@
 use proptest::prelude::*;
 
 mod common;
-use common::small_program;
+use common::{small_program, wide_program};
 
 use bdrst::axiomatic::{check_equivalence, EnumLimits};
+use bdrst::core::engine::canonical_fingerprint;
 use bdrst::core::explore::ExploreConfig;
+use bdrst::core::frontier::Frontier;
+use bdrst::core::history::History;
+use bdrst::core::loc::{Action, Loc, LocKind, LocSet, Val};
 use bdrst::core::localdrf::{check_global_drf, check_local_drf};
 use bdrst::core::relation::Relation;
+use bdrst::core::store::{LocContents, Store};
 use bdrst::core::timestamp::Ratio;
 use bdrst::core::trace::LocPredicate;
+use bdrst::core::wire::{Codec, Reader};
+use bdrst::lang::Program;
 
 // ---------- rationals ----------
 
@@ -144,9 +151,129 @@ proptest! {
                 // allocations before we re-read the parent.
                 let _ = t.target.transitions(&p.locs);
             }
+            // Structural sharing across *siblings*: every slot a successor
+            // did not write is the parent's very allocation — hence, by
+            // transitivity, pointer-identical across all sibling branches.
+            let written = |t: &bdrst::core::machine::Transition<_>| {
+                t.label.action.as_ref().and_then(|a| {
+                    matches!(a.action, Action::Write(_)).then_some(a.loc)
+                })
+            };
+            for t1 in &succs {
+                let w1 = written(t1);
+                for l in p.locs.iter() {
+                    if w1 != Some(l) {
+                        prop_assert!(
+                            std::ptr::eq(t1.target.store.contents(l), m.store.contents(l)),
+                            "off-path slot {l} copied instead of shared in\n{}", p);
+                    }
+                }
+                for t2 in &succs {
+                    let w2 = written(t2);
+                    for l in p.locs.iter() {
+                        if w1 != Some(l) && w2 != Some(l) {
+                            prop_assert!(std::ptr::eq(
+                                t1.target.store.contents(l),
+                                t2.target.store.contents(l)));
+                        }
+                    }
+                }
+            }
             prop_assert_eq!(&m.store, &snapshot,
                 "parent store mutated by successor enumeration in\n{}", p);
             queue.extend(succs.into_iter().map(|t| t.target));
         }
+    }
+}
+
+// ---------- pmap store vs flat reference ----------
+
+/// The flat reference representation: `Store::initial`'s contents as a
+/// plain `Vec`, maintained independently through the exploration's update
+/// stream.
+fn reference_initial(locs: &LocSet) -> Vec<LocContents> {
+    let f0 = Frontier::initial(locs);
+    locs.iter()
+        .map(|l| match locs.kind(l) {
+            LocKind::Nonatomic => LocContents::Nonatomic(History::initial(Val::INIT)),
+            LocKind::Atomic => LocContents::Atomic {
+                frontier: f0.clone(),
+                value: Val::INIT,
+            },
+        })
+        .collect()
+}
+
+/// Differential walk: every visited pmap store must agree with the flat
+/// mirror on reads, iteration order, wire round-trip, and content digest;
+/// each transition may move exactly the slot its write label names.
+fn assert_store_matches_reference(p: &Program, budget: usize) {
+    let mut stack = vec![(p.initial_machine(), reference_initial(&p.locs))];
+    let mut visited = 0usize;
+    while let Some((m, mirror)) = stack.pop() {
+        if visited >= budget {
+            break;
+        }
+        visited += 1;
+        // Reads and iteration order against the mirror.
+        prop_assert_eq!(m.store.len(), mirror.len());
+        for (i, ((l, c), rc)) in m.store.iter().zip(mirror.iter()).enumerate() {
+            prop_assert_eq!(l, Loc(i as u32), "iteration order broke in\n{}", p);
+            prop_assert_eq!(c, rc, "slot {} diverged from the mirror in\n{}", l, p);
+            prop_assert_eq!(c, m.store.contents(l));
+        }
+        // A store rebuilt flat (through the wire codec) is equal, passes
+        // kind validation, and recombines to the *same* content digest
+        // and canonical fingerprint — digests are content-addressed, not
+        // history-of-updates-addressed.
+        let mut buf = Vec::new();
+        mirror.len().encode(&mut buf);
+        for c in &mirror {
+            c.encode(&mut buf);
+        }
+        let rebuilt = Store::decode(&mut Reader::new(&buf)).expect("mirror encodes validly");
+        rebuilt.validate_kinds(&p.locs).expect("mirror kinds match");
+        prop_assert_eq!(&rebuilt, &m.store);
+        prop_assert_eq!(rebuilt.content_digest(), m.store.content_digest());
+        let mut flat = m.clone();
+        flat.store = rebuilt;
+        prop_assert_eq!(
+            canonical_fingerprint(&p.locs, &m).unwrap(),
+            canonical_fingerprint(&p.locs, &flat).unwrap(),
+            "fingerprint depends on store representation in\n{}",
+            p
+        );
+        for t in m.transitions(&p.locs) {
+            let mut next = mirror.clone();
+            if let Some(a) = &t.label.action {
+                if matches!(a.action, Action::Write(_)) {
+                    next[a.loc.index()] = t.target.store.contents(a.loc).clone();
+                }
+            }
+            stack.push((t.target, next));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The persistent store ≡ a flat `Vec` reference, on corpus-shaped
+    /// (3-location) programs.
+    #[test]
+    fn random_programs_pmap_store_matches_vec_reference(p in small_program()) {
+        assert_store_matches_reference(&p, 48);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same differential on *wide* (73-location, multi-level pmap)
+    /// programs: path copies traverse interior nodes, off-path subtrees
+    /// are whole shared branches.
+    #[test]
+    fn wide_programs_pmap_store_matches_vec_reference(p in wide_program()) {
+        assert_store_matches_reference(&p, 32);
     }
 }
