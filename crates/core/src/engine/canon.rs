@@ -258,6 +258,8 @@ fn hash_frontier<E: Expr, H: Hasher>(
 /// Returns [`EngineError::CorruptFrontier`] exactly when [`canonicalize`]
 /// would: a successful fingerprint guarantees the machine canonicalizes.
 pub fn canonical_fingerprint<E: Expr>(locs: &LocSet, m: &Machine<E>) -> Result<u64, EngineError> {
+    bdrst_obs::counter_add(bdrst_obs::Counter::FingerprintCalls, 1);
+    let _span = bdrst_obs::span(bdrst_obs::Phase::Fingerprint);
     let mut h = DefaultHasher::new();
     h.write_u64(m.store.content_digest());
     for l in locs.iter() {

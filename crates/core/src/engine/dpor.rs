@@ -315,6 +315,7 @@ impl DporEngine {
         let mut groups: Vec<Group<E>> = Vec::new();
         for t in m.transitions(locs) {
             stats.transitions += 1;
+            bdrst_obs::counter_add(bdrst_obs::Counter::DporBranches, 1);
             if !visitor.step_filter(&t) {
                 continue;
             }
@@ -334,6 +335,7 @@ impl DporEngine {
             backtrack.insert(g.thread);
         } else if !groups.is_empty() {
             stats.sleep_blocked += 1;
+            bdrst_obs::counter_add(bdrst_obs::Counter::DporSleepBlocked, 1);
         }
         Node {
             groups,
@@ -355,6 +357,25 @@ impl DporEngine {
     /// executed extensions, with the same reported count as the full
     /// walk.
     pub fn explore<E: Expr>(
+        &self,
+        locs: &LocSet,
+        m0: Machine<E>,
+        visitor: &mut dyn TraceVisitor<E>,
+    ) -> Result<DporStats, EngineError> {
+        let mut span = bdrst_obs::span(bdrst_obs::Phase::Explore);
+        let started = std::time::Instant::now();
+        let result = self.explore_inner(locs, m0, visitor);
+        bdrst_obs::counter_add(
+            bdrst_obs::Counter::ExploreNanos,
+            started.elapsed().as_nanos() as u64,
+        );
+        if let Ok(stats) = &result {
+            span.set_arg(stats.visited as u64);
+        }
+        result
+    }
+
+    fn explore_inner<E: Expr>(
         &self,
         locs: &LocSet,
         m0: Machine<E>,
@@ -405,6 +426,7 @@ impl DporEngine {
             }
             budget -= 1;
             stats.visited += 1;
+            bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
             let e = t.label;
             // Source-DPOR backtracking: for every *direct* race `d ⋖ e`
             // (cross-thread, dependent, with no intermediate
@@ -415,6 +437,8 @@ impl DporEngine {
             // thread, only that thread's event — a happens-before-minimal
             // ("initial") event of the sequence — reproduces the race
             // from `pre(d)`.
+            let bt_span = bdrst_obs::span(bdrst_obs::Phase::DporBacktrack);
+            let mut backtrack_added: u64 = 0;
             for j in (0..depth).rev() {
                 let d = trace.labels()[j];
                 if !is_race(self.dependence, &d, &e) {
@@ -466,6 +490,7 @@ impl DporEngine {
                     .map(|g| g.thread)
                     .filter(|q| initials.contains(q))
                     .collect();
+                let before = pre.backtrack.len();
                 if enabled_initials.is_empty() {
                     // No initial runnable at `pre(d)` (filtered away):
                     // fall back to scheduling everything enabled.
@@ -474,7 +499,10 @@ impl DporEngine {
                 } else {
                     pre.backtrack.extend(enabled_initials);
                 }
+                backtrack_added += (pre.backtrack.len() - before) as u64;
             }
+            bdrst_obs::counter_add(bdrst_obs::Counter::DporBacktrackPoints, backtrack_added);
+            drop(bt_span);
             if t.target.is_terminal() {
                 stats.complete_traces += 1;
             }

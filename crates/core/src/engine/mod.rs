@@ -174,13 +174,19 @@ pub fn intern_canonical<E: Expr>(
     m: &Machine<E>,
 ) -> Result<(StateId, bool), EngineError> {
     let fp = canonical_fingerprint(locs, m)?;
-    Ok(interner.intern_with(
+    let _span = bdrst_obs::span(bdrst_obs::Phase::InternClaim);
+    let (id, fresh) = interner.intern_with(
         fp,
         |c| canon_matches(locs, m, c),
         // A successful fingerprint walks every frontier, so
         // canonicalization cannot fail afterwards.
         || canonicalize(locs, m).expect("fingerprinted machines canonicalize"),
-    ))
+    );
+    if fresh {
+        bdrst_obs::counter_add(bdrst_obs::Counter::StatesInterned, 1);
+        bdrst_obs::counter_max(bdrst_obs::Counter::InternerOccupancy, interner.len() as u64);
+    }
+    Ok((id, fresh))
 }
 
 /// [`intern_canonical`] against the lock-striped [`SharedInterner`]: the
@@ -196,11 +202,17 @@ pub fn claim_canonical<E: Expr>(
     m: &Machine<E>,
 ) -> Result<(StateId, bool), EngineError> {
     let fp = canonical_fingerprint(locs, m)?;
-    Ok(interner.claim_or_intern_with(
+    let _span = bdrst_obs::span(bdrst_obs::Phase::InternClaim);
+    let (id, fresh) = interner.claim_or_intern_with(
         fp,
         |c| canon_matches(locs, m, c),
         || canonicalize(locs, m).expect("fingerprinted machines canonicalize"),
-    ))
+    );
+    if fresh {
+        bdrst_obs::counter_add(bdrst_obs::Counter::StatesInterned, 1);
+        bdrst_obs::counter_max(bdrst_obs::Counter::InternerOccupancy, interner.len() as u64);
+    }
+    Ok((id, fresh))
 }
 
 /// A visitor whose verdict state folds across disjoint subtrees: the

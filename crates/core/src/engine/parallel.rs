@@ -79,17 +79,29 @@ impl<E: Expr + Send + Sync> Explorer<E> for ParallelEngine {
         visitor: &mut dyn StateVisitor<E>,
     ) -> Result<ExploreStats, EngineError> {
         let workers = engine_threads(self.threads);
+        let mut span = bdrst_obs::span(bdrst_obs::Phase::Explore);
+        let started = std::time::Instant::now();
+        let finish = |stats: ExploreStats, span: &mut bdrst_obs::SpanGuard| {
+            bdrst_obs::counter_add(
+                bdrst_obs::Counter::ExploreNanos,
+                started.elapsed().as_nanos() as u64,
+            );
+            span.set_arg(stats.visited as u64);
+            stats
+        };
         let interner: SharedInterner<CanonState<E>> = SharedInterner::new();
         let mut stats = ExploreStats::default();
 
         let id = claim(&interner, locs, &m0)?.expect("initial state claims an empty interner");
         stats.visited += 1;
+        bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
         let mut frontier: Vec<Machine<E>> = match visitor.visit(&m0, id) {
-            Control::Stop | Control::Prune => return Ok(stats),
+            Control::Stop | Control::Prune => return Ok(finish(stats, &mut span)),
             Control::Continue => vec![m0],
         };
 
         while !frontier.is_empty() {
+            bdrst_obs::counter_max(bdrst_obs::Counter::FrontierHighWater, frontier.len() as u64);
             let cursor = AtomicUsize::new(0);
             let transitions = AtomicUsize::new(0);
             let max_states = self.config.max_states;
@@ -136,15 +148,16 @@ impl<E: Expr + Send + Sync> Explorer<E> for ParallelEngine {
             let mut next = Vec::with_capacity(level.len());
             for (id, m) in level {
                 stats.visited += 1;
+                bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
                 match visitor.visit(&m, id) {
-                    Control::Stop => return Ok(stats),
+                    Control::Stop => return Ok(finish(stats, &mut span)),
                     Control::Prune => {}
                     Control::Continue => next.push(m),
                 }
             }
             frontier = next;
         }
-        Ok(stats)
+        Ok(finish(stats, &mut span))
     }
 }
 

@@ -228,6 +228,8 @@ impl WorkStealingEngine {
         if workers <= 1 {
             return WorklistEngine::new(self.config, SearchOrder::Bfs).explore_graph(locs, m0);
         }
+        let mut span = bdrst_obs::span(bdrst_obs::Phase::Explore);
+        let started = std::time::Instant::now();
 
         let interner: SharedInterner<CanonState<E>> = SharedInterner::new();
         let (id0, _) = claim_canonical(&interner, locs, &m0)?;
@@ -259,6 +261,7 @@ impl WorkStealingEngine {
                                 continue;
                             };
                             idle_spins = 0;
+                            bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
                             let ts = m.transitions(locs);
                             terminals.push((id, ts.is_empty()));
                             let mut err = None;
@@ -268,7 +271,11 @@ impl WorkStealingEngine {
                                     Ok((succ, fresh)) => {
                                         edges.push((id, succ));
                                         if fresh {
-                                            pending.fetch_add(1, Ordering::AcqRel);
+                                            let depth = pending.fetch_add(1, Ordering::AcqRel) + 1;
+                                            bdrst_obs::counter_max(
+                                                bdrst_obs::Counter::FrontierHighWater,
+                                                depth as u64,
+                                            );
                                             deques.push(w, (succ, t.target));
                                         }
                                     }
@@ -313,6 +320,11 @@ impl WorkStealingEngine {
             visited: interner.len(),
             transitions: transitions.load(Ordering::Relaxed),
         };
+        bdrst_obs::counter_add(
+            bdrst_obs::Counter::ExploreNanos,
+            started.elapsed().as_nanos() as u64,
+        );
+        span.set_arg(stats.visited as u64);
         Ok((
             StateGraph::from_parts(interner.into_states(), &edges, terminal),
             stats,
@@ -337,11 +349,14 @@ impl<E: Expr + Send + Sync> Explorer<E> for WorkStealingEngine {
             // surface without the channel machinery.
             return WorklistEngine::new(self.config, SearchOrder::Bfs).explore(locs, m0, visitor);
         }
+        let mut span = bdrst_obs::span(bdrst_obs::Phase::Explore);
+        let started = std::time::Instant::now();
 
         let interner: SharedInterner<CanonState<E>> = SharedInterner::new();
         let mut stats = ExploreStats::default();
         let (id, _) = claim_canonical(&interner, locs, &m0)?;
         stats.visited += 1;
+        bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
         match visitor.visit(&m0, id) {
             Control::Stop | Control::Prune => return Ok(stats),
             Control::Continue => {}
@@ -417,7 +432,12 @@ impl<E: Expr + Send + Sync> Explorer<E> for WorkStealingEngine {
                             break;
                         }
                         if !claimed.is_empty() {
-                            pending.fetch_add(claimed.len(), Ordering::AcqRel);
+                            let depth =
+                                pending.fetch_add(claimed.len(), Ordering::AcqRel) + claimed.len();
+                            bdrst_obs::counter_max(
+                                bdrst_obs::Counter::FrontierHighWater,
+                                depth as u64,
+                            );
                             // The coordinator only hangs up after `stop`;
                             // a failed send means shutdown is under way.
                             let _ = tx.send(claimed);
@@ -440,6 +460,7 @@ impl<E: Expr + Send + Sync> Explorer<E> for WorkStealingEngine {
                     Ok(batch) => {
                         for (id, m) in batch {
                             stats.visited += 1;
+                            bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
                             match visitor.visit(&m, id) {
                                 Control::Continue => {
                                     injector.push(m);
@@ -482,6 +503,11 @@ impl<E: Expr + Send + Sync> Explorer<E> for WorkStealingEngine {
             _ => {}
         }
         stats.transitions = transitions.load(Ordering::Relaxed);
+        bdrst_obs::counter_add(
+            bdrst_obs::Counter::ExploreNanos,
+            started.elapsed().as_nanos() as u64,
+        );
+        span.set_arg(stats.visited as u64);
         Ok(stats)
     }
 }

@@ -94,6 +94,8 @@ impl WorklistEngine {
         locs: &LocSet,
         m0: Machine<E>,
     ) -> Result<(StateGraph<E>, ExploreStats), EngineError> {
+        let mut span = bdrst_obs::span(bdrst_obs::Phase::Explore);
+        let started = std::time::Instant::now();
         let mut interner: StateInterner<crate::engine::CanonState<E>> = StateInterner::new();
         let mut edges: Vec<(StateId, StateId)> = Vec::new();
         let mut terminal: Vec<bool> = Vec::new();
@@ -108,6 +110,8 @@ impl WorklistEngine {
             SearchOrder::Bfs => worklist.pop_front(),
         } {
             stats.visited += 1;
+            bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
+            bdrst_obs::counter_max(bdrst_obs::Counter::FrontierHighWater, worklist.len() as u64);
             let transitions = m.transitions(locs);
             terminal[id.index()] = transitions.is_empty();
             for t in transitions {
@@ -123,6 +127,11 @@ impl WorklistEngine {
                 return Err(EngineError::budget(interner.len()));
             }
         }
+        bdrst_obs::counter_add(
+            bdrst_obs::Counter::ExploreNanos,
+            started.elapsed().as_nanos() as u64,
+        );
+        span.set_arg(stats.visited as u64);
         Ok((
             StateGraph::from_parts(interner.into_states(), &edges, terminal),
             stats,
@@ -137,10 +146,20 @@ impl<E: Expr> Explorer<E> for WorklistEngine {
         m0: Machine<E>,
         visitor: &mut dyn StateVisitor<E>,
     ) -> Result<ExploreStats, EngineError> {
+        let mut span = bdrst_obs::span(bdrst_obs::Phase::Explore);
+        let started = std::time::Instant::now();
         let mut interner: StateInterner<crate::engine::CanonState<E>> = StateInterner::new();
         let mut worklist: VecDeque<Machine<E>> = VecDeque::new();
         worklist.push_back(m0);
         let mut stats = ExploreStats::default();
+        let finish = |stats: ExploreStats, span: &mut bdrst_obs::SpanGuard| {
+            bdrst_obs::counter_add(
+                bdrst_obs::Counter::ExploreNanos,
+                started.elapsed().as_nanos() as u64,
+            );
+            span.set_arg(stats.visited as u64);
+            stats
+        };
         while let Some(m) = match self.order {
             SearchOrder::Dfs => worklist.pop_back(),
             SearchOrder::Bfs => worklist.pop_front(),
@@ -153,8 +172,10 @@ impl<E: Expr> Explorer<E> for WorklistEngine {
                 return Err(EngineError::budget(interner.len()));
             }
             stats.visited += 1;
+            bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
+            bdrst_obs::counter_max(bdrst_obs::Counter::FrontierHighWater, worklist.len() as u64);
             match visitor.visit(&m, id) {
-                Control::Stop => return Ok(stats),
+                Control::Stop => return Ok(finish(stats, &mut span)),
                 Control::Prune => continue,
                 Control::Continue => {}
             }
@@ -163,7 +184,7 @@ impl<E: Expr> Explorer<E> for WorklistEngine {
                 worklist.push_back(t.target);
             }
         }
-        Ok(stats)
+        Ok(finish(stats, &mut span))
     }
 }
 
@@ -217,6 +238,7 @@ fn walk_traces<E: Expr>(
     max_traces: usize,
     stats: &mut ExploreStats,
 ) -> Result<WalkEnd, EngineError> {
+    let _span = bdrst_obs::span(bdrst_obs::Phase::TraceWalk);
     let base_depth = trace.len();
     while let Some(frame) = frames.last_mut() {
         if frame.next >= frame.transitions.len() {

@@ -8,7 +8,6 @@
 
 use std::fmt;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::frontier::Frontier;
 use crate::loc::{LabeledAction, Loc, LocSet, Val};
@@ -187,16 +186,18 @@ impl IntoIterator for Steps {
 /// never re-run the semantics: record the counter, run the warm path,
 /// assert it did not move. A single relaxed increment per expansion is
 /// noise next to the expansion itself.
-static SEMANTICS_PROBES: AtomicU64 = AtomicU64::new(0);
-
-/// Records one transition-semantics probe (see [`semantics_probes`]).
+///
+/// The count lives in the shared [`bdrst_obs`] counter registry (slot
+/// [`bdrst_obs::Counter::SemanticsProbes`]) rather than a private
+/// static, so profiles and server gauges see the same number the test
+/// suites assert on.
 pub fn record_semantics_probe() {
-    SEMANTICS_PROBES.fetch_add(1, Ordering::Relaxed);
+    bdrst_obs::counter_add(bdrst_obs::Counter::SemanticsProbes, 1);
 }
 
 /// Total transition-semantics probes made by this process so far.
 pub fn semantics_probes() -> u64 {
-    SEMANTICS_PROBES.load(Ordering::Relaxed)
+    bdrst_obs::counter_get(bdrst_obs::Counter::SemanticsProbes)
 }
 
 /// The expression language interface required by the memory semantics.

@@ -41,7 +41,6 @@
 //! recombined, not recomputed.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Bits of key consumed per tree level.
@@ -65,17 +64,16 @@ pub trait ContentDigest {
     fn content_digest(&self) -> u64;
 }
 
-static DIGEST_HITS: AtomicU64 = AtomicU64::new(0);
-static DIGEST_MISSES: AtomicU64 = AtomicU64::new(0);
-
 /// Process-wide digest memoization counters: `(hits, misses)`. A *hit* is
 /// an entry whose digest was already memoized when asked for; a *miss*
 /// computed (and cached) it. The bench's store lane snapshots these
 /// around a workload to report the incremental-fingerprint hit rate.
+/// Backed by the shared [`bdrst_obs`] counter registry, so profiles and
+/// server gauges read the same pair.
 pub fn digest_counters() -> (u64, u64) {
     (
-        DIGEST_HITS.load(Ordering::Relaxed),
-        DIGEST_MISSES.load(Ordering::Relaxed),
+        bdrst_obs::counter_get(bdrst_obs::Counter::DigestHits),
+        bdrst_obs::counter_get(bdrst_obs::Counter::DigestMisses),
     )
 }
 
@@ -340,10 +338,10 @@ impl<V: ContentDigest> PMap<V> {
 
     fn entry_digest(e: &Entry<V>) -> u64 {
         if let Some(d) = e.digest.get() {
-            DIGEST_HITS.fetch_add(1, Ordering::Relaxed);
+            bdrst_obs::counter_add(bdrst_obs::Counter::DigestHits, 1);
             return *d;
         }
-        DIGEST_MISSES.fetch_add(1, Ordering::Relaxed);
+        bdrst_obs::counter_add(bdrst_obs::Counter::DigestMisses, 1);
         use std::collections::hash_map::DefaultHasher;
         use std::hash::Hasher;
         let mut h = DefaultHasher::new();

@@ -72,6 +72,8 @@ impl Program {
     /// Returns a [`crate::parser::ParseError`] describing the first syntax
     /// or scoping problem.
     pub fn parse(src: &str) -> Result<Program, crate::parser::ParseError> {
+        let mut span = bdrst_obs::span(bdrst_obs::Phase::Parse);
+        span.set_arg(src.len() as u64);
         crate::parser::parse(src)
     }
 

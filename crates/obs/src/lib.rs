@@ -1,0 +1,51 @@
+//! Structured tracing and counters for the bdrst stack, std-only.
+//!
+//! Two layers, deliberately different in cost:
+//!
+//! * **Counters** ([`Counter`]) — a process-global fixed-slot registry of
+//!   relaxed `AtomicU64`s, *always on*. One relaxed increment per event
+//!   is noise next to a transition-semantics step, and keeping them
+//!   unconditional is what lets the zero-probe warm/replay test suites
+//!   assert on them in every build. Monotone gauges (frontier high-water,
+//!   interner occupancy) live here too, via [`counter_max`].
+//! * **Spans** ([`span`], [`event`]) — per-thread fixed-capacity event
+//!   buffers behind a process-global [`Recorder`]. Recording is gated by
+//!   one relaxed [`enabled`] load: until [`Recorder::install`] runs, a
+//!   span entry point is a load and a branch — **no allocation, no
+//!   clock read** — so the engine's allocs-per-visit bar is untouched by
+//!   the instrumentation. With the `record` cargo feature off the span
+//!   layer compiles away entirely (identical API, unit types).
+//!
+//! When recording, each thread appends to its own single-writer ring
+//! (`Relaxed` slot stores published by one `Release` length store — the
+//! draining [`Recorder`] reads lengths `Acquire`); a full ring drops new
+//! events and counts the drops rather than wrapping, so a drained buffer
+//! never tears. Exact per-phase aggregates (count / total / self time)
+//! are kept in always-written atomics beside the ring, immune to
+//! overflow, which is what the human summary reports. Timestamps come
+//! from one process-wide monotonic epoch ([`now_ns`]).
+//!
+//! [`Recorder::stop_and_collect`] drains everything into a [`Profile`],
+//! exportable as Chrome trace-event JSON (`chrome://tracing` / Perfetto
+//! loadable) or rendered as a per-phase table.
+
+mod counters;
+mod phase;
+mod profile;
+
+pub use counters::{
+    counter_add, counter_get, counter_max, counters_reset, counters_snapshot, Counter,
+    COUNTER_COUNT,
+};
+pub use phase::{Phase, PHASE_COUNT};
+pub use profile::{PhaseSummary, Profile, TraceEvent};
+
+#[cfg(feature = "record")]
+mod recorder;
+#[cfg(feature = "record")]
+pub use recorder::{enabled, event, now_ns, span, span_arg, Recorder, SpanGuard};
+
+#[cfg(not(feature = "record"))]
+mod noop;
+#[cfg(not(feature = "record"))]
+pub use noop::{enabled, event, now_ns, span, span_arg, Recorder, SpanGuard};

@@ -1,0 +1,70 @@
+//! The `record`-feature-off surface: identical API, unit behavior. The
+//! counter registry (crate::counters) stays real either way.
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::phase::Phase;
+use crate::profile::Profile;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+// Keeps the stub observable in tests: stop_and_collect returns empty.
+static INSTALLED: Mutex<bool> = Mutex::new(false);
+
+/// Always false: recording is compiled out.
+#[inline]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Nanoseconds since the process-wide monotonic epoch (still real: the
+/// service's request timestamps use it regardless of recording).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Inert span handle.
+pub struct SpanGuard;
+
+impl SpanGuard {
+    /// No-op.
+    pub fn set_arg(&mut self, _arg: u64) {}
+}
+
+/// No-op; returns an inert guard.
+#[inline]
+pub fn span(_phase: Phase) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op; returns an inert guard.
+#[inline]
+pub fn span_arg(_phase: Phase, _arg: u64) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op.
+#[inline]
+pub fn event(_phase: Phase, _start_ns: u64, _dur_ns: u64, _arg: u64) {}
+
+/// Stub session handle: installs succeed, collections are empty.
+pub struct Recorder;
+
+impl Recorder {
+    /// Marks a session open (no recording happens).
+    pub fn install() {
+        *INSTALLED.lock().unwrap() = true;
+    }
+
+    /// Always false.
+    pub fn active() -> bool {
+        false
+    }
+
+    /// Ends the session; the profile is always empty.
+    pub fn stop_and_collect() -> Profile {
+        *INSTALLED.lock().unwrap() = false;
+        Profile::default()
+    }
+}

@@ -1,0 +1,344 @@
+//! The span recording machinery: per-thread single-writer rings, the
+//! thread-local span stack (for self-time attribution), and the global
+//! [`Recorder`] that turns it all into a [`Profile`].
+//!
+//! Concurrency story, in full:
+//!
+//! * Each thread owns one [`ThreadRing`]. Only the owner writes slots
+//!   and the length; slot words are `Relaxed` stores published by one
+//!   `Release` store of the new length, so a drainer that reads the
+//!   length `Acquire` sees fully-written slots. The ring never wraps —
+//!   a full ring drops the event and counts it — so a drain can never
+//!   observe a torn, half-overwritten slot.
+//! * Rings are `Arc`-shared with a global registry and therefore
+//!   outlive their thread; a worker that exits before
+//!   [`Recorder::stop_and_collect`] still gets drained.
+//! * Recording is gated by one `Relaxed` load of [`enabled`]. The
+//!   disabled path performs no clock read and no allocation.
+
+use std::cell::{OnceCell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::counters::{counter_add, Counter};
+use crate::phase::{Phase, PHASE_COUNT};
+use crate::profile::{PhaseSummary, Profile, TraceEvent};
+
+/// Events one thread can buffer per session before dropping.
+const RING_CAPACITY: usize = 8192;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static RINGS: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// True while a [`Recorder`] session is active.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the process-wide monotonic epoch (first use).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+struct Slot {
+    phase: AtomicU64,
+    start: AtomicU64,
+    dur: AtomicU64,
+    arg: AtomicU64,
+}
+
+struct PhaseAgg {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    self_ns: AtomicU64,
+}
+
+struct ThreadRing {
+    tid: u64,
+    name: String,
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Box<[Slot]>,
+    agg: [PhaseAgg; PHASE_COUNT],
+}
+
+impl ThreadRing {
+    fn new() -> ThreadRing {
+        ThreadRing {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            name: std::thread::current()
+                .name()
+                .unwrap_or("worker")
+                .to_string(),
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY)
+                .map(|_| Slot {
+                    phase: AtomicU64::new(0),
+                    start: AtomicU64::new(0),
+                    dur: AtomicU64::new(0),
+                    arg: AtomicU64::new(0),
+                })
+                .collect(),
+            agg: std::array::from_fn(|_| PhaseAgg {
+                count: AtomicU64::new(0),
+                total_ns: AtomicU64::new(0),
+                self_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Owner-side append. `Relaxed` slot writes, `Release` publish.
+    fn push(&self, phase: Phase, start_ns: u64, dur_ns: u64, arg: u64) {
+        let a = &self.agg[phase as usize];
+        a.count.fetch_add(1, Ordering::Relaxed);
+        a.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        let i = self.len.load(Ordering::Relaxed);
+        if i >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            counter_add(Counter::SpansDropped, 1);
+            return;
+        }
+        let s = &self.slots[i];
+        s.phase.store(phase as u64, Ordering::Relaxed);
+        s.start.store(start_ns, Ordering::Relaxed);
+        s.dur.store(dur_ns, Ordering::Relaxed);
+        s.arg.store(arg, Ordering::Relaxed);
+        self.len.store(i + 1, Ordering::Release);
+    }
+
+    fn add_self(&self, phase: Phase, self_ns: u64) {
+        self.agg[phase as usize]
+            .self_ns
+            .fetch_add(self_ns, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static RING: OnceCell<Arc<ThreadRing>> = const { OnceCell::new() };
+    /// Per-open-span accumulator of child durations, for self-time.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_ring(f: impl FnOnce(&ThreadRing)) {
+    RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(ThreadRing::new());
+            RINGS.lock().unwrap().push(Arc::clone(&ring));
+            ring
+        });
+        f(ring)
+    });
+}
+
+/// An open span; the measurement lands when it drops. Obtain with
+/// [`span`] / [`span_arg`].
+pub struct SpanGuard {
+    phase: Phase,
+    start_ns: u64,
+    arg: u64,
+    live: bool,
+}
+
+/// Opens a span of `phase` on this thread. Inert (one relaxed load)
+/// unless a [`Recorder`] session is active.
+#[inline]
+pub fn span(phase: Phase) -> SpanGuard {
+    span_arg(phase, 0)
+}
+
+/// [`span`] with the free argument slot filled.
+#[inline]
+pub fn span_arg(phase: Phase, arg: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            phase,
+            start_ns: 0,
+            arg,
+            live: false,
+        };
+    }
+    STACK.with(|s| s.borrow_mut().push(0));
+    SpanGuard {
+        phase,
+        start_ns: now_ns(),
+        arg,
+        live: true,
+    }
+}
+
+impl SpanGuard {
+    /// Overwrites the span's argument slot (e.g. with a result count
+    /// known only at the end).
+    pub fn set_arg(&mut self, arg: u64) {
+        self.arg = arg;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let dur_ns = now_ns().saturating_sub(self.start_ns);
+        // Pop this span's child accumulator; credit our duration to the
+        // parent's, so the parent's self-time excludes us.
+        let child_ns = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            if let Some(parent) = stack.last_mut() {
+                *parent += dur_ns;
+            }
+            child
+        });
+        let phase = self.phase;
+        let (start_ns, arg) = (self.start_ns, self.arg);
+        with_ring(|ring| {
+            ring.push(phase, start_ns, dur_ns, arg);
+            ring.add_self(phase, dur_ns.saturating_sub(child_ns));
+        });
+    }
+}
+
+/// Records one already-measured event (explicit start and duration) on
+/// the current thread — for cross-thread measurements like queue-wait,
+/// where the interval's endpoints were stamped by different actors. Does
+/// not participate in self-time nesting.
+#[inline]
+pub fn event(phase: Phase, start_ns: u64, dur_ns: u64, arg: u64) {
+    if !enabled() {
+        return;
+    }
+    with_ring(|ring| {
+        ring.push(phase, start_ns, dur_ns, arg);
+        ring.add_self(phase, dur_ns);
+    });
+}
+
+/// The process-global recording session handle.
+///
+/// `install` / `stop_and_collect` are meant to bracket a single-owner
+/// session (a CLI run, a benchmark lane): `install` resets every
+/// registered ring, so it must not race in-flight spans.
+pub struct Recorder;
+
+impl Recorder {
+    /// Starts a session: resets previously-registered rings and enables
+    /// span recording process-wide. Counters are *not* reset (they are
+    /// always-on; diff snapshots instead).
+    pub fn install() {
+        let _ = EPOCH.get_or_init(Instant::now);
+        for ring in RINGS.lock().unwrap().iter() {
+            ring.len.store(0, Ordering::Relaxed);
+            ring.dropped.store(0, Ordering::Relaxed);
+            for a in &ring.agg {
+                a.count.store(0, Ordering::Relaxed);
+                a.total_ns.store(0, Ordering::Relaxed);
+                a.self_ns.store(0, Ordering::Relaxed);
+            }
+        }
+        ACTIVE.store(true, Ordering::SeqCst);
+    }
+
+    /// True while a session is active.
+    pub fn active() -> bool {
+        enabled()
+    }
+
+    /// Ends the session and drains every thread ring into a [`Profile`].
+    /// Spans still open on other threads when this runs finish recording
+    /// harmlessly but may miss the drain.
+    pub fn stop_and_collect() -> Profile {
+        ACTIVE.store(false, Ordering::SeqCst);
+        let mut profile = Profile::default();
+        let mut agg = [(0u64, 0u64, 0u64); PHASE_COUNT];
+        for ring in RINGS.lock().unwrap().iter() {
+            profile.threads.push((ring.tid, ring.name.clone()));
+            profile.dropped += ring.dropped.load(Ordering::Relaxed);
+            let len = ring.len.load(Ordering::Acquire).min(ring.slots.len());
+            for s in &ring.slots[..len] {
+                let phase_idx = s.phase.load(Ordering::Relaxed) as usize;
+                let phase = Phase::all()[phase_idx.min(PHASE_COUNT - 1)];
+                profile.events.push(TraceEvent {
+                    phase,
+                    tid: ring.tid,
+                    start_ns: s.start.load(Ordering::Relaxed),
+                    dur_ns: s.dur.load(Ordering::Relaxed),
+                    arg: s.arg.load(Ordering::Relaxed),
+                });
+            }
+            for (i, a) in ring.agg.iter().enumerate() {
+                agg[i].0 += a.count.load(Ordering::Relaxed);
+                agg[i].1 += a.total_ns.load(Ordering::Relaxed);
+                agg[i].2 += a.self_ns.load(Ordering::Relaxed);
+            }
+        }
+        for (i, (count, total_ns, self_ns)) in agg.into_iter().enumerate() {
+            if count > 0 {
+                profile.phases.push(PhaseSummary {
+                    phase: Phase::all()[i],
+                    count,
+                    total_ns,
+                    self_ns,
+                });
+            }
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test drives the whole session lifecycle: the recorder is
+    // process-global, so independent #[test]s would race each other's
+    // install/stop.
+    #[test]
+    fn session_records_spans_events_and_self_time() {
+        assert!(!enabled());
+        drop(span(Phase::Parse)); // inert: no session
+        Recorder::install();
+        assert!(Recorder::active());
+        {
+            let _outer = span_arg(Phase::Explore, 42);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span(Phase::Fingerprint);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        event(Phase::QueueWait, 10, 20, 7);
+        let t = std::thread::Builder::new()
+            .name("obs-test-worker".into())
+            .spawn(|| drop(span(Phase::Parse)))
+            .unwrap();
+        t.join().unwrap();
+        let profile = Recorder::stop_and_collect();
+        assert!(!enabled());
+
+        let find = |p: Phase| profile.phases.iter().find(|s| s.phase == p);
+        let explore = find(Phase::Explore).expect("explore recorded");
+        let fp = find(Phase::Fingerprint).expect("fingerprint recorded");
+        assert_eq!(explore.count, 1);
+        // Self-time excludes the nested fingerprint span.
+        assert!(explore.self_ns < explore.total_ns);
+        assert!(explore.total_ns >= fp.total_ns);
+        assert!(find(Phase::QueueWait).is_some());
+        assert!(find(Phase::Parse).is_some(), "other-thread span drained");
+        assert!(profile.threads.len() >= 2);
+        assert!(profile
+            .events
+            .iter()
+            .any(|e| e.phase == Phase::Explore && e.arg == 42));
+        // Spans after stop are inert again.
+        drop(span(Phase::Parse));
+        let p2 = Recorder::stop_and_collect();
+        assert!(p2.events.len() <= profile.events.len());
+    }
+}

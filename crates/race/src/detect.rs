@@ -390,8 +390,11 @@ pub fn detect_races<E: Expr>(
     engine: EngineConfig,
     config: DetectorConfig,
 ) -> Result<RaceReport, EngineError> {
+    let mut span = bdrst_obs::span(bdrst_obs::Phase::RaceLive);
     let mut d = RaceDetector::new(locs, config);
     let stats = TraceEngine::new(engine).explore(locs, m0, &mut d)?;
+    bdrst_obs::counter_add(bdrst_obs::Counter::RaceEventsLive, d.events());
+    span.set_arg(d.events());
     Ok(d.into_report(stats))
 }
 
@@ -418,9 +421,12 @@ pub fn detect_races_reduced<E: Expr>(
     engine: EngineConfig,
     config: DetectorConfig,
 ) -> Result<RaceReport, EngineError> {
+    let mut span = bdrst_obs::span(bdrst_obs::Phase::RaceLive);
     let mut d = RaceDetector::new(locs, config);
     let dstats =
         DporEngine::with_dependence(engine, Dependence::Conservative).explore(locs, m0, &mut d)?;
+    bdrst_obs::counter_add(bdrst_obs::Counter::RaceEventsLive, d.events());
+    span.set_arg(d.events());
     Ok(d.into_report(ExploreStats {
         visited: dstats.visited,
         transitions: dstats.transitions,
@@ -441,7 +447,10 @@ pub fn detect_races_replayed(
     engine: EngineConfig,
     config: DetectorConfig,
 ) -> Result<RaceReport, EngineError> {
+    let mut span = bdrst_obs::span(bdrst_obs::Phase::RaceReplay);
     let mut d = RaceDetector::new(locs, config);
     let stats = graph.replay(engine, &mut d)?;
+    bdrst_obs::counter_add(bdrst_obs::Counter::RaceEventsReplayed, d.events());
+    span.set_arg(d.events());
     Ok(d.into_report(stats))
 }

@@ -54,6 +54,10 @@ struct Opts {
     burst: Option<u32>,
     metrics: bool,
     thread_per_conn: bool,
+    profile: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
+    slow_ms: Option<u64>,
+    prom: bool,
     args: Vec<String>,
 }
 
@@ -61,7 +65,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bdrst <check <file>... | corpus <dir> | races <file|dir>... | serve | metrics | cache <stats|clear> | corpus-export <dir>>\n\
          flags: --json --cache-dir DIR --addr HOST:PORT --workers N --max-states N --max-traces N --shrink\n\
+         profiling: --profile OUT.json (check/corpus/races: Chrome trace export + summary on stderr)\n\
          serve flags: --max-conns N --queue-depth N --rate-per-sec N --burst N --metrics --thread-per-conn\n\
+         \x20              --trace-dir DIR (per-request timing files) --slow-ms N (slow-request log)\n\
+         metrics flags: --prom (Prometheus text exposition)\n\
          exit codes: 0 pass/no races · 1 model mismatch · 2 run error (parse/budget/engine) · 3 races found · 64 usage"
     );
     ExitCode::from(64)
@@ -84,6 +91,10 @@ fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
         burst: None,
         metrics: false,
         thread_per_conn: false,
+        profile: None,
+        trace_dir: None,
+        slow_ms: None,
+        prom: false,
         args: Vec::new(),
     };
     let mut argv = argv.peekable();
@@ -102,6 +113,10 @@ fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
             "--burst" => opts.burst = Some(argv.next()?.parse().ok()?),
             "--metrics" => opts.metrics = true,
             "--thread-per-conn" => opts.thread_per_conn = true,
+            "--profile" => opts.profile = Some(PathBuf::from(argv.next()?)),
+            "--trace-dir" => opts.trace_dir = Some(PathBuf::from(argv.next()?)),
+            "--slow-ms" => opts.slow_ms = Some(argv.next()?.parse().ok()?),
+            "--prom" => opts.prom = true,
             _ if a.starts_with("--") => return None,
             _ => opts.args.push(a),
         }
@@ -128,6 +143,25 @@ fn service_for(opts: &Opts) -> Result<CheckService, String> {
 fn run_failure(e: &RunError) -> ExitCode {
     eprintln!("error ({}): {e}", e.kind());
     ExitCode::from(2)
+}
+
+/// Runs a command under the span recorder when `--profile OUT.json` was
+/// given: the Chrome trace goes to the file, the per-phase summary to
+/// stderr (so `--json` output on stdout stays machine-readable).
+fn with_profile(profile: Option<&PathBuf>, f: impl FnOnce() -> ExitCode) -> ExitCode {
+    let Some(path) = profile else {
+        return f();
+    };
+    bdrst_obs::Recorder::install();
+    let code = f();
+    let prof = bdrst_obs::Recorder::stop_and_collect();
+    if let Err(e) = std::fs::write(path, prof.to_chrome_json()) {
+        eprintln!("profile {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    eprint!("{}", prof.render_summary());
+    eprintln!("profile written to {}", path.display());
+    code
 }
 
 fn cmd_check(opts: &Opts) -> ExitCode {
@@ -226,30 +260,43 @@ fn cmd_corpus(opts: &Opts) -> ExitCode {
         }
     };
     let builtin = bdrst_litmus::all_tests();
-    let entries: Vec<(String, Result<bdrst_litmus::TestReport, RunError>)> = files
-        .iter()
-        .map(|f| {
-            let result = match builtin.iter().find(|t| t.name == f.name) {
-                None => Err(RunError::Parse(format!(
-                    "no built-in checks for test named {:?}",
-                    f.name
-                ))),
-                Some(test) => service
-                    .check_source(&f.source)
-                    .and_then(|checked| service.report(test, &checked)),
-            };
-            (f.name.clone(), result)
-        })
-        .collect();
+    let mut entries: Vec<(String, Result<bdrst_litmus::TestReport, RunError>)> = Vec::new();
+    // Per-test global-DRF verdicts from the DPOR-reduced analysis
+    // (memoized into each cache entry, so warm sweeps stay zero-probe).
+    let mut drf: Vec<(String, Option<bool>)> = Vec::new();
+    for f in &files {
+        let result = match builtin.iter().find(|t| t.name == f.name) {
+            None => Err(RunError::Parse(format!(
+                "no built-in checks for test named {:?}",
+                f.name
+            ))),
+            Some(test) => service.check_source(&f.source).and_then(|checked| {
+                drf.push((f.name.clone(), service.global_racefree(&checked).ok()));
+                service.report(test, &checked)
+            }),
+        };
+        entries.push((f.name.clone(), result));
+    }
     let verdict = classify_entries(&entries);
     let stats = service.stats();
     if opts.json {
-        println!(
-            "{}",
-            server::corpus_json(&entries, service.store()).render()
-        );
+        let mut out = server::corpus_json(&entries, service.store());
+        if let Json::Obj(fields) = &mut out {
+            fields.push((
+                "global_drf".to_string(),
+                Json::Obj(
+                    drf.iter()
+                        .map(|(name, v)| (name.clone(), v.map(Json::Bool).unwrap_or(Json::Null)))
+                        .collect(),
+                ),
+            ));
+        }
+        println!("{}", out.render());
     } else {
         print!("{}", format_reports(&entries));
+        let racefree = drf.iter().filter(|(_, v)| *v == Some(true)).count();
+        let racy = drf.iter().filter(|(_, v)| *v == Some(false)).count();
+        println!("global DRF: {racefree} race-free, {racy} racy");
         println!(
             "cache: {} hits, {} misses, {} entries{}",
             stats.hits,
@@ -456,6 +503,8 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
         } else {
             bdrst_service::ServeModel::Reactor
         },
+        trace_dir: opts.trace_dir.clone(),
+        slow_ms: opts.slow_ms,
         ..defaults
     };
     match server::serve(Arc::new(service), &opts.addr, config) {
@@ -485,8 +534,9 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
 }
 
 /// `bdrst metrics`: one `{"cmd":"metrics"}` round-trip against a
-/// running server; prints the counters object (the full response line
-/// with `--json`).
+/// running server; renders the counters humanly (p50/p95/p99 computed
+/// client-side from the latency histograms), the full response line
+/// with `--json`, or the Prometheus text exposition with `--prom`.
 fn cmd_metrics(opts: &Opts) -> ExitCode {
     use std::io::{BufRead as _, BufReader, Write as _};
     let mut stream = match std::net::TcpStream::connect(&opts.addr) {
@@ -496,13 +546,11 @@ fn cmd_metrics(opts: &Opts) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if writeln!(
-        stream,
-        "{}",
-        Json::obj([("cmd", Json::Str("metrics".into()))]).render()
-    )
-    .is_err()
-    {
+    let mut req = vec![("cmd", Json::Str("metrics".into()))];
+    if opts.prom {
+        req.push(("format", Json::Str("prom".into())));
+    }
+    if writeln!(stream, "{}", Json::obj(req).render()).is_err() {
         eprintln!("{}: write failed", opts.addr);
         return ExitCode::from(2);
     }
@@ -519,11 +567,19 @@ fn cmd_metrics(opts: &Opts) -> ExitCode {
         eprintln!("{}: {}", opts.addr, line.trim());
         return ExitCode::from(2);
     }
-    if opts.json {
+    if opts.prom {
+        match resp.get("prom").and_then(Json::as_str) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("{}: response carries no exposition: {line}", opts.addr);
+                return ExitCode::from(2);
+            }
+        }
+    } else if opts.json {
         println!("{}", resp.render());
     } else {
         match resp.get("metrics") {
-            Some(m) => println!("{}", m.render()),
+            Some(m) => print!("{}", bdrst_service::metrics::render_human(m)),
             None => {
                 eprintln!("{}: response carries no metrics: {line}", opts.addr);
                 return ExitCode::from(2);
@@ -617,9 +673,9 @@ fn main() -> ExitCode {
         return usage();
     };
     match cmd.as_str() {
-        "check" => cmd_check(&opts),
-        "corpus" => cmd_corpus(&opts),
-        "races" => cmd_races(&opts),
+        "check" => with_profile(opts.profile.as_ref(), || cmd_check(&opts)),
+        "corpus" => with_profile(opts.profile.as_ref(), || cmd_corpus(&opts)),
+        "races" => with_profile(opts.profile.as_ref(), || cmd_races(&opts)),
         "serve" => cmd_serve(&opts),
         "metrics" => cmd_metrics(&opts),
         "cache" => cmd_cache(&opts),

@@ -79,6 +79,46 @@ pub struct Metrics {
     requests: [AtomicU64; CMD_SLOTS],
     errors: [AtomicU64; KIND_SLOTS],
     latency: [[AtomicU64; BUCKETS]; CMD_SLOTS],
+    latency_sum_us: [AtomicU64; CMD_SLOTS],
+}
+
+/// A percentile (`q` in `[0,1]`) estimated from histogram bucket counts
+/// by linear interpolation inside the containing bucket.
+///
+/// `counts` follows [`LATENCY_BOUNDS_US`]: one count per finite bound
+/// plus a trailing overflow bucket. The first bucket interpolates from
+/// 0; the overflow bucket has no upper bound, so any rank landing there
+/// clamps to the last finite bound (10s) — a deliberate floor that
+/// keeps the estimate finite rather than inventing a tail shape.
+/// Returns 0.0 for an empty histogram.
+pub fn percentile_from_counts(counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut below = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let upto = below + c;
+        if rank <= upto as f64 {
+            let lo = if i == 0 {
+                0.0
+            } else {
+                LATENCY_BOUNDS_US[i.min(LATENCY_BOUNDS_US.len()) - 1] as f64
+            };
+            let hi = match LATENCY_BOUNDS_US.get(i) {
+                Some(b) => *b as f64,
+                None => return *LATENCY_BOUNDS_US.last().unwrap() as f64, // overflow clamps
+            };
+            let frac = (rank - below as f64) / c as f64;
+            return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+        }
+        below = upto;
+    }
+    *LATENCY_BOUNDS_US.last().unwrap() as f64
 }
 
 /// The fixed slot of a command name (`COMMANDS.len()` = other).
@@ -127,33 +167,35 @@ impl Metrics {
     }
 
     /// Counts one request dispatched to `cmd`.
-    pub(crate) fn count_request(&self, cmd: &str) {
+    pub fn count_request(&self, cmd: &str) {
         self.requests[cmd_slot(cmd)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one error response of `kind`.
-    pub(crate) fn count_error(&self, kind: &str) {
+    pub fn count_error(&self, kind: &str) {
         self.errors[kind_slot(kind)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one rate-limit rejection (plus its error-kind slot).
-    pub(crate) fn count_rate_limited(&self) {
+    pub fn count_rate_limited(&self) {
         self.rate_limited.fetch_add(1, Ordering::Relaxed);
         self.count_error("rate-limited");
     }
 
     /// Records one completed request's wall-clock latency under `cmd`.
-    pub(crate) fn observe_latency(&self, cmd: &str, elapsed: Duration) {
+    pub fn observe_latency(&self, cmd: &str, elapsed: Duration) {
         let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
         let bucket = LATENCY_BOUNDS_US
             .iter()
             .position(|b| us <= *b)
             .unwrap_or(LATENCY_BOUNDS_US.len());
-        self.latency[cmd_slot(cmd)][bucket].fetch_add(1, Ordering::Relaxed);
+        let slot = cmd_slot(cmd);
+        self.latency[slot][bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us[slot].fetch_add(us, Ordering::Relaxed);
     }
 
     /// Records an observed job-queue depth (keeps the maximum).
-    pub(crate) fn note_queue_depth(&self, depth: usize) {
+    pub fn note_queue_depth(&self, depth: usize) {
         self.queue_high_water
             .fetch_max(depth as u64, Ordering::Relaxed);
     }
@@ -189,11 +231,19 @@ impl Metrics {
             .enumerate()
             .filter(|(_, row)| row.iter().any(|b| b.load(Ordering::Relaxed) > 0))
             .map(|(i, row)| {
-                let buckets = LATENCY_LABELS
+                let counts: Vec<u64> = row.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                let mut buckets: Vec<(String, Json)> = LATENCY_LABELS
                     .iter()
-                    .zip(row)
-                    .map(|(label, b)| (label.to_string(), load(b)))
+                    .zip(&counts)
+                    .map(|(label, c)| (label.to_string(), Json::Int(*c as i64)))
                     .collect();
+                buckets.push(("sum_us".to_string(), load(&self.latency_sum_us[i])));
+                for (key, q) in [("p50_us", 0.5), ("p95_us", 0.95), ("p99_us", 0.99)] {
+                    buckets.push((
+                        key.to_string(),
+                        Json::Num(percentile_from_counts(&counts, q)),
+                    ));
+                }
                 (slot_name(&COMMANDS, i).to_string(), Json::Obj(buckets))
             })
             .collect();
@@ -218,8 +268,302 @@ impl Metrics {
             ("requests", Json::Obj(requests)),
             ("errors", Json::Obj(errors)),
             ("latency", Json::Obj(latency)),
+            ("engine", engine_gauges_json()),
         ])
     }
+
+    /// The Prometheus text exposition (version 0.0.4) of every counter:
+    /// request/error counters, connection and queue gauges, per-command
+    /// cumulative latency histograms, and the process-wide engine gauges
+    /// from the observability registry. Every series is emitted even at
+    /// zero — scrapers prefer stable series sets over compact output.
+    pub fn to_prom(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let g = |out: &mut String, name: &str, kind: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        };
+        let slot_name = |names: &[&'static str], i: usize| names.get(i).copied().unwrap_or("other");
+
+        g(
+            &mut out,
+            "bdrst_connections_total",
+            "counter",
+            "Connections by admission outcome.",
+        );
+        for (state, a) in [
+            ("admitted", &self.conns_admitted),
+            ("rejected", &self.conns_rejected),
+        ] {
+            let _ = writeln!(
+                out,
+                "bdrst_connections_total{{state=\"{state}\"}} {}",
+                a.load(Ordering::Relaxed)
+            );
+        }
+        g(
+            &mut out,
+            "bdrst_connections_active",
+            "gauge",
+            "Currently active connections.",
+        );
+        let _ = writeln!(
+            out,
+            "bdrst_connections_active {}",
+            self.conns_active.load(Ordering::SeqCst)
+        );
+        g(
+            &mut out,
+            "bdrst_connections_high_water",
+            "gauge",
+            "High-water mark of simultaneously active connections.",
+        );
+        let _ = writeln!(
+            out,
+            "bdrst_connections_high_water {}",
+            self.conns_high_water()
+        );
+        g(
+            &mut out,
+            "bdrst_queue_depth_high_water",
+            "gauge",
+            "High-water mark of the job-queue depth.",
+        );
+        let _ = writeln!(
+            out,
+            "bdrst_queue_depth_high_water {}",
+            self.queue_high_water.load(Ordering::Relaxed)
+        );
+        g(
+            &mut out,
+            "bdrst_rate_limited_total",
+            "counter",
+            "Requests rejected by the per-connection rate limiter.",
+        );
+        let _ = writeln!(
+            out,
+            "bdrst_rate_limited_total {}",
+            self.rate_limited.load(Ordering::Relaxed)
+        );
+
+        g(
+            &mut out,
+            "bdrst_requests_total",
+            "counter",
+            "Requests by protocol command.",
+        );
+        for (i, a) in self.requests.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "bdrst_requests_total{{cmd=\"{}\"}} {}",
+                slot_name(&COMMANDS, i),
+                a.load(Ordering::Relaxed)
+            );
+        }
+        g(
+            &mut out,
+            "bdrst_errors_total",
+            "counter",
+            "Error responses by kind.",
+        );
+        for (i, a) in self.errors.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "bdrst_errors_total{{kind=\"{}\"}} {}",
+                slot_name(&ERROR_KINDS, i),
+                a.load(Ordering::Relaxed)
+            );
+        }
+
+        g(
+            &mut out,
+            "bdrst_request_latency_us",
+            "histogram",
+            "Request wall-clock latency (microseconds) by command.",
+        );
+        for (i, row) in self.latency.iter().enumerate() {
+            let cmd = slot_name(&COMMANDS, i);
+            // Prometheus buckets are cumulative; ours are disjoint.
+            let mut cum = 0u64;
+            for (j, b) in row.iter().enumerate() {
+                cum += b.load(Ordering::Relaxed);
+                let le = match LATENCY_BOUNDS_US.get(j) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "bdrst_request_latency_us_bucket{{cmd=\"{cmd}\",le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "bdrst_request_latency_us_sum{{cmd=\"{cmd}\"}} {}",
+                self.latency_sum_us[i].load(Ordering::Relaxed)
+            );
+            let _ = writeln!(out, "bdrst_request_latency_us_count{{cmd=\"{cmd}\"}} {cum}");
+        }
+
+        g(
+            &mut out,
+            "bdrst_engine",
+            "gauge",
+            "Process-wide engine gauges from the observability registry.",
+        );
+        for (name, value) in bdrst_obs::counters_snapshot() {
+            let _ = writeln!(out, "bdrst_engine{{gauge=\"{name}\"}} {value}");
+        }
+        out
+    }
+}
+
+/// Derived engine gauges from the process-wide observability registry:
+/// raw counters plus the rates the raw values only imply (states/sec,
+/// digest hit rate, DPOR pruning ratio).
+pub fn engine_gauges_json() -> Json {
+    use bdrst_obs::Counter;
+    let get = |c: Counter| bdrst_obs::counter_get(c);
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            Json::Num(0.0)
+        } else {
+            Json::Num(num as f64 / den as f64)
+        }
+    };
+    let visited = get(Counter::StatesVisited);
+    let explore_ns = get(Counter::ExploreNanos);
+    let states_per_sec = if explore_ns == 0 {
+        Json::Num(0.0)
+    } else {
+        Json::Num(visited as f64 / (explore_ns as f64 / 1e9))
+    };
+    let hits = get(Counter::DigestHits);
+    let misses = get(Counter::DigestMisses);
+    let branches = get(Counter::DporBranches);
+    let blocked = get(Counter::DporSleepBlocked);
+    Json::obj([
+        ("states_visited", Json::Int(visited as i64)),
+        (
+            "states_interned",
+            Json::Int(get(Counter::StatesInterned) as i64),
+        ),
+        ("explore_nanos", Json::Int(explore_ns as i64)),
+        ("states_per_sec", states_per_sec),
+        (
+            "frontier_high_water",
+            Json::Int(get(Counter::FrontierHighWater) as i64),
+        ),
+        (
+            "interner_occupancy",
+            Json::Int(get(Counter::InternerOccupancy) as i64),
+        ),
+        (
+            "fingerprint_calls",
+            Json::Int(get(Counter::FingerprintCalls) as i64),
+        ),
+        ("digest_hits", Json::Int(hits as i64)),
+        ("digest_misses", Json::Int(misses as i64)),
+        ("digest_hit_rate", ratio(hits, hits + misses)),
+        ("dpor_branches", Json::Int(branches as i64)),
+        ("dpor_sleep_blocked", Json::Int(blocked as i64)),
+        (
+            "dpor_backtrack_points",
+            Json::Int(get(Counter::DporBacktrackPoints) as i64),
+        ),
+        ("dpor_pruning_ratio", ratio(blocked, branches + blocked)),
+        (
+            "semantics_probes",
+            Json::Int(get(Counter::SemanticsProbes) as i64),
+        ),
+        (
+            "race_events_live",
+            Json::Int(get(Counter::RaceEventsLive) as i64),
+        ),
+        (
+            "race_events_replayed",
+            Json::Int(get(Counter::RaceEventsReplayed) as i64),
+        ),
+        (
+            "spans_dropped",
+            Json::Int(get(Counter::SpansDropped) as i64),
+        ),
+    ])
+}
+
+/// The human rendering of a `metrics` response object (the JSON the
+/// server's `metrics` command returns): connection/queue gauges, request
+/// and error counts, and a per-command latency table whose p50/p95/p99
+/// are recomputed from the histogram buckets client-side via
+/// [`percentile_from_counts`] — the CLI needs no server-side percentile
+/// support to render a snapshot from an older server.
+pub fn render_human(metrics: &Json) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let int = |v: Option<&Json>| v.and_then(Json::as_i64).unwrap_or(0);
+    if let Some(conns) = metrics.get("conns") {
+        let _ = writeln!(
+            out,
+            "connections: {} admitted, {} rejected, {} active (high water {})",
+            int(conns.get("admitted")),
+            int(conns.get("rejected")),
+            int(conns.get("active")),
+            int(conns.get("high_water")),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "queue depth high water: {}",
+        int(metrics.get_in(&["queue", "high_water"])),
+    );
+    let _ = writeln!(out, "rate limited: {}", int(metrics.get("rate_limited")));
+    for (key, title) in [("requests", "requests"), ("errors", "errors")] {
+        if let Some(Json::Obj(fields)) = metrics.get(key) {
+            if !fields.is_empty() {
+                let _ = writeln!(out, "{title}:");
+                for (name, v) in fields {
+                    let _ = writeln!(out, "  {name:<16} {}", int(Some(v)));
+                }
+            }
+        }
+    }
+    if let Some(Json::Obj(rows)) = metrics.get("latency") {
+        if !rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "latency (us):\n  {:<16} {:>8} {:>10} {:>10} {:>10}",
+                "command", "count", "p50", "p95", "p99"
+            );
+            for (cmd, row) in rows {
+                let counts: Vec<u64> = LATENCY_LABELS
+                    .iter()
+                    .map(|l| int(row.get(l)).max(0) as u64)
+                    .collect();
+                let count: u64 = counts.iter().sum();
+                let _ = writeln!(
+                    out,
+                    "  {cmd:<16} {count:>8} {:>10.1} {:>10.1} {:>10.1}",
+                    percentile_from_counts(&counts, 0.5),
+                    percentile_from_counts(&counts, 0.95),
+                    percentile_from_counts(&counts, 0.99),
+                );
+            }
+        }
+    }
+    if let Some(Json::Obj(fields)) = metrics.get("engine") {
+        let _ = writeln!(out, "engine:");
+        for (name, v) in fields {
+            match v {
+                Json::Num(x) => {
+                    let _ = writeln!(out, "  {name:<24} {x:.3}");
+                }
+                other => {
+                    let _ = writeln!(out, "  {name:<24} {}", int(Some(other)));
+                }
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -263,6 +607,36 @@ mod tests {
         let lat = j.get("latency").unwrap().get("outcomes").unwrap();
         assert_eq!(lat.get("le_10ms").and_then(Json::as_i64), Some(1));
         assert_eq!(lat.get("inf").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn percentile_interpolation_pinned_at_bucket_boundaries() {
+        // Empty histogram: no invented latency.
+        assert_eq!(percentile_from_counts(&[0; 7], 0.99), 0.0);
+
+        // First bucket interpolates from 0, and its top rank lands
+        // exactly on the first bound.
+        let first = [4, 0, 0, 0, 0, 0, 0];
+        assert_eq!(percentile_from_counts(&first, 0.5), 50.0);
+        assert_eq!(percentile_from_counts(&first, 1.0), 100.0);
+
+        // A rank on the edge between two buckets resolves in the lower
+        // bucket (<= boundary), and the next rank interpolates from the
+        // lower bucket's bound.
+        let split = [1, 1, 0, 0, 0, 0, 0];
+        assert_eq!(percentile_from_counts(&split, 0.5), 100.0);
+        assert_eq!(percentile_from_counts(&split, 0.75), 550.0);
+
+        // Last finite bucket interpolates between 1s and 10s.
+        let last = [0, 0, 0, 0, 0, 8, 0];
+        assert_eq!(percentile_from_counts(&last, 0.5), 5_500_000.0);
+        assert_eq!(percentile_from_counts(&last, 1.0), 10_000_000.0);
+
+        // Overflow bucket has no upper bound: estimates clamp to the
+        // last finite bound instead of inventing a tail.
+        let overflow = [0, 0, 0, 0, 0, 0, 5];
+        assert_eq!(percentile_from_counts(&overflow, 0.5), 10_000_000.0);
+        assert_eq!(percentile_from_counts(&overflow, 0.99), 10_000_000.0);
     }
 
     #[test]

@@ -53,7 +53,7 @@ use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::server::{
     error_response, rate_limited_response, shutting_down_response, ConnGuard, Job, JobQueue,
-    ServeConfig, Sink, TokenBucket, TryPushError,
+    ReqMeta, ServeConfig, Sink, TokenBucket, TraceLog, TryPushError,
 };
 
 /// Upper bound on an idle park: with a live wakeup pipe the park ends
@@ -139,7 +139,7 @@ impl Waker {
 /// lines have been drained, so a response can never be lost between a
 /// worker and the socket.
 pub(crate) struct Outbox {
-    lines: Mutex<Vec<String>>,
+    lines: Mutex<Vec<(String, Option<ReqMeta>)>>,
     submitted: AtomicUsize,
     completed: AtomicUsize,
     /// Pokes the reactor awake on every deposit; `None` when the wakeup
@@ -157,10 +157,12 @@ impl Outbox {
         }
     }
 
-    /// Called by a worker with the finished response line.
-    pub(crate) fn complete(&self, line: &str) {
+    /// Called by a worker with the finished response line; `meta`
+    /// carries the request's timing so the reactor can stamp the
+    /// write-back when the line actually reaches the socket.
+    pub(crate) fn complete(&self, line: &str, meta: Option<ReqMeta>) {
         let mut lines = self.lines.lock().unwrap();
-        lines.push(line.to_string());
+        lines.push((line.to_string(), meta));
         // Bumped under the lock: once a reader of `completed` sees the
         // count, the line is already in the vector.
         self.completed.fetch_add(1, Ordering::SeqCst);
@@ -185,7 +187,7 @@ impl Outbox {
         self.completed.load(Ordering::SeqCst) == self.submitted.load(Ordering::SeqCst)
     }
 
-    fn drain(&self) -> Vec<String> {
+    fn drain(&self) -> Vec<(String, Option<ReqMeta>)> {
         std::mem::take(&mut *self.lines.lock().unwrap())
     }
 }
@@ -210,9 +212,14 @@ struct Conn {
     stream: TcpStream,
     rbuf: Vec<u8>,
     wbuf: Vec<u8>,
-    /// Lines parsed but not yet queued (the job queue was full).
-    pending: VecDeque<String>,
+    /// Jobs parsed but not yet queued (the job queue was full). Each
+    /// already carries its request ID and enqueue stamp — minted at
+    /// line birth, so queue-wait includes backpressure time.
+    pending: VecDeque<Job>,
     outbox: Arc<Outbox>,
+    /// Requests whose response lines sit in `wbuf`: their write-back is
+    /// stamped (and their trace files written) when the buffer drains.
+    inflight: Vec<ReqMeta>,
     bucket: Option<TokenBucket>,
     state: ConnState,
     /// Present on admitted connections; releases the `max_conns` slot
@@ -248,6 +255,7 @@ pub(crate) fn spawn(
     metrics: Arc<Metrics>,
     stop: Arc<AtomicBool>,
     flush: Arc<AtomicBool>,
+    trace: Arc<Option<TraceLog>>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
         // Built on the reactor thread; if loopback is unavailable the
@@ -263,6 +271,7 @@ pub(crate) fn spawn(
             metrics,
             stop,
             flush,
+            trace,
             conns: Vec::new(),
             waker,
             wake_rx,
@@ -278,6 +287,7 @@ struct Reactor {
     metrics: Arc<Metrics>,
     stop: Arc<AtomicBool>,
     flush: Arc<AtomicBool>,
+    trace: Arc<Option<TraceLog>>,
     conns: Vec<Conn>,
     /// Shared write half of the wakeup pipe (cloned into each outbox).
     waker: Option<Arc<Waker>>,
@@ -288,6 +298,7 @@ struct Reactor {
 impl Reactor {
     fn run(&mut self) {
         let mut flush_deadline: Option<Instant> = None;
+        let mut flush_start_ns: Option<u64> = None;
         let mut hot_until = Instant::now() + HOT_WINDOW;
         loop {
             // Re-arm before inspecting any outbox: a completion landing
@@ -297,9 +308,11 @@ impl Reactor {
                 waker.rearm();
             }
             let now = Instant::now();
+            let cycle_start_ns = bdrst_obs::now_ns();
             let flushing = self.flush.load(Ordering::SeqCst);
             if flushing && flush_deadline.is_none() {
                 flush_deadline = Some(now + FLUSH_DEADLINE);
+                flush_start_ns = Some(cycle_start_ns);
             }
             let mut busy = false;
             if !self.stop.load(Ordering::SeqCst) {
@@ -309,6 +322,16 @@ impl Reactor {
                 busy |= self.poll_conn(i, now);
             }
             self.conns.retain(|c| !c.dead);
+            if busy && bdrst_obs::enabled() {
+                // Busy cycles only: an idle reactor must not fill the
+                // span rings with empty poll iterations.
+                bdrst_obs::event(
+                    bdrst_obs::Phase::PollCycle,
+                    cycle_start_ns,
+                    bdrst_obs::now_ns().saturating_sub(cycle_start_ns),
+                    self.conns.len() as u64,
+                );
+            }
             if flushing {
                 // Workers are gone and every response line is in its
                 // outbox; once the buffers are flat (or the deadline
@@ -318,6 +341,14 @@ impl Reactor {
                     .iter()
                     .all(|c| c.wbuf.is_empty() && c.pending.is_empty() && c.outbox.is_idle());
                 if (drained && !busy) || flush_deadline.is_some_and(|d| now >= d) {
+                    if let Some(start) = flush_start_ns {
+                        bdrst_obs::event(
+                            bdrst_obs::Phase::Flush,
+                            start,
+                            bdrst_obs::now_ns().saturating_sub(start),
+                            self.conns.len() as u64,
+                        );
+                    }
                     break;
                 }
             }
@@ -379,6 +410,7 @@ impl Reactor {
                         rbuf: Vec::new(),
                         wbuf: Vec::new(),
                         pending: VecDeque::new(),
+                        inflight: Vec::new(),
                         outbox: Arc::new(Outbox::new(self.waker.clone())),
                         bucket: TokenBucket::from_config(&self.config),
                         state: ConnState::Open,
@@ -417,9 +449,10 @@ impl Reactor {
         // never touch the socket, so responses cannot interleave.
         {
             let conn = &mut self.conns[i];
-            for line in conn.outbox.drain() {
+            for (line, meta) in conn.outbox.drain() {
                 conn.wbuf.extend_from_slice(line.as_bytes());
                 conn.wbuf.push(b'\n');
+                conn.inflight.extend(meta);
             }
         }
 
@@ -447,6 +480,22 @@ impl Reactor {
             if conn.dead {
                 return busy;
             }
+            // Buffer flat: every in-flight response reached the socket —
+            // stamp their write-backs and write the per-request traces.
+            if conn.wbuf.is_empty() && !conn.inflight.is_empty() {
+                let flush_ns = bdrst_obs::now_ns();
+                for meta in conn.inflight.drain(..) {
+                    bdrst_obs::event(
+                        bdrst_obs::Phase::WriteBack,
+                        meta.exec_end_ns,
+                        flush_ns.saturating_sub(meta.exec_end_ns),
+                        meta.req_id,
+                    );
+                    if let Some(trace) = self.trace.as_ref() {
+                        trace.record(&meta, flush_ns);
+                    }
+                }
+            }
         }
 
         // Retry pending lines (queue was full on an earlier cycle).
@@ -463,9 +512,10 @@ impl Reactor {
         // close.
         let conn = &mut self.conns[i];
         let settled = conn.outbox.is_idle() && {
-            for line in conn.outbox.drain() {
+            for (line, meta) in conn.outbox.drain() {
                 conn.wbuf.extend_from_slice(line.as_bytes());
                 conn.wbuf.push(b'\n');
+                conn.inflight.extend(meta);
             }
             conn.wbuf.is_empty()
         };
@@ -495,21 +545,19 @@ impl Reactor {
     /// if any job was submitted.
     fn submit_pending(&mut self, i: usize) -> bool {
         let mut any = false;
-        while let Some(line) = self.conns[i].pending.pop_front() {
-            let conn = &self.conns[i];
-            let outbox = Arc::clone(&conn.outbox);
+        while let Some(job) = self.conns[i].pending.pop_front() {
+            let outbox = Arc::clone(&self.conns[i].outbox);
             outbox.note_submitted();
-            match self.queue.try_push(Job {
-                line,
-                out: Sink::Outbox(Arc::clone(&outbox)),
-            }) {
+            match self.queue.try_push(job) {
                 Ok(depth) => {
                     self.metrics.note_queue_depth(depth);
                     any = true;
                 }
                 Err(TryPushError::Full(job)) => {
+                    // The job keeps its identity (and enqueue stamp), so
+                    // queue-wait includes the backpressure time.
                     outbox.unsubmit();
-                    self.conns[i].pending.push_front(job.line);
+                    self.conns[i].pending.push_front(job);
                     break;
                 }
                 Err(TryPushError::Closed) => {
@@ -635,8 +683,10 @@ impl Reactor {
                     continue;
                 }
             }
-            let line = line.to_string();
-            self.conns[i].pending.push_back(line);
+            let outbox = Arc::clone(&conn.outbox);
+            self.conns[i]
+                .pending
+                .push_back(Job::new(line.to_string(), Sink::Outbox(outbox)));
             self.submit_pending(i);
         }
     }

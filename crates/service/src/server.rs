@@ -62,7 +62,8 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -91,7 +92,7 @@ pub enum ServeModel {
 }
 
 /// Server knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Worker threads popping the job queue (0 = available cores).
     pub workers: usize,
@@ -118,6 +119,16 @@ pub struct ServeConfig {
     pub burst: u32,
     /// The connection layer (readiness-loop reactor by default).
     pub model: ServeModel,
+    /// When set, every served request writes a `req-<id>.json` timing
+    /// file here: queue-wait / execute / write-back as integer
+    /// nanoseconds plus the same split as Chrome trace events. `None`
+    /// (the default) disables per-request tracing entirely.
+    pub trace_dir: Option<PathBuf>,
+    /// With `trace_dir` set: a request whose end-to-end time (enqueue →
+    /// response flushed) reaches this many milliseconds is also logged
+    /// to stderr with its phase split. `Some(0)` logs every request;
+    /// `None` (the default) disables the slow log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +141,8 @@ impl Default for ServeConfig {
             rate_per_sec: 0,
             burst: 8,
             model: ServeModel::Reactor,
+            trace_dir: None,
+            slow_ms: None,
         }
     }
 }
@@ -182,6 +195,91 @@ impl TokenBucket {
     }
 }
 
+/// Per-request timing carried from acceptance to response flush: the
+/// request ID is minted when the line is accepted (before it queues),
+/// so a request's whole span tree — queue-wait, execute, write-back —
+/// shares one `tid` in the exported trace.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ReqMeta {
+    pub(crate) req_id: u64,
+    /// When the accepted line entered the job queue.
+    pub(crate) enqueue_ns: u64,
+    /// When a worker popped it and started computing.
+    pub(crate) exec_start_ns: u64,
+    /// When the worker finished; write-back runs from here to flush.
+    pub(crate) exec_end_ns: u64,
+}
+
+/// Per-request trace files plus the slow-request log, built from
+/// [`ServeConfig::trace_dir`] / [`ServeConfig::slow_ms`].
+pub(crate) struct TraceLog {
+    dir: PathBuf,
+    slow_ns: Option<u64>,
+}
+
+impl TraceLog {
+    pub(crate) fn from_config(config: &ServeConfig) -> Option<TraceLog> {
+        let dir = config.trace_dir.clone()?;
+        let _ = std::fs::create_dir_all(&dir);
+        Some(TraceLog {
+            dir,
+            slow_ns: config.slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
+        })
+    }
+
+    /// Writes `req-<id>.json` (write-then-rename, so a poller never
+    /// observes a partial file) and emits the slow log when the
+    /// end-to-end time reaches the threshold. All fields are integer
+    /// nanoseconds; the embedded `traceEvents` use integer microseconds
+    /// as Chrome expects.
+    pub(crate) fn record(&self, meta: &ReqMeta, flush_ns: u64) {
+        let queue_wait = meta.exec_start_ns.saturating_sub(meta.enqueue_ns);
+        let execute = meta.exec_end_ns.saturating_sub(meta.exec_start_ns);
+        let write_back = flush_ns.saturating_sub(meta.exec_end_ns);
+        let total = flush_ns.saturating_sub(meta.enqueue_ns);
+        let event = |name: &str, start_ns: u64, dur_ns: u64| {
+            Json::obj([
+                ("name", Json::Str(name.to_string())),
+                ("ph", Json::Str("X".to_string())),
+                ("pid", Json::Int(1)),
+                ("tid", Json::Int(meta.req_id as i64)),
+                ("ts", Json::Int((start_ns / 1_000) as i64)),
+                ("dur", Json::Int((dur_ns / 1_000) as i64)),
+            ])
+        };
+        let doc = Json::obj([
+            ("req_id", Json::Int(meta.req_id as i64)),
+            ("queue_wait_ns", Json::Int(queue_wait as i64)),
+            ("execute_ns", Json::Int(execute as i64)),
+            ("write_back_ns", Json::Int(write_back as i64)),
+            ("total_ns", Json::Int(total as i64)),
+            (
+                "traceEvents",
+                Json::Arr(vec![
+                    event("queue-wait", meta.enqueue_ns, queue_wait),
+                    event("execute", meta.exec_start_ns, execute),
+                    event("write-back", meta.exec_end_ns, write_back),
+                ]),
+            ),
+        ]);
+        let path = self.dir.join(format!("req-{}.json", meta.req_id));
+        let tmp = self.dir.join(format!(".req-{}.json.tmp", meta.req_id));
+        if std::fs::write(&tmp, doc.render()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+        if self.slow_ns.is_some_and(|t| total >= t) {
+            eprintln!(
+                "slow request {}: total {:.3}ms (queue-wait {:.3}ms, execute {:.3}ms, write-back {:.3}ms)",
+                meta.req_id,
+                total as f64 / 1e6,
+                queue_wait as f64 / 1e6,
+                execute as f64 / 1e6,
+                write_back as f64 / 1e6,
+            );
+        }
+    }
+}
+
 /// Where a worker delivers one response line.
 pub(crate) enum Sink {
     /// Legacy model: write directly to the client socket, whole lines
@@ -193,22 +291,53 @@ pub(crate) enum Sink {
 }
 
 impl Sink {
-    pub(crate) fn send(&self, line: &str) {
+    /// Delivers one response line. The stream path flushes inline, so
+    /// write-back is stamped (and the trace file written) here; the
+    /// outbox path hands the meta to the reactor, which stamps the
+    /// write-back when the connection's buffer actually drains.
+    pub(crate) fn send(&self, line: &str, meta: ReqMeta, trace: Option<&TraceLog>) {
         match self {
             Sink::Stream(out) => {
                 let mut w = out.lock().unwrap();
                 let _ = writeln!(w, "{line}");
                 let _ = w.flush();
+                drop(w);
+                let flush_ns = bdrst_obs::now_ns();
+                bdrst_obs::event(
+                    bdrst_obs::Phase::WriteBack,
+                    meta.exec_end_ns,
+                    flush_ns.saturating_sub(meta.exec_end_ns),
+                    meta.req_id,
+                );
+                if let Some(trace) = trace {
+                    trace.record(&meta, flush_ns);
+                }
             }
-            Sink::Outbox(outbox) => outbox.complete(line),
+            Sink::Outbox(outbox) => outbox.complete(line, Some(meta)),
         }
     }
 }
 
-/// One queued request: the raw line and where to deliver the response.
+/// One queued request: the raw line, where to deliver the response, and
+/// the request's identity/enqueue stamp for the observability span tree.
 pub(crate) struct Job {
     pub(crate) line: String,
     pub(crate) out: Sink,
+    pub(crate) req_id: u64,
+    pub(crate) enqueue_ns: u64,
+}
+
+impl Job {
+    /// Mints the process-unique request ID and stamps the enqueue time.
+    pub(crate) fn new(line: String, out: Sink) -> Job {
+        static NEXT_REQ_ID: AtomicU64 = AtomicU64::new(1);
+        Job {
+            line,
+            out,
+            req_id: NEXT_REQ_ID.fetch_add(1, Ordering::Relaxed),
+            enqueue_ns: bdrst_obs::now_ns(),
+        }
+    }
 }
 
 /// Why [`JobQueue::try_push`] did not take a job.
@@ -373,6 +502,7 @@ pub fn serve(
     let flush = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(JobQueue::new(config.queue_depth));
     let metrics = Arc::new(Metrics::new());
+    let trace = Arc::new(TraceLog::from_config(&config));
 
     let worker_count = if config.workers == 0 {
         std::thread::available_parallelism().map_or(2, |n| n.get())
@@ -384,10 +514,32 @@ pub fn serve(
             let queue = Arc::clone(&queue);
             let service = Arc::clone(&service);
             let metrics = Arc::clone(&metrics);
+            let trace = Arc::clone(&trace);
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
+                    let exec_start_ns = bdrst_obs::now_ns();
                     let response = handle_line_metered(&service, Some(&metrics), &job.line);
-                    job.out.send(&response.render());
+                    let exec_end_ns = bdrst_obs::now_ns();
+                    let meta = ReqMeta {
+                        req_id: job.req_id,
+                        enqueue_ns: job.enqueue_ns,
+                        exec_start_ns,
+                        exec_end_ns,
+                    };
+                    bdrst_obs::event(
+                        bdrst_obs::Phase::QueueWait,
+                        meta.enqueue_ns,
+                        exec_start_ns.saturating_sub(meta.enqueue_ns),
+                        meta.req_id,
+                    );
+                    bdrst_obs::event(
+                        bdrst_obs::Phase::Execute,
+                        exec_start_ns,
+                        exec_end_ns.saturating_sub(exec_start_ns),
+                        meta.req_id,
+                    );
+                    job.out
+                        .send(&response.render(), meta, trace.as_ref().as_ref());
                 }
             })
         })
@@ -403,6 +555,7 @@ pub fn serve(
                 Arc::clone(&metrics),
                 Arc::clone(&stop),
                 Arc::clone(&flush),
+                Arc::clone(&trace),
             )
         }
         ServeModel::ThreadPerConn => spawn_thread_per_conn(
@@ -595,10 +748,7 @@ fn spawn_thread_per_conn(
                             continue;
                         }
                     }
-                    match queue.push(Job {
-                        line: line.to_string(),
-                        out: Sink::Stream(Arc::clone(&out)),
-                    }) {
+                    match queue.push(Job::new(line.to_string(), Sink::Stream(Arc::clone(&out)))) {
                         Ok(depth) => metrics.note_queue_depth(depth),
                         Err(_job) => {
                             // Queue closed (shutdown): the request was
@@ -914,11 +1064,18 @@ fn handle_cmd(
             Ok(corpus_json(&entries, service.store()))
         }
         "cache-stats" => Ok(Json::obj([("cache", stats_json(service.store()))])),
-        "metrics" => metrics
-            .map(|m| Json::obj([("metrics", m.to_json())]))
-            .ok_or_else(|| {
+        "metrics" => {
+            let m = metrics.ok_or_else(|| {
                 HandleError::Proto("metrics are only available on a running server".into())
-            }),
+            })?;
+            match req.get("format").and_then(Json::as_str) {
+                Some("prom") => Ok(Json::obj([("prom", Json::Str(m.to_prom()))])),
+                Some(other) => Err(HandleError::Proto(format!(
+                    "unknown metrics format `{other}` (expected \"prom\")"
+                ))),
+                None => Ok(Json::obj([("metrics", m.to_json())])),
+            }
+        }
         other => Err(HandleError::Proto(format!("unknown cmd `{other}`"))),
     }
 }

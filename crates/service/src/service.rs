@@ -123,6 +123,7 @@ impl CheckService {
     ///
     /// As [`CheckService::check_source`], minus the parse case.
     pub fn check_program(&self, program: Program) -> Result<Checked, RunError> {
+        let lookup_span = bdrst_obs::span(bdrst_obs::Phase::CacheLookup);
         let key = self
             .store
             .key_for(&program, self.version)
@@ -135,6 +136,7 @@ impl CheckService {
                 cached: true,
             });
         }
+        drop(lookup_span);
         let (graph, stats) = program
             .state_graph_with(self.config.explore, self.config.strategy)
             .map_err(RunError::Operational)?;

@@ -1,0 +1,167 @@
+//! Socket-level test of per-request tracing: the server splits each
+//! request's lifetime into queue-wait, execute, and write-back, and the
+//! split must be consistent with what the client observes end to end.
+//!
+//! Kept to a single server in this binary: request IDs are process-global,
+//! so a second concurrent server would interleave `req-N.json` numbering.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bdrst_litmus::RunConfig;
+use bdrst_service::json::Json;
+use bdrst_service::server::{serve, ServeConfig};
+use bdrst_service::service::CheckService;
+use bdrst_service::store::ResultStore;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static TEMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("bdrst-obs-{tag}-{}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &Json) -> Json {
+    writeln!(stream, "{}", req.render()).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+}
+
+fn get_u64(doc: &Json, key: &str) -> u64 {
+    match doc.get(key) {
+        Some(Json::Int(n)) => *n as u64,
+        other => panic!("missing/odd field {key}: {other:?}"),
+    }
+}
+
+#[test]
+fn per_request_traces_are_consistent_with_observed_latency() {
+    let dir = temp_dir("traces");
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+    let handle = serve(
+        Arc::new(service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            trace_dir: Some(dir.clone()),
+            slow_ms: Some(0),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+
+    let src = "nonatomic a; thread P0 { a = 1; } thread P1 { a = 2; }";
+    let outcomes_req = Json::obj([
+        ("cmd", Json::Str("outcomes".into())),
+        ("source", Json::Str(src.into())),
+    ]);
+    let metrics_req = Json::obj([("cmd", Json::Str("metrics".into()))]);
+
+    // One sequential connection alternating real work with metrics
+    // probes, so the trace files land in request order.
+    const ROUNDS: usize = 4;
+    let mut e2e: Vec<Duration> = Vec::new();
+    let mut high_water: Vec<u64> = Vec::new();
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        let resp = request(&mut stream, &mut reader, &outcomes_req);
+        e2e.push(start.elapsed());
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(true)),
+            "bad outcomes reply: {resp:?}"
+        );
+
+        let start = Instant::now();
+        let resp = request(&mut stream, &mut reader, &metrics_req);
+        e2e.push(start.elapsed());
+        let queue = resp
+            .get_in(&["metrics", "queue"])
+            .expect("metrics reply lacks queue");
+        high_water.push(get_u64(queue, "high_water"));
+    }
+
+    // Queue-depth high water is a running maximum: monotone non-decreasing
+    // across successive metrics reads.
+    for pair in high_water.windows(2) {
+        assert!(
+            pair[0] <= pair[1],
+            "queue high-water regressed: {high_water:?}"
+        );
+    }
+
+    // Write-back is stamped by the reactor after the client may already
+    // have read the response, so poll for the files rather than expecting
+    // them synchronously.
+    let total = ROUNDS * 2;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut files: Vec<PathBuf>;
+    loop {
+        files = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("req-") && n.ends_with(".json"))
+            })
+            .collect();
+        if files.len() >= total {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {} of {total} trace files appeared in {}",
+            files.len(),
+            dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut traces: Vec<Json> = files
+        .iter()
+        .map(|p| Json::parse(std::fs::read_to_string(p).unwrap().trim()).unwrap())
+        .collect();
+    traces.sort_by_key(|t| get_u64(t, "req_id"));
+
+    // Requests were strictly sequential on one connection, so trace files
+    // sorted by request ID line up with the client-side timings.
+    assert_eq!(traces.len(), e2e.len());
+    for (trace, observed) in traces.iter().zip(&e2e) {
+        let queue_wait = get_u64(trace, "queue_wait_ns");
+        let execute = get_u64(trace, "execute_ns");
+        let total_ns = get_u64(trace, "total_ns");
+        let req_id = get_u64(trace, "req_id");
+        assert!(
+            queue_wait + execute <= total_ns,
+            "req {req_id}: phases exceed server total ({queue_wait} + {execute} > {total_ns})"
+        );
+        // The server's queue-wait + execute window sits strictly inside the
+        // client's request/response round trip. (total_ns is not bounded by
+        // it: the write-back stamp can postdate the client's read.)
+        let observed_ns = observed.as_nanos() as u64;
+        assert!(
+            queue_wait + execute <= observed_ns,
+            "req {req_id}: queue-wait {queue_wait} + execute {execute} exceeds \
+             observed e2e {observed_ns}"
+        );
+        assert!(
+            trace.get("traceEvents").is_some(),
+            "req {req_id}: trace file lacks traceEvents"
+        );
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

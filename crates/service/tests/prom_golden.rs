@@ -1,0 +1,43 @@
+//! Golden-file test of the Prometheus text exposition.
+//!
+//! This file must stay the *only* test in its binary: the engine gauges
+//! at the bottom of the exposition read the process-wide observability
+//! registry, which is all-zero only while no test in the same process
+//! has run an engine. Keeping the binary engine-free keeps the golden
+//! byte-exact.
+//!
+//! Regenerate after an intentional format change with
+//! `BDRST_BLESS=1 cargo test -p bdrst-service --test prom_golden`.
+
+use std::time::Duration;
+
+use bdrst_service::metrics::Metrics;
+
+#[test]
+fn prom_exposition_matches_golden() {
+    let m = Metrics::new();
+    m.count_request("check");
+    m.count_request("check");
+    m.count_request("outcomes");
+    m.count_error("budget");
+    m.count_rate_limited();
+    m.note_queue_depth(3);
+    // One sample per interesting bucket: first, second, and overflow.
+    m.observe_latency("check", Duration::from_micros(50));
+    m.observe_latency("check", Duration::from_micros(500));
+    m.observe_latency("check", Duration::from_secs(20));
+
+    let got = m.to_prom();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+    if std::env::var_os("BDRST_BLESS").is_some() {
+        std::fs::write(path, &got).unwrap();
+        return;
+    }
+    let want =
+        std::fs::read_to_string(path).expect("golden file missing; regenerate with BDRST_BLESS=1");
+    assert_eq!(
+        got, want,
+        "Prometheus exposition drifted from tests/golden/metrics.prom;\n\
+         if the change is intentional, regenerate with BDRST_BLESS=1"
+    );
+}
