@@ -36,7 +36,12 @@
 //! fatal under `ENGINE_BASELINE_ENFORCE=1`) that the recorder-off sweep
 //! stays at the v8 allocation bar of 31.69 — i.e. the always-on counter
 //! registry and runtime-gated span sites cost the hot loop nothing when
-//! no recorder is installed. The alloc-per-visit lanes sweep the
+//! no recorder is installed. Since v10 the alloc lanes additionally run
+//! with the structured JSON-lines logger installed at `warn` — the
+//! production server default — gating (same bar, same determinism) that
+//! live logging costs the exploration hot loop nothing: there are no
+//! log sites on engine paths, only on the service edges.
+//! The alloc-per-visit lanes sweep the
 //! pre-v8 *narrow* corpus (the `Wide*` stress programs are excluded by
 //! name prefix) so the v5/v6 bars stay like-for-like comparable; the
 //! wide programs run in every other lane. Writes
@@ -496,6 +501,12 @@ fn main() {
         .filter(|(t, _)| !t.name.starts_with("Wide"))
         .map(|(_, p)| p.clone())
         .collect();
+    // v10: the structured logger is installed (stderr sink, warn level —
+    // the production `serve` default) *before* the alloc lanes run, so
+    // the counts below price the hot loop as it runs in a live server.
+    // No engine path carries a log site, so the v8 allocation bar must
+    // hold unchanged with the logger live.
+    bdrst_obs::log::install(bdrst_obs::log::LogConfig::default()).expect("logger install");
     let (v_seed, a_seed, t_seed) = corpus_dfs_seed_lane(&narrow);
     let (v_full, a_full, t_full) = corpus_dfs_lane(&narrow, Dedup::FullState);
     let (v_fp, a_fp, t_fp) = corpus_dfs_lane(&narrow, Dedup::FingerprintFirst);
@@ -734,7 +745,7 @@ fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
         r#"{{
-  "schema": "bdrst-engine-baseline/v9",
+  "schema": "bdrst-engine-baseline/v10",
   "samples": {SAMPLES},
   "threads_available": {threads},
   "corpus_sweep_sequential_s": {seq:.6},
@@ -862,11 +873,13 @@ fn main() {
         );
     }
 
-    // v9: the runtime-gated span sites and always-on counter registry
-    // must be free when no recorder is installed — the obs-disabled
-    // sweep holds the v8 allocation bar exactly. Deterministic count,
-    // fatal under enforce; the obs-*enabled* lane is informational (it
-    // prices the recording tax, it is not a regression).
+    // v9/v10: the runtime-gated span sites, the always-on counter
+    // registry, and (since v10) the installed warn-level logger must be
+    // free when no recorder is installed and nothing logs — the
+    // recording-off sweep holds the v8 allocation bar exactly.
+    // Deterministic count, fatal under enforce; the obs-*enabled* lane
+    // is informational (it prices the recording tax, it is not a
+    // regression).
     // The bar is the v8 artifact's value, which is recorded at two
     // decimals — compare at the same precision so the gate asks "did
     // instrumentation move the recorded number", not for luck in the
@@ -876,15 +889,17 @@ fn main() {
     if allocs_per_visit_fp_2dp <= V8_ALLOCS_PER_VISIT_FINGERPRINT {
         eprintln!(
             "observability is free when off: {allocs_per_visit_fp:.2} allocs/visit with no \
-             recorder (v8 bar {V8_ALLOCS_PER_VISIT_FINGERPRINT}); enabled recording costs \
+             recorder and the logger live at warn (v8 bar {V8_ALLOCS_PER_VISIT_FINGERPRINT}); \
+             enabled recording costs \
              {allocs_per_visit_obs:.2} allocs/visit, {obs_time_overhead:.2}x wall clock, \
              {obs_span_events} span events ({} dropped)",
             obs_profile.dropped
         );
     } else if enforce {
         panic!(
-            "instrumented hot loop should hold the v8 allocation bar with recording off: \
-             got {allocs_per_visit_fp:.2}, bar {V8_ALLOCS_PER_VISIT_FINGERPRINT}"
+            "instrumented hot loop should hold the v8 allocation bar with recording off and \
+             the logger installed at warn: got {allocs_per_visit_fp:.2}, \
+             bar {V8_ALLOCS_PER_VISIT_FINGERPRINT}"
         );
     } else {
         eprintln!(

@@ -427,6 +427,7 @@ impl DporEngine {
             budget -= 1;
             stats.visited += 1;
             bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
+            bdrst_obs::progress_tick(stats.visited as u64, self.config.max_traces as u64);
             let e = t.label;
             // Source-DPOR backtracking: for every *direct* race `d ⋖ e`
             // (cross-thread, dependent, with no intermediate

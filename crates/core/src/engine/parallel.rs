@@ -149,6 +149,7 @@ impl<E: Expr + Send + Sync> Explorer<E> for ParallelEngine {
             for (id, m) in level {
                 stats.visited += 1;
                 bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
+                bdrst_obs::progress_tick(stats.visited as u64, self.config.max_states as u64);
                 match visitor.visit(&m, id) {
                     Control::Stop => return Ok(finish(stats, &mut span)),
                     Control::Prune => {}

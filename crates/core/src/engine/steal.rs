@@ -262,6 +262,7 @@ impl WorkStealingEngine {
                             };
                             idle_spins = 0;
                             bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
+                            bdrst_obs::progress_tick(interner.len() as u64, max_states as u64);
                             let ts = m.transitions(locs);
                             terminals.push((id, ts.is_empty()));
                             let mut err = None;
@@ -461,6 +462,7 @@ impl<E: Expr + Send + Sync> Explorer<E> for WorkStealingEngine {
                         for (id, m) in batch {
                             stats.visited += 1;
                             bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
+                            bdrst_obs::progress_tick(stats.visited as u64, max_states as u64);
                             match visitor.visit(&m, id) {
                                 Control::Continue => {
                                     injector.push(m);

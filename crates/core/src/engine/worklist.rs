@@ -112,6 +112,7 @@ impl WorklistEngine {
             stats.visited += 1;
             bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
             bdrst_obs::counter_max(bdrst_obs::Counter::FrontierHighWater, worklist.len() as u64);
+            bdrst_obs::progress_tick(stats.visited as u64, self.config.max_states as u64);
             let transitions = m.transitions(locs);
             terminal[id.index()] = transitions.is_empty();
             for t in transitions {
@@ -174,6 +175,7 @@ impl<E: Expr> Explorer<E> for WorklistEngine {
             stats.visited += 1;
             bdrst_obs::counter_add(bdrst_obs::Counter::StatesVisited, 1);
             bdrst_obs::counter_max(bdrst_obs::Counter::FrontierHighWater, worklist.len() as u64);
+            bdrst_obs::progress_tick(stats.visited as u64, self.config.max_states as u64);
             match visitor.visit(&m, id) {
                 Control::Stop => return Ok(finish(stats, &mut span)),
                 Control::Prune => continue,

@@ -41,10 +41,16 @@ pub enum Counter {
     RaceEventsReplayed,
     /// Span events dropped because a thread ring filled.
     SpansDropped,
+    /// Structured log lines emitted (post rate limiting).
+    LogLines,
+    /// Log lines suppressed by the per-target rate limiter.
+    LogRateLimited,
+    /// Flight-recorder snapshots dumped to disk.
+    FlightDumps,
 }
 
 /// Number of registry slots.
-pub const COUNTER_COUNT: usize = 15;
+pub const COUNTER_COUNT: usize = 18;
 
 const NAMES: [&str; COUNTER_COUNT] = [
     "semantics_probes",
@@ -62,6 +68,9 @@ const NAMES: [&str; COUNTER_COUNT] = [
     "race_events_live",
     "race_events_replayed",
     "spans_dropped",
+    "log_lines",
+    "log_rate_limited",
+    "flight_dumps",
 ];
 
 static REGISTRY: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];

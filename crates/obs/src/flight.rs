@@ -1,0 +1,301 @@
+//! The flight recorder: an always-on, bounded ring of recent spans that
+//! dumps a Chrome-trace + recent-log snapshot to disk when something
+//! goes wrong — a slow request, a worker panic, or an explicit `dump`
+//! protocol command — so the *cause* of an anomaly is captured without
+//! running with full profiling on.
+//!
+//! Ring discipline (contrast with the profiler's rings in `recorder`):
+//! the profiler's rings never wrap, so a drain is tear-free; a flight
+//! ring must hold the *most recent* events indefinitely, so it **does**
+//! wrap. Each thread owns one ring and is its only writer: slot words
+//! are `Relaxed` stores published by one `Release` bump of a monotone
+//! `written` counter. A dump reads `written` (`Acquire`), copies the
+//! last `capacity` slots, re-reads `written`, and discards any entry
+//! the second read proves may have been overwritten mid-copy. The one
+//! residual race — a writer that has stored slot words but not yet
+//! published — can at worst leave a single stale-valued event in a
+//! diagnostic dump, never tear memory or block the writer.
+//!
+//! Dumps are written whole to a temp file and renamed into place
+//! (`flight-<seq>-<reason>.json`), retain at most `keep` files (oldest
+//! deleted), and count in [`Counter::FlightDumps`]. Automatic triggers
+//! go through [`dump_throttled`] so a burst of slow requests costs one
+//! snapshot, not one per request.
+
+use std::cell::OnceCell;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::counters::{counter_add, Counter};
+use crate::phase::{Phase, PHASE_COUNT};
+use crate::profile::{Profile, TraceEvent};
+
+/// Spans one thread's flight ring retains.
+const FLIGHT_CAPACITY: usize = 2048;
+
+/// Minimum gap between automatic dumps ([`dump_throttled`]).
+const THROTTLE_NS: u64 = 250_000_000;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static RINGS: Mutex<Vec<Arc<FlightRing>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+static STATE: OnceLock<DumpState> = OnceLock::new();
+
+struct DumpState {
+    dir: PathBuf,
+    keep: usize,
+    dumps: Mutex<Vec<PathBuf>>,
+    seq: AtomicU64,
+    last_dump_ns: AtomicU64,
+}
+
+struct Slot {
+    phase: AtomicU64,
+    start: AtomicU64,
+    dur: AtomicU64,
+    arg: AtomicU64,
+}
+
+struct FlightRing {
+    tid: u64,
+    name: String,
+    /// Total events ever written; the ring index is `written % capacity`.
+    written: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl FlightRing {
+    fn new() -> FlightRing {
+        FlightRing {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            name: std::thread::current()
+                .name()
+                .unwrap_or("worker")
+                .to_string(),
+            written: AtomicU64::new(0),
+            slots: (0..FLIGHT_CAPACITY)
+                .map(|_| Slot {
+                    phase: AtomicU64::new(0),
+                    start: AtomicU64::new(0),
+                    dur: AtomicU64::new(0),
+                    arg: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Owner-side append: overwrite the oldest slot, then publish.
+    fn push(&self, phase: Phase, start_ns: u64, dur_ns: u64, arg: u64) {
+        let w = self.written.load(Ordering::Relaxed);
+        let s = &self.slots[(w % self.slots.len() as u64) as usize];
+        s.phase.store(phase as u64, Ordering::Relaxed);
+        s.start.store(start_ns, Ordering::Relaxed);
+        s.dur.store(dur_ns, Ordering::Relaxed);
+        s.arg.store(arg, Ordering::Relaxed);
+        self.written.store(w + 1, Ordering::Release);
+    }
+
+    /// Dump-side copy of the retained window; drops entries the
+    /// re-read of `written` proves may have been overwritten.
+    fn drain(&self) -> (Vec<TraceEvent>, u64) {
+        let cap = self.slots.len() as u64;
+        let w1 = self.written.load(Ordering::Acquire);
+        let lo = w1.saturating_sub(cap);
+        let mut entries = Vec::with_capacity((w1 - lo) as usize);
+        for i in lo..w1 {
+            let s = &self.slots[(i % cap) as usize];
+            let phase_idx = (s.phase.load(Ordering::Relaxed) as usize).min(PHASE_COUNT - 1);
+            entries.push((
+                i,
+                TraceEvent {
+                    phase: Phase::all()[phase_idx],
+                    tid: self.tid,
+                    start_ns: s.start.load(Ordering::Relaxed),
+                    dur_ns: s.dur.load(Ordering::Relaxed),
+                    arg: s.arg.load(Ordering::Relaxed),
+                },
+            ));
+        }
+        let w2 = self.written.load(Ordering::Acquire);
+        let lo2 = w2.saturating_sub(cap);
+        let events = entries
+            .into_iter()
+            .filter(|(i, _)| *i >= lo2)
+            .map(|(_, e)| e)
+            .collect();
+        (events, lo2)
+    }
+}
+
+thread_local! {
+    static RING: OnceCell<Arc<FlightRing>> = const { OnceCell::new() };
+}
+
+/// True once [`install`] has run: span sites feed the flight rings.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs the flight recorder: dumps land under `dir`, at most `keep`
+/// retained. Idempotent after the first call (which fixes the
+/// directory); capture starts immediately.
+pub fn install(dir: PathBuf, keep: usize) -> std::io::Result<()> {
+    if STATE.get().is_none() {
+        std::fs::create_dir_all(&dir)?;
+        let _ = STATE.set(DumpState {
+            dir,
+            keep: keep.max(1),
+            dumps: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(1),
+            last_dump_ns: AtomicU64::new(0),
+        });
+    }
+    ACTIVE.store(true, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Records one finished span into this thread's flight ring. Called by
+/// the span entry points when [`active`]; callers with an event that
+/// never went through a `SpanGuard` (cross-thread stamps) land here via
+/// `event`.
+pub fn record_span(phase: Phase, start_ns: u64, dur_ns: u64, arg: u64) {
+    RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(FlightRing::new());
+            RINGS.lock().unwrap().push(Arc::clone(&ring));
+            ring
+        });
+        ring.push(phase, start_ns, dur_ns, arg);
+    });
+}
+
+/// Snapshots every flight ring plus the logger's recent lines and
+/// writes one Chrome-trace JSON file (`flight-<seq>-<reason>.json`,
+/// temp-file + rename) under the installed directory, deleting the
+/// oldest dump past the retention cap. Returns the final path.
+pub fn dump(reason: &str) -> std::io::Result<PathBuf> {
+    let state = STATE
+        .get()
+        .ok_or_else(|| std::io::Error::other("flight recorder not installed"))?;
+    let mut profile = Profile::default();
+    for ring in RINGS.lock().unwrap().iter() {
+        let (events, overwritten) = ring.drain();
+        if !events.is_empty() || overwritten > 0 {
+            profile.threads.push((ring.tid, ring.name.clone()));
+        }
+        profile.events.extend(events);
+        profile.dropped += overwritten;
+    }
+    profile.events.sort_by_key(|e| e.start_ns);
+
+    let mut extra = String::from(",\"flight_reason\":\"");
+    for c in reason.chars() {
+        match c {
+            '"' => extra.push_str("\\\""),
+            '\\' => extra.push_str("\\\\"),
+            c if (c as u32) < 0x20 => extra.push_str(&format!("\\u{:04x}", c as u32)),
+            c => extra.push(c),
+        }
+    }
+    extra.push_str("\",\"recent_logs\":[");
+    // Emitted log lines are themselves JSON objects, so they embed
+    // verbatim as array elements.
+    extra.push_str(&crate::log::recent_lines().join(","));
+    extra.push(']');
+    let body = profile.to_chrome_json_with_extra(&extra);
+
+    let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+    let safe_reason: String = reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = state.dir.join(format!("flight-{seq}-{safe_reason}.json"));
+    let tmp = state.dir.join(format!(".flight-{seq}.tmp"));
+    std::fs::write(&tmp, &body)?;
+    std::fs::rename(&tmp, &path)?;
+    counter_add(Counter::FlightDumps, 1);
+
+    let mut dumps = state.dumps.lock().unwrap();
+    dumps.push(path.clone());
+    while dumps.len() > state.keep {
+        let old = dumps.remove(0);
+        let _ = std::fs::remove_file(old);
+    }
+    Ok(path)
+}
+
+/// [`dump`], but rate limited for automatic triggers: at most one dump
+/// per 250 ms, `None` when throttled (or not installed).
+pub fn dump_throttled(reason: &str) -> Option<PathBuf> {
+    let state = STATE.get()?;
+    let now = crate::now_ns();
+    let last = state.last_dump_ns.load(Ordering::Relaxed);
+    if now.saturating_sub(last) < THROTTLE_NS && last != 0 {
+        return None;
+    }
+    if state
+        .last_dump_ns
+        .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+        .is_err()
+    {
+        return None;
+    }
+    dump(reason).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test drives the whole lifecycle: the recorder is
+    // process-global (OnceLock'd dump directory), so independent
+    // #[test]s would race each other's install/dump accounting.
+    #[test]
+    fn ring_wraps_dumps_throttle_and_retention() {
+        let dir = std::env::temp_dir().join(format!("bdrst-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        install(dir.clone(), 2).unwrap();
+        assert!(active());
+        // Overfill this thread's ring so it wraps.
+        for i in 0..(FLIGHT_CAPACITY + 10) as u64 {
+            record_span(Phase::Execute, i, 1, i);
+        }
+        let path = dump("unit-test").unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .ends_with(".json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"traceEvents\":["));
+        assert!(body.contains("\"flight_reason\":\"unit-test\""));
+        assert!(body.contains("\"recent_logs\":["));
+        // Wrapped ring: only the newest FLIGHT_CAPACITY survive, and the
+        // overwritten count is reported.
+        assert!(body.contains("\"dropped_events\":10"));
+
+        // Automatic triggers coalesce: one dump per throttle window.
+        let first = dump_throttled("burst");
+        let second = dump_throttled("burst");
+        assert!(first.is_some());
+        assert!(second.is_none(), "second dump inside 250ms is throttled");
+
+        // Retention: more dumps cap the directory at `keep`.
+        dump("unit-test").unwrap();
+        dump("unit-test").unwrap();
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("flight-"))
+            })
+            .collect();
+        assert_eq!(dumps.len(), 2, "retention cap keeps the newest 2");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

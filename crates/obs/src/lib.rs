@@ -28,10 +28,25 @@
 //! [`Recorder::stop_and_collect`] drains everything into a [`Profile`],
 //! exportable as Chrome trace-event JSON (`chrome://tracing` / Perfetto
 //! loadable) or rendered as a per-phase table.
+//!
+//! Three live-introspection layers ride the same machinery:
+//!
+//! * [`log`] — a structured JSON-lines logger (levels, per-target rate
+//!   limiting, rename-based rotation), gated by one relaxed load.
+//! * [`flight`] — an always-on bounded ring of recent spans that dumps
+//!   a Chrome-trace + recent-log snapshot on anomaly (slow request,
+//!   worker panic, explicit `dump` command). Span sites feed it
+//!   whenever it is installed, with or without a profiling session.
+//! * [`progress_tick`] — engine progress ticks every N visited states
+//!   to an installable [`ProgressSink`] (CLI `--progress`, the server's
+//!   `status` command).
 
 mod counters;
+pub mod flight;
+pub mod log;
 mod phase;
 mod profile;
+mod progress;
 
 pub use counters::{
     counter_add, counter_get, counter_max, counters_reset, counters_snapshot, Counter,
@@ -39,6 +54,9 @@ pub use counters::{
 };
 pub use phase::{Phase, PHASE_COUNT};
 pub use profile::{PhaseSummary, Profile, TraceEvent};
+pub use progress::{
+    clear_progress_sink, install_progress_sink, progress_tick, Progress, ProgressSink,
+};
 
 #[cfg(feature = "record")]
 mod recorder;

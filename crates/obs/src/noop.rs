@@ -44,9 +44,15 @@ pub fn span_arg(_phase: Phase, _arg: u64) -> SpanGuard {
     SpanGuard
 }
 
-/// No-op.
+/// No profiling ring exists with `record` off, but cross-thread stamps
+/// carry real timestamps either way, so the flight recorder still
+/// captures them.
 #[inline]
-pub fn event(_phase: Phase, _start_ns: u64, _dur_ns: u64, _arg: u64) {}
+pub fn event(phase: Phase, start_ns: u64, dur_ns: u64, arg: u64) {
+    if crate::flight::active() {
+        crate::flight::record_span(phase, start_ns, dur_ns, arg);
+    }
+}
 
 /// Stub session handle: installs succeed, collections are empty.
 pub struct Recorder;

@@ -71,7 +71,15 @@ impl Profile {
     /// and the full counter registry snapshot under `otherData` —
     /// loadable in `chrome://tracing` or Perfetto as-is.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        self.to_chrome_json_with_extra("")
+    }
+
+    /// [`to_chrome_json`](Profile::to_chrome_json) with extra raw-JSON
+    /// members spliced into `otherData` — `extra` must be empty or a
+    /// string of `,"key":value` members (the flight recorder uses this
+    /// for the dump reason and the recent-log snapshot).
+    pub fn to_chrome_json_with_extra(&self, extra: &str) -> String {
+        let mut out = String::with_capacity(128 + extra.len() + self.events.len() * 96);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         let mut first = true;
         for (tid, name) in &self.threads {
@@ -105,6 +113,7 @@ impl Profile {
         for (name, value) in counters_snapshot() {
             out.push_str(&format!(",\"{name}\":{value}"));
         }
+        out.push_str(extra);
         out.push_str("}}");
         out
     }

@@ -1,0 +1,151 @@
+//! Engine progress ticks: a process-global [`ProgressSink`] the
+//! exploration engines poke every N visited states, so a long-running
+//! check is observable while it runs (CLI `--progress` stderr ticks,
+//! the server's `status` command) instead of only after.
+//!
+//! The hook is process-global rather than an engine field because the
+//! engines are small `Copy` values shared across worker threads; the
+//! shape mirrors the counter registry's discipline. Cost when disabled
+//! — the default — is **one relaxed load** per visited state
+//! (`EVERY == 0`), which is what lets `engine_baseline` hold the
+//! allocs-per-visit bar with the logger installed. When enabled, the
+//! per-visit cost is one more relaxed `fetch_add`; building the
+//! [`Progress`] snapshot and calling the sink happens only every
+//! `EVERY` ticks, off the common path.
+//!
+//! States-visited and frontier-high-water come from the always-on
+//! counter registry; the engine passes only what the registry cannot
+//! know — its budget numerator and denominator — so budget-fraction is
+//! exact per engine run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::counters::{counter_get, Counter};
+
+/// One progress snapshot, as handed to the sink.
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Ticks since the sink was installed (across all engine runs).
+    pub ticks: u64,
+    /// Process-wide states visited ([`Counter::StatesVisited`]).
+    pub states_visited: u64,
+    /// Process-wide frontier high water ([`Counter::FrontierHighWater`]).
+    pub frontier_high_water: u64,
+    /// Budget consumed by the ticking engine run (states or traces).
+    pub budget_used: u64,
+    /// The run's budget ceiling (0 when unbounded).
+    pub budget_max: u64,
+}
+
+impl Progress {
+    /// Fraction of the budget consumed, in `[0, 1]`; 0 when unbounded.
+    pub fn budget_fraction(&self) -> f64 {
+        if self.budget_max == 0 {
+            0.0
+        } else {
+            (self.budget_used as f64 / self.budget_max as f64).min(1.0)
+        }
+    }
+}
+
+/// Receives progress ticks. Implementations must be cheap and
+/// non-blocking-ish: they run on engine worker threads.
+pub trait ProgressSink: Send + Sync {
+    /// Called every N visited states while installed.
+    fn tick(&self, progress: &Progress);
+}
+
+/// Tick period; 0 disables the whole layer (the one-relaxed-load gate).
+static EVERY: AtomicU64 = AtomicU64::new(0);
+static TICKS: AtomicU64 = AtomicU64::new(0);
+static SINK: Mutex<Option<Arc<dyn ProgressSink>>> = Mutex::new(None);
+
+/// Installs `sink`, ticked every `every` visited states (min 1).
+pub fn install_progress_sink(sink: Arc<dyn ProgressSink>, every: u64) {
+    *SINK.lock().unwrap() = Some(sink);
+    TICKS.store(0, Ordering::Relaxed);
+    EVERY.store(every.max(1), Ordering::Relaxed);
+}
+
+/// Disables ticking and drops the sink.
+pub fn clear_progress_sink() {
+    EVERY.store(0, Ordering::Relaxed);
+    *SINK.lock().unwrap() = None;
+}
+
+/// Engine-side tick, called once per visited state / trace extension.
+/// One relaxed load when no sink is installed.
+#[inline]
+pub fn progress_tick(budget_used: u64, budget_max: u64) {
+    let every = EVERY.load(Ordering::Relaxed);
+    if every == 0 {
+        return;
+    }
+    let n = TICKS.fetch_add(1, Ordering::Relaxed) + 1;
+    if n.is_multiple_of(every) {
+        progress_emit(n, budget_used, budget_max);
+    }
+}
+
+#[cold]
+fn progress_emit(ticks: u64, budget_used: u64, budget_max: u64) {
+    let sink = SINK.lock().unwrap().clone();
+    if let Some(sink) = sink {
+        sink.tick(&Progress {
+            ticks,
+            states_visited: counter_get(Counter::StatesVisited),
+            frontier_high_water: counter_get(Counter::FrontierHighWater),
+            budget_used,
+            budget_max,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct CountingSink {
+        calls: AtomicUsize,
+        last_used: AtomicU64,
+    }
+
+    impl ProgressSink for CountingSink {
+        fn tick(&self, p: &Progress) {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            self.last_used.store(p.budget_used, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn ticks_fire_every_n_and_disable_cleanly() {
+        let sink = Arc::new(CountingSink {
+            calls: AtomicUsize::new(0),
+            last_used: AtomicU64::new(0),
+        });
+        progress_tick(1, 10); // disabled: no sink, no panic
+        install_progress_sink(Arc::clone(&sink) as Arc<dyn ProgressSink>, 10);
+        for i in 1..=25u64 {
+            progress_tick(i, 100);
+        }
+        assert_eq!(sink.calls.load(Ordering::Relaxed), 2, "ticks at 10 and 20");
+        assert_eq!(sink.last_used.load(Ordering::Relaxed), 20);
+        clear_progress_sink();
+        progress_tick(1, 10);
+        assert_eq!(
+            sink.calls.load(Ordering::Relaxed),
+            2,
+            "cleared sink is quiet"
+        );
+        let p = Progress {
+            ticks: 1,
+            states_visited: 0,
+            frontier_high_water: 0,
+            budget_used: 5,
+            budget_max: 0,
+        };
+        assert_eq!(p.budget_fraction(), 0.0, "unbounded budget reads as 0");
+    }
+}

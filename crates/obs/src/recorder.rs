@@ -152,10 +152,12 @@ pub fn span(phase: Phase) -> SpanGuard {
     span_arg(phase, 0)
 }
 
-/// [`span`] with the free argument slot filled.
+/// [`span`] with the free argument slot filled. Live while a profiling
+/// session *or* the flight recorder is active; which sinks receive the
+/// measurement is decided at drop.
 #[inline]
 pub fn span_arg(phase: Phase, arg: u64) -> SpanGuard {
-    if !enabled() {
+    if !enabled() && !crate::flight::active() {
         return SpanGuard {
             phase,
             start_ns: 0,
@@ -198,10 +200,15 @@ impl Drop for SpanGuard {
         });
         let phase = self.phase;
         let (start_ns, arg) = (self.start_ns, self.arg);
-        with_ring(|ring| {
-            ring.push(phase, start_ns, dur_ns, arg);
-            ring.add_self(phase, dur_ns.saturating_sub(child_ns));
-        });
+        if enabled() {
+            with_ring(|ring| {
+                ring.push(phase, start_ns, dur_ns, arg);
+                ring.add_self(phase, dur_ns.saturating_sub(child_ns));
+            });
+        }
+        if crate::flight::active() {
+            crate::flight::record_span(phase, start_ns, dur_ns, arg);
+        }
     }
 }
 
@@ -211,13 +218,15 @@ impl Drop for SpanGuard {
 /// not participate in self-time nesting.
 #[inline]
 pub fn event(phase: Phase, start_ns: u64, dur_ns: u64, arg: u64) {
-    if !enabled() {
-        return;
+    if enabled() {
+        with_ring(|ring| {
+            ring.push(phase, start_ns, dur_ns, arg);
+            ring.add_self(phase, dur_ns);
+        });
     }
-    with_ring(|ring| {
-        ring.push(phase, start_ns, dur_ns, arg);
-        ring.add_self(phase, dur_ns);
-    });
+    if crate::flight::active() {
+        crate::flight::record_span(phase, start_ns, dur_ns, arg);
+    }
 }
 
 /// The process-global recording session handle.

@@ -7,6 +7,7 @@
 //! bdrst races <file|dir>...         dynamic race detection with bounded witnesses
 //! bdrst serve                       start the newline-delimited-JSON check server
 //! bdrst metrics                     fetch live counters from a running server
+//! bdrst status                      fetch in-flight requests + gauges from a running server
 //! bdrst cache stats|clear           inspect / wipe the on-disk cache
 //! bdrst corpus-export <dir>         (re)generate corpus/ from the built-in tests
 //! ```
@@ -14,15 +15,22 @@
 //! Common flags: `--cache-dir DIR` (persistent cache; omit for
 //! memory-only), `--json` (machine-readable output), `--max-states N`,
 //! `--max-traces N` (budgets), `--shrink` (`races` only: ddmin the
-//! program and interleaving of each first witness).
+//! program and interleaving of each first witness), `--progress`
+//! (`check`/`corpus`/`races`: engine progress ticks on stderr every few
+//! thousand states).
 //!
 //! `serve` flags: `--max-conns N`, `--queue-depth N` (admission /
 //! backpressure bounds), `--rate-per-sec N` + `--burst N`
 //! (per-connection token bucket; 0 = unlimited), `--metrics` (print a
 //! metrics JSON snapshot line every 10s), `--thread-per-conn` (legacy
 //! connection layer instead of the readiness-loop reactor — baseline
-//! comparisons only). `bdrst metrics --addr HOST:PORT` asks a running
-//! server for the same counters over the wire.
+//! comparisons only), `--trace-dir DIR` + `--trace-keep N` + `--slow-ms N`
+//! (per-request traces, retention, slow-request flagging/flight dumps),
+//! `--log-level L` + `--log-dir DIR` (structured JSON-lines logging;
+//! the `BDRST_LOG` environment variable also sets the level). `bdrst
+//! metrics --addr HOST:PORT` asks a running server for the same
+//! counters over the wire; `bdrst status --addr HOST:PORT` for the
+//! live in-flight request table.
 //!
 //! Exit codes: 0 success / all checks pass / no races, 1 model
 //! mismatch, 2 run failure (parse error or budget exhaustion — reported
@@ -57,17 +65,23 @@ struct Opts {
     profile: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
     slow_ms: Option<u64>,
+    trace_keep: Option<usize>,
+    log_level: Option<String>,
+    log_dir: Option<PathBuf>,
+    progress: bool,
     prom: bool,
     args: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bdrst <check <file>... | corpus <dir> | races <file|dir>... | serve | metrics | cache <stats|clear> | corpus-export <dir>>\n\
+        "usage: bdrst <check <file>... | corpus <dir> | races <file|dir>... | serve | metrics | status | cache <stats|clear> | corpus-export <dir>>\n\
          flags: --json --cache-dir DIR --addr HOST:PORT --workers N --max-states N --max-traces N --shrink\n\
          profiling: --profile OUT.json (check/corpus/races: Chrome trace export + summary on stderr)\n\
+         \x20          --progress (check/corpus/races: engine progress ticks on stderr)\n\
          serve flags: --max-conns N --queue-depth N --rate-per-sec N --burst N --metrics --thread-per-conn\n\
-         \x20              --trace-dir DIR (per-request timing files) --slow-ms N (slow-request log)\n\
+         \x20              --trace-dir DIR (per-request timing files) --trace-keep N (retain newest N) --slow-ms N (slow-request flagging)\n\
+         \x20              --log-level error|warn|info|debug|trace (also via BDRST_LOG) --log-dir DIR (JSON-lines log files; default stderr)\n\
          metrics flags: --prom (Prometheus text exposition)\n\
          exit codes: 0 pass/no races · 1 model mismatch · 2 run error (parse/budget/engine) · 3 races found · 64 usage"
     );
@@ -94,6 +108,10 @@ fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
         profile: None,
         trace_dir: None,
         slow_ms: None,
+        trace_keep: None,
+        log_level: None,
+        log_dir: None,
+        progress: false,
         prom: false,
         args: Vec::new(),
     };
@@ -116,6 +134,10 @@ fn parse_opts(mut argv: std::env::Args) -> Option<(String, Opts)> {
             "--profile" => opts.profile = Some(PathBuf::from(argv.next()?)),
             "--trace-dir" => opts.trace_dir = Some(PathBuf::from(argv.next()?)),
             "--slow-ms" => opts.slow_ms = Some(argv.next()?.parse().ok()?),
+            "--trace-keep" => opts.trace_keep = Some(argv.next()?.parse().ok()?),
+            "--log-level" => opts.log_level = Some(argv.next()?),
+            "--log-dir" => opts.log_dir = Some(PathBuf::from(argv.next()?)),
+            "--progress" => opts.progress = true,
             "--prom" => opts.prom = true,
             _ if a.starts_with("--") => return None,
             _ => opts.args.push(a),
@@ -483,7 +505,37 @@ fn cmd_races(opts: &Opts) -> ExitCode {
     }
 }
 
+/// Resolves the server log level: `--log-level` wins, then the
+/// `BDRST_LOG` environment variable, then the library default (warn).
+fn log_level_for(opts: &Opts) -> Result<bdrst_obs::log::Level, String> {
+    use bdrst_obs::log::Level;
+    if let Some(s) = &opts.log_level {
+        return Level::parse(s).ok_or_else(|| format!("--log-level {s}: unknown level"));
+    }
+    if let Ok(s) = std::env::var("BDRST_LOG") {
+        if !s.is_empty() {
+            return Level::parse(&s).ok_or_else(|| format!("BDRST_LOG={s}: unknown level"));
+        }
+    }
+    Ok(bdrst_obs::log::LogConfig::default().level)
+}
+
 fn cmd_serve(opts: &Opts) -> ExitCode {
+    let level = match log_level_for(opts) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    if let Err(e) = bdrst_obs::log::install(bdrst_obs::log::LogConfig {
+        level,
+        dir: opts.log_dir.clone(),
+        ..bdrst_obs::log::LogConfig::default()
+    }) {
+        eprintln!("log dir: {e}");
+        return ExitCode::from(2);
+    }
     let service = match service_for(opts) {
         Ok(s) => s,
         Err(e) => {
@@ -505,6 +557,7 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
         },
         trace_dir: opts.trace_dir.clone(),
         slow_ms: opts.slow_ms,
+        trace_keep: opts.trace_keep,
         ..defaults
     };
     match server::serve(Arc::new(service), &opts.addr, config) {
@@ -587,6 +640,79 @@ fn cmd_metrics(opts: &Opts) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `bdrst status`: one `{"cmd":"status"}` round-trip against a running
+/// server; renders the in-flight request table and server gauges humanly
+/// or the full response line with `--json`.
+fn cmd_status(opts: &Opts) -> ExitCode {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut stream = match std::net::TcpStream::connect(&opts.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connect {}: {e}", opts.addr);
+            return ExitCode::from(2);
+        }
+    };
+    if writeln!(
+        stream,
+        "{}",
+        Json::obj([("cmd", Json::Str("status".into()))]).render()
+    )
+    .is_err()
+    {
+        eprintln!("{}: write failed", opts.addr);
+        return ExitCode::from(2);
+    }
+    let mut line = String::new();
+    if BufReader::new(stream).read_line(&mut line).is_err() || line.trim().is_empty() {
+        eprintln!("{}: no response", opts.addr);
+        return ExitCode::from(2);
+    }
+    let Ok(resp) = Json::parse(line.trim()) else {
+        eprintln!("{}: malformed response: {line}", opts.addr);
+        return ExitCode::from(2);
+    };
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        eprintln!("{}: {}", opts.addr, line.trim());
+        return ExitCode::from(2);
+    }
+    if opts.json {
+        println!("{}", resp.render());
+    } else {
+        match resp.get("status") {
+            Some(s) => print!("{}", bdrst_service::metrics::render_status_human(s)),
+            None => {
+                eprintln!("{}: response carries no status: {line}", opts.addr);
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--progress`: engine progress ticks on stderr — states visited,
+/// frontier high water, and the budget fraction when a budget is set.
+/// One line every few thousand states keeps the terminal readable while
+/// still proving liveness on long explorations.
+struct StderrProgress;
+
+impl bdrst_obs::ProgressSink for StderrProgress {
+    fn tick(&self, p: &bdrst_obs::Progress) {
+        if p.budget_max > 0 {
+            eprintln!(
+                "progress: {} states visited, frontier high water {}, budget {:.0}%",
+                p.states_visited,
+                p.frontier_high_water,
+                p.budget_fraction() * 100.0
+            );
+        } else {
+            eprintln!(
+                "progress: {} states visited, frontier high water {}",
+                p.states_visited, p.frontier_high_water
+            );
+        }
+    }
 }
 
 fn cmd_cache(opts: &Opts) -> ExitCode {
@@ -672,12 +798,16 @@ fn main() -> ExitCode {
     let Some((cmd, opts)) = parse_opts(std::env::args()) else {
         return usage();
     };
+    if opts.progress {
+        bdrst_obs::install_progress_sink(Arc::new(StderrProgress), 4096);
+    }
     match cmd.as_str() {
         "check" => with_profile(opts.profile.as_ref(), || cmd_check(&opts)),
         "corpus" => with_profile(opts.profile.as_ref(), || cmd_corpus(&opts)),
         "races" => with_profile(opts.profile.as_ref(), || cmd_races(&opts)),
         "serve" => cmd_serve(&opts),
         "metrics" => cmd_metrics(&opts),
+        "status" => cmd_status(&opts),
         "cache" => cmd_cache(&opts),
         "corpus-export" => cmd_corpus_export(&opts),
         _ => usage(),

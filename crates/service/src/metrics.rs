@@ -19,17 +19,27 @@
 //!   `overloaded`, `too-large`, `rate-limited`, `shutting-down`);
 //! * rate-limit rejections (also counted under `errors.rate-limited`);
 //! * job-queue depth high-water;
+//! * slow requests (end-to-end time over [`crate::server::ServeConfig::slow_ms`]);
 //! * a per-command latency histogram (fixed exponential buckets,
 //!   100µs → 10s, plus overflow).
+//!
+//! Beyond the counters, a [`Metrics`] also carries the server's **live
+//! introspection state**: the in-flight request registry behind the
+//! `status` protocol command (request ID, command, phase — queue-wait /
+//! execute / write-back — and per-request engine progress derived from
+//! the process-wide `StatesVisited` counter) and the static
+//! [`ServerInfo`] the `health` command reports against.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
 use crate::json::Json;
 
 /// The protocol commands with dedicated counter slots; anything else
 /// lands in the trailing `other` slot.
-pub const COMMANDS: [&str; 9] = [
+pub const COMMANDS: [&str; 12] = [
     "parse",
     "outcomes",
     "check",
@@ -39,6 +49,9 @@ pub const COMMANDS: [&str; 9] = [
     "corpus",
     "cache-stats",
     "metrics",
+    "status",
+    "health",
+    "dump",
 ];
 
 /// The error kinds with dedicated counter slots; anything else lands in
@@ -67,6 +80,55 @@ const CMD_SLOTS: usize = COMMANDS.len() + 1;
 const KIND_SLOTS: usize = ERROR_KINDS.len() + 1;
 const BUCKETS: usize = LATENCY_LABELS.len();
 
+/// What a live request is doing right now, as the `status` command
+/// reports it: waiting in the job queue, executing on a worker, or
+/// written but not yet flushed to the client socket.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReqPhase {
+    /// Queued (including backpressure time before the queue took it).
+    QueueWait,
+    /// A worker is computing the response.
+    Execute,
+    /// The response is written; the socket has not drained it yet.
+    WriteBack,
+}
+
+impl ReqPhase {
+    /// The phase's wire name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ReqPhase::QueueWait => "queue-wait",
+            ReqPhase::Execute => "execute",
+            ReqPhase::WriteBack => "write-back",
+        }
+    }
+}
+
+/// One live request in the registry. `states_at_start` snapshots the
+/// process-wide `StatesVisited` counter when execution begins, so the
+/// request's own progress is the (monotone) delta against it.
+struct Inflight {
+    cmd: Option<String>,
+    client_id: Json,
+    phase: ReqPhase,
+    enqueue_ns: u64,
+    states_at_start: u64,
+}
+
+/// Static facts about the running server, registered once at bind time
+/// and reported by the `status` / `health` commands.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerInfo {
+    /// Worker threads popping the job queue.
+    pub workers: usize,
+    /// Job-queue depth bound.
+    pub queue_capacity: usize,
+    /// Simultaneous-connection bound.
+    pub max_conns: usize,
+    /// `bdrst_obs::now_ns` at bind time (uptime = now − this).
+    pub start_ns: u64,
+}
+
 /// Lock-free live counters of one running server.
 #[derive(Default)]
 pub struct Metrics {
@@ -76,10 +138,17 @@ pub struct Metrics {
     conns_high_water: AtomicU64,
     queue_high_water: AtomicU64,
     rate_limited: AtomicU64,
+    slow_requests: AtomicU64,
     requests: [AtomicU64; CMD_SLOTS],
     errors: [AtomicU64; KIND_SLOTS],
     latency: [[AtomicU64; BUCKETS]; CMD_SLOTS],
     latency_sum_us: [AtomicU64; CMD_SLOTS],
+    /// Live requests by server-minted request ID. Touched once per
+    /// phase transition (a short mutex hold), never per state visited —
+    /// the engine-progress reads go through the lock-free counter
+    /// registry instead.
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    server: OnceLock<ServerInfo>,
 }
 
 /// A percentile (`q` in `[0,1]`) estimated from histogram bucket counts
@@ -200,6 +269,197 @@ impl Metrics {
             .fetch_max(depth as u64, Ordering::Relaxed);
     }
 
+    /// Counts one slow request (end-to-end time over the server's
+    /// `--slow-ms` threshold).
+    pub fn count_slow_request(&self) {
+        self.slow_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers the server's static facts; first call wins.
+    pub(crate) fn set_server_info(&self, info: ServerInfo) {
+        let _ = self.server.set(info);
+    }
+
+    /// Registers a request entering the queue. Must happen before the
+    /// job becomes visible to a worker, so the executing transition
+    /// below always finds its entry.
+    pub(crate) fn inflight_enqueued(&self, req_id: u64, enqueue_ns: u64) {
+        self.inflight.lock().unwrap().insert(
+            req_id,
+            Inflight {
+                cmd: None,
+                client_id: Json::Null,
+                phase: ReqPhase::QueueWait,
+                enqueue_ns,
+                states_at_start: 0,
+            },
+        );
+    }
+
+    /// Marks a request as executing, snapshotting the engine's visited
+    /// count. Update-only: a request the reactor already reaped (its
+    /// connection died) stays gone.
+    pub(crate) fn inflight_executing(&self, req_id: u64, states_at_start: u64) {
+        if let Some(e) = self.inflight.lock().unwrap().get_mut(&req_id) {
+            e.phase = ReqPhase::Execute;
+            e.states_at_start = states_at_start;
+        }
+    }
+
+    /// Fills in the parsed command and client-chosen `id` once the
+    /// worker has decoded the request line.
+    pub(crate) fn inflight_describe(&self, req_id: u64, cmd: &str, client_id: &Json) {
+        if let Some(e) = self.inflight.lock().unwrap().get_mut(&req_id) {
+            e.cmd = Some(cmd.to_string());
+            e.client_id = client_id.clone();
+        }
+    }
+
+    /// Marks a request's response as written but not yet flushed.
+    pub(crate) fn inflight_write_back(&self, req_id: u64) {
+        if let Some(e) = self.inflight.lock().unwrap().get_mut(&req_id) {
+            e.phase = ReqPhase::WriteBack;
+        }
+    }
+
+    /// Removes a finished (or abandoned) request from the registry.
+    pub(crate) fn inflight_done(&self, req_id: u64) {
+        self.inflight.lock().unwrap().remove(&req_id);
+    }
+
+    /// Live requests currently waiting in the job queue — the `health`
+    /// command's current-depth gauge (the atomic only keeps high-water).
+    fn queue_waiting(&self) -> u64 {
+        self.inflight
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|e| e.phase == ReqPhase::QueueWait)
+            .count() as u64
+    }
+
+    /// The `status` command's response object: server facts, live
+    /// gauges, every in-flight request (ID, command, phase, elapsed
+    /// time, engine progress), and the engine gauge snapshot.
+    pub fn status_json(&self) -> Json {
+        let now = bdrst_obs::now_ns();
+        let visited = bdrst_obs::counter_get(bdrst_obs::Counter::StatesVisited);
+        let mut entries: Vec<(u64, Json)> = self
+            .inflight
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(req_id, e)| {
+                // Progress is meaningful only once execution started;
+                // the delta is monotone because the registry counter
+                // only grows.
+                let states = match e.phase {
+                    ReqPhase::QueueWait => 0,
+                    _ => visited.saturating_sub(e.states_at_start),
+                };
+                let obj = Json::obj([
+                    ("req_id", Json::Int(*req_id as i64)),
+                    ("id", e.client_id.clone()),
+                    ("cmd", e.cmd.clone().map(Json::Str).unwrap_or(Json::Null)),
+                    ("phase", Json::Str(e.phase.name().to_string())),
+                    (
+                        "elapsed_ms",
+                        Json::Num(now.saturating_sub(e.enqueue_ns) as f64 / 1e6),
+                    ),
+                    ("states_visited", Json::Int(states as i64)),
+                ]);
+                (*req_id, obj)
+            })
+            .collect();
+        entries.sort_by_key(|(id, _)| *id);
+        let info = self.server.get();
+        Json::obj([
+            (
+                "uptime_ms",
+                Json::Num(
+                    info.map(|i| now.saturating_sub(i.start_ns) as f64 / 1e6)
+                        .unwrap_or(0.0),
+                ),
+            ),
+            ("workers", Json::Int(info.map_or(0, |i| i.workers as i64))),
+            (
+                "queue",
+                Json::obj([
+                    ("depth", Json::Int(self.queue_waiting() as i64)),
+                    (
+                        "capacity",
+                        Json::Int(info.map_or(0, |i| i.queue_capacity as i64)),
+                    ),
+                    (
+                        "high_water",
+                        Json::Int(self.queue_high_water.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "conns",
+                Json::obj([
+                    (
+                        "active",
+                        Json::Int(self.conns_active.load(Ordering::SeqCst) as i64),
+                    ),
+                    ("max", Json::Int(info.map_or(0, |i| i.max_conns as i64))),
+                ]),
+            ),
+            (
+                "slow_requests",
+                Json::Int(self.slow_requests.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "inflight",
+                Json::Arr(entries.into_iter().map(|(_, e)| e).collect()),
+            ),
+            ("engine", engine_gauges_json()),
+        ])
+    }
+
+    /// The `health` command's verdict: `ok`, or `degraded` when the job
+    /// queue is full or the connection count is at its cap (clients
+    /// should back off before errors start). The server appends cache
+    /// stats before responding.
+    pub fn health_json(&self) -> Json {
+        let info = self.server.get();
+        let queue_depth = self.queue_waiting();
+        let conns = self.conns_active.load(Ordering::SeqCst);
+        let queue_full = info.is_some_and(|i| queue_depth >= i.queue_capacity as u64);
+        let conns_full = info.is_some_and(|i| conns >= i.max_conns as u64);
+        Json::obj([
+            (
+                "status",
+                Json::Str(
+                    if queue_full || conns_full {
+                        "degraded"
+                    } else {
+                        "ok"
+                    }
+                    .into(),
+                ),
+            ),
+            ("queue_full", Json::Bool(queue_full)),
+            ("conns_full", Json::Bool(conns_full)),
+            ("queue_depth", Json::Int(queue_depth as i64)),
+            (
+                "queue_capacity",
+                Json::Int(info.map_or(0, |i| i.queue_capacity as i64)),
+            ),
+            ("conns_active", Json::Int(conns as i64)),
+            (
+                "max_conns",
+                Json::Int(info.map_or(0, |i| i.max_conns as i64)),
+            ),
+            ("workers", Json::Int(info.map_or(0, |i| i.workers as i64))),
+            (
+                "inflight",
+                Json::Int(self.inflight.lock().unwrap().len() as i64),
+            ),
+        ])
+    }
+
     /// The high-water mark of simultaneously active connections.
     pub fn conns_high_water(&self) -> u64 {
         self.conns_high_water.load(Ordering::SeqCst)
@@ -262,9 +522,13 @@ impl Metrics {
             ),
             (
                 "queue",
-                Json::obj([("high_water", load(&self.queue_high_water))]),
+                Json::obj([
+                    ("depth", Json::Int(self.queue_waiting() as i64)),
+                    ("high_water", load(&self.queue_high_water)),
+                ]),
             ),
             ("rate_limited", load(&self.rate_limited)),
+            ("slow_requests", load(&self.slow_requests)),
             ("requests", Json::Obj(requests)),
             ("errors", Json::Obj(errors)),
             ("latency", Json::Obj(latency)),
@@ -326,6 +590,13 @@ impl Metrics {
         );
         g(
             &mut out,
+            "bdrst_queue_depth",
+            "gauge",
+            "Requests currently waiting in the job queue.",
+        );
+        let _ = writeln!(out, "bdrst_queue_depth {}", self.queue_waiting());
+        g(
+            &mut out,
             "bdrst_queue_depth_high_water",
             "gauge",
             "High-water mark of the job-queue depth.",
@@ -337,6 +608,17 @@ impl Metrics {
         );
         g(
             &mut out,
+            "bdrst_inflight_requests",
+            "gauge",
+            "Live requests (queued, executing, or flushing).",
+        );
+        let _ = writeln!(
+            out,
+            "bdrst_inflight_requests {}",
+            self.inflight.lock().unwrap().len()
+        );
+        g(
+            &mut out,
             "bdrst_rate_limited_total",
             "counter",
             "Requests rejected by the per-connection rate limiter.",
@@ -345,6 +627,17 @@ impl Metrics {
             out,
             "bdrst_rate_limited_total {}",
             self.rate_limited.load(Ordering::Relaxed)
+        );
+        g(
+            &mut out,
+            "bdrst_slow_requests_total",
+            "counter",
+            "Requests whose end-to-end time reached the slow threshold.",
+        );
+        let _ = writeln!(
+            out,
+            "bdrst_slow_requests_total {}",
+            self.slow_requests.load(Ordering::Relaxed)
         );
 
         g(
@@ -513,10 +806,12 @@ pub fn render_human(metrics: &Json) -> String {
     }
     let _ = writeln!(
         out,
-        "queue depth high water: {}",
+        "queue depth: {} (high water {})",
+        int(metrics.get_in(&["queue", "depth"])),
         int(metrics.get_in(&["queue", "high_water"])),
     );
     let _ = writeln!(out, "rate limited: {}", int(metrics.get("rate_limited")));
+    let _ = writeln!(out, "slow requests: {}", int(metrics.get("slow_requests")));
     for (key, title) in [("requests", "requests"), ("errors", "errors")] {
         if let Some(Json::Obj(fields)) = metrics.get(key) {
             if !fields.is_empty() {
@@ -561,6 +856,72 @@ pub fn render_human(metrics: &Json) -> String {
                     let _ = writeln!(out, "  {name:<24} {}", int(Some(other)));
                 }
             }
+        }
+    }
+    out
+}
+
+/// The human rendering of a `status` response object: uptime and
+/// capacity gauges, then one line per in-flight request.
+pub fn render_status_human(status: &Json) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let int = |v: Option<&Json>| v.and_then(Json::as_i64).unwrap_or(0);
+    let num = |v: Option<&Json>| {
+        v.and_then(|j| match j {
+            Json::Num(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        })
+        .unwrap_or(0.0)
+    };
+    let _ = writeln!(
+        out,
+        "uptime: {:.1}s, {} workers",
+        num(status.get("uptime_ms")) / 1e3,
+        int(status.get("workers")),
+    );
+    let _ = writeln!(
+        out,
+        "queue: {} waiting / {} capacity (high water {})",
+        int(status.get_in(&["queue", "depth"])),
+        int(status.get_in(&["queue", "capacity"])),
+        int(status.get_in(&["queue", "high_water"])),
+    );
+    let _ = writeln!(
+        out,
+        "connections: {} active / {} max",
+        int(status.get_in(&["conns", "active"])),
+        int(status.get_in(&["conns", "max"])),
+    );
+    let _ = writeln!(out, "slow requests: {}", int(status.get("slow_requests")));
+    match status.get("inflight") {
+        Some(Json::Arr(entries)) if !entries.is_empty() => {
+            let _ = writeln!(
+                out,
+                "in flight:\n  {:<8} {:<16} {:<12} {:>12} {:>14}",
+                "req", "cmd", "phase", "elapsed", "states"
+            );
+            for e in entries {
+                let cmd = e
+                    .get("cmd")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let phase = e.get("phase").and_then(Json::as_str).unwrap_or("?");
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:<16} {:<12} {:>10.1}ms {:>14}",
+                    int(e.get("req_id")),
+                    cmd,
+                    phase,
+                    num(e.get("elapsed_ms")),
+                    int(e.get("states_visited")),
+                );
+            }
+        }
+        _ => {
+            let _ = writeln!(out, "in flight: none");
         }
     }
     out
@@ -637,6 +998,64 @@ mod tests {
         let overflow = [0, 0, 0, 0, 0, 0, 5];
         assert_eq!(percentile_from_counts(&overflow, 0.5), 10_000_000.0);
         assert_eq!(percentile_from_counts(&overflow, 0.99), 10_000_000.0);
+    }
+
+    #[test]
+    fn inflight_registry_tracks_phases_and_health_degrades() {
+        let m = Metrics::new();
+        m.set_server_info(ServerInfo {
+            workers: 2,
+            queue_capacity: 1,
+            max_conns: 8,
+            start_ns: 0,
+        });
+        m.inflight_enqueued(7, bdrst_obs::now_ns());
+        let h = m.health_json();
+        assert_eq!(h.get("status").and_then(Json::as_str), Some("degraded"));
+        assert_eq!(h.get("queue_depth").and_then(Json::as_i64), Some(1));
+
+        m.inflight_executing(7, 0);
+        m.inflight_describe(7, "check", &Json::Int(42));
+        let s = m.status_json();
+        let inflight = s.get("inflight").and_then(Json::as_arr).unwrap();
+        assert_eq!(inflight.len(), 1);
+        let e = &inflight[0];
+        assert_eq!(e.get("req_id").and_then(Json::as_i64), Some(7));
+        assert_eq!(e.get("id").and_then(Json::as_i64), Some(42));
+        assert_eq!(e.get("cmd").and_then(Json::as_str), Some("check"));
+        assert_eq!(e.get("phase").and_then(Json::as_str), Some("execute"));
+        // Queue drained: healthy again, even with the request executing.
+        let h = m.health_json();
+        assert_eq!(h.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(h.get("inflight").and_then(Json::as_i64), Some(1));
+
+        m.inflight_write_back(7);
+        m.inflight_done(7);
+        assert!(m
+            .status_json()
+            .get("inflight")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+        // Update-only transitions never resurrect a reaped request.
+        m.inflight_executing(7, 0);
+        assert_eq!(
+            m.health_json().get("inflight").and_then(Json::as_i64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn slow_requests_render_everywhere() {
+        let m = Metrics::new();
+        m.count_slow_request();
+        m.count_slow_request();
+        assert_eq!(
+            m.to_json().get("slow_requests").and_then(Json::as_i64),
+            Some(2)
+        );
+        assert!(m.to_prom().contains("bdrst_slow_requests_total 2"));
+        assert!(render_human(&m.to_json()).contains("slow requests: 2"));
     }
 
     #[test]

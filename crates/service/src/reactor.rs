@@ -321,6 +321,20 @@ impl Reactor {
             for i in 0..self.conns.len() {
                 busy |= self.poll_conn(i, now);
             }
+            // A dead connection's responses can never flush: retire
+            // their registry entries (from the write buffer and from
+            // the outbox alike) so `status` never reports a request
+            // whose client is gone.
+            for conn in self.conns.iter_mut().filter(|c| c.dead) {
+                for (_, meta) in conn.outbox.drain() {
+                    if let Some(meta) = meta {
+                        self.metrics.inflight_done(meta.req_id);
+                    }
+                }
+                for meta in conn.inflight.drain(..) {
+                    self.metrics.inflight_done(meta.req_id);
+                }
+            }
             self.conns.retain(|c| !c.dead);
             if busy && bdrst_obs::enabled() {
                 // Busy cycles only: an idle reactor must not fill the
@@ -349,6 +363,14 @@ impl Reactor {
                             self.conns.len() as u64,
                         );
                     }
+                    bdrst_obs::log::info(
+                        "reactor",
+                        "drained; shutting down",
+                        &[
+                            ("conns", bdrst_obs::log::Field::U64(self.conns.len() as u64)),
+                            ("forced", bdrst_obs::log::Field::Bool(!drained)),
+                        ],
+                    );
                     break;
                 }
             }
@@ -435,7 +457,14 @@ impl Reactor {
                     self.conns.push(conn);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(_) => break,
+                Err(e) => {
+                    bdrst_obs::log::warn(
+                        "reactor",
+                        "accept failed",
+                        &[("error", bdrst_obs::log::Field::Str(&e.to_string()))],
+                    );
+                    break;
+                }
             }
         }
         any
@@ -481,7 +510,8 @@ impl Reactor {
                 return busy;
             }
             // Buffer flat: every in-flight response reached the socket —
-            // stamp their write-backs and write the per-request traces.
+            // stamp their write-backs, write the per-request traces
+            // (counting slow requests), and retire the registry entries.
             if conn.wbuf.is_empty() && !conn.inflight.is_empty() {
                 let flush_ns = bdrst_obs::now_ns();
                 for meta in conn.inflight.drain(..) {
@@ -492,8 +522,11 @@ impl Reactor {
                         meta.req_id,
                     );
                     if let Some(trace) = self.trace.as_ref() {
-                        trace.record(&meta, flush_ns);
+                        if trace.record(&meta, flush_ns) {
+                            self.metrics.count_slow_request();
+                        }
                     }
+                    self.metrics.inflight_done(meta.req_id);
                 }
             }
         }
@@ -548,6 +581,12 @@ impl Reactor {
         while let Some(job) = self.conns[i].pending.pop_front() {
             let outbox = Arc::clone(&self.conns[i].outbox);
             outbox.note_submitted();
+            // Registered before the push: once a worker can pop the job
+            // its registry entry must already exist (the executing
+            // transition is update-only). Backed out if the queue
+            // refuses the job.
+            let req_id = job.req_id;
+            self.metrics.inflight_enqueued(req_id, job.enqueue_ns);
             match self.queue.try_push(job) {
                 Ok(depth) => {
                     self.metrics.note_queue_depth(depth);
@@ -557,6 +596,7 @@ impl Reactor {
                     // The job keeps its identity (and enqueue stamp), so
                     // queue-wait includes the backpressure time.
                     outbox.unsubmit();
+                    self.metrics.inflight_done(req_id);
                     self.conns[i].pending.push_front(job);
                     break;
                 }
@@ -564,6 +604,7 @@ impl Reactor {
                     // Accepted but unservable: one `shutting-down` line,
                     // never a silent drop.
                     outbox.unsubmit();
+                    self.metrics.inflight_done(req_id);
                     self.metrics.count_error("shutting-down");
                     let resp = shutting_down_response();
                     self.conns[i].queue_line(&resp);

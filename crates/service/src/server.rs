@@ -15,7 +15,10 @@
 //! `locs` array, default all nonatomics), `check-global`, `check-races`
 //! (dynamic detection with space/time-bounded witnesses), `corpus`,
 //! `cache-stats`, `metrics` (live server counters, see
-//! [`crate::metrics`]). Requests may lower the exploration budgets with
+//! [`crate::metrics`]), `status` (every in-flight request with its ID,
+//! phase, and engine progress), `health` (ok/degraded with queue and
+//! connection gauges plus cache stats), `dump` (trigger a flight-recorder
+//! dump; requires `--trace-dir`). Requests may lower the exploration budgets with
 //! `max_states` / `max_traces` (integers, clamped to the server's own
 //! limits — a present-but-non-integer budget field is a `proto` error,
 //! never silently ignored); exhaustion surfaces as
@@ -72,7 +75,7 @@ use bdrst_core::engine::Strategy;
 use bdrst_litmus::{classify_entries, CorpusVerdict, RunConfig, RunError};
 
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, ServerInfo};
 use crate::reactor;
 use crate::service::{outcome_strings, CheckService, Checked};
 use crate::store::ResultStore;
@@ -125,10 +128,16 @@ pub struct ServeConfig {
     /// (the default) disables per-request tracing entirely.
     pub trace_dir: Option<PathBuf>,
     /// With `trace_dir` set: a request whose end-to-end time (enqueue →
-    /// response flushed) reaches this many milliseconds is also logged
-    /// to stderr with its phase split. `Some(0)` logs every request;
-    /// `None` (the default) disables the slow log.
+    /// response flushed) reaches this many milliseconds is logged as a
+    /// structured `warn` record with its phase split, counted under the
+    /// `slow_requests` metric, and triggers a (throttled) flight-recorder
+    /// dump. `Some(0)` flags every request; `None` (the default)
+    /// disables the slow path.
     pub slow_ms: Option<u64>,
+    /// With `trace_dir` set: retain at most this many per-request
+    /// `req-<id>.json` files, deleting the oldest past the cap. `None`
+    /// (the default) keeps every file.
+    pub trace_keep: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -143,9 +152,15 @@ impl Default for ServeConfig {
             model: ServeModel::Reactor,
             trace_dir: None,
             slow_ms: None,
+            trace_keep: None,
         }
     }
 }
+
+/// Flight-recorder dumps retained in the trace directory (oldest
+/// deleted past the cap); per-request trace files have their own knob,
+/// [`ServeConfig::trace_keep`].
+const FLIGHT_DUMP_KEEP: usize = 16;
 
 /// The default run configuration for served checks: work-stealing
 /// exploration (misses ride the engine's worker pool), default budgets.
@@ -210,11 +225,15 @@ pub(crate) struct ReqMeta {
     pub(crate) exec_end_ns: u64,
 }
 
-/// Per-request trace files plus the slow-request log, built from
-/// [`ServeConfig::trace_dir`] / [`ServeConfig::slow_ms`].
+/// Per-request trace files plus the slow-request path, built from
+/// [`ServeConfig::trace_dir`] / [`ServeConfig::slow_ms`] /
+/// [`ServeConfig::trace_keep`].
 pub(crate) struct TraceLog {
     dir: PathBuf,
     slow_ns: Option<u64>,
+    keep: Option<usize>,
+    /// Written trace files, oldest first, for the retention cap.
+    written: Mutex<std::collections::VecDeque<PathBuf>>,
 }
 
 impl TraceLog {
@@ -224,15 +243,20 @@ impl TraceLog {
         Some(TraceLog {
             dir,
             slow_ns: config.slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
+            keep: config.trace_keep,
+            written: Mutex::new(std::collections::VecDeque::new()),
         })
     }
 
     /// Writes `req-<id>.json` (write-then-rename, so a poller never
-    /// observes a partial file) and emits the slow log when the
-    /// end-to-end time reaches the threshold. All fields are integer
+    /// observes a partial file), prunes the oldest files past the
+    /// retention cap, and — when the end-to-end time reaches the slow
+    /// threshold — emits a structured `warn` record with the phase split
+    /// and triggers a throttled flight-recorder dump. Returns true for a
+    /// slow request so the caller can count it. All fields are integer
     /// nanoseconds; the embedded `traceEvents` use integer microseconds
     /// as Chrome expects.
-    pub(crate) fn record(&self, meta: &ReqMeta, flush_ns: u64) {
+    pub(crate) fn record(&self, meta: &ReqMeta, flush_ns: u64) -> bool {
         let queue_wait = meta.exec_start_ns.saturating_sub(meta.enqueue_ns);
         let execute = meta.exec_end_ns.saturating_sub(meta.exec_start_ns);
         let write_back = flush_ns.saturating_sub(meta.exec_end_ns);
@@ -264,19 +288,42 @@ impl TraceLog {
         ]);
         let path = self.dir.join(format!("req-{}.json", meta.req_id));
         let tmp = self.dir.join(format!(".req-{}.json.tmp", meta.req_id));
-        if std::fs::write(&tmp, doc.render()).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        if std::fs::write(&tmp, doc.render()).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            if let Some(keep) = self.keep {
+                let mut written = self.written.lock().unwrap();
+                written.push_back(path);
+                while written.len() > keep.max(1) {
+                    if let Some(old) = written.pop_front() {
+                        let _ = std::fs::remove_file(old);
+                    }
+                }
+            }
         }
-        if self.slow_ns.is_some_and(|t| total >= t) {
-            eprintln!(
-                "slow request {}: total {:.3}ms (queue-wait {:.3}ms, execute {:.3}ms, write-back {:.3}ms)",
-                meta.req_id,
-                total as f64 / 1e6,
-                queue_wait as f64 / 1e6,
-                execute as f64 / 1e6,
-                write_back as f64 / 1e6,
+        let slow = self.slow_ns.is_some_and(|t| total >= t);
+        if slow {
+            bdrst_obs::log::warn(
+                "server",
+                "slow request",
+                &[
+                    ("req_id", bdrst_obs::log::Field::U64(meta.req_id)),
+                    ("total_ms", bdrst_obs::log::Field::F64(total as f64 / 1e6)),
+                    (
+                        "queue_wait_ms",
+                        bdrst_obs::log::Field::F64(queue_wait as f64 / 1e6),
+                    ),
+                    (
+                        "execute_ms",
+                        bdrst_obs::log::Field::F64(execute as f64 / 1e6),
+                    ),
+                    (
+                        "write_back_ms",
+                        bdrst_obs::log::Field::F64(write_back as f64 / 1e6),
+                    ),
+                ],
             );
+            let _ = bdrst_obs::flight::dump_throttled("slow-request");
         }
+        slow
     }
 }
 
@@ -292,10 +339,17 @@ pub(crate) enum Sink {
 
 impl Sink {
     /// Delivers one response line. The stream path flushes inline, so
-    /// write-back is stamped (and the trace file written) here; the
-    /// outbox path hands the meta to the reactor, which stamps the
-    /// write-back when the connection's buffer actually drains.
-    pub(crate) fn send(&self, line: &str, meta: ReqMeta, trace: Option<&TraceLog>) {
+    /// write-back is stamped (the trace file written, the slow request
+    /// counted, the registry entry retired) here; the outbox path hands
+    /// the meta to the reactor, which does all of that when the
+    /// connection's buffer actually drains.
+    pub(crate) fn send(
+        &self,
+        line: &str,
+        meta: ReqMeta,
+        trace: Option<&TraceLog>,
+        metrics: Option<&Metrics>,
+    ) {
         match self {
             Sink::Stream(out) => {
                 let mut w = out.lock().unwrap();
@@ -310,7 +364,14 @@ impl Sink {
                     meta.req_id,
                 );
                 if let Some(trace) = trace {
-                    trace.record(&meta, flush_ns);
+                    if trace.record(&meta, flush_ns) {
+                        if let Some(m) = metrics {
+                            m.count_slow_request();
+                        }
+                    }
+                }
+                if let Some(m) = metrics {
+                    m.inflight_done(meta.req_id);
                 }
             }
             Sink::Outbox(outbox) => outbox.complete(line, Some(meta)),
@@ -509,6 +570,25 @@ pub fn serve(
     } else {
         config.workers
     };
+    metrics.set_server_info(ServerInfo {
+        workers: worker_count,
+        queue_capacity: config.queue_depth.max(1),
+        max_conns: config.max_conns.max(1),
+        start_ns: bdrst_obs::now_ns(),
+    });
+    // The flight recorder dumps land beside the per-request traces, so
+    // one artifact directory carries the whole story of an anomaly.
+    if let Some(dir) = &config.trace_dir {
+        let _ = bdrst_obs::flight::install(dir.clone(), FLIGHT_DUMP_KEEP);
+    }
+    bdrst_obs::log::info(
+        "server",
+        "listening",
+        &[
+            ("addr", bdrst_obs::log::Field::Str(&addr.to_string())),
+            ("workers", bdrst_obs::log::Field::U64(worker_count as u64)),
+        ],
+    );
     let workers = (0..worker_count)
         .map(|_| {
             let queue = Arc::clone(&queue);
@@ -518,8 +598,35 @@ pub fn serve(
             std::thread::spawn(move || {
                 while let Some(job) = queue.pop() {
                     let exec_start_ns = bdrst_obs::now_ns();
-                    let response = handle_line_metered(&service, Some(&metrics), &job.line);
+                    metrics.inflight_executing(
+                        job.req_id,
+                        bdrst_obs::counter_get(bdrst_obs::Counter::StatesVisited),
+                    );
+                    // A panicking handler must not take the worker (and
+                    // with it a fraction of the pool) down: log it, dump
+                    // the flight recorder while the rings still hold the
+                    // lead-up, and answer the client with an `engine`
+                    // error — every accepted request still gets exactly
+                    // one response line.
+                    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_line_metered(&service, Some(&metrics), Some(job.req_id), &job.line)
+                    }))
+                    .unwrap_or_else(|_| {
+                        bdrst_obs::log::error(
+                            "server",
+                            "worker panicked handling a request",
+                            &[("req_id", bdrst_obs::log::Field::U64(job.req_id))],
+                        );
+                        let _ = bdrst_obs::flight::dump_throttled("worker-panic");
+                        metrics.count_error("engine");
+                        error_response(
+                            Json::Null,
+                            "engine",
+                            "internal error: request handler panicked".into(),
+                        )
+                    });
                     let exec_end_ns = bdrst_obs::now_ns();
+                    metrics.inflight_write_back(job.req_id);
                     let meta = ReqMeta {
                         req_id: job.req_id,
                         enqueue_ns: job.enqueue_ns,
@@ -538,8 +645,12 @@ pub fn serve(
                         exec_end_ns.saturating_sub(exec_start_ns),
                         meta.req_id,
                     );
-                    job.out
-                        .send(&response.render(), meta, trace.as_ref().as_ref());
+                    job.out.send(
+                        &response.render(),
+                        meta,
+                        trace.as_ref().as_ref(),
+                        Some(&metrics),
+                    );
                 }
             })
         })
@@ -748,9 +859,17 @@ fn spawn_thread_per_conn(
                             continue;
                         }
                     }
-                    match queue.push(Job::new(line.to_string(), Sink::Stream(Arc::clone(&out)))) {
+                    let job = Job::new(line.to_string(), Sink::Stream(Arc::clone(&out)));
+                    // Registered before the push: once the job is
+                    // visible to a worker its registry entry must
+                    // already exist (the executing transition is
+                    // update-only).
+                    metrics.inflight_enqueued(job.req_id, job.enqueue_ns);
+                    let req_id = job.req_id;
+                    match queue.push(job) {
                         Ok(depth) => metrics.note_queue_depth(depth),
                         Err(_job) => {
+                            metrics.inflight_done(req_id);
                             // Queue closed (shutdown): the request was
                             // accepted, so it still gets exactly one
                             // response line before the connection
@@ -816,17 +935,21 @@ fn run_error_response(id: Json, e: &RunError) -> Json {
 
 /// Handles one request line; always returns a single JSON response.
 /// Without a server context there are no live counters, so the
-/// `metrics` command is a `proto` error here.
+/// `metrics`, `status`, and `health` commands are `proto` errors here.
 pub fn handle_line(service: &CheckService, line: &str) -> Json {
-    handle_line_metered(service, None, line)
+    handle_line_metered(service, None, None, line)
 }
 
 /// [`handle_line`] with the server's live counters: counts the request
 /// under its command, classifies error responses by kind, and records
 /// the request's wall-clock latency into the per-command histogram.
+/// `req_id` is the server-minted request ID: once the line parses, the
+/// in-flight registry entry is annotated with the command and the
+/// client-chosen `id`, so `status` can name what each worker is doing.
 pub(crate) fn handle_line_metered(
     service: &CheckService,
     metrics: Option<&Metrics>,
+    req_id: Option<u64>,
     line: &str,
 ) -> Json {
     let start = Instant::now();
@@ -857,6 +980,9 @@ pub(crate) fn handle_line_metered(
                 }
                 Some(cmd) => {
                     count(cmd);
+                    if let (Some(rid), Some(m)) = (req_id, metrics) {
+                        m.inflight_describe(rid, cmd, &id);
+                    }
                     let response = match handle_cmd(service, metrics, cmd, &req) {
                         Ok(mut fields) => {
                             let mut all =
@@ -1075,6 +1201,32 @@ fn handle_cmd(
                 ))),
                 None => Ok(Json::obj([("metrics", m.to_json())])),
             }
+        }
+        "status" => {
+            let m = metrics.ok_or_else(|| {
+                HandleError::Proto("status is only available on a running server".into())
+            })?;
+            Ok(Json::obj([("status", m.status_json())]))
+        }
+        "health" => {
+            let m = metrics.ok_or_else(|| {
+                HandleError::Proto("health is only available on a running server".into())
+            })?;
+            let mut health = m.health_json();
+            if let Json::Obj(fields) = &mut health {
+                fields.push(("cache".to_string(), stats_json(service.store())));
+            }
+            Ok(Json::obj([("health", health)]))
+        }
+        "dump" => {
+            if !bdrst_obs::flight::active() {
+                return Err(HandleError::Proto(
+                    "flight recorder is not installed (start the server with --trace-dir)".into(),
+                ));
+            }
+            let path = bdrst_obs::flight::dump("protocol")
+                .map_err(|e| HandleError::Proto(format!("flight dump failed: {e}")))?;
+            Ok(Json::obj([("path", Json::Str(path.display().to_string()))]))
         }
         other => Err(HandleError::Proto(format!("unknown cmd `{other}`"))),
     }

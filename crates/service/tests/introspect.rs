@@ -1,0 +1,303 @@
+//! Socket-level tests of the live-introspection surface: `status` during
+//! an in-flight check must report that request's ID, phase, and a
+//! monotonically increasing states-visited figure; `health` reports the
+//! admission gauges; `dump` writes a flight snapshot on demand; and a
+//! request over the `--slow-ms` threshold provokes a throttled
+//! slow-request flight dump in the trace directory.
+//!
+//! Kept to a single server (and a single `#[test]`) in this binary:
+//! request IDs, the flight-recorder install, and the logger install are
+//! all process-global.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bdrst_service::json::Json;
+use bdrst_service::server::{self, serve, ServeConfig};
+use bdrst_service::service::CheckService;
+use bdrst_service::store::ResultStore;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static TEMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "bdrst-introspect-{tag}-{}-{seq}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &Json) -> Json {
+    writeln!(stream, "{}", req.render()).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+}
+
+fn get_i64(doc: &Json, key: &str) -> i64 {
+    match doc.get(key) {
+        Some(Json::Int(n)) => *n,
+        other => panic!("missing/odd field {key}: {other:?}"),
+    }
+}
+
+/// A program whose writes carry distinct values across shared variables,
+/// so interleavings don't collapse into each other and exploration has
+/// to grind through a large state space — long enough for `status` to
+/// catch it mid-execute.
+const BIG_SRC: &str = "nonatomic a; nonatomic b; nonatomic c; nonatomic d; \
+     thread P0 { a = 1; b = 2; c = 3; d = 4; a = 5; b = 6; } \
+     thread P1 { b = 7; c = 8; d = 9; a = 10; b = 11; c = 12; } \
+     thread P2 { c = 13; d = 14; a = 15; b = 16; c = 17; d = 18; } \
+     thread P3 { d = 19; a = 20; b = 21; c = 22; d = 23; a = 24; }";
+
+/// Flight dump files written under the trace dir for `reason`.
+fn flight_dumps(dir: &std::path::Path, reason: &str) -> Vec<PathBuf> {
+    let suffix = format!("-{reason}.json");
+    std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flight-") && n.ends_with(&suffix))
+        })
+        .collect()
+}
+
+#[test]
+fn status_health_dump_and_slow_flight() {
+    let dir = temp_dir("live");
+    // Bounded budget: the big program is guaranteed to exhaust it rather
+    // than run unbounded, so execute lasts long enough to observe and
+    // the request still completes deterministically.
+    let mut config = server::default_run_config();
+    config.explore.max_states = 200_000;
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), config);
+    let handle = serve(
+        Arc::new(service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            trace_dir: Some(dir.clone()),
+            slow_ms: Some(0),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Conn A carries the long-running check; the response is read only
+    // after status has been observed mid-flight.
+    let slow_stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut slow_reader = BufReader::new(slow_stream.try_clone().unwrap());
+    let mut slow_stream = slow_stream;
+    let check_req = Json::obj([
+        ("cmd", Json::Str("check".into())),
+        ("id", Json::Str("big-1".into())),
+        ("source", Json::Str(BIG_SRC.into())),
+    ]);
+    writeln!(slow_stream, "{}", check_req.render()).unwrap();
+    slow_stream.flush().unwrap();
+
+    // Conn B polls `status` until the check shows up in the execute
+    // phase with engine progress, then again until progress advanced.
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let status_req = Json::obj([("cmd", Json::Str("status".into()))]);
+    let find_big = |status: &Json| -> Option<(String, i64, f64)> {
+        let Some(Json::Arr(entries)) = status.get("inflight") else {
+            panic!("status lacks inflight array: {status:?}");
+        };
+        entries
+            .iter()
+            .find(|e| e.get("id").and_then(Json::as_str) == Some("big-1"))
+            .map(|e| {
+                let phase = e
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .expect("entry lacks phase")
+                    .to_string();
+                let states = get_i64(e, "states_visited");
+                let elapsed = match e.get("elapsed_ms") {
+                    Some(Json::Num(ms)) => *ms,
+                    other => panic!("odd elapsed_ms: {other:?}"),
+                };
+                (phase, states, elapsed)
+            })
+    };
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let first_states = loop {
+        let resp = request(&mut stream, &mut reader, &status_req);
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(true)),
+            "bad status: {resp:?}"
+        );
+        let status = resp.get("status").expect("response lacks status");
+        assert!(
+            get_i64(status, "workers") == 2,
+            "status workers: {status:?}"
+        );
+        if let Some((phase, states, elapsed)) = find_big(status) {
+            assert!(
+                status.get_in(&["queue", "capacity"]).is_some(),
+                "status lacks queue gauges: {status:?}"
+            );
+            if phase == "execute" && states > 0 {
+                assert!(elapsed >= 0.0, "negative elapsed: {elapsed}");
+                break states;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "check never observed in execute phase with progress"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    // A later snapshot must show strictly more engine progress: the
+    // per-request figure is a monotone counter delta.
+    loop {
+        let resp = request(&mut stream, &mut reader, &status_req);
+        let status = resp.get("status").expect("response lacks status");
+        match find_big(status) {
+            Some((_, states, _)) if states > first_states => break,
+            // Already completed and retired from the table: monotone
+            // progress can no longer be sampled — only acceptable after
+            // we saw it executing once, but keep polling briefly in case
+            // a snapshot lands first.
+            None => break,
+            _ => {}
+        }
+        assert!(
+            Instant::now() < deadline,
+            "states_visited never advanced past {first_states}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The long check completes (budget-bounded), successfully or with a
+    // budget error — either way it must answer and leave the table.
+    let mut line = String::new();
+    slow_reader.read_line(&mut line).unwrap();
+    let resp = Json::parse(line.trim()).unwrap();
+    assert_eq!(
+        resp.get("id").and_then(Json::as_str),
+        Some("big-1"),
+        "check response does not echo the client id: {resp:?}"
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let resp = request(&mut stream, &mut reader, &status_req);
+        let status = resp.get("status").expect("response lacks status");
+        if find_big(status).is_none() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "completed request never left the inflight table"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // health: admission gauges, degraded flags, and the cache block.
+    let resp = request(
+        &mut stream,
+        &mut reader,
+        &Json::obj([("cmd", Json::Str("health".into()))]),
+    );
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "bad health: {resp:?}"
+    );
+    let health = resp.get("health").expect("response lacks health");
+    let verdict = health.get("status").and_then(Json::as_str).unwrap();
+    assert!(
+        verdict == "ok" || verdict == "degraded",
+        "odd health status: {verdict}"
+    );
+    assert!(get_i64(health, "queue_capacity") > 0);
+    assert!(get_i64(health, "max_conns") > 0);
+    assert_eq!(get_i64(health, "workers"), 2);
+    assert!(get_i64(health, "conns_active") >= 1, "we are connected");
+    assert!(
+        health.get_in(&["cache", "hits"]).is_some(),
+        "health lacks cache stats: {health:?}"
+    );
+
+    // dump: an explicit protocol-triggered flight snapshot — a valid
+    // Chrome trace carrying the dump reason and the recent-log ring.
+    let resp = request(
+        &mut stream,
+        &mut reader,
+        &Json::obj([("cmd", Json::Str("dump".into()))]),
+    );
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "bad dump: {resp:?}"
+    );
+    let path = PathBuf::from(resp.get("path").and_then(Json::as_str).unwrap());
+    let dump = Json::parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+    assert!(
+        matches!(dump.get("traceEvents"), Some(Json::Arr(_))),
+        "flight dump lacks traceEvents: {}",
+        path.display()
+    );
+    assert_eq!(
+        dump.get_in(&["otherData", "flight_reason"])
+            .and_then(Json::as_str),
+        Some("protocol")
+    );
+    assert!(
+        matches!(
+            dump.get_in(&["otherData", "recent_logs"]),
+            Some(Json::Arr(_))
+        ),
+        "flight dump lacks the recent-log ring"
+    );
+
+    // slow-ms: with the threshold at zero every completed request is
+    // slow, so a slow-request flight dump must have landed (throttled,
+    // but at least one) and the slow_requests counter must be live in
+    // the metrics snapshot.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while flight_dumps(&dir, "slow-request").is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "no slow-request flight dump appeared in {}",
+            dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let slow_dump = &flight_dumps(&dir, "slow-request")[0];
+    let dump = Json::parse(std::fs::read_to_string(slow_dump).unwrap().trim()).unwrap();
+    assert_eq!(
+        dump.get_in(&["otherData", "flight_reason"])
+            .and_then(Json::as_str),
+        Some("slow-request")
+    );
+    let resp = request(
+        &mut stream,
+        &mut reader,
+        &Json::obj([("cmd", Json::Str("metrics".into()))]),
+    );
+    let slow = resp
+        .get_in(&["metrics", "slow_requests"])
+        .expect("metrics lacks slow_requests");
+    assert!(
+        matches!(slow, Json::Int(n) if *n > 0),
+        "slow_requests never counted: {slow:?}"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,102 @@
+//! Socket-level test of `--trace-keep`: the per-request trace directory
+//! retains only the newest N `req-*.json` files, deleting oldest-first
+//! as new traces land.
+//!
+//! Kept to a single server (and a single `#[test]`) in this binary:
+//! request IDs are process-global, so the retained file names are
+//! deterministic only when this test is the sole request source.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bdrst_litmus::RunConfig;
+use bdrst_service::json::Json;
+use bdrst_service::server::{serve, ServeConfig};
+use bdrst_service::service::CheckService;
+use bdrst_service::store::ResultStore;
+
+fn temp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bdrst-trace-keep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &Json) -> Json {
+    writeln!(stream, "{}", req.render()).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"))
+}
+
+fn trace_files(dir: &std::path::Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().to_str().map(str::to_string))
+        .filter(|n| n.starts_with("req-") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn retention_keeps_only_the_newest_traces() {
+    let dir = temp_dir();
+    let service = CheckService::new(Arc::new(ResultStore::in_memory()), RunConfig::default());
+    let handle = serve(
+        Arc::new(service),
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            trace_dir: Some(dir.clone()),
+            trace_keep: Some(2),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let req = Json::obj([
+        ("cmd", Json::Str("outcomes".into())),
+        (
+            "source",
+            Json::Str("nonatomic a; thread P0 { a = 1; } thread P1 { a = 2; }".into()),
+        ),
+    ]);
+    // Strictly sequential on one connection: request IDs 1..=6 and their
+    // trace files land in order, so retention must converge on the two
+    // newest (req-5, req-6).
+    for _ in 0..6 {
+        let resp = request(&mut stream, &mut reader, &req);
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(true)),
+            "bad reply: {resp:?}"
+        );
+    }
+
+    // Write-back (and therefore the trace write + prune) is stamped by
+    // the reactor after the client may already have read the response —
+    // poll until the directory settles.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let names = trace_files(&dir);
+        if names == ["req-5.json", "req-6.json"] {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "retention never converged; trace dir holds {names:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
